@@ -1,0 +1,41 @@
+//! MC/DC coverage measurement cost and saturation (experiment A1: the
+//! paper's trivial-vs-intractable coverage argument).
+
+use certnn_linalg::Vector;
+use certnn_nn::network::Network;
+use certnn_sim::features::FEATURE_COUNT;
+use certnn_trace::mcdc::BranchCoverage;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_suite(n: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..FEATURE_COUNT).map(|_| rng.gen_range(-1.0..1.3)).collect())
+        .collect()
+}
+
+fn bench_coverage_measurement(c: &mut Criterion) {
+    let net = Network::relu_mlp(FEATURE_COUNT, &[20, 20, 20, 20], 10, 7)
+        .expect("valid architecture");
+    let mut group = c.benchmark_group("mcdc_coverage");
+    group.sample_size(10);
+    for suite_size in [50usize, 200, 800] {
+        let suite = random_suite(suite_size, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(suite_size),
+            &suite,
+            |b, suite| {
+                b.iter(|| {
+                    let cov = BranchCoverage::measure(&net, suite.iter()).expect("coverage");
+                    (cov.coverage(), cov.distinct_patterns)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage_measurement);
+criterion_main!(benches);

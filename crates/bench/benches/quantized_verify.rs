@@ -1,0 +1,37 @@
+//! Quantized-network verification (experiment A2, paper Sec. IV (ii)).
+//!
+//! Verifies the same property on the full-precision network and its 4/8-
+//! bit post-training quantizations through the identical MILP pipeline.
+
+use certnn_core::scenario::{left_vehicle_spec, max_lateral_velocity};
+use certnn_nn::gmm::OutputLayout;
+use certnn_nn::network::Network;
+use certnn_sim::features::FEATURE_COUNT;
+use certnn_verify::quant::quantize;
+use certnn_verify::verifier::Verifier;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_quantized_verify(c: &mut Criterion) {
+    let layout = OutputLayout::new(1);
+    let net = Network::relu_mlp(FEATURE_COUNT, &[8, 8], layout.output_len(), 7)
+        .expect("valid architecture");
+    let spec = left_vehicle_spec();
+    let verifier = Verifier::new();
+    let mut group = c.benchmark_group("quantized_verify");
+    group.sample_size(10);
+    group.bench_function("f64", |b| {
+        b.iter(|| max_lateral_velocity(&verifier, &net, layout, &spec).expect("verify"))
+    });
+    for bits in [8u8, 4] {
+        let q = quantize(&net, bits).expect("quantize");
+        group.bench_function(format!("int{bits}"), |b| {
+            b.iter(|| {
+                max_lateral_velocity(&verifier, &q.network, layout, &spec).expect("verify")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantized_verify);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! LP substrate microbenchmark: simplex solve time vs problem size.
+//!
+//! Branch-and-bound solves thousands of these per Table II row, so the
+//! LP kernel's scaling dominates overall verification time.
+
+use certnn_lp::{LpModel, RowKind, Sense, Simplex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Deterministic pseudo-random dense LP with n vars and n/2 rows.
+fn random_lp(n: usize, seed: u64) -> LpModel {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+    };
+    let mut m = LpModel::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n).map(|i| m.add_var(&format!("v{i}"), 0.0, 10.0)).collect();
+    m.set_objective(
+        &vars
+            .iter()
+            .map(|&v| (v, next().abs() + 0.05))
+            .collect::<Vec<_>>(),
+    );
+    for r in 0..n / 2 {
+        let coeffs: Vec<_> = vars.iter().map(|&v| (v, next())).collect();
+        m.add_row(&format!("r{r}"), &coeffs, RowKind::Le, 3.0 + r as f64 * 0.1)
+            .expect("valid row");
+    }
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    group.sample_size(20);
+    for n in [20usize, 60, 120] {
+        let lp = random_lp(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
+            b.iter(|| Simplex::new().solve(lp).expect("valid model"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex);
+criterion_main!(benches);

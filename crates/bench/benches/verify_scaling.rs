@@ -1,0 +1,48 @@
+//! Verification time vs network width — the scaling behaviour behind
+//! Table II (and the paper's Sec. IV (ii) scalability remark).
+//!
+//! Small `I2×N` networks keep the bench minutes-scale; the super-linear
+//! growth in width is already clearly visible.
+
+use certnn_core::scenario::{left_vehicle_spec, max_lateral_velocity};
+use certnn_nn::gmm::OutputLayout;
+use certnn_nn::network::Network;
+use certnn_sim::features::FEATURE_COUNT;
+use certnn_verify::verifier::{Engine, Verifier, VerifierOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_verify_scaling(c: &mut Criterion) {
+    let layout = OutputLayout::new(1);
+    let spec = left_vehicle_spec();
+    let mut group = c.benchmark_group("verify_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    // Width 12 is excluded here: single iterations run into minutes on
+    // one core (that is the Table II cliff; measured there, not here).
+    for width in [4usize, 8] {
+        let net = Network::relu_mlp(FEATURE_COUNT, &[width, width], layout.output_len(), 7)
+            .expect("valid architecture");
+        for (name, engine) in [("bab", Engine::HybridBab), ("milp", Engine::Milp)] {
+            let verifier = Verifier::with_options(VerifierOptions {
+                engine,
+                ..VerifierOptions::default()
+            });
+            group.bench_with_input(
+                BenchmarkId::new(name, width),
+                &net,
+                |b, net| {
+                    b.iter(|| {
+                        let r = max_lateral_velocity(&verifier, net, layout, &spec)
+                            .expect("verification runs");
+                        assert!(r.is_exact());
+                        r.max_lateral
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify_scaling);
+criterion_main!(benches);

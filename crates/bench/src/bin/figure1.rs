@@ -1,0 +1,29 @@
+//! Regenerates Figure 1 (simulation snapshot + predicted action density).
+//!
+//! Usage: `figure1 [--smoke]`
+
+use certnn_bench::figure1::{run_figure1, Figure1Config};
+use certnn_bench::write_report;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        Figure1Config::smoke_test()
+    } else {
+        Figure1Config::default()
+    };
+    match run_figure1(&config) {
+        Ok(fig) => {
+            let text = fig.to_text();
+            print!("{text}");
+            match write_report("figure1.txt", &text) {
+                Ok(path) => println!("\nwritten to {}", path.display()),
+                Err(e) => eprintln!("could not write report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Reproduces the paper's fleet observation: networks trained on the same
+//! data do not all satisfy the safety property.
+//!
+//! Usage: `fleet [--smoke]`
+
+use certnn_bench::write_report;
+use certnn_core::fleet::{run_fleet, FleetConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        FleetConfig::smoke_test()
+    } else {
+        FleetConfig::default()
+    };
+    println!(
+        "training and verifying a fleet of {} I{}x{} predictors...\n",
+        config.fleet_size,
+        config.hidden.len(),
+        config.hidden[0]
+    );
+    match run_fleet(&config) {
+        Ok(result) => {
+            let table = result.to_table();
+            print!("{table}");
+            match write_report("fleet.txt", &table) {
+                Ok(path) => println!("\nwritten to {}", path.display()),
+                Err(e) => eprintln!("could not write report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates the hints ablation (paper Sec. IV (iii)).
+//!
+//! Usage: `hints_ablation [--smoke]`
+
+use certnn_bench::hints::{run_hints_ablation, HintsConfig};
+use certnn_bench::write_report;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        HintsConfig::smoke_test()
+    } else {
+        HintsConfig::default()
+    };
+    match run_hints_ablation(&config) {
+        Ok(result) => {
+            let table = result.to_table();
+            print!("{table}");
+            match write_report("hints_ablation.txt", &table) {
+                Ok(path) => println!("\nwritten to {}", path.display()),
+                Err(e) => eprintln!("could not write report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

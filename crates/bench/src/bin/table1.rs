@@ -1,0 +1,13 @@
+//! Regenerates Table I (the certification-concept matrix).
+
+use certnn_bench::write_report;
+use certnn_core::pillars::render_matrix;
+
+fn main() {
+    let table = render_matrix();
+    print!("{table}");
+    match write_report("table1.txt", &table) {
+        Ok(path) => println!("\nwritten to {}", path.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+}

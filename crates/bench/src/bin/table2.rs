@@ -1,0 +1,64 @@
+//! Regenerates Table II (verification of `I4×N` motion predictors).
+//!
+//! Usage:
+//!
+//! ```text
+//! table2 [--widths 10,20,25,40,50,60] [--time-limit 120] [--epochs 25] [--smoke]
+//! ```
+//!
+//! `--smoke` runs the seconds-scale variant used by the integration tests.
+
+use certnn_bench::table2::{run_table2, Table2Config};
+use certnn_bench::write_report;
+use std::time::Duration;
+
+fn main() {
+    let mut config = Table2Config::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => config = Table2Config::smoke_test(),
+            "--widths" => {
+                i += 1;
+                config.widths = args[i]
+                    .split(',')
+                    .map(|w| w.parse().expect("width must be an integer"))
+                    .collect();
+            }
+            "--time-limit" => {
+                i += 1;
+                let secs: u64 = args[i].parse().expect("time limit in seconds");
+                config.time_limit = Duration::from_secs(secs);
+            }
+            "--epochs" => {
+                i += 1;
+                config.epochs = args[i].parse().expect("epochs must be an integer");
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!(
+        "running Table II: widths {:?}, time limit {:?}, {} epochs",
+        config.widths, config.time_limit, config.epochs
+    );
+    match run_table2(&config) {
+        Ok(result) => {
+            let table = result.to_table();
+            print!("{table}");
+            match write_report("table2.txt", &table) {
+                Ok(path) => println!("\nwritten to {}", path.display()),
+                Err(e) => eprintln!("could not write report: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

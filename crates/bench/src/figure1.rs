@@ -1,0 +1,182 @@
+//! Figure 1: simulation snapshot and the predictor's action distribution.
+//!
+//! The paper's figure shows (left) the simulated highway around the ego
+//! vehicle and (right) the Gaussian mixture the predictor outputs over
+//! (lateral velocity × longitudinal acceleration). [`run_figure1`] trains
+//! a small predictor, advances a simulation to an interesting moment, and
+//! renders both panels as ASCII.
+
+use certnn_core::CoreError;
+use certnn_datacheck::highway::highway_validator;
+use certnn_nn::gmm::{Gmm2, OutputLayout};
+use certnn_nn::loss::GmmNll;
+use certnn_nn::network::Network;
+use certnn_nn::train::{Dataset, TrainConfig, Trainer};
+use certnn_sim::features::{FeatureExtractor, FEATURE_COUNT};
+use certnn_sim::render::{render_density, render_scene};
+use certnn_sim::road::Road;
+use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
+use certnn_sim::simulation::Simulation;
+
+/// Configuration of the Figure 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Figure1Config {
+    /// Hidden widths of the predictor.
+    pub hidden: Vec<usize>,
+    /// Mixture components.
+    pub mixture_components: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Seconds to advance the display simulation before the snapshot.
+    pub snapshot_time: f64,
+    /// Traffic size of the display simulation.
+    pub vehicles: usize,
+    /// Seed for everything.
+    pub seed: u64,
+}
+
+impl Default for Figure1Config {
+    fn default() -> Self {
+        Self {
+            hidden: vec![16, 16],
+            mixture_components: 2,
+            epochs: 20,
+            snapshot_time: 25.0,
+            vehicles: 18,
+            seed: 3,
+        }
+    }
+}
+
+impl Figure1Config {
+    /// Seconds-scale configuration for tests.
+    pub fn smoke_test() -> Self {
+        Self {
+            hidden: vec![8],
+            mixture_components: 1,
+            epochs: 4,
+            snapshot_time: 5.0,
+            vehicles: 10,
+            seed: 3,
+        }
+    }
+}
+
+/// The two rendered panels plus the decoded mixture.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// Left panel: top-down scene around the ego vehicle.
+    pub scene: String,
+    /// Right panel: predicted action density over
+    /// (lateral velocity, longitudinal acceleration).
+    pub density: String,
+    /// The decoded mixture at the snapshot.
+    pub gmm: Gmm2,
+    /// Suggested action: mixture mean `(v_lat, a_lon)`.
+    pub suggestion: [f64; 2],
+}
+
+impl Figure1 {
+    /// Both panels side by side with a caption, ready to print.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("FIGURE 1 — simulation of the vehicle (left) and the motion suggested by the neural network (right)\n\n");
+        s.push_str(&self.scene);
+        s.push_str("\npredicted action density  (x: lateral velocity m/s, y: longitudinal accel m/s²)\n");
+        s.push_str(&self.density);
+        s.push_str(&format!(
+            "\nsuggestion: lateral velocity {:+.3} m/s, acceleration {:+.3} m/s²\n",
+            self.suggestion[0], self.suggestion[1]
+        ));
+        s.push_str(&format!("{}", self.gmm));
+        s
+    }
+}
+
+/// Trains a predictor and renders the figure.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if simulation or training fails.
+pub fn run_figure1(config: &Figure1Config) -> Result<Figure1, CoreError> {
+    // Train on curated data.
+    let scenario = ScenarioConfig {
+        vehicles: config.vehicles,
+        episode_seconds: 30.0,
+        warmup_seconds: 3.0,
+        sample_every: 5,
+        seeds: vec![config.seed, config.seed + 1],
+        exclude_risky: false,
+        ..ScenarioConfig::default()
+    };
+    let mut raw = generate_dataset(&scenario)?;
+    highway_validator(1.0).sanitize(&mut raw);
+    if raw.is_empty() {
+        return Err(CoreError::EmptyDataset);
+    }
+    let data = Dataset::from_samples(raw);
+    let layout = OutputLayout::new(config.mixture_components);
+    let loss = GmmNll::new(config.mixture_components);
+    let mut net = Network::relu_mlp(
+        FEATURE_COUNT,
+        &config.hidden,
+        layout.output_len(),
+        config.seed,
+    )?;
+    Trainer::new(TrainConfig {
+        epochs: config.epochs,
+        batch_size: 64,
+        seed: config.seed,
+        ..TrainConfig::default()
+    })
+    .train(&mut net, &data, &loss)?;
+
+    // Fresh simulation for the snapshot.
+    let mut sim = Simulation::random_traffic(Road::motorway(), config.vehicles, config.seed + 100)?;
+    sim.run(config.snapshot_time);
+    let features = FeatureExtractor::new().extract(&sim, sim.ego_id())?;
+    let output = net.forward(&features)?;
+    let gmm = Gmm2::from_output(&output, layout)?;
+
+    let scene = render_scene(&sim, 60.0);
+    // Gamma-correct the density for display: trained mixtures are very
+    // peaked, and linear shading would light a single cell.
+    let density = render_density(
+        |v_lat, a_lon| gmm.pdf([v_lat, a_lon]).powf(0.25),
+        (-3.0, 3.0),
+        (-4.0, 4.0),
+        61,
+        21,
+    );
+    let suggestion = gmm.mean();
+    Ok(Figure1 {
+        scene,
+        density,
+        gmm,
+        suggestion,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_figure_renders_both_panels() {
+        let fig = run_figure1(&Figure1Config::smoke_test()).unwrap();
+        assert!(fig.scene.contains('E'));
+        assert!(fig.density.lines().count() >= 21);
+        assert!(fig.suggestion.iter().all(|v| v.is_finite()));
+        let text = fig.to_text();
+        assert!(text.contains("FIGURE 1"));
+        assert!(text.contains("suggestion"));
+    }
+
+    #[test]
+    fn trained_suggestion_is_physically_plausible() {
+        let fig = run_figure1(&Figure1Config::smoke_test()).unwrap();
+        // Even a briefly trained predictor should suggest bounded actions.
+        assert!(fig.suggestion[0].abs() < 5.0);
+        assert!(fig.suggestion[1].abs() < 8.0);
+    }
+}

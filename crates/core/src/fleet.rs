@@ -1,0 +1,239 @@
+//! The paper's fleet observation: networks trained on the same data do
+//! not all satisfy the safety property.
+//!
+//! "Surprisingly, we have trained a couple of neural networks under the
+//! same data, but not all of them can guarantee the safety property."
+//! [`run_fleet`] reproduces this: it trains several predictors on one
+//! sanitized dataset — differing only in weight initialisation and
+//! shuffle order — verifies every one, and reports which satisfy the
+//! bound. The lesson is the paper's core argument for formal analysis:
+//! clean data alone does not certify the *function* the optimiser found.
+
+use crate::scenario::{left_vehicle_spec, max_lateral_velocity};
+use crate::CoreError;
+use certnn_datacheck::highway::highway_validator;
+use certnn_nn::gmm::OutputLayout;
+use certnn_nn::loss::GmmNll;
+use certnn_nn::network::Network;
+use certnn_nn::train::{Dataset, TrainConfig, Trainer};
+use certnn_sim::features::FEATURE_COUNT;
+use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
+use certnn_verify::verifier::{Verifier, VerifierOptions};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Configuration of the fleet experiment.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of networks to train (distinct seeds, same data).
+    pub fleet_size: usize,
+    /// Hidden widths of each network.
+    pub hidden: Vec<usize>,
+    /// Training epochs per network.
+    pub epochs: usize,
+    /// The safety bound each network must satisfy (m/s).
+    pub bound: f64,
+    /// Data-generation settings.
+    pub scenario: ScenarioConfig,
+    /// Per-network verification time limit.
+    pub time_limit: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            fleet_size: 6,
+            hidden: vec![10, 10],
+            epochs: 60,
+            bound: 3.0,
+            scenario: ScenarioConfig {
+                vehicles: 14,
+                episode_seconds: 25.0,
+                warmup_seconds: 3.0,
+                sample_every: 5,
+                seeds: vec![0, 1],
+                exclude_risky: false,
+                ..ScenarioConfig::default()
+            },
+            time_limit: Duration::from_secs(60),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Seconds-scale configuration for tests.
+    pub fn smoke_test() -> Self {
+        Self {
+            fleet_size: 3,
+            hidden: vec![6, 6],
+            epochs: 8,
+            bound: 1.5,
+            scenario: ScenarioConfig {
+                vehicles: 12,
+                episode_seconds: 10.0,
+                warmup_seconds: 1.0,
+                sample_every: 10,
+                seeds: vec![1],
+                exclude_risky: false,
+                ..ScenarioConfig::default()
+            },
+            time_limit: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One verified network of the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetMember {
+    /// Initialisation/shuffle seed of this member.
+    pub seed: u64,
+    /// Final training loss (identical data across members).
+    pub final_loss: f64,
+    /// Verified maximum lateral velocity, if the query closed.
+    pub verified_max: Option<f64>,
+    /// Whether this member satisfies the bound (`None` = undecided).
+    pub safe: Option<bool>,
+}
+
+/// Result of the fleet experiment.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-member outcomes, seed order.
+    pub members: Vec<FleetMember>,
+    /// The bound used.
+    pub bound: f64,
+    /// Training samples shared by all members.
+    pub samples: usize,
+}
+
+impl FleetResult {
+    /// Number of members proven safe.
+    pub fn safe_count(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| m.safe == Some(true))
+            .count()
+    }
+
+    /// Number of members proven unsafe.
+    pub fn unsafe_count(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| m.safe == Some(false))
+            .count()
+    }
+
+    /// Text table of the fleet.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "FLEET — {} networks, same {} samples, bound {} m/s",
+            self.members.len(),
+            self.samples,
+            self.bound
+        );
+        let _ = writeln!(
+            s,
+            "{:>6} {:>12} {:>22} {:>8}",
+            "seed", "final loss", "verified max (m/s)", "safe?"
+        );
+        for m in &self.members {
+            let v = m
+                .verified_max
+                .map(|v| format!("{v:.6}"))
+                .unwrap_or_else(|| "n.a.".into());
+            let safe = match m.safe {
+                Some(true) => "YES",
+                Some(false) => "no",
+                None => "?",
+            };
+            let _ = writeln!(s, "{:>6} {:>12.4} {:>22} {:>8}", m.seed, m.final_loss, v, safe);
+        }
+        let _ = writeln!(
+            s,
+            "=> {}/{} safe — identical data, different optimisation outcomes",
+            self.safe_count(),
+            self.members.len()
+        );
+        s
+    }
+}
+
+/// Runs the fleet experiment.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if data generation, training or verification
+/// fails structurally.
+pub fn run_fleet(config: &FleetConfig) -> Result<FleetResult, CoreError> {
+    let mut raw = generate_dataset(&config.scenario)?;
+    highway_validator(1.0).sanitize(&mut raw);
+    if raw.is_empty() {
+        return Err(CoreError::EmptyDataset);
+    }
+    let samples = raw.len();
+    let data = Dataset::from_samples(raw);
+    let layout = OutputLayout::new(1);
+    let loss = GmmNll::new(1);
+    let spec = left_vehicle_spec();
+    let verifier = Verifier::with_options(VerifierOptions {
+        time_limit: Some(config.time_limit),
+        ..VerifierOptions::default()
+    });
+
+    let mut members = Vec::with_capacity(config.fleet_size);
+    for i in 0..config.fleet_size {
+        let seed = 100 + i as u64;
+        let mut net =
+            Network::relu_mlp(FEATURE_COUNT, &config.hidden, layout.output_len(), seed)?;
+        let report = Trainer::new(TrainConfig {
+            epochs: config.epochs,
+            batch_size: 32,
+            seed,
+            weight_decay: 2e-4,
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &data, &loss)?;
+        let result = max_lateral_velocity(&verifier, &net, layout, &spec)?;
+        let safe = result.max_lateral.map(|v| v <= config.bound);
+        members.push(FleetMember {
+            seed,
+            final_loss: report.final_loss(),
+            verified_max: result.max_lateral,
+            safe,
+        });
+    }
+    Ok(FleetResult {
+        members,
+        bound: config.bound,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_members_differ_despite_identical_data() {
+        let result = run_fleet(&FleetConfig::smoke_test()).unwrap();
+        assert_eq!(result.members.len(), 3);
+        assert!(result.samples > 50);
+        // All tiny queries close.
+        let maxes: Vec<f64> = result
+            .members
+            .iter()
+            .map(|m| m.verified_max.expect("closes"))
+            .collect();
+        // Different initialisations give measurably different verified
+        // maxima — the paper's observation in miniature.
+        let spread = maxes.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - maxes.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 1e-4, "fleet collapsed to identical maxima: {maxes:?}");
+        assert_eq!(result.safe_count() + result.unsafe_count(), 3);
+        let table = result.to_table();
+        assert!(table.contains("FLEET"));
+        assert!(table.contains("safe"));
+    }
+}

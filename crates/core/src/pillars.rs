@@ -1,0 +1,150 @@
+//! Table I of the paper as typed data.
+//!
+//! "Extending the concept in certifying safety-critical systems to new
+//! opportunities brought by neural networks" — three certification
+//! pillars, each with its classical form and its ANN adaptation. The
+//! table is reproduced verbatim so the `certification_pipeline` example
+//! and the `table1` report can print it, and tests can pin its content.
+
+use std::fmt;
+
+/// Whether an adaptation adds a technique `(+)` or retires one `(−)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdaptationKind {
+    /// `(+)` — a new technique the methodology adds for ANNs.
+    Added,
+    /// `(−)` — a classical technique that stops working for ANNs.
+    Retired,
+}
+
+impl fmt::Display for AdaptationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdaptationKind::Added => "(+)",
+            AdaptationKind::Retired => "(−)",
+        })
+    }
+}
+
+/// One adaptation entry of a pillar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Adaptation {
+    /// Added or retired.
+    pub kind: AdaptationKind,
+    /// The technique.
+    pub technique: &'static str,
+}
+
+/// One certification pillar (row group of Table I).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pillar {
+    /// Pillar name.
+    pub name: &'static str,
+    /// The existing-standard practice.
+    pub existing_standard: &'static str,
+    /// The ANN adaptations.
+    pub adaptations: Vec<Adaptation>,
+    /// Which workspace crate operationalises this pillar.
+    pub implemented_by: &'static str,
+}
+
+/// The certification-concept matrix (Table I).
+pub fn certification_matrix() -> Vec<Pillar> {
+    vec![
+        Pillar {
+            name: "Implementation understandability",
+            existing_standard: "Fine-grained specification-to-code traceability",
+            adaptations: vec![Adaptation {
+                kind: AdaptationKind::Added,
+                technique: "Fine-grained neuron-to-feature traceability",
+            }],
+            implemented_by: "certnn-trace",
+        },
+        Pillar {
+            name: "Implementation correctness",
+            existing_standard:
+                "Verification based on testing and classical coverage criteria such as MC/DC",
+            adaptations: vec![
+                Adaptation {
+                    kind: AdaptationKind::Retired,
+                    technique: "coverage criteria such as MC/DC",
+                },
+                Adaptation {
+                    kind: AdaptationKind::Added,
+                    technique: "formal analysis against safety properties",
+                },
+            ],
+            implemented_by: "certnn-verify",
+        },
+        Pillar {
+            name: "Specification validity",
+            existing_standard:
+                "Validation via prototyping, design-time analysis, and product acceptance test",
+            adaptations: vec![Adaptation {
+                kind: AdaptationKind::Added,
+                technique: "Validating data as a new type of specification",
+            }],
+            implemented_by: "certnn-datacheck",
+        },
+    ]
+}
+
+/// Renders the matrix as a text table (the `table1` report artifact).
+pub fn render_matrix() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "TABLE I — extending safety-certification concepts to neural networks\n",
+    );
+    for p in certification_matrix() {
+        out.push_str(&format!("\n{}\n", p.name));
+        out.push_str(&format!("  existing standard: {}\n", p.existing_standard));
+        for a in &p.adaptations {
+            out.push_str(&format!("  adaptation for ANN: {} {}\n", a.kind, a.technique));
+        }
+        out.push_str(&format!("  implemented by: {}\n", p.implemented_by));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_three_pillars_in_paper_order() {
+        let m = certification_matrix();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].name, "Implementation understandability");
+        assert_eq!(m[1].name, "Implementation correctness");
+        assert_eq!(m[2].name, "Specification validity");
+    }
+
+    #[test]
+    fn correctness_pillar_retires_mcdc_and_adds_formal_analysis() {
+        let m = certification_matrix();
+        let correctness = &m[1];
+        assert_eq!(correctness.adaptations.len(), 2);
+        assert_eq!(correctness.adaptations[0].kind, AdaptationKind::Retired);
+        assert!(correctness.adaptations[0].technique.contains("MC/DC"));
+        assert_eq!(correctness.adaptations[1].kind, AdaptationKind::Added);
+        assert!(correctness.adaptations[1]
+            .technique
+            .contains("formal analysis"));
+    }
+
+    #[test]
+    fn every_pillar_maps_to_a_crate() {
+        for p in certification_matrix() {
+            assert!(p.implemented_by.starts_with("certnn-"));
+        }
+    }
+
+    #[test]
+    fn rendered_table_mentions_all_pillars_and_signs() {
+        let t = render_matrix();
+        assert!(t.contains("TABLE I"));
+        assert!(t.contains("neuron-to-feature"));
+        assert!(t.contains("(+)"));
+        assert!(t.contains("(−)"));
+    }
+}

@@ -1,0 +1,398 @@
+//! The end-to-end certification pipeline.
+//!
+//! One [`CertificationPipeline::run`] call walks the paper's methodology:
+//!
+//! 1. **Generate** raw driving data from the highway simulator.
+//! 2. **Validate & sanitize** it (specification validity, Sec. II (C)).
+//! 3. **Train** the Gaussian-mixture motion predictor, optionally with a
+//!    safety hint (Sec. IV (iii)).
+//! 4. **Trace** neurons to features (understandability, Sec. II (A)) and
+//!    measure ReLU branch coverage (the MC/DC discussion).
+//! 5. **Verify** the safety property with the MILP engine (correctness,
+//!    Sec. II (B) and Table II).
+
+use crate::scenario::{
+    left_vehicle_spec, max_lateral_velocity, prove_lateral_below, LateralVelocityResult,
+};
+use crate::CoreError;
+use certnn_datacheck::coverage::{highway_cells, measure_coverage, CoverageReport};
+use certnn_datacheck::highway::{highway_validator, left_present_feature};
+use certnn_datacheck::validator::AuditReport;
+use certnn_nn::gmm::{ActionDim, OutputLayout};
+use certnn_nn::hints::SafetyHint;
+use certnn_nn::loss::GmmNll;
+use certnn_nn::metrics::{evaluate_gmm, EvalMetrics};
+use certnn_nn::network::Network;
+use certnn_nn::train::{Dataset, TrainConfig, TrainReport, Trainer};
+use certnn_sim::features::FEATURE_COUNT;
+use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
+use certnn_trace::attribution::{correlation_attribution, TraceabilityReport};
+use certnn_trace::mcdc::{obligation_count, pattern_space_size, BranchCoverage};
+use certnn_verify::verifier::{Verdict, Verifier, VerifierOptions, VerifyStats};
+
+/// Configuration of a full certification run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Data-generation settings (run with `exclude_risky = false`; the
+    /// validator performs the curation, as the methodology demands).
+    pub scenario: ScenarioConfig,
+    /// Hidden ReLU widths (the paper's `I4×N` uses four equal widths).
+    pub hidden: Vec<usize>,
+    /// Gaussian-mixture components of the output head.
+    pub mixture_components: usize,
+    /// Training settings (hints are added by the pipeline when
+    /// `hint_weight > 0`).
+    pub train: TrainConfig,
+    /// Lateral-velocity cap (m/s) used by the data rule and the hint.
+    pub lateral_cap: f64,
+    /// Weight of the safety hint; `0` trains without hints.
+    pub hint_weight: f64,
+    /// Number of *virtual hint examples* (Abu-Mostafa 1995) sampled
+    /// uniformly from the property scenario and fed to the hint during
+    /// training. `0` applies hints to the training data only — which
+    /// rarely fires, since sanitized data already respects the rule;
+    /// virtual examples enforce it across the verified region.
+    pub hint_virtual_samples: usize,
+    /// Verifier settings.
+    pub verifier: VerifierOptions,
+    /// Weight-initialisation seed.
+    pub network_seed: u64,
+    /// Threshold of the decision query ("prove ≤ 3 m/s" in the paper).
+    pub proof_threshold: f64,
+}
+
+impl PipelineConfig {
+    /// A minutes-scale configuration approximating the case study:
+    /// `I4×width` networks on a few simulated episodes.
+    pub fn case_study(width: usize) -> Self {
+        Self {
+            scenario: ScenarioConfig {
+                exclude_risky: false,
+                ..ScenarioConfig::default()
+            },
+            hidden: vec![width; 4],
+            mixture_components: 2,
+            train: TrainConfig {
+                epochs: 60,
+                batch_size: 64,
+                weight_decay: 5e-4,
+                ..TrainConfig::default()
+            },
+            lateral_cap: 1.0,
+            hint_weight: 0.0,
+            hint_virtual_samples: 0,
+            verifier: VerifierOptions {
+                time_limit: Some(std::time::Duration::from_secs(180)),
+                ..VerifierOptions::default()
+            },
+            network_seed: 1,
+            proof_threshold: 3.0,
+        }
+    }
+
+    /// A seconds-scale configuration for tests and the quickstart example.
+    pub fn smoke_test() -> Self {
+        Self {
+            scenario: ScenarioConfig {
+                vehicles: 12,
+                episode_seconds: 10.0,
+                warmup_seconds: 1.0,
+                sample_every: 10,
+                seeds: vec![1],
+                exclude_risky: false,
+                ..ScenarioConfig::default()
+            },
+            hidden: vec![6, 6],
+            mixture_components: 1,
+            train: TrainConfig {
+                epochs: 15,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
+            lateral_cap: 1.0,
+            hint_weight: 0.0,
+            hint_virtual_samples: 0,
+            verifier: VerifierOptions::default(),
+            network_seed: 1,
+            proof_threshold: 3.0,
+        }
+    }
+}
+
+/// Everything a certification run produces.
+#[derive(Debug, Clone)]
+pub struct CertificationReport {
+    /// Audit of the raw data (pillar: specification validity).
+    pub audit: AuditReport,
+    /// Samples removed by sanitization.
+    pub removed: usize,
+    /// Samples used for training.
+    pub samples_used: usize,
+    /// Scenario coverage of the sanitized data (does the data exercise
+    /// the situations the property quantifies over?).
+    pub scenario_coverage: CoverageReport,
+    /// Training curve.
+    pub training: TrainReport,
+    /// Held-out evaluation metrics of the trained predictor.
+    pub metrics: EvalMetrics,
+    /// Neuron-to-feature traceability of the first hidden layer
+    /// (pillar: understandability).
+    pub traceability: TraceabilityReport,
+    /// ReLU branch coverage achieved by the training inputs.
+    pub branch_coverage: f64,
+    /// MC/DC obligations of the trained network.
+    pub obligations: u64,
+    /// Size of the branch-pattern space (`2^neurons`).
+    pub pattern_space: f64,
+    /// The Table II optimisation query (pillar: correctness).
+    pub lateral: LateralVelocityResult,
+    /// The Table II decision query verdict and its statistics.
+    pub proof: (Verdict, VerifyStats),
+    /// The trained network itself.
+    pub network: Network,
+    /// Mixture layout of the network's output head.
+    pub layout: OutputLayout,
+}
+
+impl CertificationReport {
+    /// Human-readable multi-line summary covering all three pillars.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "=== certification report for {} ===\n",
+            self.network.label()
+        ));
+        s.push_str(&format!(
+            "[validity]        raw samples {}, removed {}, trained on {}\n",
+            self.audit.total, self.removed, self.samples_used
+        ));
+        if let Some(left) = self.scenario_coverage.cells.first() {
+            s.push_str(&format!(
+                "[validity]        property-scenario coverage: {} samples with a vehicle abreast on the left ({:.1}%)\n",
+                left.count,
+                100.0 * left.fraction
+            ));
+        }
+        s.push_str(&format!(
+            "[statistical]     held-out RMSE {:.4}, lateral MAE {:.4}, mean NLL {:.3} ({} samples)\n",
+            self.metrics.rmse, self.metrics.lateral_mae, self.metrics.mean_nll, self.metrics.samples
+        ));
+        s.push_str(&format!(
+            "[understandable]  untraceable neurons: {:.0}%  branch coverage: {:.0}%  obligations: {}  pattern space: 2^{:.0}\n",
+            100.0 * self.traceability.untraceable_fraction(),
+            100.0 * self.branch_coverage,
+            self.obligations,
+            self.pattern_space.log2()
+        ));
+        match self.lateral.max_lateral {
+            Some(v) => s.push_str(&format!(
+                "[correctness]     max lateral velocity (vehicle on left): {v:.6} m/s in {:?} ({} nodes)\n",
+                self.lateral.stats.elapsed, self.lateral.stats.nodes
+            )),
+            None => s.push_str("[correctness]     max lateral velocity: query did not close\n"),
+        }
+        let verdict = match &self.proof.0 {
+            Verdict::Holds { bound } => format!("HOLDS (bound {bound:.4})"),
+            Verdict::Violated { value, .. } => format!("VIOLATED (witness value {value:.4})"),
+            Verdict::Unknown { upper_bound, .. } => format!("UNKNOWN (bound {upper_bound:.4})"),
+        };
+        s.push_str(&format!("[correctness]     property \"lateral ≤ threshold\": {verdict}\n"));
+        s
+    }
+}
+
+/// The orchestrator.
+#[derive(Debug, Clone)]
+pub struct CertificationPipeline {
+    config: PipelineConfig,
+}
+
+impl CertificationPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs all five stages and collects the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if any stage fails structurally (simulation,
+    /// training, verification) or the sanitized dataset is empty.
+    pub fn run(&self) -> Result<CertificationReport, CoreError> {
+        let cfg = &self.config;
+        let layout = OutputLayout::new(cfg.mixture_components);
+
+        // 1. Generate raw data.
+        let mut raw = generate_dataset(&cfg.scenario)?;
+
+        // 2. Validate and sanitize (specification validity).
+        let validator = highway_validator(cfg.lateral_cap);
+        let audit = validator.sanitize(&mut raw);
+        let removed = audit.total - raw.len();
+        if raw.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let samples_used = raw.len();
+        let scenario_coverage = measure_coverage(&raw, &highway_cells());
+        let inputs_only: Vec<certnn_linalg::Vector> =
+            raw.iter().map(|(x, _)| x.clone()).collect();
+        let (data, held_out) = Dataset::from_samples(raw).split(0.2);
+
+        // 3. Train.
+        let mut net = Network::relu_mlp(
+            FEATURE_COUNT,
+            &cfg.hidden,
+            layout.output_len(),
+            cfg.network_seed,
+        )?;
+        let loss = GmmNll::new(cfg.mixture_components);
+        let mut train_cfg = cfg.train.clone();
+        if cfg.hint_weight > 0.0 {
+            for k in 0..cfg.mixture_components {
+                train_cfg.hints.push(SafetyHint {
+                    guard_feature: left_present_feature(),
+                    guard_threshold: 0.5,
+                    output_index: layout.mean(k, ActionDim::LateralVelocity),
+                    max_value: cfg.lateral_cap,
+                    weight: cfg.hint_weight,
+                });
+            }
+            if cfg.hint_virtual_samples > 0 {
+                use rand::{rngs::StdRng, Rng, SeedableRng};
+                let spec = left_vehicle_spec();
+                let mut rng = StdRng::seed_from_u64(cfg.network_seed ^ 0x9e3779b9);
+                // Half the virtual examples are random box *corners*:
+                // piecewise-linear networks take their extreme values at
+                // vertices, so uniform interior samples alone rarely
+                // trigger the hint.
+                train_cfg.hint_inputs = (0..cfg.hint_virtual_samples)
+                    .map(|k| {
+                        let corner = k % 2 == 0;
+                        spec.bounds()
+                            .iter()
+                            .map(|iv| {
+                                if iv.width() == 0.0 {
+                                    iv.lo()
+                                } else if corner {
+                                    if rng.gen_bool(0.5) {
+                                        iv.lo()
+                                    } else {
+                                        iv.hi()
+                                    }
+                                } else {
+                                    rng.gen_range(iv.lo()..=iv.hi())
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+            }
+        }
+        let training = Trainer::new(train_cfg).train(&mut net, &data, &loss)?;
+        let eval_set = if held_out.is_empty() { &data } else { &held_out };
+        let metrics = evaluate_gmm(&net, eval_set, layout)?;
+
+        // 4. Traceability + coverage (understandability).
+        let trace_inputs: Vec<&certnn_linalg::Vector> =
+            inputs_only.iter().take(300).collect();
+        let traceability = correlation_attribution(
+            &net,
+            &inputs_only[..inputs_only.len().min(300)],
+            0,
+            5,
+        )?;
+        let coverage = BranchCoverage::measure(&net, trace_inputs)
+            .map_err(CoreError::from)?;
+
+        // 5. Verify (correctness).
+        let spec = left_vehicle_spec();
+        let verifier = Verifier::with_options(cfg.verifier);
+        let lateral = max_lateral_velocity(&verifier, &net, layout, &spec)?;
+        let proof = prove_lateral_below(&verifier, &net, layout, &spec, cfg.proof_threshold)?;
+
+        Ok(CertificationReport {
+            audit,
+            removed,
+            samples_used,
+            scenario_coverage,
+            training,
+            metrics,
+            traceability,
+            branch_coverage: coverage.coverage(),
+            obligations: obligation_count(&net),
+            pattern_space: pattern_space_size(&net),
+            lateral,
+            proof,
+            network: net,
+            layout,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_pipeline_produces_consistent_report() {
+        let report = CertificationPipeline::new(PipelineConfig::smoke_test())
+            .run()
+            .unwrap();
+        // Validity stage saw data and kept most of it.
+        assert!(report.audit.total > 100);
+        assert!(report.samples_used > 0);
+        assert_eq!(report.removed, report.audit.total - report.samples_used);
+        // Training ran all epochs; evaluation happened on held-out data.
+        assert_eq!(report.training.epoch_losses.len(), 15);
+        assert!(report.metrics.samples > 0);
+        assert!(report.metrics.rmse.is_finite());
+        // The property scenario is represented in the data.
+        assert_eq!(
+            report.scenario_coverage.cells[0].name,
+            "vehicle abreast on the left"
+        );
+        // Coverage and obligations describe a 12-neuron ReLU network.
+        assert_eq!(report.obligations, 24);
+        assert_eq!(report.pattern_space, 2f64.powi(12));
+        assert!(report.branch_coverage > 0.0 && report.branch_coverage <= 1.0);
+        // Verification closed exactly on this tiny network.
+        assert!(report.lateral.is_exact());
+        let max = report.lateral.max_lateral.unwrap();
+        // Verdict must agree with the computed maximum.
+        match &report.proof.0 {
+            Verdict::Holds { .. } => assert!(max <= 3.0 + 1e-6),
+            Verdict::Violated { value, .. } => {
+                assert!(max > 3.0 - 1e-6);
+                assert!(*value > 3.0);
+            }
+            Verdict::Unknown { .. } => panic!("tiny query must close"),
+        }
+        // Summary renders all pillar lines.
+        let s = report.summary();
+        assert!(s.contains("[validity]"));
+        assert!(s.contains("[understandable]"));
+        assert!(s.contains("[correctness]"));
+    }
+
+    #[test]
+    fn hint_configuration_adds_hints() {
+        let mut cfg = PipelineConfig::smoke_test();
+        cfg.hint_weight = 5.0;
+        cfg.mixture_components = 2;
+        // Just construct and run a shortened training to confirm the
+        // plumbing (hints are per component).
+        cfg.train.epochs = 2;
+        let report = CertificationPipeline::new(cfg).run().unwrap();
+        assert!(report
+            .training
+            .epoch_hint_penalties
+            .iter()
+            .all(|p| p.is_finite()));
+    }
+}

@@ -1,0 +1,194 @@
+//! Scenario-coverage statistics of a dataset.
+//!
+//! Validating data as a specification (paper Sec. II (C)) is not only
+//! about *excluding* bad samples — the data must also *cover* the
+//! situations the property quantifies over. A predictor verified for
+//! "vehicle on the left" scenarios that never saw such a scenario in
+//! training is formally safe but behaviourally arbitrary there. This
+//! module measures how well a dataset covers declared scenario cells.
+
+use certnn_linalg::Vector;
+use std::fmt;
+
+/// Boxed predicate over one `(input, target)` sample.
+pub type SamplePredicate = Box<dyn Fn(&Vector, &Vector) -> bool + Send + Sync>;
+
+/// A named predicate over `(input, target)` samples defining one
+/// scenario cell.
+pub struct ScenarioCell {
+    name: String,
+    predicate: SamplePredicate,
+}
+
+impl ScenarioCell {
+    /// Creates a cell from a name and predicate.
+    pub fn new<F>(name: &str, predicate: F) -> Self
+    where
+        F: Fn(&Vector, &Vector) -> bool + Send + Sync + 'static,
+    {
+        Self {
+            name: name.to_string(),
+            predicate: Box::new(predicate),
+        }
+    }
+
+    /// The cell's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Debug for ScenarioCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScenarioCell").field("name", &self.name).finish()
+    }
+}
+
+/// Coverage of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellCoverage {
+    /// Cell name.
+    pub name: String,
+    /// Samples falling into the cell.
+    pub count: usize,
+    /// Fraction of the dataset in the cell.
+    pub fraction: f64,
+}
+
+/// Coverage report over all declared cells.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoverageReport {
+    /// Per-cell coverage, declaration order.
+    pub cells: Vec<CellCoverage>,
+    /// Total samples inspected.
+    pub total: usize,
+}
+
+impl CoverageReport {
+    /// Cells with fewer than `min_count` samples — the under-covered
+    /// scenarios a certification reviewer should flag.
+    pub fn under_covered(&self, min_count: usize) -> Vec<&CellCoverage> {
+        self.cells.iter().filter(|c| c.count < min_count).collect()
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario coverage over {} samples:", self.total)?;
+        for c in &self.cells {
+            writeln!(f, "  {:<32} {:>7} ({:>5.1}%)", c.name, c.count, 100.0 * c.fraction)?;
+        }
+        Ok(())
+    }
+}
+
+/// Measures how a dataset covers the given scenario cells.
+pub fn measure_coverage(
+    data: &[(Vector, Vector)],
+    cells: &[ScenarioCell],
+) -> CoverageReport {
+    let total = data.len();
+    let cells = cells
+        .iter()
+        .map(|cell| {
+            let count = data
+                .iter()
+                .filter(|(x, y)| (cell.predicate)(x, y))
+                .count();
+            CellCoverage {
+                name: cell.name.clone(),
+                count,
+                fraction: if total > 0 {
+                    count as f64 / total as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    CoverageReport { cells, total }
+}
+
+/// The highway case study's scenario cells, wired to the `certnn-sim`
+/// feature layout.
+pub fn highway_cells() -> Vec<ScenarioCell> {
+    use certnn_sim::features::{slot_index, Orientation, SlotFeature};
+    let left = slot_index(Orientation::SideLeft, SlotFeature::Present);
+    let right = slot_index(Orientation::SideRight, SlotFeature::Present);
+    let front = slot_index(Orientation::FrontSame, SlotFeature::Present);
+    vec![
+        ScenarioCell::new("vehicle abreast on the left", move |x, _| x[left] >= 0.5),
+        ScenarioCell::new("vehicle abreast on the right", move |x, _| x[right] >= 0.5),
+        ScenarioCell::new("leader in own lane", move |x, _| x[front] >= 0.5),
+        ScenarioCell::new("free road (no neighbours)", move |x, _| {
+            x[left] < 0.5 && x[right] < 0.5 && x[front] < 0.5
+        }),
+        ScenarioCell::new("lane change commanded", |_, y| y[0].abs() > 0.5),
+        ScenarioCell::new("hard braking", |_, y| y[1] < -1.5),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
+
+    #[test]
+    fn coverage_counts_are_exact() {
+        let data = vec![
+            (Vector::from(vec![1.0]), Vector::from(vec![0.0])),
+            (Vector::from(vec![0.0]), Vector::from(vec![0.0])),
+            (Vector::from(vec![1.0]), Vector::from(vec![0.0])),
+        ];
+        let cells = vec![ScenarioCell::new("flag set", |x, _| x[0] >= 0.5)];
+        let report = measure_coverage(&data, &cells);
+        assert_eq!(report.total, 3);
+        assert_eq!(report.cells[0].count, 2);
+        assert!((report.cells[0].fraction - 2.0 / 3.0).abs() < 1e-12);
+        assert!(report.to_string().contains("flag set"));
+    }
+
+    #[test]
+    fn under_covered_cells_flagged() {
+        let data = vec![(Vector::from(vec![0.0]), Vector::from(vec![0.0]))];
+        let cells = vec![
+            ScenarioCell::new("never", |_, _| false),
+            ScenarioCell::new("always", |_, _| true),
+        ];
+        let report = measure_coverage(&data, &cells);
+        let under = report.under_covered(1);
+        assert_eq!(under.len(), 1);
+        assert_eq!(under[0].name, "never");
+    }
+
+    #[test]
+    fn empty_dataset_has_zero_fractions() {
+        let report = measure_coverage(&[], &highway_cells());
+        assert_eq!(report.total, 0);
+        assert!(report.cells.iter().all(|c| c.fraction == 0.0));
+    }
+
+    #[test]
+    fn simulator_data_covers_the_property_scenario() {
+        let cfg = ScenarioConfig {
+            vehicles: 16,
+            episode_seconds: 15.0,
+            warmup_seconds: 2.0,
+            sample_every: 5,
+            seeds: vec![2, 3],
+            ..Default::default()
+        };
+        let data = generate_dataset(&cfg).unwrap();
+        let report = measure_coverage(&data, &highway_cells());
+        // The cell the safety property quantifies over must be populated.
+        let left = &report.cells[0];
+        assert_eq!(left.name, "vehicle abreast on the left");
+        assert!(
+            left.count > 10,
+            "training data barely covers the property scenario: {}",
+            left.count
+        );
+        // And there must be leaders (car-following situations).
+        assert!(report.cells[2].fraction > 0.3);
+    }
+}

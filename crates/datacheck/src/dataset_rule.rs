@@ -1,0 +1,260 @@
+//! Whole-dataset validation rules.
+//!
+//! [`crate::rule::Rule`] checks one sample at a time; some data-validity
+//! requirements are only meaningful over the *entire* set — duplicated
+//! samples inflate apparent coverage, constant features silently shrink
+//! the specification, and contradictory labels make the regression target
+//! ill-posed. These are exactly the "implicit specification" hazards the
+//! paper's Sec. II (C) warns about.
+
+use certnn_linalg::Vector;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A finding of a dataset-level rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetFinding {
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Sample indices involved (may be empty for global findings).
+    pub samples: Vec<usize>,
+}
+
+impl fmt::Display for DatasetFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.message)
+    }
+}
+
+/// A rule over a whole dataset.
+pub trait DatasetRule: Send + Sync {
+    /// Stable rule name.
+    fn name(&self) -> &str;
+
+    /// Inspects the dataset; returns all findings.
+    fn check(&self, data: &[(Vector, Vector)]) -> Vec<DatasetFinding>;
+}
+
+/// Hashable key for an f64 slice (bitwise; NaN-free data assumed — pair
+/// with [`crate::rule::FiniteRule`]).
+fn key(v: &Vector) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Flags exactly duplicated `(input, target)` samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DuplicateRule;
+
+impl DatasetRule for DuplicateRule {
+    fn name(&self) -> &str {
+        "duplicates"
+    }
+
+    fn check(&self, data: &[(Vector, Vector)]) -> Vec<DatasetFinding> {
+        let mut seen: HashMap<(Vec<u64>, Vec<u64>), usize> = HashMap::new();
+        let mut findings = Vec::new();
+        for (i, (x, y)) in data.iter().enumerate() {
+            let k = (key(x), key(y));
+            match seen.get(&k) {
+                Some(&first) => findings.push(DatasetFinding {
+                    rule: self.name().to_string(),
+                    message: format!("sample {i} duplicates sample {first}"),
+                    samples: vec![first, i],
+                }),
+                None => {
+                    seen.insert(k, i);
+                }
+            }
+        }
+        findings
+    }
+}
+
+/// Flags input features that are constant across the whole dataset —
+/// the trained network cannot depend on them, yet the verified input
+/// box may still leave them free, silently widening the property.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantFeatureRule {
+    /// Maximum spread still considered constant.
+    pub tolerance: f64,
+}
+
+impl Default for ConstantFeatureRule {
+    fn default() -> Self {
+        Self { tolerance: 1e-12 }
+    }
+}
+
+impl DatasetRule for ConstantFeatureRule {
+    fn name(&self) -> &str {
+        "constant-feature"
+    }
+
+    fn check(&self, data: &[(Vector, Vector)]) -> Vec<DatasetFinding> {
+        let Some((first, _)) = data.first() else {
+            return Vec::new();
+        };
+        let n = first.len();
+        let mut lo = first.clone();
+        let mut hi = first.clone();
+        for (x, _) in data.iter().skip(1) {
+            for f in 0..n.min(x.len()) {
+                lo[f] = lo[f].min(x[f]);
+                hi[f] = hi[f].max(x[f]);
+            }
+        }
+        (0..n)
+            .filter(|&f| hi[f] - lo[f] <= self.tolerance)
+            .map(|f| DatasetFinding {
+                rule: self.name().to_string(),
+                message: format!("feature {f} is constant at {}", lo[f]),
+                samples: Vec::new(),
+            })
+            .collect()
+    }
+}
+
+/// Flags contradictory labels: identical inputs mapped to targets that
+/// differ by more than `tolerance` in some component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContradictionRule {
+    /// Maximum target disagreement allowed for identical inputs.
+    pub tolerance: f64,
+}
+
+impl Default for ContradictionRule {
+    fn default() -> Self {
+        Self { tolerance: 1e-6 }
+    }
+}
+
+impl DatasetRule for ContradictionRule {
+    fn name(&self) -> &str {
+        "contradiction"
+    }
+
+    fn check(&self, data: &[(Vector, Vector)]) -> Vec<DatasetFinding> {
+        let mut by_input: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut findings = Vec::new();
+        for (i, (x, y)) in data.iter().enumerate() {
+            let k = key(x);
+            match by_input.get(&k) {
+                Some(&first) => {
+                    let (_, y0) = &data[first];
+                    let disagrees = y0
+                        .iter()
+                        .zip(y.iter())
+                        .any(|(a, b)| (a - b).abs() > self.tolerance)
+                        || y0.len() != y.len();
+                    if disagrees {
+                        findings.push(DatasetFinding {
+                            rule: self.name().to_string(),
+                            message: format!(
+                                "samples {first} and {i} share an input but disagree on the target"
+                            ),
+                            samples: vec![first, i],
+                        });
+                    }
+                }
+                None => {
+                    by_input.insert(k, i);
+                }
+            }
+        }
+        findings
+    }
+}
+
+/// Runs a set of dataset-level rules and collects all findings.
+pub fn audit_dataset(
+    data: &[(Vector, Vector)],
+    rules: &[Box<dyn DatasetRule>],
+) -> Vec<DatasetFinding> {
+    rules.iter().flat_map(|r| r.check(data)).collect()
+}
+
+/// The standard dataset-level rule set.
+pub fn standard_dataset_rules() -> Vec<Box<dyn DatasetRule>> {
+    vec![
+        Box::new(DuplicateRule),
+        Box::new(ConstantFeatureRule::default()),
+        Box::new(ContradictionRule::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(xs: &[f64]) -> Vector {
+        Vector::from(xs.to_vec())
+    }
+
+    #[test]
+    fn duplicates_found_with_original_index() {
+        let data = vec![
+            (v(&[1.0, 2.0]), v(&[0.0])),
+            (v(&[3.0, 4.0]), v(&[1.0])),
+            (v(&[1.0, 2.0]), v(&[0.0])),
+        ];
+        let f = DuplicateRule.check(&data);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].samples, vec![0, 2]);
+    }
+
+    #[test]
+    fn same_input_different_target_is_not_a_duplicate() {
+        let data = vec![
+            (v(&[1.0]), v(&[0.0])),
+            (v(&[1.0]), v(&[5.0])),
+        ];
+        assert!(DuplicateRule.check(&data).is_empty());
+        // But it *is* a contradiction.
+        let c = ContradictionRule::default().check(&data);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].samples, vec![0, 1]);
+    }
+
+    #[test]
+    fn constant_features_detected() {
+        let data = vec![
+            (v(&[1.0, 7.0]), v(&[0.0])),
+            (v(&[2.0, 7.0]), v(&[0.0])),
+            (v(&[3.0, 7.0]), v(&[0.0])),
+        ];
+        let f = ConstantFeatureRule::default().check(&data);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("feature 1"));
+    }
+
+    #[test]
+    fn near_identical_targets_tolerated() {
+        let data = vec![
+            (v(&[1.0]), v(&[0.5])),
+            (v(&[1.0]), v(&[0.5 + 1e-9])),
+        ];
+        assert!(ContradictionRule::default().check(&data).is_empty());
+    }
+
+    #[test]
+    fn standard_rules_run_together() {
+        let data = vec![
+            (v(&[1.0, 2.0]), v(&[0.0])),
+            (v(&[1.0, 2.0]), v(&[0.0])), // duplicate
+            (v(&[1.0, 2.0]), v(&[9.0])), // contradiction (vs 0 and 1)
+        ];
+        let findings = audit_dataset(&data, &standard_dataset_rules());
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"duplicates"));
+        assert!(rules.contains(&"contradiction"));
+        assert!(rules.contains(&"constant-feature")); // both features constant
+        assert!(findings.iter().all(|f| !f.to_string().is_empty()));
+    }
+
+    #[test]
+    fn empty_dataset_is_clean() {
+        assert!(audit_dataset(&[], &standard_dataset_rules()).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! The highway case study's rule set.
+//!
+//! Wires the generic rules of [`crate::rule`] to the concrete feature
+//! layout of `certnn-sim`: the guard is the *vehicle abreast on the left*
+//! flag, the capped target is the commanded lateral velocity — exactly
+//! the data-validity requirement the paper states before verification
+//! ("we validated that the training data never contains such inputs").
+
+use crate::rule::{FiniteRule, GuardedCapRule, InputBoundsRule, TargetRangeRule};
+use crate::validator::Validator;
+use certnn_sim::features::{slot_index, FeatureExtractor, Orientation, SlotFeature};
+
+/// Index of the "vehicle abreast on the left" flag in the feature vector.
+pub fn left_present_feature() -> usize {
+    slot_index(Orientation::SideLeft, SlotFeature::Present)
+}
+
+/// Index of the lateral-velocity component in the action target.
+pub const TARGET_LATERAL: usize = 0;
+
+/// Index of the longitudinal-acceleration component in the action target.
+pub const TARGET_ACCEL: usize = 1;
+
+/// Builds the full highway validation rule set.
+///
+/// * samples must be finite,
+/// * inputs must lie in the physical feature box,
+/// * actions must be physically plausible (|v_lat| ≤ 4 m/s, |a| ≤ 6 m/s²),
+/// * and the safety rule: with a vehicle abreast on the left, the
+///   commanded lateral velocity must stay below `lateral_cap` (m/s).
+pub fn highway_validator(lateral_cap: f64) -> Validator {
+    Validator::new()
+        .with_rule(FiniteRule)
+        .with_rule(InputBoundsRule::new(FeatureExtractor::bounds(), 1e-6))
+        .with_rule(TargetRangeRule {
+            index: TARGET_LATERAL,
+            lo: -4.0,
+            hi: 4.0,
+        })
+        .with_rule(TargetRangeRule {
+            index: TARGET_ACCEL,
+            lo: -6.0,
+            hi: 6.0,
+        })
+        .with_rule(GuardedCapRule {
+            guard_feature: left_present_feature(),
+            guard_threshold: 0.5,
+            target_index: TARGET_LATERAL,
+            cap: lateral_cap,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Vector;
+    use certnn_sim::features::FEATURE_COUNT;
+    use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
+
+    fn neutral_input() -> Vector {
+        // All-zero features are inside every declared bound.
+        Vector::zeros(FEATURE_COUNT)
+    }
+
+    #[test]
+    fn curated_simulator_data_is_clean() {
+        let cfg = ScenarioConfig {
+            vehicles: 12,
+            episode_seconds: 8.0,
+            warmup_seconds: 1.0,
+            sample_every: 10,
+            seeds: vec![3],
+            ..Default::default()
+        };
+        let data = generate_dataset(&cfg).unwrap();
+        let report = highway_validator(1.0).audit(&data);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn risky_sample_is_caught() {
+        let mut x = neutral_input();
+        x[left_present_feature()] = 1.0;
+        let y = Vector::from(vec![1.4, 0.0]); // strong left command
+        let report = highway_validator(1.0).audit(&[(x, y)]);
+        assert!(!report.is_clean());
+        assert_eq!(report.by_rule["guarded-cap"], 1);
+    }
+
+    #[test]
+    fn same_action_without_left_vehicle_is_fine() {
+        let x = neutral_input();
+        let y = Vector::from(vec![1.4, 0.0]);
+        let report = highway_validator(1.0).audit(&[(x, y)]);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn out_of_box_feature_is_caught() {
+        let mut x = neutral_input();
+        x[0] = 9.0; // speed history way above the physical range
+        let y = Vector::from(vec![0.0, 0.0]);
+        let report = highway_validator(1.0).audit(&[(x, y)]);
+        assert_eq!(report.by_rule["input-bounds"], 1);
+    }
+
+    #[test]
+    fn implausible_action_is_caught() {
+        let x = neutral_input();
+        let y = Vector::from(vec![0.0, 30.0]); // 30 m/s² acceleration
+        let report = highway_validator(1.0).audit(&[(x, y)]);
+        assert_eq!(report.by_rule["target-range"], 1);
+    }
+
+    #[test]
+    fn sanitizing_raw_simulator_data_yields_clean_set() {
+        let cfg = ScenarioConfig {
+            vehicles: 14,
+            episode_seconds: 15.0,
+            warmup_seconds: 1.0,
+            sample_every: 5,
+            seeds: vec![5, 6],
+            exclude_risky: false, // raw, uncurated
+            ..Default::default()
+        };
+        let mut data = generate_dataset(&cfg).unwrap();
+        let v = highway_validator(1.0);
+        let before = v.audit(&data);
+        v.sanitize(&mut data);
+        let after = v.audit(&data);
+        assert!(after.is_clean());
+        assert!(before.total >= after.total);
+    }
+}

@@ -1,0 +1,39 @@
+//! Specification validity: validating training data as a new kind of
+//! specification (the paper's Sec. II (C)).
+//!
+//! For ANN-based systems "the specification refers to a combination of
+//! data [...] as well as classical specifications". The data part is
+//! implicit, so before training one must "check the validity of the data,
+//! to ensure that only sanitized data will be used in training" — e.g.
+//! "no data containing risky driving has been introduced for training the
+//! maneuver of vehicles."
+//!
+//! * [`rule::Rule`] — a declarative check over one `(input, target)`
+//!   sample; the crate ships generic rules (finiteness, bounds, target
+//!   ranges) and the guarded-cap rule behind the case study.
+//! * [`validator::Validator`] — audits a dataset into an
+//!   [`validator::AuditReport`] and sanitizes it (removing violators).
+//! * [`highway`] — the rule set of the highway case study, wired to the
+//!   `certnn-sim` feature layout.
+//!
+//! # Example
+//!
+//! ```
+//! use certnn_datacheck::rule::{FiniteRule, Rule};
+//! use certnn_linalg::Vector;
+//!
+//! let rule = FiniteRule;
+//! let ok = (Vector::from(vec![1.0]), Vector::from(vec![0.0]));
+//! let bad = (Vector::from(vec![f64::NAN]), Vector::from(vec![0.0]));
+//! assert!(rule.check(&ok.0, &ok.1).is_none());
+//! assert!(rule.check(&bad.0, &bad.1).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod dataset_rule;
+pub mod highway;
+pub mod rule;
+pub mod validator;

@@ -1,0 +1,242 @@
+//! Declarative per-sample validation rules.
+
+use certnn_linalg::{Interval, Vector};
+use std::fmt;
+
+/// A violation found by a rule on one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Name of the violated rule.
+    pub rule: String,
+    /// Human-readable description of what was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.message)
+    }
+}
+
+/// A validation rule over one `(input, target)` training sample.
+///
+/// Rules are object-safe so a [`Validator`](crate::validator::Validator)
+/// can hold a heterogeneous list.
+pub trait Rule: Send + Sync {
+    /// Stable rule name used in audit reports.
+    fn name(&self) -> &str;
+
+    /// Checks one sample; `None` means the sample passes.
+    fn check(&self, input: &Vector, target: &Vector) -> Option<Violation>;
+}
+
+/// Rejects samples containing NaN or infinite values anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FiniteRule;
+
+impl Rule for FiniteRule {
+    fn name(&self) -> &str {
+        "finite"
+    }
+
+    fn check(&self, input: &Vector, target: &Vector) -> Option<Violation> {
+        let bad_in = input.iter().position(|v| !v.is_finite());
+        let bad_t = target.iter().position(|v| !v.is_finite());
+        match (bad_in, bad_t) {
+            (Some(i), _) => Some(Violation {
+                rule: self.name().into(),
+                message: format!("input feature {i} is not finite"),
+            }),
+            (None, Some(i)) => Some(Violation {
+                rule: self.name().into(),
+                message: format!("target {i} is not finite"),
+            }),
+            (None, None) => None,
+        }
+    }
+}
+
+/// Requires every input feature to lie in its declared physical range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputBoundsRule {
+    bounds: Vec<Interval>,
+    tolerance: f64,
+}
+
+impl InputBoundsRule {
+    /// Creates a bounds rule with tolerance `tolerance`.
+    pub fn new(bounds: Vec<Interval>, tolerance: f64) -> Self {
+        Self { bounds, tolerance }
+    }
+}
+
+impl Rule for InputBoundsRule {
+    fn name(&self) -> &str {
+        "input-bounds"
+    }
+
+    fn check(&self, input: &Vector, _target: &Vector) -> Option<Violation> {
+        if input.len() != self.bounds.len() {
+            return Some(Violation {
+                rule: self.name().into(),
+                message: format!(
+                    "input has {} features, expected {}",
+                    input.len(),
+                    self.bounds.len()
+                ),
+            });
+        }
+        for (i, (&v, b)) in input.iter().zip(&self.bounds).enumerate() {
+            if !b.widened(self.tolerance).contains(v) {
+                return Some(Violation {
+                    rule: self.name().into(),
+                    message: format!("feature {i} = {v} outside {b}"),
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Requires a target component to lie in `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetRangeRule {
+    /// Target component index.
+    pub index: usize,
+    /// Minimum allowed value.
+    pub lo: f64,
+    /// Maximum allowed value.
+    pub hi: f64,
+}
+
+impl Rule for TargetRangeRule {
+    fn name(&self) -> &str {
+        "target-range"
+    }
+
+    fn check(&self, _input: &Vector, target: &Vector) -> Option<Violation> {
+        let v = target.get(self.index)?;
+        if v < self.lo || v > self.hi {
+            Some(Violation {
+                rule: self.name().into(),
+                message: format!(
+                    "target[{}] = {v} outside [{}, {}]",
+                    self.index, self.lo, self.hi
+                ),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// The case-study rule: when a guard feature fires, a target component
+/// must stay below a cap ("no risky driving in the training data").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardedCapRule {
+    /// Guard feature index.
+    pub guard_feature: usize,
+    /// Guard fires when the feature is at least this value.
+    pub guard_threshold: f64,
+    /// Capped target component.
+    pub target_index: usize,
+    /// Maximum allowed value under the guard.
+    pub cap: f64,
+}
+
+impl Rule for GuardedCapRule {
+    fn name(&self) -> &str {
+        "guarded-cap"
+    }
+
+    fn check(&self, input: &Vector, target: &Vector) -> Option<Violation> {
+        let guard = input.get(self.guard_feature)?;
+        if guard < self.guard_threshold {
+            return None;
+        }
+        let v = target.get(self.target_index)?;
+        if v > self.cap {
+            Some(Violation {
+                rule: self.name().into(),
+                message: format!(
+                    "guard feature {} active but target[{}] = {v} exceeds cap {}",
+                    self.guard_feature, self.target_index, self.cap
+                ),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(xs: Vec<f64>, ys: Vec<f64>) -> (Vector, Vector) {
+        (Vector::from(xs), Vector::from(ys))
+    }
+
+    #[test]
+    fn finite_rule_catches_nan_and_inf() {
+        let r = FiniteRule;
+        let (x, y) = sample(vec![1.0, f64::INFINITY], vec![0.0]);
+        assert!(r.check(&x, &y).is_some());
+        let (x, y) = sample(vec![1.0], vec![f64::NAN]);
+        let v = r.check(&x, &y).unwrap();
+        assert!(v.message.contains("target"));
+        let (x, y) = sample(vec![1.0], vec![0.0]);
+        assert!(r.check(&x, &y).is_none());
+    }
+
+    #[test]
+    fn bounds_rule_checks_each_feature() {
+        let r = InputBoundsRule::new(
+            vec![Interval::new(0.0, 1.0), Interval::new(-1.0, 1.0)],
+            1e-9,
+        );
+        let (x, y) = sample(vec![0.5, 0.0], vec![]);
+        assert!(r.check(&x, &y).is_none());
+        let (x, y) = sample(vec![1.5, 0.0], vec![]);
+        assert!(r.check(&x, &y).unwrap().message.contains("feature 0"));
+        let (x, y) = sample(vec![0.5], vec![]);
+        assert!(r.check(&x, &y).is_some()); // wrong arity
+    }
+
+    #[test]
+    fn target_range_rule() {
+        let r = TargetRangeRule {
+            index: 1,
+            lo: -2.0,
+            hi: 2.0,
+        };
+        let (x, y) = sample(vec![], vec![0.0, 1.5]);
+        assert!(r.check(&x, &y).is_none());
+        let (x, y) = sample(vec![], vec![0.0, 3.0]);
+        assert!(r.check(&x, &y).is_some());
+        // Missing component: rule cannot fire.
+        let (x, y) = sample(vec![], vec![0.0]);
+        assert!(r.check(&x, &y).is_none());
+    }
+
+    #[test]
+    fn guarded_cap_rule_matches_case_study_semantics() {
+        let r = GuardedCapRule {
+            guard_feature: 0,
+            guard_threshold: 0.5,
+            target_index: 0,
+            cap: 1.0,
+        };
+        // Guard off: anything goes.
+        let (x, y) = sample(vec![0.0], vec![5.0]);
+        assert!(r.check(&x, &y).is_none());
+        // Guard on, under cap: fine.
+        let (x, y) = sample(vec![1.0], vec![0.5]);
+        assert!(r.check(&x, &y).is_none());
+        // Guard on, over cap: violation.
+        let (x, y) = sample(vec![1.0], vec![2.0]);
+        let v = r.check(&x, &y).unwrap();
+        assert_eq!(v.rule, "guarded-cap");
+        assert!(v.to_string().contains("exceeds cap"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Dataset auditing and sanitization.
+
+use crate::rule::{Rule, Violation};
+use certnn_linalg::Vector;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Outcome of auditing a dataset against a rule set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditReport {
+    /// Number of samples inspected.
+    pub total: usize,
+    /// `(sample index, violation)` pairs, in dataset order.
+    pub violations: Vec<(usize, Violation)>,
+    /// Violation counts per rule name.
+    pub by_rule: BTreeMap<String, usize>,
+}
+
+impl AuditReport {
+    /// `true` if every sample passed every rule.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Indices of the offending samples (deduplicated, ascending).
+    pub fn offending_samples(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = self.violations.iter().map(|(i, _)| *i).collect();
+        idx.dedup();
+        idx
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit: {}/{} samples clean",
+            self.total - self.offending_samples().len(),
+            self.total
+        )?;
+        for (rule, count) in &self.by_rule {
+            writeln!(f, "  {rule}: {count} violations")?;
+        }
+        Ok(())
+    }
+}
+
+/// A rule set applied to whole datasets.
+///
+/// # Example
+///
+/// ```
+/// use certnn_datacheck::rule::FiniteRule;
+/// use certnn_datacheck::validator::Validator;
+/// use certnn_linalg::Vector;
+///
+/// let validator = Validator::new().with_rule(FiniteRule);
+/// let data = vec![(Vector::from(vec![1.0]), Vector::from(vec![2.0]))];
+/// assert!(validator.audit(&data).is_clean());
+/// ```
+#[derive(Default)]
+pub struct Validator {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl fmt::Debug for Validator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Validator")
+            .field(
+                "rules",
+                &self.rules.iter().map(|r| r.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Validator {
+    /// Creates an empty validator (all data passes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with_rule<R: Rule + 'static>(mut self, rule: R) -> Self {
+        self.rules.push(Box::new(rule));
+        self
+    }
+
+    /// Adds a boxed rule.
+    pub fn push_rule(&mut self, rule: Box<dyn Rule>) {
+        self.rules.push(rule);
+    }
+
+    /// Names of the configured rules.
+    pub fn rule_names(&self) -> Vec<&str> {
+        self.rules.iter().map(|r| r.name()).collect()
+    }
+
+    /// Audits every sample against every rule.
+    pub fn audit(&self, data: &[(Vector, Vector)]) -> AuditReport {
+        let mut report = AuditReport {
+            total: data.len(),
+            ..AuditReport::default()
+        };
+        for (i, (x, y)) in data.iter().enumerate() {
+            for rule in &self.rules {
+                if let Some(v) = rule.check(x, y) {
+                    *report.by_rule.entry(v.rule.clone()).or_insert(0) += 1;
+                    report.violations.push((i, v));
+                }
+            }
+        }
+        report
+    }
+
+    /// Removes every violating sample in place; returns the audit report
+    /// of the *original* data (so the caller can see what was removed).
+    pub fn sanitize(&self, data: &mut Vec<(Vector, Vector)>) -> AuditReport {
+        let report = self.audit(data);
+        let offenders: std::collections::BTreeSet<usize> =
+            report.offending_samples().into_iter().collect();
+        let mut i = 0;
+        data.retain(|_| {
+            let keep = !offenders.contains(&i);
+            i += 1;
+            keep
+        });
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{FiniteRule, GuardedCapRule};
+
+    fn sample(x: f64, y: f64) -> (Vector, Vector) {
+        (Vector::from(vec![x]), Vector::from(vec![y]))
+    }
+
+    fn validator() -> Validator {
+        Validator::new().with_rule(FiniteRule).with_rule(GuardedCapRule {
+            guard_feature: 0,
+            guard_threshold: 0.5,
+            target_index: 0,
+            cap: 1.0,
+        })
+    }
+
+    #[test]
+    fn clean_data_audits_clean() {
+        let data = vec![sample(0.0, 5.0), sample(1.0, 0.5)];
+        let report = validator().audit(&data);
+        assert!(report.is_clean());
+        assert_eq!(report.total, 2);
+    }
+
+    #[test]
+    fn violations_counted_per_rule() {
+        let data = vec![
+            sample(1.0, 2.0),          // guarded-cap
+            sample(f64::NAN, 0.0),     // finite
+            sample(1.0, 3.0),          // guarded-cap
+            sample(0.0, 9.0),          // clean (guard off)
+        ];
+        let report = validator().audit(&data);
+        assert_eq!(report.by_rule["guarded-cap"], 2);
+        assert_eq!(report.by_rule["finite"], 1);
+        assert_eq!(report.offending_samples(), vec![0, 1, 2]);
+        assert!(report.to_string().contains("guarded-cap"));
+    }
+
+    #[test]
+    fn sanitize_removes_only_offenders() {
+        let mut data = vec![
+            sample(1.0, 2.0),
+            sample(0.0, 9.0),
+            sample(f64::NAN, 0.0),
+            sample(1.0, 0.2),
+        ];
+        let report = validator().sanitize(&mut data);
+        assert_eq!(report.total, 4);
+        assert_eq!(data.len(), 2);
+        // Survivors are the clean ones, in order.
+        assert_eq!(data[0].1[0], 9.0);
+        assert_eq!(data[1].1[0], 0.2);
+    }
+
+    #[test]
+    fn sanitize_is_idempotent() {
+        let mut data = vec![sample(1.0, 2.0), sample(0.0, 1.0)];
+        let v = validator();
+        v.sanitize(&mut data);
+        let second = v.sanitize(&mut data);
+        assert!(second.is_clean());
+        assert_eq!(data.len(), 1);
+    }
+
+    #[test]
+    fn one_sample_can_violate_multiple_rules() {
+        let data = vec![(
+            Vector::from(vec![1.0]),
+            Vector::from(vec![f64::INFINITY]),
+        )];
+        // Infinity exceeds the cap and is non-finite.
+        let report = validator().audit(&data);
+        assert_eq!(report.violations.len(), 2);
+        assert_eq!(report.offending_samples(), vec![0]);
+    }
+
+    #[test]
+    fn rule_names_listed() {
+        assert_eq!(validator().rule_names(), vec!["finite", "guarded-cap"]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Random weight initialisation schemes.
+//!
+//! The schemes here match the classical recipes: uniform ranges scaled by
+//! fan-in/fan-out for Xavier/Glorot (suited to `tanh` layers) and fan-in for
+//! He (suited to ReLU layers). All functions are deterministic given the
+//! caller-supplied RNG, which keeps training — and therefore the entire
+//! Table II experiment — reproducible from a single seed.
+//!
+//! # Example
+//!
+//! ```
+//! use certnn_linalg::init::{self, Scheme};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let w = init::matrix(4, 8, Scheme::He, &mut rng);
+//! assert_eq!(w.shape(), (4, 8));
+//! ```
+
+use crate::{Matrix, Vector};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Weight initialisation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scheme {
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    ///
+    /// The classical choice for saturating activations such as `tanh`.
+    Xavier,
+    /// He uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+    ///
+    /// The classical choice for ReLU activations; default because the
+    /// paper's case-study networks are ReLU networks.
+    #[default]
+    He,
+    /// Plain uniform `U(-0.5, 0.5)`, independent of the layer shape.
+    Uniform,
+}
+
+impl Scheme {
+    /// Half-width of the sampling range for a layer with the given fan-in
+    /// and fan-out.
+    pub fn half_width(&self, fan_in: usize, fan_out: usize) -> f64 {
+        match self {
+            Scheme::Xavier => (6.0 / (fan_in + fan_out) as f64).sqrt(),
+            Scheme::He => (6.0 / fan_in.max(1) as f64).sqrt(),
+            Scheme::Uniform => 0.5,
+        }
+    }
+}
+
+/// Samples a `rows × cols` weight matrix (`rows` = fan-out, `cols` = fan-in).
+pub fn matrix<R: Rng + ?Sized>(rows: usize, cols: usize, scheme: Scheme, rng: &mut R) -> Matrix {
+    let a = scheme.half_width(cols, rows);
+    let dist = Uniform::new_inclusive(-a, a);
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+}
+
+/// Samples a bias vector of length `len` from `U(-a, a)` with the scheme's
+/// half-width computed for fan-in `fan_in`.
+pub fn bias<R: Rng + ?Sized>(len: usize, fan_in: usize, scheme: Scheme, rng: &mut R) -> Vector {
+    let a = scheme.half_width(fan_in, len);
+    let dist = Uniform::new_inclusive(-a, a);
+    (0..len).map(|_| dist.sample(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn half_widths_follow_formulas() {
+        assert!((Scheme::Xavier.half_width(3, 3) - 1.0).abs() < 1e-12);
+        assert!((Scheme::He.half_width(6, 10) - 1.0).abs() < 1e-12);
+        assert_eq!(Scheme::Uniform.half_width(100, 100), 0.5);
+    }
+
+    #[test]
+    fn he_half_width_guards_zero_fan_in() {
+        assert!(Scheme::He.half_width(0, 10).is_finite());
+    }
+
+    #[test]
+    fn matrix_entries_respect_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = matrix(10, 6, Scheme::He, &mut rng);
+        let a = Scheme::He.half_width(6, 10);
+        assert!(w.as_slice().iter().all(|x| x.abs() <= a));
+    }
+
+    #[test]
+    fn bias_entries_respect_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = bias(32, 8, Scheme::Xavier, &mut rng);
+        let a = Scheme::Xavier.half_width(8, 32);
+        assert_eq!(b.len(), 32);
+        assert!(b.iter().all(|x| x.abs() <= a));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let w1 = matrix(4, 4, Scheme::He, &mut StdRng::seed_from_u64(42));
+        let w2 = matrix(4, 4, Scheme::He, &mut StdRng::seed_from_u64(42));
+        assert!(w1.approx_eq(&w2, 0.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w1 = matrix(4, 4, Scheme::He, &mut StdRng::seed_from_u64(1));
+        let w2 = matrix(4, 4, Scheme::He, &mut StdRng::seed_from_u64(2));
+        assert!(!w1.approx_eq(&w2, 1e-9));
+    }
+}

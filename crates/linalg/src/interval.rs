@@ -1,0 +1,305 @@
+//! Closed-interval arithmetic.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A closed interval `[lo, hi]` over `f64`.
+///
+/// `Interval` is the workhorse of the sound bound propagation in
+/// `certnn-verify`: propagating input boxes through affine layers and ReLU
+/// activations yields guaranteed pre-activation bounds, which in turn give
+/// the big-M constants of the MILP encoding.
+///
+/// The arithmetic here is *outward-correct for exact arithmetic*: it computes
+/// the exact image interval of each operation assuming `f64` arithmetic is
+/// exact. (Directed rounding is out of scope; the verification layer widens
+/// results by an epsilon margin instead.)
+///
+/// # Example
+///
+/// ```
+/// use certnn_linalg::Interval;
+///
+/// let x = Interval::new(-1.0, 2.0);
+/// let y = x * 3.0 + Interval::point(1.0);
+/// assert_eq!(y, Interval::new(-2.0, 7.0));
+/// assert_eq!(x.relu(), Interval::new(0.0, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is `NaN`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval bound is NaN");
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// Creates the degenerate interval `[v, v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is `NaN`.
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// The interval `[0, 0]`.
+    pub fn zero() -> Self {
+        Self::point(0.0)
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint `(lo + hi) / 2`.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Returns `true` if `v ∈ [lo, hi]`.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Returns `true` if `other ⊆ self`.
+    pub fn contains_interval(&self, other: &Self) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Smallest interval containing both `self` and `other`.
+    pub fn hull(&self, other: &Self) -> Self {
+        Self::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Intersection, or `None` if the intervals are disjoint.
+    pub fn intersect(&self, other: &Self) -> Option<Self> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| Self::new(lo, hi))
+    }
+
+    /// Image under the ReLU function `max(0, x)`.
+    pub fn relu(&self) -> Self {
+        Self::new(self.lo.max(0.0), self.hi.max(0.0))
+    }
+
+    /// Image under `tanh` (monotone, so just maps the endpoints).
+    pub fn tanh(&self) -> Self {
+        Self::new(self.lo.tanh(), self.hi.tanh())
+    }
+
+    /// Widens the interval by `margin` on each side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin < 0`.
+    pub fn widened(&self, margin: f64) -> Self {
+        assert!(margin >= 0.0, "widening margin must be non-negative");
+        Self::new(self.lo - margin, self.hi + margin)
+    }
+
+    /// Returns `true` if the interval is entirely non-negative.
+    pub fn is_nonnegative(&self) -> bool {
+        self.lo >= 0.0
+    }
+
+    /// Returns `true` if the interval is entirely non-positive.
+    pub fn is_nonpositive(&self) -> bool {
+        self.hi <= 0.0
+    }
+
+    /// Returns `true` if the interval straddles zero strictly
+    /// (`lo < 0 < hi`) — the "unstable neuron" case in ReLU verification.
+    pub fn straddles_zero(&self) -> bool {
+        self.lo < 0.0 && self.hi > 0.0
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+}
+
+impl Add<f64> for Interval {
+    type Output = Interval;
+    fn add(self, rhs: f64) -> Interval {
+        Interval::new(self.lo + rhs, self.hi + rhs)
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+}
+
+impl Mul<f64> for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: f64) -> Interval {
+        if rhs >= 0.0 {
+            Interval::new(self.lo * rhs, self.hi * rhs)
+        } else {
+            Interval::new(self.hi * rhs, self.lo * rhs)
+        }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        let candidates = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let lo = candidates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = candidates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(lo, hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.6}, {:.6}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Interval::new(-1.0, 2.0);
+        assert_eq!(i.lo(), -1.0);
+        assert_eq!(i.hi(), 2.0);
+        assert_eq!(i.width(), 3.0);
+        assert_eq!(i.midpoint(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn reversed_bounds_panic() {
+        let _ = Interval::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_bound_panics() {
+        let _ = Interval::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn containment_and_hull() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert!(a.contains(1.5));
+        assert!(!a.contains(2.5));
+        assert!(a.hull(&b) == Interval::new(0.0, 3.0));
+        assert!(a.hull(&b).contains_interval(&a));
+        assert!(a.hull(&b).contains_interval(&b));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert_eq!(a.intersect(&b), Some(Interval::new(1.0, 2.0)));
+        let c = Interval::new(5.0, 6.0);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Interval::new(-1.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        assert_eq!(a + b, Interval::new(1.0, 4.0));
+        assert_eq!(a - b, Interval::new(-4.0, -1.0));
+        assert_eq!(a + 10.0, Interval::new(9.0, 11.0));
+        assert_eq!(-b, Interval::new(-3.0, -2.0));
+    }
+
+    #[test]
+    fn scalar_multiplication_flips_for_negative() {
+        let a = Interval::new(-1.0, 2.0);
+        assert_eq!(a * 2.0, Interval::new(-2.0, 4.0));
+        assert_eq!(a * -1.0, Interval::new(-2.0, 1.0));
+        assert_eq!(a * 0.0, Interval::zero());
+    }
+
+    #[test]
+    fn interval_multiplication_covers_all_sign_cases() {
+        let pos = Interval::new(1.0, 2.0);
+        let neg = Interval::new(-3.0, -1.0);
+        let mixed = Interval::new(-1.0, 2.0);
+        assert_eq!(pos * pos, Interval::new(1.0, 4.0));
+        assert_eq!(pos * neg, Interval::new(-6.0, -1.0));
+        assert_eq!(mixed * mixed, Interval::new(-2.0, 4.0));
+    }
+
+    #[test]
+    fn relu_clamps_correctly() {
+        assert_eq!(Interval::new(-2.0, -1.0).relu(), Interval::zero().hull(&Interval::zero()));
+        assert_eq!(Interval::new(-1.0, 2.0).relu(), Interval::new(0.0, 2.0));
+        assert_eq!(Interval::new(1.0, 2.0).relu(), Interval::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn tanh_preserves_ordering() {
+        let i = Interval::new(-1.0, 1.0).tanh();
+        assert!(i.lo() < 0.0 && i.hi() > 0.0);
+        assert!((i.lo() + i.hi()).abs() < 1e-12); // tanh is odd
+    }
+
+    #[test]
+    fn sign_queries() {
+        assert!(Interval::new(0.0, 1.0).is_nonnegative());
+        assert!(Interval::new(-1.0, 0.0).is_nonpositive());
+        assert!(Interval::new(-1.0, 1.0).straddles_zero());
+        assert!(!Interval::new(0.0, 1.0).straddles_zero());
+    }
+
+    #[test]
+    fn widened_grows_both_sides() {
+        let i = Interval::new(0.0, 1.0).widened(0.5);
+        assert_eq!(i, Interval::new(-0.5, 1.5));
+    }
+}

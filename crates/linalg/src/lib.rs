@@ -1,0 +1,112 @@
+//! Dense linear algebra, interval arithmetic and statistics primitives for
+//! the `certnn` workspace.
+//!
+//! This crate is deliberately small and dependency-free (apart from [`rand`]
+//! for initialisers): every other crate in the workspace — the neural-network
+//! library, the highway simulator, the bound-propagation engine — builds on
+//! the types defined here.
+//!
+//! # Overview
+//!
+//! * [`Vector`] — an owned dense vector of `f64` with the usual elementwise
+//!   and reduction operations.
+//! * [`Matrix`] — a row-major dense matrix with matrix/vector products,
+//!   transposes and row/column views.
+//! * [`Interval`] — closed-interval arithmetic used by the sound bound
+//!   propagation in `certnn-verify`.
+//! * [`init`] — weight initialisation schemes (Xavier/Glorot, He, uniform).
+//! * [`stats`] — descriptive statistics (mean, variance, Pearson correlation,
+//!   histograms) used by the traceability analyses in `certnn-trace`.
+//!
+//! # Example
+//!
+//! ```
+//! use certnn_linalg::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), certnn_linalg::ShapeError> {
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+//! let x = Vector::from(vec![1.0, -1.0]);
+//! let y = a.mul_vector(&x)?;
+//! assert_eq!(y.as_slice(), &[-1.0, -1.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod matrix;
+mod vector;
+
+pub mod init;
+pub mod stats;
+
+pub use interval::Interval;
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when the shapes of linear-algebra operands do not agree.
+///
+/// # Example
+///
+/// ```
+/// use certnn_linalg::{Matrix, Vector};
+/// let a = Matrix::zeros(2, 3);
+/// let x = Vector::zeros(2);
+/// assert!(a.mul_vector(&x).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    lhs: (usize, usize),
+    rhs: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a new shape error for operation `op` with the two offending
+    /// shapes, given as `(rows, cols)`; vectors use `(len, 1)`.
+    pub fn new(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self { op, lhs, rhs }
+    }
+
+    /// The operation that failed (e.g. `"mul_vector"`).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: {}x{} vs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_error_display_mentions_operation_and_shapes() {
+        let e = ShapeError::new("matmul", (2, 3), (4, 5));
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn shape_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

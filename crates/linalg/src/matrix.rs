@@ -1,0 +1,444 @@
+//! Row-major dense matrices of `f64`.
+
+use crate::{ShapeError, Vector};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A row-major dense matrix of `f64` values.
+///
+/// Network weight matrices, simplex tableaus and attribution maps all use
+/// this type. Storage is a single contiguous `Vec<f64>`; entry `(r, c)` lives
+/// at offset `r * cols + c`.
+///
+/// # Example
+///
+/// ```
+/// use certnn_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), certnn_linalg::ShapeError> {
+/// let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]])?;
+/// let x = Vector::from(vec![2.0, 3.0]);
+/// assert_eq!(w.mul_vector(&x)?.as_slice(), &[2.0, -3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major flat buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_flat", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equally long rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, ShapeError> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(ShapeError::new("from_rows", (r, c), (1, row.len())));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrows the row-major flat buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the row-major flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of range for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row {r} out of range for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new [`Vector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn column(&self, c: usize) -> Vector {
+        assert!(c < self.cols, "col {c} out of range for {} cols", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x.len() != self.cols()`.
+    pub fn mul_vector(&self, x: &Vector) -> Result<Vector, ShapeError> {
+        if x.len() != self.cols {
+            return Err(ShapeError::new(
+                "mul_vector",
+                (self.rows, self.cols),
+                (x.len(), 1),
+            ));
+        }
+        let xs = x.as_slice();
+        Ok((0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(xs)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect())
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x.len() != self.rows()`.
+    pub fn mul_vector_transposed(&self, x: &Vector) -> Result<Vector, ShapeError> {
+        if x.len() != self.rows {
+            return Err(ShapeError::new(
+                "mul_vector_transposed",
+                (self.cols, self.rows),
+                (x.len(), 1),
+            ));
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &xr) in x.as_slice().iter().enumerate() {
+            for (c, out_c) in out.iter_mut().enumerate() {
+                *out_c += self.data[r * self.cols + c] * xr;
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != other.rows()`.
+    pub fn mul_matrix(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new(
+                "mul_matrix",
+                (self.rows, self.cols),
+                (other.rows, other.cols),
+            ));
+        }
+        let mut out = Self::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.data[k * other.cols + c];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose.
+    pub fn transposed(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self.data[c * self.cols + r])
+    }
+
+    /// Outer product `x * yᵀ` of two vectors.
+    pub fn outer(x: &Vector, y: &Vector) -> Self {
+        Self::from_fn(x.len(), y.len(), |r, c| x[r] * y[c])
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Adds `scale * other` to `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Self, scale: f64) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new("add_scaled", self.shape(), other.shape()));
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm (square root of the sum of squared entries).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` if every entry of `self` is within `tol` of the
+    /// corresponding entry of `other` (and shapes agree).
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Matrix::add_scaled`] for a fallible sum.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_scaled(rhs, 1.0).expect("matrix add: shape mismatch");
+        out
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Matrix::add_scaled`] for a fallible difference.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_scaled(rhs, -1.0).expect("matrix sub: shape mismatch");
+        out
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        self.map(|x| x * rhs)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}x{}]", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            for (c, x) in self.row(r).iter().enumerate() {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{x:9.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(Matrix::identity(3)[(2, 2)], 1.0);
+        assert_eq!(Matrix::identity(3)[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn from_flat_validates_length() {
+        assert!(Matrix::from_flat(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_flat(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let short: &[f64] = &[1.0];
+        let long: &[f64] = &[1.0, 2.0];
+        assert!(Matrix::from_rows(&[short, long]).is_err());
+    }
+
+    #[test]
+    fn row_and_column_access() {
+        let m = sample();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.column(2).as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn mul_vector_matches_manual() {
+        let m = sample();
+        let x = Vector::from(vec![1.0, 0.0, -1.0]);
+        assert_eq!(m.mul_vector(&x).unwrap().as_slice(), &[-2.0, -2.0]);
+        assert!(m.mul_vector(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn mul_vector_transposed_matches_explicit_transpose() {
+        let m = sample();
+        let x = Vector::from(vec![1.0, 2.0]);
+        let via_method = m.mul_vector_transposed(&x).unwrap();
+        let via_transpose = m.transposed().mul_vector(&x).unwrap();
+        assert!(via_method.approx_eq(&via_transpose, 1e-12));
+    }
+
+    #[test]
+    fn mul_matrix_identity_is_noop() {
+        let m = sample();
+        let id = Matrix::identity(3);
+        assert!(m.mul_matrix(&id).unwrap().approx_eq(&m, 0.0));
+        assert!(m.mul_matrix(&Matrix::identity(2)).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert!(m.transposed().transposed().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn outer_product() {
+        let x = Vector::from(vec![1.0, 2.0]);
+        let y = Vector::from(vec![3.0, 4.0, 5.0]);
+        let o = Matrix::outer(&x, &y);
+        assert_eq!(o.shape(), (2, 3));
+        assert_eq!(o[(1, 2)], 10.0);
+    }
+
+    #[test]
+    fn add_scaled_and_operators() {
+        let a = sample();
+        let b = sample();
+        let sum = &a + &b;
+        assert_eq!(sum[(0, 0)], 2.0);
+        let diff = &sum - &a;
+        assert!(diff.approx_eq(&a, 1e-12));
+        let scaled = &a * 2.0;
+        assert_eq!(scaled[(1, 2)], 12.0);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!((Matrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let m = sample();
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn display_contains_shape() {
+        assert!(format!("{}", sample()).contains("[2x3]"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Descriptive statistics used by the traceability analyses.
+//!
+//! The neuron-to-feature traceability pillar of the paper associates neurons
+//! with input features by statistical dependence of activations on features.
+//! This module supplies the required primitives: running mean/variance
+//! (Welford), Pearson correlation, and fixed-width histograms.
+//!
+//! # Example
+//!
+//! ```
+//! use certnn_linalg::stats::{pearson, Summary};
+//!
+//! let xs = [1.0, 2.0, 3.0, 4.0];
+//! let ys = [2.0, 4.0, 6.0, 8.0];
+//! assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+//!
+//! let s: Summary = xs.iter().copied().collect();
+//! assert_eq!(s.mean(), 2.5);
+//! ```
+
+use std::iter::FromIterator;
+
+/// Running mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long activation streams; used to summarise neuron
+/// activations across a dataset without storing them all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance, or `0.0` with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation, or `+∞` if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation, or `−∞` if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another summary into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Summary {
+    /// Identical to [`Summary::new`] — in particular `min()` starts at
+    /// `+∞` and `max()` at `−∞`, not zero (a derived `Default` would
+    /// silently corrupt extrema of all-positive data).
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Pearson correlation coefficient of two equally long samples.
+///
+/// Returns `None` if the slices differ in length, have fewer than two
+/// elements, or either sample has zero variance (correlation undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// A fixed-width histogram over a closed range.
+///
+/// Out-of-range observations are clamped into the first/last bin, so the
+/// total count always equals the number of `push` calls — convenient when
+/// rendering GMM densities whose tails exceed the plotted range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-degenerate");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds an observation (clamped into range).
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
+        let idx = (t as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_direct_formulas() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: Summary = data.iter().copied().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_single_pass() {
+        let all = [1.0, 2.0, 3.0, 10.0, -5.0, 0.5];
+        let single: Summary = all.iter().copied().collect();
+        let mut a: Summary = all[..3].iter().copied().collect();
+        let b: Summary = all[3..].iter().copied().collect();
+        a.merge(&b);
+        assert!((a.mean() - single.mean()).abs() < 1e-12);
+        assert!((a.variance() - single.variance()).abs() < 1e-12);
+        assert_eq!(a.count(), single.count());
+        assert_eq!(a.min(), single.min());
+        assert_eq!(a.max(), single.max());
+    }
+
+    #[test]
+    fn default_matches_new_including_extrema() {
+        // Regression: a derived Default had min = max = 0.0, making the
+        // minimum of all-positive data report as 0.
+        let d = Summary::default();
+        assert_eq!(d, Summary::new());
+        let mut s = Summary::default();
+        s.push(5.0);
+        s.push(7.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 7.0);
+    }
+
+    #[test]
+    fn summary_merge_with_empty_is_identity() {
+        let mut a: Summary = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut empty = Summary::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((pearson(&xs, &[2.0, 4.0, 6.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 3.0, 9.9, 100.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts()[0], 2); // -1 clamped + 0.0
+        assert_eq!(h.counts()[4], 2); // 9.9 + 100 clamped
+        assert_eq!(h.counts()[1], 1); // 3.0
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Owned dense vectors of `f64`.
+
+use crate::ShapeError;
+use std::fmt;
+use std::iter::FromIterator;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+/// An owned dense vector of `f64` values.
+///
+/// `Vector` is the exchange type between the simulator's feature extractor,
+/// the neural-network layers and the verification encoders. It supports
+/// elementwise arithmetic, dot products and the usual reductions.
+///
+/// # Example
+///
+/// ```
+/// use certnn_linalg::Vector;
+///
+/// let v = Vector::from(vec![3.0, -4.0]);
+/// assert_eq!(v.norm2(), 5.0);
+/// assert_eq!(v.map(f64::abs).sum(), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a vector of `len` ones.
+    pub fn ones(len: usize) -> Self {
+        Self {
+            data: vec![1.0; len],
+        }
+    }
+
+    /// Creates a vector with every entry set to `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        Self {
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a standard-basis vector of dimension `len` with a `1.0` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn basis(len: usize, index: usize) -> Self {
+        assert!(index < len, "basis index {index} out of range for len {len}");
+        let mut v = Self::zeros(len);
+        v.data[index] = 1.0;
+        v
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying `Vec<f64>`.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the entry at `index`, or `None` if out of range.
+    pub fn get(&self, index: usize) -> Option<f64> {
+        self.data.get(index).copied()
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Dot product with `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the lengths differ.
+    pub fn dot(&self, other: &Self) -> Result<f64, ShapeError> {
+        if self.len() != other.len() {
+            return Err(ShapeError::new("dot", (self.len(), 1), (other.len(), 1)));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the lengths differ.
+    pub fn hadamard(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.len() != other.len() {
+            return Err(ShapeError::new(
+                "hadamard",
+                (self.len(), 1),
+                (other.len(), 1),
+            ));
+        }
+        Ok(Self {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a * b)
+                .collect(),
+        })
+    }
+
+    /// Applies `f` to every entry, returning a new vector.
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Self {
+        Self {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_in_place<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm2(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum norm (L∞).
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Index of the maximum entry, or `None` for an empty vector.
+    ///
+    /// Ties resolve to the first maximal index; `NaN` entries are skipped.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x.is_nan() {
+                continue;
+            }
+            match best {
+                Some((_, b)) if x <= b => {}
+                _ => best = Some((i, x)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Returns `a * self + b * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the lengths differ.
+    pub fn axpby(&self, a: f64, other: &Self, b: f64) -> Result<Self, ShapeError> {
+        if self.len() != other.len() {
+            return Err(ShapeError::new("axpby", (self.len(), 1), (other.len(), 1)));
+        }
+        Ok(Self {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(x, y)| a * x + b * y)
+                .collect(),
+        })
+    }
+
+    /// Returns a scaled copy (`self * scalar`).
+    pub fn scaled(&self, scalar: f64) -> Self {
+        self.map(|x| x * scalar)
+    }
+
+    /// Returns `true` if every entry of `self` is within `tol` of the
+    /// corresponding entry of `other` (and lengths agree).
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(data: &[f64]) -> Self {
+        Self {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for Vector {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, index: usize) -> &f64 {
+        &self.data[index]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, index: usize) -> &mut f64 {
+        &mut self.data[index]
+    }
+}
+
+impl IntoIterator for Vector {
+    type Item = f64;
+    type IntoIter = std::vec::IntoIter<f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl Add for &Vector {
+    type Output = Vector;
+    /// # Panics
+    ///
+    /// Panics if the lengths differ; use [`Vector::axpby`] for a fallible sum.
+    fn add(self, rhs: &Vector) -> Vector {
+        self.axpby(1.0, rhs, 1.0).expect("vector add: length mismatch")
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+    /// # Panics
+    ///
+    /// Panics if the lengths differ; use [`Vector::axpby`] for a fallible difference.
+    fn sub(self, rhs: &Vector) -> Vector {
+        self.axpby(1.0, rhs, -1.0)
+            .expect("vector sub: length mismatch")
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector add_assign: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_filled_basis() {
+        assert_eq!(Vector::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(Vector::ones(2).as_slice(), &[1.0, 1.0]);
+        assert_eq!(Vector::filled(2, 7.5).as_slice(), &[7.5, 7.5]);
+        assert_eq!(Vector::basis(3, 1).as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "basis index")]
+    fn basis_out_of_range_panics() {
+        let _ = Vector::basis(2, 2);
+    }
+
+    #[test]
+    fn dot_and_shape_error() {
+        let a = Vector::from(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        let short = Vector::zeros(2);
+        assert!(a.dot(&short).is_err());
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let a = Vector::from(vec![1.0, -2.0]);
+        let b = Vector::from(vec![3.0, 4.0]);
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[3.0, -8.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::from(vec![3.0, -4.0]);
+        assert_eq!(v.norm2(), 5.0);
+        assert_eq!(v.norm_inf(), 4.0);
+    }
+
+    #[test]
+    fn argmax_ignores_nan_and_breaks_ties_first() {
+        let v = Vector::from(vec![f64::NAN, 2.0, 2.0, 1.0]);
+        assert_eq!(v.argmax(), Some(1));
+        assert_eq!(Vector::zeros(0).argmax(), None);
+        let all_nan = Vector::from(vec![f64::NAN]);
+        assert_eq!(all_nan.argmax(), None);
+    }
+
+    #[test]
+    fn axpby_combines_linearly() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![10.0, 20.0]);
+        assert_eq!(a.axpby(2.0, &b, 0.5).unwrap().as_slice(), &[7.0, 14.0]);
+    }
+
+    #[test]
+    fn operators_add_sub_mul_neg() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 3.0).as_slice(), &[3.0, 6.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+    }
+
+    #[test]
+    fn map_and_map_in_place() {
+        let v = Vector::from(vec![-1.0, 2.0]);
+        assert_eq!(v.map(f64::abs).as_slice(), &[1.0, 2.0]);
+        let mut w = v.clone();
+        w.map_in_place(|x| x * x);
+        assert_eq!(w.as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+        let mut w = v;
+        w.extend([9.0]);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[3], 9.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![1.0 + 1e-9, 2.0 - 1e-9]);
+        assert!(a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&b, 1e-12));
+        assert!(!a.approx_eq(&Vector::zeros(3), 1.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let v = Vector::from(vec![1.0, 2.0]);
+        assert!(!format!("{v}").is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Export of models to the CPLEX LP text format.
+//!
+//! Verification encodings can be dumped and inspected, diffed across
+//! code changes, or cross-checked against an external solver. The format
+//! follows the widely supported LP-file conventions (`Maximize` /
+//! `Subject To` / `Bounds` / `End`, with `Generals`/`Binaries` emitted by
+//! the MILP wrapper in `certnn-milp`).
+
+use crate::model::{LpModel, RowKind, Sense};
+use std::fmt::Write as _;
+
+/// Renders the model in LP format.
+pub fn to_lp_format(model: &LpModel) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "\\ {} variables, {} rows (exported by certnn-lp)",
+        model.num_vars(),
+        model.num_rows()
+    );
+    let _ = writeln!(
+        s,
+        "{}",
+        match model.sense {
+            Sense::Maximize => "Maximize",
+            Sense::Minimize => "Minimize",
+        }
+    );
+    s.push_str(" obj:");
+    let mut any = false;
+    for (j, &c) in model.objective.iter().enumerate() {
+        if c != 0.0 {
+            let _ = write!(s, " {} {}", signed(c), var_name(model, j));
+            any = true;
+        }
+    }
+    if !any {
+        s.push_str(" 0 x0");
+    }
+    s.push('\n');
+
+    let _ = writeln!(s, "Subject To");
+    for (i, row) in model.rows.iter().enumerate() {
+        let _ = write!(s, " r{i}:");
+        if row.coeffs.is_empty() {
+            s.push_str(" 0 x0");
+        }
+        for &(j, c) in &row.coeffs {
+            let _ = write!(s, " {} {}", signed(c), var_name(model, j));
+        }
+        let op = match row.kind {
+            RowKind::Le => "<=",
+            RowKind::Ge => ">=",
+            RowKind::Eq => "=",
+        };
+        let _ = writeln!(s, " {op} {}", row.rhs);
+    }
+
+    let _ = writeln!(s, "Bounds");
+    for (j, v) in model.vars.iter().enumerate() {
+        let name = var_name(model, j);
+        match (v.lo.is_finite(), v.hi.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(s, " {} <= {name} <= {}", v.lo, v.hi);
+            }
+            (true, false) => {
+                let _ = writeln!(s, " {name} >= {}", v.lo);
+            }
+            (false, true) => {
+                let _ = writeln!(s, " {name} <= {}", v.hi);
+            }
+            (false, false) => {
+                let _ = writeln!(s, " {name} free");
+            }
+        }
+    }
+    s.push_str("End\n");
+    s
+}
+
+/// LP-file-safe variable name: the declared name if it is plain
+/// alphanumeric/underscore, else a positional `x<j>`.
+fn var_name(model: &LpModel, j: usize) -> String {
+    let n = &model.vars[j].name;
+    if !n.is_empty()
+        && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !n.starts_with(|c: char| c.is_ascii_digit())
+    {
+        n.clone()
+    } else {
+        format!("x{j}")
+    }
+}
+
+/// Renders a coefficient with an explicit sign, LP style.
+fn signed(c: f64) -> String {
+    if c >= 0.0 {
+        format!("+ {c}")
+    } else {
+        format!("- {}", -c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LpModel, RowKind, Sense};
+
+    fn sample() -> LpModel {
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 4.0);
+        let y = m.add_var("weird name!", f64::NEG_INFINITY, f64::INFINITY);
+        m.set_objective(&[(x, 3.0), (y, -5.0)]);
+        m.add_row("r", &[(x, 1.0), (y, 2.0)], RowKind::Le, 14.0)
+            .unwrap();
+        m.add_row("e", &[(y, 1.0)], RowKind::Eq, 1.0).unwrap();
+        m
+    }
+
+    #[test]
+    fn sections_present_and_ordered() {
+        let text = to_lp_format(&sample());
+        let max_pos = text.find("Maximize").unwrap();
+        let st_pos = text.find("Subject To").unwrap();
+        let b_pos = text.find("Bounds").unwrap();
+        let end_pos = text.find("End").unwrap();
+        assert!(max_pos < st_pos && st_pos < b_pos && b_pos < end_pos);
+    }
+
+    #[test]
+    fn coefficients_and_relations_rendered() {
+        let text = to_lp_format(&sample());
+        assert!(text.contains("+ 3 x"));
+        assert!(text.contains("- 5 x1")); // sanitised name
+        assert!(text.contains("<= 14"));
+        assert!(text.contains("= 1"));
+    }
+
+    #[test]
+    fn bounds_cover_all_variants() {
+        let text = to_lp_format(&sample());
+        assert!(text.contains("0 <= x <= 4"));
+        assert!(text.contains("x1 free"));
+    }
+
+    #[test]
+    fn unsafe_names_are_sanitised() {
+        let text = to_lp_format(&sample());
+        assert!(!text.contains("weird name!"));
+    }
+
+    #[test]
+    fn empty_objective_still_valid() {
+        let mut m = LpModel::new(Sense::Minimize);
+        m.add_var("x", 0.0, 1.0);
+        let text = to_lp_format(&m);
+        assert!(text.contains("Minimize"));
+        assert!(text.contains(" obj: 0 x0"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Linear programming for the `certnn` workspace.
+//!
+//! This crate implements a bounded-variable, two-phase, revised primal
+//! simplex solver from scratch. It is the substrate underneath
+//! `certnn-milp`'s branch-and-bound, which in turn powers the MILP-based
+//! neural-network verification of the paper's Table II.
+//!
+//! # Design
+//!
+//! * [`LpModel`] is a builder for problems of the form
+//!   `opt cᵀx  s.t.  aᵢᵀx {≤,=,≥} bᵢ,  l ≤ x ≤ u` with per-variable bounds
+//!   that may be infinite.
+//! * [`Simplex`] converts the model to computational form (one slack per
+//!   row, artificials where the slack basis is bound-infeasible), runs a
+//!   phase-1/phase-2 bounded-variable simplex with an explicitly maintained
+//!   dense basis inverse, Dantzig pricing and Bland's rule as anti-cycling
+//!   fallback, and reports an exact [`LpSolution`].
+//! * Branch-and-bound re-solves the same model under tightened variable
+//!   bounds via [`Simplex::solve_with_bounds`], so bound changes never
+//!   require rebuilding the model.
+//!
+//! # Example
+//!
+//! ```
+//! use certnn_lp::{LpModel, RowKind, Sense, Simplex, LpStatus};
+//!
+//! # fn main() -> Result<(), certnn_lp::LpError> {
+//! // max x + y  s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0
+//! let mut m = LpModel::new(Sense::Maximize);
+//! let x = m.add_var("x", 0.0, f64::INFINITY);
+//! let y = m.add_var("y", 0.0, f64::INFINITY);
+//! m.set_objective(&[(x, 1.0), (y, 1.0)]);
+//! m.add_row("c1", &[(x, 1.0), (y, 2.0)], RowKind::Le, 4.0)?;
+//! m.add_row("c2", &[(x, 3.0), (y, 1.0)], RowKind::Le, 6.0)?;
+//! let sol = Simplex::new().solve(&m)?;
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - 2.8).abs() < 1e-7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+mod model;
+mod simplex;
+
+pub use model::{LpModel, RowId, RowKind, Sense, VarId};
+pub use simplex::{Simplex, SimplexOptions};
+
+use std::error::Error;
+use std::fmt;
+
+/// Termination status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// The iteration limit was reached before convergence.
+    IterationLimit,
+}
+
+impl fmt::Display for LpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LpStatus::Optimal => "optimal",
+            LpStatus::Infeasible => "infeasible",
+            LpStatus::Unbounded => "unbounded",
+            LpStatus::IterationLimit => "iteration limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of an LP solve.
+///
+/// `x` and `duals` are meaningful only when `status` is
+/// [`LpStatus::Optimal`]; for other statuses they hold the last iterate and
+/// are useful for diagnostics only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Objective value in the model's own sense (maximisation objectives are
+    /// reported as maxima).
+    pub objective: f64,
+    /// Primal values for the structural variables, indexed by [`VarId`].
+    pub x: Vec<f64>,
+    /// Dual values (simplex multipliers) per row, indexed by [`RowId`],
+    /// reported for the model's own sense.
+    pub duals: Vec<f64>,
+    /// Number of simplex pivots performed across both phases.
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    /// Value of variable `v` in the solution.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.x[v.index()]
+    }
+}
+
+/// Error raised while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A referenced variable does not belong to the model.
+    UnknownVar {
+        /// The offending variable id.
+        var: VarId,
+        /// Number of variables in the model.
+        model_vars: usize,
+    },
+    /// A variable's lower bound exceeds its upper bound.
+    InvalidBounds {
+        /// The offending variable id.
+        var: VarId,
+        /// Offending lower bound.
+        lo: f64,
+        /// Offending upper bound.
+        hi: f64,
+    },
+    /// A coefficient, bound or right-hand side is NaN.
+    NotANumber,
+    /// A bounds override has the wrong length.
+    BoundsLength {
+        /// Provided length.
+        got: usize,
+        /// Expected length (number of model variables).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVar { var, model_vars } => {
+                write!(f, "variable {:?} out of range ({} vars)", var, model_vars)
+            }
+            LpError::InvalidBounds { var, lo, hi } => {
+                write!(f, "invalid bounds [{lo}, {hi}] for {:?}", var)
+            }
+            LpError::NotANumber => f.write_str("NaN coefficient, bound or rhs"),
+            LpError::BoundsLength { got, expected } => {
+                write!(f, "bounds override has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display() {
+        assert_eq!(LpStatus::Optimal.to_string(), "optimal");
+        assert_eq!(LpStatus::Infeasible.to_string(), "infeasible");
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            LpError::NotANumber,
+            LpError::BoundsLength { got: 1, expected: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn types_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<LpModel>();
+        check::<LpSolution>();
+        check::<LpError>();
+    }
+}

@@ -1,0 +1,427 @@
+//! LP model builder.
+
+use crate::LpError;
+use std::fmt;
+
+/// Opaque handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Creates a handle from a zero-based variable position.
+    ///
+    /// Useful for iterating over all variables of a model; handles built
+    /// this way are only meaningful for models with at least `index + 1`
+    /// variables.
+    pub fn from_index(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Zero-based position of the variable in the model.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque handle to a model row (constraint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub(crate) usize);
+
+impl RowId {
+    /// Zero-based position of the row in the model.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Relational operator of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowKind {
+    /// `aᵀx ≤ b`
+    Le,
+    /// `aᵀx = b`
+    Eq,
+    /// `aᵀx ≥ b`
+    Ge,
+}
+
+impl fmt::Display for RowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RowKind::Le => "<=",
+            RowKind::Eq => "=",
+            RowKind::Ge => ">=",
+        })
+    }
+}
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sense {
+    /// Minimise the objective.
+    #[default]
+    Minimize,
+    /// Maximise the objective.
+    Maximize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RowDef {
+    pub name: String,
+    pub coeffs: Vec<(usize, f64)>,
+    pub kind: RowKind,
+    pub rhs: f64,
+}
+
+/// A linear program under construction.
+///
+/// Variables carry individual (possibly infinite) bounds; rows are sparse
+/// linear constraints. The model itself performs no solving — hand it to
+/// [`Simplex`](crate::Simplex).
+///
+/// # Example
+///
+/// ```
+/// use certnn_lp::{LpModel, RowKind, Sense};
+///
+/// # fn main() -> Result<(), certnn_lp::LpError> {
+/// let mut m = LpModel::new(Sense::Minimize);
+/// let x = m.add_var("x", -1.0, 1.0);
+/// m.set_objective(&[(x, 2.0)]);
+/// m.add_row("r", &[(x, 1.0)], RowKind::Ge, 0.0)?;
+/// assert_eq!(m.num_vars(), 1);
+/// assert_eq!(m.num_rows(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LpModel {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) rows: Vec<RowDef>,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) sense: Sense,
+}
+
+impl LpModel {
+    /// Creates an empty model with the given optimisation sense.
+    pub fn new(sense: Sense) -> Self {
+        Self {
+            sense,
+            ..Self::default()
+        }
+    }
+
+    /// Adds a variable with bounds `[lo, hi]` (either may be infinite) and
+    /// returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN. Use
+    /// [`set_bounds`](Self::set_bounds) for fallible bound updates.
+    pub fn add_var(&mut self, name: &str, lo: f64, hi: f64) -> VarId {
+        assert!(!lo.is_nan() && !hi.is_nan(), "variable bound is NaN");
+        assert!(lo <= hi, "invalid bounds [{lo}, {hi}] for variable {name}");
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef {
+            name: name.to_string(),
+            lo,
+            hi,
+        });
+        self.objective.push(0.0);
+        id
+    }
+
+    /// Updates the bounds of an existing variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVar`], [`LpError::InvalidBounds`] or
+    /// [`LpError::NotANumber`] on bad input.
+    pub fn set_bounds(&mut self, var: VarId, lo: f64, hi: f64) -> Result<(), LpError> {
+        if var.0 >= self.vars.len() {
+            return Err(LpError::UnknownVar {
+                var,
+                model_vars: self.vars.len(),
+            });
+        }
+        if lo.is_nan() || hi.is_nan() {
+            return Err(LpError::NotANumber);
+        }
+        if lo > hi {
+            return Err(LpError::InvalidBounds { var, lo, hi });
+        }
+        self.vars[var.0].lo = lo;
+        self.vars[var.0].hi = hi;
+        Ok(())
+    }
+
+    /// Returns the bounds `(lo, hi)` of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        let v = &self.vars[var.0];
+        (v.lo, v.hi)
+    }
+
+    /// Returns the name of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// Sets the objective coefficients; variables not mentioned keep
+    /// coefficient `0`. Later calls overwrite earlier ones entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable is unknown or a coefficient is NaN.
+    pub fn set_objective(&mut self, coeffs: &[(VarId, f64)]) {
+        for c in &mut self.objective {
+            *c = 0.0;
+        }
+        for &(v, c) in coeffs {
+            assert!(v.0 < self.vars.len(), "unknown variable in objective");
+            assert!(!c.is_nan(), "NaN objective coefficient");
+            self.objective[v.0] = c;
+        }
+    }
+
+    /// Adds one objective coefficient (accumulating onto any existing value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is unknown or the coefficient is NaN.
+    pub fn add_objective_term(&mut self, var: VarId, coeff: f64) {
+        assert!(var.0 < self.vars.len(), "unknown variable in objective");
+        assert!(!coeff.is_nan(), "NaN objective coefficient");
+        self.objective[var.0] += coeff;
+    }
+
+    /// Adds a constraint row `Σ coeffs {≤,=,≥} rhs` and returns its handle.
+    ///
+    /// Duplicate variable entries are summed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVar`] or [`LpError::NotANumber`] on bad input.
+    pub fn add_row(
+        &mut self,
+        name: &str,
+        coeffs: &[(VarId, f64)],
+        kind: RowKind,
+        rhs: f64,
+    ) -> Result<RowId, LpError> {
+        if rhs.is_nan() {
+            return Err(LpError::NotANumber);
+        }
+        let mut acc: Vec<(usize, f64)> = Vec::with_capacity(coeffs.len());
+        for &(v, c) in coeffs {
+            if v.0 >= self.vars.len() {
+                return Err(LpError::UnknownVar {
+                    var: v,
+                    model_vars: self.vars.len(),
+                });
+            }
+            if c.is_nan() {
+                return Err(LpError::NotANumber);
+            }
+            match acc.iter_mut().find(|(idx, _)| *idx == v.0) {
+                Some((_, existing)) => *existing += c,
+                None => acc.push((v.0, c)),
+            }
+        }
+        let id = RowId(self.rows.len());
+        self.rows.push(RowDef {
+            name: name.to_string(),
+            coeffs: acc,
+            kind,
+            rhs,
+        });
+        Ok(id)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Optimisation sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Objective coefficient of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn objective_coeff(&self, var: VarId) -> f64 {
+        self.objective[var.0]
+    }
+
+    /// Evaluates the objective at a point given as a slice indexed by
+    /// variable position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()`.
+    pub fn eval_objective(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(), "point has wrong dimension");
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks primal feasibility of `x` within tolerance `tol` (bounds and
+    /// all rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        assert_eq!(x.len(), self.num_vars(), "point has wrong dimension");
+        for (v, &xv) in self.vars.iter().zip(x) {
+            if xv < v.lo - tol || xv > v.hi + tol {
+                return false;
+            }
+        }
+        for row in &self.rows {
+            let lhs: f64 = row.coeffs.iter().map(|&(j, c)| c * x[j]).sum();
+            let ok = match row.kind {
+                RowKind::Le => lhs <= row.rhs + tol,
+                RowKind::Ge => lhs >= row.rhs - tol,
+                RowKind::Eq => (lhs - row.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for LpModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} LP: {} vars, {} rows",
+            match self.sense {
+                Sense::Minimize => "min",
+                Sense::Maximize => "max",
+            },
+            self.num_vars(),
+            self.num_rows()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_var_and_bounds_roundtrip() {
+        let mut m = LpModel::new(Sense::Minimize);
+        let x = m.add_var("x", -2.0, 5.0);
+        assert_eq!(m.bounds(x), (-2.0, 5.0));
+        assert_eq!(m.var_name(x), "x");
+        m.set_bounds(x, 0.0, 1.0).unwrap();
+        assert_eq!(m.bounds(x), (0.0, 1.0));
+    }
+
+    #[test]
+    fn set_bounds_validates() {
+        let mut m = LpModel::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0);
+        assert!(matches!(
+            m.set_bounds(x, 2.0, 1.0),
+            Err(LpError::InvalidBounds { .. })
+        ));
+        assert!(matches!(
+            m.set_bounds(VarId(99), 0.0, 1.0),
+            Err(LpError::UnknownVar { .. })
+        ));
+        assert_eq!(m.set_bounds(x, f64::NAN, 1.0), Err(LpError::NotANumber));
+    }
+
+    #[test]
+    fn add_row_merges_duplicate_vars() {
+        let mut m = LpModel::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0);
+        let r = m
+            .add_row("r", &[(x, 1.0), (x, 2.0)], RowKind::Le, 3.0)
+            .unwrap();
+        assert_eq!(r.index(), 0);
+        assert_eq!(m.rows[0].coeffs, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn add_row_rejects_unknown_var_and_nan() {
+        let mut m = LpModel::new(Sense::Minimize);
+        let _x = m.add_var("x", 0.0, 1.0);
+        assert!(m
+            .add_row("bad", &[(VarId(3), 1.0)], RowKind::Le, 0.0)
+            .is_err());
+        let x = VarId(0);
+        assert!(m.add_row("nan", &[(x, f64::NAN)], RowKind::Le, 0.0).is_err());
+        assert!(m.add_row("nan2", &[(x, 1.0)], RowKind::Le, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn objective_set_overwrites_and_term_accumulates() {
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0);
+        m.set_objective(&[(x, 1.0), (y, 2.0)]);
+        m.set_objective(&[(y, 5.0)]);
+        assert_eq!(m.objective_coeff(x), 0.0);
+        assert_eq!(m.objective_coeff(y), 5.0);
+        m.add_objective_term(y, 1.0);
+        assert_eq!(m.objective_coeff(y), 6.0);
+    }
+
+    #[test]
+    fn feasibility_check_covers_rows_and_bounds() {
+        let mut m = LpModel::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 10.0);
+        let y = m.add_var("y", 0.0, 10.0);
+        m.add_row("r1", &[(x, 1.0), (y, 1.0)], RowKind::Le, 5.0)
+            .unwrap();
+        m.add_row("r2", &[(x, 1.0)], RowKind::Ge, 1.0).unwrap();
+        assert!(m.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!m.is_feasible(&[0.0, 2.0], 1e-9)); // violates r2
+        assert!(!m.is_feasible(&[4.0, 4.0], 1e-9)); // violates r1
+        assert!(!m.is_feasible(&[-1.0, 0.0], 1e-9)); // violates bound
+    }
+
+    #[test]
+    fn eval_objective() {
+        let mut m = LpModel::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0);
+        m.set_objective(&[(x, 2.0), (y, -1.0)]);
+        assert_eq!(m.eval_objective(&[3.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut m = LpModel::new(Sense::Maximize);
+        m.add_var("x", 0.0, 1.0);
+        assert!(m.to_string().contains("1 vars"));
+    }
+}

@@ -1,0 +1,858 @@
+//! Bounded-variable two-phase revised primal simplex.
+
+// Indexed loops mirror the textbook pivot formulas; iterator adaptors
+// obscure them without changing the generated code meaningfully.
+#![allow(clippy::needless_range_loop)]
+
+use crate::model::{LpModel, RowKind, Sense};
+use crate::{LpError, LpSolution, LpStatus};
+
+/// Tuning knobs for the simplex solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexOptions {
+    /// Pivot limit across both phases.
+    pub max_iterations: usize,
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Reduced-cost (dual feasibility) tolerance.
+    pub opt_tol: f64,
+    /// Pivot-element magnitude below which a column is rejected.
+    pub pivot_tol: f64,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub stall_limit: usize,
+    /// Recompute basic values from scratch every this many pivots.
+    pub refresh_every: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 50_000,
+            feas_tol: 1e-7,
+            opt_tol: 1e-9,
+            pivot_tol: 1e-10,
+            stall_limit: 60,
+            refresh_every: 128,
+        }
+    }
+}
+
+/// A bounded-variable primal simplex solver.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct Simplex {
+    opts: SimplexOptions,
+}
+
+impl Simplex {
+    /// Creates a solver with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with explicit options.
+    pub fn with_options(opts: SimplexOptions) -> Self {
+        Self { opts }
+    }
+
+    /// Solves the model with its own variable bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError`] if the model contains NaNs or inverted bounds.
+    pub fn solve(&self, model: &LpModel) -> Result<LpSolution, LpError> {
+        let bounds: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lo, v.hi)).collect();
+        self.solve_with_bounds(model, &bounds)
+    }
+
+    /// Solves the model with the structural variable bounds replaced by
+    /// `bounds` (one `(lo, hi)` pair per variable, in [`VarId`] order).
+    ///
+    /// This is the entry point used by branch-and-bound: the constraint
+    /// matrix is immutable across the tree, only bounds change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::BoundsLength`] if `bounds.len()` differs from the
+    /// number of model variables, or other [`LpError`] variants for NaN or
+    /// inverted bounds.
+    ///
+    /// [`VarId`]: crate::VarId
+    pub fn solve_with_bounds(
+        &self,
+        model: &LpModel,
+        bounds: &[(f64, f64)],
+    ) -> Result<LpSolution, LpError> {
+        if bounds.len() != model.num_vars() {
+            return Err(LpError::BoundsLength {
+                got: bounds.len(),
+                expected: model.num_vars(),
+            });
+        }
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            if lo.is_nan() || hi.is_nan() {
+                return Err(LpError::NotANumber);
+            }
+            if lo > hi {
+                return Err(LpError::InvalidBounds {
+                    var: crate::VarId(i),
+                    lo,
+                    hi,
+                });
+            }
+        }
+        let mut t = Tableau::build(model, bounds, self.opts);
+        Ok(t.run(model))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Nonbasic free variable pinned at zero.
+    FreeZero,
+}
+
+/// Dense-inverse revised simplex working state.
+struct Tableau {
+    opts: SimplexOptions,
+    m: usize,
+    /// Total variables: structural + slacks + artificials.
+    n_total: usize,
+    n_struct: usize,
+    /// Sparse columns: list of (row, coefficient).
+    cols: Vec<Vec<(usize, f64)>>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    rhs: Vec<f64>,
+    /// Phase-2 cost (minimisation form).
+    cost: Vec<f64>,
+    /// Phase-1 cost (1 on artificials).
+    cost1: Vec<f64>,
+    status: Vec<Status>,
+    /// Current value of every variable.
+    x: Vec<f64>,
+    /// basis[r] = variable occupying row r.
+    basis: Vec<usize>,
+    /// Dense basis inverse, row-major m×m.
+    binv: Vec<f64>,
+    iterations: usize,
+    first_artificial: usize,
+}
+
+impl Tableau {
+    fn build(model: &LpModel, bounds: &[(f64, f64)], opts: SimplexOptions) -> Self {
+        let m = model.num_rows();
+        let n_struct = model.num_vars();
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_struct];
+        for (i, row) in model.rows.iter().enumerate() {
+            for &(j, c) in &row.coeffs {
+                if c != 0.0 {
+                    cols[j].push((i, c));
+                }
+            }
+        }
+        let mut lo: Vec<f64> = bounds.iter().map(|b| b.0).collect();
+        let mut hi: Vec<f64> = bounds.iter().map(|b| b.1).collect();
+        let rhs: Vec<f64> = model.rows.iter().map(|r| r.rhs).collect();
+
+        // Slacks: row i gets variable n_struct + i with kind-dependent bounds.
+        for (i, row) in model.rows.iter().enumerate() {
+            cols.push(vec![(i, 1.0)]);
+            let (slo, shi) = match row.kind {
+                RowKind::Le => (0.0, f64::INFINITY),
+                RowKind::Ge => (f64::NEG_INFINITY, 0.0),
+                RowKind::Eq => (0.0, 0.0),
+            };
+            lo.push(slo);
+            hi.push(shi);
+            debug_assert_eq!(cols.len() - 1, n_struct + i);
+        }
+
+        // Initial nonbasic point: every structural variable at its finite
+        // bound nearest zero, free variables at zero.
+        let mut x = vec![0.0; n_struct + m];
+        let mut status = vec![Status::AtLower; n_struct + m];
+        for j in 0..n_struct {
+            let (l, h) = (lo[j], hi[j]);
+            let (v, s) = initial_point(l, h);
+            x[j] = v;
+            status[j] = s;
+        }
+
+        // Residuals decide whether each row's slack can start basic.
+        let mut resid = rhs.clone();
+        for j in 0..n_struct {
+            if x[j] != 0.0 {
+                for &(i, c) in &cols[j] {
+                    resid[i] -= c * x[j];
+                }
+            }
+        }
+
+        let mut basis = Vec::with_capacity(m);
+        let first_artificial = n_struct + m;
+        let mut n_total = n_struct + m;
+        for i in 0..m {
+            let sj = n_struct + i;
+            let r = resid[i];
+            if r >= lo[sj] && r <= hi[sj] {
+                x[sj] = r;
+                status[sj] = Status::Basic;
+                basis.push(sj);
+            } else {
+                // Clamp the slack to its nearest bound and cover the rest
+                // with a fresh artificial of matching sign.
+                let clamped = r.clamp(lo[sj], hi[sj]);
+                // A slack with at least one finite bound clamps there; the
+                // (impossible) doubly-infinite case would already be basic.
+                x[sj] = clamped;
+                status[sj] = if clamped == lo[sj] {
+                    Status::AtLower
+                } else {
+                    Status::AtUpper
+                };
+                let leftover = r - clamped;
+                let sigma = if leftover >= 0.0 { 1.0 } else { -1.0 };
+                cols.push(vec![(i, sigma)]);
+                lo.push(0.0);
+                hi.push(f64::INFINITY);
+                let aj = n_total;
+                n_total += 1;
+                x.push(leftover.abs());
+                status.push(Status::Basic);
+                basis.push(aj);
+            }
+        }
+
+        let mut cost = vec![0.0; n_total];
+        let sense_sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        for j in 0..n_struct {
+            cost[j] = sense_sign * model.objective[j];
+        }
+        let mut cost1 = vec![0.0; n_total];
+        for c in cost1.iter_mut().take(n_total).skip(first_artificial) {
+            *c = 1.0;
+        }
+
+        // The initial basis consists of slack/artificial unit columns with
+        // entries ±1, so its inverse is diagonal with the same signs.
+        let mut binv = vec![0.0; m * m];
+        for (r, &bj) in basis.iter().enumerate() {
+            let coef = cols[bj][0].1;
+            binv[r * m + r] = 1.0 / coef;
+        }
+
+        Self {
+            opts,
+            m,
+            n_total,
+            n_struct,
+            cols,
+            lo,
+            hi,
+            rhs,
+            cost,
+            cost1,
+            status,
+            x,
+            basis,
+            binv,
+            iterations: 0,
+            first_artificial,
+        }
+    }
+
+    /// `B⁻¹ · a_q` for a sparse column.
+    fn ftran(&self, q: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        for &(i, c) in &self.cols[q] {
+            if c == 0.0 {
+                continue;
+            }
+            for r in 0..self.m {
+                w[r] += self.binv[r * self.m + i] * c;
+            }
+        }
+        w
+    }
+
+    /// `y = c_Bᵀ · B⁻¹`.
+    fn btran(&self, cost: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (r, &bj) in self.basis.iter().enumerate() {
+            let cb = cost[bj];
+            if cb == 0.0 {
+                continue;
+            }
+            for i in 0..self.m {
+                y[i] += cb * self.binv[r * self.m + i];
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64], cost: &[f64]) -> f64 {
+        let mut d = cost[j];
+        for &(i, c) in &self.cols[j] {
+            d -= y[i] * c;
+        }
+        d
+    }
+
+    /// Recomputes basic variable values from the nonbasic point.
+    fn refresh_basics(&mut self) {
+        let mut resid = self.rhs.clone();
+        for j in 0..self.n_total {
+            if self.status[j] != Status::Basic && self.x[j] != 0.0 {
+                for &(i, c) in &self.cols[j] {
+                    resid[i] -= c * self.x[j];
+                }
+            }
+        }
+        for r in 0..self.m {
+            let mut v = 0.0;
+            for i in 0..self.m {
+                v += self.binv[r * self.m + i] * resid[i];
+            }
+            self.x[self.basis[r]] = v;
+        }
+    }
+
+    /// Rebuilds `binv` from the basis columns by Gauss-Jordan elimination
+    /// with partial pivoting. Returns `false` if the basis matrix is
+    /// numerically singular.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        let mut a = vec![0.0; m * m]; // basis matrix, column r = a_{basis[r]}
+        for (r, &bj) in self.basis.iter().enumerate() {
+            for &(i, c) in &self.cols[bj] {
+                a[i * m + r] = c;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut piv = col;
+            let mut best = a[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = a[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                return false;
+            }
+            if piv != col {
+                for c in 0..m {
+                    a.swap(col * m + c, piv * m + c);
+                    inv.swap(col * m + c, piv * m + c);
+                }
+            }
+            let d = a[col * m + col];
+            for c in 0..m {
+                a[col * m + c] /= d;
+                inv[col * m + c] /= d;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = a[r * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..m {
+                    a[r * m + c] -= f * a[col * m + c];
+                    inv[r * m + c] -= f * inv[col * m + c];
+                }
+            }
+        }
+        self.binv = inv;
+        true
+    }
+
+    /// Runs one simplex phase minimising `cost`. Returns `None` on success
+    /// (optimality reached) or a terminal status.
+    fn phase(&mut self, use_phase1: bool) -> Option<LpStatus> {
+        let mut stall = 0usize;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Some(LpStatus::IterationLimit);
+            }
+            if self.iterations % self.opts.refresh_every == self.opts.refresh_every - 1 {
+                self.refactorize();
+                self.refresh_basics();
+            }
+            let cost = if use_phase1 {
+                self.cost1.clone()
+            } else {
+                self.cost.clone()
+            };
+            let y = self.btran(&cost);
+
+            let bland = stall >= self.opts.stall_limit;
+            // Entering variable selection.
+            let mut entering: Option<(usize, f64, f64)> = None; // (var, |d|, direction)
+            for j in 0..self.n_total {
+                match self.status[j] {
+                    Status::Basic => continue,
+                    Status::AtLower | Status::AtUpper | Status::FreeZero => {}
+                }
+                // Artificials must never re-enter once phase 1 is done.
+                if !use_phase1 && j >= self.first_artificial {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y, &cost);
+                let dir = match self.status[j] {
+                    Status::AtLower if d < -self.opts.opt_tol => 1.0,
+                    Status::AtUpper if d > self.opts.opt_tol => -1.0,
+                    Status::FreeZero if d < -self.opts.opt_tol => 1.0,
+                    Status::FreeZero if d > self.opts.opt_tol => -1.0,
+                    _ => continue,
+                };
+                if bland {
+                    entering = Some((j, d.abs(), dir));
+                    break;
+                }
+                match entering {
+                    Some((_, best, _)) if d.abs() <= best => {}
+                    _ => entering = Some((j, d.abs(), dir)),
+                }
+            }
+            let (q, _, sigma) = entering?;
+
+            let w = self.ftran(q);
+
+            // Ratio test: largest step t >= 0 keeping all basics in bounds,
+            // also limited by the entering variable's own opposite bound.
+            let own_span = self.hi[q] - self.lo[q];
+            let mut t_limit = if own_span.is_finite() { own_span } else { f64::INFINITY };
+            let mut leaving: Option<(usize, f64)> = None; // (row, |w_r|)
+            let mut t_best = t_limit;
+            for r in 0..self.m {
+                let wr = w[r];
+                if wr.abs() < self.opts.pivot_tol {
+                    continue;
+                }
+                let bi = self.basis[r];
+                let delta = -sigma * wr; // change of x[bi] per unit step
+                let room = if delta > 0.0 {
+                    (self.hi[bi] - self.x[bi]).max(0.0) / delta
+                } else {
+                    (self.lo[bi] - self.x[bi]).min(0.0) / delta
+                };
+                if !room.is_finite() {
+                    continue;
+                }
+                let better = match leaving {
+                    None => room < t_best - 1e-12,
+                    Some((lr, lw)) => {
+                        if bland {
+                            room < t_best - 1e-12
+                                || (room <= t_best + 1e-12 && self.basis[r] < self.basis[lr])
+                        } else {
+                            room < t_best - 1e-12 || (room <= t_best + 1e-12 && wr.abs() > lw)
+                        }
+                    }
+                };
+                if better {
+                    t_best = room.min(t_best);
+                    leaving = Some((r, wr.abs()));
+                }
+            }
+            if leaving.is_none() && !t_limit.is_finite() {
+                // No basic variable blocks and the entering variable has no
+                // opposite bound: the problem is unbounded in this direction.
+                return Some(LpStatus::Unbounded);
+            }
+            let t = match leaving {
+                Some(_) => t_best.max(0.0),
+                None => t_limit,
+            };
+            if t <= self.opts.feas_tol {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+
+            if leaving.is_none() || (own_span.is_finite() && t >= own_span - 1e-12 && {
+                // Bound flip wins only if strictly no basic hits earlier.
+                match leaving {
+                    Some(_) => t_best > own_span - 1e-12,
+                    None => true,
+                }
+            }) {
+                // Bound flip: q jumps to its opposite bound, basis unchanged.
+                t_limit = own_span;
+                let step = sigma * t_limit;
+                self.x[q] += step;
+                self.status[q] = match self.status[q] {
+                    Status::AtLower => Status::AtUpper,
+                    Status::AtUpper => Status::AtLower,
+                    s => s,
+                };
+                for r in 0..self.m {
+                    let bi = self.basis[r];
+                    self.x[bi] -= w[r] * step;
+                }
+                self.iterations += 1;
+                continue;
+            }
+
+            let (r_leave, _) = leaving.expect("pivot row exists");
+            let step = sigma * t;
+            // Update values.
+            self.x[q] += step;
+            for r in 0..self.m {
+                let bi = self.basis[r];
+                self.x[bi] -= w[r] * step;
+            }
+            // Leaving variable goes to the bound it hit.
+            let b_leave = self.basis[r_leave];
+            let delta_leave = -sigma * w[r_leave];
+            self.status[b_leave] = if delta_leave > 0.0 {
+                self.x[b_leave] = self.hi[b_leave];
+                Status::AtUpper
+            } else {
+                self.x[b_leave] = self.lo[b_leave];
+                Status::AtLower
+            };
+            // Basis inverse update (product form).
+            let wr = w[r_leave];
+            let mrow: Vec<f64> = (0..self.m)
+                .map(|c| self.binv[r_leave * self.m + c] / wr)
+                .collect();
+            for r in 0..self.m {
+                if r == r_leave {
+                    continue;
+                }
+                let f = w[r];
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..self.m {
+                    self.binv[r * self.m + c] -= f * mrow[c];
+                }
+            }
+            for c in 0..self.m {
+                self.binv[r_leave * self.m + c] = mrow[c];
+            }
+            self.basis[r_leave] = q;
+            self.status[q] = Status::Basic;
+            self.iterations += 1;
+        }
+    }
+
+    fn phase1_needed(&self) -> bool {
+        self.n_total > self.first_artificial
+    }
+
+    fn phase1_objective(&self) -> f64 {
+        (self.first_artificial..self.n_total)
+            .map(|j| self.x[j])
+            .sum()
+    }
+
+    fn run(&mut self, model: &LpModel) -> LpSolution {
+        let sense_sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+
+        if self.phase1_needed() {
+            if let Some(stat) = self.phase(true) {
+                return self.finish(model, stat, sense_sign);
+            }
+            self.refactorize();
+            self.refresh_basics();
+            if self.phase1_objective() > self.opts.feas_tol * 10.0 {
+                return self.finish(model, LpStatus::Infeasible, sense_sign);
+            }
+            // Freeze artificials at zero for phase 2.
+            for j in self.first_artificial..self.n_total {
+                self.lo[j] = 0.0;
+                self.hi[j] = 0.0;
+                if self.status[j] != Status::Basic {
+                    self.status[j] = Status::AtLower;
+                    self.x[j] = 0.0;
+                }
+            }
+        }
+
+        let stat = match self.phase(false) {
+            Some(s) => s,
+            None => LpStatus::Optimal,
+        };
+        self.refactorize();
+        self.refresh_basics();
+        self.finish(model, stat, sense_sign)
+    }
+
+    fn finish(&mut self, _model: &LpModel, status: LpStatus, sense_sign: f64) -> LpSolution {
+        let x: Vec<f64> = self.x[..self.n_struct].to_vec();
+        let objective = sense_sign
+            * self.cost[..self.n_struct]
+                .iter()
+                .zip(&x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>();
+        let y = self.btran(&self.cost.clone());
+        let duals: Vec<f64> = y.iter().map(|v| sense_sign * v).collect();
+        LpSolution {
+            status,
+            objective,
+            x,
+            duals,
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// Nonbasic starting value and status for bounds `[l, h]`.
+fn initial_point(l: f64, h: f64) -> (f64, Status) {
+    match (l.is_finite(), h.is_finite()) {
+        (true, true) => {
+            if l.abs() <= h.abs() {
+                (l, Status::AtLower)
+            } else {
+                (h, Status::AtUpper)
+            }
+        }
+        (true, false) => (l, Status::AtLower),
+        (false, true) => (h, Status::AtUpper),
+        (false, false) => (0.0, Status::FreeZero),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LpModel, RowKind, Sense};
+
+    fn solve(m: &LpModel) -> LpSolution {
+        Simplex::new().solve(m).expect("valid model")
+    }
+
+    #[test]
+    fn classic_two_var_max() {
+        // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6), obj 36.
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective(&[(x, 3.0), (y, 5.0)]);
+        m.add_row("r1", &[(x, 1.0)], RowKind::Le, 4.0).unwrap();
+        m.add_row("r2", &[(y, 2.0)], RowKind::Le, 12.0).unwrap();
+        m.add_row("r3", &[(x, 3.0), (y, 2.0)], RowKind::Le, 18.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 36.0).abs() < 1e-6, "obj {}", s.objective);
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+        assert!((s.value(y) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows_needs_phase1() {
+        // min 2x + 3y st x + y >= 4, x >= 1, y >= 0 => x=4? No: cost favors x.
+        // At x+y=4 cheapest is all x: x=4,y=0 obj 8.
+        let mut m = LpModel::new(Sense::Minimize);
+        let x = m.add_var("x", 1.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective(&[(x, 2.0), (y, 3.0)]);
+        m.add_row("cover", &[(x, 1.0), (y, 1.0)], RowKind::Ge, 4.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 8.0).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y st x + 2y = 3, x - y = 0 => x=y=1, obj 2.
+        let mut m = LpModel::new(Sense::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY);
+        let y = m.add_var("y", f64::NEG_INFINITY, f64::INFINITY);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        m.add_row("e1", &[(x, 1.0), (y, 2.0)], RowKind::Eq, 3.0)
+            .unwrap();
+        m.add_row("e2", &[(x, 1.0), (y, -1.0)], RowKind::Eq, 0.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.value(x) - 1.0).abs() < 1e-6);
+        assert!((s.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = LpModel::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0);
+        m.set_objective(&[(x, 1.0)]);
+        m.add_row("lo", &[(x, 1.0)], RowKind::Ge, 2.0).unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        m.set_objective(&[(x, 1.0)]);
+        m.add_row("r", &[(x, -1.0)], RowKind::Le, 1.0).unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn bounded_variables_without_rows() {
+        // Pure bound optimisation: max 2x - y with x in [0,3], y in [1,5].
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 3.0);
+        let y = m.add_var("y", 1.0, 5.0);
+        m.set_objective(&[(x, 2.0), (y, -1.0)]);
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 5.0).abs() < 1e-7);
+        assert!((s.value(x) - 3.0).abs() < 1e-9);
+        assert!((s.value(y) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x + y with x,y in [-5,5], x + y >= -3 => obj -3 on the line.
+        let mut m = LpModel::new(Sense::Minimize);
+        let x = m.add_var("x", -5.0, 5.0);
+        let y = m.add_var("y", -5.0, 5.0);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        m.add_row("r", &[(x, 1.0), (y, 1.0)], RowKind::Ge, -3.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 3.0).abs() < 1e-6, "obj {}", s.objective);
+    }
+
+    #[test]
+    fn free_variable_equality_solve() {
+        // Free variables solving a linear system: z = 3x + 1, x = 2 => z = 7.
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 2.0, 2.0);
+        let z = m.add_var("z", f64::NEG_INFINITY, f64::INFINITY);
+        m.set_objective(&[(z, 1.0)]);
+        m.add_row("def", &[(z, 1.0), (x, -3.0)], RowKind::Eq, 1.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.value(z) - 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_model() {
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0);
+        let y = m.add_var("y", 0.0, 10.0);
+        let z = m.add_var("z", 0.0, 10.0);
+        m.set_objective(&[(x, 1.0), (y, 2.0), (z, 3.0)]);
+        m.add_row("r1", &[(x, 1.0), (y, 1.0), (z, 1.0)], RowKind::Le, 10.0)
+            .unwrap();
+        m.add_row("r2", &[(y, 1.0), (z, -1.0)], RowKind::Ge, -2.0)
+            .unwrap();
+        m.add_row("r3", &[(x, 1.0), (z, 1.0)], RowKind::Eq, 6.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(m.is_feasible(&s.x, 1e-6));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Highly degenerate: many redundant constraints through the origin.
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        for k in 1..=6 {
+            m.add_row("r", &[(x, k as f64), (y, 1.0)], RowKind::Le, 0.0)
+                .unwrap();
+        }
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(s.objective.abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_with_bounds_override() {
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0);
+        m.set_objective(&[(x, 1.0)]);
+        let s = Simplex::new().solve_with_bounds(&m, &[(0.0, 4.0)]).unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-9);
+        assert!(Simplex::new().solve_with_bounds(&m, &[]).is_err());
+        assert!(Simplex::new()
+            .solve_with_bounds(&m, &[(1.0, 0.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_le_problem() {
+        // max cᵀx st Ax <= b, x >= 0: bᵀy == cᵀx at optimum.
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective(&[(x, 3.0), (y, 2.0)]);
+        m.add_row("r1", &[(x, 1.0), (y, 1.0)], RowKind::Le, 4.0)
+            .unwrap();
+        m.add_row("r2", &[(x, 1.0), (y, 3.0)], RowKind::Le, 6.0)
+            .unwrap();
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        let dual_obj = 4.0 * -s.duals[0] + 6.0 * -s.duals[1];
+        // For a maximisation solved as min(−c), y_min duals are reported
+        // negated; strong duality: bᵀ|y| equals the primal objective.
+        assert!(
+            (dual_obj.abs() - s.objective).abs() < 1e-6,
+            "dual {} primal {}",
+            dual_obj,
+            s.objective
+        );
+    }
+
+    #[test]
+    fn larger_random_like_instance_is_optimal_and_feasible() {
+        // Deterministic pseudo-random LP with 12 vars / 8 rows.
+        let mut m = LpModel::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_var(&format!("v{i}"), 0.0, 3.0 + (i % 4) as f64))
+            .collect();
+        let mut seed = 12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        m.set_objective(
+            &vars
+                .iter()
+                .map(|&v| (v, next().abs() + 0.1))
+                .collect::<Vec<_>>(),
+        );
+        for r in 0..8 {
+            let coeffs: Vec<_> = vars.iter().map(|&v| (v, next())).collect();
+            m.add_row(&format!("r{r}"), &coeffs, RowKind::Le, 2.0 + r as f64 * 0.5)
+                .unwrap();
+        }
+        let s = solve(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(m.is_feasible(&s.x, 1e-5));
+    }
+}

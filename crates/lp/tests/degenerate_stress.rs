@@ -1,0 +1,121 @@
+//! Stress tests on the LP shapes branch-and-bound actually produces:
+//! equality-heavy systems, many variables fixed by bounds, and re-solves
+//! of one model under hundreds of different bound overrides.
+
+use certnn_lp::{LpModel, LpStatus, RowKind, Sense, Simplex};
+
+/// A chain of equalities mimicking a network encoding: z1 = 2x − 1,
+/// z2 = −z1 + 0.5, out = z2 + z1.
+fn chain_model() -> (LpModel, Vec<certnn_lp::VarId>) {
+    let mut m = LpModel::new(Sense::Maximize);
+    let x = m.add_var("x", -1.0, 1.0);
+    let z1 = m.add_var("z1", -10.0, 10.0);
+    let z2 = m.add_var("z2", -10.0, 10.0);
+    let out = m.add_var("out", -30.0, 30.0);
+    m.add_row("d1", &[(z1, -1.0), (x, 2.0)], RowKind::Eq, 1.0).unwrap();
+    m.add_row("d2", &[(z2, -1.0), (z1, -1.0)], RowKind::Eq, -0.5).unwrap();
+    m.add_row("d3", &[(out, -1.0), (z2, 1.0), (z1, 1.0)], RowKind::Eq, 0.0)
+        .unwrap();
+    m.set_objective(&[(out, 1.0)]);
+    (m, vec![x, z1, z2, out])
+}
+
+#[test]
+fn equality_chain_solves_exactly() {
+    // out = z2 + z1 = (−z1 + 0.5) + z1 = 0.5 regardless of x — constant.
+    let (m, vars) = chain_model();
+    let s = Simplex::new().solve(&m).unwrap();
+    assert_eq!(s.status, LpStatus::Optimal);
+    assert!((s.objective - 0.5).abs() < 1e-9, "obj {}", s.objective);
+    assert!((s.value(vars[3]) - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn hundreds_of_bound_overrides_stay_consistent() {
+    // The BaB pattern: one model, many solves with tightened bounds.
+    let (m, _) = chain_model();
+    let solver = Simplex::new();
+    for k in 0..300 {
+        let t = k as f64 / 300.0;
+        // Tighten x into a shrinking window around t − 0.5.
+        let (lo, hi) = (t - 0.6, t - 0.4);
+        let bounds = vec![
+            (lo.max(-1.0), hi.min(1.0)),
+            (-10.0, 10.0),
+            (-10.0, 10.0),
+            (-30.0, 30.0),
+        ];
+        let s = solver.solve_with_bounds(&m, &bounds).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal, "k={k}");
+        assert!((s.objective - 0.5).abs() < 1e-7, "k={k}: {}", s.objective);
+    }
+}
+
+#[test]
+fn fully_fixed_variables_reduce_to_evaluation() {
+    let (m, vars) = chain_model();
+    // Pin x to 0.25: z1 = −0.5, z2 = 1.0, out = 0.5.
+    let bounds = vec![(0.25, 0.25), (-10.0, 10.0), (-10.0, 10.0), (-30.0, 30.0)];
+    let s = Simplex::new().solve_with_bounds(&m, &bounds).unwrap();
+    assert_eq!(s.status, LpStatus::Optimal);
+    assert!((s.value(vars[1]) + 0.5).abs() < 1e-9);
+    assert!((s.value(vars[2]) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn infeasible_bound_overrides_detected() {
+    let (m, _) = chain_model();
+    // z1 = 2x − 1 with x in [0.9, 1.0] forces z1 in [0.8, 1.0]; demanding
+    // z1 ≤ 0 is infeasible.
+    let bounds = vec![(0.9, 1.0), (-10.0, 0.0), (-10.0, 10.0), (-30.0, 30.0)];
+    let s = Simplex::new().solve_with_bounds(&m, &bounds).unwrap();
+    assert_eq!(s.status, LpStatus::Infeasible);
+}
+
+#[test]
+fn wide_equality_system_with_many_free_variables() {
+    // 30 chained free variables: v_{i+1} = v_i + 1, v_0 = 0 — a long
+    // phase-1 chain with artificials everywhere.
+    let mut m = LpModel::new(Sense::Maximize);
+    let vars: Vec<_> = (0..30)
+        .map(|i| m.add_var(&format!("v{i}"), f64::NEG_INFINITY, f64::INFINITY))
+        .collect();
+    m.add_row("base", &[(vars[0], 1.0)], RowKind::Eq, 0.0).unwrap();
+    for i in 0..29 {
+        m.add_row(
+            &format!("c{i}"),
+            &[(vars[i + 1], 1.0), (vars[i], -1.0)],
+            RowKind::Eq,
+            1.0,
+        )
+        .unwrap();
+    }
+    m.set_objective(&[(vars[29], 1.0)]);
+    let s = Simplex::new().solve(&m).unwrap();
+    assert_eq!(s.status, LpStatus::Optimal);
+    assert!((s.objective - 29.0).abs() < 1e-7, "obj {}", s.objective);
+    for (i, v) in vars.iter().enumerate() {
+        assert!((s.value(*v) - i as f64).abs() < 1e-6, "v{i} = {}", s.value(*v));
+    }
+}
+
+#[test]
+fn alternating_senses_on_shared_structure() {
+    // min and max of the same functional bracket every feasible value.
+    let mut m_max = LpModel::new(Sense::Maximize);
+    let mut m_min = LpModel::new(Sense::Minimize);
+    for m in [&mut m_max, &mut m_min] {
+        let a = m.add_var("a", 0.0, 2.0);
+        let b = m.add_var("b", -1.0, 1.0);
+        m.add_row("r", &[(a, 1.0), (b, 2.0)], RowKind::Le, 2.5).unwrap();
+        m.set_objective(&[(a, 1.0), (b, 1.0)]);
+    }
+    let hi = Simplex::new().solve(&m_max).unwrap();
+    let lo = Simplex::new().solve(&m_min).unwrap();
+    assert_eq!(hi.status, LpStatus::Optimal);
+    assert_eq!(lo.status, LpStatus::Optimal);
+    assert!(lo.objective <= hi.objective);
+    // Spot value: max is a=2, b=0.25 -> 2.25; min is a=0, b=-1 -> -1.
+    assert!((hi.objective - 2.25).abs() < 1e-7);
+    assert!((lo.objective + 1.0).abs() < 1e-7);
+}

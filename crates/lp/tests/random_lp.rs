@@ -1,0 +1,130 @@
+//! Property-based tests comparing the simplex solver against brute force.
+//!
+//! For small random LPs with bounded variables we can approximate the true
+//! optimum by enumerating the vertices of the box and dense sampling is not
+//! sound; instead we check *certificates*: every reported optimum must be
+//! feasible, and no sampled feasible point may beat it.
+
+use certnn_lp::{LpModel, LpStatus, RowKind, Sense, Simplex};
+use proptest::prelude::*;
+
+fn small_coeff() -> impl Strategy<Value = f64> {
+    // Avoid pathological magnitudes; integers /4 keep arithmetic tame.
+    (-12i32..=12).prop_map(|v| v as f64 / 4.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For random boxes + `<=` rows the origin-shifted corner `lo` may or may
+    /// not be feasible; whenever the solver says Optimal, the solution must
+    /// (a) be feasible and (b) dominate every feasible corner of the box.
+    #[test]
+    fn optimal_solutions_dominate_box_corners(
+        n_vars in 1usize..4,
+        n_rows in 0usize..4,
+        c in prop::collection::vec(small_coeff(), 4),
+        a in prop::collection::vec(small_coeff(), 16),
+        b in prop::collection::vec((-8i32..=8).prop_map(|v| v as f64 / 2.0), 4),
+        lo in prop::collection::vec((-4i32..=0).prop_map(|v| v as f64), 4),
+        span in prop::collection::vec((0i32..=6).prop_map(|v| v as f64), 4),
+    ) {
+        let mut m = LpModel::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n_vars)
+            .map(|i| m.add_var(&format!("x{i}"), lo[i], lo[i] + span[i]))
+            .collect();
+        m.set_objective(&vars.iter().enumerate().map(|(i, &v)| (v, c[i])).collect::<Vec<_>>());
+        for r in 0..n_rows {
+            let coeffs: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, a[r * 4 + i]))
+                .collect();
+            m.add_row(&format!("r{r}"), &coeffs, RowKind::Le, b[r]).unwrap();
+        }
+        let sol = Simplex::new().solve(&m).unwrap();
+        match sol.status {
+            LpStatus::Optimal => {
+                prop_assert!(m.is_feasible(&sol.x, 1e-6), "claimed optimum infeasible");
+                // Enumerate the box corners; each feasible corner must not
+                // beat the reported objective.
+                let corners = 1usize << n_vars;
+                for mask in 0..corners {
+                    let pt: Vec<f64> = (0..n_vars)
+                        .map(|i| if mask & (1 << i) != 0 { lo[i] + span[i] } else { lo[i] })
+                        .collect();
+                    if m.is_feasible(&pt, 1e-9) {
+                        let val = m.eval_objective(&pt);
+                        prop_assert!(
+                            val <= sol.objective + 1e-6,
+                            "corner {:?} has objective {} > reported {}",
+                            pt, val, sol.objective
+                        );
+                    }
+                }
+            }
+            LpStatus::Infeasible => {
+                // Sanity: the all-lower corner must indeed violate something.
+                let pt: Vec<f64> = (0..n_vars).map(|i| lo[i]).collect();
+                // (not a complete certificate; just ensure no trivial miss)
+                if m.is_feasible(&pt, 1e-9) {
+                    prop_assert!(false, "reported infeasible but corner {:?} feasible", pt);
+                }
+            }
+            // Box-bounded variables cannot be unbounded.
+            LpStatus::Unbounded => prop_assert!(false, "bounded box reported unbounded"),
+            LpStatus::IterationLimit => {}
+        }
+    }
+
+    /// Minimisation and maximisation are symmetric: max cᵀx == -min (-c)ᵀx.
+    #[test]
+    fn sense_symmetry(
+        c in prop::collection::vec(small_coeff(), 3),
+        a in prop::collection::vec(small_coeff(), 6),
+        b in prop::collection::vec((0i32..=8).prop_map(|v| v as f64 / 2.0), 2),
+    ) {
+        let build = |sense: Sense, flip: f64| {
+            let mut m = LpModel::new(sense);
+            let vars: Vec<_> = (0..3).map(|i| m.add_var(&format!("x{i}"), 0.0, 5.0)).collect();
+            m.set_objective(&vars.iter().enumerate().map(|(i, &v)| (v, flip * c[i])).collect::<Vec<_>>());
+            for r in 0..2 {
+                let coeffs: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, a[r * 3 + i])).collect();
+                m.add_row(&format!("r{r}"), &coeffs, RowKind::Le, b[r]).unwrap();
+            }
+            m
+        };
+        let mx = Simplex::new().solve(&build(Sense::Maximize, 1.0)).unwrap();
+        let mn = Simplex::new().solve(&build(Sense::Minimize, -1.0)).unwrap();
+        prop_assert_eq!(mx.status, mn.status);
+        if mx.status == LpStatus::Optimal {
+            prop_assert!((mx.objective + mn.objective).abs() < 1e-6,
+                "max {} vs -min {}", mx.objective, -mn.objective);
+        }
+    }
+
+    /// Tightening a variable's bounds can never improve the optimum.
+    #[test]
+    fn bound_tightening_is_monotone(
+        c in prop::collection::vec(small_coeff(), 3),
+        a in prop::collection::vec(small_coeff(), 6),
+        b in prop::collection::vec((1i32..=8).prop_map(|v| v as f64 / 2.0), 2),
+        cut in 0.0f64..2.0,
+    ) {
+        let mut m = LpModel::new(Sense::Maximize);
+        let vars: Vec<_> = (0..3).map(|i| m.add_var(&format!("x{i}"), 0.0, 4.0)).collect();
+        m.set_objective(&vars.iter().enumerate().map(|(i, &v)| (v, c[i])).collect::<Vec<_>>());
+        for r in 0..2 {
+            let coeffs: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, a[r * 3 + i])).collect();
+            m.add_row(&format!("r{r}"), &coeffs, RowKind::Le, b[r]).unwrap();
+        }
+        let wide = Simplex::new().solve(&m).unwrap();
+        let tight = Simplex::new()
+            .solve_with_bounds(&m, &[(0.0, 4.0 - cut), (0.0, 4.0), (0.0, 4.0)])
+            .unwrap();
+        if wide.status == LpStatus::Optimal && tight.status == LpStatus::Optimal {
+            prop_assert!(tight.objective <= wide.objective + 1e-6,
+                "tightened {} > wide {}", tight.objective, wide.objective);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Export of MILP models to the CPLEX LP text format.
+
+use crate::model::MilpModel;
+use certnn_lp::export::to_lp_format;
+use std::fmt::Write as _;
+
+/// Renders the MILP in LP format, appending the integrality section.
+pub fn to_lp_format_milp(model: &MilpModel) -> String {
+    let base = to_lp_format(model.relaxation());
+    let ints = model.integer_vars();
+    if ints.is_empty() {
+        return base;
+    }
+    // Insert a Generals section before the trailing `End`.
+    let mut s = base
+        .strip_suffix("End\n")
+        .unwrap_or(&base)
+        .to_string();
+    let _ = writeln!(s, "Generals");
+    for v in ints {
+        // Positional names match certnn-lp's sanitisation fallback; re-use
+        // the relaxation's naming by index lookup.
+        let name = {
+            let raw = model.relaxation().var_name(v);
+            if !raw.is_empty()
+                && raw
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !raw.starts_with(|c: char| c.is_ascii_digit())
+            {
+                raw.to_string()
+            } else {
+                format!("x{}", v.index())
+            }
+        };
+        let _ = writeln!(s, " {name}");
+    }
+    s.push_str("End\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_lp::{RowKind, Sense};
+
+    #[test]
+    fn generals_section_lists_integer_vars() {
+        let mut m = MilpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 1.0);
+        let b = m.add_binary("b");
+        m.set_objective(&[(x, 1.0), (b, 1.0)]);
+        m.add_row("r", &[(x, 1.0), (b, 1.0)], RowKind::Le, 1.5).unwrap();
+        let text = to_lp_format_milp(&m);
+        assert!(text.contains("Generals"));
+        assert!(text.lines().any(|l| l.trim() == "b"));
+        assert!(text.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn pure_lp_has_no_generals() {
+        let mut m = MilpModel::new(Sense::Minimize);
+        m.add_var("x", 0.0, 1.0);
+        let text = to_lp_format_milp(&m);
+        assert!(!text.contains("Generals"));
+    }
+}

@@ -1,0 +1,243 @@
+//! MILP model builder.
+
+use certnn_lp::{LpError, LpModel, RowId, RowKind, Sense, VarId};
+use std::fmt;
+
+/// Continuity class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VarKind {
+    /// A continuous variable.
+    #[default]
+    Continuous,
+    /// A variable restricted to integral values within its bounds.
+    Integer,
+}
+
+/// A mixed-integer linear program under construction.
+///
+/// Wraps an [`LpModel`] and remembers which variables are integral. The
+/// neural-network encoder in `certnn-verify` produces one binary per
+/// unstable ReLU neuron plus continuous variables for inputs and
+/// activations.
+///
+/// # Example
+///
+/// ```
+/// use certnn_milp::MilpModel;
+/// use certnn_lp::Sense;
+///
+/// let mut m = MilpModel::new(Sense::Maximize);
+/// let x = m.add_var("x", 0.0, 1.5);
+/// let b = m.add_binary("b");
+/// assert!(!m.is_integer(x));
+/// assert!(m.is_integer(b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MilpModel {
+    lp: LpModel,
+    kinds: Vec<VarKind>,
+}
+
+impl MilpModel {
+    /// Creates an empty model with the given optimisation sense.
+    pub fn new(sense: Sense) -> Self {
+        Self {
+            lp: LpModel::new(sense),
+            kinds: Vec::new(),
+        }
+    }
+
+    /// Adds a continuous variable with bounds `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn add_var(&mut self, name: &str, lo: f64, hi: f64) -> VarId {
+        let id = self.lp.add_var(name, lo, hi);
+        self.kinds.push(VarKind::Continuous);
+        id
+    }
+
+    /// Adds a binary (0/1 integer) variable.
+    pub fn add_binary(&mut self, name: &str) -> VarId {
+        self.add_integer(name, 0.0, 1.0)
+    }
+
+    /// Adds an integer variable with bounds `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn add_integer(&mut self, name: &str, lo: f64, hi: f64) -> VarId {
+        let id = self.lp.add_var(name, lo, hi);
+        self.kinds.push(VarKind::Integer);
+        id
+    }
+
+    /// Returns `true` if `var` is integral.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn is_integer(&self, var: VarId) -> bool {
+        self.kinds[var.index()] == VarKind::Integer
+    }
+
+    /// Kind of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn kind(&self, var: VarId) -> VarKind {
+        self.kinds[var.index()]
+    }
+
+    /// Updates the bounds of an existing variable.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpModel::set_bounds`].
+    pub fn set_bounds(&mut self, var: VarId, lo: f64, hi: f64) -> Result<(), LpError> {
+        self.lp.set_bounds(var, lo, hi)
+    }
+
+    /// Returns the bounds of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        self.lp.bounds(var)
+    }
+
+    /// Sets the objective (overwriting any previous objective).
+    ///
+    /// # Panics
+    ///
+    /// See [`LpModel::set_objective`].
+    pub fn set_objective(&mut self, coeffs: &[(VarId, f64)]) {
+        self.lp.set_objective(coeffs)
+    }
+
+    /// Adds a constraint row.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpModel::add_row`].
+    pub fn add_row(
+        &mut self,
+        name: &str,
+        coeffs: &[(VarId, f64)],
+        kind: RowKind,
+        rhs: f64,
+    ) -> Result<RowId, LpError> {
+        self.lp.add_row(name, coeffs, kind, rhs)
+    }
+
+    /// Number of variables (continuous + integer).
+    pub fn num_vars(&self) -> usize {
+        self.lp.num_vars()
+    }
+
+    /// Number of integer variables.
+    pub fn num_integers(&self) -> usize {
+        self.kinds.iter().filter(|k| **k == VarKind::Integer).count()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.lp.num_rows()
+    }
+
+    /// Optimisation sense.
+    pub fn sense(&self) -> Sense {
+        self.lp.sense()
+    }
+
+    /// Indices of the integer variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k == VarKind::Integer)
+            .map(|(i, _)| VarId::from_index(i))
+            .collect()
+    }
+
+    /// The underlying LP relaxation (integrality dropped).
+    pub fn relaxation(&self) -> &LpModel {
+        &self.lp
+    }
+
+    /// Checks feasibility of `x` including integrality within `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if !self.lp.is_feasible(x, tol) {
+            return false;
+        }
+        self.kinds.iter().zip(x).all(|(k, &v)| match k {
+            VarKind::Continuous => true,
+            VarKind::Integer => (v - v.round()).abs() <= tol,
+        })
+    }
+
+    /// Evaluates the objective at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_vars()`.
+    pub fn eval_objective(&self, x: &[f64]) -> f64 {
+        self.lp.eval_objective(x)
+    }
+}
+
+impl fmt::Display for MilpModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MILP: {} vars ({} integer), {} rows",
+            self.num_vars(),
+            self.num_integers(),
+            self.num_rows()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_tracked() {
+        let mut m = MilpModel::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0);
+        let b = m.add_binary("b");
+        let k = m.add_integer("k", -3.0, 3.0);
+        assert_eq!(m.kind(x), VarKind::Continuous);
+        assert_eq!(m.kind(b), VarKind::Integer);
+        assert_eq!(m.kind(k), VarKind::Integer);
+        assert_eq!(m.num_integers(), 2);
+        assert_eq!(m.integer_vars(), vec![b, k]);
+        assert_eq!(m.bounds(b), (0.0, 1.0));
+    }
+
+    #[test]
+    fn feasibility_includes_integrality() {
+        let mut m = MilpModel::new(Sense::Minimize);
+        let _x = m.add_var("x", 0.0, 2.0);
+        let _b = m.add_binary("b");
+        assert!(m.is_feasible(&[1.5, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[1.5, 0.5], 1e-9));
+        assert!(!m.is_feasible(&[3.0, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn display_counts() {
+        let mut m = MilpModel::new(Sense::Maximize);
+        m.add_binary("b");
+        assert!(m.to_string().contains("1 integer"));
+    }
+}

@@ -1,0 +1,704 @@
+//! Best-bound-first branch-and-bound.
+
+use crate::model::MilpModel;
+use crate::MilpError;
+use certnn_lp::{LpStatus, Sense, Simplex, SimplexOptions, VarId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Variable-selection rule for branching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BranchRule {
+    /// Branch on the variable closest to half-integrality.
+    #[default]
+    MostFractional,
+    /// Branch on the variable with the best observed objective
+    /// degradation history (product of up/down pseudo-costs), falling
+    /// back to fractionality until history accumulates.
+    PseudoCost,
+}
+
+/// Tuning knobs and termination criteria for [`BranchAndBound`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MilpOptions {
+    /// Wall-clock limit; `None` means unlimited.
+    pub time_limit: Option<Duration>,
+    /// Explored-node limit; `None` means unlimited.
+    pub node_limit: Option<usize>,
+    /// Absolute optimality gap at which the search stops.
+    pub abs_gap: f64,
+    /// Relative optimality gap (fraction of the incumbent) at which the
+    /// search stops.
+    pub rel_gap: f64,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Stop as soon as an incumbent at least this good (in the model's
+    /// sense) is found. This is the "find a counterexample" fast path of a
+    /// decision query.
+    pub target_objective: Option<f64>,
+    /// Stop as soon as the global bound proves the optimum is strictly
+    /// worse than this value (below it when maximising, above it when
+    /// minimising). This is the "property proven" fast path of a decision
+    /// query.
+    pub bound_cutoff: Option<f64>,
+    /// Run the rounding dive heuristic for early incumbents.
+    pub dive_heuristic: bool,
+    /// Branching variable selection.
+    pub branch_rule: BranchRule,
+    /// Options for the underlying LP solves.
+    pub lp: SimplexOptions,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self {
+            time_limit: None,
+            node_limit: None,
+            abs_gap: 1e-6,
+            rel_gap: 1e-6,
+            int_tol: 1e-6,
+            target_objective: None,
+            bound_cutoff: None,
+            dive_heuristic: true,
+            branch_rule: BranchRule::default(),
+            lp: SimplexOptions::default(),
+        }
+    }
+}
+
+/// Termination status of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MilpStatus {
+    /// Optimality proven within the configured gap.
+    Optimal,
+    /// No feasible assignment exists.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// Stopped at the wall-clock limit.
+    TimeLimit,
+    /// Stopped at the node limit.
+    NodeLimit,
+    /// Stopped because an incumbent reached
+    /// [`MilpOptions::target_objective`].
+    TargetReached,
+    /// Stopped because the global bound crossed
+    /// [`MilpOptions::bound_cutoff`].
+    BoundCutoff,
+}
+
+impl std::fmt::Display for MilpStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MilpStatus::Optimal => "optimal",
+            MilpStatus::Infeasible => "infeasible",
+            MilpStatus::Unbounded => "unbounded",
+            MilpStatus::TimeLimit => "time limit",
+            MilpStatus::NodeLimit => "node limit",
+            MilpStatus::TargetReached => "target reached",
+            MilpStatus::BoundCutoff => "bound cutoff",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of a branch-and-bound run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    /// Termination status.
+    pub status: MilpStatus,
+    /// Best integral solution found, if any (variable values by [`VarId`]).
+    pub x: Option<Vec<f64>>,
+    /// Objective of the best integral solution, if any, in the model sense.
+    pub objective: Option<f64>,
+    /// Best proven bound on the optimum (upper bound when maximising,
+    /// lower bound when minimising).
+    pub best_bound: f64,
+    /// Number of branch-and-bound nodes whose LP relaxation was solved.
+    pub nodes: usize,
+    /// Total simplex pivots across all LP solves.
+    pub lp_iterations: usize,
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+}
+
+impl MilpSolution {
+    /// Remaining absolute gap `|best_bound − objective|`, or `+∞` without an
+    /// incumbent.
+    pub fn gap(&self) -> f64 {
+        match self.objective {
+            Some(o) => (self.best_bound - o).abs(),
+            None => f64::INFINITY,
+        }
+    }
+}
+
+/// A best-bound-first branch-and-bound MILP solver.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone, Default)]
+pub struct BranchAndBound {
+    opts: MilpOptions,
+}
+
+/// Open node: bounds override plus the parent's LP bound (score space).
+struct Node {
+    bounds: Vec<(f64, f64)>,
+    score_bound: f64,
+    depth: usize,
+    /// `(variable, went_up)` branch that created this node, for
+    /// pseudo-cost bookkeeping.
+    branched_on: Option<(usize, bool)>,
+}
+
+/// Per-variable pseudo-cost history: observed LP-bound degradation per
+/// branch, split by direction.
+#[derive(Debug, Clone, Copy, Default)]
+struct PseudoCost {
+    up_sum: f64,
+    up_n: usize,
+    down_sum: f64,
+    down_n: usize,
+}
+
+impl PseudoCost {
+    fn avg_up(&self) -> Option<f64> {
+        (self.up_n > 0).then(|| self.up_sum / self.up_n as f64)
+    }
+    fn avg_down(&self) -> Option<f64> {
+        (self.down_n > 0).then(|| self.down_sum / self.down_n as f64)
+    }
+}
+
+/// Max-heap ordering on the score bound (ties: deeper first, to dive).
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.score_bound == other.score_bound && self.depth == other.depth
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score_bound
+            .partial_cmp(&other.score_bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+
+impl BranchAndBound {
+    /// Creates a solver with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with explicit options.
+    pub fn with_options(opts: MilpOptions) -> Self {
+        Self { opts }
+    }
+
+    /// Solves the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError`] if the model is malformed (NaN data, inverted
+    /// bounds).
+    pub fn solve(&self, model: &MilpModel) -> Result<MilpSolution, MilpError> {
+        let start = Instant::now();
+        let sense_sign = match model.sense() {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        let int_vars: Vec<VarId> = model.integer_vars();
+        let simplex = Simplex::with_options(self.opts.lp);
+        let lp = model.relaxation();
+
+        let root_bounds: Vec<(f64, f64)> =
+            (0..model.num_vars()).map(|i| model.bounds(VarId::from_index(i))).collect();
+
+        let mut nodes_explored = 0usize;
+        let mut lp_iterations = 0usize;
+        let mut incumbent: Option<(Vec<f64>, f64)> = None; // (x, score)
+        let mut heap = BinaryHeap::new();
+        heap.push(Node {
+            bounds: root_bounds,
+            score_bound: f64::INFINITY,
+            depth: 0,
+            branched_on: None,
+        });
+        let mut pseudo: Vec<PseudoCost> = vec![PseudoCost::default(); model.num_vars()];
+        let mut global_bound = f64::INFINITY; // score space
+        let mut status = MilpStatus::Optimal;
+
+        'search: while let Some(node) = heap.pop() {
+            // Best-first: the popped node carries the best remaining bound.
+            global_bound = node.score_bound;
+            if let Some((_, inc_score)) = &incumbent {
+                if global_bound <= *inc_score + self.opts.abs_gap
+                    || global_bound <= *inc_score + self.opts.rel_gap * inc_score.abs()
+                {
+                    status = MilpStatus::Optimal;
+                    global_bound = *inc_score;
+                    break 'search;
+                }
+            }
+            if let Some(cut) = self.opts.bound_cutoff {
+                let cut_score = sense_sign * cut;
+                if global_bound.is_finite() && global_bound < cut_score {
+                    status = MilpStatus::BoundCutoff;
+                    break 'search;
+                }
+            }
+            if let Some(limit) = self.opts.time_limit {
+                if start.elapsed() >= limit {
+                    status = MilpStatus::TimeLimit;
+                    break 'search;
+                }
+            }
+            if let Some(limit) = self.opts.node_limit {
+                if nodes_explored >= limit {
+                    status = MilpStatus::NodeLimit;
+                    break 'search;
+                }
+            }
+
+            let sol = simplex.solve_with_bounds(lp, &node.bounds)?;
+            nodes_explored += 1;
+            lp_iterations += sol.iterations;
+            match sol.status {
+                LpStatus::Infeasible => continue,
+                LpStatus::Unbounded => {
+                    if node.depth == 0 {
+                        status = MilpStatus::Unbounded;
+                        global_bound = f64::INFINITY;
+                        break 'search;
+                    }
+                    continue;
+                }
+                LpStatus::IterationLimit => {
+                    // Unresolved node: keep its parent bound so the final
+                    // bound stays sound, but do not branch further.
+                    continue;
+                }
+                LpStatus::Optimal => {}
+            }
+            let node_score = sense_sign * sol.objective;
+            // LP bound can only be <= parent bound (score space).
+            let node_score = node_score.min(node.score_bound);
+            // Record the bound degradation caused by the branch that
+            // created this node (pseudo-cost learning).
+            if let Some((var, went_up)) = node.branched_on {
+                let degrade = (node.score_bound - node_score).max(0.0);
+                let pc = &mut pseudo[var];
+                if went_up {
+                    pc.up_sum += degrade;
+                    pc.up_n += 1;
+                } else {
+                    pc.down_sum += degrade;
+                    pc.down_n += 1;
+                }
+            }
+
+            if let Some((_, inc_score)) = &incumbent {
+                if node_score <= *inc_score + self.opts.abs_gap {
+                    continue; // dominated
+                }
+            }
+
+            // Pick the branching variable.
+            let mut branch: Option<(VarId, f64, f64)> = None; // (var, value, score: smaller=better)
+            for &v in &int_vars {
+                let val = sol.x[v.index()];
+                let frac = (val - val.round()).abs();
+                if frac <= self.opts.int_tol {
+                    continue;
+                }
+                let score = match self.opts.branch_rule {
+                    // 0 = most fractional wins.
+                    BranchRule::MostFractional => (val - val.floor() - 0.5).abs(),
+                    BranchRule::PseudoCost => {
+                        let pc = &pseudo[v.index()];
+                        let up_frac = val.ceil() - val;
+                        let down_frac = val - val.floor();
+                        let up = pc.avg_up().unwrap_or(1.0) * up_frac;
+                        let down = pc.avg_down().unwrap_or(1.0) * down_frac;
+                        // Product rule; negate so "smaller is better".
+                        -(up.max(1e-9) * down.max(1e-9))
+                    }
+                };
+                match branch {
+                    Some((_, _, best)) if score >= best => {}
+                    _ => branch = Some((v, val, score)),
+                }
+            }
+
+            match branch {
+                None => {
+                    // Integral: candidate incumbent.
+                    if update_incumbent(&mut incumbent, sol.x.clone(), node_score) {
+                        if let Some(target) = self.opts.target_objective {
+                            let target_score = sense_sign * target;
+                            if node_score >= target_score {
+                                status = MilpStatus::TargetReached;
+                                break 'search;
+                            }
+                        }
+                    }
+                }
+                Some((v, val, _)) => {
+                    // Dive heuristic: round-and-fix for a quick incumbent.
+                    if self.opts.dive_heuristic
+                        && (incumbent.is_none() || nodes_explored.is_multiple_of(64))
+                    {
+                        if let Some((hx, hscore)) = self.dive(
+                            model,
+                            &simplex,
+                            &node.bounds,
+                            &int_vars,
+                            &sol.x,
+                            &mut lp_iterations,
+                        ) {
+                            if update_incumbent(&mut incumbent, hx, hscore) {
+                                if let Some(target) = self.opts.target_objective {
+                                    if hscore >= sense_sign * target {
+                                        status = MilpStatus::TargetReached;
+                                        break 'search;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let (lo, hi) = node.bounds[v.index()];
+                    let down = val.floor();
+                    let up = val.ceil();
+                    if down >= lo - self.opts.int_tol {
+                        let mut b = node.bounds.clone();
+                        b[v.index()] = (lo, down.min(hi));
+                        heap.push(Node {
+                            bounds: b,
+                            score_bound: node_score,
+                            depth: node.depth + 1,
+                            branched_on: Some((v.index(), false)),
+                        });
+                    }
+                    if up <= hi + self.opts.int_tol {
+                        let mut b = node.bounds.clone();
+                        b[v.index()] = (up.max(lo), hi);
+                        heap.push(Node {
+                            bounds: b,
+                            score_bound: node_score,
+                            depth: node.depth + 1,
+                            branched_on: Some((v.index(), true)),
+                        });
+                    }
+                }
+            }
+        }
+
+        if heap.is_empty() && status == MilpStatus::Optimal {
+            // Search exhausted: incumbent (if any) is optimal.
+            global_bound = match &incumbent {
+                Some((_, s)) => *s,
+                None => {
+                    status = MilpStatus::Infeasible;
+                    f64::NEG_INFINITY
+                }
+            };
+        }
+
+        let (x, objective) = match incumbent {
+            Some((x, score)) => (Some(x), Some(sense_sign * score)),
+            None => (None, None),
+        };
+        Ok(MilpSolution {
+            status,
+            x,
+            objective,
+            best_bound: sense_sign * global_bound,
+            nodes: nodes_explored,
+            lp_iterations,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Rounds every integer variable to the nearest integer, fixes it, and
+    /// re-solves the LP. Returns a feasible integral point (score space) on
+    /// success.
+    fn dive(
+        &self,
+        model: &MilpModel,
+        simplex: &Simplex,
+        bounds: &[(f64, f64)],
+        int_vars: &[VarId],
+        relax_x: &[f64],
+        lp_iterations: &mut usize,
+    ) -> Option<(Vec<f64>, f64)> {
+        let mut fixed = bounds.to_vec();
+        for &v in int_vars {
+            let (lo, hi) = bounds[v.index()];
+            let r = relax_x[v.index()].round().clamp(lo, hi);
+            fixed[v.index()] = (r, r);
+        }
+        let sol = simplex.solve_with_bounds(model.relaxation(), &fixed).ok()?;
+        if sol.status != LpStatus::Optimal {
+            return None;
+        }
+        *lp_iterations += sol.iterations;
+        if !model.is_feasible(&sol.x, self.opts.int_tol.max(1e-6)) {
+            return None;
+        }
+        let sense_sign = match model.sense() {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        Some((sol.x.clone(), sense_sign * sol.objective))
+    }
+}
+
+/// Replaces the incumbent if `score` improves it. Returns `true` on update.
+fn update_incumbent(inc: &mut Option<(Vec<f64>, f64)>, x: Vec<f64>, score: f64) -> bool {
+    match inc {
+        Some((_, s)) if score <= *s => false,
+        _ => {
+            *inc = Some((x, score));
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_lp::RowKind;
+
+    fn knapsack() -> MilpModel {
+        let mut m = MilpModel::new(Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        let d = m.add_binary("d");
+        m.set_objective(&[(a, 10.0), (b, 13.0), (c, 7.0), (d, 4.0)]);
+        m.add_row(
+            "cap",
+            &[(a, 6.0), (b, 8.0), (c, 5.0), (d, 3.0)],
+            RowKind::Le,
+            14.0,
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn knapsack_optimum() {
+        // Best subset of weights 6,8,5,3 within 14: {a,b} = 23.
+        let sol = BranchAndBound::new().solve(&knapsack()).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective.unwrap() - 23.0).abs() < 1e-6);
+        assert!(sol.gap() < 1e-5);
+        let x = sol.x.unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6 && (x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_lp_relaxation_forces_branching() {
+        // max x st 2x <= 3, x integer in [0, 5] => LP gives 1.5, MILP 1.
+        let mut m = MilpModel::new(Sense::Maximize);
+        let x = m.add_integer("x", 0.0, 5.0);
+        m.set_objective(&[(x, 1.0)]);
+        m.add_row("r", &[(x, 2.0)], RowKind::Le, 3.0).unwrap();
+        let sol = BranchAndBound::new().solve(&m).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective.unwrap() - 1.0).abs() < 1e-6);
+        assert!(sol.nodes >= 1);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut m = MilpModel::new(Sense::Maximize);
+        let x = m.add_binary("x");
+        m.set_objective(&[(x, 1.0)]);
+        m.add_row("lo", &[(x, 1.0)], RowKind::Ge, 2.0).unwrap();
+        let sol = BranchAndBound::new().solve(&m).unwrap();
+        assert_eq!(sol.status, MilpStatus::Infeasible);
+        assert!(sol.x.is_none());
+        assert!(sol.gap().is_infinite());
+    }
+
+    #[test]
+    fn minimize_sense() {
+        // min 3a + 2b st a + b >= 1, binaries => b alone = 2.
+        let mut m = MilpModel::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.set_objective(&[(a, 3.0), (b, 2.0)]);
+        m.add_row("cover", &[(a, 1.0), (b, 1.0)], RowKind::Ge, 1.0)
+            .unwrap();
+        let sol = BranchAndBound::new().solve(&m).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective.unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_continuous_and_integer() {
+        // max 2x + y, x continuous in [0, 2.5], y integer in [0, 3],
+        // x + y <= 4 => x = 2.5, y = 1 (y must be integral) obj 6.0... check:
+        // x=2.5 => y <= 1.5 => y=1, obj 6.0.
+        let mut m = MilpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 2.5);
+        let y = m.add_integer("y", 0.0, 3.0);
+        m.set_objective(&[(x, 2.0), (y, 1.0)]);
+        m.add_row("r", &[(x, 1.0), (y, 1.0)], RowKind::Le, 4.0)
+            .unwrap();
+        let sol = BranchAndBound::new().solve(&m).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective.unwrap() - 6.0).abs() < 1e-6, "{:?}", sol.objective);
+        let xs = sol.x.unwrap();
+        assert!((xs[1] - xs[1].round()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn target_objective_stops_early() {
+        let opts = MilpOptions {
+            target_objective: Some(15.0),
+            ..MilpOptions::default()
+        };
+        let sol = BranchAndBound::with_options(opts).solve(&knapsack()).unwrap();
+        assert!(matches!(
+            sol.status,
+            MilpStatus::TargetReached | MilpStatus::Optimal
+        ));
+        assert!(sol.objective.unwrap() >= 15.0);
+    }
+
+    #[test]
+    fn bound_cutoff_proves_limit() {
+        // Capacity 15 makes the root LP fractional (bound ~24.4) while the
+        // MILP optimum is 23. A cutoff of 23.6 sits strictly between them,
+        // so the search must stop with BoundCutoff before closing the gap.
+        let mut m = MilpModel::new(Sense::Maximize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        let d = m.add_binary("d");
+        m.set_objective(&[(a, 10.0), (b, 13.0), (c, 7.0), (d, 4.0)]);
+        m.add_row(
+            "cap",
+            &[(a, 6.0), (b, 8.0), (c, 5.0), (d, 3.0)],
+            RowKind::Le,
+            15.0,
+        )
+        .unwrap();
+        let opts = MilpOptions {
+            bound_cutoff: Some(23.6),
+            dive_heuristic: false,
+            ..MilpOptions::default()
+        };
+        let sol = BranchAndBound::with_options(opts).solve(&m).unwrap();
+        assert_eq!(sol.status, MilpStatus::BoundCutoff);
+        assert!(sol.best_bound < 23.6);
+        // The proven bound is still a valid upper bound on the optimum (23).
+        assert!(sol.best_bound >= 23.0 - 1e-6);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let opts = MilpOptions {
+            node_limit: Some(1),
+            dive_heuristic: false,
+            ..MilpOptions::default()
+        };
+        let mut m = MilpModel::new(Sense::Maximize);
+        // A problem needing several nodes: equal weights force branching.
+        let vars: Vec<_> = (0..6).map(|i| m.add_binary(&format!("b{i}"))).collect();
+        m.set_objective(&vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>());
+        m.add_row(
+            "r",
+            &vars.iter().map(|&v| (v, 2.0)).collect::<Vec<_>>(),
+            RowKind::Le,
+            5.0,
+        )
+        .unwrap();
+        let sol = BranchAndBound::with_options(opts).solve(&m).unwrap();
+        assert!(sol.nodes <= 2);
+    }
+
+    #[test]
+    fn pure_lp_without_integers() {
+        let mut m = MilpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 7.0);
+        m.set_objective(&[(x, 2.0)]);
+        let sol = BranchAndBound::new().solve(&m).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective.unwrap() - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incumbent_is_always_feasible() {
+        let m = knapsack();
+        let sol = BranchAndBound::new().solve(&m).unwrap();
+        assert!(m.is_feasible(&sol.x.unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn best_bound_brackets_objective() {
+        let sol = BranchAndBound::new().solve(&knapsack()).unwrap();
+        // Maximisation: bound >= objective.
+        assert!(sol.best_bound >= sol.objective.unwrap() - 1e-6);
+    }
+
+    #[test]
+    fn pseudo_cost_branching_reaches_the_same_optimum() {
+        let mut m = MilpModel::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| m.add_binary(&format!("b{i}"))).collect();
+        m.set_objective(
+            &vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 3.0 + ((i * 7) % 5) as f64))
+                .collect::<Vec<_>>(),
+        );
+        m.add_row(
+            "cap",
+            &vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 2.0 + (i % 3) as f64))
+                .collect::<Vec<_>>(),
+            RowKind::Le,
+            11.0,
+        )
+        .unwrap();
+        let frac = BranchAndBound::new().solve(&m).unwrap();
+        let opts = MilpOptions {
+            branch_rule: BranchRule::PseudoCost,
+            dive_heuristic: false,
+            ..MilpOptions::default()
+        };
+        let pc = BranchAndBound::with_options(opts).solve(&m).unwrap();
+        assert_eq!(pc.status, MilpStatus::Optimal);
+        assert!(
+            (pc.objective.unwrap() - frac.objective.unwrap()).abs() < 1e-6,
+            "pseudo-cost {:?} vs most-fractional {:?}",
+            pc.objective,
+            frac.objective
+        );
+    }
+
+    #[test]
+    fn general_integer_negative_range() {
+        // min x^1 st x >= -2.5 over integers in [-5, 5] => -2.
+        let mut m = MilpModel::new(Sense::Minimize);
+        let x = m.add_integer("x", -5.0, 5.0);
+        m.set_objective(&[(x, 1.0)]);
+        m.add_row("r", &[(x, 1.0)], RowKind::Ge, -2.5).unwrap();
+        let sol = BranchAndBound::new().solve(&m).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective.unwrap() + 2.0).abs() < 1e-6);
+    }
+}

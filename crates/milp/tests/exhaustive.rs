@@ -1,0 +1,94 @@
+//! Property tests: branch-and-bound must agree with exhaustive enumeration
+//! on small all-binary programs.
+
+use certnn_lp::{LpStatus, RowKind, Sense, Simplex};
+use certnn_milp::{BranchAndBound, MilpModel, MilpStatus};
+use proptest::prelude::*;
+
+fn coeff() -> impl Strategy<Value = f64> {
+    (-10i32..=10).prop_map(|v| v as f64 / 2.0)
+}
+
+/// Brute-force optimum over all 2^n binary assignments, with the continuous
+/// tail solved by LP (here: none, pure binary). Returns `None` if infeasible.
+fn brute_force(m: &MilpModel, n: usize) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0..(1usize << n) {
+        let x: Vec<f64> = (0..n)
+            .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+            .collect();
+        if m.is_feasible(&x, 1e-9) {
+            let v = m.eval_objective(&x);
+            best = Some(match best {
+                Some(b) => {
+                    if m.sense() == Sense::Maximize {
+                        b.max(v)
+                    } else {
+                        b.min(v)
+                    }
+                }
+                None => v,
+            });
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn branch_and_bound_matches_enumeration(
+        n in 2usize..6,
+        maximize in any::<bool>(),
+        c in prop::collection::vec(coeff(), 6),
+        a in prop::collection::vec(coeff(), 18),
+        b in prop::collection::vec((-6i32..=10).prop_map(|v| v as f64), 3),
+        n_rows in 1usize..4,
+    ) {
+        let sense = if maximize { Sense::Maximize } else { Sense::Minimize };
+        let mut m = MilpModel::new(sense);
+        let vars: Vec<_> = (0..n).map(|i| m.add_binary(&format!("b{i}"))).collect();
+        m.set_objective(&vars.iter().enumerate().map(|(i, &v)| (v, c[i])).collect::<Vec<_>>());
+        for r in 0..n_rows {
+            let coeffs: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, a[r * 6 + i]))
+                .collect();
+            m.add_row(&format!("r{r}"), &coeffs, RowKind::Le, b[r]).unwrap();
+        }
+        let sol = BranchAndBound::new().solve(&m).unwrap();
+        let truth = brute_force(&m, n);
+        match truth {
+            Some(opt) => {
+                prop_assert_eq!(sol.status, MilpStatus::Optimal);
+                let got = sol.objective.unwrap();
+                prop_assert!((got - opt).abs() < 1e-6, "got {} expected {}", got, opt);
+                prop_assert!(m.is_feasible(&sol.x.unwrap(), 1e-6));
+            }
+            None => prop_assert_eq!(sol.status, MilpStatus::Infeasible),
+        }
+    }
+
+    /// The MILP optimum can never beat its own LP relaxation.
+    #[test]
+    fn relaxation_bounds_milp(
+        c in prop::collection::vec(coeff(), 4),
+        a in prop::collection::vec(coeff(), 8),
+        b in prop::collection::vec((1i32..=8).prop_map(|v| v as f64), 2),
+    ) {
+        let mut m = MilpModel::new(Sense::Maximize);
+        let vars: Vec<_> = (0..4).map(|i| m.add_binary(&format!("b{i}"))).collect();
+        m.set_objective(&vars.iter().enumerate().map(|(i, &v)| (v, c[i])).collect::<Vec<_>>());
+        for r in 0..2 {
+            let coeffs: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, a[r * 4 + i])).collect();
+            m.add_row(&format!("r{r}"), &coeffs, RowKind::Le, b[r]).unwrap();
+        }
+        let relax = Simplex::new().solve(m.relaxation()).unwrap();
+        let sol = BranchAndBound::new().solve(&m).unwrap();
+        if relax.status == LpStatus::Optimal && sol.status == MilpStatus::Optimal {
+            prop_assert!(sol.objective.unwrap() <= relax.objective + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Activation functions.
+//!
+//! The paper's discussion of testing (Sec. II) hinges on the activation
+//! choice: `tanh` has no branches (MC/DC trivially satisfiable with a
+//! single test), while ReLU introduces one if-then-else per neuron (MC/DC
+//! intractable, but exactly encodable as a mixed-integer constraint). The
+//! verification path therefore supports ReLU and identity exactly, and
+//! `certnn-trace` measures branch coverage only on ReLU layers.
+
+use certnn_linalg::Interval;
+use std::fmt;
+
+/// An elementwise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Rectified linear unit `max(0, x)` — piecewise linear, MILP-encodable.
+    #[default]
+    Relu,
+    /// Hyperbolic tangent — smooth, branch-free.
+    Tanh,
+    /// Identity (used for linear output layers).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the function to a scalar.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use certnn_nn::activation::Activation;
+    /// assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+    /// assert_eq!(Activation::Identity.apply(-3.0), -3.0);
+    /// ```
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative at `x` (for ReLU the subgradient convention `f'(0) = 0`).
+    pub fn derivative(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Sound interval transfer function: the image of `input` under the
+    /// activation (exact for these monotone functions).
+    pub fn interval(&self, input: Interval) -> Interval {
+        match self {
+            Activation::Relu => input.relu(),
+            Activation::Tanh => input.tanh(),
+            Activation::Identity => input,
+        }
+    }
+
+    /// `true` if the function introduces a branch per neuron (relevant for
+    /// the MC/DC analysis of `certnn-trace`).
+    pub fn has_branch(&self) -> bool {
+        matches!(self, Activation::Relu)
+    }
+
+    /// `true` if the function is piecewise linear and therefore exactly
+    /// MILP-encodable by `certnn-verify`.
+    pub fn is_piecewise_linear(&self) -> bool {
+        matches!(self, Activation::Relu | Activation::Identity)
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Identity => "identity",
+        })
+    }
+}
+
+impl std::str::FromStr for Activation {
+    type Err = crate::NnError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "relu" => Ok(Activation::Relu),
+            "tanh" => Ok(Activation::Tanh),
+            "identity" => Ok(Activation::Identity),
+            other => Err(crate::NnError::Parse(format!(
+                "unknown activation `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_values_and_derivative() {
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(2.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(-2.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_finite_difference() {
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-6;
+            let fd = (Activation::Tanh.apply(x + h) - Activation::Tanh.apply(x - h)) / (2.0 * h);
+            assert!((Activation::Tanh.derivative(x) - fd).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn interval_transfer_is_sound_on_samples() {
+        let iv = Interval::new(-1.5, 0.75);
+        for act in [Activation::Relu, Activation::Tanh, Activation::Identity] {
+            let out = act.interval(iv);
+            let mut x = iv.lo();
+            while x <= iv.hi() {
+                assert!(out.contains(act.apply(x)), "{act} at {x}");
+                x += 0.05;
+            }
+        }
+    }
+
+    #[test]
+    fn branch_and_linearity_flags() {
+        assert!(Activation::Relu.has_branch());
+        assert!(!Activation::Tanh.has_branch());
+        assert!(Activation::Relu.is_piecewise_linear());
+        assert!(!Activation::Tanh.is_piecewise_linear());
+        assert!(Activation::Identity.is_piecewise_linear());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for act in [Activation::Relu, Activation::Tanh, Activation::Identity] {
+            let s = act.to_string();
+            assert_eq!(s.parse::<Activation>().unwrap(), act);
+        }
+        assert!("gelu".parse::<Activation>().is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text (de)serialisation of datasets.
+//!
+//! Experiment datasets can be frozen to disk and checked in, so a
+//! certification run is reproducible from artifacts rather than from the
+//! simulator's code path. One line per sample:
+//!
+//! ```text
+//! certnn-dataset v1 inputs=84 targets=2
+//! 0.75 0.76 … | 0.0 -0.3
+//! ```
+
+use crate::train::Dataset;
+use crate::NnError;
+use certnn_linalg::Vector;
+
+/// Serialises a dataset to the text format.
+///
+/// # Errors
+///
+/// Returns [`NnError::EmptyArchitecture`] for an empty dataset (the
+/// header needs the dimensions) and [`NnError::Shape`] if samples have
+/// inconsistent dimensions.
+pub fn dataset_to_text(data: &Dataset) -> Result<String, NnError> {
+    let Some((x0, y0)) = data.get(0) else {
+        return Err(NnError::EmptyArchitecture);
+    };
+    let (nx, ny) = (x0.len(), y0.len());
+    let mut out = String::with_capacity(data.len() * nx * 8);
+    out.push_str(&format!("certnn-dataset v1 inputs={nx} targets={ny}\n"));
+    for (i, (x, y)) in data.iter().enumerate() {
+        if x.len() != nx || y.len() != ny {
+            return Err(NnError::Shape {
+                op: "dataset sample",
+                expected: nx,
+                got: x.len().max(i),
+            });
+        }
+        for (k, v) in x.iter().enumerate() {
+            if k > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{v:?}"));
+        }
+        out.push_str(" |");
+        for v in y.iter() {
+            out.push_str(&format!(" {v:?}"));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parses a dataset from the text format.
+///
+/// # Errors
+///
+/// Returns [`NnError::Parse`] on malformed input.
+pub fn dataset_from_text(text: &str) -> Result<Dataset, NnError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| NnError::Parse("missing header".into()))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("certnn-dataset") || parts.next() != Some("v1") {
+        return Err(NnError::Parse(format!("bad header `{header}`")));
+    }
+    let parse_dim = |tok: Option<&str>, key: &str| -> Result<usize, NnError> {
+        tok.and_then(|t| t.strip_prefix(key))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| NnError::Parse(format!("missing {key}<n> in header")))
+    };
+    let nx = parse_dim(parts.next(), "inputs=")?;
+    let ny = parse_dim(parts.next(), "targets=")?;
+
+    let mut data = Dataset::new();
+    for (lineno, line) in lines.enumerate() {
+        let (xs, ys) = line
+            .split_once('|')
+            .ok_or_else(|| NnError::Parse(format!("line {}: missing `|`", lineno + 2)))?;
+        let parse_vec = |s: &str, expect: usize, what: &str| -> Result<Vector, NnError> {
+            let vals: Result<Vec<f64>, _> =
+                s.split_whitespace().map(str::parse::<f64>).collect();
+            let vals =
+                vals.map_err(|_| NnError::Parse(format!("line {}: bad float", lineno + 2)))?;
+            if vals.len() != expect {
+                return Err(NnError::Parse(format!(
+                    "line {}: {what} has {} values, expected {expect}",
+                    lineno + 2,
+                    vals.len()
+                )));
+            }
+            Ok(Vector::from(vals))
+        };
+        data.push(parse_vec(xs, nx, "input")?, parse_vec(ys, ny, "target")?);
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        (0..10)
+            .map(|i| {
+                let x = i as f64 / 3.0;
+                (
+                    Vector::from(vec![x, -x, 0.1 + 0.2]),
+                    Vector::from(vec![2.0 * x]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let data = sample_dataset();
+        let text = dataset_to_text(&data).unwrap();
+        let back = dataset_from_text(&text).unwrap();
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn header_carries_dimensions() {
+        let text = dataset_to_text(&sample_dataset()).unwrap();
+        assert!(text.starts_with("certnn-dataset v1 inputs=3 targets=1\n"));
+    }
+
+    #[test]
+    fn empty_dataset_rejected_on_save() {
+        assert!(dataset_to_text(&Dataset::new()).is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_rejected_on_load() {
+        assert!(dataset_from_text("").is_err());
+        assert!(dataset_from_text("wrong v1 inputs=1 targets=1\n").is_err());
+        assert!(dataset_from_text("certnn-dataset v1 inputs=1 targets=1\n1.0 2.0\n").is_err());
+        assert!(
+            dataset_from_text("certnn-dataset v1 inputs=2 targets=1\n1.0 | 2.0\n").is_err(),
+            "wrong input arity must fail"
+        );
+        assert!(
+            dataset_from_text("certnn-dataset v1 inputs=1 targets=1\nx | 2.0\n").is_err(),
+            "non-numeric must fail"
+        );
+    }
+
+    #[test]
+    fn inconsistent_sample_dimensions_rejected_on_save() {
+        let mut data = sample_dataset();
+        data.push(Vector::zeros(5), Vector::zeros(1));
+        assert!(dataset_to_text(&data).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Bivariate Gaussian mixture output heads.
+//!
+//! The case-study predictor outputs "the probability distribution over all
+//! possible actions for a vehicle, characterized as a Gaussian mixture
+//! model" over two action dimensions: lateral velocity (positive = towards
+//! the left lane) and longitudinal acceleration. A network with a
+//! `K`-component head has `5·K` output neurons laid out by
+//! [`OutputLayout`]:
+//!
+//! | slice            | meaning                               |
+//! |------------------|---------------------------------------|
+//! | `[0, K)`         | mixture logits (softmax → weights)    |
+//! | `[K, 3K)`        | component means, `(v_lat, a_lon)` pairs |
+//! | `[3K, 5K)`       | log standard deviations, pairs        |
+//!
+//! The verification objective of Table II — "the mean value of the
+//! probability distribution [over lateral velocity] should be limited" —
+//! reads the `v_lat` *mean* neurons, which are affine outputs of the last
+//! hidden layer and therefore MILP-encodable.
+
+use crate::NnError;
+use certnn_linalg::Vector;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// Action dimensions of the motion predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionDim {
+    /// Lateral velocity (m/s, positive towards the left lane).
+    LateralVelocity,
+    /// Longitudinal acceleration (m/s²).
+    LongitudinalAcceleration,
+}
+
+impl ActionDim {
+    /// Index of the dimension within a mean/std pair.
+    pub fn index(&self) -> usize {
+        match self {
+            ActionDim::LateralVelocity => 0,
+            ActionDim::LongitudinalAcceleration => 1,
+        }
+    }
+}
+
+/// Maps mixture parameters to output-neuron indices for a `K`-component
+/// bivariate mixture head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutputLayout {
+    components: usize,
+}
+
+impl OutputLayout {
+    /// Layout for `components` mixture components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components == 0`.
+    pub fn new(components: usize) -> Self {
+        assert!(components > 0, "mixture needs at least one component");
+        Self { components }
+    }
+
+    /// Number of mixture components `K`.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Total number of output neurons (`5·K`).
+    pub fn output_len(&self) -> usize {
+        5 * self.components
+    }
+
+    /// Output index of component `k`'s mixture logit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= K`.
+    pub fn logit(&self, k: usize) -> usize {
+        assert!(k < self.components);
+        k
+    }
+
+    /// Output index of component `k`'s mean along `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= K`.
+    pub fn mean(&self, k: usize, dim: ActionDim) -> usize {
+        assert!(k < self.components);
+        self.components + 2 * k + dim.index()
+    }
+
+    /// Output index of component `k`'s log standard deviation along `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= K`.
+    pub fn log_std(&self, k: usize, dim: ActionDim) -> usize {
+        assert!(k < self.components);
+        3 * self.components + 2 * k + dim.index()
+    }
+
+    /// All output indices holding a lateral-velocity mean — the neurons the
+    /// safety property of Table II constrains.
+    pub fn lateral_mean_indices(&self) -> Vec<usize> {
+        (0..self.components)
+            .map(|k| self.mean(k, ActionDim::LateralVelocity))
+            .collect()
+    }
+}
+
+/// One component of a bivariate diagonal Gaussian mixture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmmComponent {
+    /// Mixture weight (softmax of logits; weights sum to 1).
+    pub weight: f64,
+    /// Mean `(v_lat, a_lon)`.
+    pub mean: [f64; 2],
+    /// Standard deviation `(v_lat, a_lon)`, strictly positive.
+    pub std: [f64; 2],
+}
+
+/// A bivariate diagonal Gaussian mixture over `(v_lat, a_lon)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gmm2 {
+    components: Vec<GmmComponent>,
+}
+
+impl Gmm2 {
+    /// Decodes a mixture from raw network outputs using `layout`.
+    ///
+    /// Log standard deviations are clamped to `[-6, 3]` before
+    /// exponentiation so untrained networks still decode to finite
+    /// densities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `output.len() != layout.output_len()`.
+    pub fn from_output(output: &Vector, layout: OutputLayout) -> Result<Self, NnError> {
+        if output.len() != layout.output_len() {
+            return Err(NnError::Shape {
+                op: "gmm decode",
+                expected: layout.output_len(),
+                got: output.len(),
+            });
+        }
+        let k = layout.components();
+        // Softmax with max-subtraction for stability.
+        let max_logit = (0..k)
+            .map(|i| output[layout.logit(i)])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = (0..k)
+            .map(|i| (output[layout.logit(i)] - max_logit).exp())
+            .collect();
+        let z: f64 = exps.iter().sum();
+        let components = (0..k)
+            .map(|i| GmmComponent {
+                weight: exps[i] / z,
+                mean: [
+                    output[layout.mean(i, ActionDim::LateralVelocity)],
+                    output[layout.mean(i, ActionDim::LongitudinalAcceleration)],
+                ],
+                std: [
+                    output[layout.log_std(i, ActionDim::LateralVelocity)]
+                        .clamp(-6.0, 3.0)
+                        .exp(),
+                    output[layout.log_std(i, ActionDim::LongitudinalAcceleration)]
+                        .clamp(-6.0, 3.0)
+                        .exp(),
+                ],
+            })
+            .collect();
+        Ok(Self { components })
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[GmmComponent] {
+        &self.components
+    }
+
+    /// Probability density at action `(v_lat, a_lon)`.
+    #[allow(clippy::needless_range_loop)] // two fixed dims, indexed on purpose
+    pub fn pdf(&self, action: [f64; 2]) -> f64 {
+        self.components
+            .iter()
+            .map(|c| {
+                let mut p = c.weight;
+                for d in 0..2 {
+                    let z = (action[d] - c.mean[d]) / c.std[d];
+                    p *= (-0.5 * z * z).exp() / (c.std[d] * (2.0 * PI).sqrt());
+                }
+                p
+            })
+            .sum()
+    }
+
+    /// The component with the largest mixture weight.
+    pub fn dominant(&self) -> &GmmComponent {
+        self.components
+            .iter()
+            .max_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite weights"))
+            .expect("nonempty mixture")
+    }
+
+    /// Mixture mean `(v_lat, a_lon)` (weights-weighted component means).
+    pub fn mean(&self) -> [f64; 2] {
+        let mut m = [0.0; 2];
+        for c in &self.components {
+            m[0] += c.weight * c.mean[0];
+            m[1] += c.weight * c.mean[1];
+        }
+        m
+    }
+
+    /// Largest lateral-velocity component mean — the quantity the safety
+    /// property bounds ("never suggests a large left velocity").
+    pub fn max_lateral_mean(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.mean[0])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl fmt::Display for Gmm2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Gmm2 ({} components)", self.components.len())?;
+        for (i, c) in self.components.iter().enumerate() {
+            writeln!(
+                f,
+                "  #{i}: w={:.3} mean=({:+.3}, {:+.3}) std=({:.3}, {:.3})",
+                c.weight, c.mean[0], c.mean[1], c.std[0], c.std[1]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout3() -> OutputLayout {
+        OutputLayout::new(3)
+    }
+
+    #[test]
+    fn layout_indices_partition_the_output() {
+        let l = layout3();
+        assert_eq!(l.output_len(), 15);
+        let mut seen = [false; 15];
+        for k in 0..3 {
+            for idx in [
+                l.logit(k),
+                l.mean(k, ActionDim::LateralVelocity),
+                l.mean(k, ActionDim::LongitudinalAcceleration),
+                l.log_std(k, ActionDim::LateralVelocity),
+                l.log_std(k, ActionDim::LongitudinalAcceleration),
+            ] {
+                assert!(!seen[idx], "index {idx} assigned twice");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn lateral_mean_indices_match_layout() {
+        let l = layout3();
+        assert_eq!(l.lateral_mean_indices(), vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn decode_weights_sum_to_one() {
+        let l = layout3();
+        let mut out = Vector::zeros(15);
+        out[0] = 2.0;
+        out[1] = -1.0;
+        out[2] = 0.5;
+        let g = Gmm2::from_output(&out, l).unwrap();
+        let total: f64 = g.components().iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(g.components()[0].weight > g.components()[1].weight);
+    }
+
+    #[test]
+    fn decode_validates_length() {
+        assert!(Gmm2::from_output(&Vector::zeros(7), layout3()).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_about_one_on_a_grid() {
+        let l = OutputLayout::new(1);
+        let mut out = Vector::zeros(5);
+        out[l.mean(0, ActionDim::LateralVelocity)] = 0.3;
+        out[l.mean(0, ActionDim::LongitudinalAcceleration)] = -0.2;
+        // log std 0 -> std 1.
+        let g = Gmm2::from_output(&out, l).unwrap();
+        let step = 0.1;
+        let mut total = 0.0;
+        let mut a = -6.0;
+        while a < 6.0 {
+            let mut b = -6.0;
+            while b < 6.0 {
+                total += g.pdf([a, b]) * step * step;
+                b += step;
+            }
+            a += step;
+        }
+        assert!((total - 1.0).abs() < 0.02, "integral {total}");
+    }
+
+    #[test]
+    fn dominant_and_means() {
+        let l = layout3();
+        let mut out = Vector::zeros(15);
+        out[l.logit(1)] = 5.0; // dominant component 1
+        out[l.mean(0, ActionDim::LateralVelocity)] = -1.0;
+        out[l.mean(1, ActionDim::LateralVelocity)] = 0.5;
+        out[l.mean(2, ActionDim::LateralVelocity)] = 2.0;
+        let g = Gmm2::from_output(&out, l).unwrap();
+        assert!((g.dominant().mean[0] - 0.5).abs() < 1e-12);
+        assert!((g.max_lateral_mean() - 2.0).abs() < 1e-12);
+        // Mixture mean is dominated by component 1.
+        assert!((g.mean()[0] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn extreme_log_std_is_clamped() {
+        let l = OutputLayout::new(1);
+        let mut out = Vector::zeros(5);
+        out[l.log_std(0, ActionDim::LateralVelocity)] = 1e6;
+        let g = Gmm2::from_output(&out, l).unwrap();
+        assert!(g.components()[0].std[0].is_finite());
+        assert!(g.pdf([0.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let g = Gmm2::from_output(&Vector::zeros(5), OutputLayout::new(1)).unwrap();
+        assert!(g.to_string().contains("#0"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Training with hints (safety-rule regularisation).
+//!
+//! The paper's concluding remark (iii) proposes "training under known
+//! properties on the target function (known as hints [Abu-Mostafa 1995]),
+//! such as safety rules". A [`SafetyHint`] is the simplest useful instance:
+//! a guarded output cap. Whenever a training input satisfies the guard
+//! (e.g. *a vehicle is present on the left*), the hint adds a quadratic
+//! penalty on the amount by which a designated output neuron (e.g. the
+//! lateral-velocity mean) exceeds its permitted maximum.
+//!
+//! The `hints_ablation` bench in `certnn-bench` sweeps the hint weight and
+//! re-verifies the trained networks, quantifying how much the hint tightens
+//! the formally verified maximum.
+
+use certnn_linalg::Vector;
+
+/// A guarded output-cap hint: if `input[guard_feature] ≥ guard_threshold`
+/// then penalise `weight · max(0, output[output_index] − max_value)²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafetyHint {
+    /// Input feature that encodes the guard (e.g. "vehicle on left" flag).
+    pub guard_feature: usize,
+    /// Guard activates when the feature is at least this value.
+    pub guard_threshold: f64,
+    /// Output neuron the cap applies to.
+    pub output_index: usize,
+    /// Permitted maximum for the output under the guard.
+    pub max_value: f64,
+    /// Penalty weight λ (0 disables the hint).
+    pub weight: f64,
+}
+
+impl SafetyHint {
+    /// Returns `true` if the guard fires for `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guard_feature` is out of range for `input`.
+    pub fn active(&self, input: &Vector) -> bool {
+        input[self.guard_feature] >= self.guard_threshold
+    }
+
+    /// Penalty value for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guard_feature`/`output_index` are out of range.
+    pub fn penalty(&self, input: &Vector, output: &Vector) -> f64 {
+        if !self.active(input) {
+            return 0.0;
+        }
+        let excess = (output[self.output_index] - self.max_value).max(0.0);
+        self.weight * excess * excess
+    }
+
+    /// Adds the penalty's gradient w.r.t. the network output onto `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guard_feature`/`output_index` are out of range.
+    pub fn accumulate_gradient(&self, input: &Vector, output: &Vector, grad: &mut Vector) {
+        if !self.active(input) {
+            return;
+        }
+        let excess = (output[self.output_index] - self.max_value).max(0.0);
+        grad[self.output_index] += 2.0 * self.weight * excess;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hint() -> SafetyHint {
+        SafetyHint {
+            guard_feature: 1,
+            guard_threshold: 0.5,
+            output_index: 0,
+            max_value: 1.0,
+            weight: 2.0,
+        }
+    }
+
+    #[test]
+    fn guard_controls_activation() {
+        let h = hint();
+        assert!(h.active(&Vector::from(vec![0.0, 1.0])));
+        assert!(!h.active(&Vector::from(vec![0.0, 0.0])));
+    }
+
+    #[test]
+    fn penalty_is_zero_within_cap() {
+        let h = hint();
+        let input = Vector::from(vec![0.0, 1.0]);
+        assert_eq!(h.penalty(&input, &Vector::from(vec![0.5])), 0.0);
+        assert_eq!(h.penalty(&input, &Vector::from(vec![1.0])), 0.0);
+    }
+
+    #[test]
+    fn penalty_grows_quadratically_above_cap() {
+        let h = hint();
+        let input = Vector::from(vec![0.0, 1.0]);
+        // excess 2 -> 2 * 2² = 8.
+        assert!((h.penalty(&input, &Vector::from(vec![3.0])) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let h = hint();
+        let input = Vector::from(vec![0.0, 1.0]);
+        for &v in &[0.2, 1.5, 4.0] {
+            let out = Vector::from(vec![v]);
+            let mut g = Vector::zeros(1);
+            h.accumulate_gradient(&input, &out, &mut g);
+            let eps = 1e-6;
+            let fd = (h.penalty(&input, &Vector::from(vec![v + eps]))
+                - h.penalty(&input, &Vector::from(vec![v - eps])))
+                / (2.0 * eps);
+            assert!((g[0] - fd).abs() < 1e-5, "at {v}: {} vs {fd}", g[0]);
+        }
+    }
+
+    #[test]
+    fn inactive_guard_contributes_nothing() {
+        let h = hint();
+        let input = Vector::from(vec![0.0, 0.0]);
+        let mut g = Vector::zeros(1);
+        h.accumulate_gradient(&input, &Vector::from(vec![9.0]), &mut g);
+        assert_eq!(g[0], 0.0);
+    }
+}

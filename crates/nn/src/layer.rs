@@ -1,0 +1,221 @@
+//! Fully connected layers.
+
+use crate::activation::Activation;
+use crate::NnError;
+use certnn_linalg::{init, Matrix, Vector};
+use rand::Rng;
+
+/// A dense (fully connected) layer `y = act(W·x + b)`.
+///
+/// Weights are stored row-major with one row per output neuron, which is
+/// also the orientation the MILP encoder in `certnn-verify` consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    weights: Matrix,
+    bias: Vector,
+    activation: Activation,
+}
+
+impl DenseLayer {
+    /// Creates a layer from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `bias.len() != weights.rows()`.
+    pub fn new(weights: Matrix, bias: Vector, activation: Activation) -> Result<Self, NnError> {
+        if bias.len() != weights.rows() {
+            return Err(NnError::Shape {
+                op: "layer bias",
+                expected: weights.rows(),
+                got: bias.len(),
+            });
+        }
+        Ok(Self {
+            weights,
+            bias,
+            activation,
+        })
+    }
+
+    /// Creates a randomly initialised layer (He for ReLU, Xavier otherwise).
+    pub fn random<R: Rng + ?Sized>(
+        inputs: usize,
+        outputs: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let scheme = match activation {
+            Activation::Relu => init::Scheme::He,
+            _ => init::Scheme::Xavier,
+        };
+        Self {
+            weights: init::matrix(outputs, inputs, scheme, rng),
+            bias: Vector::zeros(outputs),
+            activation,
+        }
+    }
+
+    /// Number of inputs the layer accepts.
+    pub fn inputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of outputs (neurons).
+    pub fn outputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The weight matrix (`outputs × inputs`).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Mutable access to the weight matrix (used by optimisers).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Vector {
+        &self.bias
+    }
+
+    /// Mutable access to the bias vector (used by optimisers).
+    pub fn bias_mut(&mut self) -> &mut Vector {
+        &mut self.bias
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Pre-activation `W·x + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x.len() != self.inputs()`.
+    pub fn pre_activation(&self, x: &Vector) -> Result<Vector, NnError> {
+        let z = self.weights.mul_vector(x).map_err(|_| NnError::Shape {
+            op: "layer forward",
+            expected: self.inputs(),
+            got: x.len(),
+        })?;
+        Ok(&z + &self.bias)
+    }
+
+    /// Full forward pass `act(W·x + b)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x.len() != self.inputs()`.
+    pub fn forward(&self, x: &Vector) -> Result<Vector, NnError> {
+        let z = self.pre_activation(x)?;
+        Ok(z.map(|v| self.activation.apply(v)))
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+}
+
+/// Gradients of a layer's parameters for one backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGradient {
+    /// Gradient of the loss w.r.t. the weights.
+    pub weights: Matrix,
+    /// Gradient of the loss w.r.t. the bias.
+    pub bias: Vector,
+}
+
+impl LayerGradient {
+    /// Zero gradient matching `layer`'s shapes.
+    pub fn zeros_like(layer: &DenseLayer) -> Self {
+        Self {
+            weights: Matrix::zeros(layer.outputs(), layer.inputs()),
+            bias: Vector::zeros(layer.outputs()),
+        }
+    }
+
+    /// Accumulates another gradient scaled by `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn accumulate(&mut self, other: &LayerGradient, scale: f64) {
+        self.weights
+            .add_scaled(&other.weights, scale)
+            .expect("gradient shape mismatch");
+        let scaled = other.bias.scaled(scale);
+        self.bias += &scaled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> DenseLayer {
+        DenseLayer::new(
+            Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 0.5]]).unwrap(),
+            Vector::from(vec![0.0, -1.0]),
+            Activation::Relu,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_applies_affine_then_relu() {
+        let l = layer();
+        let y = l.forward(&Vector::from(vec![2.0, 1.0])).unwrap();
+        // z = [2-1, 1+0.5-1] = [1, 0.5]; relu unchanged.
+        assert!(y.approx_eq(&Vector::from(vec![1.0, 0.5]), 1e-12));
+        let y2 = l.forward(&Vector::from(vec![-2.0, 1.0])).unwrap();
+        // z = [-3, -1.5] -> relu zeros.
+        assert!(y2.approx_eq(&Vector::zeros(2), 1e-12));
+    }
+
+    #[test]
+    fn bias_shape_validated() {
+        let bad = DenseLayer::new(
+            Matrix::zeros(2, 3),
+            Vector::zeros(3),
+            Activation::Identity,
+        );
+        assert!(matches!(bad, Err(NnError::Shape { .. })));
+    }
+
+    #[test]
+    fn forward_shape_validated() {
+        let l = layer();
+        assert!(matches!(
+            l.forward(&Vector::zeros(3)),
+            Err(NnError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn random_layer_has_declared_shape_and_zero_bias() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = DenseLayer::random(5, 7, Activation::Relu, &mut rng);
+        assert_eq!(l.inputs(), 5);
+        assert_eq!(l.outputs(), 7);
+        assert!(l.bias().approx_eq(&Vector::zeros(7), 0.0));
+        assert_eq!(l.num_params(), 42);
+    }
+
+    #[test]
+    fn gradient_accumulation() {
+        let l = layer();
+        let mut g = LayerGradient::zeros_like(&l);
+        let mut other = LayerGradient::zeros_like(&l);
+        other.weights[(0, 0)] = 2.0;
+        other.bias[1] = 4.0;
+        g.accumulate(&other, 0.5);
+        assert_eq!(g.weights[(0, 0)], 1.0);
+        assert_eq!(g.bias[1], 2.0);
+    }
+}

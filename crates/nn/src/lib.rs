@@ -1,0 +1,136 @@
+//! From-scratch feedforward neural networks with Gaussian-mixture heads.
+//!
+//! This crate implements the model family of the paper's case study: the
+//! highway motion predictor of Lenz et al. (IV 2017) is a fully connected
+//! ReLU network with 84 inputs and a mixture-density output describing the
+//! distribution over the ego vehicle's next action (lateral velocity ×
+//! longitudinal acceleration). The paper's Table II verifies `I4×N`
+//! instances — four hidden layers of `N` ReLU neurons each.
+//!
+//! Everything is implemented here directly on [`certnn_linalg`]:
+//!
+//! * [`activation::Activation`] — ReLU / tanh / identity with derivatives
+//!   and sound interval transfer functions.
+//! * [`layer::DenseLayer`] and [`network::Network`] — forward pass, full
+//!   activation traces (consumed by `certnn-verify` and `certnn-trace`),
+//!   and reverse-mode gradients.
+//! * [`loss`] — mean-squared error and the negative log-likelihood of a
+//!   diagonal bivariate Gaussian mixture ([`gmm::Gmm2`]).
+//! * [`train`] — SGD / momentum / Adam training with optional
+//!   [`hints::SafetyHint`] regularisation (the paper's Sec. IV (iii)
+//!   "training with hints").
+//! * [`serialize`] — a plain-text weight format so experiments are
+//!   reproducible from checked-in artifacts.
+//!
+//! # Example
+//!
+//! ```
+//! use certnn_nn::network::Network;
+//! use certnn_linalg::Vector;
+//!
+//! # fn main() -> Result<(), certnn_nn::NnError> {
+//! // An `I4×10` architecture: 84 inputs, 4 hidden ReLU layers of 10.
+//! let net = Network::relu_mlp(84, &[10, 10, 10, 10], 5, 42)?;
+//! let out = net.forward(&Vector::zeros(84))?;
+//! assert_eq!(out.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod dataset_io;
+pub mod gmm;
+pub mod hints;
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod serialize;
+pub mod train;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by network construction, evaluation or (de)serialisation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Input or target dimension does not match the network.
+    Shape {
+        /// What was being computed.
+        op: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Provided dimension.
+        got: usize,
+    },
+    /// Layer dimensions do not chain (layer `i` outputs ≠ layer `i+1` inputs).
+    LayerMismatch {
+        /// Index of the later layer.
+        layer: usize,
+        /// Output width of the previous layer.
+        prev_out: usize,
+        /// Input width of the offending layer.
+        this_in: usize,
+    },
+    /// An architecture description is empty or zero-width.
+    EmptyArchitecture,
+    /// A serialised network could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Shape { op, expected, got } => {
+                write!(f, "{op}: expected dimension {expected}, got {got}")
+            }
+            NnError::LayerMismatch {
+                layer,
+                prev_out,
+                this_in,
+            } => write!(
+                f,
+                "layer {layer} expects {this_in} inputs but previous layer outputs {prev_out}"
+            ),
+            NnError::EmptyArchitecture => f.write_str("network must have at least one layer"),
+            NnError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_variants() {
+        let errors = [
+            NnError::Shape {
+                op: "forward",
+                expected: 84,
+                got: 3,
+            },
+            NnError::LayerMismatch {
+                layer: 1,
+                prev_out: 10,
+                this_in: 20,
+            },
+            NnError::EmptyArchitecture,
+            NnError::Parse("bad header".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NnError>();
+    }
+}

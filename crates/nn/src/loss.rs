@@ -1,0 +1,289 @@
+//! Loss functions and their gradients with respect to network outputs.
+
+use crate::gmm::{ActionDim, OutputLayout};
+use crate::NnError;
+use certnn_linalg::Vector;
+use std::f64::consts::PI;
+
+/// A differentiable loss over (network output, target) pairs.
+///
+/// Implementations return both the scalar loss and its gradient with
+/// respect to the raw network output; [`crate::train::Trainer`] chains that
+/// gradient through [`crate::network::Network::backward`].
+pub trait Loss {
+    /// Scalar loss value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if output/target dimensions are invalid
+    /// for this loss.
+    fn loss(&self, output: &Vector, target: &Vector) -> Result<f64, NnError>;
+
+    /// Gradient of the loss w.r.t. the network output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if output/target dimensions are invalid
+    /// for this loss.
+    fn gradient(&self, output: &Vector, target: &Vector) -> Result<Vector, NnError>;
+}
+
+/// Mean squared error `(1/n)·Σ (out_i − target_i)²`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Loss for MseLoss {
+    fn loss(&self, output: &Vector, target: &Vector) -> Result<f64, NnError> {
+        if output.len() != target.len() {
+            return Err(NnError::Shape {
+                op: "mse",
+                expected: output.len(),
+                got: target.len(),
+            });
+        }
+        let n = output.len().max(1) as f64;
+        Ok(output
+            .iter()
+            .zip(target.iter())
+            .map(|(o, t)| (o - t) * (o - t))
+            .sum::<f64>()
+            / n)
+    }
+
+    fn gradient(&self, output: &Vector, target: &Vector) -> Result<Vector, NnError> {
+        if output.len() != target.len() {
+            return Err(NnError::Shape {
+                op: "mse gradient",
+                expected: output.len(),
+                got: target.len(),
+            });
+        }
+        let n = output.len().max(1) as f64;
+        Ok(output
+            .iter()
+            .zip(target.iter())
+            .map(|(o, t)| 2.0 * (o - t) / n)
+            .collect())
+    }
+}
+
+/// Negative log-likelihood of a bivariate diagonal Gaussian mixture head
+/// (the mixture-density-network loss of Bishop 1994, specialised to the
+/// two action dimensions of the motion predictor).
+///
+/// The target is the observed action `(v_lat, a_lon)`; the output is the
+/// raw `5K` head described by [`OutputLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GmmNll {
+    layout: OutputLayout,
+}
+
+impl GmmNll {
+    /// NLL for a `components`-component head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components == 0`.
+    pub fn new(components: usize) -> Self {
+        Self {
+            layout: OutputLayout::new(components),
+        }
+    }
+
+    /// The output layout this loss expects.
+    pub fn layout(&self) -> OutputLayout {
+        self.layout
+    }
+
+    /// Log density of one component at the target (log space throughout).
+    fn component_log_density(&self, output: &Vector, k: usize, target: &Vector) -> f64 {
+        let mut log_n = 0.0;
+        for dim in [ActionDim::LateralVelocity, ActionDim::LongitudinalAcceleration] {
+            let mu = output[self.layout.mean(k, dim)];
+            let s = output[self.layout.log_std(k, dim)];
+            let sigma = s.exp();
+            let z = (target[dim.index()] - mu) / sigma;
+            log_n += -0.5 * z * z - s - 0.5 * (2.0 * PI).ln();
+        }
+        log_n
+    }
+
+    /// Responsibilities `r_k` and the total log-likelihood, computed with
+    /// log-sum-exp for stability.
+    fn responsibilities(&self, output: &Vector, target: &Vector) -> (Vec<f64>, f64) {
+        let k = self.layout.components();
+        let max_logit = (0..k)
+            .map(|i| output[self.layout.logit(i)])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let log_pi: Vec<f64> = {
+            let exps: Vec<f64> = (0..k)
+                .map(|i| (output[self.layout.logit(i)] - max_logit).exp())
+                .collect();
+            let z: f64 = exps.iter().sum();
+            (0..k)
+                .map(|i| output[self.layout.logit(i)] - max_logit - z.ln())
+                .collect()
+        };
+        let joint: Vec<f64> = (0..k)
+            .map(|i| log_pi[i] + self.component_log_density(output, i, target))
+            .collect();
+        let m = joint.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let z: f64 = joint.iter().map(|j| (j - m).exp()).sum();
+        let log_lik = m + z.ln();
+        let r: Vec<f64> = joint.iter().map(|j| (j - log_lik).exp()).collect();
+        (r, log_lik)
+    }
+}
+
+impl Loss for GmmNll {
+    fn loss(&self, output: &Vector, target: &Vector) -> Result<f64, NnError> {
+        if output.len() != self.layout.output_len() {
+            return Err(NnError::Shape {
+                op: "gmm nll",
+                expected: self.layout.output_len(),
+                got: output.len(),
+            });
+        }
+        if target.len() != 2 {
+            return Err(NnError::Shape {
+                op: "gmm nll target",
+                expected: 2,
+                got: target.len(),
+            });
+        }
+        let (_, log_lik) = self.responsibilities(output, target);
+        Ok(-log_lik)
+    }
+
+    fn gradient(&self, output: &Vector, target: &Vector) -> Result<Vector, NnError> {
+        // Validate via loss().
+        self.loss(output, target)?;
+        let kk = self.layout.components();
+        let (r, _) = self.responsibilities(output, target);
+        // Softmax weights (needed for the logit gradient).
+        let max_logit = (0..kk)
+            .map(|i| output[self.layout.logit(i)])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = (0..kk)
+            .map(|i| (output[self.layout.logit(i)] - max_logit).exp())
+            .collect();
+        let z: f64 = exps.iter().sum();
+        let pi: Vec<f64> = exps.iter().map(|e| e / z).collect();
+
+        let mut g = Vector::zeros(self.layout.output_len());
+        for k in 0..kk {
+            // dL/dα_k = π_k − r_k   (Bishop, mixture density networks).
+            g[self.layout.logit(k)] = pi[k] - r[k];
+            for dim in [ActionDim::LateralVelocity, ActionDim::LongitudinalAcceleration] {
+                let mu = output[self.layout.mean(k, dim)];
+                let s = output[self.layout.log_std(k, dim)];
+                let sigma = s.exp();
+                let t = target[dim.index()];
+                // dL/dμ = r_k (μ − t)/σ².
+                g[self.layout.mean(k, dim)] = r[k] * (mu - t) / (sigma * sigma);
+                // dL/ds = r_k (1 − (t − μ)²/σ²)  with s = log σ.
+                let zd = (t - mu) / sigma;
+                g[self.layout.log_std(k, dim)] = r[k] * (1.0 - zd * zd);
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let o = Vector::from(vec![1.0, 2.0]);
+        let t = Vector::from(vec![0.0, 4.0]);
+        let l = MseLoss::new();
+        assert!((l.loss(&o, &t).unwrap() - 2.5).abs() < 1e-12); // (1 + 4)/2
+        let g = l.gradient(&o, &t).unwrap();
+        assert!(g.approx_eq(&Vector::from(vec![1.0, -2.0]), 1e-12));
+        assert!(l.loss(&o, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let o = Vector::from(vec![0.4, -0.7, 1.3]);
+        let t = Vector::from(vec![0.1, 0.1, 0.1]);
+        let l = MseLoss::new();
+        let g = l.gradient(&o, &t).unwrap();
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut op = o.clone();
+            op[i] += h;
+            let mut om = o.clone();
+            om[i] -= h;
+            let fd = (l.loss(&op, &t).unwrap() - l.loss(&om, &t).unwrap()) / (2.0 * h);
+            assert!((fd - g[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gmm_nll_decreases_when_mean_approaches_target() {
+        let l = GmmNll::new(2);
+        let layout = l.layout();
+        let target = Vector::from(vec![1.0, -0.5]);
+        let mut far = Vector::zeros(layout.output_len());
+        far[layout.mean(0, ActionDim::LateralVelocity)] = -3.0;
+        let mut near = far.clone();
+        near[layout.mean(0, ActionDim::LateralVelocity)] = 1.0;
+        near[layout.mean(0, ActionDim::LongitudinalAcceleration)] = -0.5;
+        assert!(l.loss(&near, &target).unwrap() < l.loss(&far, &target).unwrap());
+    }
+
+    #[test]
+    fn gmm_nll_gradient_matches_finite_difference() {
+        let l = GmmNll::new(3);
+        let layout = l.layout();
+        let target = Vector::from(vec![0.7, -0.3]);
+        // A generic, asymmetric output point.
+        let mut o = Vector::zeros(layout.output_len());
+        for i in 0..o.len() {
+            o[i] = ((i as f64) * 0.37).sin() * 0.8;
+        }
+        let g = l.gradient(&o, &target).unwrap();
+        let h = 1e-6;
+        for i in 0..o.len() {
+            let mut op = o.clone();
+            op[i] += h;
+            let mut om = o.clone();
+            om[i] -= h;
+            let fd = (l.loss(&op, &target).unwrap() - l.loss(&om, &target).unwrap()) / (2.0 * h);
+            assert!(
+                (fd - g[i]).abs() < 1e-5,
+                "output {i}: fd {fd} vs analytic {}",
+                g[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gmm_nll_validates_shapes() {
+        let l = GmmNll::new(2);
+        assert!(l.loss(&Vector::zeros(3), &Vector::zeros(2)).is_err());
+        assert!(l.loss(&Vector::zeros(10), &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn gmm_nll_is_finite_for_extreme_outputs() {
+        let l = GmmNll::new(2);
+        let layout = l.layout();
+        let mut o = Vector::zeros(layout.output_len());
+        o[layout.logit(0)] = 50.0;
+        o[layout.logit(1)] = -50.0;
+        let target = Vector::from(vec![0.0, 0.0]);
+        assert!(l.loss(&o, &target).unwrap().is_finite());
+        assert!(l.gradient(&o, &target).unwrap().iter().all(|g| g.is_finite()));
+    }
+}

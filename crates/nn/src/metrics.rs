@@ -1,0 +1,139 @@
+//! Evaluation metrics over held-out data.
+//!
+//! Training loss alone does not belong in a certification report: the
+//! pipeline evaluates predictors on held-out samples with the metrics
+//! here, and the `certnn-bench` harness prints them next to the verified
+//! bounds so statistical and formal evidence sit side by side.
+
+use crate::gmm::{Gmm2, OutputLayout};
+use crate::loss::{GmmNll, Loss};
+use crate::network::Network;
+use crate::train::Dataset;
+use crate::NnError;
+
+/// Regression/likelihood metrics of a predictor over a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalMetrics {
+    /// Root-mean-square error of the mixture mean against the target
+    /// action, averaged over both action dimensions.
+    pub rmse: f64,
+    /// Mean negative log-likelihood of the targets under the mixture.
+    pub mean_nll: f64,
+    /// Mean absolute error of the lateral-velocity prediction alone.
+    pub lateral_mae: f64,
+    /// Number of samples evaluated.
+    pub samples: usize,
+}
+
+/// Evaluates a mixture-head predictor on a dataset.
+///
+/// # Errors
+///
+/// Returns [`NnError::Shape`] if the network, layout or samples disagree,
+/// and [`NnError::EmptyArchitecture`] for an empty dataset.
+pub fn evaluate_gmm(
+    net: &Network,
+    data: &Dataset,
+    layout: OutputLayout,
+) -> Result<EvalMetrics, NnError> {
+    if data.is_empty() {
+        return Err(NnError::EmptyArchitecture);
+    }
+    let nll_loss = GmmNll::new(layout.components());
+    let mut sq_err = 0.0;
+    let mut nll = 0.0;
+    let mut lat_abs = 0.0;
+    for (x, y) in data.iter() {
+        let out = net.forward(x)?;
+        let gmm = Gmm2::from_output(&out, layout)?;
+        let mean = gmm.mean();
+        sq_err += (mean[0] - y[0]).powi(2) + (mean[1] - y[1]).powi(2);
+        lat_abs += (mean[0] - y[0]).abs();
+        nll += nll_loss.loss(&out, y)?;
+    }
+    let n = data.len() as f64;
+    Ok(EvalMetrics {
+        rmse: (sq_err / (2.0 * n)).sqrt(),
+        mean_nll: nll / n,
+        lateral_mae: lat_abs / n,
+        samples: data.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmm::ActionDim;
+    use crate::train::{TrainConfig, Trainer};
+    use certnn_linalg::Vector;
+
+    fn constant_target_data(n: usize) -> Dataset {
+        (0..n)
+            .map(|i| {
+                (
+                    Vector::from(vec![i as f64 / n as f64]),
+                    Vector::from(vec![0.6, -0.2]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_predictor_has_zero_rmse() {
+        // Hand-build a single-component head that always outputs the target.
+        let layout = OutputLayout::new(1);
+        let mut net = Network::relu_mlp(1, &[4], layout.output_len(), 0).unwrap();
+        // Train to convergence on the constant target.
+        let data = constant_target_data(32);
+        Trainer::new(TrainConfig {
+            epochs: 300,
+            batch_size: 8,
+            optimizer: crate::train::Optimizer::adam(0.01),
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &data, &GmmNll::new(1))
+        .unwrap();
+        let m = evaluate_gmm(&net, &data, layout).unwrap();
+        assert!(m.rmse < 0.1, "rmse {}", m.rmse);
+        assert!(m.lateral_mae < 0.1, "mae {}", m.lateral_mae);
+        assert_eq!(m.samples, 32);
+        // Verify the mixture mean actually matches the target.
+        let out = net.forward(&Vector::from(vec![0.5])).unwrap();
+        let g = Gmm2::from_output(&out, layout).unwrap();
+        assert!((g.mean()[ActionDim::LateralVelocity.index()] - 0.6).abs() < 0.15);
+    }
+
+    #[test]
+    fn training_improves_all_metrics() {
+        let layout = OutputLayout::new(1);
+        let data = constant_target_data(32);
+        let untrained = Network::relu_mlp(1, &[8], layout.output_len(), 5).unwrap();
+        let before = evaluate_gmm(&untrained, &data, layout).unwrap();
+        let mut net = untrained.clone();
+        Trainer::new(TrainConfig {
+            epochs: 150,
+            batch_size: 8,
+            optimizer: crate::train::Optimizer::adam(0.01),
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &data, &GmmNll::new(1))
+        .unwrap();
+        let after = evaluate_gmm(&net, &data, layout).unwrap();
+        assert!(after.rmse < before.rmse);
+        assert!(after.mean_nll < before.mean_nll);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let layout = OutputLayout::new(1);
+        let net = Network::relu_mlp(1, &[4], layout.output_len(), 0).unwrap();
+        assert!(evaluate_gmm(&net, &Dataset::new(), layout).is_err());
+    }
+
+    #[test]
+    fn layout_mismatch_rejected() {
+        let data = constant_target_data(4);
+        let net = Network::relu_mlp(1, &[4], 5, 0).unwrap(); // 1-component head
+        assert!(evaluate_gmm(&net, &data, OutputLayout::new(2)).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Plain-text (de)serialisation of networks.
+//!
+//! The format is deliberately simple and diff-friendly so trained
+//! experiment artifacts can be checked into a repository:
+//!
+//! ```text
+//! certnn-network v1
+//! layers 2
+//! layer 3 2 relu        # outputs inputs activation
+//! w 1 0 -1 0 1 1        # row-major weights
+//! b 0 -0.5 0.25
+//! layer 1 3 identity
+//! w 1 -2 0.5
+//! b 0.1
+//! ```
+
+use crate::activation::Activation;
+use crate::layer::DenseLayer;
+use crate::network::Network;
+use crate::NnError;
+use certnn_linalg::{Matrix, Vector};
+
+/// Serialises a network to the plain-text format.
+pub fn to_text(net: &Network) -> String {
+    let mut out = String::new();
+    out.push_str("certnn-network v1\n");
+    out.push_str(&format!("layers {}\n", net.layers().len()));
+    for layer in net.layers() {
+        out.push_str(&format!(
+            "layer {} {} {}\n",
+            layer.outputs(),
+            layer.inputs(),
+            layer.activation()
+        ));
+        out.push('w');
+        for v in layer.weights().as_slice() {
+            out.push_str(&format!(" {v:?}"));
+        }
+        out.push('\n');
+        out.push('b');
+        for v in layer.bias().as_slice() {
+            out.push_str(&format!(" {v:?}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a network from the plain-text format.
+///
+/// # Errors
+///
+/// Returns [`NnError::Parse`] on any malformed input, and the usual
+/// construction errors if the parsed layers do not chain.
+pub fn from_text(text: &str) -> Result<Network, NnError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| parse_err("missing header"))?;
+    if header.trim() != "certnn-network v1" {
+        return Err(parse_err(&format!("bad header `{header}`")));
+    }
+    let count_line = lines.next().ok_or_else(|| parse_err("missing layer count"))?;
+    let n_layers: usize = count_line
+        .trim()
+        .strip_prefix("layers ")
+        .ok_or_else(|| parse_err("missing `layers` line"))?
+        .parse()
+        .map_err(|_| parse_err("bad layer count"))?;
+    let mut layers = Vec::with_capacity(n_layers);
+    for i in 0..n_layers {
+        let spec = lines
+            .next()
+            .ok_or_else(|| parse_err(&format!("missing layer {i} spec")))?;
+        let mut parts = spec.split_whitespace();
+        if parts.next() != Some("layer") {
+            return Err(parse_err(&format!("layer {i}: expected `layer` line")));
+        }
+        let outputs: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(&format!("layer {i}: bad outputs")))?;
+        let inputs: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(&format!("layer {i}: bad inputs")))?;
+        let activation: Activation = parts
+            .next()
+            .ok_or_else(|| parse_err(&format!("layer {i}: missing activation")))?
+            .parse()?;
+        let w_line = lines
+            .next()
+            .ok_or_else(|| parse_err(&format!("layer {i}: missing weights")))?;
+        let weights = parse_floats(w_line, 'w', outputs * inputs, i)?;
+        let b_line = lines
+            .next()
+            .ok_or_else(|| parse_err(&format!("layer {i}: missing bias")))?;
+        let bias = parse_floats(b_line, 'b', outputs, i)?;
+        let weights = Matrix::from_flat(outputs, inputs, weights)
+            .map_err(|e| parse_err(&format!("layer {i}: {e}")))?;
+        layers.push(DenseLayer::new(weights, Vector::from(bias), activation)?);
+    }
+    Network::new(layers)
+}
+
+fn parse_floats(line: &str, tag: char, expected: usize, layer: usize) -> Result<Vec<f64>, NnError> {
+    let mut parts = line.split_whitespace();
+    match parts.next() {
+        Some(t) if t.len() == 1 && t.starts_with(tag) => {}
+        _ => return Err(parse_err(&format!("layer {layer}: expected `{tag}` line"))),
+    }
+    let values: Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
+    let values = values.map_err(|_| parse_err(&format!("layer {layer}: bad float")))?;
+    if values.len() != expected {
+        return Err(parse_err(&format!(
+            "layer {layer}: expected {expected} values on `{tag}`, got {}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+fn parse_err(msg: &str) -> NnError {
+    NnError::Parse(msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Vector;
+
+    #[test]
+    fn roundtrip_preserves_network_exactly() {
+        let net = Network::relu_mlp(6, &[5, 4], 3, 31).unwrap();
+        let text = to_text(&net);
+        let back = from_text(&text).unwrap();
+        assert_eq!(net, back);
+        // And the function computed is identical.
+        let x = Vector::from(vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6]);
+        assert!(net
+            .forward(&x)
+            .unwrap()
+            .approx_eq(&back.forward(&x).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(from_text("something else\n").is_err());
+        assert!(from_text("").is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let net = Network::relu_mlp(2, &[3], 1, 0).unwrap();
+        let text = to_text(&net);
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn wrong_value_count_rejected() {
+        let text = "certnn-network v1\nlayers 1\nlayer 1 2 relu\nw 1.0\nb 0.0\n";
+        let err = from_text(text).unwrap_err();
+        assert!(err.to_string().contains("expected 2 values"));
+    }
+
+    #[test]
+    fn unknown_activation_rejected() {
+        let text = "certnn-network v1\nlayers 1\nlayer 1 1 swish\nw 1.0\nb 0.0\n";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn exact_float_bits_survive_roundtrip() {
+        // `{:?}` prints the shortest representation that parses back
+        // exactly; verify on an awkward constant.
+        let w = Matrix::from_flat(1, 1, vec![0.1 + 0.2]).unwrap();
+        let layer = DenseLayer::new(w, Vector::from(vec![1.0 / 3.0]), Activation::Identity).unwrap();
+        let net = Network::new(vec![layer]).unwrap();
+        let back = from_text(&to_text(&net)).unwrap();
+        assert_eq!(net, back);
+    }
+}

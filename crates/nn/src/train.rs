@@ -1,0 +1,777 @@
+//! Mini-batch training: datasets, optimisers, trainer loop.
+
+use crate::hints::SafetyHint;
+use crate::layer::LayerGradient;
+use crate::loss::Loss;
+use crate::network::Network;
+use crate::NnError;
+use certnn_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An in-memory supervised dataset of `(input, target)` pairs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    samples: Vec<(Vector, Vector)>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dataset from samples.
+    pub fn from_samples(samples: Vec<(Vector, Vector)>) -> Self {
+        Self { samples }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, input: Vector, target: Vector) {
+        self.samples.push((input, target));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over `(input, target)` pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Vector, Vector)> {
+        self.samples.iter()
+    }
+
+    /// Sample at `index`, or `None` if out of range.
+    pub fn get(&self, index: usize) -> Option<&(Vector, Vector)> {
+        self.samples.get(index)
+    }
+
+    /// Splits off the last `fraction` of the samples as a held-out set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0, 1]`.
+    pub fn split(mut self, fraction: f64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let held = (self.samples.len() as f64 * fraction).round() as usize;
+        let cut = self.samples.len() - held;
+        let tail = self.samples.split_off(cut);
+        (self, Dataset { samples: tail })
+    }
+
+    /// Retains only the samples for which `keep` returns `true`, returning
+    /// the number removed. Used by `certnn-datacheck` sanitizers.
+    pub fn retain<F: FnMut(&Vector, &Vector) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.samples.len();
+        self.samples.retain(|(i, t)| keep(i, t));
+        before - self.samples.len()
+    }
+}
+
+impl FromIterator<(Vector, Vector)> for Dataset {
+    fn from_iter<I: IntoIterator<Item = (Vector, Vector)>>(iter: I) -> Self {
+        Self {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Vector, Vector)> for Dataset {
+    fn extend<I: IntoIterator<Item = (Vector, Vector)>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+/// Gradient-descent update rules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f64,
+    },
+    /// SGD with classical momentum.
+    Momentum {
+        /// Learning rate.
+        lr: f64,
+        /// Momentum coefficient (e.g. 0.9).
+        beta: f64,
+    },
+    /// Adam (Kingma & Ba 2015) with the usual defaults.
+    Adam {
+        /// Learning rate.
+        lr: f64,
+        /// First-moment decay (e.g. 0.9).
+        beta1: f64,
+        /// Second-moment decay (e.g. 0.999).
+        beta2: f64,
+        /// Numerical floor.
+        eps: f64,
+    },
+}
+
+impl Optimizer {
+    /// Adam with standard hyper-parameters and the given learning rate.
+    pub fn adam(lr: f64) -> Self {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Per-parameter optimiser state (moment estimates).
+#[derive(Debug, Clone)]
+struct OptState {
+    m: Vec<LayerGradient>,
+    v: Vec<LayerGradient>,
+    t: u64,
+}
+
+impl OptState {
+    fn zeros_like(net: &Network) -> Self {
+        let zeros: Vec<LayerGradient> = net.layers().iter().map(LayerGradient::zeros_like).collect();
+        Self {
+            m: zeros.clone(),
+            v: zeros,
+            t: 0,
+        }
+    }
+}
+
+/// Per-epoch learning-rate schedule (multiplies the optimiser's base
+/// learning rate).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    #[default]
+    Constant,
+    /// Multiply by `factor` every `every` epochs.
+    Step {
+        /// Epoch interval.
+        every: usize,
+        /// Multiplicative factor per interval (e.g. 0.5).
+        factor: f64,
+    },
+    /// Cosine decay from 1 to `floor` across all configured epochs.
+    Cosine {
+        /// Final multiplier (e.g. 0.01).
+        floor: f64,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier for `epoch` (0-based) out of `total` epochs.
+    pub fn multiplier(&self, epoch: usize, total: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { every, factor } => {
+                factor.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Cosine { floor } => {
+                let t = if total <= 1 {
+                    0.0
+                } else {
+                    epoch as f64 / (total - 1) as f64
+                };
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f64::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the dataset.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Update rule.
+    pub optimizer: Optimizer,
+    /// Global gradient-norm clip (∞-norm per parameter tensor); `None`
+    /// disables clipping.
+    pub grad_clip: Option<f64>,
+    /// Decoupled L2 weight decay per update (AdamW-style; applied to
+    /// weights only, not biases). Besides its statistical role, weight
+    /// decay shrinks the network's Lipschitz constant and therefore the
+    /// formally verified worst-case outputs.
+    pub weight_decay: f64,
+    /// Shuffle seed (training is deterministic given this seed).
+    pub seed: u64,
+    /// Safety hints added to the loss (paper Sec. IV (iii)).
+    pub hints: Vec<SafetyHint>,
+    /// Virtual hint inputs (Abu-Mostafa 1995: hints as *virtual
+    /// examples*). These inputs carry no regression target — each batch
+    /// additionally evaluates the hints on a slice of them, so the rule
+    /// is enforced across the property region rather than only where
+    /// the data happens to lie. Ignored when `hints` is empty.
+    pub hint_inputs: Vec<Vector>,
+    /// Learning-rate schedule applied per epoch.
+    pub schedule: LrSchedule,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 50,
+            batch_size: 32,
+            optimizer: Optimizer::adam(1e-3),
+            grad_clip: Some(5.0),
+            weight_decay: 0.0,
+            seed: 0,
+            hints: Vec::new(),
+            hint_inputs: Vec::new(),
+            schedule: LrSchedule::Constant,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainReport {
+    /// Mean training loss per epoch (data loss + hint penalties).
+    pub epoch_losses: Vec<f64>,
+    /// Mean hint penalty per epoch (zero when no hints are configured).
+    pub epoch_hint_penalties: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Final epoch's mean loss, or `+∞` if no epochs ran.
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Mini-batch trainer.
+///
+/// # Example
+///
+/// ```
+/// use certnn_nn::network::Network;
+/// use certnn_nn::train::{Dataset, TrainConfig, Trainer};
+/// use certnn_nn::loss::MseLoss;
+/// use certnn_linalg::Vector;
+///
+/// # fn main() -> Result<(), certnn_nn::NnError> {
+/// // Learn y = 2x on a handful of points.
+/// let data: Dataset = (0..16)
+///     .map(|i| {
+///         let x = i as f64 / 8.0 - 1.0;
+///         (Vector::from(vec![x]), Vector::from(vec![2.0 * x]))
+///     })
+///     .collect();
+/// let mut net = Network::relu_mlp(1, &[16], 1, 3)?;
+/// let config = TrainConfig {
+///     epochs: 400,
+///     optimizer: certnn_nn::train::Optimizer::adam(0.01),
+///     ..Default::default()
+/// };
+/// let report = Trainer::new(config).train(&mut net, &data, &MseLoss::new())?;
+/// assert!(report.final_loss() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `net` in place on `data` with loss `loss`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if any sample's dimensions do not match
+    /// the network or loss, and [`NnError::EmptyArchitecture`] if the
+    /// dataset is empty.
+    pub fn train(
+        &self,
+        net: &mut Network,
+        data: &Dataset,
+        loss: &dyn Loss,
+    ) -> Result<TrainReport, NnError> {
+        if data.is_empty() {
+            return Err(NnError::EmptyArchitecture);
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut state = OptState::zeros_like(net);
+        let mut report = TrainReport::default();
+        let batch = self.config.batch_size.max(1);
+        let mut hint_cursor = 0usize;
+        // Per batch, evaluate the hints on this many virtual inputs.
+        let hint_slice = (batch / 2).max(1);
+
+        for epoch in 0..self.config.epochs {
+            let lr_mult = self.config.schedule.multiplier(epoch, self.config.epochs);
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut epoch_hint = 0.0;
+            for chunk in order.chunks(batch) {
+                let mut grads: Vec<LayerGradient> =
+                    net.layers().iter().map(LayerGradient::zeros_like).collect();
+                for &idx in chunk {
+                    let (input, target) = data.get(idx).expect("index in range");
+                    let trace = net.forward_trace(input)?;
+                    let output = trace.output().clone();
+                    let data_loss = loss.loss(&output, target)?;
+                    let mut dl = loss.gradient(&output, target)?;
+                    let mut hint_pen = 0.0;
+                    for hint in &self.config.hints {
+                        hint_pen += hint.penalty(input, &output);
+                        hint.accumulate_gradient(input, &output, &mut dl);
+                    }
+                    epoch_loss += data_loss + hint_pen;
+                    epoch_hint += hint_pen;
+                    let (sample_grads, _) = net.backward(&trace, &dl)?;
+                    for (acc, g) in grads.iter_mut().zip(&sample_grads) {
+                        acc.accumulate(g, 1.0 / chunk.len() as f64);
+                    }
+                }
+                // Virtual-example hints: penalty-only gradients on inputs
+                // drawn from the property region.
+                if !self.config.hints.is_empty() && !self.config.hint_inputs.is_empty() {
+                    let n = self.config.hint_inputs.len();
+                    let take = hint_slice.min(n);
+                    for _ in 0..take {
+                        let input = &self.config.hint_inputs[hint_cursor % n];
+                        hint_cursor += 1;
+                        let trace = net.forward_trace(input)?;
+                        let output = trace.output().clone();
+                        let mut dl = Vector::zeros(output.len());
+                        let mut pen = 0.0;
+                        for hint in &self.config.hints {
+                            pen += hint.penalty(input, &output);
+                            hint.accumulate_gradient(input, &output, &mut dl);
+                        }
+                        if pen > 0.0 {
+                            epoch_loss += pen;
+                            epoch_hint += pen;
+                            let (sample_grads, _) = net.backward(&trace, &dl)?;
+                            for (acc, g) in grads.iter_mut().zip(&sample_grads) {
+                                acc.accumulate(g, 1.0 / take as f64);
+                            }
+                        }
+                    }
+                }
+                if let Some(clip) = self.config.grad_clip {
+                    for g in &mut grads {
+                        clip_in_place(g, clip);
+                    }
+                }
+                self.apply(net, &grads, &mut state, lr_mult);
+                if self.config.weight_decay > 0.0 {
+                    let keep = 1.0 - self.config.weight_decay;
+                    for layer in net.layers_mut() {
+                        for w in layer.weights_mut().as_mut_slice() {
+                            *w *= keep;
+                        }
+                    }
+                }
+            }
+            report.epoch_losses.push(epoch_loss / data.len() as f64);
+            report
+                .epoch_hint_penalties
+                .push(epoch_hint / data.len() as f64);
+        }
+        Ok(report)
+    }
+
+    fn apply(
+        &self,
+        net: &mut Network,
+        grads: &[LayerGradient],
+        state: &mut OptState,
+        lr_mult: f64,
+    ) {
+        match self.config.optimizer {
+            Optimizer::Sgd { lr } => {
+                let lr = lr * lr_mult;
+                for (layer, g) in net.layers_mut().iter_mut().zip(grads) {
+                    layer
+                        .weights_mut()
+                        .add_scaled(&g.weights, -lr)
+                        .expect("shape");
+                    let step = g.bias.scaled(-lr);
+                    *layer.bias_mut() += &step;
+                }
+            }
+            Optimizer::Momentum { lr, beta } => {
+                let lr = lr * lr_mult;
+                for ((layer, g), m) in net.layers_mut().iter_mut().zip(grads).zip(&mut state.m) {
+                    // m = beta m + g; w -= lr m.
+                    let mut new_m = m.weights.map(|v| v * beta);
+                    new_m.add_scaled(&g.weights, 1.0).expect("shape");
+                    m.weights = new_m;
+                    m.bias = m.bias.axpby(beta, &g.bias, 1.0).expect("shape");
+                    layer
+                        .weights_mut()
+                        .add_scaled(&m.weights, -lr)
+                        .expect("shape");
+                    let step = m.bias.scaled(-lr);
+                    *layer.bias_mut() += &step;
+                }
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                let lr = lr * lr_mult;
+                state.t += 1;
+                let t = state.t as f64;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                for (((layer, g), m), v) in net
+                    .layers_mut()
+                    .iter_mut()
+                    .zip(grads)
+                    .zip(&mut state.m)
+                    .zip(&mut state.v)
+                {
+                    // First and second moments, elementwise.
+                    for (idx, gw) in g.weights.as_slice().iter().enumerate() {
+                        let mw = &mut m.weights.as_mut_slice()[idx];
+                        *mw = beta1 * *mw + (1.0 - beta1) * gw;
+                        let vw = &mut v.weights.as_mut_slice()[idx];
+                        *vw = beta2 * *vw + (1.0 - beta2) * gw * gw;
+                        let mhat = *mw / bc1;
+                        let vhat = *vw / bc2;
+                        layer.weights_mut().as_mut_slice()[idx] -=
+                            lr * mhat / (vhat.sqrt() + eps);
+                    }
+                    for (idx, gb) in g.bias.as_slice().iter().enumerate() {
+                        let mb = &mut m.bias.as_mut_slice()[idx];
+                        *mb = beta1 * *mb + (1.0 - beta1) * gb;
+                        let vb = &mut v.bias.as_mut_slice()[idx];
+                        *vb = beta2 * *vb + (1.0 - beta2) * gb * gb;
+                        let mhat = *mb / bc1;
+                        let vhat = *vb / bc2;
+                        layer.bias_mut().as_mut_slice()[idx] -= lr * mhat / (vhat.sqrt() + eps);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Clamps every gradient entry into `[-clip, clip]`.
+fn clip_in_place(g: &mut LayerGradient, clip: f64) {
+    for w in g.weights.as_mut_slice() {
+        *w = w.clamp(-clip, clip);
+    }
+    for b in g.bias.as_mut_slice() {
+        *b = b.clamp(-clip, clip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{GmmNll, MseLoss};
+
+    fn linear_dataset(n: usize) -> Dataset {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64 * 2.0 - 1.0;
+                (
+                    Vector::from(vec![x, -x]),
+                    Vector::from(vec![3.0 * x + 0.5]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dataset_split_and_retain() {
+        let data = linear_dataset(10);
+        let (train, test) = data.clone().split(0.2);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        let mut d = data;
+        let removed = d.retain(|input, _| input[0] >= 0.0);
+        assert!(removed > 0);
+        assert!(d.iter().all(|(i, _)| i[0] >= 0.0));
+    }
+
+    #[test]
+    fn sgd_learns_linear_function() {
+        let data = linear_dataset(32);
+        let mut net = Network::relu_mlp(2, &[16], 1, 5).unwrap();
+        let cfg = TrainConfig {
+            epochs: 300,
+            batch_size: 8,
+            optimizer: Optimizer::Sgd { lr: 0.05 },
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg).train(&mut net, &data, &MseLoss::new()).unwrap();
+        assert!(
+            report.final_loss() < 0.02,
+            "final loss {}",
+            report.final_loss()
+        );
+        // Loss must broadly decrease.
+        assert!(report.final_loss() < report.epoch_losses[0]);
+    }
+
+    #[test]
+    fn adam_learns_faster_than_needed_threshold() {
+        let data = linear_dataset(32);
+        let mut net = Network::relu_mlp(2, &[16], 1, 6).unwrap();
+        let cfg = TrainConfig {
+            epochs: 150,
+            batch_size: 8,
+            optimizer: Optimizer::adam(0.01),
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg).train(&mut net, &data, &MseLoss::new()).unwrap();
+        assert!(report.final_loss() < 0.01, "{}", report.final_loss());
+    }
+
+    #[test]
+    fn momentum_optimizer_trains() {
+        let data = linear_dataset(32);
+        let mut net = Network::relu_mlp(2, &[12], 1, 7).unwrap();
+        let cfg = TrainConfig {
+            epochs: 200,
+            batch_size: 8,
+            optimizer: Optimizer::Momentum { lr: 0.02, beta: 0.9 },
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg).train(&mut net, &data, &MseLoss::new()).unwrap();
+        assert!(report.final_loss() < 0.05, "{}", report.final_loss());
+    }
+
+    #[test]
+    fn training_is_deterministic_in_seed() {
+        let data = linear_dataset(16);
+        let run = |seed| {
+            let mut net = Network::relu_mlp(2, &[8], 1, 9).unwrap();
+            let cfg = TrainConfig {
+                epochs: 10,
+                seed,
+                ..Default::default()
+            };
+            Trainer::new(cfg)
+                .train(&mut net, &data, &MseLoss::new())
+                .unwrap()
+                .final_loss()
+        };
+        assert_eq!(run(1), run(1));
+        // Different shuffle order gives (almost surely) different loss.
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn schedules_produce_expected_multipliers() {
+        assert_eq!(LrSchedule::Constant.multiplier(7, 10), 1.0);
+        let step = LrSchedule::Step { every: 3, factor: 0.5 };
+        assert_eq!(step.multiplier(0, 10), 1.0);
+        assert_eq!(step.multiplier(3, 10), 0.5);
+        assert_eq!(step.multiplier(6, 10), 0.25);
+        let cos = LrSchedule::Cosine { floor: 0.1 };
+        assert!((cos.multiplier(0, 11) - 1.0).abs() < 1e-12);
+        assert!((cos.multiplier(10, 11) - 0.1).abs() < 1e-12);
+        let mid = cos.multiplier(5, 11);
+        assert!(mid > 0.1 && mid < 1.0);
+    }
+
+    #[test]
+    fn cosine_schedule_training_converges() {
+        let data = linear_dataset(32);
+        let mut net = Network::relu_mlp(2, &[16], 1, 5).unwrap();
+        let cfg = TrainConfig {
+            epochs: 200,
+            batch_size: 8,
+            optimizer: Optimizer::adam(0.02),
+            schedule: LrSchedule::Cosine { floor: 0.05 },
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg).train(&mut net, &data, &MseLoss::new()).unwrap();
+        assert!(report.final_loss() < 0.05, "{}", report.final_loss());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weight_norms() {
+        let data = linear_dataset(32);
+        let run = |decay| {
+            let mut net = Network::relu_mlp(2, &[16], 1, 5).unwrap();
+            let cfg = TrainConfig {
+                epochs: 100,
+                weight_decay: decay,
+                ..Default::default()
+            };
+            Trainer::new(cfg)
+                .train(&mut net, &data, &MseLoss::new())
+                .unwrap();
+            net.layers()
+                .iter()
+                .map(|l| l.weights().frobenius_norm())
+                .sum::<f64>()
+        };
+        let plain = run(0.0);
+        let decayed = run(1e-3);
+        assert!(
+            decayed < plain,
+            "decay did not shrink weights: {plain} -> {decayed}"
+        );
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let mut net = Network::relu_mlp(2, &[4], 1, 0).unwrap();
+        let err = Trainer::new(TrainConfig::default()).train(
+            &mut net,
+            &Dataset::new(),
+            &MseLoss::new(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn hint_reduces_guarded_output() {
+        // Targets push output up to 2.0 everywhere; the hint caps it at 0.5
+        // whenever feature 0 >= 0.5. With a strong hint the trained network
+        // must compromise below the uncapped value on guarded inputs.
+        let data: Dataset = (0..64)
+            .map(|i| {
+                let guard = if i % 2 == 0 { 1.0 } else { 0.0 };
+                (
+                    Vector::from(vec![guard, (i as f64 / 64.0) - 0.5]),
+                    Vector::from(vec![2.0]),
+                )
+            })
+            .collect();
+        let hint = SafetyHint {
+            guard_feature: 0,
+            guard_threshold: 0.5,
+            output_index: 0,
+            max_value: 0.5,
+            weight: 10.0,
+        };
+        let train_with = |hints: Vec<SafetyHint>| {
+            let mut net = Network::relu_mlp(2, &[16], 1, 21).unwrap();
+            let cfg = TrainConfig {
+                epochs: 300,
+                batch_size: 16,
+                optimizer: Optimizer::adam(0.01),
+                hints,
+                ..Default::default()
+            };
+            Trainer::new(cfg)
+                .train(&mut net, &data, &MseLoss::new())
+                .unwrap();
+            net
+        };
+        let plain = train_with(vec![]);
+        let hinted = train_with(vec![hint]);
+        let guarded_input = Vector::from(vec![1.0, 0.0]);
+        let plain_out = plain.forward(&guarded_input).unwrap()[0];
+        let hinted_out = hinted.forward(&guarded_input).unwrap()[0];
+        assert!(
+            hinted_out < plain_out - 0.3,
+            "hint had no effect: plain {plain_out}, hinted {hinted_out}"
+        );
+    }
+
+    #[test]
+    fn virtual_example_hints_cap_off_distribution_behaviour() {
+        // Data pushes the output to 2.0 only on UNGUARDED inputs; the
+        // guarded region is never in the data. Without virtual examples
+        // the hint never fires; with them it caps the guarded region.
+        let data: Dataset = (0..64)
+            .map(|i| {
+                (
+                    Vector::from(vec![0.0, (i as f64 / 64.0) - 0.5]),
+                    Vector::from(vec![2.0]),
+                )
+            })
+            .collect();
+        let hint = SafetyHint {
+            guard_feature: 0,
+            guard_threshold: 0.5,
+            output_index: 0,
+            max_value: 0.3,
+            weight: 10.0,
+        };
+        let virtual_inputs: Vec<Vector> = (0..32)
+            .map(|i| Vector::from(vec![1.0, (i as f64 / 32.0) - 0.5]))
+            .collect();
+        let train_with = |hint_inputs: Vec<Vector>| {
+            let mut net = Network::relu_mlp(2, &[16], 1, 21).unwrap();
+            let cfg = TrainConfig {
+                epochs: 300,
+                batch_size: 16,
+                optimizer: Optimizer::adam(0.01),
+                hints: vec![hint],
+                hint_inputs,
+                ..Default::default()
+            };
+            let report = Trainer::new(cfg)
+                .train(&mut net, &data, &MseLoss::new())
+                .unwrap();
+            (net, report)
+        };
+        let (plain, plain_report) = train_with(vec![]);
+        let (hinted, hinted_report) = train_with(virtual_inputs);
+        // Without virtual examples the hint never fires (guard absent
+        // from the data)...
+        assert!(plain_report.epoch_hint_penalties.iter().all(|&p| p == 0.0));
+        // ...with them it fires at least early in training.
+        assert!(hinted_report.epoch_hint_penalties[0] > 0.0);
+        // And the guarded region is now capped.
+        let guarded = Vector::from(vec![1.0, 0.1]);
+        let plain_out = plain.forward(&guarded).unwrap()[0];
+        let hinted_out = hinted.forward(&guarded).unwrap()[0];
+        assert!(
+            hinted_out < plain_out - 0.3,
+            "virtual hints had no effect: {plain_out} -> {hinted_out}"
+        );
+    }
+
+    #[test]
+    fn gmm_head_trains_towards_targets() {
+        // Single-component mixture should move its mean towards the data.
+        let data: Dataset = (0..32)
+            .map(|i| {
+                let x = i as f64 / 32.0;
+                (Vector::from(vec![x]), Vector::from(vec![0.8, -0.4]))
+            })
+            .collect();
+        let loss = GmmNll::new(1);
+        let mut net = Network::relu_mlp(1, &[12], loss.layout().output_len(), 17).unwrap();
+        let cfg = TrainConfig {
+            epochs: 200,
+            batch_size: 8,
+            optimizer: Optimizer::adam(0.01),
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg).train(&mut net, &data, &loss).unwrap();
+        assert!(report.final_loss() < report.epoch_losses[0]);
+        let out = net.forward(&Vector::from(vec![0.5])).unwrap();
+        let g = crate::gmm::Gmm2::from_output(&out, loss.layout()).unwrap();
+        let m = g.mean();
+        assert!((m[0] - 0.8).abs() < 0.15, "v_lat mean {}", m[0]);
+        assert!((m[1] + 0.4).abs() < 0.15, "a_lon mean {}", m[1]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests: serialisation round-trips and gradient checks on
+//! random architectures.
+
+use certnn_linalg::Vector;
+use certnn_nn::loss::{GmmNll, Loss, MseLoss};
+use certnn_nn::network::Network;
+use certnn_nn::serialize::{from_text, to_text};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn serialization_roundtrip_random_architectures(
+        inputs in 1usize..6,
+        hidden in prop::collection::vec(1usize..8, 1..4),
+        outputs in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let net = Network::relu_mlp(inputs, &hidden, outputs, seed).unwrap();
+        let back = from_text(&to_text(&net)).unwrap();
+        prop_assert_eq!(&net, &back);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences(
+        seed in any::<u64>(),
+        x0 in -1.0f64..1.0,
+        x1 in -1.0f64..1.0,
+    ) {
+        let net = Network::relu_mlp(2, &[5, 5], 1, seed).unwrap();
+        let x = Vector::from(vec![x0, x1]);
+        let trace = net.forward_trace(&x).unwrap();
+        let (grads, _) = net.backward(&trace, &Vector::from(vec![1.0])).unwrap();
+        let h = 1e-6;
+        // Spot-check the first weight of each layer.
+        #[allow(clippy::needless_range_loop)]
+        for li in 0..net.layers().len() {
+            let mut plus = net.clone();
+            plus.layers_mut()[li].weights_mut()[(0, 0)] += h;
+            let mut minus = net.clone();
+            minus.layers_mut()[li].weights_mut()[(0, 0)] -= h;
+            let fd = (plus.forward(&x).unwrap()[0] - minus.forward(&x).unwrap()[0]) / (2.0 * h);
+            let an = grads[li].weights[(0, 0)];
+            // ReLU kinks can make FD unreliable exactly at a breakpoint;
+            // allow a loose bound and skip the rare near-kink cases.
+            if (fd - an).abs() > 1e-4 {
+                let z = net.forward_trace(&x).unwrap().pre_activations[li][0];
+                prop_assume!(z.abs() > 1e-4);
+                prop_assert!((fd - an).abs() < 1e-4, "layer {li}: fd {fd} vs {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn gmm_nll_gradient_is_descent_direction(
+        seed in any::<u64>(),
+        target0 in -1.0f64..1.0,
+        target1 in -1.0f64..1.0,
+    ) {
+        let loss = GmmNll::new(2);
+        let mut out = Vector::zeros(loss.layout().output_len());
+        let mut s = seed;
+        for i in 0..out.len() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            out[i] = ((s >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 1.6;
+        }
+        let target = Vector::from(vec![target0, target1]);
+        let l0 = loss.loss(&out, &target).unwrap();
+        let g = loss.gradient(&out, &target).unwrap();
+        let norm2 = g.dot(&g).unwrap();
+        prop_assume!(norm2 > 1e-10);
+        // A small step against the gradient must not increase the loss.
+        let stepped = out.axpby(1.0, &g, -1e-4).unwrap();
+        let l1 = loss.loss(&stepped, &target).unwrap();
+        prop_assert!(l1 <= l0 + 1e-9, "loss rose from {l0} to {l1}");
+    }
+
+    #[test]
+    fn mse_is_zero_iff_exact(
+        vals in prop::collection::vec(-5.0f64..5.0, 1..6),
+    ) {
+        let v = Vector::from(vals.clone());
+        let l = MseLoss::new();
+        prop_assert!(l.loss(&v, &v).unwrap().abs() < 1e-15);
+        let mut shifted = v.clone();
+        shifted[0] += 1.0;
+        prop_assert!(l.loss(&v, &shifted).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,471 @@
+//! The 84-dimensional ego-centric feature encoding.
+//!
+//! The paper's predictor "takes three categories of inputs: (i) its own
+//! speed profile, (ii) parameters of its nearest surrounding vehicles for
+//! each orientation, and (iii) the road condition. The total number of
+//! input variables to the network is 84." This module fixes a concrete
+//! layout with exactly those three blocks:
+//!
+//! | indices  | block                                              |
+//! |----------|----------------------------------------------------|
+//! | `0..12`  | ego profile: 8 speed-history samples, acceleration, lane, lateral offset, desired speed |
+//! | `12..76` | 8 orientation slots × 8 features per nearest vehicle |
+//! | `76..84` | road condition: lanes, lane width, friction, limit, density, adjacency flags, reserved |
+//!
+//! All features are normalised to `[-1, 1]`-ish physical ranges (see
+//! [`FeatureExtractor::bounds`]); those ranges double as the input box of
+//! the verification queries. The safety property of Table II constrains the
+//! slot ([`Orientation::SideLeft`], [`SlotFeature::Present`]).
+
+use crate::simulation::Simulation;
+use crate::SimError;
+use certnn_linalg::{Interval, Vector};
+
+/// Total number of input features.
+pub const FEATURE_COUNT: usize = 84;
+
+/// Start of the surrounding-vehicle block.
+pub const SURROUND_BASE: usize = 12;
+
+/// Start of the road-condition block.
+pub const ROAD_BASE: usize = 76;
+
+/// Number of features per surrounding-vehicle slot.
+pub const SLOT_WIDTH: usize = 8;
+
+/// The eight neighbour orientations around the ego vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Nearest leader in the ego's lane.
+    FrontSame,
+    /// Nearest follower in the ego's lane.
+    RearSame,
+    /// Nearest leader in the lane to the left.
+    FrontLeft,
+    /// Vehicle abreast of the ego in the lane to the left.
+    SideLeft,
+    /// Nearest follower in the lane to the left.
+    RearLeft,
+    /// Nearest leader in the lane to the right.
+    FrontRight,
+    /// Vehicle abreast of the ego in the lane to the right.
+    SideRight,
+    /// Nearest follower in the lane to the right.
+    RearRight,
+}
+
+impl Orientation {
+    /// All orientations in slot order.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::FrontSame,
+        Orientation::RearSame,
+        Orientation::FrontLeft,
+        Orientation::SideLeft,
+        Orientation::RearLeft,
+        Orientation::FrontRight,
+        Orientation::SideRight,
+        Orientation::RearRight,
+    ];
+
+    /// Slot position (0–7).
+    pub fn index(&self) -> usize {
+        Orientation::ALL
+            .iter()
+            .position(|o| o == self)
+            .expect("orientation in ALL")
+    }
+
+    /// Short name used in feature labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Orientation::FrontSame => "front",
+            Orientation::RearSame => "rear",
+            Orientation::FrontLeft => "front_left",
+            Orientation::SideLeft => "side_left",
+            Orientation::RearLeft => "rear_left",
+            Orientation::FrontRight => "front_right",
+            Orientation::SideRight => "side_right",
+            Orientation::RearRight => "rear_right",
+        }
+    }
+}
+
+/// The eight per-slot features of a surrounding vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotFeature {
+    /// 1 if a vehicle occupies this slot, else 0.
+    Present,
+    /// Signed centre distance `Δs / 100 m`, clamped to `[-1, 1]`.
+    Dx,
+    /// Relative speed `(v_other − v_ego) / limit`, clamped to `[-1, 1]`.
+    Dv,
+    /// Other vehicle's speed `/ limit`.
+    Speed,
+    /// Time headway `Δs / v_ego`, clamped to `[0, 5]` and divided by 5.
+    Headway,
+    /// Other vehicle's length `/ 10 m`.
+    Length,
+    /// Other vehicle's lateral offset (lane widths).
+    LateralOffset,
+    /// 1 if the other vehicle is mid lane-change.
+    Changing,
+}
+
+impl SlotFeature {
+    /// All slot features in layout order.
+    pub const ALL: [SlotFeature; 8] = [
+        SlotFeature::Present,
+        SlotFeature::Dx,
+        SlotFeature::Dv,
+        SlotFeature::Speed,
+        SlotFeature::Headway,
+        SlotFeature::Length,
+        SlotFeature::LateralOffset,
+        SlotFeature::Changing,
+    ];
+
+    /// Offset within a slot (0–7).
+    pub fn offset(&self) -> usize {
+        SlotFeature::ALL
+            .iter()
+            .position(|f| f == self)
+            .expect("feature in ALL")
+    }
+
+    /// Short name used in feature labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SlotFeature::Present => "present",
+            SlotFeature::Dx => "dx",
+            SlotFeature::Dv => "dv",
+            SlotFeature::Speed => "speed",
+            SlotFeature::Headway => "headway",
+            SlotFeature::Length => "length",
+            SlotFeature::LateralOffset => "lat_offset",
+            SlotFeature::Changing => "changing",
+        }
+    }
+}
+
+/// Global index of a slot feature.
+pub fn slot_index(orientation: Orientation, feature: SlotFeature) -> usize {
+    SURROUND_BASE + orientation.index() * SLOT_WIDTH + feature.offset()
+}
+
+/// Extracts the 84-feature input vector for a vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureExtractor {
+    /// Longitudinal window (m) within which a neighbour counts as "abreast"
+    /// (the side slots).
+    pub side_window: f64,
+    /// Distance normaliser (m) for `Dx`.
+    pub gap_norm: f64,
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        Self {
+            side_window: 10.0,
+            gap_norm: 100.0,
+        }
+    }
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with default windows.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts the feature vector for vehicle `id` in `sim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownVehicle`] if `id` does not exist.
+    pub fn extract(&self, sim: &Simulation, id: usize) -> Result<Vector, SimError> {
+        let ego = sim.vehicle(id)?;
+        let ego_idx = sim
+            .vehicles()
+            .iter()
+            .position(|v| v.id() == id)
+            .expect("vehicle found above");
+        let road = sim.road();
+        let limit = road.speed_limit();
+        let mut x = Vector::zeros(FEATURE_COUNT);
+
+        // Ego block.
+        for (k, s) in ego.speed_history().enumerate() {
+            x[k] = s / limit;
+        }
+        x[8] = (ego.a / 4.0).clamp(-2.0, 1.0);
+        x[9] = if road.lanes() > 1 {
+            ego.lane as f64 / (road.lanes() - 1) as f64
+        } else {
+            0.0
+        };
+        x[10] = ego.lateral_offset.clamp(-1.0, 1.0);
+        x[11] = ego.desired_speed / limit;
+
+        // Surrounding block.
+        let side = self.side_window;
+        for orientation in Orientation::ALL {
+            let lane: Option<usize> = match orientation {
+                Orientation::FrontSame | Orientation::RearSame => Some(ego.lane),
+                Orientation::FrontLeft | Orientation::SideLeft | Orientation::RearLeft => {
+                    (ego.lane + 1 < road.lanes()).then_some(ego.lane + 1)
+                }
+                Orientation::FrontRight | Orientation::SideRight | Orientation::RearRight => {
+                    ego.lane.checked_sub(1)
+                }
+            };
+            let found = lane.and_then(|l| match orientation {
+                Orientation::FrontSame | Orientation::FrontLeft | Orientation::FrontRight => {
+                    sim.nearest_where(ego_idx, l, |dx| dx > side)
+                }
+                Orientation::RearSame | Orientation::RearLeft | Orientation::RearRight => {
+                    sim.nearest_where(ego_idx, l, |dx| dx < -side)
+                }
+                Orientation::SideLeft | Orientation::SideRight => {
+                    sim.nearest_where(ego_idx, l, |dx| dx.abs() <= side)
+                }
+            });
+            let base = slot_index(orientation, SlotFeature::Present);
+            match found {
+                Some((other, dx)) => {
+                    x[base + SlotFeature::Present.offset()] = 1.0;
+                    x[base + SlotFeature::Dx.offset()] = (dx / self.gap_norm).clamp(-1.0, 1.0);
+                    x[base + SlotFeature::Dv.offset()] =
+                        ((other.v - ego.v) / limit).clamp(-1.0, 1.0);
+                    x[base + SlotFeature::Speed.offset()] = other.v / limit;
+                    x[base + SlotFeature::Headway.offset()] = if ego.v > 0.5 && dx > 0.0 {
+                        (dx / ego.v).clamp(0.0, 5.0) / 5.0
+                    } else {
+                        0.0
+                    };
+                    x[base + SlotFeature::Length.offset()] = other.length / 10.0;
+                    x[base + SlotFeature::LateralOffset.offset()] =
+                        other.lateral_offset.clamp(-1.0, 1.0);
+                    x[base + SlotFeature::Changing.offset()] =
+                        if other.is_changing_lane() { 1.0 } else { 0.0 };
+                }
+                None => {
+                    // Neutral defaults: empty slot, "far away" distance.
+                    let default_dx = match orientation {
+                        Orientation::FrontSame
+                        | Orientation::FrontLeft
+                        | Orientation::FrontRight => 1.0,
+                        Orientation::RearSame
+                        | Orientation::RearLeft
+                        | Orientation::RearRight => -1.0,
+                        _ => 0.0,
+                    };
+                    x[base + SlotFeature::Dx.offset()] = default_dx;
+                }
+            }
+        }
+
+        // Road block.
+        x[ROAD_BASE] = road.lanes() as f64 / 5.0;
+        x[ROAD_BASE + 1] = road.lane_width() / 5.0;
+        x[ROAD_BASE + 2] = road.surface().friction();
+        x[ROAD_BASE + 3] = limit / 50.0;
+        x[ROAD_BASE + 4] =
+            (sim.vehicles().len() as f64 * 10.0 / (road.length() * road.lanes() as f64))
+                .clamp(0.0, 1.0);
+        x[ROAD_BASE + 5] = if ego.lane + 1 < road.lanes() { 1.0 } else { 0.0 };
+        x[ROAD_BASE + 6] = if ego.lane > 0 { 1.0 } else { 0.0 };
+        x[ROAD_BASE + 7] = 0.0; // reserved
+
+        Ok(x)
+    }
+
+    /// Names of all 84 features, layout order.
+    pub fn names() -> Vec<String> {
+        let mut names = Vec::with_capacity(FEATURE_COUNT);
+        for k in 0..8 {
+            names.push(format!("ego.speed_hist[{k}]"));
+        }
+        names.push("ego.accel".into());
+        names.push("ego.lane".into());
+        names.push("ego.lat_offset".into());
+        names.push("ego.desired_speed".into());
+        for orientation in Orientation::ALL {
+            for feature in SlotFeature::ALL {
+                names.push(format!("{}.{}", orientation.name(), feature.name()));
+            }
+        }
+        for n in [
+            "road.lanes",
+            "road.lane_width",
+            "road.friction",
+            "road.speed_limit",
+            "road.density",
+            "road.has_left_lane",
+            "road.has_right_lane",
+            "road.reserved",
+        ] {
+            names.push(n.into());
+        }
+        names
+    }
+
+    /// Physical range of every feature — the sound input box used by the
+    /// verification queries and the data validator.
+    pub fn bounds() -> Vec<Interval> {
+        let mut b = Vec::with_capacity(FEATURE_COUNT);
+        for _ in 0..8 {
+            b.push(Interval::new(0.0, 1.3)); // speed history
+        }
+        b.push(Interval::new(-2.0, 1.0)); // accel
+        b.push(Interval::new(0.0, 1.0)); // lane
+        b.push(Interval::new(-1.0, 1.0)); // lat offset
+        b.push(Interval::new(0.0, 1.3)); // desired speed
+        for _ in Orientation::ALL {
+            b.push(Interval::new(0.0, 1.0)); // present
+            b.push(Interval::new(-1.0, 1.0)); // dx
+            b.push(Interval::new(-1.0, 1.0)); // dv
+            b.push(Interval::new(0.0, 1.3)); // speed
+            b.push(Interval::new(0.0, 1.0)); // headway
+            b.push(Interval::new(0.0, 1.0)); // length
+            b.push(Interval::new(-1.0, 1.0)); // lat offset
+            b.push(Interval::new(0.0, 1.0)); // changing
+        }
+        b.push(Interval::new(0.0, 1.0)); // lanes
+        b.push(Interval::new(0.0, 1.0)); // lane width
+        b.push(Interval::new(0.0, 1.0)); // friction
+        b.push(Interval::new(0.0, 1.0)); // speed limit
+        b.push(Interval::new(0.0, 1.0)); // density
+        b.push(Interval::new(0.0, 1.0)); // has left
+        b.push(Interval::new(0.0, 1.0)); // has right
+        b.push(Interval::new(0.0, 0.0)); // reserved
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::Road;
+    use crate::simulation::Simulation;
+    use crate::vehicle::Vehicle;
+
+    fn two_vehicle_sim(other_lane: usize, other_s: f64) -> Simulation {
+        let road = Road::motorway();
+        let ego = Vehicle::new(0, 1, 100.0, 25.0);
+        let other = Vehicle::new(1, other_lane, other_s, 25.0);
+        Simulation::new(road, vec![ego, other]).unwrap()
+    }
+
+    #[test]
+    fn layout_constants_are_consistent() {
+        assert_eq!(SURROUND_BASE + 8 * SLOT_WIDTH, ROAD_BASE);
+        assert_eq!(ROAD_BASE + 8, FEATURE_COUNT);
+        assert_eq!(FeatureExtractor::names().len(), FEATURE_COUNT);
+        assert_eq!(FeatureExtractor::bounds().len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn slot_index_covers_surround_block_bijectively() {
+        let mut seen = [false; FEATURE_COUNT];
+        for o in Orientation::ALL {
+            for f in SlotFeature::ALL {
+                let idx = slot_index(o, f);
+                assert!((SURROUND_BASE..ROAD_BASE).contains(&idx));
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 64);
+    }
+
+    #[test]
+    fn vehicle_abreast_on_left_sets_side_left_slot() {
+        // Other vehicle in lane 2 (left of ego's lane 1), 3 m ahead.
+        let sim = two_vehicle_sim(2, 103.0);
+        let x = FeatureExtractor::new().extract(&sim, 0).unwrap();
+        assert_eq!(x[slot_index(Orientation::SideLeft, SlotFeature::Present)], 1.0);
+        assert!((x[slot_index(Orientation::SideLeft, SlotFeature::Dx)] - 0.03).abs() < 1e-9);
+        // No one in the other slots.
+        assert_eq!(x[slot_index(Orientation::FrontSame, SlotFeature::Present)], 0.0);
+        assert_eq!(x[slot_index(Orientation::SideRight, SlotFeature::Present)], 0.0);
+    }
+
+    #[test]
+    fn leader_ahead_sets_front_same_slot() {
+        let sim = two_vehicle_sim(1, 150.0);
+        let x = FeatureExtractor::new().extract(&sim, 0).unwrap();
+        assert_eq!(x[slot_index(Orientation::FrontSame, SlotFeature::Present)], 1.0);
+        assert!((x[slot_index(Orientation::FrontSame, SlotFeature::Dx)] - 0.5).abs() < 1e-9);
+        // Headway: 50 m at 25 m/s = 2 s -> 0.4 after /5.
+        assert!(
+            (x[slot_index(Orientation::FrontSame, SlotFeature::Headway)] - 0.4).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn follower_behind_sets_rear_slot_with_negative_dx() {
+        let sim = two_vehicle_sim(1, 60.0);
+        let x = FeatureExtractor::new().extract(&sim, 0).unwrap();
+        assert_eq!(x[slot_index(Orientation::RearSame, SlotFeature::Present)], 1.0);
+        assert!(x[slot_index(Orientation::RearSame, SlotFeature::Dx)] < 0.0);
+    }
+
+    #[test]
+    fn empty_slots_have_neutral_defaults() {
+        let road = Road::motorway();
+        let ego = Vehicle::new(0, 1, 100.0, 25.0);
+        let sim = Simulation::new(road, vec![ego, Vehicle::new(1, 1, 350.0, 25.0)]).unwrap();
+        let x = FeatureExtractor::new().extract(&sim, 0).unwrap();
+        assert_eq!(x[slot_index(Orientation::SideLeft, SlotFeature::Present)], 0.0);
+        assert_eq!(x[slot_index(Orientation::FrontLeft, SlotFeature::Dx)], 1.0);
+        assert_eq!(x[slot_index(Orientation::RearRight, SlotFeature::Dx)], -1.0);
+        assert_eq!(x[slot_index(Orientation::SideLeft, SlotFeature::Dx)], 0.0);
+    }
+
+    #[test]
+    fn leftmost_lane_has_no_left_slots_and_flag_cleared() {
+        let road = Road::motorway();
+        let ego = Vehicle::new(0, 2, 100.0, 25.0); // leftmost lane
+        let other = Vehicle::new(1, 2, 103.0, 25.0); // would-be side... same lane
+        let sim = Simulation::new(road, vec![ego, other]).unwrap();
+        let x = FeatureExtractor::new().extract(&sim, 0).unwrap();
+        assert_eq!(x[slot_index(Orientation::SideLeft, SlotFeature::Present)], 0.0);
+        assert_eq!(x[ROAD_BASE + 5], 0.0); // has_left_lane
+        assert_eq!(x[ROAD_BASE + 6], 1.0); // has_right_lane
+    }
+
+    #[test]
+    fn features_lie_within_declared_bounds() {
+        let mut sim = Simulation::random_traffic(Road::motorway(), 25, 13).unwrap();
+        sim.run(30.0);
+        let bounds = FeatureExtractor::bounds();
+        let ex = FeatureExtractor::new();
+        for v in 0..sim.vehicles().len() {
+            let id = sim.vehicles()[v].id();
+            let x = ex.extract(&sim, id).unwrap();
+            for (i, (&xi, b)) in x.as_slice().iter().zip(&bounds).enumerate() {
+                assert!(
+                    b.widened(1e-9).contains(xi),
+                    "feature {i} ({}) = {xi} outside {b}",
+                    FeatureExtractor::names()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ego_block_reflects_state() {
+        let sim = two_vehicle_sim(0, 300.0);
+        let x = FeatureExtractor::new().extract(&sim, 0).unwrap();
+        let limit = sim.road().speed_limit();
+        assert!((x[0] - 25.0 / limit).abs() < 1e-9); // history
+        assert!((x[9] - 0.5).abs() < 1e-9); // lane 1 of 3 -> 0.5
+        assert!((x[11] - 25.0 / limit).abs() < 1e-9); // desired speed
+    }
+
+    #[test]
+    fn unknown_vehicle_errors() {
+        let sim = two_vehicle_sim(0, 300.0);
+        assert!(FeatureExtractor::new().extract(&sim, 42).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! The Intelligent Driver Model (Treiber, Hennecke & Helbing 2000).
+//!
+//! IDM is the longitudinal controller of every simulated vehicle. It
+//! produces smooth, collision-free car-following behaviour, which makes the
+//! recorded expert data satisfy the paper's data-validity requirement by
+//! construction.
+
+/// IDM parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Idm {
+    /// Maximum acceleration `a` (m/s²).
+    pub max_accel: f64,
+    /// Comfortable braking deceleration `b` (m/s², positive).
+    pub comfortable_brake: f64,
+    /// Minimum standstill gap `s₀` (m).
+    pub min_gap: f64,
+    /// Desired time headway `T` (s).
+    pub time_headway: f64,
+    /// Free-flow acceleration exponent `δ`.
+    pub exponent: f64,
+}
+
+impl Default for Idm {
+    fn default() -> Self {
+        Self {
+            max_accel: 1.5,
+            comfortable_brake: 2.0,
+            min_gap: 2.0,
+            time_headway: 1.2,
+            exponent: 4.0,
+        }
+    }
+}
+
+impl Idm {
+    /// IDM parameters scaled by road friction: lower grip reduces both the
+    /// available acceleration and the comfortable braking, and stretches
+    /// the desired headway.
+    pub fn with_friction(self, friction: f64) -> Self {
+        let f = friction.clamp(0.05, 1.0);
+        Self {
+            max_accel: self.max_accel * f,
+            comfortable_brake: self.comfortable_brake * f,
+            time_headway: self.time_headway / f.sqrt(),
+            ..self
+        }
+    }
+
+    /// Desired dynamic gap `s*` at speed `v` with closing speed `dv`
+    /// (positive when approaching the leader).
+    pub fn desired_gap(&self, v: f64, dv: f64) -> f64 {
+        let interaction =
+            v * dv / (2.0 * (self.max_accel * self.comfortable_brake).sqrt());
+        (self.min_gap + v * self.time_headway + interaction).max(self.min_gap)
+    }
+
+    /// Longitudinal acceleration for a vehicle at speed `v` with desired
+    /// speed `v0`, bumper gap `gap` to its leader and closing speed `dv`.
+    /// Pass `gap = f64::INFINITY` for free driving.
+    pub fn acceleration(&self, v: f64, v0: f64, gap: f64, dv: f64) -> f64 {
+        let free = 1.0 - (v / v0.max(0.1)).powf(self.exponent);
+        let interaction = if gap.is_finite() {
+            let s_star = self.desired_gap(v, dv);
+            (s_star / gap.max(0.1)).powi(2)
+        } else {
+            0.0
+        };
+        self.max_accel * (free - interaction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_road_accelerates_below_desired_speed() {
+        let idm = Idm::default();
+        let a = idm.acceleration(10.0, 30.0, f64::INFINITY, 0.0);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn at_desired_speed_acceleration_vanishes() {
+        let idm = Idm::default();
+        let a = idm.acceleration(30.0, 30.0, f64::INFINITY, 0.0);
+        assert!(a.abs() < 1e-9);
+    }
+
+    #[test]
+    fn above_desired_speed_decelerates() {
+        let idm = Idm::default();
+        assert!(idm.acceleration(35.0, 30.0, f64::INFINITY, 0.0) < 0.0);
+    }
+
+    #[test]
+    fn close_leader_forces_braking() {
+        let idm = Idm::default();
+        let a = idm.acceleration(25.0, 30.0, 5.0, 0.0);
+        assert!(a < -1.0, "expected hard braking, got {a}");
+    }
+
+    #[test]
+    fn approaching_leader_brakes_harder_than_following() {
+        let idm = Idm::default();
+        let following = idm.acceleration(25.0, 30.0, 30.0, 0.0);
+        let approaching = idm.acceleration(25.0, 30.0, 30.0, 10.0);
+        assert!(approaching < following);
+    }
+
+    #[test]
+    fn desired_gap_grows_with_speed() {
+        let idm = Idm::default();
+        assert!(idm.desired_gap(30.0, 0.0) > idm.desired_gap(10.0, 0.0));
+        assert!(idm.desired_gap(0.0, 0.0) >= idm.min_gap);
+    }
+
+    #[test]
+    fn friction_scaling_reduces_authority() {
+        let dry = Idm::default();
+        let icy = Idm::default().with_friction(0.25);
+        assert!(icy.max_accel < dry.max_accel);
+        assert!(icy.comfortable_brake < dry.comfortable_brake);
+        assert!(icy.time_headway > dry.time_headway);
+    }
+}

@@ -1,0 +1,110 @@
+//! Multi-lane highway traffic simulation with ego-centric feature
+//! extraction.
+//!
+//! The paper's case study verifies a motion predictor trained on highway
+//! driving data (Lenz et al., IV 2017) that is not publicly available. This
+//! crate is the substitution documented in `DESIGN.md`: a synthetic highway
+//! that produces the same *kind* of data — an 84-dimensional ego-centric
+//! feature vector and expert driving actions — so the rest of the pipeline
+//! (training, data validation, traceability, formal verification) runs
+//! end-to-end.
+//!
+//! * [`road::Road`] — a circular multi-lane carriageway with a road-surface
+//!   condition.
+//! * [`idm::Idm`] — the Intelligent Driver Model for longitudinal control.
+//! * [`mobil::Mobil`] — the MOBIL lane-change policy (its safety criterion
+//!   is what keeps the generated data free of risky manoeuvres, which the
+//!   paper's Sec. II (C) requires of training data).
+//! * [`simulation::Simulation`] — steps vehicles, records speed histories.
+//! * [`features::FeatureExtractor`] — the 84-input encoding: ego profile
+//!   (12), eight surrounding-vehicle slots × 8 features (64), road
+//!   condition (8). Every feature has a name and a physical range; the
+//!   ranges become the verification input box.
+//! * [`scenario`] — dataset generation (features → expert action pairs).
+//! * [`render`] — ASCII reproductions of Figure 1 (scene + action density).
+//!
+//! # Example
+//!
+//! ```
+//! use certnn_sim::road::{Road, SurfaceCondition};
+//! use certnn_sim::simulation::Simulation;
+//! use certnn_sim::features::FeatureExtractor;
+//!
+//! # fn main() -> Result<(), certnn_sim::SimError> {
+//! let road = Road::new(3, 3.5, 500.0, 33.0, SurfaceCondition::Dry)?;
+//! let mut sim = Simulation::random_traffic(road, 12, 7)?;
+//! sim.run(5.0);
+//! let features = FeatureExtractor::new().extract(&sim, sim.ego_id())?;
+//! assert_eq!(features.len(), 84);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod idm;
+pub mod metrics;
+pub mod mobil;
+pub mod presets;
+pub mod render;
+pub mod road;
+pub mod scenario;
+pub mod simulation;
+pub mod vehicle;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by simulator construction or queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A road or simulation parameter is out of its physical range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Too many vehicles for the road (no collision-free placement).
+    Overcrowded {
+        /// Requested vehicle count.
+        requested: usize,
+        /// Maximum that fits.
+        capacity: usize,
+    },
+    /// A vehicle id does not exist in the simulation.
+    UnknownVehicle(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { name, value } => {
+                write!(f, "invalid {name}: {value}")
+            }
+            SimError::Overcrowded { requested, capacity } => {
+                write!(f, "{requested} vehicles requested but only {capacity} fit")
+            }
+            SimError::UnknownVehicle(id) => write!(f, "unknown vehicle id {id}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SimError::InvalidParameter {
+            name: "lanes",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("lanes"));
+        assert!(SimError::UnknownVehicle(3).to_string().contains('3'));
+    }
+}

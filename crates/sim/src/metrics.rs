@@ -1,0 +1,173 @@
+//! Traffic-quality metrics: validating the simulator itself.
+//!
+//! The substitution argument of DESIGN.md rests on the synthetic traffic
+//! being *plausible*; these metrics quantify that. They are recorded over
+//! a run and checked by tests (no collisions, sane headways, realistic
+//! lane-change rates) — the simulator's own acceptance test, in the
+//! spirit of the paper's specification-validity pillar.
+
+use crate::simulation::Simulation;
+use certnn_linalg::stats::Summary;
+use std::fmt;
+
+/// Aggregated observations over a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMetrics {
+    /// Speed observations across all vehicles and steps (m/s).
+    pub speed: Summary,
+    /// Bumper-to-bumper gap to the same-lane leader (m), when one exists.
+    pub leader_gap: Summary,
+    /// Time headway to the leader (s), when moving.
+    pub time_headway: Summary,
+    /// Completed lane changes observed.
+    pub lane_changes: usize,
+    /// Steps observed.
+    pub steps: usize,
+    /// Vehicle-steps with a same-lane gap below 1 m (near-collisions).
+    pub near_collisions: usize,
+}
+
+impl TrafficMetrics {
+    /// Lane changes per vehicle per minute of simulated time.
+    pub fn lane_change_rate(&self, vehicles: usize, dt: f64) -> f64 {
+        let minutes = self.steps as f64 * dt / 60.0;
+        if minutes <= 0.0 || vehicles == 0 {
+            return 0.0;
+        }
+        self.lane_changes as f64 / vehicles as f64 / minutes
+    }
+}
+
+impl fmt::Display for TrafficMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "traffic metrics over {} steps: speed {:.1}±{:.1} m/s, leader gap {:.1} m (min {:.1}), headway {:.2} s, {} lane changes, {} near-collisions",
+            self.steps,
+            self.speed.mean(),
+            self.speed.std_dev(),
+            self.leader_gap.mean(),
+            self.leader_gap.min(),
+            self.time_headway.mean(),
+            self.lane_changes,
+            self.near_collisions
+        )
+    }
+}
+
+/// Steps `sim` for `steps` iterations, recording metrics.
+pub fn observe(sim: &mut Simulation, steps: usize) -> TrafficMetrics {
+    let mut m = TrafficMetrics::default();
+    let mut prev_lanes: Vec<(usize, bool)> = sim
+        .vehicles()
+        .iter()
+        .map(|v| (v.lane, v.is_changing_lane()))
+        .collect();
+    for _ in 0..steps {
+        sim.step();
+        m.steps += 1;
+        for (k, v) in sim.vehicles().iter().enumerate() {
+            m.speed.push(v.v);
+            // A completed change: was changing, now settled.
+            let (_, was_changing) = prev_lanes[k];
+            if was_changing && !v.is_changing_lane() {
+                m.lane_changes += 1;
+            }
+            prev_lanes[k] = (v.lane, v.is_changing_lane());
+        }
+        let min_gap = sim.min_same_lane_gap();
+        if min_gap.is_finite() {
+            m.leader_gap.push(min_gap);
+            if min_gap < 1.0 {
+                m.near_collisions += 1;
+            }
+        }
+        // Ego headway as the representative probe.
+        if let Ok(ego) = sim.vehicle(sim.ego_id()) {
+            if ego.v > 1.0 {
+                if let Some((veh, dx)) = {
+                    // Leader = nearest forward in ego's lane beyond the side window.
+                    let lane = ego.lane;
+                    let id = sim
+                        .vehicles()
+                        .iter()
+                        .position(|v| v.id() == sim.ego_id())
+                        .expect("ego exists");
+                    sim_nearest_front(sim, id, lane)
+                } {
+                    let _ = veh;
+                    m.time_headway.push(dx / ego.v);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Nearest strictly-forward neighbour of vehicle index `idx` in `lane`.
+fn sim_nearest_front(
+    sim: &Simulation,
+    idx: usize,
+    lane: usize,
+) -> Option<(usize, f64)> {
+    let me = &sim.vehicles()[idx];
+    let road = sim.road();
+    let mut best: Option<(usize, f64)> = None;
+    for (i, other) in sim.vehicles().iter().enumerate() {
+        if i == idx || other.lane != lane {
+            continue;
+        }
+        let dx = road.forward_gap(me.s, other.s);
+        if dx <= 0.0 || dx > 0.5 * road.length() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if dx >= b => {}
+            _ => best = Some((i, dx)),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::Road;
+    use crate::simulation::Simulation;
+
+    #[test]
+    fn metrics_of_dense_traffic_are_plausible() {
+        let mut sim = Simulation::random_traffic(Road::motorway(), 24, 9).unwrap();
+        let m = observe(&mut sim, 1200); // 2 simulated minutes
+        println!("{m}");
+        // No near-collisions whatsoever.
+        assert_eq!(m.near_collisions, 0);
+        // Speeds in a sane motorway band.
+        assert!(m.speed.mean() > 10.0 && m.speed.mean() < 40.0);
+        // Headways: humans drive ~1–3 s; IDM with T=1.2 should land there.
+        assert!(
+            m.time_headway.mean() > 0.5 && m.time_headway.mean() < 10.0,
+            "headway {}",
+            m.time_headway.mean()
+        );
+        // Some overtaking happens, but not constant weaving.
+        let rate = m.lane_change_rate(24, 0.1);
+        assert!(rate < 4.0, "implausible weaving: {rate} changes/vehicle/min");
+    }
+
+    #[test]
+    fn empty_observation_is_neutral() {
+        let mut sim = Simulation::random_traffic(Road::motorway(), 5, 1).unwrap();
+        let m = observe(&mut sim, 0);
+        assert_eq!(m.steps, 0);
+        assert_eq!(m.lane_change_rate(5, 0.1), 0.0);
+    }
+
+    #[test]
+    fn lane_changes_are_counted() {
+        // A slow leader forces the ego to overtake within the window.
+        let mut sim = crate::presets::slow_leader().unwrap();
+        let m = observe(&mut sim, 600);
+        assert!(m.lane_changes >= 1, "no overtake recorded: {m}");
+    }
+}

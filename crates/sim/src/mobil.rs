@@ -1,0 +1,263 @@
+//! The MOBIL lane-change model (Kesting, Treiber & Helbing 2007).
+//!
+//! MOBIL decides lane changes by comparing IDM accelerations before and
+//! after a hypothetical change:
+//!
+//! * **Safety criterion** — the new follower must not be forced to brake
+//!   harder than `b_safe`. This is the property that keeps generated
+//!   training data free of risky manoeuvres (paper Sec. II (C)).
+//! * **Incentive criterion** — the ego's gain, plus `politeness` times the
+//!   followers' gains, must exceed `threshold` (optionally biased towards
+//!   the rightmost lane by `keep_right_bias`).
+//!
+//! The rule set is the *asymmetric* (European) variant: politeness only
+//! applies to changes towards the right (cooperative merging back);
+//! overtaking to the left is decided on the ego's own gain alone. The
+//! symmetric variant lets a slow leader "politely" yield into the
+//! overtaking lane, which deadlocks into lane ping-pong on a two-vehicle
+//! road.
+
+use crate::idm::Idm;
+
+/// MOBIL parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mobil {
+    /// Politeness factor `p` (0 = selfish, 1 = altruistic).
+    pub politeness: f64,
+    /// Acceleration-gain threshold to bother changing (m/s²).
+    pub threshold: f64,
+    /// Maximum braking imposed on the new follower (m/s², positive).
+    pub safe_braking: f64,
+    /// Bias towards the right lane (m/s²), European keep-right rule.
+    pub keep_right_bias: f64,
+}
+
+impl Default for Mobil {
+    fn default() -> Self {
+        Self {
+            politeness: 0.3,
+            threshold: 0.15,
+            safe_braking: 3.0,
+            keep_right_bias: 0.2,
+        }
+    }
+}
+
+/// Longitudinal context of one lane as seen by the ego: the leader and
+/// follower gaps/speeds (`None` = lane empty in that direction).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LaneContext {
+    /// Bumper gap to the leader (m) and leader speed (m/s).
+    pub leader: Option<(f64, f64)>,
+    /// Bumper gap to the follower (m) and follower speed (m/s).
+    pub follower: Option<(f64, f64)>,
+}
+
+/// Outcome of a MOBIL evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneChangeDecision {
+    /// Whether the change passes both criteria.
+    pub advisable: bool,
+    /// Whether the change passes the safety criterion alone.
+    pub safe: bool,
+    /// Ego acceleration advantage of the change (m/s²).
+    pub incentive: f64,
+}
+
+impl Mobil {
+    /// Evaluates a change for a vehicle with speed `v` and desired speed
+    /// `v0`, from its current lane (`current`) into a target lane
+    /// (`target`), using `idm` for all hypothetical accelerations.
+    /// `to_right` applies the keep-right bias in favour of the change.
+    pub fn evaluate(
+        &self,
+        idm: &Idm,
+        v: f64,
+        v0: f64,
+        current: LaneContext,
+        target: LaneContext,
+        to_right: bool,
+    ) -> LaneChangeDecision {
+        let acc = |ctx: Option<(f64, f64)>, speed: f64, desired: f64| match ctx {
+            Some((gap, leader_v)) => idm.acceleration(speed, desired, gap, speed - leader_v),
+            None => idm.acceleration(speed, desired, f64::INFINITY, 0.0),
+        };
+
+        // Safety: new follower after the change (we become its leader).
+        let safe = match target.follower {
+            Some((gap, fv)) => {
+                // Follower's deceleration with us ahead at gap `gap`.
+                let a_new = idm.acceleration(fv, fv.max(v0), gap, fv - v);
+                a_new >= -self.safe_braking
+            }
+            None => true,
+        } && target.leader.is_none_or(|(gap, _)| gap > idm.min_gap);
+
+        // Ego incentive.
+        let a_now = acc(current.leader, v, v0);
+        let a_then = acc(target.leader, v, v0);
+        let bias = if to_right {
+            self.keep_right_bias
+        } else {
+            -self.keep_right_bias
+        };
+
+        // Politeness: followers' gains (old follower gains room, new
+        // follower loses some). Asymmetric rule: only right changes are
+        // cooperative; left (overtaking) changes are selfish.
+        let politeness = if to_right { self.politeness } else { 0.0 };
+        let follower_delta = {
+            let old_gain = match current.follower {
+                Some((gap, fv)) => {
+                    let now = idm.acceleration(fv, fv.max(v0), gap, fv - v);
+                    let then = idm.acceleration(fv, fv.max(v0), f64::INFINITY, 0.0);
+                    then - now
+                }
+                None => 0.0,
+            };
+            let new_loss = match target.follower {
+                Some((gap, fv)) => {
+                    let now = idm.acceleration(fv, fv.max(v0), f64::INFINITY, 0.0);
+                    let then = idm.acceleration(fv, fv.max(v0), gap, fv - v);
+                    then - now
+                }
+                None => 0.0,
+            };
+            old_gain + new_loss
+        };
+
+        let incentive = a_then - a_now + politeness * follower_delta + bias;
+        LaneChangeDecision {
+            advisable: safe && incentive > self.threshold,
+            safe,
+            incentive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn free() -> LaneContext {
+        LaneContext::default()
+    }
+
+    #[test]
+    fn blocked_lane_motivates_overtaking() {
+        let mobil = Mobil {
+            keep_right_bias: 0.0,
+            ..Mobil::default()
+        };
+        let idm = Idm::default();
+        // Slow leader 15 m ahead; target lane empty.
+        let current = LaneContext {
+            leader: Some((15.0, 15.0)),
+            follower: None,
+        };
+        let d = mobil.evaluate(&idm, 25.0, 30.0, current, free(), false);
+        assert!(d.safe);
+        assert!(d.advisable, "incentive {}", d.incentive);
+    }
+
+    #[test]
+    fn no_reason_to_change_on_empty_road() {
+        let mobil = Mobil {
+            keep_right_bias: 0.0,
+            ..Mobil::default()
+        };
+        let idm = Idm::default();
+        let d = mobil.evaluate(&idm, 30.0, 30.0, free(), free(), false);
+        assert!(d.safe);
+        assert!(!d.advisable);
+    }
+
+    #[test]
+    fn close_follower_in_target_lane_vetoes_change() {
+        let mobil = Mobil::default();
+        let idm = Idm::default();
+        let current = LaneContext {
+            leader: Some((10.0, 10.0)),
+            follower: None,
+        };
+        // Fast follower right behind in the target lane.
+        let target = LaneContext {
+            leader: None,
+            follower: Some((3.0, 33.0)),
+        };
+        let d = mobil.evaluate(&idm, 25.0, 30.0, current, target, false);
+        assert!(!d.safe);
+        assert!(!d.advisable);
+    }
+
+    #[test]
+    fn tiny_gap_to_target_leader_is_unsafe() {
+        let mobil = Mobil::default();
+        let idm = Idm::default();
+        let target = LaneContext {
+            leader: Some((1.0, 20.0)),
+            follower: None,
+        };
+        let d = mobil.evaluate(&idm, 25.0, 30.0, free(), target, false);
+        assert!(!d.safe);
+    }
+
+    #[test]
+    fn keep_right_bias_prefers_right() {
+        let mobil = Mobil::default();
+        let idm = Idm::default();
+        let to_right = mobil.evaluate(&idm, 30.0, 30.0, free(), free(), true);
+        let to_left = mobil.evaluate(&idm, 30.0, 30.0, free(), free(), false);
+        assert!(to_right.incentive > to_left.incentive);
+        assert!(to_right.advisable, "bias should pull back right");
+    }
+
+    #[test]
+    fn politeness_discourages_cutting_in_to_the_right() {
+        let idm = Idm::default();
+        let current = LaneContext {
+            leader: Some((12.0, 12.0)),
+            follower: None,
+        };
+        // A follower in the target lane at a safe but uncomfortable gap.
+        let target = LaneContext {
+            leader: None,
+            follower: Some((18.0, 30.0)),
+        };
+        let selfish = Mobil {
+            politeness: 0.0,
+            keep_right_bias: 0.0,
+            ..Mobil::default()
+        };
+        let polite = Mobil {
+            politeness: 1.0,
+            keep_right_bias: 0.0,
+            ..Mobil::default()
+        };
+        let ds = selfish.evaluate(&idm, 22.0, 30.0, current, target, true);
+        let dp = polite.evaluate(&idm, 22.0, 30.0, current, target, true);
+        assert!(dp.incentive < ds.incentive);
+    }
+
+    #[test]
+    fn left_changes_are_selfish_regardless_of_politeness() {
+        // Asymmetric rule: a slow leader must never be "polite" into the
+        // overtaking lane just to clear the way for its follower.
+        let idm = Idm::default();
+        let current = LaneContext {
+            leader: None,
+            follower: Some((20.0, 30.0)), // fast follower crawling behind us
+        };
+        let polite = Mobil {
+            politeness: 1.0,
+            keep_right_bias: 0.0,
+            ..Mobil::default()
+        };
+        let d = polite.evaluate(&idm, 18.0, 18.0, current, LaneContext::default(), false);
+        assert!(
+            !d.advisable,
+            "slow leader yielded left: incentive {}",
+            d.incentive
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Named traffic-scenario presets.
+//!
+//! Hand-built situations used by examples and tests: they make specific
+//! feature slots fire deterministically (a cut-in, a slow leader, a
+//! platoon on the left), unlike random traffic where interesting moments
+//! are a matter of luck.
+
+use crate::road::Road;
+use crate::simulation::Simulation;
+use crate::vehicle::Vehicle;
+use crate::SimError;
+
+/// The ego cruises while a neighbour cuts in from the right lane just
+/// ahead — exercises the `FrontRight`/`FrontSame` transition and forces
+/// the ego's IDM to brake.
+pub fn cut_in() -> Result<Simulation, SimError> {
+    let road = Road::motorway();
+    let mut ego = Vehicle::new(0, 1, 100.0, 28.0);
+    ego.desired_speed = 30.0;
+    let mut cutter = Vehicle::new(1, 0, 115.0, 24.0);
+    cutter.desired_speed = 24.0;
+    cutter.begin_lane_change(1, 2.5);
+    let mut leader = Vehicle::new(2, 0, 160.0, 20.0);
+    leader.desired_speed = 20.0;
+    Simulation::new(road, vec![ego, cutter, leader])
+}
+
+/// A slow leader blocks the ego's lane while the left lane is free — the
+/// textbook overtaking trigger for MOBIL.
+pub fn slow_leader() -> Result<Simulation, SimError> {
+    let road = Road::motorway();
+    let mut ego = Vehicle::new(0, 0, 100.0, 28.0);
+    ego.desired_speed = 31.0;
+    let mut leader = Vehicle::new(1, 0, 130.0, 18.0);
+    leader.desired_speed = 18.0;
+    Simulation::new(road, vec![ego, leader])
+}
+
+/// A platoon occupies the left lane abreast of and around the ego — the
+/// exact situation the safety property quantifies over: the `SideLeft`
+/// slot is occupied from the first step. The platoon drives at its IDM
+/// equilibrium (large gaps, desired speed reached) so it has no incentive
+/// to disband.
+pub fn left_platoon() -> Result<Simulation, SimError> {
+    let road = Road::motorway();
+    let mut ego = Vehicle::new(0, 0, 100.0, 24.0);
+    ego.desired_speed = 30.0;
+    let mk = |id, s| {
+        let mut v = Vehicle::new(id, 1, s, 24.0);
+        v.desired_speed = 24.0;
+        v
+    };
+    Simulation::new(
+        road,
+        vec![ego, mk(1, 97.0), mk(2, 140.0), mk(3, 55.0)],
+    )
+}
+
+/// Dense three-lane congestion: every slot of the ego's neighbourhood is
+/// likely to be occupied, which maximises feature coverage in tests.
+pub fn congestion(seed: u64) -> Result<Simulation, SimError> {
+    Simulation::random_traffic(Road::motorway(), 34, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{slot_index, FeatureExtractor, Orientation, SlotFeature};
+
+    #[test]
+    fn cut_in_eventually_changes_lane_and_slows_ego() {
+        let mut sim = cut_in().unwrap();
+        let v0 = sim.vehicles()[0].v;
+        sim.run(8.0);
+        // The cutter is now in the ego's lane...
+        assert_eq!(sim.vehicles()[1].lane, 1);
+        assert!(!sim.vehicles()[1].is_changing_lane());
+        // ...and the ego had to slow down below its desired speed.
+        assert!(sim.vehicles()[0].v < v0 + 1.0);
+        let x = FeatureExtractor::new().extract(&sim, 0).unwrap();
+        assert_eq!(x[slot_index(Orientation::FrontSame, SlotFeature::Present)], 1.0);
+    }
+
+    #[test]
+    fn slow_leader_provokes_overtaking() {
+        let mut sim = slow_leader().unwrap();
+        sim.run(30.0);
+        // The ego moved to the left lane (or already passed and returned);
+        // either way it must not be stuck at the leader's speed.
+        let ego = &sim.vehicles()[0];
+        assert!(
+            ego.v > 20.0,
+            "ego stuck behind slow leader at {} m/s",
+            ego.v
+        );
+    }
+
+    #[test]
+    fn left_platoon_sets_the_property_guard_immediately() {
+        let sim = left_platoon().unwrap();
+        let x = FeatureExtractor::new().extract(&sim, 0).unwrap();
+        assert_eq!(
+            x[slot_index(Orientation::SideLeft, SlotFeature::Present)],
+            1.0
+        );
+        assert_eq!(
+            x[slot_index(Orientation::FrontLeft, SlotFeature::Present)],
+            1.0
+        );
+        assert_eq!(
+            x[slot_index(Orientation::RearLeft, SlotFeature::Present)],
+            1.0
+        );
+    }
+
+    #[test]
+    fn left_platoon_ego_never_initiates_into_an_occupied_lane() {
+        // The manoeuvre-level veto: whenever any vehicle *begins* a lane
+        // change, the target lane must have been clear of abreast traffic
+        // (|Δs| ≤ 12 m) in the pre-step state.
+        let mut sim = left_platoon().unwrap();
+        let mut prev: Vec<_> = sim.vehicles().to_vec();
+        for _ in 0..600 {
+            sim.step();
+            for (k, v) in sim.vehicles().iter().enumerate() {
+                let started = v.is_changing_lane() && !prev[k].is_changing_lane();
+                if !started {
+                    continue;
+                }
+                let target = v.lane;
+                for (j, other) in prev.iter().enumerate() {
+                    if j == k || !other.occupies_lane(target) {
+                        continue;
+                    }
+                    let mut dx = sim.road().forward_gap(prev[k].s, other.s);
+                    if dx > 0.5 * sim.road().length() {
+                        dx -= sim.road().length();
+                    }
+                    assert!(
+                        dx.abs() > 12.0,
+                        "vehicle {} started into lane {target} with vehicle {} abreast (dx {dx:.1}) at t={:.1}",
+                        v.id(),
+                        other.id(),
+                        sim.time()
+                    );
+                }
+            }
+            prev = sim.vehicles().to_vec();
+        }
+    }
+
+    #[test]
+    fn congestion_fills_most_slots() {
+        let mut sim = congestion(5).unwrap();
+        sim.run(10.0);
+        let ex = FeatureExtractor::new();
+        // Across all vehicles, every orientation should be occupied
+        // somewhere in dense traffic.
+        let mut seen = [false; 8];
+        for v in sim.vehicles() {
+            let x = ex.extract(&sim, v.id()).unwrap();
+            for (k, o) in Orientation::ALL.iter().enumerate() {
+                if x[slot_index(*o, SlotFeature::Present)] >= 0.5 {
+                    seen[k] = true;
+                }
+            }
+        }
+        assert!(
+            seen.iter().filter(|&&s| s).count() >= 7,
+            "congestion left orientations unseen: {seen:?}"
+        );
+    }
+}

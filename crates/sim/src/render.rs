@@ -1,0 +1,191 @@
+//! ASCII rendering of scenes and action densities (Figure 1).
+//!
+//! The paper's Figure 1 shows (left) a simulation snapshot and (right) the
+//! Gaussian-mixture action distribution predicted for the ego vehicle.
+//! [`render_scene`] reproduces the left panel as a top-down ASCII view;
+//! [`render_density`] reproduces the right panel for any density function
+//! (the `highway_prediction` example feeds it the decoded [`Gmm2`] of the
+//! trained predictor).
+//!
+//! [`Gmm2`]: https://en.wikipedia.org/wiki/Mixture_model
+
+use crate::simulation::Simulation;
+
+/// Shade ramp from empty to dense.
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// Renders a top-down view of the road around the ego vehicle.
+///
+/// Lanes are rows (leftmost lane on top, matching the driving direction
+/// left-to-right); `window` metres ahead of and behind the ego are shown.
+/// The ego prints as `E`, other vehicles as `>` (or `^`/`v` during a lane
+/// change towards the left/right lane).
+pub fn render_scene(sim: &Simulation, window: f64) -> String {
+    let road = sim.road();
+    let cols = 61usize;
+    let ego = sim
+        .vehicle(sim.ego_id())
+        .expect("simulation always contains its own ego");
+    let half = window.max(10.0);
+    let metres_per_col = (2.0 * half) / cols as f64;
+
+    let mut grid = vec![vec![b'.'; cols]; road.lanes()];
+    for v in sim.vehicles() {
+        // Signed distance from ego in (-L/2, L/2].
+        let mut dx = road.forward_gap(ego.s, v.s);
+        if dx > 0.5 * road.length() {
+            dx -= road.length();
+        }
+        if dx.abs() > half {
+            continue;
+        }
+        let col = (((dx + half) / metres_per_col) as usize).min(cols - 1);
+        let row = road.lanes() - 1 - v.lane; // leftmost lane on top
+        let glyph = if v.id() == sim.ego_id() {
+            b'E'
+        } else if v.is_changing_lane() {
+            if v.lateral_velocity > 0.0 {
+                b'^'
+            } else {
+                b'v'
+            }
+        } else {
+            b'>'
+        };
+        grid[row][col] = glyph;
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "t = {:6.1}s   road: {} lanes, {} surface, limit {:.0} m/s\n",
+        sim.time(),
+        road.lanes(),
+        road.surface(),
+        road.speed_limit()
+    ));
+    let border: String = std::iter::repeat_n('=', cols).collect();
+    out.push_str(&border);
+    out.push('\n');
+    for row in &grid {
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&border);
+    out.push('\n');
+    out
+}
+
+/// Renders a density function over a 2-D action space as an ASCII grid.
+///
+/// The horizontal axis is the first argument (`lo_x..hi_x`, e.g. lateral
+/// velocity) and the vertical axis the second (top = `hi_y`). Densities
+/// are normalised to the maximum cell before mapping onto the shade ramp.
+pub fn render_density<F: Fn(f64, f64) -> f64>(
+    density: F,
+    (lo_x, hi_x): (f64, f64),
+    (lo_y, hi_y): (f64, f64),
+    cols: usize,
+    rows: usize,
+) -> String {
+    let cols = cols.max(2);
+    let rows = rows.max(2);
+    let mut values = vec![vec![0.0; cols]; rows];
+    let mut max_v: f64 = 0.0;
+    for (r, row) in values.iter_mut().enumerate() {
+        // Top row = highest y.
+        let y = hi_y - (r as f64 + 0.5) / rows as f64 * (hi_y - lo_y);
+        for (c, cell) in row.iter_mut().enumerate() {
+            let x = lo_x + (c as f64 + 0.5) / cols as f64 * (hi_x - lo_x);
+            let v = density(x, y).max(0.0);
+            *cell = v;
+            max_v = max_v.max(v);
+        }
+    }
+    let mut out = String::new();
+    for row in &values {
+        for &v in row {
+            let t = if max_v > 0.0 { v / max_v } else { 0.0 };
+            let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "x: [{lo_x:.1}, {hi_x:.1}]  y: [{lo_y:.1}, {hi_y:.1}]  peak {max_v:.4}\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::Road;
+    use crate::simulation::Simulation;
+    use crate::vehicle::Vehicle;
+
+    #[test]
+    fn scene_contains_ego_and_neighbours() {
+        let road = Road::motorway();
+        let ego = Vehicle::new(0, 1, 100.0, 25.0);
+        let ahead = Vehicle::new(1, 1, 120.0, 22.0);
+        let left = Vehicle::new(2, 2, 100.0, 27.0);
+        let sim = Simulation::new(road, vec![ego, ahead, left]).unwrap();
+        let s = render_scene(&sim, 50.0);
+        assert!(s.contains('E'));
+        assert_eq!(s.matches('>').count(), 2);
+        // 3 lanes -> 3 rows between the borders.
+        assert_eq!(s.lines().count(), 1 + 1 + 3 + 1);
+    }
+
+    #[test]
+    fn vehicles_outside_window_are_hidden() {
+        let road = Road::motorway();
+        let ego = Vehicle::new(0, 0, 100.0, 25.0);
+        let far = Vehicle::new(1, 0, 250.0, 25.0); // wraps to dx 150 > 50
+        let sim = Simulation::new(road, vec![ego, far]).unwrap();
+        let s = render_scene(&sim, 50.0);
+        assert_eq!(s.matches('>').count(), 0);
+    }
+
+    #[test]
+    fn lane_changer_renders_arrow() {
+        let road = Road::motorway();
+        let ego = Vehicle::new(0, 0, 100.0, 25.0);
+        let mut changer = Vehicle::new(1, 0, 120.0, 25.0);
+        changer.begin_lane_change(1, 2.0);
+        let sim = Simulation::new(road, vec![ego, changer]).unwrap();
+        let s = render_scene(&sim, 50.0);
+        assert!(s.contains('^'));
+    }
+
+    #[test]
+    fn density_peak_appears_at_mode() {
+        // A unimodal bump at (1, -1); top-left of the grid is (lo_x, hi_y).
+        let s = render_density(
+            |x, y| (-((x - 1.0).powi(2) + (y + 1.0).powi(2))).exp(),
+            (-2.0, 2.0),
+            (-2.0, 2.0),
+            21,
+            21,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 22); // 21 rows + footer
+        // The darkest glyph '@' must appear in the lower-right quadrant.
+        let (mut found_r, mut found_c) = (0, 0);
+        for (r, line) in lines[..21].iter().enumerate() {
+            if let Some(c) = line.find('@') {
+                found_r = r;
+                found_c = c;
+            }
+        }
+        assert!(found_r > 10, "peak row {found_r}");
+        assert!(found_c > 10, "peak col {found_c}");
+    }
+
+    #[test]
+    fn flat_density_renders_uniformly() {
+        let s = render_density(|_, _| 1.0, (0.0, 1.0), (0.0, 1.0), 5, 3);
+        let first = s.lines().next().unwrap();
+        assert!(first.chars().all(|c| c == '@'));
+    }
+}

@@ -1,0 +1,185 @@
+//! Road geometry and surface condition.
+
+use crate::SimError;
+use std::fmt;
+
+/// Road-surface condition, part of the predictor's "road condition" inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SurfaceCondition {
+    /// Dry asphalt (friction ≈ 1.0).
+    #[default]
+    Dry,
+    /// Wet asphalt (friction ≈ 0.6).
+    Wet,
+    /// Icy surface (friction ≈ 0.25).
+    Icy,
+}
+
+impl SurfaceCondition {
+    /// Nominal friction coefficient used by the driver models.
+    pub fn friction(&self) -> f64 {
+        match self {
+            SurfaceCondition::Dry => 1.0,
+            SurfaceCondition::Wet => 0.6,
+            SurfaceCondition::Icy => 0.25,
+        }
+    }
+}
+
+impl fmt::Display for SurfaceCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SurfaceCondition::Dry => "dry",
+            SurfaceCondition::Wet => "wet",
+            SurfaceCondition::Icy => "icy",
+        })
+    }
+}
+
+/// A circular multi-lane carriageway.
+///
+/// Lane `0` is the rightmost lane; increasing lane index moves left (the
+/// overtaking direction). Positions along the road are longitudinal
+/// coordinates in `[0, length)` that wrap around, which keeps traffic
+/// density constant without spawning logic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Road {
+    lanes: usize,
+    lane_width: f64,
+    length: f64,
+    speed_limit: f64,
+    surface: SurfaceCondition,
+}
+
+impl Road {
+    /// Creates a road.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `lanes == 0`, or any of
+    /// `lane_width`, `length`, `speed_limit` is non-positive or non-finite.
+    pub fn new(
+        lanes: usize,
+        lane_width: f64,
+        length: f64,
+        speed_limit: f64,
+        surface: SurfaceCondition,
+    ) -> Result<Self, SimError> {
+        if lanes == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "lanes",
+                value: lanes as f64,
+            });
+        }
+        for (name, v) in [
+            ("lane_width", lane_width),
+            ("length", length),
+            ("speed_limit", speed_limit),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(SimError::InvalidParameter { name, value: v });
+            }
+        }
+        Ok(Self {
+            lanes,
+            lane_width,
+            length,
+            speed_limit,
+            surface,
+        })
+    }
+
+    /// A 3-lane, 500 m dry motorway with a 33 m/s (~120 km/h) limit — the
+    /// default scenario of the case study.
+    pub fn motorway() -> Self {
+        Self::new(3, 3.5, 500.0, 33.0, SurfaceCondition::Dry).expect("valid constants")
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lane width in metres.
+    pub fn lane_width(&self) -> f64 {
+        self.lane_width
+    }
+
+    /// Loop length in metres.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Speed limit in m/s.
+    pub fn speed_limit(&self) -> f64 {
+        self.speed_limit
+    }
+
+    /// Surface condition.
+    pub fn surface(&self) -> SurfaceCondition {
+        self.surface
+    }
+
+    /// Wraps a longitudinal coordinate into `[0, length)`.
+    pub fn wrap(&self, s: f64) -> f64 {
+        let mut w = s % self.length;
+        if w < 0.0 {
+            w += self.length;
+        }
+        w
+    }
+
+    /// Signed gap from `from` forward to `to` along the driving direction,
+    /// in `[0, length)`.
+    pub fn forward_gap(&self, from: f64, to: f64) -> f64 {
+        self.wrap(to - from)
+    }
+
+    /// `true` if `lane` exists on this road.
+    pub fn has_lane(&self, lane: usize) -> bool {
+        lane < self.lanes
+    }
+}
+
+impl Default for Road {
+    fn default() -> Self {
+        Self::motorway()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Road::new(0, 3.5, 100.0, 30.0, SurfaceCondition::Dry).is_err());
+        assert!(Road::new(2, -1.0, 100.0, 30.0, SurfaceCondition::Dry).is_err());
+        assert!(Road::new(2, 3.5, 0.0, 30.0, SurfaceCondition::Dry).is_err());
+        assert!(Road::new(2, 3.5, 100.0, f64::NAN, SurfaceCondition::Dry).is_err());
+        assert!(Road::new(2, 3.5, 100.0, 30.0, SurfaceCondition::Wet).is_ok());
+    }
+
+    #[test]
+    fn wrap_and_forward_gap() {
+        let r = Road::new(2, 3.5, 100.0, 30.0, SurfaceCondition::Dry).unwrap();
+        assert_eq!(r.wrap(150.0), 50.0);
+        assert_eq!(r.wrap(-10.0), 90.0);
+        assert_eq!(r.forward_gap(90.0, 10.0), 20.0);
+        assert_eq!(r.forward_gap(10.0, 90.0), 80.0);
+    }
+
+    #[test]
+    fn friction_ordering() {
+        assert!(SurfaceCondition::Dry.friction() > SurfaceCondition::Wet.friction());
+        assert!(SurfaceCondition::Wet.friction() > SurfaceCondition::Icy.friction());
+    }
+
+    #[test]
+    fn motorway_defaults() {
+        let r = Road::motorway();
+        assert_eq!(r.lanes(), 3);
+        assert!(r.has_lane(2));
+        assert!(!r.has_lane(3));
+    }
+}

@@ -1,0 +1,188 @@
+//! Scenario generation: turning simulations into supervised datasets.
+//!
+//! The recorded pairs `(84-feature vector, expert action)` play the role of
+//! the proprietary driving data the paper's predictor was trained on. The
+//! expert action is whatever the IDM+MOBIL driver actually did, so by
+//! construction the data contains no manoeuvre that violates MOBIL's
+//! safety criterion — mirroring the paper's "we validated that the
+//! training data never contains such inputs" (Sec. III).
+
+use crate::features::{slot_index, FeatureExtractor, Orientation, SlotFeature};
+use crate::road::Road;
+use crate::simulation::Simulation;
+use crate::SimError;
+use certnn_linalg::Vector;
+
+/// Configuration for dataset generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Road the episodes run on.
+    pub road: Road,
+    /// Vehicles per episode.
+    pub vehicles: usize,
+    /// Simulated seconds per episode.
+    pub episode_seconds: f64,
+    /// Warm-up seconds discarded before sampling starts.
+    pub warmup_seconds: f64,
+    /// Record a sample every this many integration steps.
+    pub sample_every: usize,
+    /// One episode per seed; seeds also shuffle the traffic.
+    pub seeds: Vec<u64>,
+    /// Drop samples that violate the safety rule ("left occupied" together
+    /// with a ≥ 1 m/s leftward command). This is the data curation the
+    /// paper performs before training; switch it off to hand raw data to
+    /// `certnn-datacheck` and watch the validator catch the violations.
+    pub exclude_risky: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            road: Road::motorway(),
+            vehicles: 18,
+            episode_seconds: 60.0,
+            warmup_seconds: 5.0,
+            sample_every: 5,
+            seeds: (0..4).collect(),
+            exclude_risky: true,
+        }
+    }
+}
+
+/// Generates `(features, action)` pairs by running the configured episodes
+/// and recording *every* vehicle from its own ego perspective.
+///
+/// The action target is `[lateral velocity (m/s), longitudinal
+/// acceleration (m/s²)]`, matching the two dimensions of the predictor's
+/// Gaussian-mixture head.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the configuration cannot be simulated
+/// (overcrowded road, invalid parameters).
+pub fn generate_dataset(config: &ScenarioConfig) -> Result<Vec<(Vector, Vector)>, SimError> {
+    let extractor = FeatureExtractor::new();
+    let mut samples = Vec::new();
+    for &seed in &config.seeds {
+        let mut sim = Simulation::random_traffic(config.road.clone(), config.vehicles, seed)?;
+        sim.run(config.warmup_seconds);
+        let dt = 0.1;
+        let steps = (config.episode_seconds / dt).round() as usize;
+        for step in 0..steps {
+            sim.step();
+            if step % config.sample_every.max(1) != 0 {
+                continue;
+            }
+            for v in 0..sim.vehicles().len() {
+                let id = sim.vehicles()[v].id();
+                let features = extractor.extract(&sim, id)?;
+                let action = sim.expert_action(id)?;
+                let action = Vector::from(vec![action[0], action[1]]);
+                if config.exclude_risky && left_occupied(&features) && moves_left(&action, 1.0) {
+                    continue;
+                }
+                samples.push((features, action));
+            }
+        }
+    }
+    Ok(samples)
+}
+
+/// `true` if the feature vector reports a vehicle abreast on the left —
+/// the guard of the paper's safety property.
+pub fn left_occupied(features: &Vector) -> bool {
+    features[slot_index(Orientation::SideLeft, SlotFeature::Present)] >= 0.5
+}
+
+/// `true` if the recorded action commands a leftward lateral velocity of at
+/// least `threshold` m/s.
+pub fn moves_left(action: &Vector, threshold: f64) -> bool {
+    action[0] >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_COUNT;
+
+    fn small_config() -> ScenarioConfig {
+        ScenarioConfig {
+            vehicles: 12,
+            episode_seconds: 10.0,
+            warmup_seconds: 1.0,
+            sample_every: 10,
+            seeds: vec![1, 2],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dataset_has_expected_shape_and_size() {
+        let cfg = small_config();
+        let data = generate_dataset(&cfg).unwrap();
+        // At most 100 steps / 10 sampled * 12 vehicles * 2 seeds = 240
+        // (curation may drop a few risky samples).
+        assert!(data.len() <= 240);
+        assert!(data.len() > 200, "unexpectedly many samples dropped");
+        for (x, y) in &data {
+            assert_eq!(x.len(), FEATURE_COUNT);
+            assert_eq!(y.len(), 2);
+        }
+    }
+
+    #[test]
+    fn raw_data_is_superset_of_curated_data() {
+        let mut raw_cfg = small_config();
+        raw_cfg.exclude_risky = false;
+        let raw = generate_dataset(&raw_cfg).unwrap();
+        let curated = generate_dataset(&small_config()).unwrap();
+        assert!(raw.len() >= curated.len());
+        assert_eq!(raw.len(), 240);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = small_config();
+        let a = generate_dataset(&cfg).unwrap();
+        let b = generate_dataset(&cfg).unwrap();
+        assert_eq!(a.len(), b.len());
+        for ((xa, ya), (xb, yb)) in a.iter().zip(&b) {
+            assert!(xa.approx_eq(xb, 0.0));
+            assert!(ya.approx_eq(yb, 0.0));
+        }
+    }
+
+    #[test]
+    fn expert_data_contains_no_risky_left_moves() {
+        // The headline data-validity property: no sample may combine an
+        // occupied left side with a strong leftward command.
+        let data = generate_dataset(&small_config()).unwrap();
+        for (x, y) in &data {
+            if left_occupied(x) {
+                assert!(
+                    !moves_left(y, 1.0),
+                    "risky sample: left occupied but v_lat = {}",
+                    y[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn actions_are_physically_bounded() {
+        let data = generate_dataset(&small_config()).unwrap();
+        for (_, y) in &data {
+            assert!(y[0].abs() < 5.0, "lateral velocity {}", y[0]);
+            assert!(y[1].abs() < 6.0, "acceleration {}", y[1]);
+        }
+    }
+
+    #[test]
+    fn overcrowded_config_errors() {
+        let cfg = ScenarioConfig {
+            vehicles: 100_000,
+            ..small_config()
+        };
+        assert!(generate_dataset(&cfg).is_err());
+    }
+}

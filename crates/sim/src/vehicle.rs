@@ -1,0 +1,183 @@
+//! Vehicles and their kinematic state.
+
+use std::collections::VecDeque;
+
+/// Number of past speed samples kept per vehicle (the ego "speed profile"
+/// block of the 84-feature input).
+pub const SPEED_HISTORY: usize = 8;
+
+/// A vehicle on the road.
+///
+/// Lateral movement is modelled as a continuous lane-change manoeuvre: the
+/// vehicle keeps a `lane` (its target lane) and a `lateral_offset` in lane
+/// widths relative to that lane's centre, which decays to zero during a
+/// change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vehicle {
+    id: usize,
+    /// Current (target) lane index, 0 = rightmost.
+    pub lane: usize,
+    /// Longitudinal position along the road loop (m).
+    pub s: f64,
+    /// Longitudinal speed (m/s).
+    pub v: f64,
+    /// Longitudinal acceleration set by the driver model (m/s²).
+    pub a: f64,
+    /// Lateral offset from the centre of `lane`, in lane widths
+    /// (negative = coming from the right, positive = coming from the left).
+    pub lateral_offset: f64,
+    /// Lateral velocity in lane widths per second (positive = leftwards).
+    pub lateral_velocity: f64,
+    /// Vehicle length (m).
+    pub length: f64,
+    /// Driver's desired cruising speed (m/s).
+    pub desired_speed: f64,
+    /// Seconds until another lane change is permitted.
+    pub lane_change_cooldown: f64,
+    speed_history: VecDeque<f64>,
+}
+
+impl Vehicle {
+    /// Creates a vehicle at rest-state defaults in `lane` at position `s`
+    /// with speed `v`.
+    pub fn new(id: usize, lane: usize, s: f64, v: f64) -> Self {
+        let mut speed_history = VecDeque::with_capacity(SPEED_HISTORY);
+        for _ in 0..SPEED_HISTORY {
+            speed_history.push_back(v);
+        }
+        Self {
+            id,
+            lane,
+            s,
+            v,
+            a: 0.0,
+            lateral_offset: 0.0,
+            lateral_velocity: 0.0,
+            length: 4.5,
+            desired_speed: v.max(1.0),
+            lane_change_cooldown: 0.0,
+            speed_history,
+        }
+    }
+
+    /// Unique id within the simulation.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Past speeds, oldest first (always [`SPEED_HISTORY`] entries).
+    pub fn speed_history(&self) -> impl Iterator<Item = f64> + '_ {
+        self.speed_history.iter().copied()
+    }
+
+    /// Pushes the current speed into the history ring.
+    pub fn record_speed(&mut self) {
+        if self.speed_history.len() == SPEED_HISTORY {
+            self.speed_history.pop_front();
+        }
+        self.speed_history.push_back(self.v);
+    }
+
+    /// `true` while a lane-change manoeuvre is still in progress.
+    pub fn is_changing_lane(&self) -> bool {
+        self.lateral_offset.abs() > 1e-3
+    }
+
+    /// Starts a lane change towards `target_lane`, adjusting the lateral
+    /// offset so the vehicle's physical position is continuous.
+    ///
+    /// A change to the left (higher index) sets a negative offset (the
+    /// vehicle is still to the right of its new lane's centre) and a
+    /// positive lateral velocity.
+    pub fn begin_lane_change(&mut self, target_lane: usize, duration: f64) {
+        let delta = target_lane as f64 - self.lane as f64;
+        self.lateral_offset = -delta;
+        self.lateral_velocity = delta / duration.max(0.1);
+        self.lane = target_lane;
+    }
+
+    /// Effective continuous lane coordinate (lane index + offset).
+    pub fn lane_position(&self) -> f64 {
+        self.lane as f64 + self.lateral_offset
+    }
+
+    /// `true` if the vehicle physically occupies `lane`: its target lane
+    /// always, plus the origin lane while a change is still in progress
+    /// (the body straddles both).
+    pub fn occupies_lane(&self, lane: usize) -> bool {
+        if self.lane == lane {
+            return true;
+        }
+        if !self.is_changing_lane() {
+            return false;
+        }
+        // Origin lane: one step opposite the direction of travel.
+        let origin = if self.lateral_velocity > 0.0 {
+            self.lane.checked_sub(1)
+        } else {
+            Some(self.lane + 1)
+        };
+        origin == Some(lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_vehicle_has_full_history() {
+        let v = Vehicle::new(0, 1, 10.0, 25.0);
+        assert_eq!(v.speed_history().count(), SPEED_HISTORY);
+        assert!(v.speed_history().all(|s| s == 25.0));
+    }
+
+    #[test]
+    fn history_ring_evicts_oldest() {
+        let mut v = Vehicle::new(0, 0, 0.0, 10.0);
+        v.v = 11.0;
+        v.record_speed();
+        v.v = 12.0;
+        v.record_speed();
+        let h: Vec<f64> = v.speed_history().collect();
+        assert_eq!(h.len(), SPEED_HISTORY);
+        assert_eq!(h[SPEED_HISTORY - 1], 12.0);
+        assert_eq!(h[SPEED_HISTORY - 2], 11.0);
+        assert_eq!(h[0], 10.0);
+    }
+
+    #[test]
+    fn lane_change_left_is_positive_lateral_velocity() {
+        let mut v = Vehicle::new(0, 0, 0.0, 20.0);
+        v.begin_lane_change(1, 2.0);
+        assert_eq!(v.lane, 1);
+        assert!(v.lateral_velocity > 0.0);
+        assert!(v.lateral_offset < 0.0);
+        // Physical position is continuous: still at the old lane's centre.
+        assert!((v.lane_position() - 0.0).abs() < 1e-12);
+        assert!(v.is_changing_lane());
+    }
+
+    #[test]
+    fn changing_vehicle_occupies_both_lanes() {
+        let mut v = Vehicle::new(0, 0, 0.0, 20.0);
+        assert!(v.occupies_lane(0));
+        assert!(!v.occupies_lane(1));
+        v.begin_lane_change(1, 2.0);
+        assert!(v.occupies_lane(1), "target lane");
+        assert!(v.occupies_lane(0), "origin lane while changing");
+        assert!(!v.occupies_lane(2));
+        // Right change: origin is lane+1.
+        let mut r = Vehicle::new(1, 2, 0.0, 20.0);
+        r.begin_lane_change(1, 2.0);
+        assert!(r.occupies_lane(1) && r.occupies_lane(2));
+    }
+
+    #[test]
+    fn lane_change_right_is_negative_lateral_velocity() {
+        let mut v = Vehicle::new(0, 2, 0.0, 20.0);
+        v.begin_lane_change(1, 2.0);
+        assert!(v.lateral_velocity < 0.0);
+        assert!((v.lane_position() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based invariants of the traffic simulation and feature
+//! extraction.
+
+use certnn_sim::features::FeatureExtractor;
+use certnn_sim::road::{Road, SurfaceCondition};
+use certnn_sim::simulation::Simulation;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Across random traffic and run lengths: no collisions, speeds in
+    /// range, positions wrapped, lanes valid.
+    #[test]
+    fn physical_invariants_hold(
+        n in 2usize..30,
+        seed in any::<u64>(),
+        steps in 10usize..300,
+    ) {
+        let road = Road::motorway();
+        let mut sim = Simulation::random_traffic(road, n, seed).unwrap();
+        for _ in 0..steps {
+            sim.step();
+        }
+        prop_assert!(sim.min_same_lane_gap() > 0.0, "collision");
+        let cap = sim.road().speed_limit() * 1.25 + 1e-9;
+        for v in sim.vehicles() {
+            prop_assert!(v.v >= 0.0 && v.v <= cap);
+            prop_assert!(v.s >= 0.0 && v.s < sim.road().length());
+            prop_assert!(sim.road().has_lane(v.lane));
+            prop_assert!(v.lateral_offset.abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Every extracted feature vector lies inside the declared bounds for
+    /// every vehicle, surface and moment.
+    #[test]
+    fn features_always_inside_declared_box(
+        n in 2usize..20,
+        seed in any::<u64>(),
+        surface_pick in 0u8..3,
+        run_secs in 0.0f64..20.0,
+    ) {
+        let surface = match surface_pick {
+            0 => SurfaceCondition::Dry,
+            1 => SurfaceCondition::Wet,
+            _ => SurfaceCondition::Icy,
+        };
+        let road = Road::new(3, 3.5, 500.0, 33.0, surface).unwrap();
+        let mut sim = Simulation::random_traffic(road, n, seed).unwrap();
+        sim.run(run_secs);
+        let bounds = FeatureExtractor::bounds();
+        let ex = FeatureExtractor::new();
+        for v in sim.vehicles() {
+            let x = ex.extract(&sim, v.id()).unwrap();
+            for (i, (&xi, b)) in x.as_slice().iter().zip(&bounds).enumerate() {
+                prop_assert!(
+                    b.widened(1e-9).contains(xi),
+                    "feature {i} = {xi} outside {b} (surface {surface})"
+                );
+            }
+        }
+    }
+
+    /// Expert actions stay physically plausible for all seeds.
+    #[test]
+    fn expert_actions_bounded(n in 2usize..20, seed in any::<u64>()) {
+        let mut sim = Simulation::random_traffic(Road::motorway(), n, seed).unwrap();
+        sim.run(15.0);
+        for v in sim.vehicles() {
+            let a = sim.expert_action(v.id()).unwrap();
+            prop_assert!(a[0].abs() < 4.0, "lateral {}", a[0]);
+            prop_assert!(a[1].abs() < 6.0, "accel {}", a[1]);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Neuron-ablation impact analysis.
+//!
+//! A complementary understandability probe to [`crate::attribution`]: how
+//! much does the network's output change when one hidden neuron is forced
+//! to zero? Neurons whose ablation barely moves any output carry little
+//! function; neurons whose ablation swings a safety-relevant output are
+//! exactly the ones a certification argument must explain.
+
+use crate::activations::NeuronId;
+use certnn_linalg::Vector;
+use certnn_nn::network::Network;
+use certnn_nn::NnError;
+
+/// Ablation impact of one neuron.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationImpact {
+    /// The ablated neuron.
+    pub neuron: NeuronId,
+    /// Mean L∞ change of the network output across the probe inputs.
+    pub mean_output_change: f64,
+    /// Largest L∞ output change observed on any probe input.
+    pub max_output_change: f64,
+}
+
+/// Forward pass with neuron `(layer, index)` clamped to zero after its
+/// activation.
+///
+/// # Errors
+///
+/// Returns [`NnError::Shape`] if the input does not match the network or
+/// the neuron id is out of range.
+pub fn forward_with_ablation(
+    net: &Network,
+    input: &Vector,
+    neuron: NeuronId,
+) -> Result<Vector, NnError> {
+    if neuron.layer >= net.layers().len()
+        || neuron.neuron >= net.layers()[neuron.layer].outputs()
+    {
+        return Err(NnError::Shape {
+            op: "ablation neuron",
+            expected: net.layers().len(),
+            got: neuron.layer,
+        });
+    }
+    let mut a = input.clone();
+    for (li, layer) in net.layers().iter().enumerate() {
+        a = layer.forward(&a)?;
+        if li == neuron.layer {
+            a[neuron.neuron] = 0.0;
+        }
+    }
+    Ok(a)
+}
+
+/// Measures the ablation impact of every neuron in `layer` over the probe
+/// inputs.
+///
+/// Returns impacts sorted by descending mean output change.
+///
+/// # Errors
+///
+/// Returns [`NnError::Shape`] on mismatched inputs or an out-of-range
+/// layer.
+pub fn ablation_impacts(
+    net: &Network,
+    inputs: &[Vector],
+    layer: usize,
+) -> Result<Vec<AblationImpact>, NnError> {
+    if layer >= net.layers().len() {
+        return Err(NnError::Shape {
+            op: "ablation layer",
+            expected: net.layers().len(),
+            got: layer,
+        });
+    }
+    let n_neurons = net.layers()[layer].outputs();
+    let baselines: Vec<Vector> = inputs
+        .iter()
+        .map(|x| net.forward(x))
+        .collect::<Result<_, _>>()?;
+    let mut impacts = Vec::with_capacity(n_neurons);
+    for j in 0..n_neurons {
+        let id = NeuronId { layer, neuron: j };
+        let mut sum = 0.0;
+        let mut max: f64 = 0.0;
+        for (x, base) in inputs.iter().zip(&baselines) {
+            let ablated = forward_with_ablation(net, x, id)?;
+            let diff = (&ablated - base).norm_inf();
+            sum += diff;
+            max = max.max(diff);
+        }
+        impacts.push(AblationImpact {
+            neuron: id,
+            mean_output_change: sum / inputs.len().max(1) as f64,
+            max_output_change: max,
+        });
+    }
+    impacts.sort_by(|a, b| {
+        b.mean_output_change
+            .partial_cmp(&a.mean_output_change)
+            .expect("finite impacts")
+    });
+    Ok(impacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Matrix;
+    use certnn_nn::activation::Activation;
+    use certnn_nn::layer::DenseLayer;
+
+    /// Neuron 0 feeds the output with weight 5, neuron 1 with weight 0.
+    fn lopsided_net() -> Network {
+        let l1 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap(),
+            Vector::from(vec![1.0, 1.0]),
+            Activation::Relu,
+        )
+        .unwrap();
+        let l2 = DenseLayer::new(
+            Matrix::from_rows(&[&[5.0, 0.0]]).unwrap(),
+            Vector::zeros(1),
+            Activation::Identity,
+        )
+        .unwrap();
+        Network::new(vec![l1, l2]).unwrap()
+    }
+
+    fn probes() -> Vec<Vector> {
+        (0..5).map(|i| Vector::from(vec![i as f64 * 0.3])).collect()
+    }
+
+    #[test]
+    fn ablation_zeroes_exactly_one_neuron() {
+        let net = lopsided_net();
+        let x = Vector::from(vec![1.0]);
+        let base = net.forward(&x).unwrap()[0]; // 5 * (1 + 1) = 10
+        assert_eq!(base, 10.0);
+        let a0 = forward_with_ablation(&net, &x, NeuronId { layer: 0, neuron: 0 }).unwrap();
+        assert_eq!(a0[0], 0.0); // dominant path removed
+        let a1 = forward_with_ablation(&net, &x, NeuronId { layer: 0, neuron: 1 }).unwrap();
+        assert_eq!(a1[0], 10.0); // dead-weight path removed, no change
+    }
+
+    #[test]
+    fn impacts_rank_the_load_bearing_neuron_first() {
+        let net = lopsided_net();
+        let impacts = ablation_impacts(&net, &probes(), 0).unwrap();
+        assert_eq!(impacts.len(), 2);
+        assert_eq!(impacts[0].neuron, NeuronId { layer: 0, neuron: 0 });
+        assert!(impacts[0].mean_output_change > 1.0);
+        assert_eq!(impacts[1].mean_output_change, 0.0);
+        assert!(impacts[0].max_output_change >= impacts[0].mean_output_change);
+    }
+
+    #[test]
+    fn invalid_ids_rejected() {
+        let net = lopsided_net();
+        let x = Vector::from(vec![1.0]);
+        assert!(forward_with_ablation(&net, &x, NeuronId { layer: 9, neuron: 0 }).is_err());
+        assert!(forward_with_ablation(&net, &x, NeuronId { layer: 0, neuron: 9 }).is_err());
+        assert!(ablation_impacts(&net, &probes(), 9).is_err());
+    }
+
+    #[test]
+    fn ablating_output_layer_neuron_zeroes_that_output() {
+        let net = lopsided_net();
+        let x = Vector::from(vec![1.0]);
+        let out = forward_with_ablation(&net, &x, NeuronId { layer: 1, neuron: 0 }).unwrap();
+        assert_eq!(out[0], 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Per-neuron activation statistics over a dataset.
+
+use certnn_linalg::stats::Summary;
+use certnn_linalg::Vector;
+use certnn_nn::network::Network;
+use certnn_nn::NnError;
+
+/// Identifies one hidden/output neuron.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NeuronId {
+    /// Layer index (0 = first hidden layer).
+    pub layer: usize,
+    /// Neuron index within the layer.
+    pub neuron: usize,
+}
+
+impl std::fmt::Display for NeuronId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}N{}", self.layer, self.neuron)
+    }
+}
+
+/// Activation statistics of every neuron of a network over a sample set.
+#[derive(Debug, Clone)]
+pub struct ActivationRecord {
+    /// `stats[l][j]`: summary of the *post*-activation of neuron `j` in
+    /// layer `l`.
+    pub stats: Vec<Vec<Summary>>,
+    /// `pre_stats[l][j]`: summary of the pre-activation.
+    pub pre_stats: Vec<Vec<Summary>>,
+    /// Number of samples recorded.
+    pub samples: usize,
+}
+
+impl ActivationRecord {
+    /// Neurons that never activated (post-activation max ≤ 0 over all
+    /// samples) — "dead" ReLU units with no feature association at all.
+    pub fn dead_neurons(&self) -> Vec<NeuronId> {
+        let mut dead = Vec::new();
+        for (l, layer) in self.stats.iter().enumerate() {
+            for (j, s) in layer.iter().enumerate() {
+                if s.count() > 0 && s.max() <= 0.0 {
+                    dead.push(NeuronId { layer: l, neuron: j });
+                }
+            }
+        }
+        dead
+    }
+
+    /// Mean activation of one neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn mean(&self, id: NeuronId) -> f64 {
+        self.stats[id.layer][id.neuron].mean()
+    }
+}
+
+/// Records activation statistics for a network.
+#[derive(Debug, Clone, Default)]
+pub struct ActivationRecorder;
+
+impl ActivationRecorder {
+    /// Creates a recorder.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Runs every input through `net` and summarises all activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if an input does not match the network.
+    pub fn record<'a, I>(&self, net: &Network, inputs: I) -> Result<ActivationRecord, NnError>
+    where
+        I: IntoIterator<Item = &'a Vector>,
+    {
+        let mut stats: Vec<Vec<Summary>> = net
+            .layers()
+            .iter()
+            .map(|l| vec![Summary::new(); l.outputs()])
+            .collect();
+        let mut pre_stats = stats.clone();
+        let mut samples = 0;
+        for x in inputs {
+            let trace = net.forward_trace(x)?;
+            for (l, (z, a)) in trace
+                .pre_activations
+                .iter()
+                .zip(&trace.activations)
+                .enumerate()
+            {
+                for j in 0..z.len() {
+                    pre_stats[l][j].push(z[j]);
+                    stats[l][j].push(a[j]);
+                }
+            }
+            samples += 1;
+        }
+        Ok(ActivationRecord {
+            stats,
+            pre_stats,
+            samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::{Matrix, Vector};
+    use certnn_nn::activation::Activation;
+    use certnn_nn::layer::DenseLayer;
+
+    fn fixed_net() -> Network {
+        // Neuron 0 mirrors x0; neuron 1 is always dead (bias -100).
+        let l1 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap(),
+            Vector::from(vec![0.0, -100.0]),
+            Activation::Relu,
+        )
+        .unwrap();
+        let l2 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(),
+            Vector::zeros(1),
+            Activation::Identity,
+        )
+        .unwrap();
+        Network::new(vec![l1, l2]).unwrap()
+    }
+
+    #[test]
+    fn statistics_match_manual_values() {
+        let net = fixed_net();
+        let inputs: Vec<Vector> = vec![
+            Vector::from(vec![1.0]),
+            Vector::from(vec![3.0]),
+            Vector::from(vec![-2.0]),
+        ];
+        let rec = ActivationRecorder::new().record(&net, &inputs).unwrap();
+        assert_eq!(rec.samples, 3);
+        // Neuron (0,0): relu outputs 1, 3, 0 -> mean 4/3.
+        let id = NeuronId { layer: 0, neuron: 0 };
+        assert!((rec.mean(id) - 4.0 / 3.0).abs() < 1e-12);
+        // Pre-activation mean: (1 + 3 - 2)/3.
+        assert!((rec.pre_stats[0][0].mean() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_neurons_detected() {
+        let net = fixed_net();
+        let inputs: Vec<Vector> = vec![Vector::from(vec![1.0]), Vector::from(vec![5.0])];
+        let rec = ActivationRecorder::new().record(&net, &inputs).unwrap();
+        assert_eq!(rec.dead_neurons(), vec![NeuronId { layer: 0, neuron: 1 }]);
+    }
+
+    #[test]
+    fn neuron_id_display() {
+        assert_eq!(NeuronId { layer: 2, neuron: 7 }.to_string(), "L2N7");
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let net = fixed_net();
+        let bad = vec![Vector::zeros(3)];
+        assert!(ActivationRecorder::new().record(&net, &bad).is_err());
+    }
+}

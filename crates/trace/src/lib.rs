@@ -1,0 +1,44 @@
+//! Implementation understandability: neuron-to-feature traceability and
+//! MC/DC coverage analysis (the paper's Sec. II (A) and the testing
+//! discussion of Sec. II).
+//!
+//! Classical certification demands *fine-grained requirement-to-code
+//! traceability* and *coverage-based testing*. For neural networks the
+//! paper proposes (A) associating neurons with the input features that
+//! activate them, and observes that (B) MC/DC-style coverage is either
+//! trivial (`tanh`: no branches, a single test satisfies everything) or
+//! intractable (ReLU: one branch per neuron, exponentially many branch
+//! patterns).
+//!
+//! * [`activations::ActivationRecorder`] — per-neuron activation
+//!   statistics over a dataset.
+//! * [`attribution`] — two neuron↔feature association measures:
+//!   activation/feature Pearson correlation and gradient×input relevance,
+//!   combined into a [`attribution::TraceabilityReport`].
+//! * [`mcdc`] — branch signatures, obligation counting, and coverage
+//!   measurement of concrete test suites, making the paper's
+//!   trivial-vs-intractable argument quantitative.
+//!
+//! # Example
+//!
+//! ```
+//! use certnn_nn::network::Network;
+//! use certnn_trace::mcdc::{obligation_count, pattern_space_size};
+//!
+//! # fn main() -> Result<(), certnn_nn::NnError> {
+//! let net = Network::relu_mlp(84, &[10, 10, 10, 10], 5, 0)?;
+//! assert_eq!(obligation_count(&net), 80);       // 2 per ReLU neuron
+//! assert_eq!(pattern_space_size(&net), 2f64.powi(40));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activations;
+pub mod attribution;
+pub mod ablation;
+pub mod mcdc;
+
+pub use certnn_nn::NnError;

@@ -1,0 +1,270 @@
+//! MC/DC-style coverage analysis of neural networks.
+//!
+//! The paper (Sec. II) observes that applying classical coverage criteria
+//! to ANNs degenerates:
+//!
+//! * with `tan⁻¹`/`tanh` activations there is no if-then-else anywhere,
+//!   so **one test case satisfies MC/DC** ([`obligation_count`] = 1);
+//! * with ReLU every neuron is an if-then-else, so obligations grow
+//!   linearly ([`obligation_count`] = 2 per neuron) but the reachable
+//!   branch-pattern space grows **exponentially**
+//!   ([`pattern_space_size`] = 2^neurons), making exhaustive decision
+//!   coverage intractable.
+//!
+//! [`BranchCoverage`] measures what a concrete test suite actually covers,
+//! which the `mcdc_coverage` bench sweeps against suite size.
+
+use crate::activations::NeuronId;
+use certnn_linalg::Vector;
+use certnn_nn::activation::Activation;
+use certnn_nn::network::Network;
+use certnn_nn::NnError;
+use std::collections::HashSet;
+
+/// Branch decisions of all ReLU neurons for one input: `true` = active
+/// (`z > 0`), layer-major order.
+pub fn branch_signature(net: &Network, input: &Vector) -> Result<Vec<bool>, NnError> {
+    let trace = net.forward_trace(input)?;
+    let mut sig = Vec::new();
+    for (layer, z) in net.layers().iter().zip(&trace.pre_activations) {
+        if layer.activation() == Activation::Relu {
+            sig.extend(z.iter().map(|&v| v > 0.0));
+        }
+    }
+    Ok(sig)
+}
+
+/// Number of MC/DC-style branch obligations of a network: two per ReLU
+/// neuron (each branch must be shown to independently occur), or a single
+/// obligation when the network is branch-free (the paper's `tan⁻¹` case).
+pub fn obligation_count(net: &Network) -> u64 {
+    let relu = net.num_relu_neurons() as u64;
+    if relu == 0 {
+        1
+    } else {
+        2 * relu
+    }
+}
+
+/// Size of the branch-pattern space, `2^relu_neurons` (as `f64` because it
+/// overflows `u64` past 64 neurons — the point of the paper's argument).
+pub fn pattern_space_size(net: &Network) -> f64 {
+    2f64.powi(net.num_relu_neurons() as i32)
+}
+
+/// Coverage measurement of a concrete test suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchCoverage {
+    /// Per-neuron: did any test take the active branch?
+    pub seen_active: Vec<bool>,
+    /// Per-neuron: did any test take the inactive branch?
+    pub seen_inactive: Vec<bool>,
+    /// Distinct full branch patterns observed.
+    pub distinct_patterns: usize,
+    /// Number of tests executed.
+    pub tests: usize,
+    /// ReLU neuron ids, parallel to the coverage vectors.
+    pub neurons: Vec<NeuronId>,
+}
+
+impl BranchCoverage {
+    /// Runs `tests` through `net` and records branch coverage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if a test input does not match the
+    /// network.
+    pub fn measure<'a, I>(net: &Network, tests: I) -> Result<Self, NnError>
+    where
+        I: IntoIterator<Item = &'a Vector>,
+    {
+        let mut neurons = Vec::new();
+        for (l, layer) in net.layers().iter().enumerate() {
+            if layer.activation() == Activation::Relu {
+                for j in 0..layer.outputs() {
+                    neurons.push(NeuronId { layer: l, neuron: j });
+                }
+            }
+        }
+        let n = neurons.len();
+        let mut seen_active = vec![false; n];
+        let mut seen_inactive = vec![false; n];
+        let mut patterns: HashSet<Vec<bool>> = HashSet::new();
+        let mut count = 0;
+        for x in tests {
+            let sig = branch_signature(net, x)?;
+            for (i, &active) in sig.iter().enumerate() {
+                if active {
+                    seen_active[i] = true;
+                } else {
+                    seen_inactive[i] = true;
+                }
+            }
+            patterns.insert(sig);
+            count += 1;
+        }
+        Ok(Self {
+            seen_active,
+            seen_inactive,
+            distinct_patterns: patterns.len(),
+            tests: count,
+            neurons,
+        })
+    }
+
+    /// Number of discharged branch obligations (active + inactive sides
+    /// observed, counted separately).
+    pub fn discharged_obligations(&self) -> u64 {
+        let a = self.seen_active.iter().filter(|&&s| s).count();
+        let i = self.seen_inactive.iter().filter(|&&s| s).count();
+        (a + i) as u64
+    }
+
+    /// Fraction of branch obligations discharged, in `[0, 1]`.
+    /// Branch-free networks are fully covered by any non-empty suite.
+    pub fn coverage(&self) -> f64 {
+        if self.neurons.is_empty() {
+            return if self.tests > 0 { 1.0 } else { 0.0 };
+        }
+        self.discharged_obligations() as f64 / (2 * self.neurons.len()) as f64
+    }
+
+    /// Neurons with an uncovered branch.
+    pub fn uncovered(&self) -> Vec<NeuronId> {
+        self.neurons
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.seen_active[*i] || !self.seen_inactive[*i])
+            .map(|(_, id)| *id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Matrix;
+    use certnn_nn::layer::DenseLayer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn relu_identity_net() -> Network {
+        // Two neurons splitting on x>0 and x>1 respectively.
+        let l1 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap(),
+            Vector::from(vec![0.0, -1.0]),
+            Activation::Relu,
+        )
+        .unwrap();
+        let l2 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(),
+            Vector::zeros(1),
+            Activation::Identity,
+        )
+        .unwrap();
+        Network::new(vec![l1, l2]).unwrap()
+    }
+
+    fn tanh_net() -> Network {
+        let l = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0]]).unwrap(),
+            Vector::zeros(1),
+            Activation::Tanh,
+        )
+        .unwrap();
+        Network::new(vec![l]).unwrap()
+    }
+
+    #[test]
+    fn signature_reflects_decisions() {
+        let net = relu_identity_net();
+        assert_eq!(
+            branch_signature(&net, &Vector::from(vec![2.0])).unwrap(),
+            vec![true, true]
+        );
+        assert_eq!(
+            branch_signature(&net, &Vector::from(vec![0.5])).unwrap(),
+            vec![true, false]
+        );
+        assert_eq!(
+            branch_signature(&net, &Vector::from(vec![-1.0])).unwrap(),
+            vec![false, false]
+        );
+    }
+
+    #[test]
+    fn obligations_tanh_vs_relu() {
+        assert_eq!(obligation_count(&tanh_net()), 1);
+        assert_eq!(obligation_count(&relu_identity_net()), 4);
+        let big = Network::relu_mlp(84, &[60, 60, 60, 60], 5, 0).unwrap();
+        assert_eq!(obligation_count(&big), 480);
+        assert_eq!(pattern_space_size(&big), 2f64.powi(240));
+    }
+
+    #[test]
+    fn full_coverage_with_three_tests() {
+        let net = relu_identity_net();
+        let tests = vec![
+            Vector::from(vec![2.0]),
+            Vector::from(vec![0.5]),
+            Vector::from(vec![-1.0]),
+        ];
+        let cov = BranchCoverage::measure(&net, &tests).unwrap();
+        assert_eq!(cov.coverage(), 1.0);
+        assert_eq!(cov.distinct_patterns, 3);
+        assert!(cov.uncovered().is_empty());
+    }
+
+    #[test]
+    fn partial_coverage_reports_uncovered_neurons() {
+        let net = relu_identity_net();
+        // Only positive small inputs: neuron 1's active branch never fires.
+        let tests = vec![Vector::from(vec![0.3]), Vector::from(vec![0.6])];
+        let cov = BranchCoverage::measure(&net, &tests).unwrap();
+        assert!(cov.coverage() < 1.0);
+        // Neuron 0 never inactive; neuron 1 never active.
+        assert_eq!(cov.uncovered().len(), 2);
+    }
+
+    #[test]
+    fn tanh_network_trivially_covered_by_one_test() {
+        let net = tanh_net();
+        let cov = BranchCoverage::measure(&net, &[Vector::from(vec![0.1])]).unwrap();
+        assert_eq!(cov.coverage(), 1.0);
+        let empty: Vec<Vector> = vec![];
+        let none = BranchCoverage::measure(&net, &empty).unwrap();
+        assert_eq!(none.coverage(), 0.0);
+    }
+
+    #[test]
+    fn random_suites_saturate_obligations_but_not_patterns() {
+        // Branch coverage (linear) saturates quickly; distinct patterns
+        // (exponential space) keep growing — the paper's intractability
+        // argument in miniature.
+        let net = Network::relu_mlp(6, &[12, 12], 1, 17).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut suite: Vec<Vector> = Vec::new();
+        let mut coverage_small = 0.0;
+        let mut patterns_small = 0;
+        for round in 0..4 {
+            for _ in 0..50 {
+                suite.push((0..6).map(|_| rng.gen_range(-2.0..2.0)).collect());
+            }
+            let cov = BranchCoverage::measure(&net, &suite).unwrap();
+            if round == 0 {
+                coverage_small = cov.coverage();
+                patterns_small = cov.distinct_patterns;
+            } else if round == 3 {
+                assert!(cov.coverage() >= coverage_small);
+                assert!(
+                    cov.distinct_patterns > patterns_small,
+                    "patterns stopped growing: {} vs {}",
+                    cov.distinct_patterns,
+                    patterns_small
+                );
+                // Even 200 tests explore a vanishing part of 2^24 patterns.
+                assert!((cov.distinct_patterns as f64) < pattern_space_size(&net) / 1000.0);
+            }
+        }
+    }
+}

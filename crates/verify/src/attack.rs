@@ -1,0 +1,276 @@
+//! Gradient-based falsification (attack before you verify).
+//!
+//! Formal verification is expensive; a *falsifier* is cheap. Projected
+//! gradient ascent searches the input box for a point pushing the
+//! objective above a threshold. If it finds one, the property is refuted
+//! with a concrete witness and no MILP/BaB run is needed; if it does not,
+//! the complete engines take over. This attack-then-verify architecture
+//! is standard in neural-network verification tools, and it sharpens the
+//! paper's testing-vs-formal-analysis distinction: the attack is an
+//! *incomplete* tester — [`Falsifier::attack`] failing proves nothing.
+
+use crate::property::{InputSpec, LinearObjective};
+use crate::VerifyError;
+use certnn_linalg::Vector;
+use certnn_nn::network::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the projected-gradient falsifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackConfig {
+    /// Random restarts.
+    pub restarts: usize,
+    /// Gradient-ascent steps per restart.
+    pub steps: usize,
+    /// Step size relative to each feature's box width.
+    pub step_frac: f64,
+    /// RNG seed for the restart points.
+    pub seed: u64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        Self {
+            restarts: 16,
+            steps: 60,
+            step_frac: 0.12,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a falsification attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackResult {
+    /// Best objective value found.
+    pub best_value: f64,
+    /// Input achieving it (always inside the spec's box).
+    pub witness: Vector,
+    /// Forward/backward passes spent.
+    pub evaluations: usize,
+}
+
+impl AttackResult {
+    /// `true` if the attack exceeds `threshold` — a concrete refutation of
+    /// `f ≤ threshold`.
+    pub fn refutes(&self, threshold: f64) -> bool {
+        self.best_value > threshold
+    }
+}
+
+/// Projected gradient-ascent falsifier for box specifications.
+#[derive(Debug, Clone, Default)]
+pub struct Falsifier {
+    config: AttackConfig,
+}
+
+impl Falsifier {
+    /// Creates a falsifier with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a falsifier with explicit settings.
+    pub fn with_config(config: AttackConfig) -> Self {
+        Self { config }
+    }
+
+    /// Maximises `objective` over the spec's box by projected gradient
+    /// ascent with random restarts. The result is a *lower* bound on the
+    /// true maximum — never a proof.
+    ///
+    /// Linear scenario constraints are respected by rejection: restart
+    /// points violating them are skipped and gradient iterates are kept
+    /// only while feasible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::SpecMismatch`] if the spec width differs
+    /// from the network input.
+    pub fn attack(
+        &self,
+        net: &Network,
+        spec: &InputSpec,
+        objective: &LinearObjective,
+    ) -> Result<AttackResult, VerifyError> {
+        if spec.num_inputs() != net.inputs() {
+            return Err(VerifyError::SpecMismatch {
+                network_inputs: net.inputs(),
+                spec_inputs: spec.num_inputs(),
+            });
+        }
+        objective.check_against(net)?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let bounds = spec.bounds();
+        let seed_grad: Vector = {
+            let mut v = vec![0.0; net.outputs()];
+            for &(o, c) in &objective.terms {
+                v[o] += c;
+            }
+            Vector::from(v)
+        };
+
+        let mut best: Option<(Vector, f64)> = None;
+        let mut evaluations = 0usize;
+        for restart in 0..self.config.restarts.max(1) {
+            // Restart point: midpoint first, then random corners/points.
+            let mut x: Vector = if restart == 0 {
+                bounds.iter().map(|iv| iv.midpoint()).collect()
+            } else {
+                bounds
+                    .iter()
+                    .map(|iv| {
+                        if iv.width() == 0.0 {
+                            iv.lo()
+                        } else if restart % 3 == 0 {
+                            // Corner restarts find vertex optima quickly.
+                            if rng.gen_bool(0.5) {
+                                iv.lo()
+                            } else {
+                                iv.hi()
+                            }
+                        } else {
+                            rng.gen_range(iv.lo()..=iv.hi())
+                        }
+                    })
+                    .collect()
+            };
+            if !spec.contains(&x, 1e-9) {
+                continue;
+            }
+            for _ in 0..self.config.steps {
+                let trace = net.forward_trace(&x)?;
+                let (_, dx) = net.backward(&trace, &seed_grad)?;
+                evaluations += 1;
+                let value = objective.eval(trace.output());
+                match &best {
+                    Some((_, b)) if value <= *b => {}
+                    _ => best = Some((x.clone(), value)),
+                }
+                // Signed step, projected back into the box.
+                let mut moved = false;
+                let mut next = x.clone();
+                for (i, iv) in bounds.iter().enumerate() {
+                    if iv.width() == 0.0 {
+                        continue;
+                    }
+                    let step = self.config.step_frac * iv.width() * dx[i].signum();
+                    if step != 0.0 {
+                        let cand = (next[i] + step).clamp(iv.lo(), iv.hi());
+                        if (cand - next[i]).abs() > 1e-15 {
+                            next[i] = cand;
+                            moved = true;
+                        }
+                    }
+                }
+                if !moved || !spec.contains(&next, 1e-9) {
+                    break;
+                }
+                x = next;
+            }
+            // Evaluate the final iterate too.
+            let value = objective.eval(&net.forward(&x)?);
+            evaluations += 1;
+            match &best {
+                Some((_, b)) if value <= *b => {}
+                _ => best = Some((x, value)),
+            }
+        }
+        let (witness, best_value) = best.expect("at least the midpoint evaluates");
+        Ok(AttackResult {
+            best_value,
+            witness,
+            evaluations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::Verifier;
+    use certnn_linalg::Interval;
+
+    fn unit_spec(n: usize) -> InputSpec {
+        InputSpec::from_box(vec![Interval::new(-1.0, 1.0); n]).unwrap()
+    }
+
+    #[test]
+    fn attack_never_exceeds_the_verified_maximum() {
+        for seed in [3u64, 7, 11] {
+            let net = Network::relu_mlp(4, &[8, 8], 1, seed).unwrap();
+            let spec = unit_spec(4);
+            let obj = LinearObjective::output(0);
+            let exact = Verifier::new()
+                .maximize(&net, &spec, &obj)
+                .unwrap()
+                .exact_max()
+                .unwrap();
+            let attack = Falsifier::new().attack(&net, &spec, &obj).unwrap();
+            assert!(
+                attack.best_value <= exact + 1e-6,
+                "attack {} beats verified max {exact}",
+                attack.best_value
+            );
+            // A gradient attack with restarts should get close on small nets.
+            assert!(
+                attack.best_value >= exact - 0.5 * exact.abs().max(1.0),
+                "attack {} far below max {exact}",
+                attack.best_value
+            );
+            assert!(spec.contains(&attack.witness, 1e-9));
+        }
+    }
+
+    #[test]
+    fn witness_value_is_reproducible() {
+        let net = Network::relu_mlp(3, &[6], 2, 5).unwrap();
+        let spec = unit_spec(3);
+        let obj = LinearObjective::combination(vec![(0, 1.0), (1, -1.0)]);
+        let r = Falsifier::new().attack(&net, &spec, &obj).unwrap();
+        let v = obj.eval(&net.forward(&r.witness).unwrap());
+        assert!((v - r.best_value).abs() < 1e-12);
+        assert!(r.evaluations > 0);
+    }
+
+    #[test]
+    fn refutation_agrees_with_complete_verification() {
+        let net = Network::relu_mlp(4, &[10], 1, 23).unwrap();
+        let spec = unit_spec(4);
+        let obj = LinearObjective::output(0);
+        let exact = Verifier::new()
+            .maximize(&net, &spec, &obj)
+            .unwrap()
+            .exact_max()
+            .unwrap();
+        let attack = Falsifier::new().attack(&net, &spec, &obj).unwrap();
+        // Any threshold the attack refutes must genuinely be violated.
+        let t = attack.best_value - 1e-9;
+        assert!(attack.refutes(t));
+        assert!(exact > t);
+    }
+
+    #[test]
+    fn degenerate_features_stay_pinned() {
+        let spec = InputSpec::from_box(vec![
+            Interval::new(-1.0, 1.0),
+            Interval::point(0.5),
+        ])
+        .unwrap();
+        let net = Network::relu_mlp(2, &[4], 1, 2).unwrap();
+        let obj = LinearObjective::output(0);
+        let r = Falsifier::new().attack(&net, &spec, &obj).unwrap();
+        assert_eq!(r.witness[1], 0.5);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let net = Network::relu_mlp(3, &[6], 1, 9).unwrap();
+        let spec = unit_spec(3);
+        let obj = LinearObjective::output(0);
+        let a = Falsifier::new().attack(&net, &spec, &obj).unwrap();
+        let b = Falsifier::new().attack(&net, &spec, &obj).unwrap();
+        assert_eq!(a, b);
+    }
+}

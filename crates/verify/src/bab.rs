@@ -1,0 +1,607 @@
+//! Hybrid neuron branch-and-bound.
+//!
+//! The generic big-M MILP struggles on wide scenario boxes: its LP
+//! relaxation is loose, so the global bound creeps. This module implements
+//! what dedicated neural-network verifiers do instead — branch on **ReLU
+//! phases** and re-run the symbolic bound propagation of
+//! [`crate::bounds::analyze_with_phases`] at every node:
+//!
+//! * **Bounding** — each node's phase assignment yields a fresh symbolic
+//!   upper bound on the objective, dramatically tighter than the node's
+//!   LP relaxation because every forced neuron becomes *exact* in the
+//!   propagation.
+//! * **Incumbents** — each analysis also yields the box corner maximising
+//!   its upper surrogate; a true forward pass through that corner is a
+//!   genuine lower bound, so every node doubles as a heuristic.
+//! * **Completeness** — once few enough neurons remain unstable, the node
+//!   is handed to the exact big-M MILP with all decided phases fixed
+//!   (including those *implied* by the node's propagated bounds), which
+//!   closes the remaining gap exactly.
+//!
+//! The engine accepts box-only input specifications; specs with linear
+//! scenario constraints fall back to the pure MILP path in
+//! [`crate::verifier::Verifier`].
+
+use crate::bounds::analyze_with_phases;
+use crate::encoder::{encode, BoundMethod, Encoding};
+use crate::property::{InputSpec, LinearObjective};
+use crate::VerifyError;
+use certnn_linalg::Vector;
+use certnn_lp::{LpStatus, Simplex, VarId};
+use certnn_milp::{BranchAndBound, MilpOptions, MilpStatus};
+use certnn_nn::network::Network;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Options for [`bab_maximize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BabOptions {
+    /// Wall-clock limit.
+    pub time_limit: Option<Duration>,
+    /// Node limit.
+    pub node_limit: Option<usize>,
+    /// Absolute gap at which the search stops as optimal.
+    pub abs_gap: f64,
+    /// Hand a node to the exact sub-MILP once at most this many neurons
+    /// remain unstable.
+    pub milp_threshold: usize,
+    /// Stop as soon as an incumbent reaches this value.
+    pub target_objective: Option<f64>,
+    /// Stop as soon as the global upper bound drops below this value.
+    pub bound_cutoff: Option<f64>,
+    /// Solve the big-M LP relaxation (with node-tightened variable
+    /// bounds and phase fixings) at every node and take the tighter of
+    /// the symbolic and LP bounds. Slower per node, far stronger pruning
+    /// on wide input boxes.
+    pub lp_bounding: bool,
+}
+
+impl Default for BabOptions {
+    fn default() -> Self {
+        Self {
+            time_limit: None,
+            node_limit: None,
+            abs_gap: 1e-6,
+            milp_threshold: 8,
+            target_objective: None,
+            bound_cutoff: None,
+            lp_bounding: true,
+        }
+    }
+}
+
+/// Result of a neuron branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct BabResult {
+    /// Termination status (same vocabulary as the MILP layer).
+    pub status: MilpStatus,
+    /// Best objective value achieved by a real input.
+    pub best_value: Option<f64>,
+    /// Input achieving `best_value`.
+    pub witness: Option<Vector>,
+    /// Proven upper bound on the maximum.
+    pub upper_bound: f64,
+    /// Phase nodes explored.
+    pub nodes: usize,
+    /// Exact sub-MILP solves performed.
+    pub milp_calls: usize,
+    /// Simplex pivots inside sub-MILPs.
+    pub lp_iterations: usize,
+    /// Statistics of the underlying MILP encoding (for reporting).
+    pub encoding_stats: crate::encoder::EncodingStats,
+    /// Wall time.
+    pub elapsed: Duration,
+}
+
+struct Node {
+    phases: Vec<Option<bool>>,
+    bound: f64,
+    depth: usize,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.depth == other.depth
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+
+/// Maximises `objective` over a **box-only** specification by hybrid
+/// neuron branch-and-bound.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::SpecMismatch`] if the spec carries linear
+/// constraints (use the MILP path) or does not match the network, and the
+/// usual structural errors otherwise.
+pub fn bab_maximize(
+    net: &Network,
+    spec: &InputSpec,
+    objective: &LinearObjective,
+    opts: &BabOptions,
+) -> Result<BabResult, VerifyError> {
+    if !spec.constraints().is_empty() {
+        return Err(VerifyError::SpecMismatch {
+            network_inputs: net.inputs(),
+            spec_inputs: usize::MAX,
+        });
+    }
+    objective.check_against(net)?;
+    let start = Instant::now();
+    let input_box = spec.bounds();
+    let total_relu = net.num_relu_neurons();
+    // Flat ReLU index -> (layer, neuron), for gradient-guided branching.
+    let flat_map: Vec<(usize, usize)> = net
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.activation() == certnn_nn::activation::Activation::Relu)
+        .flat_map(|(li, l)| (0..l.outputs()).map(move |j| (li, j)))
+        .collect();
+    // Objective gradient seed over the outputs.
+    let obj_seed: Vector = {
+        let mut v = vec![0.0; net.outputs()];
+        for &(o, c) in &objective.terms {
+            v[o] += c;
+        }
+        Vector::from(v)
+    };
+
+    // Encoding for the exact sub-MILP fallback (built once, bounds from
+    // the same symbolic presolve).
+    let enc: Encoding = encode(net, spec, BoundMethod::Symbolic)?;
+    // Objective-bearing model for node LP relaxations and sub-MILPs.
+    let obj_model = {
+        let mut m = enc.milp.clone();
+        let terms: Vec<_> = objective
+            .terms
+            .iter()
+            .map(|&(o, c)| (enc.output_vars[o], c))
+            .collect();
+        m.set_objective(&terms);
+        m
+    };
+    let base_bounds: Vec<(f64, f64)> = (0..obj_model.num_vars())
+        .map(|i| obj_model.bounds(VarId::from_index(i)))
+        .collect();
+    let simplex = Simplex::new();
+
+    let mut incumbent: Option<(Vector, f64)> = None;
+    let mut nodes = 0usize;
+    let mut milp_calls = 0usize;
+    let mut lp_iterations = 0usize;
+    let mut status = MilpStatus::Optimal;
+
+    let try_incumbent = |x: &Vector, incumbent: &mut Option<(Vector, f64)>| -> f64 {
+        let v = match net.forward(x) {
+            Ok(out) => objective.eval(&out),
+            Err(_) => return f64::NEG_INFINITY,
+        };
+        match incumbent {
+            Some((_, best)) if v <= *best => {}
+            _ => *incumbent = Some((x.clone(), v)),
+        }
+        v
+    };
+
+    let root_phases = vec![None; total_relu];
+    let root = analyze_with_phases(net, input_box, &root_phases, objective)?;
+    try_incumbent(&root.maximizer, &mut incumbent);
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        phases: root_phases,
+        bound: root.objective_upper,
+        depth: 0,
+    });
+    let mut global_upper = root.objective_upper;
+
+    'search: while let Some(node) = heap.pop() {
+        global_upper = node.bound;
+        if let Some((_, best)) = &incumbent {
+            if global_upper <= *best + opts.abs_gap {
+                global_upper = *best;
+                break 'search;
+            }
+        }
+        if let Some(cut) = opts.bound_cutoff {
+            if global_upper < cut {
+                status = MilpStatus::BoundCutoff;
+                break 'search;
+            }
+        }
+        if let Some(limit) = opts.time_limit {
+            if start.elapsed() >= limit {
+                status = MilpStatus::TimeLimit;
+                break 'search;
+            }
+        }
+        if let Some(limit) = opts.node_limit {
+            if nodes >= limit {
+                status = MilpStatus::NodeLimit;
+                break 'search;
+            }
+        }
+        nodes += 1;
+
+        // Fresh analysis at the popped node (cheap relative to any LP).
+        let analysis = analyze_with_phases(net, input_box, &node.phases, objective)?;
+        if analysis.conflict {
+            continue;
+        }
+        let node_bound = analysis.objective_upper.min(node.bound);
+        if let Some((_, best)) = &incumbent {
+            if node_bound <= *best + opts.abs_gap {
+                continue;
+            }
+        }
+        let new_val = try_incumbent(&analysis.maximizer, &mut incumbent);
+        if let Some(target) = opts.target_objective {
+            if new_val >= target {
+                status = MilpStatus::TargetReached;
+                break 'search;
+            }
+        }
+
+        // Collect phase decisions (forced + implied by the node's bounds)
+        // for the LP relaxation and the sub-MILP.
+        let mut decided: Vec<(usize, bool)> = Vec::new(); // (flat, phase)
+        {
+            let mut relu_cursor = 0usize;
+            for (li, layer) in net.layers().iter().enumerate() {
+                if layer.activation() != certnn_nn::activation::Activation::Relu {
+                    continue;
+                }
+                for j in 0..layer.outputs() {
+                    let flat = relu_cursor;
+                    relu_cursor += 1;
+                    if enc.relu_binaries[flat].is_none() {
+                        continue;
+                    }
+                    let iv = analysis.bounds.pre[li][j];
+                    let implied = if iv.is_nonnegative() {
+                        Some(true)
+                    } else if iv.is_nonpositive() {
+                        Some(false)
+                    } else {
+                        None
+                    };
+                    if let Some(v) = node.phases[flat].or(implied) {
+                        decided.push((flat, v));
+                    }
+                }
+            }
+        }
+
+        let mut node_bound = node_bound;
+        if opts.lp_bounding {
+            // LP relaxation with node-tightened variable bounds: fix the
+            // decided binaries, clamp every pre-activation variable to its
+            // phase-propagated interval and shrink the y uppers to match.
+            let mut nb = base_bounds.clone();
+            for (li, zl) in enc.z_vars.iter().enumerate() {
+                for (j, zv) in zl.iter().enumerate() {
+                    let iv = analysis.bounds.pre[li][j].widened(1e-6);
+                    let (blo, bhi) = nb[zv.index()];
+                    nb[zv.index()] = (blo.max(iv.lo()), bhi.min(iv.hi()));
+                    if nb[zv.index()].0 > nb[zv.index()].1 {
+                        nb[zv.index()] = (iv.lo(), iv.hi());
+                    }
+                }
+            }
+            for (flat, yv) in enc.y_vars.iter().enumerate() {
+                let Some(yv) = yv else { continue };
+                // Flat -> (layer, neuron) via the prefix sums in flat_map.
+                let (li, j) = flat_map[flat];
+                let hi = analysis.bounds.pre[li][j].hi().max(0.0) + 1e-6;
+                let (blo, bhi) = nb[yv.index()];
+                nb[yv.index()] = (blo, bhi.min(hi));
+            }
+            for &(flat, v) in &decided {
+                if let Some(bin) = enc.relu_binaries[flat] {
+                    let b = if v { 1.0 } else { 0.0 };
+                    nb[bin.index()] = (b, b);
+                }
+            }
+            let lp = simplex
+                .solve_with_bounds(obj_model.relaxation(), &nb)
+                .map_err(|e| VerifyError::from(certnn_milp::MilpError::from(e)))?;
+            lp_iterations += lp.iterations;
+            match lp.status {
+                LpStatus::Infeasible => continue,
+                LpStatus::Optimal => {
+                    node_bound = node_bound.min(lp.objective + objective.constant);
+                    // The relaxation's input values are a real point; use it.
+                    let input: Vector =
+                        enc.input_vars.iter().map(|v| lp.x[v.index()]).collect();
+                    let val = try_incumbent(&input, &mut incumbent);
+                    if let Some(target) = opts.target_objective {
+                        if val >= target {
+                            status = MilpStatus::TargetReached;
+                            break 'search;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if let Some((_, best)) = &incumbent {
+                if node_bound <= *best + opts.abs_gap {
+                    continue;
+                }
+            }
+        }
+
+        if analysis.unstable.len() <= opts.milp_threshold {
+            // Exact resolution: fix decided + implied phases in the MILP.
+            let mut milp = obj_model.clone();
+            for &(flat, v) in &decided {
+                if let Some(bin) = enc.relu_binaries[flat] {
+                    let b = if v { 1.0 } else { 0.0 };
+                    milp.set_bounds(bin, b, b)
+                        .map_err(certnn_milp::MilpError::from)?;
+                }
+            }
+            let milp_opts = MilpOptions {
+                time_limit: opts.time_limit.map(|l| {
+                    l.saturating_sub(start.elapsed()).max(Duration::from_millis(100))
+                }),
+                ..MilpOptions::default()
+            };
+            let sol = BranchAndBound::with_options(milp_opts)
+                .solve(&milp)
+                .map_err(VerifyError::from)?;
+            milp_calls += 1;
+            lp_iterations += sol.lp_iterations;
+            match sol.status {
+                MilpStatus::Optimal | MilpStatus::Infeasible => {
+                    if let (Some(x), Some(_)) = (&sol.x, sol.objective) {
+                        let input: Vector =
+                            enc.input_vars.iter().map(|v| x[v.index()]).collect();
+                        let val = try_incumbent(&input, &mut incumbent);
+                        if let Some(target) = opts.target_objective {
+                            if val >= target {
+                                status = MilpStatus::TargetReached;
+                                break 'search;
+                            }
+                        }
+                    }
+                    // Node fully resolved either way.
+                    continue;
+                }
+                _ => {
+                    // Sub-MILP hit a limit: fall through to phase
+                    // branching if possible, else give up on the node but
+                    // keep its (sound) bound by re-queueing nothing — the
+                    // global bound then stays at node_bound via `heap`
+                    // emptiness handling below.
+                    if analysis.unstable.is_empty() {
+                        status = MilpStatus::TimeLimit;
+                        global_upper = node_bound;
+                        break 'search;
+                    }
+                }
+            }
+        }
+
+        // Branch on the unstable neuron with the largest estimated
+        // influence on the objective: |∂f/∂activation| at the node's
+        // maximizer, times the pre-activation interval width (a BaBSR-style
+        // score). Falls back to width alone when all gradients vanish.
+        let grad_scores: Option<Vec<Vector>> = net
+            .forward_trace(&analysis.maximizer)
+            .ok()
+            .and_then(|trace| net.activation_gradients(&trace, &obj_seed).ok());
+        let (flat, _) = analysis
+            .unstable
+            .iter()
+            .map(|&(flat, width)| {
+                let g = grad_scores
+                    .as_ref()
+                    .map(|gs| {
+                        let (li, j) = flat_map[flat];
+                        gs[li][j].abs()
+                    })
+                    .unwrap_or(0.0);
+                (flat, width * (g + 1e-6))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
+            .expect("nonempty unstable list");
+        for val in [true, false] {
+            let mut phases = node.phases.clone();
+            phases[flat] = Some(val);
+            let child = analyze_with_phases(net, input_box, &phases, objective)?;
+            if child.conflict {
+                continue;
+            }
+            let child_bound = child.objective_upper.min(node_bound);
+            try_incumbent(&child.maximizer, &mut incumbent);
+            if let Some((_, best)) = &incumbent {
+                if child_bound <= *best + opts.abs_gap {
+                    continue;
+                }
+            }
+            heap.push(Node {
+                phases,
+                bound: child_bound,
+                depth: node.depth + 1,
+            });
+        }
+    }
+
+    if heap.is_empty() && status == MilpStatus::Optimal {
+        if let Some((_, best)) = &incumbent {
+            global_upper = *best;
+        }
+    }
+    // Early exits leave the heap non-empty; the proven bound is the max of
+    // the popped bound and everything still queued.
+    if status != MilpStatus::Optimal {
+        if let Some(top) = heap.peek() {
+            global_upper = global_upper.max(top.bound);
+        }
+    }
+
+    let (witness, best_value) = match incumbent {
+        Some((x, v)) => (Some(x), Some(v)),
+        None => (None, None),
+    };
+    Ok(BabResult {
+        status,
+        best_value,
+        witness,
+        upper_bound: global_upper,
+        nodes,
+        milp_calls,
+        lp_iterations,
+        encoding_stats: enc.stats,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Interval;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unit_spec(n: usize) -> InputSpec {
+        InputSpec::from_box(vec![Interval::new(-1.0, 1.0); n]).unwrap()
+    }
+
+    #[test]
+    fn bab_matches_pure_milp_on_small_networks() {
+        use crate::verifier::{Verifier, VerifierOptions};
+        for seed in [5u64, 9, 21] {
+            let net = Network::relu_mlp(3, &[8, 8], 2, seed).unwrap();
+            let spec = unit_spec(3);
+            let obj = LinearObjective::output(0);
+            let milp_ref = Verifier::with_options(VerifierOptions {
+                engine: crate::verifier::Engine::Milp,
+                ..VerifierOptions::default()
+            })
+            .maximize(&net, &spec, &obj)
+            .unwrap()
+            .exact_max()
+            .unwrap();
+            let bab = bab_maximize(&net, &spec, &obj, &BabOptions::default()).unwrap();
+            assert_eq!(bab.status, MilpStatus::Optimal);
+            let got = bab.best_value.unwrap();
+            assert!(
+                (got - milp_ref).abs() < 1e-5,
+                "seed {seed}: bab {got} vs milp {milp_ref}"
+            );
+            assert!(bab.upper_bound >= got - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bab_witness_is_genuine_and_dominates_sampling() {
+        let net = Network::relu_mlp(4, &[10, 10], 1, 3).unwrap();
+        let spec = unit_spec(4);
+        let obj = LinearObjective::output(0);
+        let r = bab_maximize(&net, &spec, &obj, &BabOptions::default()).unwrap();
+        assert_eq!(r.status, MilpStatus::Optimal);
+        let max = r.best_value.unwrap();
+        let w = r.witness.unwrap();
+        assert!((net.forward(&w).unwrap()[0] - max).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..2000 {
+            let x: Vector = (0..4).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+            assert!(net.forward(&x).unwrap()[0] <= max + 1e-6);
+        }
+    }
+
+    #[test]
+    fn bound_cutoff_and_target_short_circuit() {
+        let net = Network::relu_mlp(4, &[10, 10], 1, 3).unwrap();
+        let spec = unit_spec(4);
+        let obj = LinearObjective::output(0);
+        let exact = bab_maximize(&net, &spec, &obj, &BabOptions::default())
+            .unwrap()
+            .best_value
+            .unwrap();
+        // Cutoff far above the max: proven immediately.
+        let opts = BabOptions {
+            bound_cutoff: Some(exact + 100.0),
+            ..BabOptions::default()
+        };
+        let r = bab_maximize(&net, &spec, &obj, &opts).unwrap();
+        assert_eq!(r.status, MilpStatus::BoundCutoff);
+        assert!(r.upper_bound < exact + 100.0);
+        // Target below the max: a witness is found.
+        let opts = BabOptions {
+            target_objective: Some(exact - 0.05),
+            ..BabOptions::default()
+        };
+        let r = bab_maximize(&net, &spec, &obj, &opts).unwrap();
+        assert_eq!(r.status, MilpStatus::TargetReached);
+        assert!(r.best_value.unwrap() >= exact - 0.05);
+    }
+
+    #[test]
+    fn constraints_are_rejected() {
+        use crate::property::{LinearConstraint, Relation};
+        let net = Network::relu_mlp(2, &[4], 1, 0).unwrap();
+        let spec = unit_spec(2).constrain(LinearConstraint {
+            terms: vec![(0, 1.0)],
+            relation: Relation::Le,
+            rhs: 0.5,
+        });
+        let obj = LinearObjective::output(0);
+        assert!(bab_maximize(&net, &spec, &obj, &BabOptions::default()).is_err());
+    }
+
+    #[test]
+    fn degenerate_box_features_are_handled() {
+        // Pinned features (degenerate intervals) are common in scenario
+        // specs; the maximizer must respect them.
+        let net = Network::relu_mlp(3, &[6], 1, 8).unwrap();
+        let spec = InputSpec::from_box(vec![
+            Interval::new(-1.0, 1.0),
+            Interval::point(0.25),
+            Interval::new(0.0, 0.5),
+        ])
+        .unwrap();
+        let obj = LinearObjective::output(0);
+        let r = bab_maximize(&net, &spec, &obj, &BabOptions::default()).unwrap();
+        assert_eq!(r.status, MilpStatus::Optimal);
+        let w = r.witness.unwrap();
+        assert!((w[1] - 0.25).abs() < 1e-12);
+        assert!(spec.contains(&w, 1e-9));
+    }
+
+    #[test]
+    fn time_limit_reports_sound_bound() {
+        let net = Network::relu_mlp(8, &[16, 16, 16], 1, 2).unwrap();
+        let spec = unit_spec(8);
+        let obj = LinearObjective::output(0);
+        let opts = BabOptions {
+            time_limit: Some(Duration::from_millis(50)),
+            ..BabOptions::default()
+        };
+        let r = bab_maximize(&net, &spec, &obj, &opts).unwrap();
+        // Whatever happened, the bound must dominate any sample.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let x: Vector = (0..8).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+            assert!(net.forward(&x).unwrap()[0] <= r.upper_bound + 1e-6);
+        }
+        if let Some(v) = r.best_value {
+            assert!(v <= r.upper_bound + 1e-6);
+        }
+    }
+}

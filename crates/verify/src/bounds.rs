@@ -1,0 +1,725 @@
+//! Sound per-neuron bound propagation.
+//!
+//! All analyses take the input box and return guaranteed intervals for
+//! every pre-activation and activation. Their point is threefold:
+//!
+//! * Every ReLU neuron whose pre-activation interval does not straddle
+//!   zero is *stable* and can be encoded as a plain linear constraint —
+//!   no binary variable, no branching.
+//! * For the remaining unstable neurons, the interval endpoints are the
+//!   big-M constants of the MILP encoding; tighter bounds mean a tighter
+//!   LP relaxation and a smaller branch-and-bound tree.
+//! * The phase-aware variant ([`analyze_with_phases`]) re-propagates
+//!   bounds under a partial assignment of ReLU phases — the bounding
+//!   engine of the neuron branch-and-bound in [`crate::bab`].
+//!
+//! [`interval_bounds`] is plain interval arithmetic (IBP).
+//! [`symbolic_bounds`] keeps, for every neuron, linear lower/upper bounding
+//! functions *of the network input* (the DeepPoly/CROWN triangle
+//! relaxation) and concretises them against the box — never looser than
+//! IBP, usually much tighter after two or more layers.
+
+use crate::property::LinearObjective;
+use crate::VerifyError;
+use certnn_linalg::{Interval, Matrix, Vector};
+use certnn_nn::activation::Activation;
+use certnn_nn::network::Network;
+
+/// Guaranteed bounds for every neuron of a network under an input box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkBounds {
+    /// `pre[l][j]`: bounds on the pre-activation of neuron `j` in layer `l`.
+    pub pre: Vec<Vec<Interval>>,
+    /// `post[l][j]`: bounds on the activation of neuron `j` in layer `l`.
+    pub post: Vec<Vec<Interval>>,
+}
+
+impl NetworkBounds {
+    /// Bounds on the network outputs (post-activations of the last layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are empty (cannot happen for values returned by
+    /// this module).
+    pub fn output_bounds(&self) -> &[Interval] {
+        self.post.last().expect("nonempty network")
+    }
+
+    /// Number of ReLU neurons whose pre-activation straddles zero — each
+    /// costs one binary variable in the MILP encoding.
+    pub fn count_unstable(&self, net: &Network) -> usize {
+        net.layers()
+            .iter()
+            .zip(&self.pre)
+            .filter(|(l, _)| l.activation() == Activation::Relu)
+            .map(|(_, pre)| pre.iter().filter(|i| i.straddles_zero()).count())
+            .sum()
+    }
+
+    /// Total width of all pre-activation intervals — a scalar tightness
+    /// metric used by the `bounds_ablation` bench.
+    pub fn total_pre_width(&self) -> f64 {
+        self.pre
+            .iter()
+            .flat_map(|layer| layer.iter().map(Interval::width))
+            .sum()
+    }
+}
+
+/// Validates the box against the network input width.
+fn check_box(net: &Network, input_box: &[Interval]) -> Result<(), VerifyError> {
+    if input_box.len() != net.inputs() {
+        return Err(VerifyError::SpecMismatch {
+            network_inputs: net.inputs(),
+            spec_inputs: input_box.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Interval bound propagation.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::SpecMismatch`] if the box width differs from the
+/// network's input width.
+pub fn interval_bounds(net: &Network, input_box: &[Interval]) -> Result<NetworkBounds, VerifyError> {
+    check_box(net, input_box)?;
+    let mut pre = Vec::with_capacity(net.layers().len());
+    let mut post = Vec::with_capacity(net.layers().len());
+    let mut current: Vec<Interval> = input_box.to_vec();
+    for layer in net.layers() {
+        let w = layer.weights();
+        let b = layer.bias();
+        let mut z = Vec::with_capacity(layer.outputs());
+        for r in 0..layer.outputs() {
+            let mut acc = Interval::point(b[r]);
+            for (c, iv) in current.iter().enumerate() {
+                acc = acc + *iv * w[(r, c)];
+            }
+            z.push(acc);
+        }
+        let a: Vec<Interval> = z.iter().map(|iv| layer.activation().interval(*iv)).collect();
+        pre.push(z);
+        current = a.clone();
+        post.push(a);
+    }
+    Ok(NetworkBounds { pre, post })
+}
+
+/// Linear symbolic bounds of one layer's neurons, expressed over the
+/// network input: `Al·x + bl ≤ v ≤ Au·x + bu`.
+#[derive(Debug, Clone)]
+struct SymbolicBounds {
+    lower_a: Matrix,
+    lower_b: Vector,
+    upper_a: Matrix,
+    upper_b: Vector,
+}
+
+impl SymbolicBounds {
+    fn exact(a: Matrix, b: Vector) -> Self {
+        Self {
+            lower_a: a.clone(),
+            lower_b: b.clone(),
+            upper_a: a,
+            upper_b: b,
+        }
+    }
+
+    /// Concretises row `r` against the input box.
+    fn concretize_row(&self, r: usize, input_box: &[Interval]) -> Interval {
+        let mut lo = self.lower_b[r];
+        let mut hi = self.upper_b[r];
+        for (c, iv) in input_box.iter().enumerate() {
+            let al = self.lower_a[(r, c)];
+            lo += if al >= 0.0 { al * iv.lo() } else { al * iv.hi() };
+            let au = self.upper_a[(r, c)];
+            hi += if au >= 0.0 { au * iv.hi() } else { au * iv.lo() };
+        }
+        // Floating-point slack can produce lo marginally above hi.
+        if lo > hi {
+            let mid = 0.5 * (lo + hi);
+            Interval::point(mid)
+        } else {
+            Interval::new(lo, hi)
+        }
+    }
+
+    fn zero_row(&mut self, r: usize, n_in: usize) {
+        for c in 0..n_in {
+            self.lower_a[(r, c)] = 0.0;
+            self.upper_a[(r, c)] = 0.0;
+        }
+        self.lower_b[r] = 0.0;
+        self.upper_b[r] = 0.0;
+    }
+}
+
+/// A partial assignment of ReLU phases, indexed over ReLU neurons in
+/// layer-major order (the same order as
+/// [`certnn_trace::mcdc::branch_signature`](https://docs.rs)): `Some(true)`
+/// forces *active* (`y = z, z ≥ 0`), `Some(false)` forces *inactive*
+/// (`y = 0, z ≤ 0`), `None` leaves the neuron to the relaxation.
+pub type Phases = [Option<bool>];
+
+/// Result of a phase-aware symbolic analysis.
+#[derive(Debug, Clone)]
+pub struct PhasedAnalysis {
+    /// Per-neuron bounds under the phase assignment.
+    pub bounds: NetworkBounds,
+    /// Sound upper bound on the objective over the box ∩ phase region
+    /// (`−∞` when the phase region is empty).
+    pub objective_upper: f64,
+    /// The box corner maximising the objective's upper surrogate — a
+    /// genuine input whose forward pass yields a lower bound.
+    pub maximizer: Vector,
+    /// `true` if the phase assignment contradicts the propagated bounds
+    /// (the region is empty).
+    pub conflict: bool,
+    /// Still-unstable, unfixed ReLU neurons as `(flat index, interval
+    /// width)`, layer-major — the branching candidates.
+    pub unstable: Vec<(usize, f64)>,
+}
+
+/// DeepPoly/CROWN-style symbolic propagation under a partial ReLU phase
+/// assignment, with a symbolic objective bound.
+///
+/// Passing all-`None` phases and reading `bounds` reproduces
+/// [`symbolic_bounds`]. The `objective_upper` is computed by combining
+/// the output layer's symbolic bounds with the objective's coefficients
+/// *before* concretisation, which is tighter than combining concretised
+/// output intervals.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::SpecMismatch`] for a wrong box width,
+/// [`VerifyError::NotPiecewiseLinear`] for non-ReLU/identity layers, and
+/// [`VerifyError::SpecMismatch`] if `phases` is non-empty but shorter
+/// than the network's ReLU neuron count.
+#[allow(clippy::needless_range_loop)] // row-indexed symbolic updates
+pub fn analyze_with_phases(
+    net: &Network,
+    input_box: &[Interval],
+    phases: &Phases,
+    objective: &LinearObjective,
+) -> Result<PhasedAnalysis, VerifyError> {
+    check_box(net, input_box)?;
+    let total_relu = net.num_relu_neurons();
+    if !phases.is_empty() && phases.len() < total_relu {
+        return Err(VerifyError::SpecMismatch {
+            network_inputs: total_relu,
+            spec_inputs: phases.len(),
+        });
+    }
+    let n_in = net.inputs();
+    let mut pre = Vec::with_capacity(net.layers().len());
+    let mut post = Vec::with_capacity(net.layers().len());
+    let mut conflict = false;
+    let mut unstable = Vec::new();
+    let mut relu_cursor = 0usize;
+
+    let mut prev = SymbolicBounds::exact(Matrix::identity(n_in), Vector::zeros(n_in));
+    let ibp = interval_bounds(net, input_box)?;
+
+    for (li, layer) in net.layers().iter().enumerate() {
+        if !layer.activation().is_piecewise_linear() {
+            return Err(VerifyError::NotPiecewiseLinear { layer: li });
+        }
+        let w = layer.weights();
+        let b = layer.bias();
+        let rows = layer.outputs();
+
+        // Affine step: z = W·a + b, with W split by sign for each bound.
+        let mut z_sym = SymbolicBounds {
+            lower_a: Matrix::zeros(rows, n_in),
+            lower_b: Vector::zeros(rows),
+            upper_a: Matrix::zeros(rows, n_in),
+            upper_b: Vector::zeros(rows),
+        };
+        for r in 0..rows {
+            z_sym.lower_b[r] = b[r];
+            z_sym.upper_b[r] = b[r];
+            for j in 0..layer.inputs() {
+                let wij = w[(r, j)];
+                if wij == 0.0 {
+                    continue;
+                }
+                let (use_lo_a, use_lo_b, use_hi_a, use_hi_b) = if wij > 0.0 {
+                    (&prev.lower_a, &prev.lower_b, &prev.upper_a, &prev.upper_b)
+                } else {
+                    (&prev.upper_a, &prev.upper_b, &prev.lower_a, &prev.lower_b)
+                };
+                for c in 0..n_in {
+                    z_sym.lower_a[(r, c)] += wij * use_lo_a[(j, c)];
+                    z_sym.upper_a[(r, c)] += wij * use_hi_a[(j, c)];
+                }
+                z_sym.lower_b[r] += wij * use_lo_b[j];
+                z_sym.upper_b[r] += wij * use_hi_b[j];
+            }
+        }
+        // Concretise pre-activations; intersect with IBP (phase-free, so
+        // only valid as a *relaxation* intersection when no phase forces
+        // the neuron — under forced phases the symbolic bound already
+        // describes the phase-linearised surrogate and IBP stays sound
+        // for it only in the unforced case; keep the intersection only
+        // when no phases are active at all to stay conservative).
+        let phase_free = phases.is_empty() || phases.iter().all(Option::is_none);
+        let mut z_conc = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let sym = z_sym.concretize_row(r, input_box);
+            let both = if phase_free {
+                sym.intersect(&ibp.pre[li][r]).unwrap_or(sym)
+            } else {
+                sym
+            };
+            z_conc.push(both);
+        }
+
+        // Activation step.
+        let (a_sym, a_conc) = match layer.activation() {
+            Activation::Identity => (z_sym.clone(), z_conc.clone()),
+            Activation::Relu => {
+                let mut sym = z_sym.clone();
+                let mut conc = Vec::with_capacity(rows);
+                for r in 0..rows {
+                    let iv = z_conc[r];
+                    let phase = phases.get(relu_cursor).copied().flatten();
+                    let flat = relu_cursor;
+                    relu_cursor += 1;
+                    match phase {
+                        Some(false) => {
+                            // Forced inactive: region needs z ≤ 0.
+                            if iv.lo() > 1e-9 {
+                                conflict = true;
+                            }
+                            sym.zero_row(r, n_in);
+                            conc.push(Interval::zero());
+                        }
+                        Some(true) => {
+                            // Forced active: region needs z ≥ 0; the
+                            // surrogate keeps y = z exactly.
+                            if iv.hi() < -1e-9 {
+                                conflict = true;
+                            }
+                            conc.push(iv);
+                        }
+                        None => {
+                            if iv.is_nonpositive() {
+                                sym.zero_row(r, n_in);
+                                conc.push(Interval::zero());
+                            } else if iv.is_nonnegative() {
+                                conc.push(iv);
+                            } else {
+                                // Unstable: triangle relaxation.
+                                let (l, u) = (iv.lo(), iv.hi());
+                                unstable.push((flat, iv.width()));
+                                let slope = u / (u - l);
+                                for c in 0..n_in {
+                                    sym.upper_a[(r, c)] = slope * z_sym.upper_a[(r, c)];
+                                }
+                                sym.upper_b[r] = slope * (z_sym.upper_b[r] - l);
+                                let lambda = if u >= -l { 1.0 } else { 0.0 };
+                                for c in 0..n_in {
+                                    sym.lower_a[(r, c)] = lambda * z_sym.lower_a[(r, c)];
+                                }
+                                sym.lower_b[r] = lambda * z_sym.lower_b[r];
+                                conc.push(iv.relu());
+                            }
+                        }
+                    }
+                }
+                (sym, conc)
+            }
+            Activation::Tanh => unreachable!("checked above"),
+        };
+
+        pre.push(z_conc);
+        post.push(a_conc);
+        prev = a_sym;
+    }
+
+    // Combine the output symbolics with the objective before concretising.
+    let mut obj_a = vec![0.0; n_in];
+    let mut obj_b = objective.constant;
+    for &(o, c) in &objective.terms {
+        if c == 0.0 {
+            continue;
+        }
+        let (a_mat, b_vec) = if c > 0.0 {
+            (&prev.upper_a, &prev.upper_b)
+        } else {
+            (&prev.lower_a, &prev.lower_b)
+        };
+        for (i, slot) in obj_a.iter_mut().enumerate() {
+            *slot += c * a_mat[(o, i)];
+        }
+        obj_b += c * b_vec[o];
+    }
+    let mut objective_upper = obj_b;
+    let maximizer: Vector = input_box
+        .iter()
+        .zip(&obj_a)
+        .map(|(iv, &a)| {
+            objective_upper += if a >= 0.0 { a * iv.hi() } else { a * iv.lo() };
+            if a > 0.0 {
+                iv.hi()
+            } else {
+                iv.lo()
+            }
+        })
+        .collect();
+    if conflict {
+        objective_upper = f64::NEG_INFINITY;
+    }
+
+    Ok(PhasedAnalysis {
+        bounds: NetworkBounds { pre, post },
+        objective_upper,
+        maximizer,
+        conflict,
+        unstable,
+    })
+}
+
+/// DeepPoly/CROWN-style symbolic bound propagation (no phase forcing).
+///
+/// # Errors
+///
+/// Returns [`VerifyError::SpecMismatch`] for a wrong box width and
+/// [`VerifyError::NotPiecewiseLinear`] if a layer uses an activation other
+/// than ReLU or identity.
+pub fn symbolic_bounds(net: &Network, input_box: &[Interval]) -> Result<NetworkBounds, VerifyError> {
+    let trivial = LinearObjective {
+        terms: Vec::new(),
+        constant: 0.0,
+    };
+    Ok(analyze_with_phases(net, input_box, &[], &trivial)?.bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Vector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unit_box(n: usize) -> Vec<Interval> {
+        vec![Interval::new(-1.0, 1.0); n]
+    }
+
+    /// Samples inputs in the box and asserts all traces are inside bounds.
+    fn assert_sound(net: &Network, input_box: &[Interval], nb: &NetworkBounds, samples: usize) {
+        let mut rng = StdRng::seed_from_u64(12345);
+        for _ in 0..samples {
+            let x: Vector = input_box
+                .iter()
+                .map(|iv| rng.gen_range(iv.lo()..=iv.hi()))
+                .collect();
+            let trace = net.forward_trace(&x).unwrap();
+            for (l, (z, a)) in trace
+                .pre_activations
+                .iter()
+                .zip(&trace.activations)
+                .enumerate()
+            {
+                for j in 0..z.len() {
+                    assert!(
+                        nb.pre[l][j].widened(1e-9).contains(z[j]),
+                        "pre[{l}][{j}] = {} outside {}",
+                        z[j],
+                        nb.pre[l][j]
+                    );
+                    assert!(
+                        nb.post[l][j].widened(1e-9).contains(a[j]),
+                        "post[{l}][{j}] = {} outside {}",
+                        a[j],
+                        nb.post[l][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_bounds_sound_on_random_networks() {
+        for seed in 0..5 {
+            let net = Network::relu_mlp(4, &[8, 8], 3, seed).unwrap();
+            let ib = unit_box(4);
+            let nb = interval_bounds(&net, &ib).unwrap();
+            assert_sound(&net, &ib, &nb, 100);
+        }
+    }
+
+    #[test]
+    fn symbolic_bounds_sound_on_random_networks() {
+        for seed in 0..5 {
+            let net = Network::relu_mlp(4, &[8, 8], 3, seed).unwrap();
+            let ib = unit_box(4);
+            let nb = symbolic_bounds(&net, &ib).unwrap();
+            assert_sound(&net, &ib, &nb, 100);
+        }
+    }
+
+    #[test]
+    fn symbolic_never_looser_than_interval() {
+        for seed in 0..5 {
+            let net = Network::relu_mlp(6, &[10, 10, 10], 2, seed + 50).unwrap();
+            let ib = unit_box(6);
+            let ibp = interval_bounds(&net, &ib).unwrap();
+            let sym = symbolic_bounds(&net, &ib).unwrap();
+            assert!(
+                sym.total_pre_width() <= ibp.total_pre_width() + 1e-9,
+                "symbolic {} vs interval {}",
+                sym.total_pre_width(),
+                ibp.total_pre_width()
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_strictly_tighter_on_deep_network() {
+        // On a narrow (local-robustness style) box, IBP's dependency loss
+        // compounds across layers; symbolic bounds must win by a clear
+        // margin. (On very wide boxes nearly every neuron is unstable with
+        // a slope near 1, and the two methods converge.)
+        let net = Network::relu_mlp(4, &[16, 16, 16, 16], 1, 3).unwrap();
+        let ib = vec![Interval::new(0.2, 0.4); 4];
+        let ibp = interval_bounds(&net, &ib).unwrap();
+        let sym = symbolic_bounds(&net, &ib).unwrap();
+        assert!(
+            sym.total_pre_width() < 0.5 * ibp.total_pre_width(),
+            "symbolic {} not clearly tighter than interval {}",
+            sym.total_pre_width(),
+            ibp.total_pre_width()
+        );
+    }
+
+    #[test]
+    fn exact_on_pure_affine_network() {
+        // Identity activations: both analyses are exact and equal.
+        use certnn_nn::layer::DenseLayer;
+        let l = DenseLayer::new(
+            Matrix::from_rows(&[&[2.0, -1.0]]).unwrap(),
+            Vector::from(vec![0.5]),
+            Activation::Identity,
+        )
+        .unwrap();
+        let net = Network::new(vec![l]).unwrap();
+        let ib = vec![Interval::new(0.0, 1.0), Interval::new(-2.0, 2.0)];
+        let nb_i = interval_bounds(&net, &ib).unwrap();
+        let nb_s = symbolic_bounds(&net, &ib).unwrap();
+        // z = 2x0 - x1 + 0.5 over the box: [0-2+0.5, 2+2+0.5] = [-1.5, 4.5].
+        assert!((nb_i.pre[0][0].lo() + 1.5).abs() < 1e-12);
+        assert!((nb_i.pre[0][0].hi() - 4.5).abs() < 1e-12);
+        assert_eq!(nb_i.pre[0][0], nb_s.pre[0][0]);
+    }
+
+    #[test]
+    fn stable_neuron_counting() {
+        use certnn_nn::layer::DenseLayer;
+        // One neuron always active (bias 10), one always off (bias -10),
+        // one unstable (bias 0).
+        let l1 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap(),
+            Vector::from(vec![10.0, -10.0, 0.0]),
+            Activation::Relu,
+        )
+        .unwrap();
+        let l2 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0, 1.0, 1.0]]).unwrap(),
+            Vector::zeros(1),
+            Activation::Identity,
+        )
+        .unwrap();
+        let net = Network::new(vec![l1, l2]).unwrap();
+        let nb = interval_bounds(&net, &unit_box(1)).unwrap();
+        assert_eq!(nb.count_unstable(&net), 1);
+    }
+
+    #[test]
+    fn wrong_box_width_rejected() {
+        let net = Network::relu_mlp(4, &[4], 1, 0).unwrap();
+        assert!(matches!(
+            interval_bounds(&net, &unit_box(3)),
+            Err(VerifyError::SpecMismatch { .. })
+        ));
+        assert!(symbolic_bounds(&net, &unit_box(5)).is_err());
+    }
+
+    #[test]
+    fn tanh_rejected_by_symbolic_allowed_by_interval() {
+        use certnn_nn::layer::DenseLayer;
+        let l = DenseLayer::new(
+            Matrix::identity(2),
+            Vector::zeros(2),
+            Activation::Tanh,
+        )
+        .unwrap();
+        let net = Network::new(vec![l]).unwrap();
+        assert!(interval_bounds(&net, &unit_box(2)).is_ok());
+        assert!(matches!(
+            symbolic_bounds(&net, &unit_box(2)),
+            Err(VerifyError::NotPiecewiseLinear { layer: 0 })
+        ));
+    }
+
+    #[test]
+    fn output_bounds_accessor() {
+        let net = Network::relu_mlp(3, &[5], 2, 1).unwrap();
+        let nb = interval_bounds(&net, &unit_box(3)).unwrap();
+        assert_eq!(nb.output_bounds().len(), 2);
+    }
+
+    // --- phase-aware analysis ---
+
+    use certnn_nn::layer::DenseLayer;
+
+    /// f(x) = relu(x): one unstable neuron over [-1, 1].
+    fn single_relu() -> Network {
+        let l1 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0]]).unwrap(),
+            Vector::zeros(1),
+            Activation::Relu,
+        )
+        .unwrap();
+        let l2 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0]]).unwrap(),
+            Vector::zeros(1),
+            Activation::Identity,
+        )
+        .unwrap();
+        Network::new(vec![l1, l2]).unwrap()
+    }
+
+    #[test]
+    fn phase_free_analysis_matches_symbolic_bounds() {
+        let net = Network::relu_mlp(3, &[6, 6], 2, 4).unwrap();
+        let ib = unit_box(3);
+        let sym = symbolic_bounds(&net, &ib).unwrap();
+        let obj = LinearObjective::output(0);
+        let an = analyze_with_phases(&net, &ib, &[], &obj).unwrap();
+        assert_eq!(an.bounds, sym);
+        assert!(!an.conflict);
+        assert_eq!(an.unstable.len(), an.bounds.count_unstable(&net));
+    }
+
+    #[test]
+    fn objective_upper_dominates_true_maximum() {
+        let net = Network::relu_mlp(3, &[8, 8], 1, 13).unwrap();
+        let ib = unit_box(3);
+        let obj = LinearObjective::output(0);
+        let an = analyze_with_phases(&net, &ib, &[], &obj).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let x: Vector = (0..3).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+            let v = net.forward(&x).unwrap()[0];
+            assert!(v <= an.objective_upper + 1e-9);
+        }
+        // The maximizer is a genuine point in the box.
+        assert!(an.maximizer.iter().all(|&x| (-1.0..=1.0).contains(&x)));
+        let achieved = net.forward(&an.maximizer).unwrap()[0];
+        assert!(achieved <= an.objective_upper + 1e-9);
+    }
+
+    #[test]
+    fn forcing_phases_resolves_single_relu_exactly() {
+        let net = single_relu();
+        let ib = unit_box(1);
+        let obj = LinearObjective::output(0);
+        // Active branch: y = z over [0, 1] -> upper 1.
+        let active = analyze_with_phases(&net, &ib, &[Some(true)], &obj).unwrap();
+        assert!(!active.conflict);
+        assert!((active.objective_upper - 1.0).abs() < 1e-9);
+        assert!(active.unstable.is_empty());
+        // Inactive branch: y = 0 -> upper 0.
+        let inactive = analyze_with_phases(&net, &ib, &[Some(false)], &obj).unwrap();
+        assert!(!inactive.conflict);
+        assert!(inactive.objective_upper.abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_bounds_cover_their_phase_regions() {
+        // Soundness of phase forcing: every sampled input whose true
+        // phase for the branched neuron is `p` must score below the
+        // bound of the branch `p` — this is the invariant neuron
+        // branch-and-bound relies on.
+        for seed in [77u64, 78, 79] {
+            let net = Network::relu_mlp(3, &[6, 6], 1, seed).unwrap();
+            let ib = unit_box(3);
+            let obj = LinearObjective::output(0);
+            let relaxed = analyze_with_phases(&net, &ib, &[], &obj).unwrap();
+            if relaxed.unstable.is_empty() {
+                continue;
+            }
+            let flat = relaxed.unstable[0].0;
+            let mut bounds = [0.0f64; 2];
+            let mut phases = vec![None; net.num_relu_neurons()];
+            for (k, val) in [false, true].into_iter().enumerate() {
+                phases[flat] = Some(val);
+                bounds[k] = analyze_with_phases(&net, &ib, &phases, &obj)
+                    .unwrap()
+                    .objective_upper;
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..300 {
+                let x: Vector = (0..3).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+                let trace = net.forward_trace(&x).unwrap();
+                let sig = {
+                    // Flat layer-major ReLU index `flat` within the trace.
+                    let mut idx = flat;
+                    let mut found = f64::NAN;
+                    for (layer, z) in net.layers().iter().zip(&trace.pre_activations) {
+                        if layer.activation() != Activation::Relu {
+                            continue;
+                        }
+                        if idx < z.len() {
+                            found = z[idx];
+                            break;
+                        }
+                        idx -= z.len();
+                    }
+                    found
+                };
+                let region = usize::from(sig > 0.0);
+                let v = trace.output()[0];
+                assert!(
+                    v <= bounds[region] + 1e-7,
+                    "seed {seed}: value {v} exceeds branch-{region} bound {}",
+                    bounds[region]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_phase_is_a_conflict() {
+        use certnn_nn::layer::DenseLayer;
+        // Neuron pre-activation is always >= 9 on the box; forcing it
+        // inactive is contradictory.
+        let l1 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0]]).unwrap(),
+            Vector::from(vec![10.0]),
+            Activation::Relu,
+        )
+        .unwrap();
+        let l2 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0]]).unwrap(),
+            Vector::zeros(1),
+            Activation::Identity,
+        )
+        .unwrap();
+        let net = Network::new(vec![l1, l2]).unwrap();
+        let obj = LinearObjective::output(0);
+        let an = analyze_with_phases(&net, &unit_box(1), &[Some(false)], &obj).unwrap();
+        assert!(an.conflict);
+        assert_eq!(an.objective_upper, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn short_phase_vector_rejected() {
+        let net = Network::relu_mlp(2, &[4], 1, 0).unwrap();
+        let obj = LinearObjective::output(0);
+        assert!(analyze_with_phases(&net, &unit_box(2), &[None], &obj).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Input specifications and output objectives.
+//!
+//! A verification query is `max f(out(x))  s.t.  x ∈ P` where `P` is an
+//! [`InputSpec`] — the feature box optionally intersected with linear
+//! scenario constraints — and `f` a [`LinearObjective`] over the network
+//! outputs. The paper's Table II property instantiates `P` with "a vehicle
+//! exists abreast on the left" and `f` with a lateral-velocity mean output.
+
+use crate::VerifyError;
+use certnn_linalg::{Interval, Vector};
+use certnn_nn::network::Network;
+
+/// Relation of a linear scenario constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `Σ coef·x ≤ rhs`
+    Le,
+    /// `Σ coef·x = rhs`
+    Eq,
+    /// `Σ coef·x ≥ rhs`
+    Ge,
+}
+
+/// One linear constraint over the input features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConstraint {
+    /// Sparse `(feature index, coefficient)` terms.
+    pub terms: Vec<(usize, f64)>,
+    /// Relation.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl LinearConstraint {
+    /// `true` if `x` satisfies the constraint within `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term index is out of range for `x`.
+    pub fn satisfied_by(&self, x: &Vector, tol: f64) -> bool {
+        let lhs: f64 = self.terms.iter().map(|&(i, c)| c * x[i]).sum();
+        match self.relation {
+            Relation::Le => lhs <= self.rhs + tol,
+            Relation::Ge => lhs >= self.rhs - tol,
+            Relation::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// The admissible input set of a query: a box plus linear constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSpec {
+    bounds: Vec<Interval>,
+    constraints: Vec<LinearConstraint>,
+}
+
+impl InputSpec {
+    /// A pure box specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::SpecMismatch`] if the box is empty (zero
+    /// inputs are meaningless).
+    pub fn from_box(bounds: Vec<Interval>) -> Result<Self, VerifyError> {
+        if bounds.is_empty() {
+            return Err(VerifyError::SpecMismatch {
+                network_inputs: 0,
+                spec_inputs: 0,
+            });
+        }
+        Ok(Self {
+            bounds,
+            constraints: Vec::new(),
+        })
+    }
+
+    /// The per-feature bounds.
+    pub fn bounds(&self) -> &[Interval] {
+        &self.bounds
+    }
+
+    /// The linear constraints.
+    pub fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    /// Number of input features.
+    pub fn num_inputs(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Pins feature `index` to the exact value `v` (a degenerate interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn fix(mut self, index: usize, v: f64) -> Self {
+        assert!(index < self.bounds.len(), "feature index out of range");
+        self.bounds[index] = Interval::point(v);
+        self
+    }
+
+    /// Restricts feature `index` to `[lo, hi]` (intersected with the
+    /// current bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the intersection is empty.
+    pub fn restrict(mut self, index: usize, lo: f64, hi: f64) -> Self {
+        assert!(index < self.bounds.len(), "feature index out of range");
+        let cur = self.bounds[index];
+        self.bounds[index] = cur
+            .intersect(&Interval::new(lo, hi))
+            .expect("restriction must intersect the current bound");
+        self
+    }
+
+    /// Adds a linear scenario constraint.
+    pub fn constrain(mut self, constraint: LinearConstraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// `true` if `x` lies in the box and satisfies all constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the spec width.
+    pub fn contains(&self, x: &Vector, tol: f64) -> bool {
+        assert_eq!(x.len(), self.bounds.len(), "dimension mismatch");
+        self.bounds
+            .iter()
+            .zip(x.iter())
+            .all(|(iv, &v)| iv.widened(tol).contains(v))
+            && self.constraints.iter().all(|c| c.satisfied_by(x, tol))
+    }
+}
+
+/// A linear functional over the network outputs:
+/// `f(out) = Σ coef·out[i] + constant`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearObjective {
+    /// Sparse `(output index, coefficient)` terms.
+    pub terms: Vec<(usize, f64)>,
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl LinearObjective {
+    /// The functional selecting a single output neuron.
+    pub fn output(index: usize) -> Self {
+        Self {
+            terms: vec![(index, 1.0)],
+            constant: 0.0,
+        }
+    }
+
+    /// A weighted combination of outputs.
+    pub fn combination(terms: Vec<(usize, f64)>) -> Self {
+        Self {
+            terms,
+            constant: 0.0,
+        }
+    }
+
+    /// Evaluates the functional on a network output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term index is out of range.
+    pub fn eval(&self, output: &Vector) -> f64 {
+        self.constant + self.terms.iter().map(|&(i, c)| c * output[i]).sum::<f64>()
+    }
+
+    /// Largest referenced output index, or `None` if constant.
+    pub fn max_output_index(&self) -> Option<usize> {
+        self.terms.iter().map(|&(i, _)| i).max()
+    }
+
+    /// Validates the objective against a network's output width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::SpecMismatch`] if an index is out of range.
+    pub fn check_against(&self, net: &Network) -> Result<(), VerifyError> {
+        if let Some(max) = self.max_output_index() {
+            if max >= net.outputs() {
+                return Err(VerifyError::SpecMismatch {
+                    network_inputs: net.outputs(),
+                    spec_inputs: max + 1,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec2() -> InputSpec {
+        InputSpec::from_box(vec![Interval::new(-1.0, 1.0), Interval::new(0.0, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn box_membership() {
+        let s = spec2();
+        assert!(s.contains(&Vector::from(vec![0.0, 1.0]), 1e-9));
+        assert!(!s.contains(&Vector::from(vec![2.0, 1.0]), 1e-9));
+    }
+
+    #[test]
+    fn fix_and_restrict() {
+        let s = spec2().fix(0, 0.5).restrict(1, 1.0, 3.0);
+        assert_eq!(s.bounds()[0], Interval::point(0.5));
+        assert_eq!(s.bounds()[1], Interval::new(1.0, 2.0)); // intersected
+        assert!(!s.contains(&Vector::from(vec![0.4, 1.5]), 1e-9));
+        assert!(s.contains(&Vector::from(vec![0.5, 1.5]), 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "must intersect")]
+    fn empty_restriction_panics() {
+        let _ = spec2().restrict(1, 5.0, 6.0);
+    }
+
+    #[test]
+    fn linear_constraints_checked() {
+        let s = spec2().constrain(LinearConstraint {
+            terms: vec![(0, 1.0), (1, 1.0)],
+            relation: Relation::Le,
+            rhs: 1.0,
+        });
+        assert!(s.contains(&Vector::from(vec![0.0, 1.0]), 1e-9));
+        assert!(!s.contains(&Vector::from(vec![1.0, 1.0]), 1e-9));
+    }
+
+    #[test]
+    fn constraint_relations() {
+        let x = Vector::from(vec![2.0]);
+        let mk = |relation, rhs| LinearConstraint {
+            terms: vec![(0, 1.0)],
+            relation,
+            rhs,
+        };
+        assert!(mk(Relation::Le, 2.0).satisfied_by(&x, 0.0));
+        assert!(mk(Relation::Ge, 2.0).satisfied_by(&x, 0.0));
+        assert!(mk(Relation::Eq, 2.0).satisfied_by(&x, 0.0));
+        assert!(!mk(Relation::Eq, 1.0).satisfied_by(&x, 1e-9));
+    }
+
+    #[test]
+    fn objective_evaluation() {
+        let obj = LinearObjective::combination(vec![(0, 2.0), (2, -1.0)]);
+        let out = Vector::from(vec![1.0, 9.0, 3.0]);
+        assert_eq!(obj.eval(&out), -1.0);
+        assert_eq!(obj.max_output_index(), Some(2));
+        assert_eq!(LinearObjective::output(1).eval(&out), 9.0);
+    }
+
+    #[test]
+    fn objective_validation_against_network() {
+        let net = Network::relu_mlp(2, &[3], 2, 0).unwrap();
+        assert!(LinearObjective::output(1).check_against(&net).is_ok());
+        assert!(LinearObjective::output(2).check_against(&net).is_err());
+    }
+
+    #[test]
+    fn empty_box_rejected() {
+        assert!(InputSpec::from_box(vec![]).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Post-training weight quantization (paper Sec. IV (ii)).
+//!
+//! The paper's concluding remarks point to quantized neural networks as a
+//! route to more scalable verification. This module implements symmetric
+//! per-layer post-training quantization: weights and biases are rounded to
+//! a signed `bits`-wide integer grid and de-quantized back to `f64`, so
+//! the resulting [`Network`] runs through the exact same MILP pipeline.
+//! The `quantized_verify` bench compares verification time and verified
+//! bounds across bit widths.
+
+use certnn_nn::layer::DenseLayer;
+use certnn_nn::network::Network;
+use certnn_nn::NnError;
+
+/// Result of quantizing a network.
+#[derive(Debug, Clone)]
+pub struct QuantizedNetwork {
+    /// The de-quantized network (weights on the integer grid × scale).
+    pub network: Network,
+    /// Bit width used.
+    pub bits: u8,
+    /// Per-layer weight scales (grid step).
+    pub weight_scales: Vec<f64>,
+    /// Largest absolute weight/bias perturbation introduced.
+    pub max_error: f64,
+}
+
+/// Quantizes every layer of `net` to signed `bits`-bit weights.
+///
+/// # Errors
+///
+/// Returns [`NnError::EmptyArchitecture`] if `bits < 2` (a 1-bit signed
+/// grid cannot represent magnitudes).
+pub fn quantize(net: &Network, bits: u8) -> Result<QuantizedNetwork, NnError> {
+    if bits < 2 {
+        return Err(NnError::EmptyArchitecture);
+    }
+    let qmax = ((1i64 << (bits - 1)) - 1) as f64;
+    let mut layers = Vec::with_capacity(net.layers().len());
+    let mut scales = Vec::with_capacity(net.layers().len());
+    let mut max_error: f64 = 0.0;
+    for layer in net.layers() {
+        let amax = layer
+            .weights()
+            .as_slice()
+            .iter()
+            .chain(layer.bias().as_slice())
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        let scale = if amax == 0.0 { 1.0 } else { amax / qmax };
+        let q = |v: f64| (v / scale).round().clamp(-qmax - 1.0, qmax) * scale;
+        let w = layer.weights().map(|v| {
+            let qv = q(v);
+            max_error = max_error.max((qv - v).abs());
+            qv
+        });
+        let b = layer.bias().map(|v| {
+            let qv = q(v);
+            max_error = max_error.max((qv - v).abs());
+            qv
+        });
+        layers.push(DenseLayer::new(w, b, layer.activation())?);
+        scales.push(scale);
+    }
+    Ok(QuantizedNetwork {
+        network: Network::new(layers)?,
+        bits,
+        weight_scales: scales,
+        max_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Vector;
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let net = Network::relu_mlp(4, &[8, 8], 2, 3).unwrap();
+        let q = quantize(&net, 8).unwrap();
+        let worst_step = q
+            .weight_scales
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        assert!(q.max_error <= 0.5 * worst_step + 1e-12);
+    }
+
+    #[test]
+    fn more_bits_means_less_error() {
+        let net = Network::relu_mlp(4, &[8, 8], 2, 3).unwrap();
+        let q4 = quantize(&net, 4).unwrap();
+        let q8 = quantize(&net, 8).unwrap();
+        let q16 = quantize(&net, 16).unwrap();
+        assert!(q8.max_error <= q4.max_error);
+        assert!(q16.max_error <= q8.max_error);
+    }
+
+    #[test]
+    fn sixteen_bit_network_is_nearly_identical() {
+        let net = Network::relu_mlp(4, &[8], 1, 7).unwrap();
+        let q = quantize(&net, 16).unwrap();
+        let x = Vector::from(vec![0.3, -0.5, 0.7, 0.1]);
+        let a = net.forward(&x).unwrap()[0];
+        let b = q.network.forward(&x).unwrap()[0];
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn architecture_is_preserved() {
+        let net = Network::relu_mlp(6, &[10, 10], 3, 1).unwrap();
+        let q = quantize(&net, 8).unwrap();
+        assert_eq!(q.network.inputs(), 6);
+        assert_eq!(q.network.outputs(), 3);
+        assert_eq!(q.network.num_relu_neurons(), 20);
+        assert_eq!(q.network.label(), net.label());
+    }
+
+    #[test]
+    fn one_bit_rejected() {
+        let net = Network::relu_mlp(2, &[2], 1, 0).unwrap();
+        assert!(quantize(&net, 1).is_err());
+        assert!(quantize(&net, 2).is_ok());
+    }
+
+    #[test]
+    fn weights_land_on_the_grid() {
+        let net = Network::relu_mlp(3, &[5], 1, 9).unwrap();
+        let q = quantize(&net, 6).unwrap();
+        for (layer, &scale) in q.network.layers().iter().zip(&q.weight_scales) {
+            for &w in layer.weights().as_slice() {
+                let ratio = w / scale;
+                assert!(
+                    (ratio - ratio.round()).abs() < 1e-9,
+                    "weight {w} not on grid {scale}"
+                );
+            }
+        }
+    }
+}

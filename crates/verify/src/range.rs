@@ -1,0 +1,111 @@
+//! Verified output ranges.
+//!
+//! Convenience layer over [`crate::verifier::Verifier`]: compute, for
+//! every output neuron, a *proven* interval of reachable values over an
+//! input specification — the formal counterpart of the empirical min/max
+//! statistics a test campaign would report.
+
+use crate::property::{InputSpec, LinearObjective};
+use crate::verifier::Verifier;
+use crate::VerifyError;
+use certnn_linalg::Interval;
+use certnn_nn::network::Network;
+
+/// Verified reachable range of one output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputRange {
+    /// Output index.
+    pub output: usize,
+    /// Verified range; exact endpoints when both queries closed.
+    pub range: Interval,
+    /// `true` if both the minimisation and maximisation closed exactly.
+    pub exact: bool,
+}
+
+/// Computes verified ranges for all outputs of `net` over `spec`.
+///
+/// Each output costs two MILP solves (max and min). For a cheaper but
+/// looser answer use [`crate::bounds::symbolic_bounds`] and read
+/// [`crate::bounds::NetworkBounds::output_bounds`].
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] on malformed inputs.
+pub fn output_ranges(
+    verifier: &Verifier,
+    net: &Network,
+    spec: &InputSpec,
+) -> Result<Vec<OutputRange>, VerifyError> {
+    let mut ranges = Vec::with_capacity(net.outputs());
+    for o in 0..net.outputs() {
+        let obj = LinearObjective::output(o);
+        let hi = verifier.maximize(net, spec, &obj)?;
+        let neg = LinearObjective {
+            terms: vec![(o, -1.0)],
+            constant: 0.0,
+        };
+        let lo = verifier.maximize(net, spec, &neg)?;
+        let exact = hi.is_exact() && lo.is_exact();
+        let upper = hi.exact_max().unwrap_or(hi.upper_bound);
+        let lower = lo.exact_max().map(|v| -v).unwrap_or(-lo.upper_bound);
+        ranges.push(OutputRange {
+            output: o,
+            range: Interval::new(lower.min(upper), upper.max(lower)),
+            exact,
+        });
+    }
+    Ok(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Vector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_contain_sampled_outputs_and_are_tight() {
+        let net = Network::relu_mlp(3, &[6, 6], 2, 8).unwrap();
+        let spec = InputSpec::from_box(vec![Interval::new(-1.0, 1.0); 3]).unwrap();
+        let ranges = output_ranges(&Verifier::new(), &net, &spec).unwrap();
+        assert_eq!(ranges.len(), 2);
+        assert!(ranges.iter().all(|r| r.exact));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = vec![Interval::point(0.0); 2];
+        for k in 0..2000 {
+            let x: Vector = (0..3).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+            let out = net.forward(&x).unwrap();
+            for (o, r) in ranges.iter().enumerate() {
+                assert!(
+                    r.range.widened(1e-6).contains(out[o]),
+                    "output {o} = {} outside verified {}",
+                    out[o],
+                    r.range
+                );
+                seen[o] = if k == 0 {
+                    Interval::point(out[o])
+                } else {
+                    seen[o].hull(&Interval::point(out[o]))
+                };
+            }
+        }
+        // Exact ranges should not be wildly wider than the sampled hull.
+        for (r, s) in ranges.iter().zip(&seen) {
+            assert!(r.range.width() < 4.0 * s.width().max(0.1) + 1.0);
+        }
+    }
+
+    #[test]
+    fn range_is_tighter_than_symbolic_bounds() {
+        use crate::bounds::symbolic_bounds;
+        let net = Network::relu_mlp(4, &[8, 8], 1, 17).unwrap();
+        let ib = vec![Interval::new(-1.0, 1.0); 4];
+        let spec = InputSpec::from_box(ib.clone()).unwrap();
+        let exact = &output_ranges(&Verifier::new(), &net, &spec).unwrap()[0];
+        let loose = symbolic_bounds(&net, &ib).unwrap();
+        let loose = loose.output_bounds()[0];
+        assert!(loose.widened(1e-6).contains_interval(&exact.range));
+        assert!(exact.range.width() <= loose.width() + 1e-9);
+    }
+}

@@ -1,0 +1,307 @@
+//! Local robustness and maximum resilience.
+//!
+//! The verification methodology the paper applies comes from Cheng et al.,
+//! *Maximum Resilience of Artificial Neural Networks* (ATVA 2017): the
+//! headline quantity there is the largest input perturbation a network
+//! tolerates before its decision changes. This module implements both
+//! query forms on top of the same MILP engine:
+//!
+//! * [`verify_robust`] — decide whether the objective stays within
+//!   `±delta` of its value at a centre point for every input in an
+//!   L∞-ball of radius `epsilon` (clipped to the feature box).
+//! * [`maximum_resilience`] — binary-search the largest such `epsilon`,
+//!   i.e. the network's resilience at that point.
+
+use crate::property::{InputSpec, LinearObjective};
+use crate::verifier::{Verdict, Verifier};
+use crate::VerifyError;
+use certnn_linalg::{Interval, Vector};
+use certnn_nn::network::Network;
+
+/// Result of a robustness decision at one radius.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RobustnessVerdict {
+    /// The objective stays within `±delta` across the whole ball.
+    Robust,
+    /// A perturbation inside the ball moves the objective beyond `delta`.
+    Fragile {
+        /// The violating input.
+        witness: Vector,
+        /// Objective deviation achieved by the witness.
+        deviation: f64,
+    },
+    /// Resource limits prevented a decision.
+    Unknown,
+}
+
+impl RobustnessVerdict {
+    /// `true` for [`RobustnessVerdict::Robust`].
+    pub fn is_robust(&self) -> bool {
+        matches!(self, RobustnessVerdict::Robust)
+    }
+}
+
+/// The L∞-ball of radius `epsilon` around `centre`, intersected with the
+/// feature box of `domain`.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::SpecMismatch`] if `centre` does not match the
+/// domain width.
+pub fn ball_spec(
+    domain: &InputSpec,
+    centre: &Vector,
+    epsilon: f64,
+) -> Result<InputSpec, VerifyError> {
+    if centre.len() != domain.num_inputs() {
+        return Err(VerifyError::SpecMismatch {
+            network_inputs: domain.num_inputs(),
+            spec_inputs: centre.len(),
+        });
+    }
+    let bounds: Vec<Interval> = domain
+        .bounds()
+        .iter()
+        .zip(centre.iter())
+        .map(|(b, &c)| {
+            let lo = (c - epsilon).max(b.lo());
+            let hi = (c + epsilon).min(b.hi());
+            // A centre inside the box always leaves a nonempty slice; a
+            // centre pinned on a degenerate bound keeps that bound.
+            if lo <= hi {
+                Interval::new(lo, hi)
+            } else {
+                Interval::point(b.lo().max(b.hi().min(c)))
+            }
+        })
+        .collect();
+    let mut spec = InputSpec::from_box(bounds)?;
+    for c in domain.constraints() {
+        spec = spec.constrain(c.clone());
+    }
+    Ok(spec)
+}
+
+/// Decides local robustness: for all `x` with `‖x − centre‖∞ ≤ epsilon`
+/// (inside the domain box), `|f(out(x)) − f(out(centre))| ≤ delta`.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] on malformed inputs.
+pub fn verify_robust(
+    verifier: &Verifier,
+    net: &Network,
+    domain: &InputSpec,
+    centre: &Vector,
+    epsilon: f64,
+    objective: &LinearObjective,
+    delta: f64,
+) -> Result<RobustnessVerdict, VerifyError> {
+    let base = objective.eval(&net.forward(centre)?);
+    let spec = ball_spec(domain, centre, epsilon)?;
+
+    // Upper side: f ≤ base + delta.
+    let (up, _) = verifier.prove_below(net, &spec, objective, base + delta)?;
+    match up {
+        Verdict::Violated { witness, value } => {
+            return Ok(RobustnessVerdict::Fragile {
+                witness,
+                deviation: value - base,
+            })
+        }
+        Verdict::Unknown { .. } => return Ok(RobustnessVerdict::Unknown),
+        Verdict::Holds { .. } => {}
+    }
+    // Lower side: −f ≤ −base + delta.
+    let negated = LinearObjective {
+        terms: objective.terms.iter().map(|&(i, c)| (i, -c)).collect(),
+        constant: -objective.constant,
+    };
+    let (down, _) = verifier.prove_below(net, &spec, &negated, -base + delta)?;
+    match down {
+        // value = g(w) = −f(w), so the signed deviation f(w) − base is
+        // −value − base (necessarily below −delta here).
+        Verdict::Violated { witness, value } => Ok(RobustnessVerdict::Fragile {
+            witness,
+            deviation: -value - base,
+        }),
+        Verdict::Unknown { .. } => Ok(RobustnessVerdict::Unknown),
+        Verdict::Holds { .. } => Ok(RobustnessVerdict::Robust),
+    }
+}
+
+/// Result of a maximum-resilience search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resilience {
+    /// Largest radius proven robust.
+    pub robust_radius: f64,
+    /// Smallest radius proven fragile, `None` if even the largest probed
+    /// radius is robust.
+    pub fragile_radius: Option<f64>,
+    /// Number of MILP decisions performed.
+    pub queries: usize,
+}
+
+/// Binary-searches the maximum resilience radius at `centre` within
+/// `[0, max_epsilon]`, to absolute precision `tol`.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] on malformed inputs.
+///
+/// # Panics
+///
+/// Panics if `max_epsilon <= 0` or `tol <= 0`.
+#[allow(clippy::too_many_arguments)] // the query genuinely has this arity
+pub fn maximum_resilience(
+    verifier: &Verifier,
+    net: &Network,
+    domain: &InputSpec,
+    centre: &Vector,
+    objective: &LinearObjective,
+    delta: f64,
+    max_epsilon: f64,
+    tol: f64,
+) -> Result<Resilience, VerifyError> {
+    assert!(max_epsilon > 0.0, "max_epsilon must be positive");
+    assert!(tol > 0.0, "tol must be positive");
+    let mut lo = 0.0; // proven robust
+    let mut hi: Option<f64> = None; // proven fragile
+    let mut probe = max_epsilon;
+    let mut queries = 0;
+    loop {
+        let verdict = verify_robust(verifier, net, domain, centre, probe, objective, delta)?;
+        queries += 1;
+        match verdict {
+            RobustnessVerdict::Robust => lo = probe,
+            RobustnessVerdict::Fragile { .. } => hi = Some(probe),
+            RobustnessVerdict::Unknown => {
+                // Treat as fragile for the search (sound: we only *claim*
+                // robustness for radii proven robust).
+                hi = Some(probe);
+            }
+        }
+        let upper = hi.unwrap_or(max_epsilon);
+        if hi.is_none() && lo >= max_epsilon {
+            break;
+        }
+        if upper - lo <= tol {
+            break;
+        }
+        probe = 0.5 * (lo + upper);
+    }
+    Ok(Resilience {
+        robust_radius: lo,
+        fragile_radius: hi,
+        queries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Matrix;
+    use certnn_nn::activation::Activation;
+    use certnn_nn::layer::DenseLayer;
+
+    /// f(x) = x (via relu(x) - relu(-x)): deviation equals the radius.
+    fn identity_net() -> Network {
+        let l1 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap(),
+            Vector::zeros(2),
+            Activation::Relu,
+        )
+        .unwrap();
+        let l2 = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0, -1.0]]).unwrap(),
+            Vector::zeros(1),
+            Activation::Identity,
+        )
+        .unwrap();
+        Network::new(vec![l1, l2]).unwrap()
+    }
+
+    fn domain() -> InputSpec {
+        InputSpec::from_box(vec![Interval::new(-2.0, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn ball_spec_clips_to_domain() {
+        let d = domain();
+        let spec = ball_spec(&d, &Vector::from(vec![1.8]), 0.5).unwrap();
+        assert_eq!(spec.bounds()[0], Interval::new(1.3, 2.0));
+        assert!(ball_spec(&d, &Vector::zeros(2), 0.5).is_err());
+    }
+
+    #[test]
+    fn identity_function_robust_iff_radius_below_delta() {
+        let net = identity_net();
+        let d = domain();
+        let c = Vector::from(vec![0.0]);
+        let obj = LinearObjective::output(0);
+        let v = Verifier::new();
+        // radius 0.3, delta 0.5 -> robust.
+        let r = verify_robust(&v, &net, &d, &c, 0.3, &obj, 0.5).unwrap();
+        assert!(r.is_robust());
+        // radius 0.8, delta 0.5 -> fragile, with a genuine witness.
+        let r = verify_robust(&v, &net, &d, &c, 0.8, &obj, 0.5).unwrap();
+        match r {
+            RobustnessVerdict::Fragile { witness, deviation } => {
+                assert!(deviation.abs() > 0.5);
+                assert!(witness[0].abs() <= 0.8 + 1e-6);
+            }
+            other => panic!("expected fragile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maximum_resilience_of_identity_equals_delta() {
+        let net = identity_net();
+        let d = domain();
+        let c = Vector::from(vec![0.0]);
+        let obj = LinearObjective::output(0);
+        let v = Verifier::new();
+        let res =
+            maximum_resilience(&v, &net, &d, &c, &obj, 0.5, 1.5, 0.01).unwrap();
+        // |f(x) - f(0)| = |x| <= delta iff epsilon <= 0.5.
+        assert!(
+            (res.robust_radius - 0.5).abs() < 0.02,
+            "resilience {} should be ~0.5",
+            res.robust_radius
+        );
+        assert!(res.fragile_radius.unwrap() > res.robust_radius);
+        assert!(res.queries >= 3);
+    }
+
+    #[test]
+    fn fully_robust_up_to_max_epsilon() {
+        let net = identity_net();
+        let d = domain();
+        let c = Vector::from(vec![0.0]);
+        let obj = LinearObjective::output(0);
+        let v = Verifier::new();
+        // delta 10 can never be exceeded on a [-2,2] domain.
+        let res = maximum_resilience(&v, &net, &d, &c, &obj, 10.0, 1.0, 0.01).unwrap();
+        assert_eq!(res.robust_radius, 1.0);
+        assert_eq!(res.fragile_radius, None);
+    }
+
+    #[test]
+    fn random_network_resilience_is_consistent() {
+        let net = Network::relu_mlp(3, &[6, 6], 1, 77).unwrap();
+        let d = InputSpec::from_box(vec![Interval::new(-1.0, 1.0); 3]).unwrap();
+        let c = Vector::from(vec![0.1, -0.2, 0.3]);
+        let obj = LinearObjective::output(0);
+        let v = Verifier::new();
+        let res = maximum_resilience(&v, &net, &d, &c, &obj, 0.25, 1.0, 0.02).unwrap();
+        // The proven-robust radius must indeed be robust when re-checked.
+        if res.robust_radius > 0.0 {
+            let check = verify_robust(&v, &net, &d, &c, res.robust_radius, &obj, 0.25).unwrap();
+            assert!(check.is_robust());
+        }
+        if let Some(f) = res.fragile_radius {
+            let check = verify_robust(&v, &net, &d, &c, f, &obj, 0.25).unwrap();
+            assert!(!check.is_robust());
+        }
+    }
+}

@@ -1,0 +1,640 @@
+//! Verification queries: exact output maximisation and bound proofs.
+
+use crate::bab::{bab_maximize, BabOptions};
+use crate::encoder::{encode, BoundMethod, EncodingStats};
+use crate::property::{InputSpec, LinearObjective};
+use crate::VerifyError;
+use certnn_linalg::Vector;
+use certnn_milp::{BranchAndBound, MilpOptions, MilpStatus};
+use certnn_nn::network::Network;
+use std::time::Duration;
+
+/// Statistics of one verification run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VerifyStats {
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Simplex pivots across all LP solves.
+    pub lp_iterations: usize,
+    /// Binary variables in the encoding (unstable neurons).
+    pub binaries: usize,
+    /// Constraint rows in the encoding.
+    pub rows: usize,
+    /// Wall-clock time of the MILP solve.
+    pub elapsed: Duration,
+}
+
+impl VerifyStats {
+    fn from_parts(stats: EncodingStats, nodes: usize, lp_iterations: usize, elapsed: Duration) -> Self {
+        Self {
+            nodes,
+            lp_iterations,
+            binaries: stats.binaries,
+            rows: stats.rows,
+            elapsed,
+        }
+    }
+}
+
+/// Result of a [`Verifier::maximize`] query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxResult {
+    /// Termination status of the underlying MILP.
+    pub status: MilpStatus,
+    /// Proven upper bound on the maximum.
+    pub upper_bound: f64,
+    /// Best objective value achieved by a real input, if one was found.
+    pub best_value: Option<f64>,
+    /// An input achieving `best_value` (a genuine forward-pass witness).
+    pub witness: Option<Vector>,
+    /// Run statistics.
+    pub stats: VerifyStats,
+}
+
+impl MaxResult {
+    /// `true` if the maximum was computed exactly (bound meets witness).
+    pub fn is_exact(&self) -> bool {
+        self.status == MilpStatus::Optimal
+    }
+
+    /// The exact maximum if the query closed, else `None`.
+    pub fn exact_max(&self) -> Option<f64> {
+        self.is_exact().then_some(self.best_value).flatten()
+    }
+}
+
+/// Result of a [`Verifier::minimize`] query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinResult {
+    /// Termination status of the underlying search.
+    pub status: MilpStatus,
+    /// Proven lower bound on the minimum.
+    pub lower_bound: f64,
+    /// Best (smallest) objective value achieved by a real input.
+    pub best_value: Option<f64>,
+    /// An input achieving `best_value`.
+    pub witness: Option<Vector>,
+    /// Run statistics.
+    pub stats: VerifyStats,
+}
+
+impl MinResult {
+    /// `true` if the minimum was computed exactly.
+    pub fn is_exact(&self) -> bool {
+        self.status == MilpStatus::Optimal
+    }
+
+    /// The exact minimum if the query closed, else `None`.
+    pub fn exact_min(&self) -> Option<f64> {
+        self.is_exact().then_some(self.best_value).flatten()
+    }
+}
+
+/// Verdict of a [`Verifier::prove_below`] query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The property holds: the objective stays below the threshold on the
+    /// whole input set.
+    Holds {
+        /// Proven upper bound on the objective (≤ threshold).
+        bound: f64,
+    },
+    /// The property is violated and here is a concrete input proving it.
+    Violated {
+        /// The violating input.
+        witness: Vector,
+        /// Objective value at the witness (> threshold).
+        value: f64,
+    },
+    /// Resource limits were hit before a decision.
+    Unknown {
+        /// Best objective value seen on a real input, if any.
+        best_seen: Option<f64>,
+        /// Best proven upper bound so far.
+        upper_bound: f64,
+    },
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Holds`].
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds { .. })
+    }
+}
+
+/// Search engine used to close verification queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Pick per query: [`Engine::HybridBab`] for high-dimensional inputs
+    /// (≥ 32 features, e.g. the 84-feature scenario box where LP
+    /// relaxations are weak and symbolic propagation shines),
+    /// [`Engine::Milp`] for low-dimensional boxes where the joint LP
+    /// relaxation is strong. The default.
+    #[default]
+    Auto,
+    /// Neuron branch-and-bound with symbolic re-propagation and LP
+    /// bounding per node, plus an exact sub-MILP for small residual
+    /// subproblems. Requires a box-only specification; specs with linear
+    /// constraints fall back to [`Engine::Milp`] automatically.
+    HybridBab,
+    /// The pure big-M MILP of Cheng et al. (ATVA 2017).
+    Milp,
+}
+
+/// Configuration for [`Verifier`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifierOptions {
+    /// Search engine.
+    pub engine: Engine,
+    /// Hand a BaB node to the exact sub-MILP once at most this many
+    /// neurons remain unstable (HybridBab only).
+    pub milp_threshold: usize,
+    /// Bound-propagation presolve method.
+    pub bound_method: BoundMethod,
+    /// Wall-clock limit per query; `None` = unlimited.
+    pub time_limit: Option<Duration>,
+    /// Node limit per query; `None` = unlimited.
+    pub node_limit: Option<usize>,
+    /// Absolute optimality gap for `maximize`.
+    pub abs_gap: f64,
+}
+
+impl Default for VerifierOptions {
+    fn default() -> Self {
+        Self {
+            engine: Engine::Auto,
+            milp_threshold: 8,
+            bound_method: BoundMethod::Symbolic,
+            time_limit: None,
+            node_limit: None,
+            abs_gap: 1e-6,
+        }
+    }
+}
+
+/// MILP-based neural-network verifier (the paper's Table II engine).
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone, Default)]
+pub struct Verifier {
+    opts: VerifierOptions,
+}
+
+impl Verifier {
+    /// Creates a verifier with default options (symbolic presolve, no
+    /// resource limits).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a verifier with explicit options.
+    pub fn with_options(opts: VerifierOptions) -> Self {
+        Self { opts }
+    }
+
+    fn milp_options(&self) -> MilpOptions {
+        MilpOptions {
+            time_limit: self.opts.time_limit,
+            node_limit: self.opts.node_limit,
+            abs_gap: self.opts.abs_gap,
+            ..MilpOptions::default()
+        }
+    }
+
+    fn bab_options(&self) -> BabOptions {
+        BabOptions {
+            time_limit: self.opts.time_limit,
+            node_limit: self.opts.node_limit,
+            abs_gap: self.opts.abs_gap,
+            milp_threshold: self.opts.milp_threshold,
+            target_objective: None,
+            bound_cutoff: None,
+            lp_bounding: true,
+        }
+    }
+
+    fn use_bab(&self, spec: &InputSpec) -> bool {
+        if !spec.constraints().is_empty() {
+            return false;
+        }
+        match self.opts.engine {
+            Engine::HybridBab => true,
+            Engine::Milp => false,
+            Engine::Auto => spec.num_inputs() >= 32,
+        }
+    }
+
+    /// Computes (or bounds) `max f(out(x))` over `spec` (Table II rows 1–6:
+    /// "maximum lateral velocity, when exists a vehicle in the left").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] on malformed inputs, or
+    /// [`VerifyError::CounterexampleMismatch`] if the internal soundness
+    /// check fails (which would indicate an encoder bug).
+    pub fn maximize(
+        &self,
+        net: &Network,
+        spec: &InputSpec,
+        objective: &LinearObjective,
+    ) -> Result<MaxResult, VerifyError> {
+        objective.check_against(net)?;
+        if self.use_bab(spec) {
+            let r = bab_maximize(net, spec, objective, &self.bab_options())?;
+            return Ok(MaxResult {
+                status: r.status,
+                upper_bound: r.upper_bound,
+                best_value: r.best_value,
+                witness: r.witness,
+                stats: VerifyStats {
+                    nodes: r.nodes,
+                    lp_iterations: r.lp_iterations,
+                    binaries: r.encoding_stats.binaries,
+                    rows: r.encoding_stats.rows,
+                    elapsed: r.elapsed,
+                },
+            });
+        }
+        let enc = encode(net, spec, self.opts.bound_method)?;
+        let mut milp = enc.milp.clone();
+        let terms: Vec<_> = objective
+            .terms
+            .iter()
+            .map(|&(o, c)| (enc.output_vars[o], c))
+            .collect();
+        milp.set_objective(&terms);
+        let solver = BranchAndBound::with_options(self.milp_options());
+        let sol = solver.solve(&milp).map_err(VerifyError::from)?;
+
+        let (witness, best_value) = match (&sol.x, sol.objective) {
+            (Some(x), Some(claimed)) => {
+                let input: Vector = enc.input_vars.iter().map(|v| x[v.index()]).collect();
+                let real_out = net.forward(&input)?;
+                let recomputed = objective.eval(&real_out);
+                if (recomputed - (claimed + objective.constant)).abs() > 1e-4 {
+                    return Err(VerifyError::CounterexampleMismatch {
+                        claimed: claimed + objective.constant,
+                        recomputed,
+                    });
+                }
+                (Some(input), Some(recomputed))
+            }
+            _ => (None, None),
+        };
+        Ok(MaxResult {
+            status: sol.status,
+            upper_bound: sol.best_bound + objective.constant,
+            best_value,
+            witness,
+            stats: VerifyStats::from_parts(enc.stats, sol.nodes, sol.lp_iterations, sol.elapsed),
+        })
+    }
+
+    /// Computes (or bounds) `min f(out(x))` over `spec` — the mirror of
+    /// [`Verifier::maximize`], implemented by maximising the negated
+    /// functional.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Verifier::maximize`].
+    pub fn minimize(
+        &self,
+        net: &Network,
+        spec: &InputSpec,
+        objective: &LinearObjective,
+    ) -> Result<MinResult, VerifyError> {
+        let negated = LinearObjective {
+            terms: objective.terms.iter().map(|&(i, c)| (i, -c)).collect(),
+            constant: -objective.constant,
+        };
+        let r = self.maximize(net, spec, &negated)?;
+        Ok(MinResult {
+            status: r.status,
+            lower_bound: -r.upper_bound,
+            best_value: r.best_value.map(|v| -v),
+            witness: r.witness,
+            stats: r.stats,
+        })
+    }
+
+    /// Decides `∀x ∈ spec. f(out(x)) ≤ threshold` (Table II last row:
+    /// "prove that the lateral velocity can never be larger than 3 m/s").
+    ///
+    /// Uses both early-termination paths of the branch-and-bound: the
+    /// query stops as soon as *either* a violating input is found *or* the
+    /// global bound drops below the threshold — usually far cheaper than
+    /// computing the exact maximum.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Verifier::maximize`].
+    pub fn prove_below(
+        &self,
+        net: &Network,
+        spec: &InputSpec,
+        objective: &LinearObjective,
+        threshold: f64,
+    ) -> Result<(Verdict, VerifyStats), VerifyError> {
+        objective.check_against(net)?;
+        if self.use_bab(spec) {
+            let mut opts = self.bab_options();
+            opts.target_objective = Some(threshold + 1e-9);
+            opts.bound_cutoff = Some(threshold);
+            let r = bab_maximize(net, spec, objective, &opts)?;
+            let stats = VerifyStats {
+                nodes: r.nodes,
+                lp_iterations: r.lp_iterations,
+                binaries: r.encoding_stats.binaries,
+                rows: r.encoding_stats.rows,
+                elapsed: r.elapsed,
+            };
+            let verdict = match r.status {
+                MilpStatus::BoundCutoff => Verdict::Holds {
+                    bound: r.upper_bound,
+                },
+                MilpStatus::TargetReached => Verdict::Violated {
+                    witness: r.witness.expect("target needs witness"),
+                    value: r.best_value.expect("target needs value"),
+                },
+                MilpStatus::Optimal | MilpStatus::Infeasible => {
+                    match (r.witness, r.best_value) {
+                        (Some(witness), Some(value)) if value > threshold => {
+                            Verdict::Violated { witness, value }
+                        }
+                        _ => Verdict::Holds {
+                            bound: r.upper_bound,
+                        },
+                    }
+                }
+                _ => Verdict::Unknown {
+                    best_seen: r.best_value,
+                    upper_bound: r.upper_bound,
+                },
+            };
+            return Ok((verdict, stats));
+        }
+        let enc = encode(net, spec, self.opts.bound_method)?;
+        let mut milp = enc.milp.clone();
+        let terms: Vec<_> = objective
+            .terms
+            .iter()
+            .map(|&(o, c)| (enc.output_vars[o], c))
+            .collect();
+        milp.set_objective(&terms);
+        let mut opts = self.milp_options();
+        // MILP objective excludes the affine constant; shift the thresholds.
+        let t = threshold - objective.constant;
+        opts.target_objective = Some(t + 1e-9);
+        opts.bound_cutoff = Some(t);
+        let solver = BranchAndBound::with_options(opts);
+        let sol = solver.solve(&milp).map_err(VerifyError::from)?;
+        let stats =
+            VerifyStats::from_parts(enc.stats, sol.nodes, sol.lp_iterations, sol.elapsed);
+
+        let witness_value = match (&sol.x, sol.objective) {
+            (Some(x), Some(claimed)) => {
+                let input: Vector = enc.input_vars.iter().map(|v| x[v.index()]).collect();
+                let real_out = net.forward(&input)?;
+                let recomputed = objective.eval(&real_out);
+                if (recomputed - (claimed + objective.constant)).abs() > 1e-4 {
+                    return Err(VerifyError::CounterexampleMismatch {
+                        claimed: claimed + objective.constant,
+                        recomputed,
+                    });
+                }
+                Some((input, recomputed))
+            }
+            _ => None,
+        };
+
+        let upper = sol.best_bound + objective.constant;
+        let verdict = match sol.status {
+            MilpStatus::BoundCutoff => Verdict::Holds { bound: upper },
+            MilpStatus::TargetReached => {
+                let (witness, value) = witness_value.expect("target needs incumbent");
+                Verdict::Violated { witness, value }
+            }
+            MilpStatus::Optimal | MilpStatus::Infeasible => {
+                // Gap closed (or the scenario set is empty, in which case
+                // the property holds vacuously).
+                match witness_value {
+                    Some((witness, value)) if value > threshold => {
+                        Verdict::Violated { witness, value }
+                    }
+                    _ => Verdict::Holds {
+                        bound: if sol.status == MilpStatus::Infeasible {
+                            f64::NEG_INFINITY
+                        } else {
+                            upper
+                        },
+                    },
+                }
+            }
+            MilpStatus::TimeLimit | MilpStatus::NodeLimit | MilpStatus::Unbounded => {
+                Verdict::Unknown {
+                    best_seen: witness_value.map(|(_, v)| v),
+                    upper_bound: upper,
+                }
+            }
+        };
+        Ok((verdict, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Interval;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unit_spec(n: usize) -> InputSpec {
+        InputSpec::from_box(vec![Interval::new(-1.0, 1.0); n]).unwrap()
+    }
+
+    #[test]
+    fn exact_max_dominates_random_sampling() {
+        let net = Network::relu_mlp(3, &[8, 8], 2, 5).unwrap();
+        let spec = unit_spec(3);
+        let obj = LinearObjective::output(0);
+        let result = Verifier::new().maximize(&net, &spec, &obj).unwrap();
+        assert!(result.is_exact());
+        let max = result.exact_max().unwrap();
+        // Dense random sampling can approach but never exceed the max.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..3000 {
+            let x: Vector = (0..3).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+            best = best.max(net.forward(&x).unwrap()[0]);
+        }
+        assert!(max >= best - 1e-6, "milp {max} < sampled {best}");
+        // The witness achieves the claimed value (checked internally too).
+        let w = result.witness.unwrap();
+        assert!(spec.contains(&w, 1e-6));
+        assert!((net.forward(&w).unwrap()[0] - max).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interval_and_symbolic_presolve_agree_on_the_optimum() {
+        let net = Network::relu_mlp(3, &[6, 6], 1, 9).unwrap();
+        let spec = unit_spec(3);
+        let obj = LinearObjective::output(0);
+        let a = Verifier::with_options(VerifierOptions {
+            bound_method: BoundMethod::Interval,
+            ..VerifierOptions::default()
+        })
+        .maximize(&net, &spec, &obj)
+        .unwrap();
+        let b = Verifier::with_options(VerifierOptions {
+            bound_method: BoundMethod::Symbolic,
+            ..VerifierOptions::default()
+        })
+        .maximize(&net, &spec, &obj)
+        .unwrap();
+        assert!(a.is_exact() && b.is_exact());
+        assert!(
+            (a.exact_max().unwrap() - b.exact_max().unwrap()).abs() < 1e-5,
+            "interval {:?} vs symbolic {:?}",
+            a.exact_max(),
+            b.exact_max()
+        );
+    }
+
+    #[test]
+    fn fixed_scenario_features_are_respected_by_witness() {
+        let net = Network::relu_mlp(4, &[6], 1, 11).unwrap();
+        let spec = unit_spec(4).fix(1, 1.0).restrict(2, 0.0, 0.25);
+        let obj = LinearObjective::output(0);
+        let result = Verifier::new().maximize(&net, &spec, &obj).unwrap();
+        let w = result.witness.unwrap();
+        assert!((w[1] - 1.0).abs() < 1e-6);
+        assert!(w[2] >= -1e-9 && w[2] <= 0.25 + 1e-9);
+    }
+
+    #[test]
+    fn prove_below_holds_for_generous_threshold() {
+        let net = Network::relu_mlp(3, &[6, 6], 1, 13).unwrap();
+        let spec = unit_spec(3);
+        let obj = LinearObjective::output(0);
+        let max = Verifier::new()
+            .maximize(&net, &spec, &obj)
+            .unwrap()
+            .exact_max()
+            .unwrap();
+        let (verdict, _) = Verifier::new()
+            .prove_below(&net, &spec, &obj, max + 1.0)
+            .unwrap();
+        match verdict {
+            Verdict::Holds { bound } => assert!(bound <= max + 1.0 + 1e-6),
+            other => panic!("expected Holds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prove_below_finds_violation_for_tight_threshold() {
+        let net = Network::relu_mlp(3, &[6, 6], 1, 13).unwrap();
+        let spec = unit_spec(3);
+        let obj = LinearObjective::output(0);
+        let max = Verifier::new()
+            .maximize(&net, &spec, &obj)
+            .unwrap()
+            .exact_max()
+            .unwrap();
+        let (verdict, _) = Verifier::new()
+            .prove_below(&net, &spec, &obj, max - 0.1)
+            .unwrap();
+        match verdict {
+            Verdict::Violated { witness, value } => {
+                assert!(value > max - 0.1);
+                assert!((net.forward(&witness).unwrap()[0] - value).abs() < 1e-6);
+                assert!(spec.contains(&witness, 1e-6));
+            }
+            other => panic!("expected Violated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_limit_yields_unknown_or_decision() {
+        let net = Network::relu_mlp(6, &[12, 12], 1, 21).unwrap();
+        let spec = unit_spec(6);
+        let obj = LinearObjective::output(0);
+        let v = Verifier::with_options(VerifierOptions {
+            node_limit: Some(1),
+            ..VerifierOptions::default()
+        });
+        // With one node the query usually cannot close unless presolve
+        // already decides it; accept any verdict but require consistency.
+        let max_ref = Verifier::new()
+            .maximize(&net, &spec, &obj)
+            .unwrap()
+            .exact_max()
+            .unwrap();
+        let (verdict, _) = v.prove_below(&net, &spec, &obj, max_ref - 0.05).unwrap();
+        match verdict {
+            Verdict::Holds { .. } => panic!("threshold below max cannot hold"),
+            Verdict::Violated { value, .. } => assert!(value > max_ref - 0.05),
+            Verdict::Unknown { upper_bound, .. } => {
+                assert!(upper_bound >= max_ref - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn objective_combination_and_constant() {
+        let net = Network::relu_mlp(2, &[4], 2, 2).unwrap();
+        let spec = unit_spec(2);
+        let obj = LinearObjective {
+            terms: vec![(0, 1.0), (1, -1.0)],
+            constant: 10.0,
+        };
+        let result = Verifier::new().maximize(&net, &spec, &obj).unwrap();
+        let max = result.exact_max().unwrap();
+        // Constant must be included in both value and bound.
+        assert!(max > 5.0, "constant missing: {max}");
+        assert!(result.upper_bound >= max - 1e-6);
+    }
+
+    #[test]
+    fn minimize_mirrors_maximize() {
+        let net = Network::relu_mlp(3, &[6, 6], 1, 13).unwrap();
+        let spec = unit_spec(3);
+        let obj = LinearObjective::output(0);
+        let min = Verifier::new().minimize(&net, &spec, &obj).unwrap();
+        assert!(min.is_exact());
+        let lo = min.exact_min().unwrap();
+        let hi = Verifier::new()
+            .maximize(&net, &spec, &obj)
+            .unwrap()
+            .exact_max()
+            .unwrap();
+        assert!(lo <= hi);
+        // The witness achieves the minimum through a real forward pass.
+        let w = min.witness.unwrap();
+        assert!((net.forward(&w).unwrap()[0] - lo).abs() < 1e-6);
+        // And sampling never goes below it.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let x: Vector = (0..3).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+            assert!(net.forward(&x).unwrap()[0] >= lo - 1e-6);
+        }
+    }
+
+    #[test]
+    fn invalid_objective_rejected() {
+        let net = Network::relu_mlp(2, &[4], 1, 2).unwrap();
+        let spec = unit_spec(2);
+        let obj = LinearObjective::output(5);
+        assert!(Verifier::new().maximize(&net, &spec, &obj).is_err());
+    }
+
+    #[test]
+    fn stats_reflect_problem_size() {
+        let net = Network::relu_mlp(3, &[10, 10], 1, 31).unwrap();
+        let spec = unit_spec(3);
+        let obj = LinearObjective::output(0);
+        let result = Verifier::new().maximize(&net, &spec, &obj).unwrap();
+        assert!(result.stats.rows > 0);
+        assert!(result.stats.nodes >= 1);
+        assert!(result.stats.binaries <= 20);
+    }
+}

@@ -1,0 +1,66 @@
+//! Specification validity in action: audit raw driving data, watch the
+//! validator catch planted violations, sanitize, and measure scenario
+//! coverage (the paper's Sec. II (C) pillar as a workflow).
+//!
+//! ```text
+//! cargo run --release --example data_audit
+//! ```
+
+use certnn_datacheck::coverage::{highway_cells, measure_coverage};
+use certnn_datacheck::dataset_rule::{audit_dataset, standard_dataset_rules};
+use certnn_datacheck::highway::{highway_validator, left_present_feature};
+use certnn_linalg::Vector;
+use certnn_sim::features::FEATURE_COUNT;
+use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Raw, uncurated simulator data.
+    let config = ScenarioConfig {
+        vehicles: 16,
+        episode_seconds: 30.0,
+        exclude_risky: false,
+        ..ScenarioConfig::default()
+    };
+    let mut data = generate_dataset(&config)?;
+    println!("generated {} raw samples", data.len());
+
+    // Plant the kind of defects a real data pipeline produces.
+    let mut risky = Vector::zeros(FEATURE_COUNT);
+    risky[left_present_feature()] = 1.0;
+    data.push((risky, Vector::from(vec![2.5, 0.0]))); // risky left command
+    data.push((Vector::zeros(FEATURE_COUNT), Vector::from(vec![f64::NAN, 0.0])));
+    let dup = data[0].clone();
+    data.push(dup); // exact duplicate
+
+    // Per-sample audit (safety rules, bounds, plausibility).
+    let validator = highway_validator(1.0);
+    let report = validator.audit(&data);
+    println!("\nper-sample audit:\n{report}");
+
+    // Whole-dataset audit (duplicates, constants, contradictions).
+    let findings = audit_dataset(&data, &standard_dataset_rules());
+    println!("dataset-level findings: {}", findings.len());
+    for f in findings.iter().take(5) {
+        println!("  {f}");
+    }
+
+    // Sanitize and re-check.
+    let before = data.len();
+    validator.sanitize(&mut data);
+    println!("\nsanitized: {} -> {} samples", before, data.len());
+    assert!(validator.audit(&data).is_clean());
+
+    // Scenario coverage: does the clean data still exercise the property?
+    let coverage = measure_coverage(&data, &highway_cells());
+    println!("\n{coverage}");
+    let under = coverage.under_covered(25);
+    if under.is_empty() {
+        println!("all scenario cells adequately covered — data accepted as specification");
+    } else {
+        for c in under {
+            println!("UNDER-COVERED: {} ({} samples)", c.name, c.count);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The attack-then-verify architecture: cheap gradient falsification
+//! first, complete verification only when the attack fails.
+//!
+//! ```text
+//! cargo run --release --example falsify_then_verify
+//! ```
+//!
+//! This also demonstrates the paper's testing-vs-formal-analysis gap in
+//! one run: the attack is a (clever) test generator, but only the
+//! verifier can *prove* the bound.
+
+use certnn_core::scenario::left_vehicle_spec;
+use certnn_nn::gmm::{ActionDim, OutputLayout};
+use certnn_nn::network::Network;
+use certnn_sim::features::FEATURE_COUNT;
+use certnn_verify::attack::Falsifier;
+use certnn_verify::property::LinearObjective;
+use certnn_verify::verifier::{Verdict, Verifier};
+use std::error::Error;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let layout = OutputLayout::new(1);
+    let net = Network::relu_mlp(FEATURE_COUNT, &[10, 10], layout.output_len(), 77)?;
+    let spec = left_vehicle_spec();
+    let objective = LinearObjective::output(layout.mean(0, ActionDim::LateralVelocity));
+
+    // Stage 1: falsify.
+    let t = Instant::now();
+    let attack = Falsifier::new().attack(&net, &spec, &objective)?;
+    println!(
+        "attack: best lateral-velocity mean {:.4} m/s in {:.1?} ({} evaluations)",
+        attack.best_value,
+        t.elapsed(),
+        attack.evaluations
+    );
+
+    for threshold in [attack.best_value - 0.1, attack.best_value + 0.5] {
+        println!("\nproperty: lateral-velocity mean ≤ {threshold:.4} m/s");
+        if attack.refutes(threshold) {
+            println!("  REFUTED by the attack alone — no verifier run needed");
+            continue;
+        }
+        println!("  attack failed to refute; escalating to complete verification...");
+        let t = Instant::now();
+        let (verdict, stats) = Verifier::new().prove_below(&net, &spec, &objective, threshold)?;
+        match verdict {
+            Verdict::Holds { bound } => println!(
+                "  PROVED (bound {bound:.4}) in {:.1?} — something no amount of testing gives",
+                t.elapsed()
+            ),
+            Verdict::Violated { value, .. } => println!(
+                "  VIOLATED at {value:.4} — the verifier found what the attack missed ({} nodes)",
+                stats.nodes
+            ),
+            Verdict::Unknown { upper_bound, .. } => {
+                println!("  undecided within budget (bound {upper_bound:.4})")
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Figure 1 live: simulate a highway, query the trained motion predictor,
+//! and render both panels of the paper's figure.
+//!
+//! ```text
+//! cargo run --release --example highway_prediction
+//! ```
+//!
+//! Left panel: top-down ASCII view of the traffic around the ego vehicle
+//! (`E`). Right panel: the Gaussian-mixture density the predictor outputs
+//! over (lateral velocity × longitudinal acceleration) — the "motion
+//! suggested by the neural network".
+
+use certnn_bench::figure1::{run_figure1, Figure1Config};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let config = Figure1Config {
+        epochs: 12,
+        ..Figure1Config::default()
+    };
+    println!(
+        "training a {} component mixture predictor ({} epochs) and simulating...\n",
+        config.mixture_components, config.epochs
+    );
+    let fig = run_figure1(&config)?;
+    println!("{}", fig.to_text());
+
+    let dominant = fig.gmm.dominant();
+    let direction = if dominant.mean[0] > 0.3 {
+        "switch towards the LEFT lane"
+    } else if dominant.mean[0] < -0.3 {
+        "switch towards the RIGHT lane"
+    } else {
+        "keep the current lane"
+    };
+    let accel = if dominant.mean[1] > 0.3 {
+        "accelerate"
+    } else if dominant.mean[1] < -0.3 {
+        "decelerate"
+    } else {
+        "hold speed"
+    };
+    println!("dominant suggestion: {direction}, {accel}");
+    Ok(())
+}

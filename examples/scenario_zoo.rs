@@ -1,0 +1,32 @@
+//! Tour of the named traffic presets, with live metrics.
+//!
+//! ```text
+//! cargo run --release --example scenario_zoo
+//! ```
+//!
+//! Each preset engineers a specific situation — a cut-in, a slow leader,
+//! a platoon on the left — and the run prints the scene before/after
+//! plus the traffic metrics the simulator's acceptance tests check.
+
+use certnn_sim::metrics::observe;
+use certnn_sim::presets;
+use certnn_sim::render::render_scene;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let zoo: Vec<(&str, certnn_sim::simulation::Simulation)> = vec![
+        ("cut-in from the right", presets::cut_in()?),
+        ("slow leader (overtaking trigger)", presets::slow_leader()?),
+        ("platoon abreast on the left", presets::left_platoon()?),
+        ("dense congestion", presets::congestion(5)?),
+    ];
+    for (name, mut sim) in zoo {
+        println!("=== {name} ===");
+        println!("{}", render_scene(&sim, 60.0));
+        let metrics = observe(&mut sim, 300); // 30 simulated seconds
+        println!("after 30 s:");
+        println!("{}", render_scene(&sim, 60.0));
+        println!("{metrics}\n");
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Direct use of the verification engine: maximise an output, prove a
+//! bound, and inspect a counterexample witness.
+//!
+//! ```text
+//! cargo run --release --example verify_property
+//! ```
+
+use certnn_core::scenario::{
+    describe_witness, left_vehicle_spec, max_lateral_velocity, prove_lateral_below,
+};
+use certnn_nn::gmm::OutputLayout;
+use certnn_nn::network::Network;
+use certnn_sim::features::FEATURE_COUNT;
+use certnn_verify::verifier::{Verdict, Verifier};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let layout = OutputLayout::new(2);
+    let net = Network::relu_mlp(FEATURE_COUNT, &[12, 12], layout.output_len(), 42)?;
+    let spec = left_vehicle_spec();
+    let verifier = Verifier::new();
+
+    println!("network: {}", net.label());
+    println!("property scenario: a vehicle is abreast on the left\n");
+
+    // Query 1: exact maximum (Table II rows 1-6).
+    let result = max_lateral_velocity(&verifier, &net, layout, &spec)?;
+    let max = result.max_lateral.expect("small query closes");
+    println!(
+        "max lateral-velocity mean: {max:.6} m/s  ({} B&B nodes, {} binaries, {:.2?})",
+        result.stats.nodes, result.stats.binaries, result.stats.elapsed
+    );
+
+    // Query 2: the decision form (Table II last row).
+    for threshold in [max + 0.5, max - 0.1] {
+        let (verdict, stats) =
+            prove_lateral_below(&verifier, &net, layout, &spec, threshold)?;
+        match verdict {
+            Verdict::Holds { bound } => println!(
+                "prove ≤ {threshold:.3}: HOLDS (bound {bound:.4}) in {:.2?}",
+                stats.elapsed
+            ),
+            Verdict::Violated { witness, value } => {
+                println!(
+                    "prove ≤ {threshold:.3}: VIOLATED — witness reaches {value:.4} in {:.2?}",
+                    stats.elapsed
+                );
+                print!("{}", describe_witness(&witness, 6));
+            }
+            Verdict::Unknown { upper_bound, .. } => {
+                println!("prove ≤ {threshold:.3}: UNKNOWN (bound {upper_bound:.4})")
+            }
+        }
+    }
+    Ok(())
+}

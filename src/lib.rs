@@ -1,0 +1,20 @@
+//! Reproduction harness for the `certnn` workspace.
+//!
+//! This crate hosts the workspace-level runnable [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! and cross-crate integration tests. It re-exports every member crate so
+//! that examples can use a single dependency:
+//!
+//! ```
+//! use certnn_repro::nn::activation::Activation;
+//! assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+//! ```
+
+pub use certnn_core as core;
+pub use certnn_datacheck as datacheck;
+pub use certnn_linalg as linalg;
+pub use certnn_lp as lp;
+pub use certnn_milp as milp;
+pub use certnn_nn as nn;
+pub use certnn_sim as sim;
+pub use certnn_trace as trace;
+pub use certnn_verify as verify;

@@ -1,0 +1,88 @@
+//! End-to-end integration: the full certification pipeline across all
+//! workspace crates, plus cross-checks between its stages.
+
+use certnn_core::pipeline::{CertificationPipeline, PipelineConfig};
+use certnn_core::scenario::left_vehicle_spec;
+use certnn_nn::gmm::{ActionDim, Gmm2};
+use certnn_verify::verifier::Verdict;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn pipeline_report_is_internally_consistent() {
+    let report = CertificationPipeline::new(PipelineConfig::smoke_test())
+        .run()
+        .expect("pipeline runs");
+
+    // Validity: sanitization accounting adds up.
+    assert_eq!(report.audit.total, report.samples_used + report.removed);
+
+    // Correctness: the verified maximum dominates the network's actual
+    // behaviour on random scenario inputs.
+    let max = report.lateral.max_lateral.expect("small query closes");
+    let spec = left_vehicle_spec();
+    let mut rng = StdRng::seed_from_u64(9);
+    let layout = report.layout;
+    for _ in 0..200 {
+        let x: certnn_linalg::Vector = spec
+            .bounds()
+            .iter()
+            .map(|iv| {
+                if iv.width() == 0.0 {
+                    iv.lo()
+                } else {
+                    rng.gen_range(iv.lo()..=iv.hi())
+                }
+            })
+            .collect();
+        assert!(spec.contains(&x, 1e-9));
+        let out = report.network.forward(&x).expect("forward");
+        for k in 0..layout.components() {
+            let mean = out[layout.mean(k, ActionDim::LateralVelocity)];
+            assert!(
+                mean <= max + 1e-6,
+                "sampled lateral mean {mean} exceeds verified max {max}"
+            );
+        }
+    }
+}
+
+#[test]
+fn verified_witness_is_reproducible_through_the_gmm_head() {
+    let report = CertificationPipeline::new(PipelineConfig::smoke_test())
+        .run()
+        .expect("pipeline runs");
+    let max = report.lateral.max_lateral.expect("closes");
+    // The witness input decodes to a mixture whose max lateral mean is
+    // exactly the verified maximum.
+    let witness = report.lateral.per_component[0]
+        .witness
+        .as_ref()
+        .expect("witness");
+    let out = report.network.forward(witness).expect("forward");
+    let gmm = Gmm2::from_output(&out, report.layout).expect("decode");
+    assert!((gmm.max_lateral_mean() - max).abs() < 1e-5);
+}
+
+#[test]
+fn proof_verdict_matches_exact_maximum() {
+    let mut cfg = PipelineConfig::smoke_test();
+    cfg.proof_threshold = 0.0; // almost surely violated by an ML model
+    let report = CertificationPipeline::new(cfg).run().expect("runs");
+    let max = report.lateral.max_lateral.expect("closes");
+    match &report.proof.0 {
+        Verdict::Holds { bound } => {
+            assert!(max <= 0.0 + 1e-6);
+            assert!(*bound <= 0.0 + 1e-6);
+        }
+        Verdict::Violated { value, witness } => {
+            assert!(max > 0.0);
+            assert!(*value > 0.0);
+            // The witness genuinely violates through a forward pass.
+            let out = report.network.forward(witness).expect("forward");
+            let gmm = Gmm2::from_output(&out, report.layout).expect("decode");
+            assert!(gmm.max_lateral_mean() > 0.0);
+        }
+        Verdict::Unknown { .. } => panic!("tiny decision query must close"),
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration: maximum-resilience queries against the full feature-space
+//! scenario, across both verification engines.
+
+use certnn_core::scenario::left_vehicle_spec;
+use certnn_nn::gmm::{ActionDim, OutputLayout};
+use certnn_nn::network::Network;
+use certnn_sim::features::FEATURE_COUNT;
+use certnn_verify::property::LinearObjective;
+use certnn_verify::robustness::{maximum_resilience, verify_robust};
+use certnn_verify::verifier::{Engine, Verifier, VerifierOptions};
+
+fn centre_point(spec: &certnn_verify::property::InputSpec) -> certnn_linalg::Vector {
+    // Midpoint of the scenario box is always a member.
+    spec.bounds().iter().map(|iv| iv.midpoint()).collect()
+}
+
+#[test]
+fn resilience_radius_is_certified_and_engine_independent() {
+    let layout = OutputLayout::new(1);
+    let net = Network::relu_mlp(FEATURE_COUNT, &[8, 8], layout.output_len(), 31)
+        .expect("valid architecture");
+    let objective = LinearObjective::output(layout.mean(0, ActionDim::LateralVelocity));
+    let domain = left_vehicle_spec();
+    let centre = centre_point(&domain);
+    let delta = 0.4;
+
+    let bab = Verifier::with_options(VerifierOptions {
+        engine: Engine::HybridBab,
+        ..VerifierOptions::default()
+    });
+    let res = maximum_resilience(&bab, &net, &domain, &centre, &objective, delta, 0.3, 0.02)
+        .expect("search runs");
+
+    // The certified radius must re-verify as robust with both engines.
+    if res.robust_radius > 0.0 {
+        for engine in [Engine::HybridBab, Engine::Milp] {
+            let v = Verifier::with_options(VerifierOptions {
+                engine,
+                ..VerifierOptions::default()
+            });
+            let verdict = verify_robust(
+                &v,
+                &net,
+                &domain,
+                &centre,
+                res.robust_radius,
+                &objective,
+                delta,
+            )
+            .expect("verification runs");
+            assert!(
+                verdict.is_robust(),
+                "{engine:?} disagrees at certified radius {}",
+                res.robust_radius
+            );
+        }
+    }
+    // And the first fragile radius must be fragile again.
+    if let Some(f) = res.fragile_radius {
+        let verdict = verify_robust(&bab, &net, &domain, &centre, f, &objective, delta)
+            .expect("verification runs");
+        assert!(!verdict.is_robust());
+    }
+}
+
+#[test]
+fn fragile_witness_stays_inside_the_perturbation_ball() {
+    use certnn_verify::robustness::RobustnessVerdict;
+    let layout = OutputLayout::new(1);
+    let net = Network::relu_mlp(FEATURE_COUNT, &[10], layout.output_len(), 5)
+        .expect("valid architecture");
+    let objective = LinearObjective::output(layout.mean(0, ActionDim::LateralVelocity));
+    let domain = left_vehicle_spec();
+    let centre = centre_point(&domain);
+    // A tiny delta is almost surely violated at a generous radius.
+    let verdict = verify_robust(
+        &Verifier::new(),
+        &net,
+        &domain,
+        &centre,
+        0.5,
+        &objective,
+        1e-4,
+    )
+    .expect("verification runs");
+    if let RobustnessVerdict::Fragile { witness, deviation } = verdict {
+        assert!(deviation.abs() > 1e-4);
+        for (i, (&w, &c)) in witness
+            .as_slice()
+            .iter()
+            .zip(centre.as_slice())
+            .enumerate()
+        {
+            assert!(
+                (w - c).abs() <= 0.5 + 1e-6,
+                "witness coordinate {i} escaped the ball: {w} vs centre {c}"
+            );
+        }
+        assert!(domain.contains(&witness, 1e-6));
+    }
+}

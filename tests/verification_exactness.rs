@@ -1,0 +1,121 @@
+//! Cross-crate exactness checks: the MILP verifier against dense grid
+//! enumeration on low-dimensional networks, across presolve methods and
+//! quantization.
+
+use certnn_linalg::{Interval, Vector};
+use certnn_nn::loss::MseLoss;
+use certnn_nn::network::Network;
+use certnn_nn::train::{Dataset, TrainConfig, Trainer};
+use certnn_verify::encoder::BoundMethod;
+use certnn_verify::property::{InputSpec, LinearObjective};
+use certnn_verify::quant::quantize;
+use certnn_verify::verifier::{Verifier, VerifierOptions};
+
+/// Trains a 2-input network on a bumpy target so its maximum is interior.
+fn trained_2d_net(seed: u64) -> Network {
+    let data: Dataset = (0..400)
+        .map(|i| {
+            let x = (i % 20) as f64 / 10.0 - 1.0;
+            let y = (i / 20) as f64 / 10.0 - 1.0;
+            let target = (3.0 * x).sin() + 0.5 * (2.0 * y).cos() - x * y;
+            (Vector::from(vec![x, y]), Vector::from(vec![target]))
+        })
+        .collect();
+    let mut net = Network::relu_mlp(2, &[10, 10], 1, seed).expect("valid arch");
+    Trainer::new(TrainConfig {
+        epochs: 60,
+        batch_size: 32,
+        ..TrainConfig::default()
+    })
+    .train(&mut net, &data, &MseLoss::new())
+    .expect("training runs");
+    net
+}
+
+fn grid_max(net: &Network, n: usize) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    for i in 0..=n {
+        for j in 0..=n {
+            let x = Vector::from(vec![
+                -1.0 + 2.0 * i as f64 / n as f64,
+                -1.0 + 2.0 * j as f64 / n as f64,
+            ]);
+            best = best.max(net.forward(&x).expect("forward")[0]);
+        }
+    }
+    best
+}
+
+#[test]
+fn milp_maximum_dominates_and_approximates_dense_grid() {
+    let net = trained_2d_net(3);
+    let spec = InputSpec::from_box(vec![Interval::new(-1.0, 1.0); 2]).expect("box");
+    let obj = LinearObjective::output(0);
+    let result = Verifier::new().maximize(&net, &spec, &obj).expect("verifies");
+    assert!(result.is_exact());
+    let milp_max = result.exact_max().expect("closed");
+    let grid = grid_max(&net, 300);
+    // MILP must dominate the grid, and a 300×300 grid on a piecewise
+    // linear function with modest Lipschitz constant gets very close.
+    assert!(milp_max >= grid - 1e-9, "milp {milp_max} < grid {grid}");
+    assert!(
+        milp_max - grid < 0.05,
+        "milp {milp_max} too far above grid {grid}"
+    );
+}
+
+#[test]
+fn presolve_methods_agree_on_trained_networks() {
+    let net = trained_2d_net(5);
+    let spec = InputSpec::from_box(vec![Interval::new(-1.0, 1.0); 2]).expect("box");
+    let obj = LinearObjective::output(0);
+    let mut values = Vec::new();
+    for method in [BoundMethod::Interval, BoundMethod::Symbolic] {
+        let v = Verifier::with_options(VerifierOptions {
+            bound_method: method,
+            ..VerifierOptions::default()
+        })
+        .maximize(&net, &spec, &obj)
+        .expect("verifies")
+        .exact_max()
+        .expect("closes");
+        values.push(v);
+    }
+    assert!((values[0] - values[1]).abs() < 1e-5, "{values:?}");
+}
+
+#[test]
+fn quantized_network_verifies_close_to_original() {
+    let net = trained_2d_net(7);
+    let spec = InputSpec::from_box(vec![Interval::new(-1.0, 1.0); 2]).expect("box");
+    let obj = LinearObjective::output(0);
+    let full = Verifier::new()
+        .maximize(&net, &spec, &obj)
+        .expect("verifies")
+        .exact_max()
+        .expect("closes");
+    let q = quantize(&net, 12).expect("quantize");
+    let quant = Verifier::new()
+        .maximize(&q.network, &spec, &obj)
+        .expect("verifies")
+        .exact_max()
+        .expect("closes");
+    assert!(
+        (full - quant).abs() < 0.1,
+        "12-bit quantization moved the verified max too far: {full} vs {quant}"
+    );
+}
+
+#[test]
+fn witness_always_reproduces_the_claimed_value() {
+    for seed in [1u64, 2, 3] {
+        let net = Network::relu_mlp(4, &[8, 8], 2, seed).expect("valid arch");
+        let spec = InputSpec::from_box(vec![Interval::new(-1.0, 1.0); 4]).expect("box");
+        let obj = LinearObjective::combination(vec![(0, 1.0), (1, -0.5)]);
+        let result = Verifier::new().maximize(&net, &spec, &obj).expect("verifies");
+        let w = result.witness.expect("witness");
+        let v = result.best_value.expect("value");
+        let out = net.forward(&w).expect("forward");
+        assert!((obj.eval(&out) - v).abs() < 1e-9);
+    }
+}
