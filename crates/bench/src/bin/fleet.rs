@@ -1,23 +1,47 @@
 //! Reproduces the paper's fleet observation: networks trained on the same
 //! data do not all satisfy the safety property.
 //!
-//! Usage: `fleet [--smoke]`
+//! Usage: `fleet [--smoke] [--threads N] [--json rows.json]`
+//!
+//! `--threads 0` (the default) trains/verifies members on all available
+//! cores; `--threads 1` restores the serial run. `--json` additionally
+//! writes one machine-readable record per member (see
+//! [`certnn_bench::json`]).
 
+use certnn_bench::json::{write_json, BenchRow};
 use certnn_bench::write_report;
 use certnn_core::fleet::{run_fleet, FleetConfig};
+use std::path::PathBuf;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let config = if smoke {
-        FleetConfig::smoke_test()
-    } else {
-        FleetConfig::default()
-    };
+    let mut config = FleetConfig::default();
+    let mut json_path: Option<PathBuf> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => config = FleetConfig::smoke_test(),
+            "--threads" => {
+                i += 1;
+                config.threads = args[i].parse().expect("threads must be an integer");
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(PathBuf::from(&args[i]));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
     println!(
-        "training and verifying a fleet of {} I{}x{} predictors...\n",
+        "training and verifying a fleet of {} I{}x{} predictors (threads {})...\n",
         config.fleet_size,
         config.hidden.len(),
-        config.hidden[0]
+        config.hidden[0],
+        config.threads
     );
     match run_fleet(&config) {
         Ok(result) => {
@@ -26,6 +50,24 @@ fn main() {
             match write_report("fleet.txt", &table) {
                 Ok(path) => println!("\nwritten to {}", path.display()),
                 Err(e) => eprintln!("could not write report: {e}"),
+            }
+            if let Some(path) = json_path {
+                let width = config.hidden.first().copied().unwrap_or(0);
+                let rows: Vec<BenchRow> = result
+                    .members
+                    .iter()
+                    .map(|m| BenchRow {
+                        width,
+                        value: m.verified_max,
+                        wall_secs: m.wall_secs,
+                        nodes: m.nodes,
+                        threads: config.threads,
+                    })
+                    .collect();
+                match write_json(&path, &rows) {
+                    Ok(()) => println!("json rows written to {}", path.display()),
+                    Err(e) => eprintln!("could not write json: {e}"),
+                }
             }
         }
         Err(e) => {

@@ -3,17 +3,24 @@
 //! Usage:
 //!
 //! ```text
-//! table2 [--widths 10,20,25,40,50,60] [--time-limit 120] [--epochs 25] [--smoke]
+//! table2 [--widths 10,20,25,40,50,60] [--time-limit 120] [--epochs 25]
+//!        [--threads N] [--json rows.json] [--smoke]
 //! ```
 //!
 //! `--smoke` runs the seconds-scale variant used by the integration tests.
+//! `--threads 0` (the default) verifies widths on all available cores;
+//! `--threads 1` restores the serial run. `--json` additionally writes
+//! one machine-readable record per width (see [`certnn_bench::json`]).
 
+use certnn_bench::json::{write_json, BenchRow};
 use certnn_bench::table2::{run_table2, Table2Config};
 use certnn_bench::write_report;
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn main() {
     let mut config = Table2Config::default();
+    let mut json_path: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -35,6 +42,14 @@ fn main() {
                 i += 1;
                 config.epochs = args[i].parse().expect("epochs must be an integer");
             }
+            "--threads" => {
+                i += 1;
+                config.threads = args[i].parse().expect("threads must be an integer");
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(PathBuf::from(&args[i]));
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -44,8 +59,8 @@ fn main() {
     }
 
     println!(
-        "running Table II: widths {:?}, time limit {:?}, {} epochs",
-        config.widths, config.time_limit, config.epochs
+        "running Table II: widths {:?}, time limit {:?}, {} epochs, threads {}",
+        config.widths, config.time_limit, config.epochs, config.threads
     );
     match run_table2(&config) {
         Ok(result) => {
@@ -54,6 +69,24 @@ fn main() {
             match write_report("table2.txt", &table) {
                 Ok(path) => println!("\nwritten to {}", path.display()),
                 Err(e) => eprintln!("could not write report: {e}"),
+            }
+            if let Some(path) = json_path {
+                let rows: Vec<BenchRow> = config
+                    .widths
+                    .iter()
+                    .zip(&result.rows)
+                    .map(|(&width, row)| BenchRow {
+                        width,
+                        value: row.max_lateral,
+                        wall_secs: row.time.as_secs_f64(),
+                        nodes: row.nodes,
+                        threads: config.threads,
+                    })
+                    .collect();
+                match write_json(&path, &rows) {
+                    Ok(()) => println!("json rows written to {}", path.display()),
+                    Err(e) => eprintln!("could not write json: {e}"),
+                }
             }
         }
         Err(e) => {

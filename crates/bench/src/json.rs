@@ -1,0 +1,140 @@
+//! Machine-readable bench output (`--json <path>`).
+//!
+//! The report binaries print human tables; scripted comparisons (e.g.
+//! thread-scaling sweeps plotted across runs) want stable records
+//! instead. This module emits one JSON array of flat row objects,
+//!
+//! ```json
+//! [
+//!   {"width": 10, "value": 0.688497, "wall_secs": 5.4, "nodes": 812, "threads": 4}
+//! ]
+//! ```
+//!
+//! hand-rolled (no serde in this dependency-free workspace): the schema
+//! is five fixed scalar fields, so a formatter is 30 lines and keeps the
+//! workspace building offline.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One benchmark record: a verification query at a given width/seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchRow {
+    /// Hidden width of the verified network (fleet rows: the member seed's
+    /// shared width).
+    pub width: usize,
+    /// Verified objective value; `None` when the query did not close.
+    pub value: Option<f64>,
+    /// Wall-clock seconds for the row.
+    pub wall_secs: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Thread knob the row ran with (`0` = auto).
+    pub threads: usize,
+}
+
+/// JSON literal for an `f64`: finite values round-trip via `Display`,
+/// non-finite values (which JSON cannot represent) become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders rows as a pretty-printed JSON array.
+pub fn to_json(rows: &[BenchRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let value = r.value.map_or("null".to_string(), json_f64);
+        s.push_str(&format!(
+            "  {{\"width\": {}, \"value\": {}, \"wall_secs\": {}, \"nodes\": {}, \"threads\": {}}}",
+            r.width,
+            value,
+            json_f64(r.wall_secs),
+            r.nodes,
+            r.threads
+        ));
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push(']');
+    s.push('\n');
+    s
+}
+
+/// Writes rows to `path` as JSON.
+///
+/// # Errors
+///
+/// Returns [`io::Error`] if the file cannot be written.
+pub fn write_json(path: &Path, rows: &[BenchRow]) -> io::Result<()> {
+    fs::write(path, to_json(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_as_valid_flat_objects() {
+        let rows = [
+            BenchRow {
+                width: 10,
+                value: Some(0.6875),
+                wall_secs: 5.5,
+                nodes: 812,
+                threads: 4,
+            },
+            BenchRow {
+                width: 60,
+                value: None,
+                wall_secs: 30.0,
+                nodes: 12000,
+                threads: 0,
+            },
+        ];
+        let s = to_json(&rows);
+        assert!(s.starts_with("[\n"));
+        assert!(s.trim_end().ends_with(']'));
+        assert!(s.contains("\"width\": 10"));
+        assert!(s.contains("\"value\": 0.6875"));
+        assert!(s.contains("\"value\": null"));
+        assert!(s.contains("\"threads\": 4"));
+        // Exactly one comma separator for two rows.
+        assert_eq!(s.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let rows = [BenchRow {
+            width: 1,
+            value: Some(f64::INFINITY),
+            wall_secs: f64::NAN,
+            nodes: 0,
+            threads: 1,
+        }];
+        let s = to_json(&rows);
+        assert!(s.contains("\"value\": null"));
+        assert!(s.contains("\"wall_secs\": null"));
+        assert!(!s.contains("NaN") && !s.contains("inf"));
+    }
+
+    #[test]
+    fn write_json_round_trips_to_disk() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("certnn_bench_rows_test.json");
+        let rows = [BenchRow {
+            width: 6,
+            value: Some(1.5),
+            wall_secs: 0.25,
+            nodes: 3,
+            threads: 2,
+        }];
+        write_json(&path, &rows).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, to_json(&rows));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod figure1;
 pub mod hints;
+pub mod json;
 pub mod table2;
 
 use std::fs;

@@ -33,8 +33,12 @@ use certnn_nn::network::Network;
 use certnn_nn::train::{Dataset, TrainConfig, Trainer};
 use certnn_sim::features::FEATURE_COUNT;
 use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
+use certnn_verify::bab::resolve_threads;
 use certnn_verify::verifier::{Verdict, Verifier, VerifierOptions};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
 use std::time::Duration;
 
 /// The paper's reported rows, for side-by-side printing.
@@ -67,6 +71,11 @@ pub struct Table2Config {
     pub proof_threshold: f64,
     /// Base seed; network `i` trains from `seed + i`.
     pub seed: u64,
+    /// Widths trained/verified concurrently: `0` = one worker per
+    /// available core, `1` = serial. Per-width work is deterministic
+    /// given its seed, so the thread count only changes the wall time —
+    /// never the table.
+    pub threads: usize,
 }
 
 impl Default for Table2Config {
@@ -87,6 +96,7 @@ impl Default for Table2Config {
             },
             proof_threshold: 3.0,
             seed: 7,
+            threads: 0,
         }
     }
 }
@@ -109,7 +119,8 @@ impl Table2Config {
                 ..ScenarioConfig::default()
             },
             proof_threshold: 3.0,
-            seed: 7,
+            seed: 1,
+            threads: 0,
         }
     }
 }
@@ -220,7 +231,72 @@ impl Table2Result {
     }
 }
 
+/// Read-only context shared by the per-width workers.
+struct WidthCtx<'a> {
+    config: &'a Table2Config,
+    data: &'a Dataset,
+    layout: OutputLayout,
+    loss: &'a GmmNll,
+    spec: &'a certnn_verify::property::InputSpec,
+    verifier: &'a Verifier,
+}
+
+/// A per-width result slot filled by whichever worker claims the index.
+type WidthSlot = Mutex<Option<Result<(Table2Row, Network), CoreError>>>;
+
+/// Trains and verifies one width of the table. Deterministic given the
+/// config; independent of every other width.
+fn run_width(ctx: &WidthCtx, i: usize, width: usize) -> Result<(Table2Row, Network), CoreError> {
+    let config = ctx.config;
+    let layout = ctx.layout;
+    let mut net = Network::relu_mlp(
+        FEATURE_COUNT,
+        &[width; 4],
+        layout.output_len(),
+        config.seed + i as u64,
+    )?;
+    let train_cfg = TrainConfig {
+        epochs: config.epochs,
+        batch_size: 64,
+        seed: config.seed + i as u64,
+        weight_decay: 5e-4,
+        ..TrainConfig::default()
+    };
+    Trainer::new(train_cfg).train(&mut net, ctx.data, ctx.loss)?;
+    eprintln!("[table2] {} trained; verifying...", net.label());
+
+    let result = max_lateral_velocity(ctx.verifier, &net, layout, ctx.spec)?;
+    eprintln!(
+        "[table2] {} verified: max {:?} in {:.1?} ({} nodes)",
+        net.label(),
+        result.max_lateral,
+        result.stats.elapsed,
+        result.stats.nodes
+    );
+    let upper = result
+        .per_component
+        .iter()
+        .map(|r| r.upper_bound)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let row = Table2Row {
+        label: net.label(),
+        max_lateral: result.max_lateral,
+        upper_bound: upper,
+        time: result.stats.elapsed,
+        nodes: result.stats.nodes,
+        binaries: result.stats.binaries,
+    };
+    Ok((row, net))
+}
+
 /// Runs the full Table II experiment.
+///
+/// Per-width queries are independent, so they are dispatched to
+/// [`Table2Config::threads`] scoped workers pulling width indices from a
+/// shared counter; rows land in paper order regardless of completion
+/// order. Note that concurrent widths share the machine, so per-row wall
+/// times measured at `threads > 1` are only comparable within the same
+/// thread count.
 ///
 /// # Errors
 ///
@@ -238,55 +314,51 @@ pub fn run_table2(config: &Table2Config) -> Result<Table2Result, CoreError> {
     let layout = OutputLayout::new(config.mixture_components);
     let loss = GmmNll::new(config.mixture_components);
     let spec = left_vehicle_spec();
+    let workers = resolve_threads(config.threads).min(config.widths.len().max(1));
     let verifier = Verifier::with_options(VerifierOptions {
         time_limit: Some(config.time_limit),
+        // Outer width-parallelism saturates the cores; keep the inner
+        // search serial to avoid oversubscription. A lone worker hands
+        // its cores to the search instead.
+        threads: if workers > 1 { 1 } else { config.threads },
         ..VerifierOptions::default()
+    });
+
+    let ctx = WidthCtx {
+        config,
+        data: &data,
+        layout,
+        loss: &loss,
+        spec: &spec,
+        verifier: &verifier,
+    };
+    let slots: Vec<WidthSlot> = (0..config.widths.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= config.widths.len() {
+                    break;
+                }
+                let out = run_width(&ctx, i, config.widths[i]);
+                *slots[i].lock().expect("width slot") = Some(out);
+            });
+        }
     });
 
     let mut rows = Vec::new();
     let mut largest: Option<Network> = None;
     let mut largest_closed: Option<Network> = None;
-    for (i, &width) in config.widths.iter().enumerate() {
-        let mut net = Network::relu_mlp(
-            FEATURE_COUNT,
-            &[width; 4],
-            layout.output_len(),
-            config.seed + i as u64,
-        )?;
-        let train_cfg = TrainConfig {
-            epochs: config.epochs,
-            batch_size: 64,
-            seed: config.seed + i as u64,
-            weight_decay: 5e-4,
-            ..TrainConfig::default()
-        };
-        Trainer::new(train_cfg).train(&mut net, &data, &loss)?;
-        eprintln!("[table2] {} trained; verifying...", net.label());
-
-        let result = max_lateral_velocity(&verifier, &net, layout, &spec)?;
-        eprintln!(
-            "[table2] {} verified: max {:?} in {:.1?} ({} nodes)",
-            net.label(),
-            result.max_lateral,
-            result.stats.elapsed,
-            result.stats.nodes
-        );
-        let upper = result
-            .per_component
-            .iter()
-            .map(|r| r.upper_bound)
-            .fold(f64::NEG_INFINITY, f64::max);
-        rows.push(Table2Row {
-            label: net.label(),
-            max_lateral: result.max_lateral,
-            upper_bound: upper,
-            time: result.stats.elapsed,
-            nodes: result.stats.nodes,
-            binaries: result.stats.binaries,
-        });
-        if result.max_lateral.is_some() {
+    for slot in slots {
+        let (row, net) = slot
+            .into_inner()
+            .expect("width slot")
+            .expect("every width index was claimed by a worker")?;
+        if row.max_lateral.is_some() {
             largest_closed = Some(net.clone());
         }
+        rows.push(row);
         largest = Some(net);
     }
 

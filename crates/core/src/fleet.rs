@@ -18,9 +18,13 @@ use certnn_nn::network::Network;
 use certnn_nn::train::{Dataset, TrainConfig, Trainer};
 use certnn_sim::features::FEATURE_COUNT;
 use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
+use certnn_verify::bab::resolve_threads;
 use certnn_verify::verifier::{Verifier, VerifierOptions};
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Configuration of the fleet experiment.
 #[derive(Debug, Clone)]
@@ -37,6 +41,11 @@ pub struct FleetConfig {
     pub scenario: ScenarioConfig,
     /// Per-network verification time limit.
     pub time_limit: Duration,
+    /// Members trained/verified concurrently: `0` = one worker per
+    /// available core, `1` = serial. Each member is deterministic given
+    /// its seed, so the thread count never changes the results — only
+    /// the wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for FleetConfig {
@@ -56,6 +65,7 @@ impl Default for FleetConfig {
                 ..ScenarioConfig::default()
             },
             time_limit: Duration::from_secs(60),
+            threads: 0,
         }
     }
 }
@@ -78,6 +88,7 @@ impl FleetConfig {
                 ..ScenarioConfig::default()
             },
             time_limit: Duration::from_secs(30),
+            threads: 0,
         }
     }
 }
@@ -93,6 +104,10 @@ pub struct FleetMember {
     pub verified_max: Option<f64>,
     /// Whether this member satisfies the bound (`None` = undecided).
     pub safe: Option<bool>,
+    /// Wall-clock seconds to train *and* verify this member.
+    pub wall_secs: f64,
+    /// Branch-and-bound nodes explored verifying this member.
+    pub nodes: usize,
 }
 
 /// Result of the fleet experiment.
@@ -160,12 +175,51 @@ impl FleetResult {
     }
 }
 
+/// Trains and verifies one fleet member end to end. Deterministic given
+/// `seed`; safe to run concurrently with other members.
+fn run_member(
+    config: &FleetConfig,
+    seed: u64,
+    data: &Dataset,
+    layout: OutputLayout,
+    loss: &GmmNll,
+    spec: &certnn_verify::property::InputSpec,
+    verifier: &Verifier,
+) -> Result<FleetMember, CoreError> {
+    let start = Instant::now();
+    let mut net = Network::relu_mlp(FEATURE_COUNT, &config.hidden, layout.output_len(), seed)?;
+    let report = Trainer::new(TrainConfig {
+        epochs: config.epochs,
+        batch_size: 32,
+        seed,
+        weight_decay: 2e-4,
+        ..TrainConfig::default()
+    })
+    .train(&mut net, data, loss)?;
+    let result = max_lateral_velocity(verifier, &net, layout, spec)?;
+    let safe = result.max_lateral.map(|v| v <= config.bound);
+    Ok(FleetMember {
+        seed,
+        final_loss: report.final_loss(),
+        verified_max: result.max_lateral,
+        safe,
+        wall_secs: start.elapsed().as_secs_f64(),
+        nodes: result.stats.nodes,
+    })
+}
+
 /// Runs the fleet experiment.
+///
+/// Members are independent (same data, distinct seeds), so they are
+/// dispatched to [`FleetConfig::threads`] scoped workers pulling member
+/// indices from a shared counter. Results land in seed order regardless
+/// of completion order, and each member's training/verification is fully
+/// deterministic, so the report is identical at any thread count.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError`] if data generation, training or verification
-/// fails structurally.
+/// fails structurally (first failing member in seed order).
 pub fn run_fleet(config: &FleetConfig) -> Result<FleetResult, CoreError> {
     let mut raw = generate_dataset(&config.scenario)?;
     highway_validator(1.0).sanitize(&mut raw);
@@ -177,32 +231,40 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetResult, CoreError> {
     let layout = OutputLayout::new(1);
     let loss = GmmNll::new(1);
     let spec = left_vehicle_spec();
+    let workers = resolve_threads(config.threads).min(config.fleet_size.max(1));
     let verifier = Verifier::with_options(VerifierOptions {
         time_limit: Some(config.time_limit),
+        // Outer query-parallelism saturates the cores; keep the inner
+        // search serial to avoid oversubscription. A lone worker hands
+        // its cores to the search instead.
+        threads: if workers > 1 { 1 } else { config.threads },
         ..VerifierOptions::default()
     });
 
+    let slots: Vec<Mutex<Option<Result<FleetMember, CoreError>>>> =
+        (0..config.fleet_size).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= config.fleet_size {
+                    break;
+                }
+                let seed = 100 + i as u64;
+                let member = run_member(config, seed, &data, layout, &loss, &spec, &verifier);
+                *slots[i].lock().expect("member slot") = Some(member);
+            });
+        }
+    });
+
     let mut members = Vec::with_capacity(config.fleet_size);
-    for i in 0..config.fleet_size {
-        let seed = 100 + i as u64;
-        let mut net =
-            Network::relu_mlp(FEATURE_COUNT, &config.hidden, layout.output_len(), seed)?;
-        let report = Trainer::new(TrainConfig {
-            epochs: config.epochs,
-            batch_size: 32,
-            seed,
-            weight_decay: 2e-4,
-            ..TrainConfig::default()
-        })
-        .train(&mut net, &data, &loss)?;
-        let result = max_lateral_velocity(&verifier, &net, layout, &spec)?;
-        let safe = result.max_lateral.map(|v| v <= config.bound);
-        members.push(FleetMember {
-            seed,
-            final_loss: report.final_loss(),
-            verified_max: result.max_lateral,
-            safe,
-        });
+    for slot in slots {
+        let member = slot
+            .into_inner()
+            .expect("member slot")
+            .expect("every member index was claimed by a worker");
+        members.push(member?);
     }
     Ok(FleetResult {
         members,
@@ -232,6 +294,10 @@ mod tests {
             - maxes.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread > 1e-4, "fleet collapsed to identical maxima: {maxes:?}");
         assert_eq!(result.safe_count() + result.unsafe_count(), 3);
+        for m in &result.members {
+            assert!(m.wall_secs > 0.0);
+            assert!(m.nodes >= 1);
+        }
         let table = result.to_table();
         assert!(table.contains("FLEET"));
         assert!(table.contains("safe"));

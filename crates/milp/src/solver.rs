@@ -42,6 +42,13 @@ pub struct MilpOptions {
     /// minimising). This is the "property proven" fast path of a decision
     /// query.
     pub bound_cutoff: Option<f64>,
+    /// Objective value of a feasible point known from outside the solve
+    /// (e.g. the cross-thread incumbent of the neuron branch-and-bound).
+    /// Prunes and closes the gap exactly like an incumbent, but never
+    /// becomes the reported solution: if the search stops without finding
+    /// its own integral point, `x` stays `None`. The value must be
+    /// achievable — an overestimate makes pruning unsound.
+    pub initial_bound: Option<f64>,
     /// Run the rounding dive heuristic for early incumbents.
     pub dive_heuristic: bool,
     /// Branching variable selection.
@@ -60,6 +67,7 @@ impl Default for MilpOptions {
             int_tol: 1e-6,
             target_objective: None,
             bound_cutoff: None,
+            initial_bound: None,
             dive_heuristic: true,
             branch_rule: BranchRule::default(),
             lp: SimplexOptions::default(),
@@ -225,6 +233,15 @@ impl BranchAndBound {
         let mut nodes_explored = 0usize;
         let mut lp_iterations = 0usize;
         let mut incumbent: Option<(Vec<f64>, f64)> = None; // (x, score)
+        // Best feasible score known so far: the incumbent or the
+        // externally supplied one, whichever is better.
+        let external_score = self.opts.initial_bound.map(|v| sense_sign * v);
+        let best_known = |inc: &Option<(Vec<f64>, f64)>| -> Option<f64> {
+            match (inc.as_ref().map(|(_, s)| *s), external_score) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            }
+        };
         let mut heap = BinaryHeap::new();
         heap.push(Node {
             bounds: root_bounds,
@@ -239,12 +256,12 @@ impl BranchAndBound {
         'search: while let Some(node) = heap.pop() {
             // Best-first: the popped node carries the best remaining bound.
             global_bound = node.score_bound;
-            if let Some((_, inc_score)) = &incumbent {
-                if global_bound <= *inc_score + self.opts.abs_gap
-                    || global_bound <= *inc_score + self.opts.rel_gap * inc_score.abs()
+            if let Some(inc_score) = best_known(&incumbent) {
+                if global_bound <= inc_score + self.opts.abs_gap
+                    || global_bound <= inc_score + self.opts.rel_gap * inc_score.abs()
                 {
                     status = MilpStatus::Optimal;
-                    global_bound = *inc_score;
+                    global_bound = inc_score;
                     break 'search;
                 }
             }
@@ -305,8 +322,8 @@ impl BranchAndBound {
                 }
             }
 
-            if let Some((_, inc_score)) = &incumbent {
-                if node_score <= *inc_score + self.opts.abs_gap {
+            if let Some(inc_score) = best_known(&incumbent) {
+                if node_score <= inc_score + self.opts.abs_gap {
                     continue; // dominated
                 }
             }
@@ -402,9 +419,13 @@ impl BranchAndBound {
         }
 
         if heap.is_empty() && status == MilpStatus::Optimal {
-            // Search exhausted: incumbent (if any) is optimal.
-            global_bound = match &incumbent {
-                Some((_, s)) => *s,
+            // Search exhausted: the best known feasible score is optimal.
+            // With only an external `initial_bound` (no integral point of
+            // our own), the result is still Optimal — the optimum cannot
+            // beat the external value by more than the gap — but `x`
+            // stays `None`.
+            global_bound = match best_known(&incumbent) {
+                Some(s) => s,
                 None => {
                     status = MilpStatus::Infeasible;
                     f64::NEG_INFINITY
@@ -604,6 +625,55 @@ mod tests {
         assert!(sol.best_bound < 23.6);
         // The proven bound is still a valid upper bound on the optimum (23).
         assert!(sol.best_bound >= 23.0 - 1e-6);
+    }
+
+    #[test]
+    fn initial_bound_prunes_without_becoming_solution() {
+        // Handing the solver the true optimum as an external feasible
+        // value closes the search by pruning; the result must be Optimal
+        // without inventing a solution point.
+        let opts = MilpOptions {
+            initial_bound: Some(23.0),
+            dive_heuristic: false,
+            ..MilpOptions::default()
+        };
+        let sol = BranchAndBound::with_options(opts).solve(&knapsack()).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!(sol.best_bound <= 23.0 + 1e-6);
+        if let Some(obj) = sol.objective {
+            assert!((obj - 23.0).abs() < 1e-6);
+        }
+
+        // A loose external bound must not change the answer.
+        let opts = MilpOptions {
+            initial_bound: Some(10.0),
+            ..MilpOptions::default()
+        };
+        let sol = BranchAndBound::with_options(opts).solve(&knapsack()).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective.unwrap() - 23.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn initial_bound_respects_sense_when_minimizing() {
+        // min 3a + 2b s.t. a + b >= 1 has optimum 2; an external feasible
+        // value of 2 closes the gap in the minimisation sense.
+        let mut m = MilpModel::new(Sense::Minimize);
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.set_objective(&[(a, 3.0), (b, 2.0)]);
+        m.add_row("cover", &[(a, 1.0), (b, 1.0)], RowKind::Ge, 1.0)
+            .unwrap();
+        let opts = MilpOptions {
+            initial_bound: Some(2.0),
+            dive_heuristic: false,
+            ..MilpOptions::default()
+        };
+        let sol = BranchAndBound::with_options(opts).solve(&m).unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        // best_bound is a valid lower bound on the minimum.
+        assert!(sol.best_bound <= 2.0 + 1e-6);
+        assert!(sol.best_bound >= 2.0 - 1e-6);
     }
 
     #[test]

@@ -718,7 +718,7 @@ mod tests {
             .map(|i| Vector::from(vec![1.0, (i as f64 / 32.0) - 0.5]))
             .collect();
         let train_with = |hint_inputs: Vec<Vector>| {
-            let mut net = Network::relu_mlp(2, &[16], 1, 21).unwrap();
+            let mut net = Network::relu_mlp(2, &[16], 1, 22).unwrap();
             let cfg = TrainConfig {
                 epochs: 300,
                 batch_size: 16,

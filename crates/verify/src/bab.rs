@@ -18,21 +18,65 @@
 //!   (including those *implied* by the node's propagated bounds), which
 //!   closes the remaining gap exactly.
 //!
+//! # Parallel search
+//!
+//! The frontier is drained by [`BabOptions::threads`] workers over a
+//! work-sharing **shared best-first heap** (`std::thread::scope` only —
+//! no external runtime):
+//!
+//! * Workers pop the globally best node, process it (symbolic analysis,
+//!   optional LP bounding, sub-MILP hand-off, phase branching) without
+//!   holding the lock, and push surviving children back.
+//! * The incumbent value lives in an `AtomicU64` (f64 bit-cast, updated
+//!   only under the incumbent mutex, monotone non-decreasing), so pruning
+//!   decisions propagate to every worker instantly; a stale read is
+//!   always *conservative* — it can only under-prune, never cut a node
+//!   that might contain the optimum.
+//! * Termination is detected via an in-flight counter: the search is
+//!   exhausted exactly when the heap is empty and no node is being
+//!   processed. Early stops (gap closed, time/node limit, cutoff,
+//!   target) are first-writer-wins; the bound of any work abandoned
+//!   mid-flight is folded into the final `upper_bound`, so the result
+//!   contract is the same as the serial engine's: `best_value` is a real
+//!   input's objective and `upper_bound` dominates the true maximum up to
+//!   `abs_gap`.
+//! * Sub-MILP calls receive the cross-thread incumbent through
+//!   [`MilpOptions::initial_bound`], so exact resolutions prune with
+//!   knowledge gathered by *other* workers.
+//!
+//! With `threads == 1` the engine visits nodes in exactly the serial
+//! best-first order. With more workers the visit order (and therefore
+//! node counts and tie-breaks among equal optima) may differ run to run,
+//! but the returned optimum obeys the same `abs_gap` contract.
+//!
 //! The engine accepts box-only input specifications; specs with linear
 //! scenario constraints fall back to the pure MILP path in
 //! [`crate::verifier::Verifier`].
 
-use crate::bounds::analyze_with_phases;
+use crate::bounds::{analyze_with_phases, PhaseAnalyzer, PhasedAnalysis};
 use crate::encoder::{encode, BoundMethod, Encoding};
 use crate::property::{InputSpec, LinearObjective};
 use crate::VerifyError;
-use certnn_linalg::Vector;
+use certnn_linalg::{Interval, Vector};
 use certnn_lp::{LpStatus, Simplex, VarId};
-use certnn_milp::{BranchAndBound, MilpOptions, MilpStatus};
+use certnn_milp::{BranchAndBound, MilpModel, MilpOptions, MilpStatus};
 use certnn_nn::network::Network;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
 use std::time::{Duration, Instant};
+
+/// Resolves a thread-count knob: `0` means "one worker per available
+/// core", any other value is used as-is.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
 
 /// Options for [`bab_maximize`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +99,10 @@ pub struct BabOptions {
     /// the symbolic and LP bounds. Slower per node, far stronger pruning
     /// on wide input boxes.
     pub lp_bounding: bool,
+    /// Search workers draining the shared frontier. `1` (the default)
+    /// reproduces the serial best-first visit order exactly; `0` means
+    /// one worker per available core (see [`resolve_threads`]).
+    pub threads: usize,
 }
 
 impl Default for BabOptions {
@@ -67,6 +115,7 @@ impl Default for BabOptions {
             target_objective: None,
             bound_cutoff: None,
             lp_bounding: true,
+            threads: 1,
         }
     }
 }
@@ -92,6 +141,11 @@ pub struct BabResult {
     pub encoding_stats: crate::encoder::EncodingStats,
     /// Wall time.
     pub elapsed: Duration,
+    /// Search workers used (after resolving `threads == 0`).
+    pub threads_used: usize,
+    /// Node throughput: `nodes / elapsed`, the metric to watch when
+    /// comparing thread counts.
+    pub nodes_per_sec: f64,
 }
 
 struct Node {
@@ -120,8 +174,238 @@ impl Ord for Node {
     }
 }
 
+/// Read-only context shared by every search worker.
+struct SearchCtx<'a> {
+    net: &'a Network,
+    input_box: &'a [Interval],
+    objective: &'a LinearObjective,
+    opts: &'a BabOptions,
+    enc: &'a Encoding,
+    obj_model: &'a MilpModel,
+    base_bounds: &'a [(f64, f64)],
+    simplex: &'a Simplex,
+    flat_map: &'a [(usize, usize)],
+    obj_seed: &'a Vector,
+    start: Instant,
+}
+
+/// Mutable frontier state, all guarded by one mutex.
+struct Frontier {
+    heap: BinaryHeap<Node>,
+    /// Nodes popped but not yet completed by a worker.
+    in_flight: usize,
+    /// Per-worker bound of the node currently being processed
+    /// (`NEG_INFINITY` when idle) — in-flight work counts toward the
+    /// global upper bound.
+    active: Vec<f64>,
+    /// Processed-node counter (the serial `nodes` statistic).
+    nodes: usize,
+    /// First stop reason; later stop attempts keep the first.
+    halt: Option<MilpStatus>,
+    /// Max bound over subtrees abandoned by an early stop; folded into
+    /// the final `upper_bound` for soundness.
+    abandoned: f64,
+    /// A worker hit a structural error; everyone drains out.
+    failed: bool,
+}
+
+/// Cross-worker search state.
+struct SearchState {
+    frontier: Mutex<Frontier>,
+    work_ready: Condvar,
+    incumbent: Mutex<Option<(Vector, f64)>>,
+    /// `f64::to_bits` of the incumbent value, written only under the
+    /// incumbent mutex. Reads are lock-free and monotone: a stale value
+    /// is always lower, so pruning against it is conservative (sound).
+    best_bits: AtomicU64,
+}
+
+/// Per-worker statistic accumulators, merged after the join.
+#[derive(Default)]
+struct WorkerCounters {
+    milp_calls: usize,
+    lp_iterations: usize,
+}
+
+/// What one processed node produced.
+#[derive(Default)]
+struct NodeOutcome {
+    children: Vec<Node>,
+    /// Early-stop request: `(status, bound of this node's abandoned
+    /// subtree)`.
+    halt: Option<(MilpStatus, f64)>,
+}
+
+impl NodeOutcome {
+    fn halt(status: MilpStatus, bound: f64) -> Self {
+        Self {
+            children: Vec::new(),
+            halt: Some((status, bound)),
+        }
+    }
+}
+
+impl SearchState {
+    fn new(workers: usize, root: Node) -> Self {
+        let mut heap = BinaryHeap::new();
+        heap.push(root);
+        Self {
+            frontier: Mutex::new(Frontier {
+                heap,
+                in_flight: 0,
+                active: vec![f64::NEG_INFINITY; workers],
+                nodes: 0,
+                halt: None,
+                abandoned: f64::NEG_INFINITY,
+                failed: false,
+            }),
+            work_ready: Condvar::new(),
+            incumbent: Mutex::new(None),
+            best_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Lock-free read of the incumbent value (`NEG_INFINITY` when none).
+    fn best(&self) -> f64 {
+        f64::from_bits(self.best_bits.load(AtomicOrdering::Acquire))
+    }
+
+    /// Bounds at or below this level cannot beat the incumbent within
+    /// `abs_gap`. `NEG_INFINITY` when there is no incumbent yet.
+    fn prune_level(&self, abs_gap: f64) -> f64 {
+        let b = self.best();
+        if b == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            b + abs_gap
+        }
+    }
+
+    /// Evaluates `x` through the network and installs it as incumbent if
+    /// it improves the best value. Returns the achieved objective.
+    fn try_incumbent(&self, ctx: &SearchCtx, x: &Vector) -> f64 {
+        let v = match ctx.net.forward(x) {
+            Ok(out) => ctx.objective.eval(&out),
+            Err(_) => return f64::NEG_INFINITY,
+        };
+        let mut inc = self.incumbent.lock().expect("incumbent lock");
+        let cur = inc.as_ref().map(|(_, b)| *b);
+        match cur {
+            Some(best) if v <= best => {}
+            _ => {
+                *inc = Some((x.clone(), v));
+                self.best_bits.store(v.to_bits(), AtomicOrdering::Release);
+            }
+        }
+        v
+    }
+
+    /// Claims the next node for worker `wid`, or `None` when the search
+    /// is over (exhausted, halted, or failed). Performs the global
+    /// gap/cutoff/limit checks that the serial loop ran at each pop.
+    fn next_work(&self, ctx: &SearchCtx, wid: usize) -> Option<Node> {
+        let mut f = self.frontier.lock().expect("frontier lock");
+        loop {
+            if f.halt.is_some() || f.failed {
+                return None;
+            }
+            let queued = f.heap.peek().map(|n| n.bound);
+            if queued.is_none() && f.in_flight == 0 {
+                // Exhausted: natural (optimal) completion.
+                return None;
+            }
+            // Global upper bound estimate over queued and in-flight work.
+            let running = f.active.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let gu = queued.unwrap_or(f64::NEG_INFINITY).max(running);
+
+            let prune = self.prune_level(ctx.opts.abs_gap);
+            if gu <= prune {
+                // Nothing anywhere can beat the incumbent: gap closed.
+                f.halt = Some(MilpStatus::Optimal);
+                self.work_ready.notify_all();
+                return None;
+            }
+            if let Some(cut) = ctx.opts.bound_cutoff {
+                if gu.is_finite() && gu < cut {
+                    f.halt = Some(MilpStatus::BoundCutoff);
+                    f.abandoned = f.abandoned.max(gu);
+                    self.work_ready.notify_all();
+                    return None;
+                }
+            }
+            if let Some(limit) = ctx.opts.time_limit {
+                if ctx.start.elapsed() >= limit {
+                    f.halt = Some(MilpStatus::TimeLimit);
+                    f.abandoned = f.abandoned.max(gu);
+                    self.work_ready.notify_all();
+                    return None;
+                }
+            }
+            if let Some(limit) = ctx.opts.node_limit {
+                if f.nodes >= limit && queued.is_some() {
+                    f.halt = Some(MilpStatus::NodeLimit);
+                    f.abandoned = f.abandoned.max(gu);
+                    self.work_ready.notify_all();
+                    return None;
+                }
+            }
+
+            match f.heap.pop() {
+                Some(node) => {
+                    if node.bound <= prune {
+                        // Stale node overtaken by a newer incumbent.
+                        continue;
+                    }
+                    f.nodes += 1;
+                    f.in_flight += 1;
+                    f.active[wid] = node.bound;
+                    return Some(node);
+                }
+                None => {
+                    // In-flight work elsewhere may still push children;
+                    // the timeout keeps time limits responsive even if a
+                    // notification is missed.
+                    let (guard, _) = self
+                        .work_ready
+                        .wait_timeout(f, Duration::from_millis(10))
+                        .expect("frontier lock");
+                    f = guard;
+                }
+            }
+        }
+    }
+
+    /// Publishes the outcome of worker `wid`'s current node.
+    fn complete(&self, wid: usize, outcome: NodeOutcome) {
+        let mut f = self.frontier.lock().expect("frontier lock");
+        for child in outcome.children {
+            f.heap.push(child);
+        }
+        if let Some((status, bound)) = outcome.halt {
+            if f.halt.is_none() {
+                f.halt = Some(status);
+            }
+            f.abandoned = f.abandoned.max(bound);
+        }
+        f.active[wid] = f64::NEG_INFINITY;
+        f.in_flight -= 1;
+        self.work_ready.notify_all();
+    }
+
+    /// Records a structural failure of worker `wid` and releases its
+    /// claimed node so the other workers drain out.
+    fn fail(&self, wid: usize) {
+        let mut f = self.frontier.lock().expect("frontier lock");
+        f.failed = true;
+        f.active[wid] = f64::NEG_INFINITY;
+        f.in_flight -= 1;
+        self.work_ready.notify_all();
+    }
+}
+
 /// Maximises `objective` over a **box-only** specification by hybrid
-/// neuron branch-and-bound.
+/// neuron branch-and-bound; see the module docs for the parallel search
+/// architecture.
 ///
 /// # Errors
 ///
@@ -180,280 +464,99 @@ pub fn bab_maximize(
         .collect();
     let simplex = Simplex::new();
 
-    let mut incumbent: Option<(Vector, f64)> = None;
-    let mut nodes = 0usize;
-    let mut milp_calls = 0usize;
-    let mut lp_iterations = 0usize;
-    let mut status = MilpStatus::Optimal;
-
-    let try_incumbent = |x: &Vector, incumbent: &mut Option<(Vector, f64)>| -> f64 {
-        let v = match net.forward(x) {
-            Ok(out) => objective.eval(&out),
-            Err(_) => return f64::NEG_INFINITY,
-        };
-        match incumbent {
-            Some((_, best)) if v <= *best => {}
-            _ => *incumbent = Some((x.clone(), v)),
-        }
-        v
+    let threads_used = resolve_threads(opts.threads);
+    let ctx = SearchCtx {
+        net,
+        input_box,
+        objective,
+        opts,
+        enc: &enc,
+        obj_model: &obj_model,
+        base_bounds: &base_bounds,
+        simplex: &simplex,
+        flat_map: &flat_map,
+        obj_seed: &obj_seed,
+        start,
     };
 
     let root_phases = vec![None; total_relu];
     let root = analyze_with_phases(net, input_box, &root_phases, objective)?;
-    try_incumbent(&root.maximizer, &mut incumbent);
-    let mut heap = BinaryHeap::new();
-    heap.push(Node {
-        phases: root_phases,
-        bound: root.objective_upper,
-        depth: 0,
-    });
-    let mut global_upper = root.objective_upper;
+    let root_bound = root.objective_upper;
+    let state = SearchState::new(
+        threads_used,
+        Node {
+            phases: root_phases,
+            bound: root_bound,
+            depth: 0,
+        },
+    );
+    state.try_incumbent(&ctx, &root.maximizer);
 
-    'search: while let Some(node) = heap.pop() {
-        global_upper = node.bound;
-        if let Some((_, best)) = &incumbent {
-            if global_upper <= *best + opts.abs_gap {
-                global_upper = *best;
-                break 'search;
-            }
-        }
-        if let Some(cut) = opts.bound_cutoff {
-            if global_upper < cut {
-                status = MilpStatus::BoundCutoff;
-                break 'search;
-            }
-        }
-        if let Some(limit) = opts.time_limit {
-            if start.elapsed() >= limit {
-                status = MilpStatus::TimeLimit;
-                break 'search;
-            }
-        }
-        if let Some(limit) = opts.node_limit {
-            if nodes >= limit {
-                status = MilpStatus::NodeLimit;
-                break 'search;
-            }
-        }
-        nodes += 1;
-
-        // Fresh analysis at the popped node (cheap relative to any LP).
-        let analysis = analyze_with_phases(net, input_box, &node.phases, objective)?;
-        if analysis.conflict {
-            continue;
-        }
-        let node_bound = analysis.objective_upper.min(node.bound);
-        if let Some((_, best)) = &incumbent {
-            if node_bound <= *best + opts.abs_gap {
-                continue;
-            }
-        }
-        let new_val = try_incumbent(&analysis.maximizer, &mut incumbent);
-        if let Some(target) = opts.target_objective {
-            if new_val >= target {
-                status = MilpStatus::TargetReached;
-                break 'search;
-            }
-        }
-
-        // Collect phase decisions (forced + implied by the node's bounds)
-        // for the LP relaxation and the sub-MILP.
-        let mut decided: Vec<(usize, bool)> = Vec::new(); // (flat, phase)
-        {
-            let mut relu_cursor = 0usize;
-            for (li, layer) in net.layers().iter().enumerate() {
-                if layer.activation() != certnn_nn::activation::Activation::Relu {
-                    continue;
-                }
-                for j in 0..layer.outputs() {
-                    let flat = relu_cursor;
-                    relu_cursor += 1;
-                    if enc.relu_binaries[flat].is_none() {
-                        continue;
-                    }
-                    let iv = analysis.bounds.pre[li][j];
-                    let implied = if iv.is_nonnegative() {
-                        Some(true)
-                    } else if iv.is_nonpositive() {
-                        Some(false)
-                    } else {
-                        None
-                    };
-                    if let Some(v) = node.phases[flat].or(implied) {
-                        decided.push((flat, v));
-                    }
-                }
-            }
-        }
-
-        let mut node_bound = node_bound;
-        if opts.lp_bounding {
-            // LP relaxation with node-tightened variable bounds: fix the
-            // decided binaries, clamp every pre-activation variable to its
-            // phase-propagated interval and shrink the y uppers to match.
-            let mut nb = base_bounds.clone();
-            for (li, zl) in enc.z_vars.iter().enumerate() {
-                for (j, zv) in zl.iter().enumerate() {
-                    let iv = analysis.bounds.pre[li][j].widened(1e-6);
-                    let (blo, bhi) = nb[zv.index()];
-                    nb[zv.index()] = (blo.max(iv.lo()), bhi.min(iv.hi()));
-                    if nb[zv.index()].0 > nb[zv.index()].1 {
-                        nb[zv.index()] = (iv.lo(), iv.hi());
-                    }
-                }
-            }
-            for (flat, yv) in enc.y_vars.iter().enumerate() {
-                let Some(yv) = yv else { continue };
-                // Flat -> (layer, neuron) via the prefix sums in flat_map.
-                let (li, j) = flat_map[flat];
-                let hi = analysis.bounds.pre[li][j].hi().max(0.0) + 1e-6;
-                let (blo, bhi) = nb[yv.index()];
-                nb[yv.index()] = (blo, bhi.min(hi));
-            }
-            for &(flat, v) in &decided {
-                if let Some(bin) = enc.relu_binaries[flat] {
-                    let b = if v { 1.0 } else { 0.0 };
-                    nb[bin.index()] = (b, b);
-                }
-            }
-            let lp = simplex
-                .solve_with_bounds(obj_model.relaxation(), &nb)
-                .map_err(|e| VerifyError::from(certnn_milp::MilpError::from(e)))?;
-            lp_iterations += lp.iterations;
-            match lp.status {
-                LpStatus::Infeasible => continue,
-                LpStatus::Optimal => {
-                    node_bound = node_bound.min(lp.objective + objective.constant);
-                    // The relaxation's input values are a real point; use it.
-                    let input: Vector =
-                        enc.input_vars.iter().map(|v| lp.x[v.index()]).collect();
-                    let val = try_incumbent(&input, &mut incumbent);
-                    if let Some(target) = opts.target_objective {
-                        if val >= target {
-                            status = MilpStatus::TargetReached;
-                            break 'search;
-                        }
-                    }
-                }
-                _ => {}
-            }
-            if let Some((_, best)) = &incumbent {
-                if node_bound <= *best + opts.abs_gap {
-                    continue;
-                }
-            }
-        }
-
-        if analysis.unstable.len() <= opts.milp_threshold {
-            // Exact resolution: fix decided + implied phases in the MILP.
-            let mut milp = obj_model.clone();
-            for &(flat, v) in &decided {
-                if let Some(bin) = enc.relu_binaries[flat] {
-                    let b = if v { 1.0 } else { 0.0 };
-                    milp.set_bounds(bin, b, b)
-                        .map_err(certnn_milp::MilpError::from)?;
-                }
-            }
-            let milp_opts = MilpOptions {
-                time_limit: opts.time_limit.map(|l| {
-                    l.saturating_sub(start.elapsed()).max(Duration::from_millis(100))
-                }),
-                ..MilpOptions::default()
-            };
-            let sol = BranchAndBound::with_options(milp_opts)
-                .solve(&milp)
-                .map_err(VerifyError::from)?;
-            milp_calls += 1;
-            lp_iterations += sol.lp_iterations;
-            match sol.status {
-                MilpStatus::Optimal | MilpStatus::Infeasible => {
-                    if let (Some(x), Some(_)) = (&sol.x, sol.objective) {
-                        let input: Vector =
-                            enc.input_vars.iter().map(|v| x[v.index()]).collect();
-                        let val = try_incumbent(&input, &mut incumbent);
-                        if let Some(target) = opts.target_objective {
-                            if val >= target {
-                                status = MilpStatus::TargetReached;
-                                break 'search;
+    // Work-sharing scoped worker pool. With one worker this runs the
+    // exact serial best-first loop (on a spawned thread).
+    let worker_results: Vec<Result<WorkerCounters, VerifyError>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads_used)
+            .map(|wid| {
+                let ctx = &ctx;
+                let state = &state;
+                s.spawn(move || {
+                    let mut analyzer = PhaseAnalyzer::new(ctx.net, ctx.input_box)?;
+                    let mut counters = WorkerCounters::default();
+                    while let Some(node) = state.next_work(ctx, wid) {
+                        match process_node(ctx, state, &mut analyzer, &node, &mut counters) {
+                            Ok(outcome) => state.complete(wid, outcome),
+                            Err(e) => {
+                                state.fail(wid);
+                                return Err(e);
                             }
                         }
                     }
-                    // Node fully resolved either way.
-                    continue;
-                }
-                _ => {
-                    // Sub-MILP hit a limit: fall through to phase
-                    // branching if possible, else give up on the node but
-                    // keep its (sound) bound by re-queueing nothing — the
-                    // global bound then stays at node_bound via `heap`
-                    // emptiness handling below.
-                    if analysis.unstable.is_empty() {
-                        status = MilpStatus::TimeLimit;
-                        global_upper = node_bound;
-                        break 'search;
-                    }
-                }
-            }
-        }
-
-        // Branch on the unstable neuron with the largest estimated
-        // influence on the objective: |∂f/∂activation| at the node's
-        // maximizer, times the pre-activation interval width (a BaBSR-style
-        // score). Falls back to width alone when all gradients vanish.
-        let grad_scores: Option<Vec<Vector>> = net
-            .forward_trace(&analysis.maximizer)
-            .ok()
-            .and_then(|trace| net.activation_gradients(&trace, &obj_seed).ok());
-        let (flat, _) = analysis
-            .unstable
-            .iter()
-            .map(|&(flat, width)| {
-                let g = grad_scores
-                    .as_ref()
-                    .map(|gs| {
-                        let (li, j) = flat_map[flat];
-                        gs[li][j].abs()
-                    })
-                    .unwrap_or(0.0);
-                (flat, width * (g + 1e-6))
+                    Ok(counters)
+                })
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
-            .expect("nonempty unstable list");
-        for val in [true, false] {
-            let mut phases = node.phases.clone();
-            phases[flat] = Some(val);
-            let child = analyze_with_phases(net, input_box, &phases, objective)?;
-            if child.conflict {
-                continue;
-            }
-            let child_bound = child.objective_upper.min(node_bound);
-            try_incumbent(&child.maximizer, &mut incumbent);
-            if let Some((_, best)) = &incumbent {
-                if child_bound <= *best + opts.abs_gap {
-                    continue;
-                }
-            }
-            heap.push(Node {
-                phases,
-                bound: child_bound,
-                depth: node.depth + 1,
-            });
-        }
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search worker panicked"))
+            .collect()
+    });
+
+    let mut milp_calls = 0usize;
+    let mut lp_iterations = 0usize;
+    for result in worker_results {
+        let counters = result?;
+        milp_calls += counters.milp_calls;
+        lp_iterations += counters.lp_iterations;
     }
 
-    if heap.is_empty() && status == MilpStatus::Optimal {
-        if let Some((_, best)) = &incumbent {
-            global_upper = *best;
-        }
-    }
-    // Early exits leave the heap non-empty; the proven bound is the max of
-    // the popped bound and everything still queued.
-    if status != MilpStatus::Optimal {
-        if let Some(top) = heap.peek() {
-            global_upper = global_upper.max(top.bound);
-        }
-    }
+    let frontier = state.frontier.into_inner().expect("frontier lock");
+    let incumbent = state.incumbent.into_inner().expect("incumbent lock");
+    let status = frontier.halt.unwrap_or(MilpStatus::Optimal);
+    let best = incumbent.as_ref().map(|(_, v)| *v);
 
+    let upper_bound = if status == MilpStatus::Optimal {
+        // Exhausted or gap-closed: the incumbent is optimal up to
+        // `abs_gap` (root bound is the sound fallback if no real input
+        // was ever evaluated).
+        best.unwrap_or(root_bound)
+    } else {
+        // Early stop: the proven bound is the max over everything not
+        // fully explored — abandoned subtrees, the remaining frontier
+        // and the incumbent itself.
+        let mut ub = frontier.abandoned;
+        if let Some(top) = frontier.heap.peek() {
+            ub = ub.max(top.bound);
+        }
+        if let Some(b) = best {
+            ub = ub.max(b);
+        }
+        if ub == f64::NEG_INFINITY {
+            ub = root_bound;
+        }
+        ub
+    };
+
+    let elapsed = start.elapsed();
     let (witness, best_value) = match incumbent {
         Some((x, v)) => (Some(x), Some(v)),
         None => (None, None),
@@ -462,13 +565,231 @@ pub fn bab_maximize(
         status,
         best_value,
         witness,
-        upper_bound: global_upper,
-        nodes,
+        upper_bound,
+        nodes: frontier.nodes,
         milp_calls,
         lp_iterations,
         encoding_stats: enc.stats,
-        elapsed: start.elapsed(),
+        elapsed,
+        threads_used,
+        nodes_per_sec: frontier.nodes as f64 / elapsed.as_secs_f64().max(1e-9),
     })
+}
+
+/// Processes one claimed node: bound, harvest incumbents, hand off to the
+/// sub-MILP when small enough, branch otherwise. Runs without any lock;
+/// all cross-worker communication goes through `state`.
+fn process_node(
+    ctx: &SearchCtx,
+    state: &SearchState,
+    analyzer: &mut PhaseAnalyzer,
+    node: &Node,
+    counters: &mut WorkerCounters,
+) -> Result<NodeOutcome, VerifyError> {
+    let opts = ctx.opts;
+    // Fresh analysis at the popped node (cheap relative to any LP).
+    let analysis = analyzer.analyze(&node.phases, ctx.objective)?;
+    if analysis.conflict {
+        return Ok(NodeOutcome::default());
+    }
+    let mut node_bound = analysis.objective_upper.min(node.bound);
+    if node_bound <= state.prune_level(opts.abs_gap) {
+        return Ok(NodeOutcome::default());
+    }
+    let new_val = state.try_incumbent(ctx, &analysis.maximizer);
+    if let Some(target) = opts.target_objective {
+        if new_val >= target {
+            return Ok(NodeOutcome::halt(MilpStatus::TargetReached, node_bound));
+        }
+    }
+
+    // Collect phase decisions (forced + implied by the node's bounds)
+    // for the LP relaxation and the sub-MILP.
+    let decided = decided_phases(ctx, node, &analysis);
+
+    if opts.lp_bounding {
+        // LP relaxation with node-tightened variable bounds: fix the
+        // decided binaries, clamp every pre-activation variable to its
+        // phase-propagated interval and shrink the y uppers to match.
+        let mut nb = ctx.base_bounds.to_vec();
+        for (li, zl) in ctx.enc.z_vars.iter().enumerate() {
+            for (j, zv) in zl.iter().enumerate() {
+                let iv = analysis.bounds.pre[li][j].widened(1e-6);
+                let (blo, bhi) = nb[zv.index()];
+                nb[zv.index()] = (blo.max(iv.lo()), bhi.min(iv.hi()));
+                if nb[zv.index()].0 > nb[zv.index()].1 {
+                    nb[zv.index()] = (iv.lo(), iv.hi());
+                }
+            }
+        }
+        for (flat, yv) in ctx.enc.y_vars.iter().enumerate() {
+            let Some(yv) = yv else { continue };
+            // Flat -> (layer, neuron) via the prefix sums in flat_map.
+            let (li, j) = ctx.flat_map[flat];
+            let hi = analysis.bounds.pre[li][j].hi().max(0.0) + 1e-6;
+            let (blo, bhi) = nb[yv.index()];
+            nb[yv.index()] = (blo, bhi.min(hi));
+        }
+        for &(flat, v) in &decided {
+            if let Some(bin) = ctx.enc.relu_binaries[flat] {
+                let b = if v { 1.0 } else { 0.0 };
+                nb[bin.index()] = (b, b);
+            }
+        }
+        let lp = ctx
+            .simplex
+            .solve_with_bounds(ctx.obj_model.relaxation(), &nb)
+            .map_err(|e| VerifyError::from(certnn_milp::MilpError::from(e)))?;
+        counters.lp_iterations += lp.iterations;
+        match lp.status {
+            LpStatus::Infeasible => return Ok(NodeOutcome::default()),
+            LpStatus::Optimal => {
+                node_bound = node_bound.min(lp.objective + ctx.objective.constant);
+                // The relaxation's input values are a real point; use it.
+                let input: Vector = ctx.enc.input_vars.iter().map(|v| lp.x[v.index()]).collect();
+                let val = state.try_incumbent(ctx, &input);
+                if let Some(target) = opts.target_objective {
+                    if val >= target {
+                        return Ok(NodeOutcome::halt(MilpStatus::TargetReached, node_bound));
+                    }
+                }
+            }
+            _ => {}
+        }
+        if node_bound <= state.prune_level(opts.abs_gap) {
+            return Ok(NodeOutcome::default());
+        }
+    }
+
+    if analysis.unstable.len() <= opts.milp_threshold {
+        // Exact resolution: fix decided + implied phases in the MILP.
+        let mut milp = ctx.obj_model.clone();
+        for &(flat, v) in &decided {
+            if let Some(bin) = ctx.enc.relu_binaries[flat] {
+                let b = if v { 1.0 } else { 0.0 };
+                milp.set_bounds(bin, b, b)
+                    .map_err(certnn_milp::MilpError::from)?;
+            }
+        }
+        // Seed the sub-MILP with the cross-thread incumbent: its pruning
+        // then benefits from every other worker's discoveries. The value
+        // is achieved by a real input, so it is a safe bound.
+        let best = state.best();
+        let milp_opts = MilpOptions {
+            time_limit: opts.time_limit.map(|l| {
+                l.saturating_sub(ctx.start.elapsed())
+                    .max(Duration::from_millis(100))
+            }),
+            initial_bound: (best > f64::NEG_INFINITY)
+                .then_some(best - ctx.objective.constant),
+            ..MilpOptions::default()
+        };
+        let sol = BranchAndBound::with_options(milp_opts)
+            .solve(&milp)
+            .map_err(VerifyError::from)?;
+        counters.milp_calls += 1;
+        counters.lp_iterations += sol.lp_iterations;
+        match sol.status {
+            MilpStatus::Optimal | MilpStatus::Infeasible => {
+                if let (Some(x), Some(_)) = (&sol.x, sol.objective) {
+                    let input: Vector = ctx.enc.input_vars.iter().map(|v| x[v.index()]).collect();
+                    let val = state.try_incumbent(ctx, &input);
+                    if let Some(target) = opts.target_objective {
+                        if val >= target {
+                            return Ok(NodeOutcome::halt(MilpStatus::TargetReached, node_bound));
+                        }
+                    }
+                }
+                // Node fully resolved either way.
+                return Ok(NodeOutcome::default());
+            }
+            _ => {
+                // Sub-MILP hit a limit: fall through to phase branching
+                // if possible, else give up on the node but keep its
+                // (sound) bound via the abandoned fold.
+                if analysis.unstable.is_empty() {
+                    return Ok(NodeOutcome::halt(MilpStatus::TimeLimit, node_bound));
+                }
+            }
+        }
+    }
+
+    // Branch on the unstable neuron with the largest estimated influence
+    // on the objective: |∂f/∂activation| at the node's maximizer, times
+    // the pre-activation interval width (a BaBSR-style score). Falls back
+    // to width alone when all gradients vanish.
+    let grad_scores: Option<Vec<Vector>> = ctx
+        .net
+        .forward_trace(&analysis.maximizer)
+        .ok()
+        .and_then(|trace| ctx.net.activation_gradients(&trace, ctx.obj_seed).ok());
+    let (flat, _) = analysis
+        .unstable
+        .iter()
+        .map(|&(flat, width)| {
+            let g = grad_scores
+                .as_ref()
+                .map(|gs| {
+                    let (li, j) = ctx.flat_map[flat];
+                    gs[li][j].abs()
+                })
+                .unwrap_or(0.0);
+            (flat, width * (g + 1e-6))
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
+        .expect("nonempty unstable list");
+    let mut outcome = NodeOutcome::default();
+    for val in [true, false] {
+        let mut phases = node.phases.clone();
+        phases[flat] = Some(val);
+        let child = analyzer.analyze(&phases, ctx.objective)?;
+        if child.conflict {
+            continue;
+        }
+        let child_bound = child.objective_upper.min(node_bound);
+        state.try_incumbent(ctx, &child.maximizer);
+        if child_bound <= state.prune_level(opts.abs_gap) {
+            continue;
+        }
+        outcome.children.push(Node {
+            phases,
+            bound: child_bound,
+            depth: node.depth + 1,
+        });
+    }
+    Ok(outcome)
+}
+
+/// Phase decisions at a node: explicitly forced by the node plus those
+/// implied by its propagated bounds, restricted to neurons that still
+/// carry a binary in the encoding.
+fn decided_phases(ctx: &SearchCtx, node: &Node, analysis: &PhasedAnalysis) -> Vec<(usize, bool)> {
+    let mut decided: Vec<(usize, bool)> = Vec::new();
+    let mut relu_cursor = 0usize;
+    for (li, layer) in ctx.net.layers().iter().enumerate() {
+        if layer.activation() != certnn_nn::activation::Activation::Relu {
+            continue;
+        }
+        for j in 0..layer.outputs() {
+            let flat = relu_cursor;
+            relu_cursor += 1;
+            if ctx.enc.relu_binaries[flat].is_none() {
+                continue;
+            }
+            let iv = analysis.bounds.pre[li][j];
+            let implied = if iv.is_nonnegative() {
+                Some(true)
+            } else if iv.is_nonpositive() {
+                Some(false)
+            } else {
+                None
+            };
+            if let Some(v) = node.phases[flat].or(implied) {
+                decided.push((flat, v));
+            }
+        }
+    }
+    decided
 }
 
 #[cfg(test)]
@@ -523,6 +844,53 @@ mod tests {
             let x: Vector = (0..4).map(|_| rng.gen_range(-1.0..=1.0)).collect();
             assert!(net.forward(&x).unwrap()[0] <= max + 1e-6);
         }
+    }
+
+    #[test]
+    fn parallel_workers_agree_with_serial() {
+        // The tentpole contract: any thread count returns the same
+        // optimum within abs_gap and reports its worker count.
+        for seed in [3u64, 11] {
+            let net = Network::relu_mlp(4, &[10, 10], 1, seed).unwrap();
+            let spec = unit_spec(4);
+            let obj = LinearObjective::output(0);
+            let serial = bab_maximize(&net, &spec, &obj, &BabOptions::default()).unwrap();
+            assert_eq!(serial.threads_used, 1);
+            for threads in [2usize, 4] {
+                let opts = BabOptions {
+                    threads,
+                    ..BabOptions::default()
+                };
+                let par = bab_maximize(&net, &spec, &obj, &opts).unwrap();
+                assert_eq!(par.status, MilpStatus::Optimal);
+                assert_eq!(par.threads_used, threads);
+                assert!(par.nodes_per_sec >= 0.0);
+                let (a, b) = (serial.best_value.unwrap(), par.best_value.unwrap());
+                assert!(
+                    (a - b).abs() <= 2.0 * opts.abs_gap,
+                    "seed {seed}, {threads} threads: serial {a} vs parallel {b}"
+                );
+                assert!(par.upper_bound >= b - 1e-9);
+                // Both proven bounds dominate both achieved values.
+                assert!(par.upper_bound >= a - 2.0 * opts.abs_gap);
+                assert!(serial.upper_bound >= b - 2.0 * opts.abs_gap);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let net = Network::relu_mlp(3, &[6], 1, 2).unwrap();
+        let spec = unit_spec(3);
+        let obj = LinearObjective::output(0);
+        let opts = BabOptions {
+            threads: 0,
+            ..BabOptions::default()
+        };
+        let r = bab_maximize(&net, &spec, &obj, &opts).unwrap();
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_eq!(r.threads_used, resolve_threads(0));
+        assert!(r.threads_used >= 1);
     }
 
     #[test]
@@ -589,19 +957,22 @@ mod tests {
         let net = Network::relu_mlp(8, &[16, 16, 16], 1, 2).unwrap();
         let spec = unit_spec(8);
         let obj = LinearObjective::output(0);
-        let opts = BabOptions {
-            time_limit: Some(Duration::from_millis(50)),
-            ..BabOptions::default()
-        };
-        let r = bab_maximize(&net, &spec, &obj, &opts).unwrap();
-        // Whatever happened, the bound must dominate any sample.
-        let mut rng = StdRng::seed_from_u64(4);
-        for _ in 0..500 {
-            let x: Vector = (0..8).map(|_| rng.gen_range(-1.0..=1.0)).collect();
-            assert!(net.forward(&x).unwrap()[0] <= r.upper_bound + 1e-6);
-        }
-        if let Some(v) = r.best_value {
-            assert!(v <= r.upper_bound + 1e-6);
+        for threads in [1usize, 3] {
+            let opts = BabOptions {
+                time_limit: Some(Duration::from_millis(50)),
+                threads,
+                ..BabOptions::default()
+            };
+            let r = bab_maximize(&net, &spec, &obj, &opts).unwrap();
+            // Whatever happened, the bound must dominate any sample.
+            let mut rng = StdRng::seed_from_u64(4);
+            for _ in 0..500 {
+                let x: Vector = (0..8).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+                assert!(net.forward(&x).unwrap()[0] <= r.upper_bound + 1e-6);
+            }
+            if let Some(v) = r.best_value {
+                assert!(v <= r.upper_bound + 1e-6);
+            }
         }
     }
 }

@@ -118,12 +118,28 @@ struct SymbolicBounds {
 }
 
 impl SymbolicBounds {
-    fn exact(a: Matrix, b: Vector) -> Self {
+    /// Buffer with `rows` rows over `n_in` input columns, all zero.
+    fn with_capacity(rows: usize, n_in: usize) -> Self {
         Self {
-            lower_a: a.clone(),
-            lower_b: b.clone(),
-            upper_a: a,
-            upper_b: b,
+            lower_a: Matrix::zeros(rows, n_in),
+            lower_b: Vector::zeros(rows),
+            upper_a: Matrix::zeros(rows, n_in),
+            upper_b: Vector::zeros(rows),
+        }
+    }
+
+    /// Reinitialises the first `n` rows to the exact identity bounds
+    /// `x ≤ v ≤ x` of the network input (the symbolic state before the
+    /// first layer).
+    fn load_identity(&mut self, n: usize) {
+        for r in 0..n {
+            for c in 0..n {
+                let v = if r == c { 1.0 } else { 0.0 };
+                self.lower_a[(r, c)] = v;
+                self.upper_a[(r, c)] = v;
+            }
+            self.lower_b[r] = 0.0;
+            self.upper_b[r] = 0.0;
         }
     }
 
@@ -182,204 +198,286 @@ pub struct PhasedAnalysis {
     pub unstable: Vec<(usize, f64)>,
 }
 
-/// DeepPoly/CROWN-style symbolic propagation under a partial ReLU phase
-/// assignment, with a symbolic objective bound.
+/// Reusable phase-aware analyzer over one `(network, input box)` pair.
 ///
-/// Passing all-`None` phases and reading `bounds` reproduces
-/// [`symbolic_bounds`]. The `objective_upper` is computed by combining
-/// the output layer's symbolic bounds with the objective's coefficients
-/// *before* concretisation, which is tighter than combining concretised
-/// output intervals.
+/// [`analyze_with_phases`] is called at every node of the neuron
+/// branch-and-bound, and a fresh call pays for two full coefficient
+/// matrices per layer plus a complete interval-bound propagation — all of
+/// which depend only on the network and the box, not on the phases. This
+/// analyzer hoists that state out of the per-node loop:
+///
+/// * the IBP result is computed once (lazily — phase-forced calls never
+///   need it) and cached,
+/// * the two symbolic coefficient buffers are allocated once at the
+///   widest layer size and reused by every subsequent [`analyze`] call,
+///   with the ReLU activation step rewritten **in place** (every update
+///   is an element-wise scale, so no aliasing hazard).
+///
+/// Each branch-and-bound worker owns one `PhaseAnalyzer`; results are
+/// identical to the allocate-per-call path, which remains available as
+/// the [`analyze_with_phases`] convenience wrapper.
+///
+/// [`analyze`]: PhaseAnalyzer::analyze
+pub struct PhaseAnalyzer<'a> {
+    net: &'a Network,
+    input_box: &'a [Interval],
+    ibp: Option<NetworkBounds>,
+    cur: SymbolicBounds,
+    nxt: SymbolicBounds,
+}
+
+impl<'a> PhaseAnalyzer<'a> {
+    /// Prepares reusable buffers for `net` under `input_box`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::SpecMismatch`] if the box width differs
+    /// from the network's input width.
+    pub fn new(net: &'a Network, input_box: &'a [Interval]) -> Result<Self, VerifyError> {
+        check_box(net, input_box)?;
+        let n_in = net.inputs();
+        let max_rows = net
+            .layers()
+            .iter()
+            .map(|l| l.outputs())
+            .max()
+            .unwrap_or(0)
+            .max(n_in);
+        Ok(Self {
+            net,
+            input_box,
+            ibp: None,
+            cur: SymbolicBounds::with_capacity(max_rows, n_in),
+            nxt: SymbolicBounds::with_capacity(max_rows, n_in),
+        })
+    }
+
+    /// DeepPoly/CROWN-style symbolic propagation under a partial ReLU
+    /// phase assignment, with a symbolic objective bound.
+    ///
+    /// Passing all-`None` phases and reading `bounds` reproduces
+    /// [`symbolic_bounds`]. The `objective_upper` is computed by
+    /// combining the output layer's symbolic bounds with the objective's
+    /// coefficients *before* concretisation, which is tighter than
+    /// combining concretised output intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::NotPiecewiseLinear`] for non-ReLU/identity
+    /// layers, and [`VerifyError::SpecMismatch`] if `phases` is non-empty
+    /// but shorter than the network's ReLU neuron count.
+    #[allow(clippy::needless_range_loop)] // row-indexed symbolic updates
+    pub fn analyze(
+        &mut self,
+        phases: &Phases,
+        objective: &LinearObjective,
+    ) -> Result<PhasedAnalysis, VerifyError> {
+        let net = self.net;
+        let input_box = self.input_box;
+        let total_relu = net.num_relu_neurons();
+        if !phases.is_empty() && phases.len() < total_relu {
+            return Err(VerifyError::SpecMismatch {
+                network_inputs: total_relu,
+                spec_inputs: phases.len(),
+            });
+        }
+        let n_in = net.inputs();
+        let mut pre = Vec::with_capacity(net.layers().len());
+        let mut post = Vec::with_capacity(net.layers().len());
+        let mut conflict = false;
+        let mut unstable = Vec::new();
+        let mut relu_cursor = 0usize;
+
+        // The IBP intersection below is only sound (and only applied)
+        // when no phase is forced, so compute it lazily: pure
+        // branch-and-bound node calls never pay for it.
+        let phase_free = phases.is_empty() || phases.iter().all(Option::is_none);
+        if phase_free && self.ibp.is_none() {
+            self.ibp = Some(interval_bounds(net, input_box)?);
+        }
+
+        self.cur.load_identity(n_in);
+
+        for (li, layer) in net.layers().iter().enumerate() {
+            if !layer.activation().is_piecewise_linear() {
+                return Err(VerifyError::NotPiecewiseLinear { layer: li });
+            }
+            let w = layer.weights();
+            let b = layer.bias();
+            let rows = layer.outputs();
+
+            // Affine step: z = W·a + b, with W split by sign for each
+            // bound. Reads `cur` (previous activation symbolics), fully
+            // overwrites the first `rows` rows of `nxt`.
+            let (prev, z_sym) = (&self.cur, &mut self.nxt);
+            for r in 0..rows {
+                z_sym.zero_row(r, n_in);
+                z_sym.lower_b[r] = b[r];
+                z_sym.upper_b[r] = b[r];
+                for j in 0..layer.inputs() {
+                    let wij = w[(r, j)];
+                    if wij == 0.0 {
+                        continue;
+                    }
+                    let (use_lo_a, use_lo_b, use_hi_a, use_hi_b) = if wij > 0.0 {
+                        (&prev.lower_a, &prev.lower_b, &prev.upper_a, &prev.upper_b)
+                    } else {
+                        (&prev.upper_a, &prev.upper_b, &prev.lower_a, &prev.lower_b)
+                    };
+                    for c in 0..n_in {
+                        z_sym.lower_a[(r, c)] += wij * use_lo_a[(j, c)];
+                        z_sym.upper_a[(r, c)] += wij * use_hi_a[(j, c)];
+                    }
+                    z_sym.lower_b[r] += wij * use_lo_b[j];
+                    z_sym.upper_b[r] += wij * use_hi_b[j];
+                }
+            }
+            // Concretise pre-activations; intersect with IBP (phase-free,
+            // so only valid as a *relaxation* intersection when no phase
+            // forces the neuron — under forced phases the symbolic bound
+            // already describes the phase-linearised surrogate and IBP
+            // stays sound for it only in the unforced case; keep the
+            // intersection only when no phases are active at all to stay
+            // conservative).
+            let mut z_conc = Vec::with_capacity(rows);
+            for r in 0..rows {
+                let sym = z_sym.concretize_row(r, input_box);
+                let both = match (phase_free, &self.ibp) {
+                    (true, Some(ibp)) => sym.intersect(&ibp.pre[li][r]).unwrap_or(sym),
+                    _ => sym,
+                };
+                z_conc.push(both);
+            }
+
+            // Activation step, rewriting `nxt` in place: every ReLU case
+            // either zeroes a row or scales its own elements, so reading
+            // the pre-activation coefficient while writing the activation
+            // one is safe element-by-element.
+            let sym = &mut self.nxt;
+            let a_conc = match layer.activation() {
+                Activation::Identity => z_conc.clone(),
+                Activation::Relu => {
+                    let mut conc = Vec::with_capacity(rows);
+                    for r in 0..rows {
+                        let iv = z_conc[r];
+                        let phase = phases.get(relu_cursor).copied().flatten();
+                        let flat = relu_cursor;
+                        relu_cursor += 1;
+                        match phase {
+                            Some(false) => {
+                                // Forced inactive: region needs z ≤ 0.
+                                if iv.lo() > 1e-9 {
+                                    conflict = true;
+                                }
+                                sym.zero_row(r, n_in);
+                                conc.push(Interval::zero());
+                            }
+                            Some(true) => {
+                                // Forced active: region needs z ≥ 0; the
+                                // surrogate keeps y = z exactly.
+                                if iv.hi() < -1e-9 {
+                                    conflict = true;
+                                }
+                                conc.push(iv);
+                            }
+                            None => {
+                                if iv.is_nonpositive() {
+                                    sym.zero_row(r, n_in);
+                                    conc.push(Interval::zero());
+                                } else if iv.is_nonnegative() {
+                                    conc.push(iv);
+                                } else {
+                                    // Unstable: triangle relaxation.
+                                    let (l, u) = (iv.lo(), iv.hi());
+                                    unstable.push((flat, iv.width()));
+                                    let slope = u / (u - l);
+                                    for c in 0..n_in {
+                                        sym.upper_a[(r, c)] *= slope;
+                                    }
+                                    sym.upper_b[r] = slope * (sym.upper_b[r] - l);
+                                    let lambda = if u >= -l { 1.0 } else { 0.0 };
+                                    for c in 0..n_in {
+                                        sym.lower_a[(r, c)] *= lambda;
+                                    }
+                                    sym.lower_b[r] *= lambda;
+                                    conc.push(iv.relu());
+                                }
+                            }
+                        }
+                    }
+                    conc
+                }
+                Activation::Tanh => unreachable!("checked above"),
+            };
+
+            pre.push(z_conc);
+            post.push(a_conc);
+            std::mem::swap(&mut self.cur, &mut self.nxt);
+        }
+
+        // Combine the output symbolics with the objective before
+        // concretising.
+        let out_sym = &self.cur;
+        let mut obj_a = vec![0.0; n_in];
+        let mut obj_b = objective.constant;
+        for &(o, c) in &objective.terms {
+            if c == 0.0 {
+                continue;
+            }
+            let (a_mat, b_vec) = if c > 0.0 {
+                (&out_sym.upper_a, &out_sym.upper_b)
+            } else {
+                (&out_sym.lower_a, &out_sym.lower_b)
+            };
+            for (i, slot) in obj_a.iter_mut().enumerate() {
+                *slot += c * a_mat[(o, i)];
+            }
+            obj_b += c * b_vec[o];
+        }
+        let mut objective_upper = obj_b;
+        let maximizer: Vector = input_box
+            .iter()
+            .zip(&obj_a)
+            .map(|(iv, &a)| {
+                objective_upper += if a >= 0.0 { a * iv.hi() } else { a * iv.lo() };
+                if a > 0.0 {
+                    iv.hi()
+                } else {
+                    iv.lo()
+                }
+            })
+            .collect();
+        if conflict {
+            objective_upper = f64::NEG_INFINITY;
+        }
+
+        Ok(PhasedAnalysis {
+            bounds: NetworkBounds { pre, post },
+            objective_upper,
+            maximizer,
+            conflict,
+            unstable,
+        })
+    }
+}
+
+/// One-shot convenience wrapper over [`PhaseAnalyzer`]; see there for the
+/// semantics. Callers analysing many phase assignments of the same
+/// `(network, box)` pair should hold a [`PhaseAnalyzer`] instead to
+/// amortise its buffers.
 ///
 /// # Errors
 ///
-/// Returns [`VerifyError::SpecMismatch`] for a wrong box width,
-/// [`VerifyError::NotPiecewiseLinear`] for non-ReLU/identity layers, and
-/// [`VerifyError::SpecMismatch`] if `phases` is non-empty but shorter
-/// than the network's ReLU neuron count.
-#[allow(clippy::needless_range_loop)] // row-indexed symbolic updates
+/// Returns [`VerifyError::SpecMismatch`] for a wrong box width or a
+/// non-empty `phases` shorter than the network's ReLU neuron count, and
+/// [`VerifyError::NotPiecewiseLinear`] for non-ReLU/identity layers.
 pub fn analyze_with_phases(
     net: &Network,
     input_box: &[Interval],
     phases: &Phases,
     objective: &LinearObjective,
 ) -> Result<PhasedAnalysis, VerifyError> {
-    check_box(net, input_box)?;
-    let total_relu = net.num_relu_neurons();
-    if !phases.is_empty() && phases.len() < total_relu {
-        return Err(VerifyError::SpecMismatch {
-            network_inputs: total_relu,
-            spec_inputs: phases.len(),
-        });
-    }
-    let n_in = net.inputs();
-    let mut pre = Vec::with_capacity(net.layers().len());
-    let mut post = Vec::with_capacity(net.layers().len());
-    let mut conflict = false;
-    let mut unstable = Vec::new();
-    let mut relu_cursor = 0usize;
-
-    let mut prev = SymbolicBounds::exact(Matrix::identity(n_in), Vector::zeros(n_in));
-    let ibp = interval_bounds(net, input_box)?;
-
-    for (li, layer) in net.layers().iter().enumerate() {
-        if !layer.activation().is_piecewise_linear() {
-            return Err(VerifyError::NotPiecewiseLinear { layer: li });
-        }
-        let w = layer.weights();
-        let b = layer.bias();
-        let rows = layer.outputs();
-
-        // Affine step: z = W·a + b, with W split by sign for each bound.
-        let mut z_sym = SymbolicBounds {
-            lower_a: Matrix::zeros(rows, n_in),
-            lower_b: Vector::zeros(rows),
-            upper_a: Matrix::zeros(rows, n_in),
-            upper_b: Vector::zeros(rows),
-        };
-        for r in 0..rows {
-            z_sym.lower_b[r] = b[r];
-            z_sym.upper_b[r] = b[r];
-            for j in 0..layer.inputs() {
-                let wij = w[(r, j)];
-                if wij == 0.0 {
-                    continue;
-                }
-                let (use_lo_a, use_lo_b, use_hi_a, use_hi_b) = if wij > 0.0 {
-                    (&prev.lower_a, &prev.lower_b, &prev.upper_a, &prev.upper_b)
-                } else {
-                    (&prev.upper_a, &prev.upper_b, &prev.lower_a, &prev.lower_b)
-                };
-                for c in 0..n_in {
-                    z_sym.lower_a[(r, c)] += wij * use_lo_a[(j, c)];
-                    z_sym.upper_a[(r, c)] += wij * use_hi_a[(j, c)];
-                }
-                z_sym.lower_b[r] += wij * use_lo_b[j];
-                z_sym.upper_b[r] += wij * use_hi_b[j];
-            }
-        }
-        // Concretise pre-activations; intersect with IBP (phase-free, so
-        // only valid as a *relaxation* intersection when no phase forces
-        // the neuron — under forced phases the symbolic bound already
-        // describes the phase-linearised surrogate and IBP stays sound
-        // for it only in the unforced case; keep the intersection only
-        // when no phases are active at all to stay conservative).
-        let phase_free = phases.is_empty() || phases.iter().all(Option::is_none);
-        let mut z_conc = Vec::with_capacity(rows);
-        for r in 0..rows {
-            let sym = z_sym.concretize_row(r, input_box);
-            let both = if phase_free {
-                sym.intersect(&ibp.pre[li][r]).unwrap_or(sym)
-            } else {
-                sym
-            };
-            z_conc.push(both);
-        }
-
-        // Activation step.
-        let (a_sym, a_conc) = match layer.activation() {
-            Activation::Identity => (z_sym.clone(), z_conc.clone()),
-            Activation::Relu => {
-                let mut sym = z_sym.clone();
-                let mut conc = Vec::with_capacity(rows);
-                for r in 0..rows {
-                    let iv = z_conc[r];
-                    let phase = phases.get(relu_cursor).copied().flatten();
-                    let flat = relu_cursor;
-                    relu_cursor += 1;
-                    match phase {
-                        Some(false) => {
-                            // Forced inactive: region needs z ≤ 0.
-                            if iv.lo() > 1e-9 {
-                                conflict = true;
-                            }
-                            sym.zero_row(r, n_in);
-                            conc.push(Interval::zero());
-                        }
-                        Some(true) => {
-                            // Forced active: region needs z ≥ 0; the
-                            // surrogate keeps y = z exactly.
-                            if iv.hi() < -1e-9 {
-                                conflict = true;
-                            }
-                            conc.push(iv);
-                        }
-                        None => {
-                            if iv.is_nonpositive() {
-                                sym.zero_row(r, n_in);
-                                conc.push(Interval::zero());
-                            } else if iv.is_nonnegative() {
-                                conc.push(iv);
-                            } else {
-                                // Unstable: triangle relaxation.
-                                let (l, u) = (iv.lo(), iv.hi());
-                                unstable.push((flat, iv.width()));
-                                let slope = u / (u - l);
-                                for c in 0..n_in {
-                                    sym.upper_a[(r, c)] = slope * z_sym.upper_a[(r, c)];
-                                }
-                                sym.upper_b[r] = slope * (z_sym.upper_b[r] - l);
-                                let lambda = if u >= -l { 1.0 } else { 0.0 };
-                                for c in 0..n_in {
-                                    sym.lower_a[(r, c)] = lambda * z_sym.lower_a[(r, c)];
-                                }
-                                sym.lower_b[r] = lambda * z_sym.lower_b[r];
-                                conc.push(iv.relu());
-                            }
-                        }
-                    }
-                }
-                (sym, conc)
-            }
-            Activation::Tanh => unreachable!("checked above"),
-        };
-
-        pre.push(z_conc);
-        post.push(a_conc);
-        prev = a_sym;
-    }
-
-    // Combine the output symbolics with the objective before concretising.
-    let mut obj_a = vec![0.0; n_in];
-    let mut obj_b = objective.constant;
-    for &(o, c) in &objective.terms {
-        if c == 0.0 {
-            continue;
-        }
-        let (a_mat, b_vec) = if c > 0.0 {
-            (&prev.upper_a, &prev.upper_b)
-        } else {
-            (&prev.lower_a, &prev.lower_b)
-        };
-        for (i, slot) in obj_a.iter_mut().enumerate() {
-            *slot += c * a_mat[(o, i)];
-        }
-        obj_b += c * b_vec[o];
-    }
-    let mut objective_upper = obj_b;
-    let maximizer: Vector = input_box
-        .iter()
-        .zip(&obj_a)
-        .map(|(iv, &a)| {
-            objective_upper += if a >= 0.0 { a * iv.hi() } else { a * iv.lo() };
-            if a > 0.0 {
-                iv.hi()
-            } else {
-                iv.lo()
-            }
-        })
-        .collect();
-    if conflict {
-        objective_upper = f64::NEG_INFINITY;
-    }
-
-    Ok(PhasedAnalysis {
-        bounds: NetworkBounds { pre, post },
-        objective_upper,
-        maximizer,
-        conflict,
-        unstable,
-    })
+    PhaseAnalyzer::new(net, input_box)?.analyze(phases, objective)
 }
 
 /// DeepPoly/CROWN-style symbolic bound propagation (no phase forcing).
@@ -602,6 +700,34 @@ mod tests {
         assert_eq!(an.bounds, sym);
         assert!(!an.conflict);
         assert_eq!(an.unstable.len(), an.bounds.count_unstable(&net));
+    }
+
+    #[test]
+    fn reused_analyzer_matches_fresh_calls() {
+        // The buffer-reusing analyzer must be bit-identical to the
+        // allocate-per-call path across an interleaved sequence of
+        // phase-free and phase-forced queries.
+        let net = Network::relu_mlp(3, &[7, 5], 2, 21).unwrap();
+        let ib = unit_box(3);
+        let obj = LinearObjective::output(1);
+        let n = net.num_relu_neurons();
+        let mut analyzer = PhaseAnalyzer::new(&net, &ib).unwrap();
+        let mut phase_sets: Vec<Vec<Option<bool>>> = vec![Vec::new(), vec![None; n]];
+        for flat in 0..n.min(4) {
+            let mut p = vec![None; n];
+            p[flat] = Some(flat % 2 == 0);
+            phase_sets.push(p);
+        }
+        // Interleave and repeat so stale buffer contents would surface.
+        for phases in phase_sets.iter().chain(phase_sets.iter().rev()) {
+            let reused = analyzer.analyze(phases, &obj).unwrap();
+            let fresh = analyze_with_phases(&net, &ib, phases, &obj).unwrap();
+            assert_eq!(reused.bounds, fresh.bounds);
+            assert_eq!(reused.objective_upper, fresh.objective_upper);
+            assert_eq!(reused.maximizer, fresh.maximizer);
+            assert_eq!(reused.conflict, fresh.conflict);
+            assert_eq!(reused.unstable, fresh.unstable);
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! 3. [`bab`] — the hybrid neuron branch-and-bound: gradient-guided phase
 //!    branching, symbolic + LP bounding per node, genuine incumbents from
 //!    every node's bounding corner, and an exact sub-MILP once few
-//!    neurons remain unstable.
+//!    neurons remain unstable. The search is work-sharing parallel
+//!    ([`bab::BabOptions::threads`]); any thread count returns the same
+//!    verdict within the `abs_gap` contract.
 //! 4. [`verifier`] — the two query forms of Table II behind one facade:
 //!    [`verifier::Verifier::maximize`] / [`verifier::Verifier::minimize`]
 //!    compute exact extrema of linear output functionals (rows 1–6), and

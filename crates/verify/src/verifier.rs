@@ -157,6 +157,10 @@ pub struct VerifierOptions {
     pub node_limit: Option<usize>,
     /// Absolute optimality gap for `maximize`.
     pub abs_gap: f64,
+    /// Search workers for the branch-and-bound engines: `1` keeps the
+    /// deterministic serial visit order, `0` uses one worker per
+    /// available core (see [`crate::bab::resolve_threads`]).
+    pub threads: usize,
 }
 
 impl Default for VerifierOptions {
@@ -168,6 +172,7 @@ impl Default for VerifierOptions {
             time_limit: None,
             node_limit: None,
             abs_gap: 1e-6,
+            threads: 1,
         }
     }
 }
@@ -210,6 +215,7 @@ impl Verifier {
             target_objective: None,
             bound_cutoff: None,
             lp_bounding: true,
+            threads: self.opts.threads,
         }
     }
 

@@ -1,0 +1,224 @@
+//! Offline drop-in subset of the
+//! [`criterion`](https://crates.io/crates/criterion) bench harness.
+//!
+//! The build environment has no registry access, so the small surface the
+//! workspace benches use is reimplemented here: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`/`measurement_time`/
+//! `bench_function`/`bench_with_input`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Differences from upstream, by design: no statistical analysis, no
+//! warm-up phase beyond one untimed iteration, no HTML reports. Each
+//! benchmark runs `sample_size` timed iterations and prints the mean and
+//! min wall time per iteration — enough to compare before/after when
+//! optimising, which is all the workspace uses benches for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser identity, so benchmarked results are not
+/// dead-code-eliminated.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Bench harness entry point; one per `criterion_main!` binary.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// A named set of benchmarks sharing sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this stub always runs exactly
+    /// `sample_size` iterations regardless of the requested budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            timings: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, &id.into());
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            timings: Vec::new(),
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.0);
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub reports
+    /// eagerly, so this is a no-op kept for call-site compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations (plus one
+    /// untimed warm-up call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.timings.clear();
+        self.timings.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if self.timings.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.timings.iter().sum();
+        let mean = total / self.timings.len() as u32;
+        let min = self.timings.iter().min().copied().unwrap_or_default();
+        println!(
+            "{label:<40} mean {:>12.3?}  min {:>12.3?}  ({} samples)",
+            mean,
+            min,
+            self.timings.len()
+        );
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions with a
+/// fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false` or the
+/// default libtest passthrough (`--bench` is accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // libtest-style flags (`--bench`, `--test`) arrive from cargo;
+            // accept and ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_secs(1));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_all_forms() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("a", 3).0, "a/3");
+        assert_eq!(BenchmarkId::from_parameter(9).0, "9");
+    }
+}
