@@ -1,0 +1,142 @@
+//! Compares two bench JSON files row by row (`table2 --json` /
+//! `fleet --json` output) and prints percentage deltas.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json> [--max-wall-ratio R]
+//! ```
+//!
+//! Rows are matched by position and must agree on `width`; for each pair
+//! the tool prints the wall-time, node and pivot deltas as percentages
+//! of the baseline, plus the candidate's warm/cold solve split. With
+//! `--max-wall-ratio R` the exit code is 1 if *total* candidate wall
+//! time exceeds `R ×` the baseline's — the regression gate behind
+//! `./ci --bench-smoke`.
+
+use certnn_bench::json::{read_json, BenchRow};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Percentage change from `base` to `cand`; `None` when the baseline is
+/// zero (no meaningful percentage).
+fn pct(base: f64, cand: f64) -> Option<f64> {
+    (base != 0.0 && base.is_finite() && cand.is_finite())
+        .then(|| 100.0 * (cand - base) / base)
+}
+
+fn fmt_pct(p: Option<f64>) -> String {
+    match p {
+        Some(p) => format!("{p:+.1}%"),
+        None => "n.a.".to_string(),
+    }
+}
+
+fn print_diff(base: &[BenchRow], cand: &[BenchRow]) {
+    println!(
+        "{:<6} {:>12} {:>12} {:>9} | {:>8} | {:>10} | {:>13} {:>12}",
+        "width", "base wall", "cand wall", "Δwall", "Δnodes", "Δpivots", "warm/cold", "saved"
+    );
+    for (b, c) in base.iter().zip(cand) {
+        println!(
+            "{:<6} {:>11.3}s {:>11.3}s {:>9} | {:>8} | {:>10} | {:>6}/{:<6} {:>12}",
+            b.width,
+            b.wall_secs,
+            c.wall_secs,
+            fmt_pct(pct(b.wall_secs, c.wall_secs)),
+            fmt_pct(pct(b.nodes as f64, c.nodes as f64)),
+            fmt_pct(pct(b.lp_iterations as f64, c.lp_iterations as f64)),
+            c.warm_solves,
+            c.cold_solves,
+            c.pivots_saved
+        );
+    }
+    let total = |rows: &[BenchRow], f: fn(&BenchRow) -> f64| -> f64 {
+        rows.iter().map(f).filter(|v| v.is_finite()).sum()
+    };
+    let (bw, cw) = (total(base, |r| r.wall_secs), total(cand, |r| r.wall_secs));
+    let (bp, cp) = (
+        total(base, |r| r.lp_iterations as f64),
+        total(cand, |r| r.lp_iterations as f64),
+    );
+    println!(
+        "total  {bw:>11.3}s {cw:>11.3}s {:>9} |          | {:>10} |",
+        fmt_pct(pct(bw, cw)),
+        fmt_pct(pct(bp, cp)),
+    );
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut max_wall_ratio: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-wall-ratio" => {
+                i += 1;
+                let r = args
+                    .get(i)
+                    .ok_or("--max-wall-ratio needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --max-wall-ratio: {e}"))?;
+                if !(r.is_finite() && r > 0.0) {
+                    return Err(format!("--max-wall-ratio must be positive, got {r}"));
+                }
+                max_wall_ratio = Some(r);
+            }
+            p => paths.push(p.to_string()),
+        }
+        i += 1;
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        return Err(
+            "usage: bench_diff <baseline.json> <candidate.json> [--max-wall-ratio R]"
+                .to_string(),
+        );
+    };
+    let base = read_json(Path::new(base_path))?;
+    let cand = read_json(Path::new(cand_path))?;
+    if base.len() != cand.len() {
+        return Err(format!(
+            "row count mismatch: baseline {} vs candidate {}",
+            base.len(),
+            cand.len()
+        ));
+    }
+    for (i, (b, c)) in base.iter().zip(&cand).enumerate() {
+        if b.width != c.width {
+            return Err(format!(
+                "row {i}: width mismatch (baseline {} vs candidate {})",
+                b.width, c.width
+            ));
+        }
+    }
+    print_diff(&base, &cand);
+    if let Some(ratio) = max_wall_ratio {
+        let sum = |rows: &[BenchRow]| -> f64 {
+            rows.iter()
+                .map(|r| r.wall_secs)
+                .filter(|v| v.is_finite())
+                .sum()
+        };
+        let (bw, cw) = (sum(&base), sum(&cand));
+        if cw > ratio * bw {
+            return Err(format!(
+                "wall-time regression: candidate {cw:.3}s > {ratio} x baseline {bw:.3}s"
+            ));
+        }
+        println!("wall-time gate ok: {cw:.3}s <= {ratio} x {bw:.3}s");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

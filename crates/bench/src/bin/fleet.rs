@@ -1,10 +1,11 @@
 //! Reproduces the paper's fleet observation: networks trained on the same
 //! data do not all satisfy the safety property.
 //!
-//! Usage: `fleet [--smoke] [--threads N] [--json rows.json]`
+//! Usage: `fleet [--smoke] [--threads N] [--json rows.json] [--cold]`
 //!
 //! `--threads 0` (the default) trains/verifies members on all available
-//! cores; `--threads 1` restores the serial run. `--json` additionally
+//! cores; `--threads 1` restores the serial run. `--cold` disables LP
+//! warm-starting (verdict-preserving baseline). `--json` additionally
 //! writes one machine-readable record per member (see
 //! [`certnn_bench::json`]).
 
@@ -25,6 +26,7 @@ fn main() {
                 i += 1;
                 config.threads = args[i].parse().expect("threads must be an integer");
             }
+            "--cold" => config.warm_start = false,
             "--json" => {
                 i += 1;
                 json_path = Some(PathBuf::from(&args[i]));
@@ -61,7 +63,12 @@ fn main() {
                         value: m.verified_max,
                         wall_secs: m.wall_secs,
                         nodes: m.nodes,
+                        lp_iterations: m.lp_iterations,
+                        warm_solves: m.warm_solves,
+                        cold_solves: m.cold_solves,
+                        pivots_saved: m.pivots_saved,
                         threads: config.threads,
+                        warm_start: config.warm_start,
                     })
                     .collect();
                 match write_json(&path, &rows) {

@@ -4,13 +4,16 @@
 //!
 //! ```text
 //! table2 [--widths 10,20,25,40,50,60] [--time-limit 120] [--epochs 25]
-//!        [--threads N] [--json rows.json] [--smoke]
+//!        [--threads N] [--json rows.json] [--smoke] [--cold]
 //! ```
 //!
 //! `--smoke` runs the seconds-scale variant used by the integration tests.
 //! `--threads 0` (the default) verifies widths on all available cores;
-//! `--threads 1` restores the serial run. `--json` additionally writes
-//! one machine-readable record per width (see [`certnn_bench::json`]).
+//! `--threads 1` restores the serial run. `--cold` disables LP
+//! warm-starting (the baseline the warm path is benchmarked against;
+//! verdicts are identical either way). `--json` additionally writes one
+//! machine-readable record per width (see [`certnn_bench::json`]) —
+//! diff two such files with `bench_diff`.
 
 use certnn_bench::json::{write_json, BenchRow};
 use certnn_bench::table2::{run_table2, Table2Config};
@@ -46,6 +49,7 @@ fn main() {
                 i += 1;
                 config.threads = args[i].parse().expect("threads must be an integer");
             }
+            "--cold" => config.warm_start = false,
             "--json" => {
                 i += 1;
                 json_path = Some(PathBuf::from(&args[i]));
@@ -59,8 +63,12 @@ fn main() {
     }
 
     println!(
-        "running Table II: widths {:?}, time limit {:?}, {} epochs, threads {}",
-        config.widths, config.time_limit, config.epochs, config.threads
+        "running Table II: widths {:?}, time limit {:?}, {} epochs, threads {}, {}",
+        config.widths,
+        config.time_limit,
+        config.epochs,
+        config.threads,
+        if config.warm_start { "warm LP starts" } else { "cold LP starts" }
     );
     match run_table2(&config) {
         Ok(result) => {
@@ -80,7 +88,12 @@ fn main() {
                         value: row.max_lateral,
                         wall_secs: row.time.as_secs_f64(),
                         nodes: row.nodes,
+                        lp_iterations: row.lp_iterations,
+                        warm_solves: row.warm_solves,
+                        cold_solves: row.cold_solves,
+                        pivots_saved: row.pivots_saved,
                         threads: config.threads,
+                        warm_start: config.warm_start,
                     })
                     .collect();
                 match write_json(&path, &rows) {

@@ -1,18 +1,23 @@
 //! Machine-readable bench output (`--json <path>`).
 //!
 //! The report binaries print human tables; scripted comparisons (e.g.
-//! thread-scaling sweeps plotted across runs) want stable records
+//! warm-vs-cold sweeps diffed by `bench_diff`) want stable records
 //! instead. This module emits one JSON array of flat row objects,
 //!
 //! ```json
 //! [
-//!   {"width": 10, "value": 0.688497, "wall_secs": 5.4, "nodes": 812, "threads": 4}
+//!   {"width": 10, "value": 0.688497, "wall_secs": 5.4, "nodes": 812,
+//!    "lp_iterations": 90321, "warm_solves": 700, "cold_solves": 112,
+//!    "pivots_saved": 41250, "threads": 4, "warm_start": true}
 //! ]
 //! ```
 //!
 //! hand-rolled (no serde in this dependency-free workspace): the schema
-//! is five fixed scalar fields, so a formatter is 30 lines and keeps the
-//! workspace building offline.
+//! is a handful of fixed scalar fields, so a formatter and a parser stay
+//! small and keep the workspace building offline. [`parse_json`] accepts
+//! exactly what [`to_json`] produces plus older files missing the newer
+//! fields (they default to zero/true), so committed baselines stay
+//! readable across schema growth.
 
 use std::fs;
 use std::io;
@@ -30,8 +35,35 @@ pub struct BenchRow {
     pub wall_secs: f64,
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Simplex pivots across all LP solves of the row.
+    pub lp_iterations: usize,
+    /// LP solves that reused a parent basis via the dual simplex.
+    pub warm_solves: usize,
+    /// LP solves started from scratch.
+    pub cold_solves: usize,
+    /// Estimated pivots avoided by warm starts.
+    pub pivots_saved: usize,
     /// Thread knob the row ran with (`0` = auto).
     pub threads: usize,
+    /// Whether LP warm-starting was enabled for the row.
+    pub warm_start: bool,
+}
+
+impl Default for BenchRow {
+    fn default() -> Self {
+        Self {
+            width: 0,
+            value: None,
+            wall_secs: 0.0,
+            nodes: 0,
+            lp_iterations: 0,
+            warm_solves: 0,
+            cold_solves: 0,
+            pivots_saved: 0,
+            threads: 0,
+            warm_start: true,
+        }
+    }
 }
 
 /// JSON literal for an `f64`: finite values round-trip via `Display`,
@@ -50,12 +82,19 @@ pub fn to_json(rows: &[BenchRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let value = r.value.map_or("null".to_string(), json_f64);
         s.push_str(&format!(
-            "  {{\"width\": {}, \"value\": {}, \"wall_secs\": {}, \"nodes\": {}, \"threads\": {}}}",
+            "  {{\"width\": {}, \"value\": {}, \"wall_secs\": {}, \"nodes\": {}, \
+             \"lp_iterations\": {}, \"warm_solves\": {}, \"cold_solves\": {}, \
+             \"pivots_saved\": {}, \"threads\": {}, \"warm_start\": {}}}",
             r.width,
             value,
             json_f64(r.wall_secs),
             r.nodes,
-            r.threads
+            r.lp_iterations,
+            r.warm_solves,
+            r.cold_solves,
+            r.pivots_saved,
+            r.threads,
+            r.warm_start
         ));
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -73,34 +112,135 @@ pub fn write_json(path: &Path, rows: &[BenchRow]) -> io::Result<()> {
     fs::write(path, to_json(rows))
 }
 
+/// Extracts the value of `key` from one flat JSON object body.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Parses the flat-row JSON produced by [`to_json`]. Fields absent from
+/// older files default ([`BenchRow::default`]), so baselines committed
+/// before a schema extension keep parsing.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed row.
+pub fn parse_json(text: &str) -> Result<Vec<BenchRow>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('[')
+        .and_then(|b| b.strip_suffix(']'))
+        .ok_or_else(|| "expected a JSON array".to_string())?;
+    let mut rows = Vec::new();
+    let mut rest = body;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .ok_or_else(|| format!("row {}: unterminated object", rows.len()))?;
+        let obj = &rest[open + 1..open + close];
+        let mut row = BenchRow::default();
+        let parse_usize = |key: &str| -> Result<Option<usize>, String> {
+            match field(obj, key) {
+                None => Ok(None),
+                Some(v) => v
+                    .parse()
+                    .map(Some)
+                    .map_err(|_| format!("row {}: bad {key} `{v}`", rows.len())),
+            }
+        };
+        row.width = parse_usize("width")?
+            .ok_or_else(|| format!("row {}: missing width", rows.len()))?;
+        row.nodes = parse_usize("nodes")?.unwrap_or(0);
+        row.lp_iterations = parse_usize("lp_iterations")?.unwrap_or(0);
+        row.warm_solves = parse_usize("warm_solves")?.unwrap_or(0);
+        row.cold_solves = parse_usize("cold_solves")?.unwrap_or(0);
+        row.pivots_saved = parse_usize("pivots_saved")?.unwrap_or(0);
+        row.threads = parse_usize("threads")?.unwrap_or(0);
+        row.value = match field(obj, "value") {
+            None | Some("null") => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("row {}: bad value `{v}`", rows.len()))?,
+            ),
+        };
+        row.wall_secs = match field(obj, "wall_secs") {
+            None | Some("null") => f64::NAN,
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("row {}: bad wall_secs `{v}`", rows.len()))?,
+        };
+        row.warm_start = match field(obj, "warm_start") {
+            None => true,
+            Some("true") => true,
+            Some("false") => false,
+            Some(v) => return Err(format!("row {}: bad warm_start `{v}`", rows.len())),
+        };
+        rows.push(row);
+        rest = &rest[open + close + 1..];
+    }
+    Ok(rows)
+}
+
+/// Reads and parses a bench JSON file.
+///
+/// # Errors
+///
+/// Returns a description if the file cannot be read or parsed.
+pub fn read_json(path: &Path) -> Result<Vec<BenchRow>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn rows_render_as_valid_flat_objects() {
-        let rows = [
+    fn sample_rows() -> [BenchRow; 2] {
+        [
             BenchRow {
                 width: 10,
                 value: Some(0.6875),
                 wall_secs: 5.5,
                 nodes: 812,
+                lp_iterations: 90321,
+                warm_solves: 700,
+                cold_solves: 112,
+                pivots_saved: 41250,
                 threads: 4,
+                warm_start: true,
             },
             BenchRow {
                 width: 60,
                 value: None,
                 wall_secs: 30.0,
                 nodes: 12000,
+                lp_iterations: 500000,
+                warm_solves: 0,
+                cold_solves: 12000,
+                pivots_saved: 0,
                 threads: 0,
+                warm_start: false,
             },
-        ];
-        let s = to_json(&rows);
+        ]
+    }
+
+    #[test]
+    fn rows_render_as_valid_flat_objects() {
+        let s = to_json(&sample_rows());
         assert!(s.starts_with("[\n"));
         assert!(s.trim_end().ends_with(']'));
         assert!(s.contains("\"width\": 10"));
         assert!(s.contains("\"value\": 0.6875"));
         assert!(s.contains("\"value\": null"));
+        assert!(s.contains("\"warm_solves\": 700"));
+        assert!(s.contains("\"pivots_saved\": 41250"));
+        assert!(s.contains("\"warm_start\": false"));
         assert!(s.contains("\"threads\": 4"));
         // Exactly one comma separator for two rows.
         assert_eq!(s.matches("},").count(), 1);
@@ -112,13 +252,42 @@ mod tests {
             width: 1,
             value: Some(f64::INFINITY),
             wall_secs: f64::NAN,
-            nodes: 0,
             threads: 1,
+            ..BenchRow::default()
         }];
         let s = to_json(&rows);
         assert!(s.contains("\"value\": null"));
         assert!(s.contains("\"wall_secs\": null"));
         assert!(!s.contains("NaN") && !s.contains("inf"));
+    }
+
+    #[test]
+    fn parse_round_trips_to_json() {
+        let rows = sample_rows();
+        let parsed = parse_json(&to_json(&rows)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], rows[0]);
+        // NaN wall_secs cannot compare equal; the second row is finite.
+        assert_eq!(parsed[1], rows[1]);
+    }
+
+    #[test]
+    fn parse_accepts_pre_warm_start_schema() {
+        // A baseline written before the warm-start fields existed.
+        let old = "[\n  {\"width\": 6, \"value\": 1.5, \"wall_secs\": 0.25, \
+                   \"nodes\": 3, \"threads\": 2}\n]\n";
+        let rows = parse_json(old).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].width, 6);
+        assert_eq!(rows[0].lp_iterations, 0);
+        assert!(rows[0].warm_start);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("not json").is_err());
+        assert!(parse_json("[{\"width\": ten}]").is_err());
+        assert!(parse_json("[{\"nodes\": 3}]").is_err(), "missing width");
     }
 
     #[test]
@@ -131,10 +300,11 @@ mod tests {
             wall_secs: 0.25,
             nodes: 3,
             threads: 2,
+            ..BenchRow::default()
         }];
         write_json(&path, &rows).unwrap();
-        let back = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(back, to_json(&rows));
+        let back = read_json(&path).unwrap();
+        assert_eq!(back, rows);
         let _ = std::fs::remove_file(path);
     }
 }

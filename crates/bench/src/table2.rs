@@ -76,6 +76,10 @@ pub struct Table2Config {
     /// given its seed, so the thread count only changes the wall time —
     /// never the table.
     pub threads: usize,
+    /// Reuse parent LP bases across branch-and-bound nodes (dual-simplex
+    /// warm start). Verdict-preserving; disable to benchmark the cold
+    /// path.
+    pub warm_start: bool,
 }
 
 impl Default for Table2Config {
@@ -97,6 +101,7 @@ impl Default for Table2Config {
             proof_threshold: 3.0,
             seed: 7,
             threads: 0,
+            warm_start: true,
         }
     }
 }
@@ -121,6 +126,7 @@ impl Table2Config {
             proof_threshold: 3.0,
             seed: 1,
             threads: 0,
+            warm_start: true,
         }
     }
 }
@@ -141,6 +147,14 @@ pub struct Table2Row {
     pub nodes: usize,
     /// Binary variables after bound-tightening presolve.
     pub binaries: usize,
+    /// Simplex pivots across all LP solves.
+    pub lp_iterations: usize,
+    /// LP solves that reused a parent basis via the dual simplex.
+    pub warm_solves: usize,
+    /// LP solves started from scratch.
+    pub cold_solves: usize,
+    /// Estimated pivots avoided by warm starts.
+    pub pivots_saved: usize,
 }
 
 /// The decision-query row of the reproduced table.
@@ -285,6 +299,10 @@ fn run_width(ctx: &WidthCtx, i: usize, width: usize) -> Result<(Table2Row, Netwo
         time: result.stats.elapsed,
         nodes: result.stats.nodes,
         binaries: result.stats.binaries,
+        lp_iterations: result.stats.lp_iterations,
+        warm_solves: result.stats.warm_solves,
+        cold_solves: result.stats.cold_solves,
+        pivots_saved: result.stats.pivots_saved,
     };
     Ok((row, net))
 }
@@ -321,6 +339,7 @@ pub fn run_table2(config: &Table2Config) -> Result<Table2Result, CoreError> {
         // search serial to avoid oversubscription. A lone worker hands
         // its cores to the search instead.
         threads: if workers > 1 { 1 } else { config.threads },
+        warm_start: config.warm_start,
         ..VerifierOptions::default()
     });
 

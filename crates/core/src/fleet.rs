@@ -46,6 +46,10 @@ pub struct FleetConfig {
     /// its seed, so the thread count never changes the results — only
     /// the wall-clock time.
     pub threads: usize,
+    /// Reuse parent LP bases across branch-and-bound nodes (see
+    /// [`VerifierOptions::warm_start`]). Verdict-preserving; disable to
+    /// benchmark the cold path.
+    pub warm_start: bool,
 }
 
 impl Default for FleetConfig {
@@ -66,6 +70,7 @@ impl Default for FleetConfig {
             },
             time_limit: Duration::from_secs(60),
             threads: 0,
+            warm_start: true,
         }
     }
 }
@@ -89,6 +94,7 @@ impl FleetConfig {
             },
             time_limit: Duration::from_secs(30),
             threads: 0,
+            warm_start: true,
         }
     }
 }
@@ -108,6 +114,14 @@ pub struct FleetMember {
     pub wall_secs: f64,
     /// Branch-and-bound nodes explored verifying this member.
     pub nodes: usize,
+    /// Simplex pivots across all LP solves verifying this member.
+    pub lp_iterations: usize,
+    /// LP solves that reused a parent basis.
+    pub warm_solves: usize,
+    /// LP solves started from scratch.
+    pub cold_solves: usize,
+    /// Estimated pivots avoided by warm starts.
+    pub pivots_saved: usize,
 }
 
 /// Result of the fleet experiment.
@@ -205,6 +219,10 @@ fn run_member(
         safe,
         wall_secs: start.elapsed().as_secs_f64(),
         nodes: result.stats.nodes,
+        lp_iterations: result.stats.lp_iterations,
+        warm_solves: result.stats.warm_solves,
+        cold_solves: result.stats.cold_solves,
+        pivots_saved: result.stats.pivots_saved,
     })
 }
 
@@ -238,6 +256,7 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetResult, CoreError> {
         // search serial to avoid oversubscription. A lone worker hands
         // its cores to the search instead.
         threads: if workers > 1 { 1 } else { config.threads },
+        warm_start: config.warm_start,
         ..VerifierOptions::default()
     });
 

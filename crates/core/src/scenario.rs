@@ -86,6 +86,9 @@ pub fn max_lateral_velocity(
         stats.lp_iterations += r.stats.lp_iterations;
         stats.binaries = stats.binaries.max(r.stats.binaries);
         stats.rows = stats.rows.max(r.stats.rows);
+        stats.warm_solves += r.stats.warm_solves;
+        stats.cold_solves += r.stats.cold_solves;
+        stats.pivots_saved += r.stats.pivots_saved;
         stats.elapsed += r.stats.elapsed;
         per_component.push(r);
     }
@@ -124,6 +127,9 @@ pub fn prove_lateral_below(
         stats.lp_iterations += s.lp_iterations;
         stats.binaries = stats.binaries.max(s.binaries);
         stats.rows = stats.rows.max(s.rows);
+        stats.warm_solves += s.warm_solves;
+        stats.cold_solves += s.cold_solves;
+        stats.pivots_saved += s.pivots_saved;
         stats.elapsed += s.elapsed;
         match verdict {
             Verdict::Holds { bound } => worst_hold_bound = worst_hold_bound.max(bound),

@@ -1,0 +1,124 @@
+//! CSC-style sparse column storage for the simplex kernels.
+//!
+//! ReLU encodings are typically >90 % sparse: each big-M row touches one
+//! neuron, its binary, and the fan-in of the previous layer. Storing the
+//! constraint matrix column-major in flat arrays lets FTRAN, pricing, and
+//! the dual ratio test iterate exactly the nonzero entries of a column with
+//! no per-column allocation and good cache behaviour.
+
+/// Compressed sparse columns: `col_ptr[j]..col_ptr[j + 1]` indexes the
+/// `(rows, vals)` entries of column `j`. Columns are append-only, matching
+/// how the tableau is assembled (structurals, then slacks, then artificials).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ColMatrix {
+    col_ptr: Vec<usize>,
+    rows: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl ColMatrix {
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn with_capacity(cols: usize, nnz: usize) -> Self {
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        col_ptr.push(0);
+        Self {
+            col_ptr,
+            rows: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Builds the structural block from row-major `(col, coeff)` lists.
+    /// `rows` yields, per constraint row, the coefficients of that row;
+    /// exact zeros are dropped so downstream scans never touch them.
+    pub(crate) fn from_row_major<'a, I>(n_cols: usize, row_major: I) -> Self
+    where
+        I: Iterator<Item = &'a [(usize, f64)]> + Clone,
+    {
+        let mut counts = vec![0usize; n_cols];
+        for row in row_major.clone() {
+            for &(j, c) in row {
+                if c != 0.0 {
+                    counts[j] += 1;
+                }
+            }
+        }
+        let mut col_ptr = vec![0usize; n_cols + 1];
+        for j in 0..n_cols {
+            col_ptr[j + 1] = col_ptr[j] + counts[j];
+        }
+        let nnz = col_ptr[n_cols];
+        let mut rows = vec![0usize; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        let mut cursor = col_ptr.clone();
+        for (i, row) in row_major.enumerate() {
+            for &(j, c) in row {
+                if c != 0.0 {
+                    rows[cursor[j]] = i;
+                    vals[cursor[j]] = c;
+                    cursor[j] += 1;
+                }
+            }
+        }
+        Self { col_ptr, rows, vals }
+    }
+
+    /// Appends one column given its `(row, value)` entries; zeros are dropped.
+    pub(crate) fn push_col<I: IntoIterator<Item = (usize, f64)>>(&mut self, entries: I) {
+        for (r, v) in entries {
+            if v != 0.0 {
+                self.rows.push(r);
+                self.vals.push(v);
+            }
+        }
+        self.col_ptr.push(self.rows.len());
+    }
+
+    pub(crate) fn num_cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Nonzero `(row, value)` pairs of column `j`.
+    #[inline]
+    pub(crate) fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.rows[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_row_major_transposes_and_drops_zeros() {
+        // Rows: [2x0 + 0x1 + 1x2], [0x0 + 3x1]
+        let rows: Vec<Vec<(usize, f64)>> =
+            vec![vec![(0, 2.0), (1, 0.0), (2, 1.0)], vec![(0, 0.0), (1, 3.0)]];
+        let m = ColMatrix::from_row_major(3, rows.iter().map(|r| r.as_slice()));
+        assert_eq!(m.num_cols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 2.0)]);
+        assert_eq!(m.col(1).collect::<Vec<_>>(), vec![(1, 3.0)]);
+        assert_eq!(m.col(2).collect::<Vec<_>>(), vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn push_col_appends() {
+        let mut m = ColMatrix::with_capacity(2, 2);
+        m.push_col([(1, 4.0), (2, 0.0)]);
+        m.push_col([]);
+        assert_eq!(m.num_cols(), 2);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(1, 4.0)]);
+        assert_eq!(m.col(1).count(), 0);
+    }
+}

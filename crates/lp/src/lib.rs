@@ -42,12 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csc;
 pub mod export;
 mod model;
 mod simplex;
 
 pub use model::{LpModel, RowId, RowKind, Sense, VarId};
-pub use simplex::{Simplex, SimplexOptions};
+pub use simplex::{Simplex, SimplexOptions, WarmSolve, WarmStart};
 
 use std::error::Error;
 use std::fmt;

@@ -1,9 +1,11 @@
-//! Bounded-variable two-phase revised primal simplex.
+//! Bounded-variable two-phase revised primal simplex with an incremental
+//! dual-simplex warm-start path for branch-and-bound re-solves.
 
 // Indexed loops mirror the textbook pivot formulas; iterator adaptors
 // obscure them without changing the generated code meaningfully.
 #![allow(clippy::needless_range_loop)]
 
+use crate::csc::ColMatrix;
 use crate::model::{LpModel, RowKind, Sense};
 use crate::{LpError, LpSolution, LpStatus};
 
@@ -45,6 +47,48 @@ pub struct Simplex {
     opts: SimplexOptions,
 }
 
+/// Opaque snapshot of an optimal simplex basis, used to warm-start the
+/// re-solve of the same model under changed variable bounds.
+///
+/// A snapshot taken at the parent of a branch-and-bound node stays *dual
+/// feasible* for the children (costs and constraint matrix are unchanged;
+/// only bounds move), so [`Simplex::solve_warm`] can restore primal
+/// feasibility with a handful of dual-simplex pivots instead of a cold
+/// two-phase run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    basis: Vec<usize>,
+    status: Vec<Status>,
+    n_struct: usize,
+    m: usize,
+}
+
+impl WarmStart {
+    /// Number of constraint rows the snapshot was taken for.
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of structural variables the snapshot was taken for.
+    pub fn num_structurals(&self) -> usize {
+        self.n_struct
+    }
+}
+
+/// Result of a warm-capable solve: the solution plus an optional basis
+/// snapshot for seeding descendant solves.
+#[derive(Debug, Clone)]
+pub struct WarmSolve {
+    /// The LP solution.
+    pub solution: LpSolution,
+    /// Snapshot of the optimal basis, when the solve ended optimal with a
+    /// snapshot-able (artificial-free) basis.
+    pub warm: Option<WarmStart>,
+    /// Whether the solve actually started from the supplied basis (`false`
+    /// when the warm path fell back to a cold two-phase run).
+    pub warm_used: bool,
+}
+
 impl Simplex {
     /// Creates a solver with default options.
     pub fn new() -> Self {
@@ -54,6 +98,28 @@ impl Simplex {
     /// Creates a solver with explicit options.
     pub fn with_options(opts: SimplexOptions) -> Self {
         Self { opts }
+    }
+
+    fn validate_bounds(model: &LpModel, bounds: &[(f64, f64)]) -> Result<(), LpError> {
+        if bounds.len() != model.num_vars() {
+            return Err(LpError::BoundsLength {
+                got: bounds.len(),
+                expected: model.num_vars(),
+            });
+        }
+        for (i, &(lo, hi)) in bounds.iter().enumerate() {
+            if lo.is_nan() || hi.is_nan() {
+                return Err(LpError::NotANumber);
+            }
+            if lo > hi {
+                return Err(LpError::InvalidBounds {
+                    var: crate::VarId(i),
+                    lo,
+                    hi,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Solves the model with its own variable bounds.
@@ -84,26 +150,69 @@ impl Simplex {
         model: &LpModel,
         bounds: &[(f64, f64)],
     ) -> Result<LpSolution, LpError> {
-        if bounds.len() != model.num_vars() {
-            return Err(LpError::BoundsLength {
-                got: bounds.len(),
-                expected: model.num_vars(),
-            });
-        }
-        for (i, &(lo, hi)) in bounds.iter().enumerate() {
-            if lo.is_nan() || hi.is_nan() {
-                return Err(LpError::NotANumber);
-            }
-            if lo > hi {
-                return Err(LpError::InvalidBounds {
-                    var: crate::VarId(i),
-                    lo,
-                    hi,
+        Self::validate_bounds(model, bounds)?;
+        let mut t = Tableau::build(model, bounds, self.opts);
+        Ok(t.run(model))
+    }
+
+    /// Cold-solves like [`Simplex::solve_with_bounds`] but additionally
+    /// returns a [`WarmStart`] snapshot of the optimal basis (when one
+    /// exists) for warm-starting descendant solves.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simplex::solve_with_bounds`].
+    pub fn solve_snapshot(
+        &self,
+        model: &LpModel,
+        bounds: &[(f64, f64)],
+    ) -> Result<WarmSolve, LpError> {
+        Self::validate_bounds(model, bounds)?;
+        let mut t = Tableau::build(model, bounds, self.opts);
+        let solution = t.run(model);
+        let warm = (solution.status == LpStatus::Optimal)
+            .then(|| t.snapshot())
+            .flatten();
+        Ok(WarmSolve {
+            solution,
+            warm,
+            warm_used: false,
+        })
+    }
+
+    /// Re-solves the model under new `bounds` starting from a basis snapshot
+    /// taken on a related solve (same model, different bounds).
+    ///
+    /// The snapshot basis is refactorized and, because only bounds changed,
+    /// remains dual feasible; primal feasibility is restored by a
+    /// bound-flipping dual simplex phase followed by a primal clean-up. On
+    /// any mismatch — wrong dimensions, numerically singular basis, lost
+    /// dual feasibility — the solver transparently falls back to a cold
+    /// two-phase run (`warm_used == false` in the result).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simplex::solve_with_bounds`].
+    pub fn solve_warm(
+        &self,
+        model: &LpModel,
+        bounds: &[(f64, f64)],
+        warm: &WarmStart,
+    ) -> Result<WarmSolve, LpError> {
+        Self::validate_bounds(model, bounds)?;
+        if let Some(mut t) = Tableau::build_warm(model, bounds, self.opts, warm) {
+            if let Some(solution) = t.run_warm(model) {
+                let warm_out = (solution.status == LpStatus::Optimal)
+                    .then(|| t.snapshot())
+                    .flatten();
+                return Ok(WarmSolve {
+                    solution,
+                    warm: warm_out,
+                    warm_used: true,
                 });
             }
         }
-        let mut t = Tableau::build(model, bounds, self.opts);
-        Ok(t.run(model))
+        self.solve_snapshot(model, bounds)
     }
 }
 
@@ -116,6 +225,16 @@ enum Status {
     FreeZero,
 }
 
+/// Outcome of the dual-simplex feasibility-restoration phase.
+enum DualOutcome {
+    /// Primal feasibility restored; dual feasibility maintained throughout.
+    Feasible,
+    /// A dual ray was found: the primal problem is infeasible.
+    Infeasible,
+    /// Numerical trouble or iteration cap; caller should cold-solve.
+    Stalled,
+}
+
 /// Dense-inverse revised simplex working state.
 struct Tableau {
     opts: SimplexOptions,
@@ -123,8 +242,8 @@ struct Tableau {
     /// Total variables: structural + slacks + artificials.
     n_total: usize,
     n_struct: usize,
-    /// Sparse columns: list of (row, coefficient).
-    cols: Vec<Vec<(usize, f64)>>,
+    /// Constraint columns in CSC form (structurals, slacks, artificials).
+    cols: ColMatrix,
     lo: Vec<f64>,
     hi: Vec<f64>,
     rhs: Vec<f64>,
@@ -147,21 +266,15 @@ impl Tableau {
     fn build(model: &LpModel, bounds: &[(f64, f64)], opts: SimplexOptions) -> Self {
         let m = model.num_rows();
         let n_struct = model.num_vars();
-        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_struct];
-        for (i, row) in model.rows.iter().enumerate() {
-            for &(j, c) in &row.coeffs {
-                if c != 0.0 {
-                    cols[j].push((i, c));
-                }
-            }
-        }
+        let mut cols =
+            ColMatrix::from_row_major(n_struct, model.rows.iter().map(|r| r.coeffs.as_slice()));
         let mut lo: Vec<f64> = bounds.iter().map(|b| b.0).collect();
         let mut hi: Vec<f64> = bounds.iter().map(|b| b.1).collect();
         let rhs: Vec<f64> = model.rows.iter().map(|r| r.rhs).collect();
 
         // Slacks: row i gets variable n_struct + i with kind-dependent bounds.
         for (i, row) in model.rows.iter().enumerate() {
-            cols.push(vec![(i, 1.0)]);
+            cols.push_col([(i, 1.0)]);
             let (slo, shi) = match row.kind {
                 RowKind::Le => (0.0, f64::INFINITY),
                 RowKind::Ge => (f64::NEG_INFINITY, 0.0),
@@ -169,7 +282,7 @@ impl Tableau {
             };
             lo.push(slo);
             hi.push(shi);
-            debug_assert_eq!(cols.len() - 1, n_struct + i);
+            debug_assert_eq!(cols.num_cols() - 1, n_struct + i);
         }
 
         // Initial nonbasic point: every structural variable at its finite
@@ -187,7 +300,7 @@ impl Tableau {
         let mut resid = rhs.clone();
         for j in 0..n_struct {
             if x[j] != 0.0 {
-                for &(i, c) in &cols[j] {
+                for (i, c) in cols.col(j) {
                     resid[i] -= c * x[j];
                 }
             }
@@ -217,7 +330,7 @@ impl Tableau {
                 };
                 let leftover = r - clamped;
                 let sigma = if leftover >= 0.0 { 1.0 } else { -1.0 };
-                cols.push(vec![(i, sigma)]);
+                cols.push_col([(i, sigma)]);
                 lo.push(0.0);
                 hi.push(f64::INFINITY);
                 let aj = n_total;
@@ -245,7 +358,7 @@ impl Tableau {
         // entries ±1, so its inverse is diagonal with the same signs.
         let mut binv = vec![0.0; m * m];
         for (r, &bj) in basis.iter().enumerate() {
-            let coef = cols[bj][0].1;
+            let coef = cols.col(bj).next().expect("unit column").1;
             binv[r * m + r] = 1.0 / coef;
         }
 
@@ -269,13 +382,124 @@ impl Tableau {
         }
     }
 
+    /// Rebuilds a tableau around a basis snapshot taken on a related solve.
+    ///
+    /// Returns `None` when the snapshot does not fit the model (dimension
+    /// mismatch, duplicate basis entries) or the basis matrix is numerically
+    /// singular — the caller then falls back to a cold solve. The warm
+    /// tableau never carries artificials: the snapshot basis covers all
+    /// rows by construction.
+    fn build_warm(
+        model: &LpModel,
+        bounds: &[(f64, f64)],
+        opts: SimplexOptions,
+        warm: &WarmStart,
+    ) -> Option<Self> {
+        let m = model.num_rows();
+        let n_struct = model.num_vars();
+        let n_total = n_struct + m;
+        if warm.m != m
+            || warm.n_struct != n_struct
+            || warm.basis.len() != m
+            || warm.status.len() != n_total
+        {
+            return None;
+        }
+        let mut cols =
+            ColMatrix::from_row_major(n_struct, model.rows.iter().map(|r| r.coeffs.as_slice()));
+        let mut lo: Vec<f64> = bounds.iter().map(|b| b.0).collect();
+        let mut hi: Vec<f64> = bounds.iter().map(|b| b.1).collect();
+        let rhs: Vec<f64> = model.rows.iter().map(|r| r.rhs).collect();
+        for (i, row) in model.rows.iter().enumerate() {
+            cols.push_col([(i, 1.0)]);
+            let (slo, shi) = match row.kind {
+                RowKind::Le => (0.0, f64::INFINITY),
+                RowKind::Ge => (f64::NEG_INFINITY, 0.0),
+                RowKind::Eq => (0.0, 0.0),
+            };
+            lo.push(slo);
+            hi.push(shi);
+        }
+
+        let mut in_basis = vec![false; n_total];
+        for &bj in &warm.basis {
+            if bj >= n_total || in_basis[bj] {
+                return None;
+            }
+            in_basis[bj] = true;
+        }
+
+        // Nonbasic statuses carry over, degraded where the new bounds made
+        // them meaningless (e.g. AtLower with an infinite lower bound).
+        let mut x = vec![0.0; n_total];
+        let mut status = vec![Status::Basic; n_total];
+        for j in 0..n_total {
+            if in_basis[j] {
+                continue; // value assigned by refresh_basics below
+            }
+            let (v, s) = match warm.status[j] {
+                Status::AtLower if lo[j].is_finite() => (lo[j], Status::AtLower),
+                Status::AtUpper if hi[j].is_finite() => (hi[j], Status::AtUpper),
+                _ => initial_point(lo[j], hi[j]),
+            };
+            x[j] = v;
+            status[j] = s;
+        }
+
+        let mut cost = vec![0.0; n_total];
+        let sense_sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        for j in 0..n_struct {
+            cost[j] = sense_sign * model.objective[j];
+        }
+
+        let mut t = Self {
+            opts,
+            m,
+            n_total,
+            n_struct,
+            cols,
+            lo,
+            hi,
+            rhs,
+            cost,
+            cost1: vec![0.0; n_total],
+            status,
+            x,
+            basis: warm.basis.clone(),
+            binv: vec![0.0; m * m],
+            iterations: 0,
+            first_artificial: n_total,
+        };
+        if !t.refactorize() {
+            return None;
+        }
+        t.refresh_basics();
+        Some(t)
+    }
+
+    /// Captures the current basis for reuse by a related solve. Returns
+    /// `None` while any artificial variable is still basic: such a basis
+    /// cannot be re-expressed in a warm tableau (which carries none).
+    fn snapshot(&self) -> Option<WarmStart> {
+        let nb = self.n_struct + self.m;
+        if self.basis.iter().any(|&b| b >= nb) {
+            return None;
+        }
+        Some(WarmStart {
+            basis: self.basis.clone(),
+            status: self.status[..nb].to_vec(),
+            n_struct: self.n_struct,
+            m: self.m,
+        })
+    }
+
     /// `B⁻¹ · a_q` for a sparse column.
     fn ftran(&self, q: usize) -> Vec<f64> {
         let mut w = vec![0.0; self.m];
-        for &(i, c) in &self.cols[q] {
-            if c == 0.0 {
-                continue;
-            }
+        for (i, c) in self.cols.col(q) {
             for r in 0..self.m {
                 w[r] += self.binv[r * self.m + i] * c;
             }
@@ -300,7 +524,7 @@ impl Tableau {
 
     fn reduced_cost(&self, j: usize, y: &[f64], cost: &[f64]) -> f64 {
         let mut d = cost[j];
-        for &(i, c) in &self.cols[j] {
+        for (i, c) in self.cols.col(j) {
             d -= y[i] * c;
         }
         d
@@ -311,17 +535,21 @@ impl Tableau {
         let mut resid = self.rhs.clone();
         for j in 0..self.n_total {
             if self.status[j] != Status::Basic && self.x[j] != 0.0 {
-                for &(i, c) in &self.cols[j] {
+                for (i, c) in self.cols.col(j) {
                     resid[i] -= c * self.x[j];
                 }
             }
         }
+        let mut vals = vec![0.0; self.m];
         for r in 0..self.m {
             let mut v = 0.0;
             for i in 0..self.m {
                 v += self.binv[r * self.m + i] * resid[i];
             }
-            self.x[self.basis[r]] = v;
+            vals[r] = v;
+        }
+        for r in 0..self.m {
+            self.x[self.basis[r]] = vals[r];
         }
     }
 
@@ -332,7 +560,7 @@ impl Tableau {
         let m = self.m;
         let mut a = vec![0.0; m * m]; // basis matrix, column r = a_{basis[r]}
         for (r, &bj) in self.basis.iter().enumerate() {
-            for &(i, c) in &self.cols[bj] {
+            for (i, c) in self.cols.col(bj) {
                 a[i * m + r] = c;
             }
         }
@@ -381,6 +609,36 @@ impl Tableau {
         }
         self.binv = inv;
         true
+    }
+
+    /// Worst bound violation over the basic variables.
+    fn primal_infeasibility(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for &bj in &self.basis {
+            worst = worst
+                .max(self.x[bj] - self.hi[bj])
+                .max(self.lo[bj] - self.x[bj]);
+        }
+        worst
+    }
+
+    /// Worst reduced-cost sign violation over the nonbasic variables.
+    fn dual_infeasibility(&self, y: &[f64], cost: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for j in 0..self.n_total {
+            if self.status[j] == Status::Basic {
+                continue;
+            }
+            let d = self.reduced_cost(j, y, cost);
+            let v = match self.status[j] {
+                Status::AtLower => -d,
+                Status::AtUpper => d,
+                Status::FreeZero => d.abs(),
+                Status::Basic => unreachable!("basic skipped above"),
+            };
+            worst = worst.max(v);
+        }
+        worst
     }
 
     /// Runs one simplex phase minimising `cost`. Returns `None` on success
@@ -529,30 +787,299 @@ impl Tableau {
                 self.x[b_leave] = self.lo[b_leave];
                 Status::AtLower
             };
-            // Basis inverse update (product form).
-            let wr = w[r_leave];
-            let mrow: Vec<f64> = (0..self.m)
-                .map(|c| self.binv[r_leave * self.m + c] / wr)
-                .collect();
-            for r in 0..self.m {
-                if r == r_leave {
-                    continue;
-                }
-                let f = w[r];
-                if f == 0.0 {
-                    continue;
-                }
-                for c in 0..self.m {
-                    self.binv[r * self.m + c] -= f * mrow[c];
-                }
-            }
-            for c in 0..self.m {
-                self.binv[r_leave * self.m + c] = mrow[c];
-            }
+            self.update_binv(r_leave, &w);
             self.basis[r_leave] = q;
             self.status[q] = Status::Basic;
             self.iterations += 1;
         }
+    }
+
+    /// Product-form basis inverse update after pivoting column with FTRAN
+    /// image `w` into row `r_leave`.
+    fn update_binv(&mut self, r_leave: usize, w: &[f64]) {
+        let wr = w[r_leave];
+        let mrow: Vec<f64> = (0..self.m)
+            .map(|c| self.binv[r_leave * self.m + c] / wr)
+            .collect();
+        for r in 0..self.m {
+            if r == r_leave {
+                continue;
+            }
+            let f = w[r];
+            if f == 0.0 {
+                continue;
+            }
+            for c in 0..self.m {
+                self.binv[r * self.m + c] -= f * mrow[c];
+            }
+        }
+        for c in 0..self.m {
+            self.binv[r_leave * self.m + c] = mrow[c];
+        }
+    }
+
+    /// Bound-flipping dual simplex: starting from a dual-feasible basis,
+    /// drives out primal bound violations one leaving row at a time. Each
+    /// iteration picks the most violated basic variable, prices the
+    /// admissible entering columns against the pivot row (sparse scan,
+    /// skipping zero entries), flips boxed candidates whose whole span is
+    /// absorbed by the remaining violation, and pivots on the first
+    /// candidate that can absorb the rest. Proves primal infeasibility when
+    /// no admissible column exists — the fast path that lets child nodes of
+    /// a branch-and-bound tree be pruned in a handful of pivots.
+    fn dual_phase(&mut self) -> DualOutcome {
+        let cost = self.cost.clone();
+        let mut stall = 0usize;
+        let mut bad_pivots = 0usize;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return DualOutcome::Stalled;
+            }
+            if self.iterations % self.opts.refresh_every == self.opts.refresh_every - 1 {
+                if !self.refactorize() {
+                    return DualOutcome::Stalled;
+                }
+                self.refresh_basics();
+            }
+
+            // Leaving row: most violated basic variable.
+            let mut leave: Option<(usize, f64, bool)> = None; // (row, violation, above upper)
+            for r in 0..self.m {
+                let b = self.basis[r];
+                let above = self.x[b] - self.hi[b];
+                let below = self.lo[b] - self.x[b];
+                let (v, is_above) = if above >= below { (above, true) } else { (below, false) };
+                if v > self.opts.feas_tol && leave.is_none_or(|(_, best, _)| v > best) {
+                    leave = Some((r, v, is_above));
+                }
+            }
+            let Some((r_leave, violation, above)) = leave else {
+                return DualOutcome::Feasible;
+            };
+            let b_leave = self.basis[r_leave];
+
+            let y = self.btran(&cost);
+            let bland = stall >= self.opts.stall_limit;
+
+            // Admissible entering candidates with their dual ratios
+            // |d_j / α_j|, where α is the pivot row of B⁻¹A. A column is
+            // admissible when moving it within its bounds decreases the
+            // leaving variable's violation without breaking the sign
+            // condition on any reduced cost.
+            let mut cands: Vec<(usize, f64, f64)> = Vec::new(); // (var, ratio, alpha)
+            let rho = &self.binv[r_leave * self.m..(r_leave + 1) * self.m];
+            for j in 0..self.n_total {
+                if self.status[j] == Status::Basic {
+                    continue;
+                }
+                if self.hi[j] - self.lo[j] <= 0.0 {
+                    continue; // fixed variables can absorb nothing
+                }
+                let mut alpha = 0.0;
+                for (i, c) in self.cols.col(j) {
+                    alpha += rho[i] * c;
+                }
+                if alpha.abs() < self.opts.pivot_tol {
+                    continue;
+                }
+                let admissible = match self.status[j] {
+                    Status::AtLower => {
+                        if above {
+                            alpha > 0.0
+                        } else {
+                            alpha < 0.0
+                        }
+                    }
+                    Status::AtUpper => {
+                        if above {
+                            alpha < 0.0
+                        } else {
+                            alpha > 0.0
+                        }
+                    }
+                    Status::FreeZero => true,
+                    Status::Basic => unreachable!("basic skipped above"),
+                };
+                if !admissible {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y, &cost);
+                let mut ratio = d / alpha;
+                if !above {
+                    ratio = -ratio;
+                }
+                cands.push((j, ratio.max(0.0), alpha));
+            }
+            if cands.is_empty() {
+                // Dual ray: every nonbasic variable already sits at its
+                // violation-minimising bound, so no feasible point exists.
+                return DualOutcome::Infeasible;
+            }
+
+            // Bound-flipping ratio test: walk candidates in dual-ratio
+            // order; a boxed candidate whose whole span still leaves
+            // violation is flipped to its opposite bound, the first one
+            // that can absorb the rest enters the basis.
+            let mut flips: Vec<usize> = Vec::new();
+            let mut entering: Option<(usize, f64)> = None; // (var, ratio)
+            if bland {
+                let &(j, ratio, _) = cands
+                    .iter()
+                    .min_by_key(|c| c.0)
+                    .expect("candidates nonempty");
+                entering = Some((j, ratio));
+            } else {
+                cands.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                let mut remaining = violation;
+                for &(j, ratio, alpha) in &cands {
+                    let span = self.hi[j] - self.lo[j];
+                    let capacity = if span.is_finite() {
+                        span * alpha.abs()
+                    } else {
+                        f64::INFINITY
+                    };
+                    if capacity < remaining - self.opts.feas_tol {
+                        flips.push(j);
+                        remaining -= capacity;
+                    } else {
+                        entering = Some((j, ratio));
+                        break;
+                    }
+                }
+            }
+            let Some((q, ratio_q)) = entering else {
+                // Flipping every admissible variable through its whole span
+                // still leaves violation: no feasible point exists.
+                return DualOutcome::Infeasible;
+            };
+
+            // Apply the accumulated bound flips.
+            for &k in &flips {
+                let span = self.hi[k] - self.lo[k];
+                let step = match self.status[k] {
+                    Status::AtLower => {
+                        self.status[k] = Status::AtUpper;
+                        self.x[k] = self.hi[k];
+                        span
+                    }
+                    Status::AtUpper => {
+                        self.status[k] = Status::AtLower;
+                        self.x[k] = self.lo[k];
+                        -span
+                    }
+                    // Free variables have infinite span and are never
+                    // flipped; basics are excluded above.
+                    _ => continue,
+                };
+                let wk = self.ftran(k);
+                for r in 0..self.m {
+                    let bi = self.basis[r];
+                    self.x[bi] -= wk[r] * step;
+                }
+                self.iterations += 1;
+            }
+
+            // Pivot q into the leaving row.
+            let w = self.ftran(q);
+            let wr = w[r_leave];
+            if wr.abs() < self.opts.pivot_tol {
+                // The dense FTRAN disagrees with the row scan; refactorize
+                // and retry, giving up after a few attempts.
+                bad_pivots += 1;
+                if bad_pivots > 4 || !self.refactorize() {
+                    return DualOutcome::Stalled;
+                }
+                self.refresh_basics();
+                continue;
+            }
+            bad_pivots = 0;
+            let target = if above {
+                self.hi[b_leave]
+            } else {
+                self.lo[b_leave]
+            };
+            let delta = (self.x[b_leave] - target) / wr;
+            self.x[q] += delta;
+            for r in 0..self.m {
+                let bi = self.basis[r];
+                self.x[bi] -= w[r] * delta;
+            }
+            self.x[b_leave] = target;
+            self.status[b_leave] = if above { Status::AtUpper } else { Status::AtLower };
+            self.update_binv(r_leave, &w);
+            self.basis[r_leave] = q;
+            self.status[q] = Status::Basic;
+            self.iterations += 1;
+            // Degenerate dual steps (zero ratio) leave the reduced costs
+            // unchanged and can cycle; count them towards Bland's rule.
+            if ratio_q <= self.opts.opt_tol * 10.0 {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+        }
+    }
+
+    /// Warm-start driver: restores primal feasibility with the dual
+    /// simplex when the snapshot basis is dual feasible, then polishes
+    /// with a primal phase-2 run. Returns `None` whenever the incremental
+    /// path cannot certify a result — the caller must cold-solve.
+    fn run_warm(&mut self, model: &LpModel) -> Option<LpSolution> {
+        let sense_sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        // Stale-basis guard: a snapshot with many violated basics predicts a
+        // long dual walk that can end up costlier than a cold solve. Budget
+        // the whole warm path (dual walk plus primal polish) relative to the
+        // violation count; an overrun bails out (`Stalled`/`IterationLimit`
+        // below) and the caller retries cold with the full budget, so the
+        // wasted work per solve is bounded by this cap.
+        let violated = (0..self.m)
+            .filter(|&r| {
+                let b = self.basis[r];
+                self.x[b] > self.hi[b] + self.opts.feas_tol
+                    || self.x[b] < self.lo[b] - self.opts.feas_tol
+            })
+            .count();
+        if violated * 8 > self.m {
+            // Too stale to bother: bail before spending any pivots.
+            return None;
+        }
+        let budget = self.m / 2 + 6 * violated + 20;
+        self.opts.max_iterations = self.opts.max_iterations.min(budget);
+        let cost = self.cost.clone();
+        let y = self.btran(&cost);
+        let dual_inf = self.dual_infeasibility(&y, &cost);
+        if dual_inf <= self.opts.opt_tol * 100.0 {
+            match self.dual_phase() {
+                DualOutcome::Feasible => {}
+                DualOutcome::Infeasible => {
+                    return Some(self.finish(model, LpStatus::Infeasible, sense_sign));
+                }
+                DualOutcome::Stalled => return None,
+            }
+        } else if self.primal_infeasibility() > self.opts.feas_tol * 10.0 {
+            // Neither dual nor primal feasible: the snapshot buys nothing,
+            // let the cold two-phase run handle it.
+            return None;
+        }
+        let stat = match self.phase(false) {
+            // An iteration cap on the warm path is not a verdict; retry cold
+            // with a fresh budget rather than reporting a truncated solve.
+            Some(LpStatus::IterationLimit) => return None,
+            Some(s) => s,
+            None => LpStatus::Optimal,
+        };
+        if !self.refactorize() {
+            return None;
+        }
+        self.refresh_basics();
+        Some(self.finish(model, stat, sense_sign))
     }
 
     fn phase1_needed(&self) -> bool {
@@ -854,5 +1381,190 @@ mod tests {
         let s = solve(&m);
         assert_eq!(s.status, LpStatus::Optimal);
         assert!(m.is_feasible(&s.x, 1e-5));
+    }
+
+    /// A medium LP with box bounds, used by the warm-start tests below.
+    fn branching_model() -> (LpModel, Vec<crate::VarId>) {
+        let mut m = LpModel::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6)
+            .map(|i| m.add_var(&format!("v{i}"), 0.0, 2.0 + i as f64 * 0.5))
+            .collect();
+        m.set_objective(
+            &vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 3) as f64))
+                .collect::<Vec<_>>(),
+        );
+        m.add_row(
+            "cap",
+            &vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            RowKind::Le,
+            7.0,
+        )
+        .unwrap();
+        m.add_row(
+            "mix",
+            &[(vars[0], 2.0), (vars[2], -1.0), (vars[4], 1.0)],
+            RowKind::Le,
+            3.0,
+        )
+        .unwrap();
+        m.add_row(
+            "link",
+            &[(vars[1], 1.0), (vars[3], 1.0), (vars[5], -1.0)],
+            RowKind::Ge,
+            -1.0,
+        )
+        .unwrap();
+        (m, vars)
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_after_bound_tightening() {
+        let (m, _) = branching_model();
+        let base: Vec<(f64, f64)> = (0..m.num_vars()).map(|i| m.bounds(crate::VarId(i))).collect();
+        let root = Simplex::new().solve_snapshot(&m, &base).unwrap();
+        assert_eq!(root.solution.status, LpStatus::Optimal);
+        let warm = root.warm.expect("optimal root has a snapshot");
+
+        // Tighten one bound at a time, as branch-and-bound children do.
+        for j in 0..m.num_vars() {
+            for &(new_lo, new_hi) in &[(1.0, base[j].1), (base[j].0, 0.5)] {
+                let mut child = base.clone();
+                child[j] = (new_lo, new_hi);
+                let cold = Simplex::new().solve_with_bounds(&m, &child).unwrap();
+                let ws = Simplex::new().solve_warm(&m, &child, &warm).unwrap();
+                assert_eq!(ws.solution.status, cold.status, "var {j}");
+                if cold.status == LpStatus::Optimal {
+                    assert!(
+                        (ws.solution.objective - cold.objective).abs() < 1e-9,
+                        "var {j}: warm {} cold {}",
+                        ws.solution.objective,
+                        cold.objective
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_resolve_takes_fewer_pivots_than_cold() {
+        let (m, _) = branching_model();
+        let base: Vec<(f64, f64)> = (0..m.num_vars()).map(|i| m.bounds(crate::VarId(i))).collect();
+        let root = Simplex::new().solve_snapshot(&m, &base).unwrap();
+        let warm = root.warm.expect("snapshot");
+        let mut child = base.clone();
+        child[0] = (1.0, child[0].1);
+        let cold = Simplex::new().solve_with_bounds(&m, &child).unwrap();
+        let ws = Simplex::new().solve_warm(&m, &child, &warm).unwrap();
+        assert!(ws.warm_used, "warm path should not fall back");
+        assert!(
+            ws.solution.iterations <= cold.iterations,
+            "warm {} pivots, cold {}",
+            ws.solution.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn warm_detects_child_infeasibility() {
+        // Root is feasible; forcing all variables high violates the cap row.
+        let (m, _) = branching_model();
+        let base: Vec<(f64, f64)> = (0..m.num_vars()).map(|i| m.bounds(crate::VarId(i))).collect();
+        let root = Simplex::new().solve_snapshot(&m, &base).unwrap();
+        let warm = root.warm.expect("snapshot");
+        let child: Vec<(f64, f64)> = base.iter().map(|&(_, hi)| (hi.max(2.0), hi.max(2.0))).collect();
+        let cold = Simplex::new().solve_with_bounds(&m, &child).unwrap();
+        assert_eq!(cold.status, LpStatus::Infeasible, "sanity: child infeasible");
+        let ws = Simplex::new().solve_warm(&m, &child, &warm).unwrap();
+        assert_eq!(ws.solution.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn mismatched_snapshot_falls_back_to_cold() {
+        let (m, _) = branching_model();
+        let base: Vec<(f64, f64)> = (0..m.num_vars()).map(|i| m.bounds(crate::VarId(i))).collect();
+        let warm = Simplex::new()
+            .solve_snapshot(&m, &base)
+            .unwrap()
+            .warm
+            .expect("snapshot");
+
+        // A different model: the snapshot cannot apply, but the solve must
+        // still succeed via the cold path.
+        let mut other = LpModel::new(Sense::Maximize);
+        let x = other.add_var("x", 0.0, 4.0);
+        other.set_objective(&[(x, 1.0)]);
+        let ws = Simplex::new().solve_warm(&other, &[(0.0, 4.0)], &warm).unwrap();
+        assert!(!ws.warm_used);
+        assert_eq!(ws.solution.status, LpStatus::Optimal);
+        assert!((ws.solution.objective - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_chain_across_successive_tightenings() {
+        // Reuse each child's snapshot for the grandchild, as the B&B queue
+        // does, and compare against cold solves at every step.
+        let (m, _) = branching_model();
+        let mut bounds: Vec<(f64, f64)> =
+            (0..m.num_vars()).map(|i| m.bounds(crate::VarId(i))).collect();
+        let mut warm = Simplex::new()
+            .solve_snapshot(&m, &bounds)
+            .unwrap()
+            .warm
+            .expect("root snapshot");
+        for j in 0..m.num_vars() {
+            bounds[j] = (bounds[j].0, bounds[j].1.min(1.5));
+            let cold = Simplex::new().solve_with_bounds(&m, &bounds).unwrap();
+            let ws = Simplex::new().solve_warm(&m, &bounds, &warm).unwrap();
+            assert_eq!(ws.solution.status, cold.status, "step {j}");
+            if cold.status == LpStatus::Optimal {
+                assert!(
+                    (ws.solution.objective - cold.objective).abs() < 1e-9,
+                    "step {j}: warm {} cold {}",
+                    ws.solution.objective,
+                    cold.objective
+                );
+            }
+            if let Some(next) = ws.warm {
+                warm = next;
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_accessors_report_shape() {
+        let (m, _) = branching_model();
+        let base: Vec<(f64, f64)> = (0..m.num_vars()).map(|i| m.bounds(crate::VarId(i))).collect();
+        let warm = Simplex::new()
+            .solve_snapshot(&m, &base)
+            .unwrap()
+            .warm
+            .expect("snapshot");
+        assert_eq!(warm.num_rows(), m.num_rows());
+        assert_eq!(warm.num_structurals(), m.num_vars());
+    }
+
+    #[test]
+    fn warm_resolve_handles_fixed_variables() {
+        // Branching often fixes a binary to 0 or 1 exactly; the dual ratio
+        // test must not try to flip or enter a fixed column.
+        let (m, _) = branching_model();
+        let base: Vec<(f64, f64)> = (0..m.num_vars()).map(|i| m.bounds(crate::VarId(i))).collect();
+        let warm = Simplex::new()
+            .solve_snapshot(&m, &base)
+            .unwrap()
+            .warm
+            .expect("snapshot");
+        let mut child = base.clone();
+        child[2] = (0.0, 0.0);
+        child[5] = (1.0, 1.0);
+        let cold = Simplex::new().solve_with_bounds(&m, &child).unwrap();
+        let ws = Simplex::new().solve_warm(&m, &child, &warm).unwrap();
+        assert_eq!(ws.solution.status, cold.status);
+        if cold.status == LpStatus::Optimal {
+            assert!((ws.solution.objective - cold.objective).abs() < 1e-9);
+        }
     }
 }

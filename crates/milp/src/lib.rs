@@ -44,9 +44,9 @@ mod model;
 mod solver;
 
 pub use model::{MilpModel, VarKind};
-pub use solver::{BranchAndBound, MilpOptions, MilpSolution, MilpStatus};
+pub use solver::{BranchAndBound, MilpOptions, MilpSolution, MilpStats, MilpStatus, WarmTracker};
 
-pub use certnn_lp::{LpError, RowId, RowKind, Sense, VarId};
+pub use certnn_lp::{LpError, RowId, RowKind, Sense, VarId, WarmStart};
 
 use std::error::Error;
 use std::fmt;

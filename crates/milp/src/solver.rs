@@ -2,9 +2,10 @@
 
 use crate::model::MilpModel;
 use crate::MilpError;
-use certnn_lp::{LpStatus, Sense, Simplex, SimplexOptions, VarId};
+use certnn_lp::{LpStatus, Sense, Simplex, SimplexOptions, VarId, WarmStart};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Variable-selection rule for branching.
@@ -44,15 +45,26 @@ pub struct MilpOptions {
     pub bound_cutoff: Option<f64>,
     /// Objective value of a feasible point known from outside the solve
     /// (e.g. the cross-thread incumbent of the neuron branch-and-bound).
-    /// Prunes and closes the gap exactly like an incumbent, but never
-    /// becomes the reported solution: if the search stops without finding
-    /// its own integral point, `x` stays `None`. The value must be
-    /// achievable — an overestimate makes pruning unsound.
+    ///
+    /// This is a *pruning-only* external bound: it prunes and closes the gap
+    /// exactly like an incumbent, but it is never reported as a feasible
+    /// point of this model — if the search stops without finding its own
+    /// integral point, `x` and `objective` stay `None`, and callers must
+    /// treat `best_bound`/`Optimal` as "no better solution than the external
+    /// value exists", not as a feasibility claim. The value must be
+    /// achievable *somewhere in the caller's search space* — an overestimate
+    /// makes pruning unsound. Callers seeding this from an incumbent held
+    /// elsewhere must verify the incumbent actually attains the value before
+    /// passing it down.
     pub initial_bound: Option<f64>,
     /// Run the rounding dive heuristic for early incumbents.
     pub dive_heuristic: bool,
     /// Branching variable selection.
     pub branch_rule: BranchRule,
+    /// Warm-start each node's LP from its parent's optimal basis (dual
+    /// simplex re-solve), falling back to a cold solve on singular or
+    /// stale bases. Identical verdicts, fewer pivots.
+    pub warm_start: bool,
     /// Options for the underlying LP solves.
     pub lp: SimplexOptions,
 }
@@ -70,6 +82,7 @@ impl Default for MilpOptions {
             initial_bound: None,
             dive_heuristic: true,
             branch_rule: BranchRule::default(),
+            warm_start: true,
             lp: SimplexOptions::default(),
         }
     }
@@ -111,6 +124,72 @@ impl std::fmt::Display for MilpStatus {
     }
 }
 
+/// Warm-start accounting for one branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MilpStats {
+    /// LP solves that started from a parent basis and stayed on the
+    /// incremental dual-simplex path.
+    pub warm_solves: usize,
+    /// LP solves that ran the cold two-phase algorithm (root solves,
+    /// warm-start disabled, or fallbacks after a stale/singular basis).
+    pub cold_solves: usize,
+    /// Estimated pivots avoided by warm-starting: for every warm solve,
+    /// the running mean pivot count of the cold solves in the same run
+    /// minus the warm solve's own pivots (clamped at zero). An estimate —
+    /// the true counterfactual would require re-solving every node cold.
+    pub pivots_saved: usize,
+}
+
+impl MilpStats {
+    /// Accumulates `other` into `self` (used when merging sub-solver runs).
+    pub fn merge(&mut self, other: MilpStats) {
+        self.warm_solves += other.warm_solves;
+        self.cold_solves += other.cold_solves;
+        self.pivots_saved += other.pivots_saved;
+    }
+}
+
+/// Running warm/cold accounting that produces a [`MilpStats`].
+///
+/// `pivots_saved` uses the running mean of cold-solve pivot counts as the
+/// counterfactual cost of each warm solve; the root of every tree is cold,
+/// so the mean is always defined by the time a warm solve happens.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmTracker {
+    cold_pivots: usize,
+    warm_pivots: usize,
+    cold_solves: usize,
+    warm_solves: usize,
+    saved: f64,
+}
+
+impl WarmTracker {
+    /// Records a cold solve that took `pivots` simplex iterations.
+    pub fn record_cold(&mut self, pivots: usize) {
+        self.cold_solves += 1;
+        self.cold_pivots += pivots;
+    }
+
+    /// Records a warm solve that took `pivots` simplex iterations.
+    pub fn record_warm(&mut self, pivots: usize) {
+        self.warm_solves += 1;
+        self.warm_pivots += pivots;
+        if self.cold_solves > 0 {
+            let avg = self.cold_pivots as f64 / self.cold_solves as f64;
+            self.saved += (avg - pivots as f64).max(0.0);
+        }
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> MilpStats {
+        MilpStats {
+            warm_solves: self.warm_solves,
+            cold_solves: self.cold_solves,
+            pivots_saved: self.saved.round() as usize,
+        }
+    }
+}
+
 /// Result of a branch-and-bound run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MilpSolution {
@@ -127,6 +206,8 @@ pub struct MilpSolution {
     pub nodes: usize,
     /// Total simplex pivots across all LP solves.
     pub lp_iterations: usize,
+    /// Warm-start accounting (all-cold when warm-starting is disabled).
+    pub stats: MilpStats,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
 }
@@ -148,6 +229,8 @@ impl MilpSolution {
 #[derive(Debug, Clone, Default)]
 pub struct BranchAndBound {
     opts: MilpOptions,
+    /// Caller-provided basis for the root LP (see [`Self::with_root_warm`]).
+    root_warm: Option<Arc<WarmStart>>,
 }
 
 /// Open node: bounds override plus the parent's LP bound (score space).
@@ -158,6 +241,9 @@ struct Node {
     /// `(variable, went_up)` branch that created this node, for
     /// pseudo-cost bookkeeping.
     branched_on: Option<(usize, bool)>,
+    /// Optimal basis of the nearest solved ancestor, shared across
+    /// siblings; `None` at the root or when no snapshot was available.
+    warm: Option<Arc<WarmStart>>,
 }
 
 /// Per-variable pseudo-cost history: observed LP-bound degradation per
@@ -208,7 +294,21 @@ impl BranchAndBound {
 
     /// Creates a solver with explicit options.
     pub fn with_options(opts: MilpOptions) -> Self {
-        Self { opts }
+        Self {
+            opts,
+            root_warm: None,
+        }
+    }
+
+    /// Seeds the root LP with a basis obtained elsewhere on a model of the
+    /// same shape (e.g. the caller's own relaxation solve under nearby
+    /// bounds). Dimension mismatches and stale bases fall back to a cold
+    /// solve, so a wrong seed costs pivots but never correctness. Ignored
+    /// when [`MilpOptions::warm_start`] is off.
+    #[must_use]
+    pub fn with_root_warm(mut self, warm: Arc<WarmStart>) -> Self {
+        self.root_warm = Some(warm);
+        self
     }
 
     /// Solves the model.
@@ -248,7 +348,9 @@ impl BranchAndBound {
             score_bound: f64::INFINITY,
             depth: 0,
             branched_on: None,
+            warm: self.root_warm.clone(),
         });
+        let mut tracker = WarmTracker::default();
         let mut pseudo: Vec<PseudoCost> = vec![PseudoCost::default(); model.num_vars()];
         let mut global_bound = f64::INFINITY; // score space
         let mut status = MilpStatus::Optimal;
@@ -285,7 +387,28 @@ impl BranchAndBound {
                 }
             }
 
-            let sol = simplex.solve_with_bounds(lp, &node.bounds)?;
+            // Warm-start from the nearest solved ancestor's basis when
+            // enabled and available; `solve_warm` itself falls back to a
+            // cold run on a stale or singular snapshot.
+            let ws = match (self.opts.warm_start, node.warm.as_deref()) {
+                (true, Some(warm)) => simplex.solve_warm(lp, &node.bounds, warm)?,
+                (true, None) => simplex.solve_snapshot(lp, &node.bounds)?,
+                (false, _) => {
+                    let solution = simplex.solve_with_bounds(lp, &node.bounds)?;
+                    certnn_lp::WarmSolve {
+                        solution,
+                        warm: None,
+                        warm_used: false,
+                    }
+                }
+            };
+            if ws.warm_used {
+                tracker.record_warm(ws.solution.iterations);
+            } else {
+                tracker.record_cold(ws.solution.iterations);
+            }
+            let snapshot = ws.warm.map(Arc::new);
+            let sol = ws.solution;
             nodes_explored += 1;
             lp_iterations += sol.iterations;
             match sol.status {
@@ -379,7 +502,9 @@ impl BranchAndBound {
                             &node.bounds,
                             &int_vars,
                             &sol.x,
+                            snapshot.as_deref(),
                             &mut lp_iterations,
+                            &mut tracker,
                         ) {
                             if update_incumbent(&mut incumbent, hx, hscore) {
                                 if let Some(target) = self.opts.target_objective {
@@ -394,6 +519,10 @@ impl BranchAndBound {
                     let (lo, hi) = node.bounds[v.index()];
                     let down = val.floor();
                     let up = val.ceil();
+                    // Children inherit this node's basis; when no snapshot
+                    // exists (e.g. the LP needed artificials) the nearest
+                    // solved ancestor's basis is still better than nothing.
+                    let child_warm = snapshot.clone().or_else(|| node.warm.clone());
                     if down >= lo - self.opts.int_tol {
                         let mut b = node.bounds.clone();
                         b[v.index()] = (lo, down.min(hi));
@@ -402,6 +531,7 @@ impl BranchAndBound {
                             score_bound: node_score,
                             depth: node.depth + 1,
                             branched_on: Some((v.index(), false)),
+                            warm: child_warm.clone(),
                         });
                     }
                     if up <= hi + self.opts.int_tol {
@@ -412,6 +542,7 @@ impl BranchAndBound {
                             score_bound: node_score,
                             depth: node.depth + 1,
                             branched_on: Some((v.index(), true)),
+                            warm: child_warm,
                         });
                     }
                 }
@@ -444,6 +575,7 @@ impl BranchAndBound {
             best_bound: sense_sign * global_bound,
             nodes: nodes_explored,
             lp_iterations,
+            stats: tracker.stats(),
             elapsed: start.elapsed(),
         })
     }
@@ -451,6 +583,7 @@ impl BranchAndBound {
     /// Rounds every integer variable to the nearest integer, fixes it, and
     /// re-solves the LP. Returns a feasible integral point (score space) on
     /// success.
+    #[allow(clippy::too_many_arguments)]
     fn dive(
         &self,
         model: &MilpModel,
@@ -458,7 +591,9 @@ impl BranchAndBound {
         bounds: &[(f64, f64)],
         int_vars: &[VarId],
         relax_x: &[f64],
+        warm: Option<&WarmStart>,
         lp_iterations: &mut usize,
+        tracker: &mut WarmTracker,
     ) -> Option<(Vec<f64>, f64)> {
         let mut fixed = bounds.to_vec();
         for &v in int_vars {
@@ -466,7 +601,23 @@ impl BranchAndBound {
             let r = relax_x[v.index()].round().clamp(lo, hi);
             fixed[v.index()] = (r, r);
         }
-        let sol = simplex.solve_with_bounds(model.relaxation(), &fixed).ok()?;
+        // The dive only pins bounds, so the node basis warm-starts it too.
+        let sol = match (self.opts.warm_start, warm) {
+            (true, Some(w)) => {
+                let ws = simplex.solve_warm(model.relaxation(), &fixed, w).ok()?;
+                if ws.warm_used {
+                    tracker.record_warm(ws.solution.iterations);
+                } else {
+                    tracker.record_cold(ws.solution.iterations);
+                }
+                ws.solution
+            }
+            _ => {
+                let sol = simplex.solve_with_bounds(model.relaxation(), &fixed).ok()?;
+                tracker.record_cold(sol.iterations);
+                sol
+            }
+        };
         if sol.status != LpStatus::Optimal {
             return None;
         }
@@ -758,6 +909,95 @@ mod tests {
             pc.objective,
             frac.objective
         );
+    }
+
+    #[test]
+    fn warm_and_cold_search_agree_on_knapsack() {
+        let m = knapsack();
+        let warm = BranchAndBound::new().solve(&m).unwrap();
+        let cold = BranchAndBound::with_options(MilpOptions {
+            warm_start: false,
+            ..MilpOptions::default()
+        })
+        .solve(&m)
+        .unwrap();
+        assert_eq!(warm.status, cold.status);
+        assert!((warm.objective.unwrap() - cold.objective.unwrap()).abs() < 1e-9);
+        assert!((warm.best_bound - cold.best_bound).abs() < 1e-6);
+        assert_eq!(cold.stats.warm_solves, 0, "disabled run must be all-cold");
+    }
+
+    #[test]
+    fn warm_solves_dominate_on_branching_heavy_instance() {
+        // Equal weights force deep branching: nearly every node after the
+        // root should ride its parent's basis.
+        let mut m = MilpModel::new(Sense::Maximize);
+        let vars: Vec<_> = (0..10).map(|i| m.add_binary(&format!("b{i}"))).collect();
+        m.set_objective(
+            &vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 5.0 + (i % 4) as f64 * 0.25))
+                .collect::<Vec<_>>(),
+        );
+        m.add_row(
+            "cap",
+            &vars.iter().map(|&v| (v, 2.0)).collect::<Vec<_>>(),
+            RowKind::Le,
+            9.0,
+        )
+        .unwrap();
+        let warm = BranchAndBound::new().solve(&m).unwrap();
+        let cold = BranchAndBound::with_options(MilpOptions {
+            warm_start: false,
+            ..MilpOptions::default()
+        })
+        .solve(&m)
+        .unwrap();
+        assert_eq!(warm.status, MilpStatus::Optimal);
+        assert!((warm.objective.unwrap() - cold.objective.unwrap()).abs() < 1e-9);
+        assert!(
+            warm.stats.warm_solves > warm.stats.cold_solves,
+            "warm {} vs cold {} solves",
+            warm.stats.warm_solves,
+            warm.stats.cold_solves
+        );
+        assert!(
+            warm.lp_iterations < cold.lp_iterations,
+            "warm tree spent {} pivots, cold tree {}",
+            warm.lp_iterations,
+            cold.lp_iterations
+        );
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = MilpStats {
+            warm_solves: 1,
+            cold_solves: 2,
+            pivots_saved: 3,
+        };
+        a.merge(MilpStats {
+            warm_solves: 10,
+            cold_solves: 20,
+            pivots_saved: 30,
+        });
+        assert_eq!(a.warm_solves, 11);
+        assert_eq!(a.cold_solves, 22);
+        assert_eq!(a.pivots_saved, 33);
+    }
+
+    #[test]
+    fn tracker_estimates_savings_against_cold_average() {
+        let mut t = WarmTracker::default();
+        t.record_cold(100);
+        t.record_cold(50); // mean 75
+        t.record_warm(5); // saves 70
+        t.record_warm(200); // clamped to 0
+        let s = t.stats();
+        assert_eq!(s.cold_solves, 2);
+        assert_eq!(s.warm_solves, 2);
+        assert_eq!(s.pivots_saved, 70);
     }
 
     #[test]

@@ -58,13 +58,13 @@ use crate::encoder::{encode, BoundMethod, Encoding};
 use crate::property::{InputSpec, LinearObjective};
 use crate::VerifyError;
 use certnn_linalg::{Interval, Vector};
-use certnn_lp::{LpStatus, Simplex, VarId};
-use certnn_milp::{BranchAndBound, MilpModel, MilpOptions, MilpStatus};
+use certnn_lp::{LpStatus, Simplex, VarId, WarmStart};
+use certnn_milp::{BranchAndBound, MilpModel, MilpOptions, MilpStats, MilpStatus, WarmTracker};
 use certnn_nn::network::Network;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -103,6 +103,10 @@ pub struct BabOptions {
     /// reproduces the serial best-first visit order exactly; `0` means
     /// one worker per available core (see [`resolve_threads`]).
     pub threads: usize,
+    /// Warm-start LP bounding solves from a per-worker basis cache and
+    /// warm-start sub-MILP trees from parent bases. Verdict-preserving;
+    /// disable only to collect a cold baseline.
+    pub warm_start: bool,
 }
 
 impl Default for BabOptions {
@@ -116,6 +120,7 @@ impl Default for BabOptions {
             bound_cutoff: None,
             lp_bounding: true,
             threads: 1,
+            warm_start: true,
         }
     }
 }
@@ -146,12 +151,20 @@ pub struct BabResult {
     /// Node throughput: `nodes / elapsed`, the metric to watch when
     /// comparing thread counts.
     pub nodes_per_sec: f64,
+    /// Warm-start accounting aggregated over all workers: the per-worker
+    /// LP bounding caches plus every sub-MILP tree.
+    pub warm_stats: MilpStats,
 }
 
 struct Node {
     phases: Vec<Option<bool>>,
     bound: f64,
     depth: usize,
+    /// Optimal basis of the nearest solved ancestor, shared across
+    /// siblings. Parent-to-child bound changes are small (one binary
+    /// fixed plus interval refinements), so this basis has far better
+    /// locality than any last-solved cache under best-first ordering.
+    warm: Option<Arc<WarmStart>>,
 }
 
 impl PartialEq for Node {
@@ -225,6 +238,12 @@ struct SearchState {
 struct WorkerCounters {
     milp_calls: usize,
     lp_iterations: usize,
+    /// Warm/cold accounting of this worker's LP bounding solves.
+    tracker: WarmTracker,
+    /// Warm-start statistics reported by this worker's sub-MILP trees.
+    milp_stats: MilpStats,
+    /// Simplex pivots inside sub-MILP trees (diagnostic split).
+    submilp_pivots: usize,
 }
 
 /// What one processed node produced.
@@ -298,6 +317,33 @@ impl SearchState {
             }
         }
         v
+    }
+
+    /// Incumbent value for seeding a sub-MILP's
+    /// [`MilpOptions::initial_bound`], re-verified before use: the stored
+    /// witness must lie inside the input box and a fresh forward pass must
+    /// reproduce the stored value. An incumbent that fails either check is
+    /// never handed down as a feasible-point claim — the sub-MILP then
+    /// simply runs unseeded, which is always sound.
+    fn verified_seed(&self, ctx: &SearchCtx) -> Option<f64> {
+        let inc = self.incumbent.lock().expect("incumbent lock");
+        let (x, v) = inc.as_ref()?;
+        if x.len() != ctx.input_box.len() {
+            return None;
+        }
+        for (xi, iv) in x.iter().zip(ctx.input_box) {
+            if *xi < iv.lo() - 1e-9 || *xi > iv.hi() + 1e-9 {
+                return None;
+            }
+        }
+        let out = ctx.net.forward(x).ok()?;
+        let recomputed = ctx.objective.eval(&out);
+        if !recomputed.is_finite() || (recomputed - v).abs() > 1e-6 {
+            return None;
+        }
+        // Seed the smaller of the two: the bound must never overstate
+        // what the witness actually achieves.
+        Some(recomputed.min(*v))
     }
 
     /// Claims the next node for worker `wid`, or `None` when the search
@@ -488,6 +534,7 @@ pub fn bab_maximize(
             phases: root_phases,
             bound: root_bound,
             depth: 0,
+            warm: None,
         },
     );
     state.try_incumbent(&ctx, &root.maximizer);
@@ -502,8 +549,11 @@ pub fn bab_maximize(
                 s.spawn(move || {
                     let mut analyzer = PhaseAnalyzer::new(ctx.net, ctx.input_box)?;
                     let mut counters = WorkerCounters::default();
+                    // Per-worker LP-bounding basis cache: workers never
+                    // share bases, so the parallel engine stays lock-free.
+                    let mut lp_warm: Option<Arc<WarmStart>> = None;
                     while let Some(node) = state.next_work(ctx, wid) {
-                        match process_node(ctx, state, &mut analyzer, &node, &mut counters) {
+                        match process_node(ctx, state, &mut analyzer, &node, &mut counters, &mut lp_warm) {
                             Ok(outcome) => state.complete(wid, outcome),
                             Err(e) => {
                                 state.fail(wid);
@@ -523,10 +573,21 @@ pub fn bab_maximize(
 
     let mut milp_calls = 0usize;
     let mut lp_iterations = 0usize;
+    let mut warm_stats = MilpStats::default();
     for result in worker_results {
         let counters = result?;
         milp_calls += counters.milp_calls;
         lp_iterations += counters.lp_iterations;
+        if std::env::var_os("CERTNN_WARM_DEBUG").is_some() {
+            eprintln!(
+                "[warm-debug] lp-bounding {:?} | sub-milp {:?} pivots {}",
+                counters.tracker,
+                counters.milp_stats,
+                counters.submilp_pivots
+            );
+        }
+        warm_stats.merge(counters.tracker.stats());
+        warm_stats.merge(counters.milp_stats);
     }
 
     let frontier = state.frontier.into_inner().expect("frontier lock");
@@ -573,6 +634,7 @@ pub fn bab_maximize(
         elapsed,
         threads_used,
         nodes_per_sec: frontier.nodes as f64 / elapsed.as_secs_f64().max(1e-9),
+        warm_stats,
     })
 }
 
@@ -585,6 +647,7 @@ fn process_node(
     analyzer: &mut PhaseAnalyzer,
     node: &Node,
     counters: &mut WorkerCounters,
+    lp_warm: &mut Option<Arc<WarmStart>>,
 ) -> Result<NodeOutcome, VerifyError> {
     let opts = ctx.opts;
     // Fresh analysis at the popped node (cheap relative to any LP).
@@ -606,6 +669,10 @@ fn process_node(
     // Collect phase decisions (forced + implied by the node's bounds)
     // for the LP relaxation and the sub-MILP.
     let decided = decided_phases(ctx, node, &analysis);
+
+    // Basis handed to this node's sub-MILP root and children: the node's
+    // own LP solution when bounding runs, else the inherited ancestor's.
+    let mut node_snap = node.warm.clone();
 
     if opts.lp_bounding {
         // LP relaxation with node-tightened variable bounds: fix the
@@ -636,10 +703,39 @@ fn process_node(
                 nb[bin.index()] = (b, b);
             }
         }
-        let lp = ctx
-            .simplex
-            .solve_with_bounds(ctx.obj_model.relaxation(), &nb)
+        // Warm-start from the node's inherited ancestor basis when one
+        // exists: parent and child relaxations differ by one fixed binary
+        // plus interval refinements, the ideal dual-simplex re-solve.
+        // A last-solved per-worker cache is the fallback for nodes with no
+        // ancestor basis — under best-first ordering consecutive pops jump
+        // across the tree, so that basis is stale and only used when
+        // nothing better is at hand. Both paths are worker-private, so the
+        // parallel engine stays lock-free.
+        let lp = if opts.warm_start {
+            let ws = match node.warm.as_deref().or(lp_warm.as_deref()) {
+                Some(w) => ctx.simplex.solve_warm(ctx.obj_model.relaxation(), &nb, w),
+                None => ctx.simplex.solve_snapshot(ctx.obj_model.relaxation(), &nb),
+            }
             .map_err(|e| VerifyError::from(certnn_milp::MilpError::from(e)))?;
+            if ws.warm_used {
+                counters.tracker.record_warm(ws.solution.iterations);
+            } else {
+                counters.tracker.record_cold(ws.solution.iterations);
+            }
+            if let Some(snap) = ws.warm {
+                let snap = Arc::new(snap);
+                *lp_warm = Some(snap.clone());
+                node_snap = Some(snap);
+            }
+            ws.solution
+        } else {
+            let sol = ctx
+                .simplex
+                .solve_with_bounds(ctx.obj_model.relaxation(), &nb)
+                .map_err(|e| VerifyError::from(certnn_milp::MilpError::from(e)))?;
+            counters.tracker.record_cold(sol.iterations);
+            sol
+        };
         counters.lp_iterations += lp.iterations;
         match lp.status {
             LpStatus::Infeasible => return Ok(NodeOutcome::default()),
@@ -672,23 +768,32 @@ fn process_node(
             }
         }
         // Seed the sub-MILP with the cross-thread incumbent: its pruning
-        // then benefits from every other worker's discoveries. The value
-        // is achieved by a real input, so it is a safe bound.
-        let best = state.best();
+        // then benefits from every other worker's discoveries. The seed is
+        // re-verified first (witness in box, forward pass reproduces the
+        // value) so an unachievable number can never be handed down as a
+        // feasible-point claim; `initial_bound` is pruning-only either way.
         let milp_opts = MilpOptions {
             time_limit: opts.time_limit.map(|l| {
                 l.saturating_sub(ctx.start.elapsed())
                     .max(Duration::from_millis(100))
             }),
-            initial_bound: (best > f64::NEG_INFINITY)
-                .then_some(best - ctx.objective.constant),
+            initial_bound: state
+                .verified_seed(ctx)
+                .map(|v| v - ctx.objective.constant),
+            warm_start: opts.warm_start,
             ..MilpOptions::default()
         };
-        let sol = BranchAndBound::with_options(milp_opts)
-            .solve(&milp)
-            .map_err(VerifyError::from)?;
+        // The sub-MILP is the same model with binaries pinned, so the
+        // node's relaxation basis seeds its root solve directly.
+        let mut solver = BranchAndBound::with_options(milp_opts);
+        if let Some(w) = &node_snap {
+            solver = solver.with_root_warm(w.clone());
+        }
+        let sol = solver.solve(&milp).map_err(VerifyError::from)?;
         counters.milp_calls += 1;
         counters.lp_iterations += sol.lp_iterations;
+        counters.submilp_pivots += sol.lp_iterations;
+        counters.milp_stats.merge(sol.stats);
         match sol.status {
             MilpStatus::Optimal | MilpStatus::Infeasible => {
                 if let (Some(x), Some(_)) = (&sol.x, sol.objective) {
@@ -755,6 +860,7 @@ fn process_node(
             phases,
             bound: child_bound,
             depth: node.depth + 1,
+            warm: node_snap.clone(),
         });
     }
     Ok(outcome)

@@ -5,7 +5,7 @@ use crate::encoder::{encode, BoundMethod, EncodingStats};
 use crate::property::{InputSpec, LinearObjective};
 use crate::VerifyError;
 use certnn_linalg::Vector;
-use certnn_milp::{BranchAndBound, MilpOptions, MilpStatus};
+use certnn_milp::{BranchAndBound, MilpOptions, MilpStats, MilpStatus};
 use certnn_nn::network::Network;
 use std::time::Duration;
 
@@ -20,17 +20,34 @@ pub struct VerifyStats {
     pub binaries: usize,
     /// Constraint rows in the encoding.
     pub rows: usize,
+    /// LP solves that reused a parent basis via the dual simplex.
+    pub warm_solves: usize,
+    /// LP solves started from scratch (first node per worker, or a warm
+    /// attempt that fell back after basis invalidation).
+    pub cold_solves: usize,
+    /// Estimated pivots avoided by warm starts, measured against the
+    /// running mean pivot count of the cold solves.
+    pub pivots_saved: usize,
     /// Wall-clock time of the MILP solve.
     pub elapsed: Duration,
 }
 
 impl VerifyStats {
-    fn from_parts(stats: EncodingStats, nodes: usize, lp_iterations: usize, elapsed: Duration) -> Self {
+    fn from_parts(
+        stats: EncodingStats,
+        nodes: usize,
+        lp_iterations: usize,
+        warm: MilpStats,
+        elapsed: Duration,
+    ) -> Self {
         Self {
             nodes,
             lp_iterations,
             binaries: stats.binaries,
             rows: stats.rows,
+            warm_solves: warm.warm_solves,
+            cold_solves: warm.cold_solves,
+            pivots_saved: warm.pivots_saved,
             elapsed,
         }
     }
@@ -161,6 +178,9 @@ pub struct VerifierOptions {
     /// deterministic serial visit order, `0` uses one worker per
     /// available core (see [`crate::bab::resolve_threads`]).
     pub threads: usize,
+    /// Reuse parent LP bases across branch-and-bound nodes via the dual
+    /// simplex (verdict-preserving; disable to benchmark the cold path).
+    pub warm_start: bool,
 }
 
 impl Default for VerifierOptions {
@@ -173,6 +193,7 @@ impl Default for VerifierOptions {
             node_limit: None,
             abs_gap: 1e-6,
             threads: 1,
+            warm_start: true,
         }
     }
 }
@@ -202,6 +223,7 @@ impl Verifier {
             time_limit: self.opts.time_limit,
             node_limit: self.opts.node_limit,
             abs_gap: self.opts.abs_gap,
+            warm_start: self.opts.warm_start,
             ..MilpOptions::default()
         }
     }
@@ -216,6 +238,7 @@ impl Verifier {
             bound_cutoff: None,
             lp_bounding: true,
             threads: self.opts.threads,
+            warm_start: self.opts.warm_start,
         }
     }
 
@@ -257,6 +280,9 @@ impl Verifier {
                     lp_iterations: r.lp_iterations,
                     binaries: r.encoding_stats.binaries,
                     rows: r.encoding_stats.rows,
+                    warm_solves: r.warm_stats.warm_solves,
+                    cold_solves: r.warm_stats.cold_solves,
+                    pivots_saved: r.warm_stats.pivots_saved,
                     elapsed: r.elapsed,
                 },
             });
@@ -292,7 +318,13 @@ impl Verifier {
             upper_bound: sol.best_bound + objective.constant,
             best_value,
             witness,
-            stats: VerifyStats::from_parts(enc.stats, sol.nodes, sol.lp_iterations, sol.elapsed),
+            stats: VerifyStats::from_parts(
+                enc.stats,
+                sol.nodes,
+                sol.lp_iterations,
+                sol.stats,
+                sol.elapsed,
+            ),
         })
     }
 
@@ -352,6 +384,9 @@ impl Verifier {
                 lp_iterations: r.lp_iterations,
                 binaries: r.encoding_stats.binaries,
                 rows: r.encoding_stats.rows,
+                warm_solves: r.warm_stats.warm_solves,
+                cold_solves: r.warm_stats.cold_solves,
+                pivots_saved: r.warm_stats.pivots_saved,
                 elapsed: r.elapsed,
             };
             let verdict = match r.status {
@@ -394,8 +429,13 @@ impl Verifier {
         opts.bound_cutoff = Some(t);
         let solver = BranchAndBound::with_options(opts);
         let sol = solver.solve(&milp).map_err(VerifyError::from)?;
-        let stats =
-            VerifyStats::from_parts(enc.stats, sol.nodes, sol.lp_iterations, sol.elapsed);
+        let stats = VerifyStats::from_parts(
+            enc.stats,
+            sol.nodes,
+            sol.lp_iterations,
+            sol.stats,
+            sol.elapsed,
+        );
 
         let witness_value = match (&sol.x, sol.objective) {
             (Some(x), Some(claimed)) => {

@@ -1,0 +1,160 @@
+//! Warm-started LP re-solves must be a pure performance knob.
+//!
+//! The dual-simplex warm start (`Simplex::solve_warm`) re-solves a model
+//! under tightened bounds from the parent's optimal basis. Its contract
+//! is *verdict preservation*: the same status and (for optimal solves)
+//! the same objective as a cold solve, to numerical tolerance — on
+//! random LPs and on the end-to-end Table II pipeline, at any thread
+//! count.
+
+use certnn_bench::table2::{run_table2, Table2Config};
+use certnn_lp::{LpModel, LpStatus, RowKind, Sense, Simplex};
+use proptest::prelude::*;
+
+fn small_coeff() -> impl Strategy<Value = f64> {
+    // Integer quarters keep the arithmetic tame so the 1e-9 objective
+    // comparison below is about pivoting, not float noise.
+    (-12i32..=12).prop_map(|v| v as f64 / 4.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solve a random LP cold, snapshot its basis, tighten the bounds
+    /// (the branch-and-bound child-node pattern), and re-solve both ways:
+    /// statuses must match exactly and optimal objectives to 1e-9.
+    #[test]
+    fn warm_resolve_matches_cold_on_randomized_lps(
+        n_vars in 2usize..5,
+        n_rows in 1usize..4,
+        c in prop::collection::vec(small_coeff(), 4),
+        a in prop::collection::vec(small_coeff(), 12),
+        b in prop::collection::vec((-4i32..=10).prop_map(|v| v as f64 / 2.0), 3),
+        lo in prop::collection::vec((-4i32..=0).prop_map(|v| v as f64), 4),
+        span in prop::collection::vec((1i32..=6).prop_map(|v| v as f64), 4),
+        shrink_lo in prop::collection::vec(0u32..=4, 4),
+        shrink_hi in prop::collection::vec(0u32..=4, 4),
+    ) {
+        let mut m = LpModel::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n_vars)
+            .map(|i| m.add_var(&format!("x{i}"), lo[i], lo[i] + span[i]))
+            .collect();
+        m.set_objective(
+            &vars.iter().enumerate().map(|(i, &v)| (v, c[i])).collect::<Vec<_>>(),
+        );
+        for r in 0..n_rows {
+            let coeffs: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, a[r * 4 + i]))
+                .collect();
+            m.add_row(&format!("r{r}"), &coeffs, RowKind::Le, b[r]).unwrap();
+        }
+        let simplex = Simplex::new();
+        let parent_bounds: Vec<(f64, f64)> =
+            (0..n_vars).map(|i| (lo[i], lo[i] + span[i])).collect();
+        let parent = simplex.solve_snapshot(&m, &parent_bounds).unwrap();
+        prop_assume!(parent.solution.status == LpStatus::Optimal);
+        let Some(warm) = parent.warm else {
+            // Artificial variables left in the basis: nothing to warm from.
+            return Ok(());
+        };
+
+        // Tighten each variable's range by up to 40% per side, as a
+        // branching step would.
+        let child_bounds: Vec<(f64, f64)> = (0..n_vars)
+            .map(|i| {
+                let (plo, phi) = parent_bounds[i];
+                let w = phi - plo;
+                (
+                    plo + w * 0.1 * f64::from(shrink_lo[i]),
+                    phi - w * 0.1 * f64::from(shrink_hi[i]),
+                )
+            })
+            .map(|(a, b)| (a, b.max(a)))
+            .collect();
+
+        let cold = simplex.solve_with_bounds(&m, &child_bounds).unwrap();
+        let warm_solve = simplex.solve_warm(&m, &child_bounds, &warm).unwrap();
+        prop_assert_eq!(
+            cold.status,
+            warm_solve.solution.status,
+            "cold {:?} vs warm {:?}",
+            cold.status,
+            warm_solve.solution.status
+        );
+        if cold.status == LpStatus::Optimal {
+            let (co, wo) = (cold.objective, warm_solve.solution.objective);
+            prop_assert!(
+                (co - wo).abs() <= 1e-9 * (1.0 + co.abs()),
+                "cold objective {co} vs warm objective {wo}"
+            );
+            // The warm answer must itself be feasible for the child.
+            prop_assert!(m.is_feasible(&warm_solve.solution.x, 1e-6));
+            for (x, &(blo, bhi)) in warm_solve.solution.x.iter().zip(&child_bounds) {
+                prop_assert!(*x >= blo - 1e-7 && *x <= bhi + 1e-7);
+            }
+        }
+    }
+}
+
+/// End-to-end: the full Table II smoke pipeline must produce bit-identical
+/// rows across thread counts with warm starts on, and verdicts within the
+/// `abs_gap` contract against the cold path.
+#[test]
+fn table2_smoke_is_thread_invariant_and_warm_cold_agree() {
+    let mut config = Table2Config::smoke_test();
+    config.threads = 1;
+    let warm1 = run_table2(&config).unwrap();
+    config.threads = 4;
+    let warm4 = run_table2(&config).unwrap();
+    config.threads = 1;
+    config.warm_start = false;
+    let cold1 = run_table2(&config).unwrap();
+
+    // Bit-identical tables across thread counts (warm path).
+    assert_eq!(warm1.rows.len(), warm4.rows.len());
+    for (a, b) in warm1.rows.iter().zip(&warm4.rows) {
+        assert_eq!(a.label, b.label);
+        let (va, vb) = (a.max_lateral.unwrap(), b.max_lateral.unwrap());
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "{}: 1-thread {va} vs 4-thread {vb}",
+            a.label
+        );
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.binaries, b.binaries);
+    }
+
+    // Warm vs cold: identical verdicts, values within the gap contract.
+    // (Node counts may differ — degenerate LPs admit multiple optimal
+    // vertices, so branching orders can diverge — but answers may not.)
+    let abs_gap = 1e-6;
+    assert_eq!(warm1.rows.len(), cold1.rows.len());
+    for (w, c) in warm1.rows.iter().zip(&cold1.rows) {
+        assert_eq!(w.label, c.label);
+        assert_eq!(w.max_lateral.is_some(), c.max_lateral.is_some());
+        let (wv, cv) = (w.max_lateral.unwrap(), c.max_lateral.unwrap());
+        assert!(
+            (wv - cv).abs() <= 2.0 * abs_gap,
+            "{}: warm {wv} vs cold {cv}",
+            w.label
+        );
+        assert!(
+            (w.upper_bound - c.upper_bound).abs() <= 2.0 * abs_gap,
+            "{}: warm bound {} vs cold bound {}",
+            w.label,
+            w.upper_bound,
+            c.upper_bound
+        );
+    }
+    // The cold run by construction warm-starts nothing.
+    for c in &cold1.rows {
+        assert_eq!(c.warm_solves, 0, "{}: cold run reported warm solves", c.label);
+        assert_eq!(c.pivots_saved, 0);
+    }
+    // The warm run actually exercises the warm path on these networks.
+    let total_warm: usize = warm1.rows.iter().map(|r| r.warm_solves).sum();
+    assert!(total_warm > 0, "warm path never taken in the smoke pipeline");
+}
