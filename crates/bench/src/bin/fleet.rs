@@ -1,13 +1,17 @@
 //! Reproduces the paper's fleet observation: networks trained on the same
 //! data do not all satisfy the safety property.
 //!
-//! Usage: `fleet [--smoke] [--threads N] [--json rows.json] [--cold]`
+//! Usage: `fleet [--smoke] [--threads N] [--json rows.json] [--cold]
+//! [--fault-inject SEED]`
 //!
 //! `--threads 0` (the default) trains/verifies members on all available
 //! cores; `--threads 1` restores the serial run. `--cold` disables LP
 //! warm-starting (verdict-preserving baseline). `--json` additionally
 //! writes one machine-readable record per member (see
-//! [`certnn_bench::json`]).
+//! [`certnn_bench::json`]). `--fault-inject SEED` (builds with
+//! `--features fault-inject` only) arms the seeded chaos plan of
+//! `certnn_lp::fault`; degraded members are tagged in the table's `mode`
+//! column and the JSON `degradation` field, with all bounds still sound.
 
 use certnn_bench::json::{write_json, BenchRow};
 use certnn_bench::write_report;
@@ -30,6 +34,23 @@ fn main() {
             "--json" => {
                 i += 1;
                 json_path = Some(PathBuf::from(&args[i]));
+            }
+            "--fault-inject" => {
+                i += 1;
+                let seed: u64 = args[i].parse().expect("fault seed must be an integer");
+                #[cfg(feature = "fault-inject")]
+                {
+                    certnn_lp::fault::install(certnn_lp::fault::FaultPlan::seeded(seed));
+                    println!("fault injection armed with seed {seed}");
+                }
+                #[cfg(not(feature = "fault-inject"))]
+                {
+                    let _ = seed;
+                    eprintln!(
+                        "--fault-inject requires a build with --features fault-inject"
+                    );
+                    std::process::exit(2);
+                }
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -69,6 +90,7 @@ fn main() {
                         pivots_saved: m.pivots_saved,
                         threads: config.threads,
                         warm_start: config.warm_start,
+                        degradation: m.degradation,
                     })
                     .collect();
                 match write_json(&path, &rows) {

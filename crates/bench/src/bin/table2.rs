@@ -5,6 +5,7 @@
 //! ```text
 //! table2 [--widths 10,20,25,40,50,60] [--time-limit 120] [--epochs 25]
 //!        [--threads N] [--json rows.json] [--smoke] [--cold]
+//!        [--fault-inject SEED]
 //! ```
 //!
 //! `--smoke` runs the seconds-scale variant used by the integration tests.
@@ -13,7 +14,11 @@
 //! warm-starting (the baseline the warm path is benchmarked against;
 //! verdicts are identical either way). `--json` additionally writes one
 //! machine-readable record per width (see [`certnn_bench::json`]) —
-//! diff two such files with `bench_diff`.
+//! diff two such files with `bench_diff`. `--fault-inject SEED` (builds
+//! with `--features fault-inject` only) arms the seeded chaos plan of
+//! `certnn_lp::fault` for the whole run; degraded rows are tagged in the
+//! table and in the JSON `degradation` field, and every printed bound
+//! stays sound.
 
 use certnn_bench::json::{write_json, BenchRow};
 use certnn_bench::table2::{run_table2, Table2Config};
@@ -53,6 +58,23 @@ fn main() {
             "--json" => {
                 i += 1;
                 json_path = Some(PathBuf::from(&args[i]));
+            }
+            "--fault-inject" => {
+                i += 1;
+                let seed: u64 = args[i].parse().expect("fault seed must be an integer");
+                #[cfg(feature = "fault-inject")]
+                {
+                    certnn_lp::fault::install(certnn_lp::fault::FaultPlan::seeded(seed));
+                    println!("fault injection armed with seed {seed}");
+                }
+                #[cfg(not(feature = "fault-inject"))]
+                {
+                    let _ = seed;
+                    eprintln!(
+                        "--fault-inject requires a build with --features fault-inject"
+                    );
+                    std::process::exit(2);
+                }
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -94,6 +116,7 @@ fn main() {
                         pivots_saved: row.pivots_saved,
                         threads: config.threads,
                         warm_start: config.warm_start,
+                        degradation: row.degradation,
                     })
                     .collect();
                 match write_json(&path, &rows) {

@@ -19,6 +19,7 @@
 //! fields (they default to zero/true), so committed baselines stay
 //! readable across schema growth.
 
+use certnn_lp::Degradation;
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -47,6 +48,10 @@ pub struct BenchRow {
     pub threads: usize,
     /// Whether LP warm-starting was enabled for the row.
     pub warm_start: bool,
+    /// Worst degradation encountered answering the row's queries
+    /// (`exact` unless a fault, panic or deadline forced a sound
+    /// fallback; see [`Degradation`]).
+    pub degradation: Degradation,
 }
 
 impl Default for BenchRow {
@@ -62,6 +67,7 @@ impl Default for BenchRow {
             pivots_saved: 0,
             threads: 0,
             warm_start: true,
+            degradation: Degradation::Exact,
         }
     }
 }
@@ -84,7 +90,8 @@ pub fn to_json(rows: &[BenchRow]) -> String {
         s.push_str(&format!(
             "  {{\"width\": {}, \"value\": {}, \"wall_secs\": {}, \"nodes\": {}, \
              \"lp_iterations\": {}, \"warm_solves\": {}, \"cold_solves\": {}, \
-             \"pivots_saved\": {}, \"threads\": {}, \"warm_start\": {}}}",
+             \"pivots_saved\": {}, \"threads\": {}, \"warm_start\": {}, \
+             \"degradation\": \"{}\"}}",
             r.width,
             value,
             json_f64(r.wall_secs),
@@ -94,7 +101,8 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             r.cold_solves,
             r.pivots_saved,
             r.threads,
-            r.warm_start
+            r.warm_start,
+            r.degradation.as_str()
         ));
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -180,6 +188,16 @@ pub fn parse_json(text: &str) -> Result<Vec<BenchRow>, String> {
             Some("false") => false,
             Some(v) => return Err(format!("row {}: bad warm_start `{v}`", rows.len())),
         };
+        row.degradation = match field(obj, "degradation") {
+            // Baselines written before the degradation ladder existed were
+            // fault-free exact runs by construction.
+            None => Degradation::Exact,
+            Some(v) => {
+                let name = v.trim_matches('"');
+                Degradation::from_str_opt(name)
+                    .ok_or_else(|| format!("row {}: bad degradation `{v}`", rows.len()))?
+            }
+        };
         rows.push(row);
         rest = &rest[open + close + 1..];
     }
@@ -214,6 +232,7 @@ mod tests {
                 pivots_saved: 41250,
                 threads: 4,
                 warm_start: true,
+                degradation: Degradation::Exact,
             },
             BenchRow {
                 width: 60,
@@ -226,6 +245,7 @@ mod tests {
                 pivots_saved: 0,
                 threads: 0,
                 warm_start: false,
+                degradation: Degradation::TimedOut,
             },
         ]
     }
@@ -281,6 +301,21 @@ mod tests {
         assert_eq!(rows[0].width, 6);
         assert_eq!(rows[0].lp_iterations, 0);
         assert!(rows[0].warm_start);
+        // Pre-ladder baselines were fault-free exact runs.
+        assert_eq!(rows[0].degradation, Degradation::Exact);
+    }
+
+    #[test]
+    fn degradation_tags_round_trip_and_reject_garbage() {
+        let s = to_json(&sample_rows());
+        assert!(s.contains("\"degradation\": \"exact\""));
+        assert!(s.contains("\"degradation\": \"timed_out\""));
+        let parsed = parse_json(&s).unwrap();
+        assert_eq!(parsed[1].degradation, Degradation::TimedOut);
+        assert!(
+            parse_json("[{\"width\": 1, \"degradation\": \"mangled\"}]").is_err(),
+            "unknown degradation tag must be rejected, not defaulted"
+        );
     }
 
     #[test]

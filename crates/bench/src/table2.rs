@@ -35,6 +35,7 @@ use certnn_sim::features::FEATURE_COUNT;
 use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
 use certnn_verify::bab::resolve_threads;
 use certnn_verify::verifier::{Verdict, Verifier, VerifierOptions};
+use certnn_verify::{Deadline, Degradation};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -155,6 +156,9 @@ pub struct Table2Row {
     pub cold_solves: usize,
     /// Estimated pivots avoided by warm starts.
     pub pivots_saved: usize,
+    /// Worst degradation across this row's queries (`Exact` on a clean
+    /// run; sound fallback bounds otherwise).
+    pub degradation: Degradation,
 }
 
 /// The decision-query row of the reproduced table.
@@ -168,6 +172,8 @@ pub struct ProofRow {
     pub verdict: Verdict,
     /// Verification wall time.
     pub time: Duration,
+    /// Worst degradation encountered deciding the query.
+    pub degradation: Degradation,
 }
 
 /// Complete result of the Table II experiment.
@@ -202,10 +208,13 @@ impl Table2Result {
             "ANN", "max lateral velocity", "time", "nodes", "binaries"
         );
         for row in &self.rows {
-            let measured = match row.max_lateral {
+            let mut measured = match row.max_lateral {
                 Some(v) => format!("{v:.6}"),
                 None => format!("n.a. (bound {:.4})", row.upper_bound),
             };
+            if row.degradation > Degradation::Exact {
+                measured.push_str(&format!(" [{}]", row.degradation.as_str()));
+            }
             let _ = writeln!(
                 s,
                 "{:<8} {:>26} {:>11.1?} {:>8} {:>10}",
@@ -213,13 +222,16 @@ impl Table2Result {
             );
         }
         for proof in &self.proofs {
-            let verdict = match &proof.verdict {
+            let mut verdict = match &proof.verdict {
                 Verdict::Holds { bound } => format!("PROVED (bound {bound:.4})"),
                 Verdict::Violated { value, .. } => format!("REFUTED (witness {value:.4})"),
                 Verdict::Unknown { upper_bound, .. } => {
                     format!("UNKNOWN (bound {upper_bound:.4})")
                 }
             };
+            if proof.degradation > Degradation::Exact {
+                verdict.push_str(&format!(" [{}]", proof.degradation.as_str()));
+            }
             let _ = writeln!(
                 s,
                 "{:<8} prove lateral velocity ≤ {} m/s: {} in {:.1?}",
@@ -303,6 +315,7 @@ fn run_width(ctx: &WidthCtx, i: usize, width: usize) -> Result<(Table2Row, Netwo
         warm_solves: result.stats.warm_solves,
         cold_solves: result.stats.cold_solves,
         pivots_saved: result.stats.pivots_saved,
+        degradation: result.stats.degradation,
     };
     Ok((row, net))
 }
@@ -321,6 +334,21 @@ fn run_width(ctx: &WidthCtx, i: usize, width: usize) -> Result<(Table2Row, Netwo
 /// Returns [`CoreError`] if data generation, training or verification
 /// fails structurally (time-outs are *results*, not errors).
 pub fn run_table2(config: &Table2Config) -> Result<Table2Result, CoreError> {
+    run_table2_under(config, Deadline::none())
+}
+
+/// [`run_table2`] under an ambient [`Deadline`]/cancellation token,
+/// threaded through every width's verifier down to simplex pivot batches
+/// (tightened per query by [`Table2Config::time_limit`]). Expired rows
+/// report sound partial bounds tagged with their [`Degradation`].
+///
+/// # Errors
+///
+/// Same contract as [`run_table2`].
+pub fn run_table2_under(
+    config: &Table2Config,
+    deadline: Deadline,
+) -> Result<Table2Result, CoreError> {
     // Shared training data (the paper trains all networks on one dataset).
     let mut raw = generate_dataset(&config.scenario)?;
     highway_validator(1.0).sanitize(&mut raw);
@@ -341,7 +369,8 @@ pub fn run_table2(config: &Table2Config) -> Result<Table2Result, CoreError> {
         threads: if workers > 1 { 1 } else { config.threads },
         warm_start: config.warm_start,
         ..VerifierOptions::default()
-    });
+    })
+    .with_deadline(deadline);
 
     let ctx = WidthCtx {
         config,
@@ -361,7 +390,9 @@ pub fn run_table2(config: &Table2Config) -> Result<Table2Result, CoreError> {
                     break;
                 }
                 let out = run_width(&ctx, i, config.widths[i]);
-                *slots[i].lock().expect("width slot") = Some(out);
+                // Poison-tolerant: a panicked width worker must not wedge
+                // collection of the surviving rows.
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
             });
         }
     });
@@ -372,7 +403,7 @@ pub fn run_table2(config: &Table2Config) -> Result<Table2Result, CoreError> {
     for slot in slots {
         let (row, net) = slot
             .into_inner()
-            .expect("width slot")
+            .unwrap_or_else(|e| e.into_inner())
             .expect("every width index was claimed by a worker")?;
         if row.max_lateral.is_some() {
             largest_closed = Some(net.clone());
@@ -399,6 +430,7 @@ pub fn run_table2(config: &Table2Config) -> Result<Table2Result, CoreError> {
             threshold: config.proof_threshold,
             verdict,
             time: stats.elapsed,
+            degradation: stats.degradation,
         });
     }
 

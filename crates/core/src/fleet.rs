@@ -20,6 +20,7 @@ use certnn_sim::features::FEATURE_COUNT;
 use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
 use certnn_verify::bab::resolve_threads;
 use certnn_verify::verifier::{Verifier, VerifierOptions};
+use certnn_verify::{Deadline, Degradation};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -122,6 +123,10 @@ pub struct FleetMember {
     pub cold_solves: usize,
     /// Estimated pivots avoided by warm starts.
     pub pivots_saved: usize,
+    /// Worst degradation across this member's verification queries:
+    /// `Exact` on a clean run, worse if a numeric fault, worker panic or
+    /// deadline forced a (still sound) fallback bound.
+    pub degradation: Degradation,
 }
 
 /// Result of the fleet experiment.
@@ -164,8 +169,8 @@ impl FleetResult {
         );
         let _ = writeln!(
             s,
-            "{:>6} {:>12} {:>22} {:>8}",
-            "seed", "final loss", "verified max (m/s)", "safe?"
+            "{:>6} {:>12} {:>22} {:>8} {:>14}",
+            "seed", "final loss", "verified max (m/s)", "safe?", "mode"
         );
         for m in &self.members {
             let v = m
@@ -177,7 +182,15 @@ impl FleetResult {
                 Some(false) => "no",
                 None => "?",
             };
-            let _ = writeln!(s, "{:>6} {:>12.4} {:>22} {:>8}", m.seed, m.final_loss, v, safe);
+            let _ = writeln!(
+                s,
+                "{:>6} {:>12.4} {:>22} {:>8} {:>14}",
+                m.seed,
+                m.final_loss,
+                v,
+                safe,
+                m.degradation.as_str()
+            );
         }
         let _ = writeln!(
             s,
@@ -223,6 +236,7 @@ fn run_member(
         warm_solves: result.stats.warm_solves,
         cold_solves: result.stats.cold_solves,
         pivots_saved: result.stats.pivots_saved,
+        degradation: result.stats.degradation,
     })
 }
 
@@ -239,6 +253,21 @@ fn run_member(
 /// Returns [`CoreError`] if data generation, training or verification
 /// fails structurally (first failing member in seed order).
 pub fn run_fleet(config: &FleetConfig) -> Result<FleetResult, CoreError> {
+    run_fleet_under(config, Deadline::none())
+}
+
+/// [`run_fleet`] under an ambient [`Deadline`]/cancellation token.
+///
+/// The deadline is threaded through every member's verifier down to
+/// individual simplex pivot batches (tightened per query by
+/// [`FleetConfig::time_limit`]); on expiry the affected members report
+/// sound partial bounds tagged `TimedOut` instead of the run hanging or
+/// crashing.
+///
+/// # Errors
+///
+/// Same contract as [`run_fleet`].
+pub fn run_fleet_under(config: &FleetConfig, deadline: Deadline) -> Result<FleetResult, CoreError> {
     let mut raw = generate_dataset(&config.scenario)?;
     highway_validator(1.0).sanitize(&mut raw);
     if raw.is_empty() {
@@ -258,7 +287,8 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetResult, CoreError> {
         threads: if workers > 1 { 1 } else { config.threads },
         warm_start: config.warm_start,
         ..VerifierOptions::default()
-    });
+    })
+    .with_deadline(deadline);
 
     let slots: Vec<Mutex<Option<Result<FleetMember, CoreError>>>> =
         (0..config.fleet_size).map(|_| Mutex::new(None)).collect();
@@ -272,7 +302,9 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetResult, CoreError> {
                 }
                 let seed = 100 + i as u64;
                 let member = run_member(config, seed, &data, layout, &loss, &spec, &verifier);
-                *slots[i].lock().expect("member slot") = Some(member);
+                // Poison-tolerant: a worker that panicked elsewhere must
+                // not wedge result collection for the surviving members.
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(member);
             });
         }
     });
@@ -281,7 +313,7 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetResult, CoreError> {
     for slot in slots {
         let member = slot
             .into_inner()
-            .expect("member slot")
+            .unwrap_or_else(|e| e.into_inner())
             .expect("every member index was claimed by a worker");
         members.push(member?);
     }

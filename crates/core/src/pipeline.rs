@@ -29,6 +29,7 @@ use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
 use certnn_trace::attribution::{correlation_attribution, TraceabilityReport};
 use certnn_trace::mcdc::{obligation_count, pattern_space_size, BranchCoverage};
 use certnn_verify::verifier::{Verdict, Verifier, VerifierOptions, VerifyStats};
+use certnn_verify::{Deadline, Degradation};
 
 /// Configuration of a full certification run.
 #[derive(Debug, Clone)]
@@ -197,6 +198,13 @@ impl CertificationReport {
             Verdict::Unknown { upper_bound, .. } => format!("UNKNOWN (bound {upper_bound:.4})"),
         };
         s.push_str(&format!("[correctness]     property \"lateral ≤ threshold\": {verdict}\n"));
+        let worst = self.lateral.stats.degradation.merge(self.proof.1.degradation);
+        if worst > Degradation::Exact {
+            s.push_str(&format!(
+                "[correctness]     degraded results: worst mode \"{}\" — bounds remain sound but looser than an exact solve\n",
+                worst.as_str()
+            ));
+        }
         s
     }
 }
@@ -205,12 +213,27 @@ impl CertificationReport {
 #[derive(Debug, Clone)]
 pub struct CertificationPipeline {
     config: PipelineConfig,
+    deadline: Deadline,
 }
 
 impl CertificationPipeline {
     /// Creates a pipeline with the given configuration.
     pub fn new(config: PipelineConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            deadline: Deadline::none(),
+        }
+    }
+
+    /// Attaches an ambient [`Deadline`]/cancellation token observed by the
+    /// verification stage, down to simplex pivot batches (each query
+    /// additionally tightens it by [`VerifierOptions::time_limit`]). On
+    /// expiry the report carries sound partial bounds tagged
+    /// [`Degradation::TimedOut`] instead of the run hanging.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// The configuration.
@@ -312,7 +335,8 @@ impl CertificationPipeline {
 
         // 5. Verify (correctness).
         let spec = left_vehicle_spec();
-        let verifier = Verifier::with_options(cfg.verifier);
+        let verifier =
+            Verifier::with_options(cfg.verifier).with_deadline(self.deadline.clone());
         let lateral = max_lateral_velocity(&verifier, &net, layout, &spec)?;
         let proof = prove_lateral_below(&verifier, &net, layout, &spec, cfg.proof_threshold)?;
 

@@ -90,6 +90,7 @@ pub fn max_lateral_velocity(
         stats.cold_solves += r.stats.cold_solves;
         stats.pivots_saved += r.stats.pivots_saved;
         stats.elapsed += r.stats.elapsed;
+        stats.degradation = stats.degradation.merge(r.stats.degradation);
         per_component.push(r);
     }
     let max_lateral = per_component
@@ -131,6 +132,7 @@ pub fn prove_lateral_below(
         stats.cold_solves += s.cold_solves;
         stats.pivots_saved += s.pivots_saved;
         stats.elapsed += s.elapsed;
+        stats.degradation = stats.degradation.merge(s.degradation);
         match verdict {
             Verdict::Holds { bound } => worst_hold_bound = worst_hold_bound.max(bound),
             other => return Ok((other, stats)),

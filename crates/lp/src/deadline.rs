@@ -1,0 +1,192 @@
+//! Cooperative deadline / cancellation token threaded through the solve
+//! stack.
+//!
+//! A [`Deadline`] is a cheap, clonable handle that every layer — fleet
+//! runner, verifier, branch-and-bound, simplex — can poll between pivot
+//! batches. It combines a wall-clock expiry with an explicit cancellation
+//! flag, and supports *tightening*: a child deadline created by
+//! [`Deadline::tighten`] expires when its own budget runs out **or** when
+//! any ancestor expires or is cancelled, so a fleet-level abort propagates
+//! into every nested sub-solve without extra plumbing.
+//!
+//! Expiry is always observed cooperatively: solvers that notice an expired
+//! deadline stop early and report a *sound* (conservative) bound tagged
+//! with a [`Degradation`](crate::Degradation) level — they never tear
+//! threads down.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    /// Wall-clock expiry, if this link carries one.
+    at: Option<Instant>,
+    /// Explicit cancellation, observed by this link and all descendants.
+    cancelled: AtomicBool,
+    /// Parent link; expiry/cancellation there also expires this deadline.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn expired(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(at) = self.at {
+            if Instant::now() >= at {
+                return true;
+            }
+        }
+        match &self.parent {
+            Some(p) => p.expired(),
+            None => false,
+        }
+    }
+
+    /// Tightest remaining budget along the chain, if any link carries one.
+    fn remaining(&self) -> Option<Duration> {
+        let now = Instant::now();
+        let own = self.at.map(|at| at.saturating_duration_since(now));
+        let up = self.parent.as_ref().and_then(|p| p.remaining());
+        match (own, up) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// A shared cancellation token with an optional wall-clock expiry.
+///
+/// The default value ([`Deadline::none`]) never expires and costs nothing
+/// to poll, so solver hot loops can check unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Deadline {
+    /// A deadline that never expires (and cannot be cancelled).
+    pub fn none() -> Self {
+        Self { inner: None }
+    }
+
+    /// A deadline expiring `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Self::at(Instant::now() + budget)
+    }
+
+    /// A deadline expiring at `at`.
+    pub fn at(at: Instant) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                at: Some(at),
+                cancelled: AtomicBool::new(false),
+                parent: None,
+            })),
+        }
+    }
+
+    /// A cancellable deadline with no wall-clock expiry.
+    pub fn cancellable() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                at: None,
+                cancelled: AtomicBool::new(false),
+                parent: None,
+            })),
+        }
+    }
+
+    /// Whether the deadline (or any ancestor) has expired or been
+    /// cancelled.
+    pub fn expired(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(i) => i.expired(),
+        }
+    }
+
+    /// Cancels this deadline: every clone and every child created via
+    /// [`Deadline::tighten`] observes expiry from now on. No-op on
+    /// [`Deadline::none`].
+    pub fn cancel(&self) {
+        if let Some(i) = &self.inner {
+            i.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Tightest remaining budget, or `None` when unbounded.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.as_ref().and_then(|i| i.remaining())
+    }
+
+    /// Derives a child deadline that additionally expires `budget` from
+    /// now (when `budget` is `Some`). The child still observes expiry and
+    /// cancellation of `self`, so nested time limits compose: the
+    /// effective budget is the tightest along the chain.
+    pub fn tighten(&self, budget: Option<Duration>) -> Self {
+        match budget {
+            None => self.clone(),
+            Some(b) => Self {
+                inner: Some(Arc::new(Inner {
+                    at: Some(Instant::now() + b),
+                    cancelled: AtomicBool::new(false),
+                    parent: self.inner.clone(),
+                })),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        d.cancel(); // no-op
+        assert!(!d.expired());
+        assert!(d.remaining().is_none());
+    }
+
+    #[test]
+    fn elapsed_budget_expires() {
+        let d = Deadline::after(Duration::from_secs(0));
+        assert!(d.expired());
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining().expect("bounded") <= Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones_and_children() {
+        let root = Deadline::cancellable();
+        let clone = root.clone();
+        let child = root.tighten(Some(Duration::from_secs(3600)));
+        assert!(!clone.expired() && !child.expired());
+        root.cancel();
+        assert!(clone.expired(), "clone observes cancellation");
+        assert!(child.expired(), "tightened child observes cancellation");
+    }
+
+    #[test]
+    fn tighten_takes_the_smaller_budget() {
+        let root = Deadline::after(Duration::from_secs(3600));
+        let child = root.tighten(Some(Duration::from_secs(0)));
+        assert!(child.expired(), "child's own budget expired");
+        assert!(!root.expired(), "parent unaffected by child expiry");
+        let loose = root.tighten(None);
+        assert!(!loose.expired());
+    }
+
+    #[test]
+    fn remaining_is_tightest_along_chain() {
+        let root = Deadline::after(Duration::from_secs(10));
+        let child = root.tighten(Some(Duration::from_secs(3600)));
+        let rem = child.remaining().expect("bounded");
+        assert!(rem <= Duration::from_secs(10));
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic fault injection for chaos testing (feature
+//! `fault-inject`).
+//!
+//! The verifier is itself a safety-critical tool, so its failure paths
+//! need the same test coverage as its happy paths. This module plants
+//! seeded, reproducible faults inside the solve stack:
+//!
+//! * **NaN poisoning** — a basis-inverse entry is overwritten with NaN,
+//!   exercising the [`SolveError::NumericalPoison`](crate::SolveError)
+//!   detection and the cold-retry / interval-fallback ladder above it.
+//! * **Forced singular bases** — a refactorisation is reported singular,
+//!   exercising [`SolveError::SingularBasis`](crate::SolveError).
+//! * **Worker panics** — branch-and-bound workers poll
+//!   [`fire_panic`] and unwind, exercising `catch_unwind` isolation and
+//!   poison-tolerant frontier locks in `certnn-verify`.
+//! * **Artificial stalls** — pivot batches sleep, exercising
+//!   [`Deadline`](crate::Deadline) expiry and `TimedOut` degradation.
+//!
+//! Faults are *counter-based*: each kind fires every `period`-th time its
+//! hook is polled, process-wide. With a single solver thread the fault
+//! schedule is fully deterministic for a given [`FaultPlan`]; with
+//! several threads the interleaving varies but the fault *rate* does not,
+//! which is what the chaos suite's soundness assertions rely on. The plan
+//! is process-global, so concurrent tests must serialise through
+//! [`serial_guard`].
+//!
+//! This module compiles only under the `fault-inject` feature; release
+//! builds carry no hooks and are byte-identical to a fault-free build.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Fault schedule: per-kind firing periods (`0` = never fire).
+///
+/// A fault of a given kind fires on every `period`-th poll of its hook,
+/// counted process-wide from the last [`install`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Poison a basis-inverse entry with NaN every this many polls.
+    pub nan_period: u64,
+    /// Report a refactorisation as singular every this many polls.
+    pub singular_period: u64,
+    /// Sleep [`FaultPlan::stall_millis`] every this many polls.
+    pub stall_period: u64,
+    /// Tell a branch-and-bound worker to panic every this many polls.
+    pub panic_period: u64,
+    /// Duration of an injected stall, in milliseconds.
+    pub stall_millis: u64,
+}
+
+impl FaultPlan {
+    /// Derives a full mixed-fault plan from a seed (LCG-expanded), for
+    /// `--fault-inject <seed>` style chaos runs.
+    pub fn seeded(seed: u64) -> Self {
+        let mut s = seed;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        Self {
+            nan_period: 5 + next() % 23,
+            singular_period: 7 + next() % 29,
+            stall_period: 11 + next() % 37,
+            panic_period: 3 + next() % 11,
+            stall_millis: 1 + next() % 5,
+        }
+    }
+
+    /// A plan firing only NaN poisoning, every `period` polls.
+    pub fn nan_only(period: u64) -> Self {
+        Self {
+            nan_period: period,
+            ..Self::default()
+        }
+    }
+
+    /// A plan firing only forced singular bases, every `period` polls.
+    pub fn singular_only(period: u64) -> Self {
+        Self {
+            singular_period: period,
+            ..Self::default()
+        }
+    }
+
+    /// A plan firing only worker panics, every `period` polls.
+    pub fn panic_only(period: u64) -> Self {
+        Self {
+            panic_period: period,
+            ..Self::default()
+        }
+    }
+
+    /// A plan firing only stalls of `millis` ms, every `period` polls.
+    pub fn stall_only(period: u64, millis: u64) -> Self {
+        Self {
+            stall_period: period,
+            stall_millis: millis,
+            ..Self::default()
+        }
+    }
+}
+
+struct Kind {
+    period: AtomicU64,
+    counter: AtomicU64,
+}
+
+impl Kind {
+    const fn new() -> Self {
+        Self {
+            period: AtomicU64::new(0),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    fn arm(&self, period: u64) {
+        self.period.store(period, Ordering::Relaxed);
+        self.counter.store(0, Ordering::Relaxed);
+    }
+
+    fn fires(&self) -> bool {
+        let p = self.period.load(Ordering::Relaxed);
+        if p == 0 {
+            return false;
+        }
+        self.counter.fetch_add(1, Ordering::Relaxed) % p == p - 1
+    }
+}
+
+static NAN: Kind = Kind::new();
+static SINGULAR: Kind = Kind::new();
+static STALL: Kind = Kind::new();
+static PANIC: Kind = Kind::new();
+static STALL_MILLIS: AtomicU64 = AtomicU64::new(0);
+
+/// Serialises chaos tests that reconfigure the process-global plan.
+/// Poison-tolerant: a test that panicked mid-fault must not wedge the
+/// rest of the suite.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Installs `plan` process-wide and resets all fault counters.
+pub fn install(plan: FaultPlan) {
+    NAN.arm(plan.nan_period);
+    SINGULAR.arm(plan.singular_period);
+    STALL.arm(plan.stall_period);
+    PANIC.arm(plan.panic_period);
+    STALL_MILLIS.store(plan.stall_millis, Ordering::Relaxed);
+}
+
+/// Disarms all faults.
+pub fn clear() {
+    install(FaultPlan::default());
+}
+
+/// Whether any fault kind is currently armed.
+pub fn active() -> bool {
+    [&NAN, &SINGULAR, &STALL, &PANIC]
+        .iter()
+        .any(|k| k.period.load(Ordering::Relaxed) != 0)
+}
+
+/// Locks the global fault configuration for the duration of a test.
+pub fn serial_guard() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Polled by the simplex at pivot batches: `true` means "poison the
+/// basis inverse now".
+pub fn fire_nan() -> bool {
+    NAN.fires()
+}
+
+/// Polled around refactorisations: `true` means "report this basis as
+/// singular".
+pub fn fire_singular() -> bool {
+    SINGULAR.fires()
+}
+
+/// Polled by branch-and-bound workers: `true` means "panic now".
+pub fn fire_panic() -> bool {
+    PANIC.fires()
+}
+
+/// Polled at pivot batches; sleeps for the plan's stall duration when
+/// the stall fault fires.
+pub fn maybe_stall() {
+    if STALL.fires() {
+        let ms = STALL_MILLIS.load(Ordering::Relaxed);
+        if ms > 0 {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_fires_on_schedule() {
+        let _g = serial_guard();
+        install(FaultPlan::nan_only(3));
+        let fires: Vec<bool> = (0..9).map(|_| fire_nan()).collect();
+        assert_eq!(
+            fires,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        assert!(!fire_singular(), "other kinds stay disarmed");
+        clear();
+        assert!(!active());
+        assert!((0..16).all(|_| !fire_nan()), "cleared plan never fires");
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_armed() {
+        let _g = serial_guard();
+        let a = FaultPlan::seeded(42);
+        let b = FaultPlan::seeded(42);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(43);
+        assert_ne!(a, c);
+        assert!(a.nan_period > 0 && a.panic_period > 0 && a.stall_millis > 0);
+        install(a);
+        assert!(active());
+        clear();
+    }
+}

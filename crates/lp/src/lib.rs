@@ -41,12 +41,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 mod csc;
+mod deadline;
 pub mod export;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod model;
 mod simplex;
 
+pub use deadline::Deadline;
 pub use model::{LpModel, RowId, RowKind, Sense, VarId};
 pub use simplex::{Simplex, SimplexOptions, WarmSolve, WarmStart};
 
@@ -64,6 +69,8 @@ pub enum LpStatus {
     Unbounded,
     /// The iteration limit was reached before convergence.
     IterationLimit,
+    /// A [`Deadline`] expired (or was cancelled) before convergence.
+    Deadline,
 }
 
 impl fmt::Display for LpStatus {
@@ -73,8 +80,72 @@ impl fmt::Display for LpStatus {
             LpStatus::Infeasible => "infeasible",
             LpStatus::Unbounded => "unbounded",
             LpStatus::IterationLimit => "iteration limit",
+            LpStatus::Deadline => "deadline expired",
         };
         f.write_str(s)
+    }
+}
+
+/// How far a reported result degraded from an exact solve.
+///
+/// Every layer of the stack (LP → MILP → neuron branch-and-bound →
+/// verifier → fleet) reports the *worst* degradation it encountered, so a
+/// consumer can tell an exact verdict from one that survived a numeric
+/// fault or a deadline. Ordering follows severity: merging two levels
+/// with [`Degradation::merge`] (or `max`) keeps the worse one.
+///
+/// Crucially, every level is still *sound*: a degraded bound is looser,
+/// never wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Degradation {
+    /// Fully converged solve; no fault or deadline interfered.
+    #[default]
+    Exact,
+    /// A warm solve failed on a numeric fault (singular basis, NaN
+    /// poisoning, corrupt snapshot) and a cold re-solve recovered. The
+    /// result is as tight as an exact one but the fault is worth
+    /// surfacing.
+    ColdFallback,
+    /// A subproblem fell back to interval arithmetic (or a subtree's LP
+    /// relaxation bound was folded unexplored), loosening the bound.
+    IntervalOnly,
+    /// A deadline expired; the bound folds every unexplored subproblem
+    /// conservatively.
+    TimedOut,
+}
+
+impl Degradation {
+    /// The worse (more degraded) of two levels.
+    #[must_use]
+    pub fn merge(self, other: Self) -> Self {
+        self.max(other)
+    }
+
+    /// Stable machine-readable name, used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Degradation::Exact => "exact",
+            Degradation::ColdFallback => "cold_fallback",
+            Degradation::IntervalOnly => "interval_only",
+            Degradation::TimedOut => "timed_out",
+        }
+    }
+
+    /// Parses the output of [`Degradation::as_str`].
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(Degradation::Exact),
+            "cold_fallback" => Some(Degradation::ColdFallback),
+            "interval_only" => Some(Degradation::IntervalOnly),
+            "timed_out" => Some(Degradation::TimedOut),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -106,6 +177,35 @@ impl LpSolution {
     }
 }
 
+/// A recoverable numeric failure inside a simplex solve.
+///
+/// These replace panics (and silent continuation) on conditions a caller
+/// can recover from by climbing the retry ladder: warm solve → cold
+/// re-solve → sound interval fallback. They are surfaced through
+/// [`LpError::Solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveError {
+    /// The basis matrix could not be (re)factorised: numerically singular.
+    SingularBasis,
+    /// A non-finite value (NaN/±Inf) appeared in the tableau.
+    NumericalPoison,
+    /// A warm-start snapshot is internally inconsistent (corrupt basis).
+    StaleWarmStart,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolveError::SingularBasis => "singular basis matrix",
+            SolveError::NumericalPoison => "non-finite value in tableau",
+            SolveError::StaleWarmStart => "corrupt warm-start snapshot",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Error for SolveError {}
+
 /// Error raised while building or solving a model.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LpError {
@@ -134,6 +234,14 @@ pub enum LpError {
         /// Expected length (number of model variables).
         expected: usize,
     },
+    /// A recoverable numeric failure occurred during the solve itself.
+    Solve(SolveError),
+}
+
+impl From<SolveError> for LpError {
+    fn from(e: SolveError) -> Self {
+        LpError::Solve(e)
+    }
 }
 
 impl fmt::Display for LpError {
@@ -149,11 +257,19 @@ impl fmt::Display for LpError {
             LpError::BoundsLength { got, expected } => {
                 write!(f, "bounds override has length {got}, expected {expected}")
             }
+            LpError::Solve(e) => write!(f, "solve failed: {e}"),
         }
     }
 }
 
-impl Error for LpError {}
+impl Error for LpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LpError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -181,5 +297,40 @@ mod tests {
         check::<LpModel>();
         check::<LpSolution>();
         check::<LpError>();
+        check::<Deadline>();
+        check::<Degradation>();
+    }
+
+    #[test]
+    fn degradation_merge_keeps_the_worse_level() {
+        use Degradation::*;
+        assert_eq!(Exact.merge(ColdFallback), ColdFallback);
+        assert_eq!(TimedOut.merge(IntervalOnly), TimedOut);
+        assert_eq!(IntervalOnly.merge(ColdFallback), IntervalOnly);
+        assert_eq!(Exact.merge(Exact), Exact);
+        assert_eq!(Degradation::default(), Exact);
+    }
+
+    #[test]
+    fn degradation_round_trips_through_strings() {
+        for d in [
+            Degradation::Exact,
+            Degradation::ColdFallback,
+            Degradation::IntervalOnly,
+            Degradation::TimedOut,
+        ] {
+            assert_eq!(Degradation::from_str_opt(d.as_str()), Some(d));
+            assert_eq!(d.to_string(), d.as_str());
+        }
+        assert_eq!(Degradation::from_str_opt("bogus"), None);
+    }
+
+    #[test]
+    fn solve_error_wraps_into_lp_error() {
+        let e: LpError = SolveError::SingularBasis.into();
+        assert_eq!(e, LpError::Solve(SolveError::SingularBasis));
+        assert!(e.to_string().contains("singular"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
     }
 }

@@ -6,8 +6,14 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::csc::ColMatrix;
+use crate::deadline::Deadline;
 use crate::model::{LpModel, RowKind, Sense};
-use crate::{LpError, LpSolution, LpStatus};
+use crate::{LpError, LpSolution, LpStatus, SolveError};
+
+/// Pivots between cooperative deadline polls. Small enough that even a
+/// dense-pivot straggler notices expiry within a pivot batch, large
+/// enough that the `Instant::now()` cost disappears in the pivot cost.
+const DEADLINE_CHECK_EVERY: usize = 16;
 
 /// Tuning knobs for the simplex solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +51,7 @@ impl Default for SimplexOptions {
 #[derive(Debug, Clone, Default)]
 pub struct Simplex {
     opts: SimplexOptions,
+    deadline: Deadline,
 }
 
 /// Opaque snapshot of an optimal simplex basis, used to warm-start the
@@ -87,6 +94,11 @@ pub struct WarmSolve {
     /// Whether the solve actually started from the supplied basis (`false`
     /// when the warm path fell back to a cold two-phase run).
     pub warm_used: bool,
+    /// The numeric failure that forced an *error-driven* cold fallback,
+    /// when one occurred. Routine fallbacks (snapshot too stale, dual walk
+    /// over budget, dimension mismatch) leave this `None`: they are normal
+    /// warm-start operation, not degradation.
+    pub fallback: Option<SolveError>,
 }
 
 impl Simplex {
@@ -97,7 +109,18 @@ impl Simplex {
 
     /// Creates a solver with explicit options.
     pub fn with_options(opts: SimplexOptions) -> Self {
-        Self { opts }
+        Self {
+            opts,
+            deadline: Deadline::none(),
+        }
+    }
+
+    /// Attaches a cooperative [`Deadline`], polled between pivot batches.
+    /// A solve that observes expiry returns [`LpStatus::Deadline`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     fn validate_bounds(model: &LpModel, bounds: &[(f64, f64)]) -> Result<(), LpError> {
@@ -141,8 +164,10 @@ impl Simplex {
     /// # Errors
     ///
     /// Returns [`LpError::BoundsLength`] if `bounds.len()` differs from the
-    /// number of model variables, or other [`LpError`] variants for NaN or
-    /// inverted bounds.
+    /// number of model variables, other [`LpError`] variants for NaN or
+    /// inverted bounds, or [`LpError::Solve`] on a recoverable numeric
+    /// failure (singular basis, non-finite tableau values) during the
+    /// solve itself.
     ///
     /// [`VarId`]: crate::VarId
     pub fn solve_with_bounds(
@@ -151,8 +176,8 @@ impl Simplex {
         bounds: &[(f64, f64)],
     ) -> Result<LpSolution, LpError> {
         Self::validate_bounds(model, bounds)?;
-        let mut t = Tableau::build(model, bounds, self.opts);
-        Ok(t.run(model))
+        let mut t = Tableau::build(model, bounds, self.opts, self.deadline.clone());
+        t.run(model).map_err(LpError::Solve)
     }
 
     /// Cold-solves like [`Simplex::solve_with_bounds`] but additionally
@@ -168,8 +193,8 @@ impl Simplex {
         bounds: &[(f64, f64)],
     ) -> Result<WarmSolve, LpError> {
         Self::validate_bounds(model, bounds)?;
-        let mut t = Tableau::build(model, bounds, self.opts);
-        let solution = t.run(model);
+        let mut t = Tableau::build(model, bounds, self.opts, self.deadline.clone());
+        let solution = t.run(model).map_err(LpError::Solve)?;
         let warm = (solution.status == LpStatus::Optimal)
             .then(|| t.snapshot())
             .flatten();
@@ -177,6 +202,7 @@ impl Simplex {
             solution,
             warm,
             warm_used: false,
+            fallback: None,
         })
     }
 
@@ -200,19 +226,33 @@ impl Simplex {
         warm: &WarmStart,
     ) -> Result<WarmSolve, LpError> {
         Self::validate_bounds(model, bounds)?;
-        if let Some(mut t) = Tableau::build_warm(model, bounds, self.opts, warm) {
-            if let Some(solution) = t.run_warm(model) {
-                let warm_out = (solution.status == LpStatus::Optimal)
-                    .then(|| t.snapshot())
-                    .flatten();
-                return Ok(WarmSolve {
-                    solution,
-                    warm: warm_out,
-                    warm_used: true,
-                });
-            }
+        // First rung of the retry ladder: any numeric failure on the warm
+        // path (corrupt snapshot, singular basis, NaN poisoning) falls
+        // back to a cold two-phase run and is recorded in `fallback`;
+        // routine stale-basis bails fall back silently as before.
+        let mut fallback: Option<SolveError> = None;
+        match Tableau::build_warm(model, bounds, self.opts, self.deadline.clone(), warm) {
+            Ok(Some(mut t)) => match t.run_warm(model) {
+                Ok(Some(solution)) => {
+                    let warm_out = (solution.status == LpStatus::Optimal)
+                        .then(|| t.snapshot())
+                        .flatten();
+                    return Ok(WarmSolve {
+                        solution,
+                        warm: warm_out,
+                        warm_used: true,
+                        fallback: None,
+                    });
+                }
+                Ok(None) => {}
+                Err(e) => fallback = Some(e),
+            },
+            Ok(None) => {}
+            Err(e) => fallback = Some(e),
         }
-        self.solve_snapshot(model, bounds)
+        let mut ws = self.solve_snapshot(model, bounds)?;
+        ws.fallback = fallback;
+        Ok(ws)
     }
 }
 
@@ -231,8 +271,11 @@ enum DualOutcome {
     Feasible,
     /// A dual ray was found: the primal problem is infeasible.
     Infeasible,
-    /// Numerical trouble or iteration cap; caller should cold-solve.
+    /// Iteration cap or mild numerical trouble; caller should cold-solve.
     Stalled,
+    /// Hard numeric failure (singular basis, non-finite values); the cold
+    /// fallback is tagged with the cause.
+    Error(SolveError),
 }
 
 /// Dense-inverse revised simplex working state.
@@ -260,10 +303,16 @@ struct Tableau {
     binv: Vec<f64>,
     iterations: usize,
     first_artificial: usize,
+    deadline: Deadline,
 }
 
 impl Tableau {
-    fn build(model: &LpModel, bounds: &[(f64, f64)], opts: SimplexOptions) -> Self {
+    fn build(
+        model: &LpModel,
+        bounds: &[(f64, f64)],
+        opts: SimplexOptions,
+        deadline: Deadline,
+    ) -> Self {
         let m = model.num_rows();
         let n_struct = model.num_vars();
         let mut cols =
@@ -379,22 +428,26 @@ impl Tableau {
             binv,
             iterations: 0,
             first_artificial,
+            deadline,
         }
     }
 
     /// Rebuilds a tableau around a basis snapshot taken on a related solve.
     ///
-    /// Returns `None` when the snapshot does not fit the model (dimension
-    /// mismatch, duplicate basis entries) or the basis matrix is numerically
-    /// singular — the caller then falls back to a cold solve. The warm
+    /// Returns `Ok(None)` when the snapshot does not fit the model
+    /// (dimension mismatch — routine cross-model reuse), and `Err` when
+    /// the snapshot is internally corrupt (duplicate/out-of-range basis
+    /// entries) or its basis matrix is numerically singular — the caller
+    /// then falls back to a cold solve, recording the cause. The warm
     /// tableau never carries artificials: the snapshot basis covers all
     /// rows by construction.
     fn build_warm(
         model: &LpModel,
         bounds: &[(f64, f64)],
         opts: SimplexOptions,
+        deadline: Deadline,
         warm: &WarmStart,
-    ) -> Option<Self> {
+    ) -> Result<Option<Self>, SolveError> {
         let m = model.num_rows();
         let n_struct = model.num_vars();
         let n_total = n_struct + m;
@@ -403,7 +456,7 @@ impl Tableau {
             || warm.basis.len() != m
             || warm.status.len() != n_total
         {
-            return None;
+            return Ok(None);
         }
         let mut cols =
             ColMatrix::from_row_major(n_struct, model.rows.iter().map(|r| r.coeffs.as_slice()));
@@ -424,7 +477,7 @@ impl Tableau {
         let mut in_basis = vec![false; n_total];
         for &bj in &warm.basis {
             if bj >= n_total || in_basis[bj] {
-                return None;
+                return Err(SolveError::StaleWarmStart);
             }
             in_basis[bj] = true;
         }
@@ -472,12 +525,13 @@ impl Tableau {
             binv: vec![0.0; m * m],
             iterations: 0,
             first_artificial: n_total,
+            deadline,
         };
         if !t.refactorize() {
-            return None;
+            return Err(SolveError::SingularBasis);
         }
         t.refresh_basics();
-        Some(t)
+        Ok(Some(t))
     }
 
     /// Captures the current basis for reuse by a related solve. Returns
@@ -553,10 +607,71 @@ impl Tableau {
         }
     }
 
+    /// Non-finite values anywhere in the iterate mean the tableau has been
+    /// poisoned (overflow, NaN propagation); the solve must not report a
+    /// bound computed from it.
+    fn check_finite(&self) -> Result<(), SolveError> {
+        if self.x.iter().any(|v| !v.is_finite()) {
+            return Err(SolveError::NumericalPoison);
+        }
+        Ok(())
+    }
+
+    /// Final certificate behind every `Optimal` claim: the refreshed
+    /// iterate must be primal feasible and the reduced costs must satisfy
+    /// the optimality sign conditions. A poisoned run can silently skip
+    /// pivots (NaN comparisons are all false) and stop at an arbitrary
+    /// basis; without this check such a run would report a plausible but
+    /// wrong optimum. Fixed variables (including frozen artificials) are
+    /// exempt from the dual conditions, as in pricing.
+    fn certify_optimal(&self) -> Result<(), SolveError> {
+        if self.primal_infeasibility() > self.opts.feas_tol * 100.0 {
+            return Err(SolveError::NumericalPoison);
+        }
+        let y = self.btran(&self.cost);
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(SolveError::NumericalPoison);
+        }
+        let mut worst = 0.0f64;
+        for j in 0..self.n_total {
+            if self.status[j] == Status::Basic || self.hi[j] - self.lo[j] <= 0.0 {
+                continue;
+            }
+            let d = self.reduced_cost(j, &y, &self.cost);
+            let v = match self.status[j] {
+                Status::AtLower => -d,
+                Status::AtUpper => d,
+                Status::FreeZero => d.abs(),
+                Status::Basic => continue,
+            };
+            worst = worst.max(v);
+        }
+        if worst > self.opts.opt_tol * 1000.0 {
+            return Err(SolveError::NumericalPoison);
+        }
+        Ok(())
+    }
+
+    /// Fault-injection hook, polled once per pivot batch. Compiled out
+    /// entirely without the `fault-inject` feature.
+    #[cfg(feature = "fault-inject")]
+    fn inject_faults(&mut self) {
+        crate::fault::maybe_stall();
+        if crate::fault::fire_nan() {
+            if let Some(slot) = self.binv.first_mut() {
+                *slot = f64::NAN;
+            }
+        }
+    }
+
     /// Rebuilds `binv` from the basis columns by Gauss-Jordan elimination
     /// with partial pivoting. Returns `false` if the basis matrix is
     /// numerically singular.
     fn refactorize(&mut self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        if crate::fault::fire_singular() {
+            return false;
+        }
         let m = self.m;
         let mut a = vec![0.0; m * m]; // basis matrix, column r = a_{basis[r]}
         for (r, &bj) in self.basis.iter().enumerate() {
@@ -641,16 +756,28 @@ impl Tableau {
         worst
     }
 
-    /// Runs one simplex phase minimising `cost`. Returns `None` on success
-    /// (optimality reached) or a terminal status.
-    fn phase(&mut self, use_phase1: bool) -> Option<LpStatus> {
+    /// Runs one simplex phase minimising `cost`. Returns `Ok(None)` on
+    /// success (optimality reached), `Ok(Some(status))` on a terminal
+    /// status, and `Err` on a numeric failure the caller can recover from
+    /// by climbing the retry ladder.
+    fn phase(&mut self, use_phase1: bool) -> Result<Option<LpStatus>, SolveError> {
         let mut stall = 0usize;
         loop {
             if self.iterations >= self.opts.max_iterations {
-                return Some(LpStatus::IterationLimit);
+                return Ok(Some(LpStatus::IterationLimit));
             }
+            if self.iterations.is_multiple_of(DEADLINE_CHECK_EVERY) {
+                if self.deadline.expired() {
+                    return Ok(Some(LpStatus::Deadline));
+                }
+                self.check_finite()?;
+            }
+            #[cfg(feature = "fault-inject")]
+            self.inject_faults();
             if self.iterations % self.opts.refresh_every == self.opts.refresh_every - 1 {
-                self.refactorize();
+                if !self.refactorize() {
+                    return Err(SolveError::SingularBasis);
+                }
                 self.refresh_basics();
             }
             let cost = if use_phase1 {
@@ -689,7 +816,15 @@ impl Tableau {
                     _ => entering = Some((j, d.abs(), dir)),
                 }
             }
-            let (q, _, sigma) = entering?;
+            let Some((q, _, sigma)) = entering else {
+                // NaN reduced costs compare false and can hide improving
+                // columns: a non-finite multiplier vector must never
+                // masquerade as an optimality certificate.
+                if y.iter().any(|v| !v.is_finite()) {
+                    return Err(SolveError::NumericalPoison);
+                }
+                return Ok(None);
+            };
 
             let w = self.ftran(q);
 
@@ -733,7 +868,12 @@ impl Tableau {
             if leaving.is_none() && !t_limit.is_finite() {
                 // No basic variable blocks and the entering variable has no
                 // opposite bound: the problem is unbounded in this direction.
-                return Some(LpStatus::Unbounded);
+                // NaN ratios also land here (comparisons are all false), so
+                // certify the column image before claiming unboundedness.
+                if w.iter().any(|v| !v.is_finite()) {
+                    return Err(SolveError::NumericalPoison);
+                }
+                return Ok(Some(LpStatus::Unbounded));
             }
             let t = match leaving {
                 Some(_) => t_best.max(0.0),
@@ -835,9 +975,21 @@ impl Tableau {
             if self.iterations >= self.opts.max_iterations {
                 return DualOutcome::Stalled;
             }
+            if self.iterations.is_multiple_of(DEADLINE_CHECK_EVERY) {
+                if self.deadline.expired() {
+                    // Let the cold fallback notice the deadline and report
+                    // `LpStatus::Deadline` from a consistent state.
+                    return DualOutcome::Stalled;
+                }
+                if self.check_finite().is_err() {
+                    return DualOutcome::Error(SolveError::NumericalPoison);
+                }
+            }
+            #[cfg(feature = "fault-inject")]
+            self.inject_faults();
             if self.iterations % self.opts.refresh_every == self.opts.refresh_every - 1 {
                 if !self.refactorize() {
-                    return DualOutcome::Stalled;
+                    return DualOutcome::Error(SolveError::SingularBasis);
                 }
                 self.refresh_basics();
             }
@@ -913,6 +1065,12 @@ impl Tableau {
             if cands.is_empty() {
                 // Dual ray: every nonbasic variable already sits at its
                 // violation-minimising bound, so no feasible point exists.
+                // A poisoned pivot row (NaN alphas compare false) rejects
+                // every column and would fake this certificate — verify
+                // finiteness before claiming infeasibility.
+                if rho.iter().any(|v| !v.is_finite()) || self.check_finite().is_err() {
+                    return DualOutcome::Error(SolveError::NumericalPoison);
+                }
                 return DualOutcome::Infeasible;
             }
 
@@ -953,7 +1111,11 @@ impl Tableau {
             }
             let Some((q, ratio_q)) = entering else {
                 // Flipping every admissible variable through its whole span
-                // still leaves violation: no feasible point exists.
+                // still leaves violation: no feasible point exists. Same
+                // finiteness certificate as the empty-candidate ray above.
+                if rho.iter().any(|v| !v.is_finite()) || self.check_finite().is_err() {
+                    return DualOutcome::Error(SolveError::NumericalPoison);
+                }
                 return DualOutcome::Infeasible;
             };
 
@@ -990,8 +1152,11 @@ impl Tableau {
                 // The dense FTRAN disagrees with the row scan; refactorize
                 // and retry, giving up after a few attempts.
                 bad_pivots += 1;
-                if bad_pivots > 4 || !self.refactorize() {
+                if bad_pivots > 4 {
                     return DualOutcome::Stalled;
+                }
+                if !self.refactorize() {
+                    return DualOutcome::Error(SolveError::SingularBasis);
                 }
                 self.refresh_basics();
                 continue;
@@ -1026,9 +1191,12 @@ impl Tableau {
 
     /// Warm-start driver: restores primal feasibility with the dual
     /// simplex when the snapshot basis is dual feasible, then polishes
-    /// with a primal phase-2 run. Returns `None` whenever the incremental
-    /// path cannot certify a result — the caller must cold-solve.
-    fn run_warm(&mut self, model: &LpModel) -> Option<LpSolution> {
+    /// with a primal phase-2 run. Returns `Ok(None)` whenever the
+    /// incremental path cannot certify a result for routine reasons
+    /// (snapshot too stale, pivot budget overrun) — the caller must
+    /// cold-solve — and `Err` when a numeric failure poisoned the warm
+    /// path, so the cold fallback can be tagged with the cause.
+    fn run_warm(&mut self, model: &LpModel) -> Result<Option<LpSolution>, SolveError> {
         let sense_sign = match model.sense {
             Sense::Minimize => 1.0,
             Sense::Maximize => -1.0,
@@ -1046,9 +1214,12 @@ impl Tableau {
                     || self.x[b] < self.lo[b] - self.opts.feas_tol
             })
             .count();
-        if violated * 8 > self.m {
-            // Too stale to bother: bail before spending any pivots.
-            return None;
+        if violated * 8 > self.m.max(8) {
+            // Too stale to bother: bail before spending any pivots. The
+            // floor keeps the gate meaningful on tiny bases (m < 8), where
+            // a single violated basic is cheap to repair yet would
+            // otherwise disqualify the warm path entirely.
+            return Ok(None);
         }
         let budget = self.m / 2 + 6 * violated + 20;
         self.opts.max_iterations = self.opts.max_iterations.min(budget);
@@ -1059,27 +1230,32 @@ impl Tableau {
             match self.dual_phase() {
                 DualOutcome::Feasible => {}
                 DualOutcome::Infeasible => {
-                    return Some(self.finish(model, LpStatus::Infeasible, sense_sign));
+                    return Ok(Some(self.finish(model, LpStatus::Infeasible, sense_sign)));
                 }
-                DualOutcome::Stalled => return None,
+                DualOutcome::Stalled => return Ok(None),
+                DualOutcome::Error(e) => return Err(e),
             }
         } else if self.primal_infeasibility() > self.opts.feas_tol * 10.0 {
             // Neither dual nor primal feasible: the snapshot buys nothing,
             // let the cold two-phase run handle it.
-            return None;
+            return Ok(None);
         }
-        let stat = match self.phase(false) {
+        let stat = match self.phase(false)? {
             // An iteration cap on the warm path is not a verdict; retry cold
             // with a fresh budget rather than reporting a truncated solve.
-            Some(LpStatus::IterationLimit) => return None,
+            Some(LpStatus::IterationLimit) => return Ok(None),
             Some(s) => s,
             None => LpStatus::Optimal,
         };
         if !self.refactorize() {
-            return None;
+            return Err(SolveError::SingularBasis);
         }
         self.refresh_basics();
-        Some(self.finish(model, stat, sense_sign))
+        self.check_finite()?;
+        if stat == LpStatus::Optimal {
+            self.certify_optimal()?;
+        }
+        Ok(Some(self.finish(model, stat, sense_sign)))
     }
 
     fn phase1_needed(&self) -> bool {
@@ -1092,20 +1268,28 @@ impl Tableau {
             .sum()
     }
 
-    fn run(&mut self, model: &LpModel) -> LpSolution {
+    fn run(&mut self, model: &LpModel) -> Result<LpSolution, SolveError> {
         let sense_sign = match model.sense {
             Sense::Minimize => 1.0,
             Sense::Maximize => -1.0,
         };
 
+        if self.deadline.expired() {
+            // Expired before the first pivot: report promptly so the cold
+            // rung of a warm→cold retry does not burn the caller's budget.
+            return Ok(self.finish(model, LpStatus::Deadline, sense_sign));
+        }
+
         if self.phase1_needed() {
-            if let Some(stat) = self.phase(true) {
-                return self.finish(model, stat, sense_sign);
+            if let Some(stat) = self.phase(true)? {
+                return Ok(self.finish(model, stat, sense_sign));
             }
-            self.refactorize();
+            if !self.refactorize() {
+                return Err(SolveError::SingularBasis);
+            }
             self.refresh_basics();
             if self.phase1_objective() > self.opts.feas_tol * 10.0 {
-                return self.finish(model, LpStatus::Infeasible, sense_sign);
+                return Ok(self.finish(model, LpStatus::Infeasible, sense_sign));
             }
             // Freeze artificials at zero for phase 2.
             for j in self.first_artificial..self.n_total {
@@ -1118,13 +1302,19 @@ impl Tableau {
             }
         }
 
-        let stat = match self.phase(false) {
+        let stat = match self.phase(false)? {
             Some(s) => s,
             None => LpStatus::Optimal,
         };
-        self.refactorize();
+        if !self.refactorize() {
+            return Err(SolveError::SingularBasis);
+        }
         self.refresh_basics();
-        self.finish(model, stat, sense_sign)
+        self.check_finite()?;
+        if stat == LpStatus::Optimal {
+            self.certify_optimal()?;
+        }
+        Ok(self.finish(model, stat, sense_sign))
     }
 
     fn finish(&mut self, _model: &LpModel, status: LpStatus, sense_sign: f64) -> LpSolution {

@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod export;
 mod model;
@@ -46,7 +47,9 @@ mod solver;
 pub use model::{MilpModel, VarKind};
 pub use solver::{BranchAndBound, MilpOptions, MilpSolution, MilpStats, MilpStatus, WarmTracker};
 
-pub use certnn_lp::{LpError, RowId, RowKind, Sense, VarId, WarmStart};
+pub use certnn_lp::{
+    Deadline, Degradation, LpError, RowId, RowKind, Sense, SolveError, VarId, WarmStart,
+};
 
 use std::error::Error;
 use std::fmt;

@@ -2,7 +2,10 @@
 
 use crate::model::MilpModel;
 use crate::MilpError;
-use certnn_lp::{LpStatus, Sense, Simplex, SimplexOptions, VarId, WarmStart};
+use certnn_lp::{
+    Deadline, Degradation, LpError, LpModel, LpStatus, Sense, Simplex, SimplexOptions, VarId,
+    WarmSolve, WarmStart,
+};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -107,6 +110,11 @@ pub enum MilpStatus {
     /// Stopped because the global bound crossed
     /// [`MilpOptions::bound_cutoff`].
     BoundCutoff,
+    /// The search could not run to a verdict: subtrees were dropped on
+    /// unrecoverable numeric failures (or every worker died, in the
+    /// parallel neuron search) and their bounds were folded conservatively
+    /// instead of explored. `best_bound` is still sound.
+    Aborted,
 }
 
 impl std::fmt::Display for MilpStatus {
@@ -119,6 +127,7 @@ impl std::fmt::Display for MilpStatus {
             MilpStatus::NodeLimit => "node limit",
             MilpStatus::TargetReached => "target reached",
             MilpStatus::BoundCutoff => "bound cutoff",
+            MilpStatus::Aborted => "aborted",
         };
         f.write_str(s)
     }
@@ -210,6 +219,10 @@ pub struct MilpSolution {
     pub stats: MilpStats,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
+    /// Worst degradation encountered anywhere in the search. `Exact`
+    /// unless a numeric fault forced a cold or interval fallback, or a
+    /// deadline folded unexplored subtrees into the bound.
+    pub degradation: Degradation,
 }
 
 impl MilpSolution {
@@ -231,6 +244,8 @@ pub struct BranchAndBound {
     opts: MilpOptions,
     /// Caller-provided basis for the root LP (see [`Self::with_root_warm`]).
     root_warm: Option<Arc<WarmStart>>,
+    /// Ambient deadline from the caller (see [`Self::with_deadline`]).
+    deadline: Deadline,
 }
 
 /// Open node: bounds override plus the parent's LP bound (score space).
@@ -297,7 +312,20 @@ impl BranchAndBound {
         Self {
             opts,
             root_warm: None,
+            deadline: Deadline::none(),
         }
+    }
+
+    /// Attaches an ambient deadline/cancellation token. Each solve runs
+    /// under this deadline tightened by [`MilpOptions::time_limit`], and
+    /// the token is threaded into every LP solve so expiry is observed at
+    /// pivot granularity, not just between nodes. Expiry yields
+    /// [`MilpStatus::TimeLimit`] with a sound `best_bound` tagged
+    /// [`Degradation::TimedOut`].
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Seeds the root LP with a basis obtained elsewhere on a model of the
@@ -324,7 +352,11 @@ impl BranchAndBound {
             Sense::Minimize => -1.0,
         };
         let int_vars: Vec<VarId> = model.integer_vars();
-        let simplex = Simplex::with_options(self.opts.lp);
+        // The ambient deadline tightened by this solve's own budget; the
+        // simplex polls it between pivot batches, so even a single huge LP
+        // cannot overshoot the limit by more than one batch.
+        let deadline = self.deadline.tighten(self.opts.time_limit);
+        let simplex = Simplex::with_options(self.opts.lp).with_deadline(deadline.clone());
         let lp = model.relaxation();
 
         let root_bounds: Vec<(f64, f64)> =
@@ -354,6 +386,12 @@ impl BranchAndBound {
         let mut pseudo: Vec<PseudoCost> = vec![PseudoCost::default(); model.num_vars()];
         let mut global_bound = f64::INFINITY; // score space
         let mut status = MilpStatus::Optimal;
+        let mut degradation = Degradation::Exact;
+        // Best (score-space) bound over every subtree that was *dropped*
+        // rather than explored — pivot-limited nodes and nodes whose LP
+        // failed numerically even after a cold retry. Folded into the
+        // reported bound at the end so it stays sound.
+        let mut dropped_bound = f64::NEG_INFINITY;
 
         'search: while let Some(node) = heap.pop() {
             // Best-first: the popped node carries the best remaining bound.
@@ -374,11 +412,12 @@ impl BranchAndBound {
                     break 'search;
                 }
             }
-            if let Some(limit) = self.opts.time_limit {
-                if start.elapsed() >= limit {
-                    status = MilpStatus::TimeLimit;
-                    break 'search;
-                }
+            if deadline.expired() {
+                // Best-first order makes the popped node's bound dominate
+                // everything left on the heap, so breaking here is sound.
+                status = MilpStatus::TimeLimit;
+                degradation = degradation.merge(Degradation::TimedOut);
+                break 'search;
             }
             if let Some(limit) = self.opts.node_limit {
                 if nodes_explored >= limit {
@@ -390,17 +429,49 @@ impl BranchAndBound {
             // Warm-start from the nearest solved ancestor's basis when
             // enabled and available; `solve_warm` itself falls back to a
             // cold run on a stale or singular snapshot.
-            let ws = match (self.opts.warm_start, node.warm.as_deref()) {
-                (true, Some(warm)) => simplex.solve_warm(lp, &node.bounds, warm)?,
-                (true, None) => simplex.solve_snapshot(lp, &node.bounds)?,
+            let attempt = match (self.opts.warm_start, node.warm.as_deref()) {
+                (true, Some(warm)) => simplex.solve_warm(lp, &node.bounds, warm),
+                (true, None) => simplex.solve_snapshot(lp, &node.bounds),
                 (false, _) => {
-                    let solution = simplex.solve_with_bounds(lp, &node.bounds)?;
-                    certnn_lp::WarmSolve {
-                        solution,
-                        warm: None,
-                        warm_used: false,
-                    }
+                    simplex
+                        .solve_with_bounds(lp, &node.bounds)
+                        .map(|solution| WarmSolve {
+                            solution,
+                            warm: None,
+                            warm_used: false,
+                            fallback: None,
+                        })
                 }
+            };
+            // Retry ladder: warm → cold happens inside `solve_warm` (the
+            // cause, if any, lands in `ws.fallback`); a typed solve error
+            // escaping that gets one cold retry from scratch; a second
+            // failure drops the node and folds a sound interval bound on
+            // its subtree into `dropped_bound` instead of crashing the
+            // whole search.
+            let ws = match attempt {
+                Ok(ws) => {
+                    if ws.fallback.is_some() {
+                        degradation = degradation.merge(Degradation::ColdFallback);
+                    }
+                    ws
+                }
+                Err(LpError::Solve(_)) => match simplex.solve_snapshot(lp, &node.bounds) {
+                    Ok(ws) => {
+                        degradation = degradation.merge(Degradation::ColdFallback);
+                        ws
+                    }
+                    Err(LpError::Solve(_)) => {
+                        let fb = interval_score_bound(lp, &node.bounds, sense_sign)
+                            .min(node.score_bound);
+                        dropped_bound = dropped_bound.max(fb);
+                        degradation = degradation.merge(Degradation::IntervalOnly);
+                        nodes_explored += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                },
+                Err(e) => return Err(e.into()),
             };
             if ws.warm_used {
                 tracker.record_warm(ws.solution.iterations);
@@ -422,9 +493,20 @@ impl BranchAndBound {
                     continue;
                 }
                 LpStatus::IterationLimit => {
-                    // Unresolved node: keep its parent bound so the final
-                    // bound stays sound, but do not branch further.
+                    // Unresolved node: its subtree optimum is still capped
+                    // by the parent bound, so fold that in rather than
+                    // silently forgetting the subtree.
+                    dropped_bound = dropped_bound.max(node.score_bound);
+                    degradation = degradation.merge(Degradation::IntervalOnly);
                     continue;
+                }
+                LpStatus::Deadline => {
+                    // Pivot-level expiry inside the LP; the popped node's
+                    // bound dominates the heap, so stopping here is sound.
+                    dropped_bound = dropped_bound.max(node.score_bound);
+                    degradation = degradation.merge(Degradation::TimedOut);
+                    status = MilpStatus::TimeLimit;
+                    break 'search;
                 }
                 LpStatus::Optimal => {}
             }
@@ -564,6 +646,31 @@ impl BranchAndBound {
             };
         }
 
+        // Fold dropped subtrees back into the verdict. If the folded bound
+        // re-opens a gap the status claimed was closed — or contradicts an
+        // Infeasible claim — the verdict honestly degrades to `Aborted`
+        // with the (still sound) folded bound.
+        if dropped_bound > f64::NEG_INFINITY {
+            match status {
+                MilpStatus::Infeasible => {
+                    // Dropped subtrees may contain feasible points.
+                    status = MilpStatus::Aborted;
+                    global_bound = global_bound.max(dropped_bound);
+                }
+                MilpStatus::Optimal if dropped_bound > global_bound => {
+                    global_bound = dropped_bound;
+                    let closed = best_known(&incumbent).is_some_and(|inc| {
+                        global_bound <= inc + self.opts.abs_gap
+                            || global_bound <= inc + self.opts.rel_gap * inc.abs()
+                    });
+                    if !closed {
+                        status = MilpStatus::Aborted;
+                    }
+                }
+                _ => global_bound = global_bound.max(dropped_bound),
+            }
+        }
+
         let (x, objective) = match incumbent {
             Some((x, score)) => (Some(x), Some(sense_sign * score)),
             None => (None, None),
@@ -577,6 +684,7 @@ impl BranchAndBound {
             lp_iterations,
             stats: tracker.stats(),
             elapsed: start.elapsed(),
+            degradation,
         })
     }
 
@@ -631,6 +739,21 @@ impl BranchAndBound {
         };
         Some((sol.x.clone(), sense_sign * sol.objective))
     }
+}
+
+/// Sound interval (box) bound on the LP objective in score space: every
+/// variable sits at whichever of its bounds the sense-corrected objective
+/// coefficient prefers, rows ignored. Never tighter than the true LP bound,
+/// so it can stand in for a subtree whose LP solve failed.
+fn interval_score_bound(lp: &LpModel, bounds: &[(f64, f64)], sense_sign: f64) -> f64 {
+    bounds
+        .iter()
+        .enumerate()
+        .map(|(j, &(lo, hi))| {
+            let c = sense_sign * lp.objective_coeff(VarId::from_index(j));
+            (c * lo).max(c * hi)
+        })
+        .sum()
 }
 
 /// Replaces the incumbent if `score` improves it. Returns `true` on update.

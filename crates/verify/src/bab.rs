@@ -53,20 +53,27 @@
 //! scenario constraints fall back to the pure MILP path in
 //! [`crate::verifier::Verifier`].
 
-use crate::bounds::{analyze_with_phases, PhaseAnalyzer, PhasedAnalysis};
+use crate::bounds::{analyze_with_phases, interval_objective_ceiling, PhaseAnalyzer, PhasedAnalysis};
 use crate::encoder::{encode, BoundMethod, Encoding};
 use crate::property::{InputSpec, LinearObjective};
 use crate::VerifyError;
 use certnn_linalg::{Interval, Vector};
-use certnn_lp::{LpStatus, Simplex, VarId, WarmStart};
-use certnn_milp::{BranchAndBound, MilpModel, MilpOptions, MilpStats, MilpStatus, WarmTracker};
+use certnn_lp::{Deadline, Degradation, LpError, LpStatus, Simplex, VarId, WarmStart};
+use certnn_milp::{
+    BranchAndBound, MilpError, MilpModel, MilpOptions, MilpStats, MilpStatus, WarmTracker,
+};
 use certnn_nn::network::Network;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// How many times a node whose processing panicked is re-queued before
+/// its (sound) bound is folded and the subtree given up.
+const MAX_NODE_RETRIES: usize = 2;
 
 /// Resolves a thread-count knob: `0` means "one worker per available
 /// core", any other value is used as-is.
@@ -154,12 +161,20 @@ pub struct BabResult {
     /// Warm-start accounting aggregated over all workers: the per-worker
     /// LP bounding caches plus every sub-MILP tree.
     pub warm_stats: MilpStats,
+    /// Worst degradation encountered anywhere in the search: `Exact`
+    /// unless a fault forced a fallback, a worker panicked, or a deadline
+    /// folded unexplored subtrees into the bound. The bound is sound at
+    /// every level.
+    pub degradation: Degradation,
 }
 
 struct Node {
     phases: Vec<Option<bool>>,
     bound: f64,
     depth: usize,
+    /// Panic-retry count: how many times this node's processing died and
+    /// was re-queued (see [`MAX_NODE_RETRIES`]).
+    retries: usize,
     /// Optimal basis of the nearest solved ancestor, shared across
     /// siblings. Parent-to-child bound changes are small (one binary
     /// fixed plus interval refinements), so this basis has far better
@@ -200,6 +215,10 @@ struct SearchCtx<'a> {
     flat_map: &'a [(usize, usize)],
     obj_seed: &'a Vector,
     start: Instant,
+    /// Search deadline (ambient tightened by [`BabOptions::time_limit`]),
+    /// polled between nodes here and between pivot batches inside every
+    /// LP/sub-MILP solve.
+    deadline: &'a Deadline,
 }
 
 /// Mutable frontier state, all guarded by one mutex.
@@ -218,6 +237,15 @@ struct Frontier {
     /// Max bound over subtrees abandoned by an early stop; folded into
     /// the final `upper_bound` for soundness.
     abandoned: f64,
+    /// Max bound over nodes *dropped* mid-search — repeated panics or
+    /// unrecoverable numeric failures — folded into the final
+    /// `upper_bound` regardless of how the search ends.
+    dropped: f64,
+    /// Worst degradation recorded through frontier events (panics, dead
+    /// workers); per-node degradations accumulate in worker counters.
+    degradation: Degradation,
+    /// Workers whose threads died (panic escaped the per-node isolation).
+    dead_workers: usize,
     /// A worker hit a structural error; everyone drains out.
     failed: bool,
 }
@@ -244,6 +272,8 @@ struct WorkerCounters {
     milp_stats: MilpStats,
     /// Simplex pivots inside sub-MILP trees (diagnostic split).
     submilp_pivots: usize,
+    /// Worst degradation observed by this worker's solves.
+    degradation: Degradation,
 }
 
 /// What one processed node produced.
@@ -253,6 +283,9 @@ struct NodeOutcome {
     /// Early-stop request: `(status, bound of this node's abandoned
     /// subtree)`.
     halt: Option<(MilpStatus, f64)>,
+    /// Bound of a subtree given up on an unrecoverable numeric failure;
+    /// folded into the final `upper_bound` without halting the search.
+    dropped: Option<f64>,
 }
 
 impl NodeOutcome {
@@ -260,6 +293,15 @@ impl NodeOutcome {
         Self {
             children: Vec::new(),
             halt: Some((status, bound)),
+            dropped: None,
+        }
+    }
+
+    fn dropped(bound: f64) -> Self {
+        Self {
+            children: Vec::new(),
+            halt: None,
+            dropped: Some(bound),
         }
     }
 }
@@ -276,6 +318,9 @@ impl SearchState {
                 nodes: 0,
                 halt: None,
                 abandoned: f64::NEG_INFINITY,
+                dropped: f64::NEG_INFINITY,
+                degradation: Degradation::Exact,
+                dead_workers: 0,
                 failed: false,
             }),
             work_ready: Condvar::new(),
@@ -307,7 +352,10 @@ impl SearchState {
             Ok(out) => ctx.objective.eval(&out),
             Err(_) => return f64::NEG_INFINITY,
         };
-        let mut inc = self.incumbent.lock().expect("incumbent lock");
+        // Poison-tolerant: incumbent updates are value-monotone (a
+        // half-finished write is at worst a stale-but-valid pair), so a
+        // panicked writer must not wedge every other worker.
+        let mut inc = self.incumbent.lock().unwrap_or_else(|e| e.into_inner());
         let cur = inc.as_ref().map(|(_, b)| *b);
         match cur {
             Some(best) if v <= best => {}
@@ -326,7 +374,7 @@ impl SearchState {
     /// never handed down as a feasible-point claim — the sub-MILP then
     /// simply runs unseeded, which is always sound.
     fn verified_seed(&self, ctx: &SearchCtx) -> Option<f64> {
-        let inc = self.incumbent.lock().expect("incumbent lock");
+        let inc = self.incumbent.lock().unwrap_or_else(|e| e.into_inner());
         let (x, v) = inc.as_ref()?;
         if x.len() != ctx.input_box.len() {
             return None;
@@ -350,7 +398,11 @@ impl SearchState {
     /// is over (exhausted, halted, or failed). Performs the global
     /// gap/cutoff/limit checks that the serial loop ran at each pop.
     fn next_work(&self, ctx: &SearchCtx, wid: usize) -> Option<Node> {
-        let mut f = self.frontier.lock().expect("frontier lock");
+        // Poison-tolerant: every frontier mutation keeps the invariants
+        // (counters adjusted together, pushes complete before unlocking),
+        // so a poisoned lock from a panicking worker carries a usable
+        // state and must not take the surviving workers down with it.
+        let mut f = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if f.halt.is_some() || f.failed {
                 return None;
@@ -379,13 +431,12 @@ impl SearchState {
                     return None;
                 }
             }
-            if let Some(limit) = ctx.opts.time_limit {
-                if ctx.start.elapsed() >= limit {
-                    f.halt = Some(MilpStatus::TimeLimit);
-                    f.abandoned = f.abandoned.max(gu);
-                    self.work_ready.notify_all();
-                    return None;
-                }
+            if ctx.deadline.expired() {
+                f.halt = Some(MilpStatus::TimeLimit);
+                f.abandoned = f.abandoned.max(gu);
+                f.degradation = f.degradation.merge(Degradation::TimedOut);
+                self.work_ready.notify_all();
+                return None;
             }
             if let Some(limit) = ctx.opts.node_limit {
                 if f.nodes >= limit && queued.is_some() {
@@ -414,7 +465,7 @@ impl SearchState {
                     let (guard, _) = self
                         .work_ready
                         .wait_timeout(f, Duration::from_millis(10))
-                        .expect("frontier lock");
+                        .unwrap_or_else(|e| e.into_inner());
                     f = guard;
                 }
             }
@@ -423,7 +474,7 @@ impl SearchState {
 
     /// Publishes the outcome of worker `wid`'s current node.
     fn complete(&self, wid: usize, outcome: NodeOutcome) {
-        let mut f = self.frontier.lock().expect("frontier lock");
+        let mut f = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
         for child in outcome.children {
             f.heap.push(child);
         }
@@ -433,16 +484,63 @@ impl SearchState {
             }
             f.abandoned = f.abandoned.max(bound);
         }
+        if let Some(bound) = outcome.dropped {
+            f.dropped = f.dropped.max(bound);
+        }
         f.active[wid] = f64::NEG_INFINITY;
         f.in_flight -= 1;
         self.work_ready.notify_all();
     }
 
+    /// Publishes a panic while worker `wid` processed `node`: the node is
+    /// re-queued a bounded number of times; past that its (sound) bound
+    /// is folded into the dropped accumulator so the subtree is never
+    /// silently lost from the final upper bound.
+    fn panic_complete(&self, wid: usize, mut node: Node) {
+        let mut f = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
+        f.degradation = f.degradation.merge(Degradation::IntervalOnly);
+        if node.retries < MAX_NODE_RETRIES {
+            node.retries += 1;
+            f.heap.push(node);
+        } else {
+            f.dropped = f.dropped.max(node.bound);
+        }
+        f.active[wid] = f64::NEG_INFINITY;
+        f.in_flight -= 1;
+        self.work_ready.notify_all();
+    }
+
+    /// Records the death of worker `wid`'s thread (a panic that escaped
+    /// per-node isolation): its claimed bound is folded so the final
+    /// upper bound stays sound, its in-flight slot is released so the
+    /// survivors' exhaustion check still terminates, and a fully-dead
+    /// pool halts the search with [`MilpStatus::Aborted`] instead of
+    /// hanging.
+    fn worker_died(&self, wid: usize) {
+        let mut f = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
+        if f.active[wid] != f64::NEG_INFINITY {
+            f.dropped = f.dropped.max(f.active[wid]);
+            f.active[wid] = f64::NEG_INFINITY;
+            f.in_flight = f.in_flight.saturating_sub(1);
+        }
+        f.dead_workers += 1;
+        f.degradation = f.degradation.merge(Degradation::IntervalOnly);
+        if f.dead_workers >= f.active.len() && f.halt.is_none() {
+            f.halt = Some(MilpStatus::Aborted);
+        }
+        self.work_ready.notify_all();
+    }
+
     /// Records a structural failure of worker `wid` and releases its
-    /// claimed node so the other workers drain out.
+    /// claimed node so the other workers drain out. The claimed bound is
+    /// folded first — even an error path must not silently tighten the
+    /// reported bound.
     fn fail(&self, wid: usize) {
-        let mut f = self.frontier.lock().expect("frontier lock");
+        let mut f = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
         f.failed = true;
+        if f.active[wid] != f64::NEG_INFINITY {
+            f.dropped = f.dropped.max(f.active[wid]);
+        }
         f.active[wid] = f64::NEG_INFINITY;
         f.in_flight -= 1;
         self.work_ready.notify_all();
@@ -463,6 +561,25 @@ pub fn bab_maximize(
     spec: &InputSpec,
     objective: &LinearObjective,
     opts: &BabOptions,
+) -> Result<BabResult, VerifyError> {
+    bab_maximize_under(net, spec, objective, opts, Deadline::none())
+}
+
+/// [`bab_maximize`] under an ambient [`Deadline`]/cancellation token from
+/// the caller (fleet runner, pipeline). The effective deadline is the
+/// ambient one tightened by [`BabOptions::time_limit`]; it is polled
+/// between nodes and inside every LP and sub-MILP solve, and expiry yields
+/// a sound bound tagged [`Degradation::TimedOut`].
+///
+/// # Errors
+///
+/// Same contract as [`bab_maximize`].
+pub fn bab_maximize_under(
+    net: &Network,
+    spec: &InputSpec,
+    objective: &LinearObjective,
+    opts: &BabOptions,
+    deadline: Deadline,
 ) -> Result<BabResult, VerifyError> {
     if !spec.constraints().is_empty() {
         return Err(VerifyError::SpecMismatch {
@@ -508,7 +625,8 @@ pub fn bab_maximize(
     let base_bounds: Vec<(f64, f64)> = (0..obj_model.num_vars())
         .map(|i| obj_model.bounds(VarId::from_index(i)))
         .collect();
-    let simplex = Simplex::new();
+    let deadline = deadline.tighten(opts.time_limit);
+    let simplex = Simplex::new().with_deadline(deadline.clone());
 
     let threads_used = resolve_threads(opts.threads);
     let ctx = SearchCtx {
@@ -523,57 +641,68 @@ pub fn bab_maximize(
         flat_map: &flat_map,
         obj_seed: &obj_seed,
         start,
+        deadline: &deadline,
     };
 
     let root_phases = vec![None; total_relu];
     let root = analyze_with_phases(net, input_box, &root_phases, objective)?;
     let root_bound = root.objective_upper;
+    // The symbolic root bound is usually tighter than plain interval
+    // arithmetic but is not guaranteed to be; the ceiling caps whatever
+    // bound the search hands back when it cannot finish.
+    let iv_ceiling = interval_objective_ceiling(net, input_box, objective)?;
     let state = SearchState::new(
         threads_used,
         Node {
             phases: root_phases,
             bound: root_bound,
             depth: 0,
+            retries: 0,
             warm: None,
         },
     );
     state.try_incumbent(&ctx, &root.maximizer);
 
     // Work-sharing scoped worker pool. With one worker this runs the
-    // exact serial best-first loop (on a spawned thread).
+    // exact serial best-first loop (on a spawned thread). Each node is
+    // processed under `catch_unwind`, so a panic costs one node attempt
+    // (re-queued up to MAX_NODE_RETRIES, then folded), not the worker;
+    // the outer `catch_unwind` turns even an escaped panic into a dead
+    // worker whose state is cleaned up instead of a wedged pool.
     let worker_results: Vec<Result<WorkerCounters, VerifyError>> = thread::scope(|s| {
         let handles: Vec<_> = (0..threads_used)
             .map(|wid| {
                 let ctx = &ctx;
                 let state = &state;
                 s.spawn(move || {
-                    let mut analyzer = PhaseAnalyzer::new(ctx.net, ctx.input_box)?;
-                    let mut counters = WorkerCounters::default();
-                    // Per-worker LP-bounding basis cache: workers never
-                    // share bases, so the parallel engine stays lock-free.
-                    let mut lp_warm: Option<Arc<WarmStart>> = None;
-                    while let Some(node) = state.next_work(ctx, wid) {
-                        match process_node(ctx, state, &mut analyzer, &node, &mut counters, &mut lp_warm) {
-                            Ok(outcome) => state.complete(wid, outcome),
-                            Err(e) => {
-                                state.fail(wid);
-                                return Err(e);
-                            }
+                    let body = catch_unwind(AssertUnwindSafe(|| worker_loop(ctx, state, wid)));
+                    match body {
+                        Ok(result) => result,
+                        Err(_) => {
+                            state.worker_died(wid);
+                            // The worker's counters die with it; stats
+                            // under-report, bounds stay sound.
+                            Ok(WorkerCounters::default())
                         }
                     }
-                    Ok(counters)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("search worker panicked"))
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                // Unreachable (the worker body is fully caught), but a
+                // join error must not panic the caller either.
+                Err(_) => Ok(WorkerCounters::default()),
+            })
             .collect()
     });
 
     let mut milp_calls = 0usize;
     let mut lp_iterations = 0usize;
     let mut warm_stats = MilpStats::default();
+    let mut degradation = Degradation::Exact;
     for result in worker_results {
         let counters = result?;
         milp_calls += counters.milp_calls;
@@ -588,14 +717,22 @@ pub fn bab_maximize(
         }
         warm_stats.merge(counters.tracker.stats());
         warm_stats.merge(counters.milp_stats);
+        degradation = degradation.merge(counters.degradation);
     }
 
-    let frontier = state.frontier.into_inner().expect("frontier lock");
-    let incumbent = state.incumbent.into_inner().expect("incumbent lock");
-    let status = frontier.halt.unwrap_or(MilpStatus::Optimal);
+    let frontier = state
+        .frontier
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    let incumbent = state
+        .incumbent
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    let mut status = frontier.halt.unwrap_or(MilpStatus::Optimal);
+    degradation = degradation.merge(frontier.degradation);
     let best = incumbent.as_ref().map(|(_, v)| *v);
 
-    let upper_bound = if status == MilpStatus::Optimal {
+    let mut upper_bound = if status == MilpStatus::Optimal {
         // Exhausted or gap-closed: the incumbent is optimal up to
         // `abs_gap` (root bound is the sound fallback if no real input
         // was ever evaluated).
@@ -616,6 +753,24 @@ pub fn bab_maximize(
         }
         ub
     };
+    // Subtrees dropped on panics or numeric failures fold into the bound
+    // no matter how the search ended; an Optimal claim they re-open
+    // honestly degrades to Aborted.
+    if frontier.dropped > f64::NEG_INFINITY {
+        if status == MilpStatus::Optimal && frontier.dropped > upper_bound + opts.abs_gap {
+            status = MilpStatus::Aborted;
+        }
+        upper_bound = upper_bound.max(frontier.dropped);
+    }
+    // Min of two sound upper bounds is sound: a degraded answer must
+    // never be looser than the interval fallback it degrades towards.
+    // Closed searches are unaffected (the optimum sits below the ceiling).
+    upper_bound = upper_bound.min(iv_ceiling);
+    if status == MilpStatus::TimeLimit {
+        degradation = degradation.merge(Degradation::TimedOut);
+    } else if status == MilpStatus::Aborted {
+        degradation = degradation.merge(Degradation::IntervalOnly);
+    }
 
     let elapsed = start.elapsed();
     let (witness, best_value) = match incumbent {
@@ -635,7 +790,46 @@ pub fn bab_maximize(
         threads_used,
         nodes_per_sec: frontier.nodes as f64 / elapsed.as_secs_f64().max(1e-9),
         warm_stats,
+        degradation,
     })
+}
+
+/// Body of one search worker: claim nodes, process each under panic
+/// isolation, publish outcomes. A panicking node is re-queued (bounded)
+/// and the analyzer rebuilt, so one poisoned node costs one attempt, not
+/// the worker.
+fn worker_loop(
+    ctx: &SearchCtx,
+    state: &SearchState,
+    wid: usize,
+) -> Result<WorkerCounters, VerifyError> {
+    let mut analyzer = PhaseAnalyzer::new(ctx.net, ctx.input_box)?;
+    let mut counters = WorkerCounters::default();
+    // Per-worker LP-bounding basis cache: workers never share bases, so
+    // the parallel engine stays lock-free.
+    let mut lp_warm: Option<Arc<WarmStart>> = None;
+    while let Some(node) = state.next_work(ctx, wid) {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "fault-inject")]
+            if certnn_lp::fault::fire_panic() {
+                panic!("injected worker panic");
+            }
+            process_node(ctx, state, &mut analyzer, &node, &mut counters, &mut lp_warm)
+        }));
+        match attempt {
+            Ok(Ok(outcome)) => state.complete(wid, outcome),
+            Ok(Err(e)) => {
+                state.fail(wid);
+                return Err(e);
+            }
+            Err(_) => {
+                state.panic_complete(wid, node);
+                // The analyzer may have been left mid-update; rebuild.
+                analyzer = PhaseAnalyzer::new(ctx.net, ctx.input_box)?;
+            }
+        }
+    }
+    Ok(counters)
 }
 
 /// Processes one claimed node: bound, harvest incumbents, hand off to the
@@ -711,46 +905,66 @@ fn process_node(
         // across the tree, so that basis is stale and only used when
         // nothing better is at hand. Both paths are worker-private, so the
         // parallel engine stays lock-free.
-        let lp = if opts.warm_start {
-            let ws = match node.warm.as_deref().or(lp_warm.as_deref()) {
+        // LP bounding only ever *tightens* the symbolic bound, so a typed
+        // numeric failure here (even after `solve_warm`'s own cold rung)
+        // degrades gracefully: skip the tightening for this node and keep
+        // the sound symbolic bound instead of aborting the search.
+        let attempt = if opts.warm_start {
+            match node.warm.as_deref().or(lp_warm.as_deref()) {
                 Some(w) => ctx.simplex.solve_warm(ctx.obj_model.relaxation(), &nb, w),
                 None => ctx.simplex.solve_snapshot(ctx.obj_model.relaxation(), &nb),
             }
-            .map_err(|e| VerifyError::from(certnn_milp::MilpError::from(e)))?;
-            if ws.warm_used {
-                counters.tracker.record_warm(ws.solution.iterations);
-            } else {
-                counters.tracker.record_cold(ws.solution.iterations);
-            }
-            if let Some(snap) = ws.warm {
-                let snap = Arc::new(snap);
-                *lp_warm = Some(snap.clone());
-                node_snap = Some(snap);
-            }
-            ws.solution
         } else {
-            let sol = ctx
-                .simplex
+            ctx.simplex
                 .solve_with_bounds(ctx.obj_model.relaxation(), &nb)
-                .map_err(|e| VerifyError::from(certnn_milp::MilpError::from(e)))?;
-            counters.tracker.record_cold(sol.iterations);
-            sol
+                .map(|solution| certnn_lp::WarmSolve {
+                    solution,
+                    warm: None,
+                    warm_used: false,
+                    fallback: None,
+                })
         };
-        counters.lp_iterations += lp.iterations;
-        match lp.status {
-            LpStatus::Infeasible => return Ok(NodeOutcome::default()),
-            LpStatus::Optimal => {
-                node_bound = node_bound.min(lp.objective + ctx.objective.constant);
-                // The relaxation's input values are a real point; use it.
-                let input: Vector = ctx.enc.input_vars.iter().map(|v| lp.x[v.index()]).collect();
-                let val = state.try_incumbent(ctx, &input);
-                if let Some(target) = opts.target_objective {
-                    if val >= target {
-                        return Ok(NodeOutcome::halt(MilpStatus::TargetReached, node_bound));
+        let lp = match attempt {
+            Ok(ws) => {
+                if ws.warm_used {
+                    counters.tracker.record_warm(ws.solution.iterations);
+                } else {
+                    counters.tracker.record_cold(ws.solution.iterations);
+                }
+                if ws.fallback.is_some() {
+                    counters.degradation = counters.degradation.merge(Degradation::ColdFallback);
+                }
+                if let Some(snap) = ws.warm {
+                    let snap = Arc::new(snap);
+                    *lp_warm = Some(snap.clone());
+                    node_snap = Some(snap);
+                }
+                Some(ws.solution)
+            }
+            Err(LpError::Solve(_)) => {
+                counters.degradation = counters.degradation.merge(Degradation::IntervalOnly);
+                None
+            }
+            Err(e) => return Err(VerifyError::from(MilpError::from(e))),
+        };
+        if let Some(lp) = lp {
+            counters.lp_iterations += lp.iterations;
+            match lp.status {
+                LpStatus::Infeasible => return Ok(NodeOutcome::default()),
+                LpStatus::Optimal => {
+                    node_bound = node_bound.min(lp.objective + ctx.objective.constant);
+                    // The relaxation's input values are a real point; use it.
+                    let input: Vector =
+                        ctx.enc.input_vars.iter().map(|v| lp.x[v.index()]).collect();
+                    let val = state.try_incumbent(ctx, &input);
+                    if let Some(target) = opts.target_objective {
+                        if val >= target {
+                            return Ok(NodeOutcome::halt(MilpStatus::TargetReached, node_bound));
+                        }
                     }
                 }
+                _ => {}
             }
-            _ => {}
         }
         if node_bound <= state.prune_level(opts.abs_gap) {
             return Ok(NodeOutcome::default());
@@ -784,36 +998,67 @@ fn process_node(
             ..MilpOptions::default()
         };
         // The sub-MILP is the same model with binaries pinned, so the
-        // node's relaxation basis seeds its root solve directly.
-        let mut solver = BranchAndBound::with_options(milp_opts);
+        // node's relaxation basis seeds its root solve directly. Its own
+        // retry ladder absorbs numeric faults; a typed error escaping it
+        // drops this node with a sound folded bound instead of killing
+        // the whole search.
+        let mut solver =
+            BranchAndBound::with_options(milp_opts).with_deadline(ctx.deadline.clone());
         if let Some(w) = &node_snap {
             solver = solver.with_root_warm(w.clone());
         }
-        let sol = solver.solve(&milp).map_err(VerifyError::from)?;
-        counters.milp_calls += 1;
-        counters.lp_iterations += sol.lp_iterations;
-        counters.submilp_pivots += sol.lp_iterations;
-        counters.milp_stats.merge(sol.stats);
-        match sol.status {
-            MilpStatus::Optimal | MilpStatus::Infeasible => {
-                if let (Some(x), Some(_)) = (&sol.x, sol.objective) {
-                    let input: Vector = ctx.enc.input_vars.iter().map(|v| x[v.index()]).collect();
-                    let val = state.try_incumbent(ctx, &input);
-                    if let Some(target) = opts.target_objective {
-                        if val >= target {
-                            return Ok(NodeOutcome::halt(MilpStatus::TargetReached, node_bound));
+        let sol = match solver.solve(&milp) {
+            Ok(sol) => Some(sol),
+            Err(MilpError::Lp(LpError::Solve(_))) => {
+                counters.degradation = counters.degradation.merge(Degradation::IntervalOnly);
+                if analysis.unstable.is_empty() {
+                    // Nothing left to branch on: give the node up, but
+                    // keep its sound bound in the final fold.
+                    return Ok(NodeOutcome::dropped(node_bound));
+                }
+                None // fall through to phase branching
+            }
+            Err(e) => return Err(VerifyError::from(e)),
+        };
+        if let Some(sol) = sol {
+            counters.milp_calls += 1;
+            counters.lp_iterations += sol.lp_iterations;
+            counters.submilp_pivots += sol.lp_iterations;
+            counters.milp_stats.merge(sol.stats);
+            counters.degradation = counters.degradation.merge(sol.degradation);
+            match sol.status {
+                MilpStatus::Optimal | MilpStatus::Infeasible => {
+                    if let (Some(x), Some(_)) = (&sol.x, sol.objective) {
+                        let input: Vector =
+                            ctx.enc.input_vars.iter().map(|v| x[v.index()]).collect();
+                        let val = state.try_incumbent(ctx, &input);
+                        if let Some(target) = opts.target_objective {
+                            if val >= target {
+                                return Ok(NodeOutcome::halt(
+                                    MilpStatus::TargetReached,
+                                    node_bound,
+                                ));
+                            }
                         }
                     }
+                    // Node fully resolved either way.
+                    return Ok(NodeOutcome::default());
                 }
-                // Node fully resolved either way.
-                return Ok(NodeOutcome::default());
-            }
-            _ => {
-                // Sub-MILP hit a limit: fall through to phase branching
-                // if possible, else give up on the node but keep its
-                // (sound) bound via the abandoned fold.
-                if analysis.unstable.is_empty() {
-                    return Ok(NodeOutcome::halt(MilpStatus::TimeLimit, node_bound));
+                MilpStatus::Aborted => {
+                    // The sub-MILP degraded to a folded bound; keep the
+                    // node's own (sound) bound and drop the node rather
+                    // than trusting a truncated exact resolution.
+                    if analysis.unstable.is_empty() {
+                        return Ok(NodeOutcome::dropped(node_bound));
+                    }
+                }
+                _ => {
+                    // Sub-MILP hit a limit: fall through to phase branching
+                    // if possible, else give up on the node but keep its
+                    // (sound) bound via the abandoned fold.
+                    if analysis.unstable.is_empty() {
+                        return Ok(NodeOutcome::halt(MilpStatus::TimeLimit, node_bound));
+                    }
                 }
             }
         }
@@ -860,6 +1105,7 @@ fn process_node(
             phases,
             bound: child_bound,
             depth: node.depth + 1,
+            retries: 0,
             warm: node_snap.clone(),
         });
     }

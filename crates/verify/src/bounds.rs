@@ -107,6 +107,30 @@ pub fn interval_bounds(net: &Network, input_box: &[Interval]) -> Result<NetworkB
     Ok(NetworkBounds { pre, post })
 }
 
+/// Plain interval-arithmetic upper bound on a linear output functional
+/// over `input_box` — the loosest rung of the degradation ladder, and
+/// therefore the ceiling no degraded (timed-out or fault-folded) answer
+/// is allowed to exceed. The search engines clamp every reported bound
+/// to this value; exact optima already sit below it.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::SpecMismatch`] if the box width differs from
+/// the network's input width.
+pub fn interval_objective_ceiling(
+    net: &Network,
+    input_box: &[Interval],
+    objective: &LinearObjective,
+) -> Result<f64, VerifyError> {
+    let nb = interval_bounds(net, input_box)?;
+    let out = nb.output_bounds();
+    let mut ub = objective.constant;
+    for &(o, c) in &objective.terms {
+        ub += if c >= 0.0 { c * out[o].hi() } else { c * out[o].lo() };
+    }
+    Ok(ub)
+}
+
 /// Linear symbolic bounds of one layer's neurons, expressed over the
 /// network input: `Al·x + bl ≤ v ≤ Au·x + bu`.
 #[derive(Debug, Clone)]

@@ -60,6 +60,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod attack;
 pub mod bab;
@@ -70,6 +71,8 @@ pub mod quant;
 pub mod range;
 pub mod robustness;
 pub mod verifier;
+
+pub use certnn_lp::{Deadline, Degradation};
 
 use certnn_milp::MilpError;
 use certnn_nn::NnError;

@@ -1,11 +1,12 @@
 //! Verification queries: exact output maximisation and bound proofs.
 
-use crate::bab::{bab_maximize, BabOptions};
+use crate::bab::{bab_maximize_under, BabOptions};
+use crate::bounds::interval_objective_ceiling;
 use crate::encoder::{encode, BoundMethod, EncodingStats};
 use crate::property::{InputSpec, LinearObjective};
 use crate::VerifyError;
 use certnn_linalg::Vector;
-use certnn_milp::{BranchAndBound, MilpOptions, MilpStats, MilpStatus};
+use certnn_milp::{BranchAndBound, Deadline, Degradation, MilpOptions, MilpStats, MilpStatus};
 use certnn_nn::network::Network;
 use std::time::Duration;
 
@@ -30,6 +31,11 @@ pub struct VerifyStats {
     pub pivots_saved: usize,
     /// Wall-clock time of the MILP solve.
     pub elapsed: Duration,
+    /// Worst degradation encountered while answering the query:
+    /// [`Degradation::Exact`] on a clean run, worse if the search recovered
+    /// from numeric faults, worker panics or an expired deadline. The
+    /// reported bounds stay sound at every level.
+    pub degradation: Degradation,
 }
 
 impl VerifyStats {
@@ -39,6 +45,7 @@ impl VerifyStats {
         lp_iterations: usize,
         warm: MilpStats,
         elapsed: Duration,
+        degradation: Degradation,
     ) -> Self {
         Self {
             nodes,
@@ -49,6 +56,7 @@ impl VerifyStats {
             cold_solves: warm.cold_solves,
             pivots_saved: warm.pivots_saved,
             elapsed,
+            degradation,
         }
     }
 }
@@ -204,6 +212,7 @@ impl Default for VerifierOptions {
 #[derive(Debug, Clone, Default)]
 pub struct Verifier {
     opts: VerifierOptions,
+    deadline: Deadline,
 }
 
 impl Verifier {
@@ -215,7 +224,20 @@ impl Verifier {
 
     /// Creates a verifier with explicit options.
     pub fn with_options(opts: VerifierOptions) -> Self {
-        Self { opts }
+        Self {
+            opts,
+            deadline: Deadline::none(),
+        }
+    }
+
+    /// Attaches an ambient [`Deadline`]/cancellation token. Every query
+    /// observes it (tightened by [`VerifierOptions::time_limit`]) down to
+    /// individual simplex pivot batches; expiry yields a sound partial
+    /// answer tagged [`Degradation::TimedOut`] rather than an error.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     fn milp_options(&self) -> MilpOptions {
@@ -269,7 +291,13 @@ impl Verifier {
     ) -> Result<MaxResult, VerifyError> {
         objective.check_against(net)?;
         if self.use_bab(spec) {
-            let r = bab_maximize(net, spec, objective, &self.bab_options())?;
+            let r = bab_maximize_under(
+                net,
+                spec,
+                objective,
+                &self.bab_options(),
+                self.deadline.clone(),
+            )?;
             return Ok(MaxResult {
                 status: r.status,
                 upper_bound: r.upper_bound,
@@ -284,6 +312,7 @@ impl Verifier {
                     cold_solves: r.warm_stats.cold_solves,
                     pivots_saved: r.warm_stats.pivots_saved,
                     elapsed: r.elapsed,
+                    degradation: r.degradation,
                 },
             });
         }
@@ -295,7 +324,8 @@ impl Verifier {
             .map(|&(o, c)| (enc.output_vars[o], c))
             .collect();
         milp.set_objective(&terms);
-        let solver = BranchAndBound::with_options(self.milp_options());
+        let solver = BranchAndBound::with_options(self.milp_options())
+            .with_deadline(self.deadline.clone());
         let sol = solver.solve(&milp).map_err(VerifyError::from)?;
 
         let (witness, best_value) = match (&sol.x, sol.objective) {
@@ -313,9 +343,13 @@ impl Verifier {
             }
             _ => (None, None),
         };
+        // Same ladder contract as the bab engine: a bound the solver had
+        // to abandon is clamped by plain interval arithmetic, the loosest
+        // sound answer. Exact solves sit below the ceiling already.
+        let ceiling = interval_objective_ceiling(net, spec.bounds(), objective)?;
         Ok(MaxResult {
             status: sol.status,
-            upper_bound: sol.best_bound + objective.constant,
+            upper_bound: (sol.best_bound + objective.constant).min(ceiling),
             best_value,
             witness,
             stats: VerifyStats::from_parts(
@@ -324,6 +358,7 @@ impl Verifier {
                 sol.lp_iterations,
                 sol.stats,
                 sol.elapsed,
+                sol.degradation,
             ),
         })
     }
@@ -378,7 +413,7 @@ impl Verifier {
             let mut opts = self.bab_options();
             opts.target_objective = Some(threshold + 1e-9);
             opts.bound_cutoff = Some(threshold);
-            let r = bab_maximize(net, spec, objective, &opts)?;
+            let r = bab_maximize_under(net, spec, objective, &opts, self.deadline.clone())?;
             let stats = VerifyStats {
                 nodes: r.nodes,
                 lp_iterations: r.lp_iterations,
@@ -388,6 +423,7 @@ impl Verifier {
                 cold_solves: r.warm_stats.cold_solves,
                 pivots_saved: r.warm_stats.pivots_saved,
                 elapsed: r.elapsed,
+                degradation: r.degradation,
             };
             let verdict = match r.status {
                 MilpStatus::BoundCutoff => Verdict::Holds {
@@ -427,7 +463,7 @@ impl Verifier {
         let t = threshold - objective.constant;
         opts.target_objective = Some(t + 1e-9);
         opts.bound_cutoff = Some(t);
-        let solver = BranchAndBound::with_options(opts);
+        let solver = BranchAndBound::with_options(opts).with_deadline(self.deadline.clone());
         let sol = solver.solve(&milp).map_err(VerifyError::from)?;
         let stats = VerifyStats::from_parts(
             enc.stats,
@@ -435,6 +471,7 @@ impl Verifier {
             sol.lp_iterations,
             sol.stats,
             sol.elapsed,
+            sol.degradation,
         );
 
         let witness_value = match (&sol.x, sol.objective) {
@@ -476,12 +513,13 @@ impl Verifier {
                     },
                 }
             }
-            MilpStatus::TimeLimit | MilpStatus::NodeLimit | MilpStatus::Unbounded => {
-                Verdict::Unknown {
-                    best_seen: witness_value.map(|(_, v)| v),
-                    upper_bound: upper,
-                }
-            }
+            MilpStatus::TimeLimit
+            | MilpStatus::NodeLimit
+            | MilpStatus::Unbounded
+            | MilpStatus::Aborted => Verdict::Unknown {
+                best_seen: witness_value.map(|(_, v)| v),
+                upper_bound: upper,
+            },
         };
         Ok((verdict, stats))
     }
