@@ -2,7 +2,7 @@
 //! data do not all satisfy the safety property.
 //!
 //! Usage: `fleet [--smoke] [--threads N] [--json rows.json] [--cold]
-//! [--fault-inject SEED]`
+//! [--fault-inject SEED] [--trace t.jsonl] [--metrics] [--profile]`
 //!
 //! `--threads 0` (the default) trains/verifies members on all available
 //! cores; `--threads 1` restores the serial run. `--cold` disables LP
@@ -12,6 +12,12 @@
 //! `--features fault-inject` only) arms the seeded chaos plan of
 //! `certnn_lp::fault`; degraded members are tagged in the table's `mode`
 //! column and the JSON `degradation` field, with all bounds still sound.
+//!
+//! Observability (any of these switches `certnn-obs` on for the run;
+//! verdicts are unaffected): `--trace t.jsonl` writes span/event/
+//! metrics/profile records as JSON lines, `--metrics` prints the
+//! counter/gauge/histogram snapshot after the table (and folds it into
+//! the final `--json` row), `--profile` prints per-phase self time.
 
 use certnn_bench::json::{write_json, BenchRow};
 use certnn_bench::write_report;
@@ -21,11 +27,20 @@ use std::path::PathBuf;
 fn main() {
     let mut config = FleetConfig::default();
     let mut json_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut want_metrics = false;
+    let mut want_profile = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => config = FleetConfig::smoke_test(),
+            "--trace" => {
+                i += 1;
+                trace_path = Some(PathBuf::from(&args[i]));
+            }
+            "--metrics" => want_metrics = true,
+            "--profile" => want_profile = true,
             "--threads" => {
                 i += 1;
                 config.threads = args[i].parse().expect("threads must be an integer");
@@ -59,6 +74,17 @@ fn main() {
         }
         i += 1;
     }
+    let observe = trace_path.is_some() || want_metrics || want_profile;
+    if observe {
+        certnn_obs::set_enabled(true);
+        if !certnn_obs::enabled() {
+            eprintln!(
+                "--trace/--metrics/--profile require a build with the \
+                 default `obs` feature; this binary records nothing"
+            );
+            std::process::exit(2);
+        }
+    }
     println!(
         "training and verifying a fleet of {} I{}x{} predictors (threads {})...\n",
         config.fleet_size,
@@ -74,9 +100,15 @@ fn main() {
                 Ok(path) => println!("\nwritten to {}", path.display()),
                 Err(e) => eprintln!("could not write report: {e}"),
             }
+            if want_metrics {
+                print!("\n{}", certnn_obs::metrics_snapshot().to_table());
+            }
+            if want_profile {
+                print!("\n{}", certnn_obs::profile_report());
+            }
             if let Some(path) = json_path {
                 let width = config.hidden.first().copied().unwrap_or(0);
-                let rows: Vec<BenchRow> = result
+                let mut rows: Vec<BenchRow> = result
                     .members
                     .iter()
                     .map(|m| BenchRow {
@@ -91,11 +123,25 @@ fn main() {
                         threads: config.threads,
                         warm_start: config.warm_start,
                         degradation: m.degradation,
+                        metrics: Vec::new(),
                     })
                     .collect();
+                if want_metrics {
+                    // Run-cumulative snapshot; recorded once, on the
+                    // final row (see certnn_bench::json).
+                    if let Some(last) = rows.last_mut() {
+                        last.metrics = certnn_obs::metrics_snapshot().scalars();
+                    }
+                }
                 match write_json(&path, &rows) {
                     Ok(()) => println!("json rows written to {}", path.display()),
                     Err(e) => eprintln!("could not write json: {e}"),
+                }
+            }
+            if let Some(path) = trace_path {
+                match std::fs::write(&path, certnn_obs::drain_jsonl()) {
+                    Ok(()) => println!("trace written to {}", path.display()),
+                    Err(e) => eprintln!("could not write trace: {e}"),
                 }
             }
         }

@@ -1,0 +1,144 @@
+//! Observability gate behind `./ci --obs`.
+//!
+//! Usage:
+//!
+//! ```text
+//! obs_check <trace.jsonl>    validate a trace written by --trace
+//! obs_check --overhead       measure obs-on vs obs-off smoke cost
+//! ```
+//!
+//! Validation parses every line against the JSONL schema of
+//! [`certnn_obs::jsonl`] and then checks the trace is *useful*: at least
+//! one span, a metrics record carrying the core counter names
+//! (`lp.warm_solves`, `bab.nodes`, `bab.incumbent_updates`) and a
+//! profile record. `--overhead` runs the Table II smoke config twice
+//! with observability off and twice with it on (best-of-two each, all
+//! serial), fails if the observed run is more than 5% + 0.25 s slower,
+//! and asserts the verdicts are bit-identical either way — tracing must
+//! never change what the verifier concludes.
+
+use certnn_bench::table2::{run_table2, Table2Config, Table2Result};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Counters every observed verification run must report; their absence
+/// means an instrumentation layer silently stopped recording.
+const REQUIRED_COUNTERS: [&str; 3] =
+    ["lp.warm_solves", "bab.nodes", "bab.incumbent_updates"];
+
+/// Allowed obs-on slowdown: 5% relative plus an absolute slack so
+/// seconds-scale smoke runs don't fail on scheduler noise.
+const MAX_RELATIVE_OVERHEAD: f64 = 1.05;
+const ABSOLUTE_SLACK_SECS: f64 = 0.25;
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let summary = certnn_obs::jsonl::validate_trace(&text)
+        .map_err(|e| format!("{path}: {e}"))?;
+    if summary.spans == 0 {
+        return Err(format!("{path}: no span records"));
+    }
+    if !summary.has_metrics {
+        return Err(format!("{path}: no metrics record"));
+    }
+    for name in REQUIRED_COUNTERS {
+        if !summary.counter_names.iter().any(|n| n == name) {
+            return Err(format!("{path}: metrics record missing counter `{name}`"));
+        }
+    }
+    println!(
+        "{path}: ok ({} spans, {} events, {} counters, {} histograms{})",
+        summary.spans,
+        summary.events,
+        summary.counter_names.len(),
+        summary.histogram_names.len(),
+        if summary.has_profile {
+            format!(", profile of {} phases", summary.phase_names.len())
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+/// One timed serial smoke run; returns the result and its wall seconds.
+fn timed_smoke() -> Result<(Table2Result, f64), String> {
+    let mut config = Table2Config::smoke_test();
+    config.threads = 1;
+    let start = Instant::now();
+    let result = run_table2(&config).map_err(|e| format!("smoke run failed: {e}"))?;
+    Ok((result, start.elapsed().as_secs_f64()))
+}
+
+/// Bit-exact verdict comparison between two smoke results.
+fn assert_identical(off: &Table2Result, on: &Table2Result) -> Result<(), String> {
+    if off.rows.len() != on.rows.len() {
+        return Err("row count differs between obs-off and obs-on".to_string());
+    }
+    for (a, b) in off.rows.iter().zip(&on.rows) {
+        let bits = |v: Option<f64>| v.map(f64::to_bits);
+        if bits(a.max_lateral) != bits(b.max_lateral)
+            || a.upper_bound.to_bits() != b.upper_bound.to_bits()
+        {
+            return Err(format!(
+                "verdict drift on {}: off ({:?}, {}) vs on ({:?}, {})",
+                a.label, a.max_lateral, a.upper_bound, b.max_lateral, b.upper_bound
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn overhead() -> Result<(), String> {
+    if !cfg!(feature = "obs") {
+        return Err(
+            "--overhead needs a build with the default `obs` feature".to_string()
+        );
+    }
+    // Off first, so the on-runs cannot leak recording into the baseline.
+    certnn_obs::set_enabled(false);
+    let (off_result, off_a) = timed_smoke()?;
+    let (_, off_b) = timed_smoke()?;
+    let off_best = off_a.min(off_b);
+
+    certnn_obs::set_enabled(true);
+    let (on_result, on_a) = timed_smoke()?;
+    certnn_obs::reset();
+    let (_, on_b) = timed_smoke()?;
+    let on_best = on_a.min(on_b);
+    certnn_obs::set_enabled(false);
+    certnn_obs::reset();
+
+    assert_identical(&off_result, &on_result)?;
+    println!(
+        "smoke wall best-of-2: obs-off {off_best:.3}s, obs-on {on_best:.3}s \
+         ({:+.1}%)",
+        100.0 * (on_best - off_best) / off_best
+    );
+    let limit = off_best * MAX_RELATIVE_OVERHEAD + ABSOLUTE_SLACK_SECS;
+    if on_best > limit {
+        return Err(format!(
+            "observability overhead too high: {on_best:.3}s > \
+             {MAX_RELATIVE_OVERHEAD} x {off_best:.3}s + {ABSOLUTE_SLACK_SECS}s"
+        ));
+    }
+    println!("overhead gate ok: {on_best:.3}s <= {limit:.3}s");
+    println!("verdicts bit-identical with tracing on and off");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.as_slice() {
+        [path] if path != "--overhead" => validate(path),
+        [flag] if flag == "--overhead" => overhead(),
+        _ => Err("usage: obs_check <trace.jsonl> | obs_check --overhead".to_string()),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("obs_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

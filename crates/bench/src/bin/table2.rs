@@ -5,7 +5,7 @@
 //! ```text
 //! table2 [--widths 10,20,25,40,50,60] [--time-limit 120] [--epochs 25]
 //!        [--threads N] [--json rows.json] [--smoke] [--cold]
-//!        [--fault-inject SEED]
+//!        [--fault-inject SEED] [--trace t.jsonl] [--metrics] [--profile]
 //! ```
 //!
 //! `--smoke` runs the seconds-scale variant used by the integration tests.
@@ -19,6 +19,13 @@
 //! `certnn_lp::fault` for the whole run; degraded rows are tagged in the
 //! table and in the JSON `degradation` field, and every printed bound
 //! stays sound.
+//!
+//! Observability (any of these switches the `certnn-obs` layer on for
+//! the run; verdicts and bounds are unaffected): `--trace t.jsonl`
+//! writes the span/event/metrics/profile records as JSON lines,
+//! `--metrics` prints the counter/gauge/histogram snapshot after the
+//! table (and folds it into the final `--json` row as a `metrics`
+//! block), `--profile` prints the per-phase self-time breakdown.
 
 use certnn_bench::json::{write_json, BenchRow};
 use certnn_bench::table2::{run_table2, Table2Config};
@@ -29,11 +36,20 @@ use std::time::Duration;
 fn main() {
     let mut config = Table2Config::default();
     let mut json_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut want_metrics = false;
+    let mut want_profile = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => config = Table2Config::smoke_test(),
+            "--trace" => {
+                i += 1;
+                trace_path = Some(PathBuf::from(&args[i]));
+            }
+            "--metrics" => want_metrics = true,
+            "--profile" => want_profile = true,
             "--widths" => {
                 i += 1;
                 config.widths = args[i]
@@ -84,6 +100,18 @@ fn main() {
         i += 1;
     }
 
+    let observe = trace_path.is_some() || want_metrics || want_profile;
+    if observe {
+        certnn_obs::set_enabled(true);
+        if !certnn_obs::enabled() {
+            eprintln!(
+                "--trace/--metrics/--profile require a build with the \
+                 default `obs` feature; this binary records nothing"
+            );
+            std::process::exit(2);
+        }
+    }
+
     println!(
         "running Table II: widths {:?}, time limit {:?}, {} epochs, threads {}, {}",
         config.widths,
@@ -100,8 +128,14 @@ fn main() {
                 Ok(path) => println!("\nwritten to {}", path.display()),
                 Err(e) => eprintln!("could not write report: {e}"),
             }
+            if want_metrics {
+                print!("\n{}", certnn_obs::metrics_snapshot().to_table());
+            }
+            if want_profile {
+                print!("\n{}", certnn_obs::profile_report());
+            }
             if let Some(path) = json_path {
-                let rows: Vec<BenchRow> = config
+                let mut rows: Vec<BenchRow> = config
                     .widths
                     .iter()
                     .zip(&result.rows)
@@ -117,11 +151,25 @@ fn main() {
                         threads: config.threads,
                         warm_start: config.warm_start,
                         degradation: row.degradation,
+                        metrics: Vec::new(),
                     })
                     .collect();
+                if want_metrics {
+                    // Run-cumulative snapshot; recorded once, on the
+                    // final row (see certnn_bench::json).
+                    if let Some(last) = rows.last_mut() {
+                        last.metrics = certnn_obs::metrics_snapshot().scalars();
+                    }
+                }
                 match write_json(&path, &rows) {
                     Ok(()) => println!("json rows written to {}", path.display()),
                     Err(e) => eprintln!("could not write json: {e}"),
+                }
+            }
+            if let Some(path) = trace_path {
+                match std::fs::write(&path, certnn_obs::drain_jsonl()) {
+                    Ok(()) => println!("trace written to {}", path.display()),
+                    Err(e) => eprintln!("could not write trace: {e}"),
                 }
             }
         }

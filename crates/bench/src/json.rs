@@ -18,6 +18,14 @@
 //! exactly what [`to_json`] produces plus older files missing the newer
 //! fields (they default to zero/true), so committed baselines stay
 //! readable across schema growth.
+//!
+//! When a run is observed (`--metrics` on the report binaries) the final
+//! row additionally carries a nested `"metrics": {"lp.warm_solves": 700,
+//! ...}` object — the run-cumulative scalar snapshot from `certnn-obs`.
+//! It is always emitted as the *last* key of the row, parsed back into
+//! [`BenchRow::metrics`], and deliberately ignored by `bench_diff` so
+//! wall-time gates keep working against baselines written before (or
+//! without) observability.
 
 use certnn_lp::Degradation;
 use std::fs;
@@ -25,7 +33,7 @@ use std::io;
 use std::path::Path;
 
 /// One benchmark record: a verification query at a given width/seed.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
     /// Hidden width of the verified network (fleet rows: the member seed's
     /// shared width).
@@ -52,6 +60,11 @@ pub struct BenchRow {
     /// (`exact` unless a fault, panic or deadline forced a sound
     /// fallback; see [`Degradation`]).
     pub degradation: Degradation,
+    /// Run-cumulative observability scalars (`certnn-obs` counters and
+    /// gauge high-water marks), sorted by name. Empty unless the run was
+    /// observed; report binaries attach the snapshot to the final row
+    /// only. `bench_diff` ignores this field.
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl Default for BenchRow {
@@ -68,6 +81,7 @@ impl Default for BenchRow {
             threads: 0,
             warm_start: true,
             degradation: Degradation::Exact,
+            metrics: Vec::new(),
         }
     }
 }
@@ -91,7 +105,7 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             "  {{\"width\": {}, \"value\": {}, \"wall_secs\": {}, \"nodes\": {}, \
              \"lp_iterations\": {}, \"warm_solves\": {}, \"cold_solves\": {}, \
              \"pivots_saved\": {}, \"threads\": {}, \"warm_start\": {}, \
-             \"degradation\": \"{}\"}}",
+             \"degradation\": \"{}\"",
             r.width,
             value,
             json_f64(r.wall_secs),
@@ -104,6 +118,20 @@ pub fn to_json(rows: &[BenchRow]) -> String {
             r.warm_start,
             r.degradation.as_str()
         ));
+        // The metrics object must stay the last key: the flat-field
+        // extractor only searches text before it, so row scalars can
+        // never collide with dotted metric names.
+        if !r.metrics.is_empty() {
+            s.push_str(", \"metrics\": {");
+            for (j, (name, v)) in r.metrics.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{name}\": {}", json_f64(*v)));
+            }
+            s.push('}');
+        }
+        s.push('}');
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     s.push(']');
@@ -131,6 +159,89 @@ fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim())
 }
 
+/// Splits an array body into top-level `{...}` object bodies (outer
+/// braces stripped), tracking brace depth and string state so nested
+/// objects — the `"metrics"` block — stay inside their row.
+fn split_objects(body: &str) -> Result<Vec<&str>, String> {
+    let mut objs = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = i + 1;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| format!("row {}: unbalanced `}}`", objs.len()))?;
+                if depth == 0 {
+                    objs.push(&body[start..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        return Err(format!("row {}: unterminated object", objs.len()));
+    }
+    Ok(objs)
+}
+
+/// Name→value pairs of an obs metrics block, as stored in
+/// [`BenchRow::metrics`].
+type MetricPairs = Vec<(String, f64)>;
+
+/// Parses the `"metrics": {...}` block of a row body, if present,
+/// returning the name→value pairs and the flat part preceding it.
+fn split_metrics(obj: &str, row: usize) -> Result<(&str, MetricPairs), String> {
+    const KEY: &str = "\"metrics\":";
+    let Some(key_at) = obj.find(KEY) else {
+        return Ok((obj, Vec::new()));
+    };
+    let flat = &obj[..key_at];
+    let after = obj[key_at + KEY.len()..].trim_start();
+    let inner = after
+        .strip_prefix('{')
+        .and_then(|r| r.split('}').next())
+        .ok_or_else(|| format!("row {row}: malformed metrics object"))?;
+    let mut metrics = Vec::new();
+    for pair in inner.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (name, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("row {row}: bad metrics pair `{pair}`"))?;
+        let name = name.trim().trim_matches('"').to_string();
+        let value = match value.trim() {
+            // Non-finite scalars render as null (JSON has no Inf/NaN).
+            "null" => f64::NAN,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("row {row}: bad metrics value in `{pair}`"))?,
+        };
+        metrics.push((name, value));
+    }
+    Ok((flat, metrics))
+}
+
 /// Parses the flat-row JSON produced by [`to_json`]. Fields absent from
 /// older files default ([`BenchRow::default`]), so baselines committed
 /// before a schema extension keep parsing.
@@ -145,13 +256,12 @@ pub fn parse_json(text: &str) -> Result<Vec<BenchRow>, String> {
         .and_then(|b| b.strip_suffix(']'))
         .ok_or_else(|| "expected a JSON array".to_string())?;
     let mut rows = Vec::new();
-    let mut rest = body;
-    while let Some(open) = rest.find('{') {
-        let close = rest[open..]
-            .find('}')
-            .ok_or_else(|| format!("row {}: unterminated object", rows.len()))?;
-        let obj = &rest[open + 1..open + close];
-        let mut row = BenchRow::default();
+    for full_obj in split_objects(body)? {
+        let (obj, metrics) = split_metrics(full_obj, rows.len())?;
+        let mut row = BenchRow {
+            metrics,
+            ..BenchRow::default()
+        };
         let parse_usize = |key: &str| -> Result<Option<usize>, String> {
             match field(obj, key) {
                 None => Ok(None),
@@ -199,7 +309,6 @@ pub fn parse_json(text: &str) -> Result<Vec<BenchRow>, String> {
             }
         };
         rows.push(row);
-        rest = &rest[open + close + 1..];
     }
     Ok(rows)
 }
@@ -233,6 +342,7 @@ mod tests {
                 threads: 4,
                 warm_start: true,
                 degradation: Degradation::Exact,
+                metrics: Vec::new(),
             },
             BenchRow {
                 width: 60,
@@ -246,6 +356,10 @@ mod tests {
                 threads: 0,
                 warm_start: false,
                 degradation: Degradation::TimedOut,
+                metrics: vec![
+                    ("bab.nodes".to_string(), 12000.0),
+                    ("lp.warm_solves".to_string(), 700.0),
+                ],
             },
         ]
     }
@@ -316,6 +430,31 @@ mod tests {
             parse_json("[{\"width\": 1, \"degradation\": \"mangled\"}]").is_err(),
             "unknown degradation tag must be rejected, not defaulted"
         );
+    }
+
+    #[test]
+    fn metrics_block_round_trips_and_stays_last() {
+        let rows = sample_rows();
+        let s = to_json(&rows);
+        // Nested object, emitted as the row's final key.
+        assert!(s.contains("\"metrics\": {\"bab.nodes\": 12000"));
+        assert!(s.contains("\"lp.warm_solves\": 700}}"));
+        let parsed = parse_json(&s).unwrap();
+        assert!(parsed[0].metrics.is_empty());
+        assert_eq!(parsed[1].metrics, rows[1].metrics);
+        // The flat scalar `warm_solves` must come from the row, not from
+        // the dotted metric of the same suffix.
+        assert_eq!(parsed[1].warm_solves, 0);
+    }
+
+    #[test]
+    fn metrics_free_files_parse_with_empty_metrics() {
+        // Baselines written before observability existed carry no
+        // metrics block; they must keep parsing unchanged.
+        let old = "[\n  {\"width\": 6, \"value\": 1.5, \"wall_secs\": 0.25, \
+                   \"nodes\": 3, \"threads\": 2}\n]\n";
+        let rows = parse_json(old).unwrap();
+        assert!(rows[0].metrics.is_empty());
     }
 
     #[test]

@@ -293,6 +293,9 @@ pub fn run_fleet_under(config: &FleetConfig, deadline: Deadline) -> Result<Fleet
     let slots: Vec<Mutex<Option<Result<FleetMember, CoreError>>>> =
         (0..config.fleet_size).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let run_span = certnn_obs::span("fleet.run");
+    let run_span_id = run_span.id();
     thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -301,13 +304,37 @@ pub fn run_fleet_under(config: &FleetConfig, deadline: Deadline) -> Result<Fleet
                     break;
                 }
                 let seed = 100 + i as u64;
+                let member_span = certnn_obs::span_child_of("fleet.member", run_span_id);
                 let member = run_member(config, seed, &data, layout, &loss, &spec, &verifier);
+                drop(member_span);
+                if certnn_obs::enabled() {
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Ok(m) = &member {
+                        certnn_obs::event(
+                            "fleet.member_done",
+                            vec![
+                                ("seed", seed.into()),
+                                ("wall_secs", m.wall_secs.into()),
+                                ("nodes", m.nodes.into()),
+                                ("safe", m.safe.unwrap_or(false).into()),
+                                ("degradation", m.degradation.as_str().into()),
+                            ],
+                        );
+                    }
+                    // Live progress line: only when observability is on,
+                    // so quiet runs stay byte-identical on stderr.
+                    eprintln!(
+                        "[fleet] {finished}/{} members done (seed {seed})",
+                        config.fleet_size
+                    );
+                }
                 // Poison-tolerant: a worker that panicked elsewhere must
                 // not wedge result collection for the surviving members.
                 *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(member);
             });
         }
     });
+    drop(run_span);
 
     let mut members = Vec::with_capacity(config.fleet_size);
     for slot in slots {

@@ -250,11 +250,15 @@ impl CertificationPipeline {
     pub fn run(&self) -> Result<CertificationReport, CoreError> {
         let cfg = &self.config;
         let layout = OutputLayout::new(cfg.mixture_components);
+        let _run_span = certnn_obs::span("pipeline.run");
 
         // 1. Generate raw data.
+        let stage_span = certnn_obs::span("pipeline.generate");
         let mut raw = generate_dataset(&cfg.scenario)?;
+        drop(stage_span);
 
         // 2. Validate and sanitize (specification validity).
+        let stage_span = certnn_obs::span("pipeline.validate");
         let validator = highway_validator(cfg.lateral_cap);
         let audit = validator.sanitize(&mut raw);
         let removed = audit.total - raw.len();
@@ -266,8 +270,10 @@ impl CertificationPipeline {
         let inputs_only: Vec<certnn_linalg::Vector> =
             raw.iter().map(|(x, _)| x.clone()).collect();
         let (data, held_out) = Dataset::from_samples(raw).split(0.2);
+        drop(stage_span);
 
         // 3. Train.
+        let stage_span = certnn_obs::span("pipeline.train");
         let mut net = Network::relu_mlp(
             FEATURE_COUNT,
             &cfg.hidden,
@@ -320,8 +326,10 @@ impl CertificationPipeline {
         let training = Trainer::new(train_cfg).train(&mut net, &data, &loss)?;
         let eval_set = if held_out.is_empty() { &data } else { &held_out };
         let metrics = evaluate_gmm(&net, eval_set, layout)?;
+        drop(stage_span);
 
         // 4. Traceability + coverage (understandability).
+        let stage_span = certnn_obs::span("pipeline.trace");
         let trace_inputs: Vec<&certnn_linalg::Vector> =
             inputs_only.iter().take(300).collect();
         let traceability = correlation_attribution(
@@ -332,8 +340,10 @@ impl CertificationPipeline {
         )?;
         let coverage = BranchCoverage::measure(&net, trace_inputs)
             .map_err(CoreError::from)?;
+        drop(stage_span);
 
         // 5. Verify (correctness).
+        let _stage_span = certnn_obs::span("pipeline.verify");
         let spec = left_vehicle_spec();
         let verifier =
             Verifier::with_options(cfg.verifier).with_deadline(self.deadline.clone());

@@ -49,6 +49,7 @@ pub mod export;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 mod model;
+mod obs;
 mod simplex;
 
 pub use deadline::Deadline;

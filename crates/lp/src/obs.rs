@@ -1,0 +1,57 @@
+//! Cached observability handles for the LP layer.
+//!
+//! All metric names live under `lp.*` (see DESIGN.md §Observability). The
+//! full name set is registered on first touch so serial and parallel runs
+//! expose identical metric names regardless of which code paths fire.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use certnn_obs::{counter, histogram, Counter, Histogram};
+
+/// Handles for every `lp.*` metric.
+pub(crate) struct LpMetrics {
+    /// Total simplex pivots (primal + dual), all solves.
+    pub pivots: Counter,
+    /// Solves completed on the warm (dual-restore) path.
+    pub warm_solves: Counter,
+    /// Cold two-phase solves (including warm fallbacks).
+    pub cold_solves: Counter,
+    /// Warm attempts that fell back to a cold solve.
+    pub cold_fallbacks: Counter,
+    /// Cooperative deadline polls executed inside pivot loops.
+    pub deadline_checks: Counter,
+    /// Solves that terminated with `LpStatus::Deadline`.
+    pub deadline_expired: Counter,
+    /// Wall time of successful warm-path solves, nanoseconds.
+    pub warm_solve_nanos: Histogram,
+    /// Wall time of cold solves, nanoseconds.
+    pub cold_solve_nanos: Histogram,
+}
+
+pub(crate) fn lp_metrics() -> &'static LpMetrics {
+    static M: OnceLock<LpMetrics> = OnceLock::new();
+    M.get_or_init(|| LpMetrics {
+        pivots: counter("lp.pivots"),
+        warm_solves: counter("lp.warm_solves"),
+        cold_solves: counter("lp.cold_solves"),
+        cold_fallbacks: counter("lp.cold_fallbacks"),
+        deadline_checks: counter("lp.deadline_checks"),
+        deadline_expired: counter("lp.deadline_expired"),
+        warm_solve_nanos: histogram("lp.warm_solve_nanos"),
+        cold_solve_nanos: histogram("lp.cold_solve_nanos"),
+    })
+}
+
+/// Start a wall-clock timer only when observability is live, so disabled
+/// runs never call `Instant::now`.
+#[inline]
+pub(crate) fn timer() -> Option<Instant> {
+    certnn_obs::enabled().then(Instant::now)
+}
+
+/// Nanoseconds elapsed on a [`timer`], if one was started.
+#[inline]
+pub(crate) fn elapsed_ns(start: Option<Instant>) -> Option<u64> {
+    start.map(|s| s.elapsed().as_nanos() as u64)
+}

@@ -8,6 +8,7 @@
 use crate::csc::ColMatrix;
 use crate::deadline::Deadline;
 use crate::model::{LpModel, RowKind, Sense};
+use crate::obs::{elapsed_ns, lp_metrics, timer};
 use crate::{LpError, LpSolution, LpStatus, SolveError};
 
 /// Pivots between cooperative deadline polls. Small enough that even a
@@ -176,8 +177,12 @@ impl Simplex {
         bounds: &[(f64, f64)],
     ) -> Result<LpSolution, LpError> {
         Self::validate_bounds(model, bounds)?;
+        let _obs_phase = certnn_obs::phase(certnn_obs::Phase::LpCold);
+        let start = timer();
         let mut t = Tableau::build(model, bounds, self.opts, self.deadline.clone());
-        t.run(model).map_err(LpError::Solve)
+        let result = t.run(model).map_err(LpError::Solve);
+        record_cold_solve(start, t.iterations, result.as_ref().ok());
+        result
     }
 
     /// Cold-solves like [`Simplex::solve_with_bounds`] but additionally
@@ -193,8 +198,12 @@ impl Simplex {
         bounds: &[(f64, f64)],
     ) -> Result<WarmSolve, LpError> {
         Self::validate_bounds(model, bounds)?;
+        let _obs_phase = certnn_obs::phase(certnn_obs::Phase::LpCold);
+        let start = timer();
         let mut t = Tableau::build(model, bounds, self.opts, self.deadline.clone());
-        let solution = t.run(model).map_err(LpError::Solve)?;
+        let result = t.run(model).map_err(LpError::Solve);
+        record_cold_solve(start, t.iterations, result.as_ref().ok());
+        let solution = result?;
         let warm = (solution.status == LpStatus::Optimal)
             .then(|| t.snapshot())
             .flatten();
@@ -231,28 +240,63 @@ impl Simplex {
         // back to a cold two-phase run and is recorded in `fallback`;
         // routine stale-basis bails fall back silently as before.
         let mut fallback: Option<SolveError> = None;
-        match Tableau::build_warm(model, bounds, self.opts, self.deadline.clone(), warm) {
-            Ok(Some(mut t)) => match t.run_warm(model) {
-                Ok(Some(solution)) => {
-                    let warm_out = (solution.status == LpStatus::Optimal)
-                        .then(|| t.snapshot())
-                        .flatten();
-                    return Ok(WarmSolve {
-                        solution,
-                        warm: warm_out,
-                        warm_used: true,
-                        fallback: None,
-                    });
-                }
+        {
+            let _obs_phase = certnn_obs::phase(certnn_obs::Phase::LpWarm);
+            let start = timer();
+            match Tableau::build_warm(model, bounds, self.opts, self.deadline.clone(), warm) {
+                Ok(Some(mut t)) => match t.run_warm(model) {
+                    Ok(Some(solution)) => {
+                        record_warm_solve(start, t.iterations, &solution);
+                        let warm_out = (solution.status == LpStatus::Optimal)
+                            .then(|| t.snapshot())
+                            .flatten();
+                        return Ok(WarmSolve {
+                            solution,
+                            warm: warm_out,
+                            warm_used: true,
+                            fallback: None,
+                        });
+                    }
+                    Ok(None) => {}
+                    Err(e) => fallback = Some(e),
+                },
                 Ok(None) => {}
                 Err(e) => fallback = Some(e),
-            },
-            Ok(None) => {}
-            Err(e) => fallback = Some(e),
+            }
         }
+        lp_metrics().cold_fallbacks.inc();
         let mut ws = self.solve_snapshot(model, bounds)?;
         ws.fallback = fallback;
         Ok(ws)
+    }
+}
+
+/// Record metrics for one cold (two-phase) solve. No-op unless the
+/// observability layer was live when the solve started.
+fn record_cold_solve(
+    start: Option<std::time::Instant>,
+    pivots: usize,
+    sol: Option<&LpSolution>,
+) {
+    let Some(ns) = elapsed_ns(start) else { return };
+    let m = lp_metrics();
+    m.cold_solves.inc();
+    m.pivots.add(pivots as u64);
+    m.cold_solve_nanos.record(ns);
+    if sol.map(|s| s.status) == Some(LpStatus::Deadline) {
+        m.deadline_expired.inc();
+    }
+}
+
+/// Record metrics for one successful warm-path solve.
+fn record_warm_solve(start: Option<std::time::Instant>, pivots: usize, sol: &LpSolution) {
+    let Some(ns) = elapsed_ns(start) else { return };
+    let m = lp_metrics();
+    m.warm_solves.inc();
+    m.pivots.add(pivots as u64);
+    m.warm_solve_nanos.record(ns);
+    if sol.status == LpStatus::Deadline {
+        m.deadline_expired.inc();
     }
 }
 
@@ -767,6 +811,7 @@ impl Tableau {
                 return Ok(Some(LpStatus::IterationLimit));
             }
             if self.iterations.is_multiple_of(DEADLINE_CHECK_EVERY) {
+                lp_metrics().deadline_checks.inc();
                 if self.deadline.expired() {
                     return Ok(Some(LpStatus::Deadline));
                 }
@@ -976,6 +1021,7 @@ impl Tableau {
                 return DualOutcome::Stalled;
             }
             if self.iterations.is_multiple_of(DEADLINE_CHECK_EVERY) {
+                lp_metrics().deadline_checks.inc();
                 if self.deadline.expired() {
                     // Let the cold fallback notice the deadline and report
                     // `LpStatus::Deadline` from a consistent state.

@@ -8,8 +8,27 @@ use certnn_lp::{
 };
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Cached `milp.*` observability counters (node lifecycle). Hot-loop
+/// totals are kept in plain locals and flushed in one bulk add per solve.
+struct MilpMetrics {
+    solves: certnn_obs::Counter,
+    nodes: certnn_obs::Counter,
+    incumbent_updates: certnn_obs::Counter,
+    dropped_subtrees: certnn_obs::Counter,
+}
+
+fn milp_metrics() -> &'static MilpMetrics {
+    static M: OnceLock<MilpMetrics> = OnceLock::new();
+    M.get_or_init(|| MilpMetrics {
+        solves: certnn_obs::counter("milp.solves"),
+        nodes: certnn_obs::counter("milp.nodes"),
+        incumbent_updates: certnn_obs::counter("milp.incumbent_updates"),
+        dropped_subtrees: certnn_obs::counter("milp.dropped_subtrees"),
+    })
+}
 
 /// Variable-selection rule for branching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -347,6 +366,9 @@ impl BranchAndBound {
     /// bounds).
     pub fn solve(&self, model: &MilpModel) -> Result<MilpSolution, MilpError> {
         let start = Instant::now();
+        let _obs_span = certnn_obs::span("milp.solve");
+        let mut obs_incumbents = 0u64;
+        let mut obs_dropped = 0u64;
         let sense_sign = match model.sense() {
             Sense::Maximize => 1.0,
             Sense::Minimize => -1.0,
@@ -466,6 +488,7 @@ impl BranchAndBound {
                             .min(node.score_bound);
                         dropped_bound = dropped_bound.max(fb);
                         degradation = degradation.merge(Degradation::IntervalOnly);
+                        obs_dropped += 1;
                         nodes_explored += 1;
                         continue;
                     }
@@ -498,6 +521,7 @@ impl BranchAndBound {
                     // silently forgetting the subtree.
                     dropped_bound = dropped_bound.max(node.score_bound);
                     degradation = degradation.merge(Degradation::IntervalOnly);
+                    obs_dropped += 1;
                     continue;
                 }
                 LpStatus::Deadline => {
@@ -505,6 +529,7 @@ impl BranchAndBound {
                     // bound dominates the heap, so stopping here is sound.
                     dropped_bound = dropped_bound.max(node.score_bound);
                     degradation = degradation.merge(Degradation::TimedOut);
+                    obs_dropped += 1;
                     status = MilpStatus::TimeLimit;
                     break 'search;
                 }
@@ -564,6 +589,7 @@ impl BranchAndBound {
                 None => {
                     // Integral: candidate incumbent.
                     if update_incumbent(&mut incumbent, sol.x.clone(), node_score) {
+                        obs_incumbents += 1;
                         if let Some(target) = self.opts.target_objective {
                             let target_score = sense_sign * target;
                             if node_score >= target_score {
@@ -589,6 +615,7 @@ impl BranchAndBound {
                             &mut tracker,
                         ) {
                             if update_incumbent(&mut incumbent, hx, hscore) {
+                                obs_incumbents += 1;
                                 if let Some(target) = self.opts.target_objective {
                                     if hscore >= sense_sign * target {
                                         status = MilpStatus::TargetReached;
@@ -669,6 +696,14 @@ impl BranchAndBound {
                 }
                 _ => global_bound = global_bound.max(dropped_bound),
             }
+        }
+
+        if certnn_obs::enabled() {
+            let m = milp_metrics();
+            m.solves.inc();
+            m.nodes.add(nodes_explored as u64);
+            m.incumbent_updates.add(obs_incumbents);
+            m.dropped_subtrees.add(obs_dropped);
         }
 
         let (x, objective) = match incumbent {

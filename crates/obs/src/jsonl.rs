@@ -1,0 +1,532 @@
+//! JSONL rendering and schema validation for trace files.
+//!
+//! One JSON object per line. Four record types, discriminated by `type`:
+//!
+//! * `span`    — `{type,id,parent,name,thread,start_ns,end_ns}`
+//! * `event`   — `{type,name,thread,at_ns,fields:{...}}`
+//! * `metrics` — `{type,counters:{...},gauges:{...},histograms:{name:{count,sum,min,max,p50,p95,p99}}}`
+//! * `profile` — `{type,phases:{name:{self_ns,total_ns,count,threads}}}`
+//!
+//! The validator embeds a minimal recursive-descent JSON parser (the repo
+//! is dependency-free by policy) and is always compiled, so tests and the
+//! `obs_check` tool work even with the `enabled` feature off.
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::phase::PhaseTotal;
+use crate::span::{FieldValue, Record};
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{:.1}", v)
+        } else {
+            format!("{}", v)
+        }
+    } else {
+        // JSON has no NaN/Inf; encode as null.
+        "null".to_string()
+    }
+}
+
+fn render_field(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(x) => x.to_string(),
+        FieldValue::I64(x) => x.to_string(),
+        FieldValue::F64(x) => fmt_f64(*x),
+        FieldValue::Str(s) => format!("\"{}\"", escape(s)),
+        FieldValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Render one span/event record as a single JSON object (no newline).
+pub fn render_record(rec: &Record) -> String {
+    match rec {
+        Record::Span {
+            id,
+            parent,
+            name,
+            thread,
+            start_ns,
+            end_ns,
+        } => {
+            let parent = match parent {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"type\":\"span\",\"id\":{id},\"parent\":{parent},\"name\":\"{}\",\"thread\":{thread},\"start_ns\":{start_ns},\"end_ns\":{end_ns}}}",
+                escape(name)
+            )
+        }
+        Record::Event {
+            name,
+            thread,
+            at_ns,
+            fields,
+        } => {
+            let body: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", escape(k), render_field(v)))
+                .collect();
+            format!(
+                "{{\"type\":\"event\",\"name\":\"{}\",\"thread\":{thread},\"at_ns\":{at_ns},\"fields\":{{{}}}}}",
+                escape(name),
+                body.join(",")
+            )
+        }
+    }
+}
+
+/// Render the trailing `metrics` record.
+pub fn render_metrics(snap: &MetricsSnapshot) -> String {
+    let mut counters: Vec<String> = Vec::new();
+    let mut gauges: Vec<String> = Vec::new();
+    let mut hists: Vec<String> = Vec::new();
+    for e in &snap.entries {
+        match &e.value {
+            MetricValue::Counter(v) => {
+                counters.push(format!("\"{}\":{v}", escape(e.name)));
+            }
+            MetricValue::Gauge { value, high_water } => {
+                gauges.push(format!(
+                    "\"{}\":{{\"value\":{value},\"peak\":{high_water}}}",
+                    escape(e.name)
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                hists.push(format!(
+                    "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    escape(e.name),
+                    h.count,
+                    h.sum,
+                    if h.count == 0 { 0 } else { h.min },
+                    h.max,
+                    h.p50,
+                    h.p95,
+                    h.p99
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"type\":\"metrics\",\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        counters.join(","),
+        gauges.join(","),
+        hists.join(",")
+    )
+}
+
+/// Render the trailing `profile` record.
+pub fn render_profile(totals: &[PhaseTotal]) -> String {
+    let body: Vec<String> = totals
+        .iter()
+        .map(|t| {
+            format!(
+                "\"{}\":{{\"self_ns\":{},\"total_ns\":{},\"count\":{},\"threads\":{}}}",
+                t.phase.as_str(),
+                t.self_ns,
+                t.total_ns,
+                t.count,
+                t.threads
+            )
+        })
+        .collect();
+    format!("{{\"type\":\"profile\",\"phases\":{{{}}}}}", body.join(","))
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser (validation side).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (validator-side; not used on the hot path).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as f64.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object, preserving key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(pairs) => Some(pairs.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf8 in number"))?;
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("eof"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse one JSON document (must consume the whole input).
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Summary of a validated trace file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Number of `span` records.
+    pub spans: usize,
+    /// Number of `event` records.
+    pub events: usize,
+    /// Counter names found in the `metrics` record.
+    pub counter_names: Vec<String>,
+    /// Histogram names found in the `metrics` record.
+    pub histogram_names: Vec<String>,
+    /// Phase names found in the `profile` record.
+    pub phase_names: Vec<String>,
+    /// Whether a `metrics` record was present.
+    pub has_metrics: bool,
+    /// Whether a `profile` record was present.
+    pub has_profile: bool,
+}
+
+fn require_num(obj: &Value, key: &str, line: usize) -> Result<(), String> {
+    obj.get(key)
+        .and_then(Value::as_f64)
+        .map(|_| ())
+        .ok_or_else(|| format!("line {line}: missing numeric field '{key}'"))
+}
+
+/// Validate a whole JSONL trace against the schema; returns a summary of
+/// what it contained, or the first error.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string field 'type'"))?;
+        match ty {
+            "span" => {
+                for key in ["id", "thread", "start_ns", "end_ns"] {
+                    require_num(&v, key, lineno)?;
+                }
+                v.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {lineno}: span missing 'name'"))?;
+                match v.get("parent") {
+                    Some(Value::Null) | Some(Value::Num(_)) => {}
+                    _ => return Err(format!("line {lineno}: span 'parent' must be null or id")),
+                }
+                let start = v.get("start_ns").and_then(Value::as_f64).unwrap_or(0.0);
+                let end = v.get("end_ns").and_then(Value::as_f64).unwrap_or(0.0);
+                if end < start {
+                    return Err(format!("line {lineno}: span ends before it starts"));
+                }
+                summary.spans += 1;
+            }
+            "event" => {
+                v.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {lineno}: event missing 'name'"))?;
+                require_num(&v, "thread", lineno)?;
+                require_num(&v, "at_ns", lineno)?;
+                if v.get("fields").and_then(Value::as_obj).is_none() {
+                    return Err(format!("line {lineno}: event 'fields' must be an object"));
+                }
+                summary.events += 1;
+            }
+            "metrics" => {
+                let counters = v
+                    .get("counters")
+                    .and_then(Value::as_obj)
+                    .ok_or_else(|| format!("line {lineno}: metrics missing 'counters'"))?;
+                for (name, val) in counters {
+                    if val.as_f64().is_none() {
+                        return Err(format!("line {lineno}: counter '{name}' not numeric"));
+                    }
+                    summary.counter_names.push(name.clone());
+                }
+                let hists = v
+                    .get("histograms")
+                    .and_then(Value::as_obj)
+                    .ok_or_else(|| format!("line {lineno}: metrics missing 'histograms'"))?;
+                for (name, h) in hists {
+                    for key in ["count", "sum", "min", "max", "p50", "p95", "p99"] {
+                        require_num(h, key, lineno)
+                            .map_err(|e| format!("{e} (histogram '{name}')"))?;
+                    }
+                    summary.histogram_names.push(name.clone());
+                }
+                if v.get("gauges").and_then(Value::as_obj).is_none() {
+                    return Err(format!("line {lineno}: metrics missing 'gauges'"));
+                }
+                summary.has_metrics = true;
+            }
+            "profile" => {
+                let phases = v
+                    .get("phases")
+                    .and_then(Value::as_obj)
+                    .ok_or_else(|| format!("line {lineno}: profile missing 'phases'"))?;
+                for (name, p) in phases {
+                    for key in ["self_ns", "total_ns", "count", "threads"] {
+                        require_num(p, key, lineno)
+                            .map_err(|e| format!("{e} (phase '{name}')"))?;
+                    }
+                    summary.phase_names.push(name.clone());
+                }
+                summary.has_profile = true;
+            }
+            other => return Err(format!("line {lineno}: unknown record type '{other}'")),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let v = parse(r#"{"a":1,"b":[true,null,"x\n"],"c":{"d":-2.5}}"#).expect("parse");
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(v.get("c").and_then(|c| c.get("d")).and_then(Value::as_f64), Some(-2.5));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_trace("{\"type\":\"span\"}").is_err());
+        assert!(validate_trace("not json").is_err());
+        assert!(validate_trace("{\"type\":\"mystery\"}").is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! Metrics registry: named counters, gauges and log-linear histograms.
+//!
+//! Handles are `Arc`-backed and cheap to clone; instrumented crates fetch
+//! them once (e.g. in a `OnceLock`-cached struct) and then increment with
+//! a single relaxed atomic op. All metric names follow the convention
+//! `crate.subsystem.name` (see DESIGN.md §Observability).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::enabled;
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` (no-op while observability is off).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1 (no-op while observability is off).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge with a tracked high-water mark.
+#[derive(Clone)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+    max: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Set the gauge (no-op while observability is off). Also advances the
+    /// high-water mark.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set.
+    pub fn high_water(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+// Log-linear bucketing: values < 16 land in exact unit buckets; above
+// that, each power of two is split into 16 sub-buckets, bounding relative
+// error on reported percentiles at 1/16 ≈ 6.25%.
+const SUBS: usize = 16;
+const SUB_BITS: u32 = 4;
+// Exponents 4..=63 each contribute SUBS buckets, after the 16 exact ones.
+const NBUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (exp - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    let idx = SUBS + (exp - SUB_BITS) as usize * SUBS + sub;
+    idx.min(NBUCKETS - 1)
+}
+
+/// Upper bound of a bucket (the value reported for percentiles landing in it).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let rel = idx - SUBS;
+    let exp = SUB_BITS + (rel / SUBS) as u32;
+    let sub = (rel % SUBS) as u64;
+    // Bucket covers [ (16+sub) << (exp-4), (16+sub+1) << (exp-4) ).
+    ((SUBS as u64 + sub + 1) << (exp - SUB_BITS)).saturating_sub(1)
+}
+
+struct HistInner {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket log-linear histogram of `u64` samples (typically
+/// nanoseconds). Percentile snapshots are accurate to ≤ ~6.25%.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistInner {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one sample (no-op while observability is off).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        let inner = &self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a `std::time::Duration` as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+
+    /// Point-in-time snapshot with approximate percentiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        let count = inner.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let counts: Vec<u64> = inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let pct = |q: f64| -> u64 {
+            let target = ((q * count as f64).ceil() as u64).max(1);
+            let mut cum = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= target {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(NBUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: inner.min.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// Snapshot of a [`Histogram`]: exact count/sum/min/max, approximate
+/// p50/p95/p99 (bucket upper bounds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// ~50th percentile.
+    pub p50: u64,
+    /// ~95th percentile.
+    pub p95: u64,
+    /// ~99th percentile.
+    pub p99: u64,
+}
+
+fn get_or_register(name: &'static str, make: impl FnOnce() -> Metric) -> Metric {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.entry(name).or_insert_with(make).clone()
+}
+
+/// Fetch (registering on first use) the counter named `name`.
+pub fn counter(name: &'static str) -> Counter {
+    match get_or_register(name, || Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))) {
+        Metric::Counter(c) => c,
+        // Name/kind mismatch is a programming error; return a detached
+        // handle rather than panicking inside instrumentation.
+        _ => Counter(Arc::new(AtomicU64::new(0))),
+    }
+}
+
+/// Fetch (registering on first use) the gauge named `name`.
+pub fn gauge(name: &'static str) -> Gauge {
+    match get_or_register(name, || {
+        Metric::Gauge(Gauge {
+            value: Arc::new(AtomicI64::new(0)),
+            max: Arc::new(AtomicI64::new(0)),
+        })
+    }) {
+        Metric::Gauge(g) => g,
+        _ => Gauge {
+            value: Arc::new(AtomicI64::new(0)),
+            max: Arc::new(AtomicI64::new(0)),
+        },
+    }
+}
+
+/// Fetch (registering on first use) the histogram named `name`.
+pub fn histogram(name: &'static str) -> Histogram {
+    match get_or_register(name, || Metric::Histogram(Histogram::new())) {
+        Metric::Histogram(h) => h,
+        _ => Histogram::new(),
+    }
+}
+
+/// One named metric in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name (`crate.subsystem.name`).
+    pub name: &'static str,
+    /// Snapshotted value.
+    pub value: MetricValue,
+}
+
+/// Snapshotted value of a metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge current value and high-water mark.
+    Gauge {
+        /// Last value set.
+        value: i64,
+        /// Highest value ever set.
+        high_water: i64,
+    },
+    /// Histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time snapshot of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Entries sorted by metric name.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// All registered metric names, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|e| match (&e.value, e.name) {
+            (MetricValue::Counter(v), n) if n == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Look up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.entries.iter().find_map(|e| match (&e.value, e.name) {
+            (MetricValue::Histogram(h), n) if n == name => Some(*h),
+            _ => None,
+        })
+    }
+
+    /// Scalar view used when folding metrics into bench JSON rows:
+    /// counters and gauge high-water marks only (histograms are traced,
+    /// not folded, to keep rows flat-comparable).
+    pub fn scalars(&self) -> Vec<(String, f64)> {
+        self.entries
+            .iter()
+            .filter_map(|e| match &e.value {
+                MetricValue::Counter(v) => Some((e.name.to_string(), *v as f64)),
+                MetricValue::Gauge { high_water, .. } => {
+                    Some((e.name.to_string(), *high_water as f64))
+                }
+                MetricValue::Histogram(_) => None,
+            })
+            .collect()
+    }
+
+    /// Render as an aligned human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("METRICS SNAPSHOT\n");
+        let width = self
+            .entries
+            .iter()
+            .map(|e| e.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for e in &self.entries {
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("  {:width$}  {v}\n", e.name, width = width));
+                }
+                MetricValue::Gauge { value, high_water } => {
+                    out.push_str(&format!(
+                        "  {:width$}  {value} (peak {high_water})\n",
+                        e.name,
+                        width = width
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "  {:width$}  n={} p50={} p95={} p99={} max={}\n",
+                        e.name, h.count, h.p50, h.p95, h.p99, h.max,
+                        width = width
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Snapshot every registered metric. Available even while the runtime
+/// switch is off (values simply stop moving).
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let entries = reg
+        .iter()
+        .map(|(&name, m)| MetricEntry {
+            name,
+            value: match m {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge {
+                    value: g.get(),
+                    high_water: g.high_water(),
+                },
+                Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+            },
+        })
+        .collect();
+    MetricsSnapshot { entries }
+}
+
+pub(crate) fn reset() {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    // Zero in place so cached handles in instrumented crates stay valid.
+    for m in reg.values_mut() {
+        match m {
+            Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => {
+                g.value.store(0, Ordering::Relaxed);
+                g.max.store(0, Ordering::Relaxed);
+            }
+            Metric::Histogram(h) => {
+                for b in h.0.buckets.iter() {
+                    b.store(0, Ordering::Relaxed);
+                }
+                h.0.count.store(0, Ordering::Relaxed);
+                h.0.sum.store(0, Ordering::Relaxed);
+                h.0.min.store(u64::MAX, Ordering::Relaxed);
+                h.0.max.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        for v in [0u64, 1, 15, 16, 17, 100, 1000, 65_535, 1 << 40] {
+            let idx = bucket_index(v);
+            let upper = bucket_upper(idx);
+            assert!(upper >= v, "upper {upper} < v {v}");
+            // Relative error bound: upper <= v * (1 + 1/16) for v >= 16.
+            if v >= 16 {
+                assert!((upper as f64) <= v as f64 * (1.0 + 1.0 / 16.0) + 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Phase profiler: attributes wall time to coarse solver phases per
+//! worker thread, with *self time* semantics — time spent in a nested
+//! phase (e.g. an `LpWarm` solve inside `Bound`) is charged to the inner
+//! phase only.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::{histogram, Histogram};
+use crate::enabled;
+
+/// The coarse phases of a verification run. Order matters only for
+/// display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Building the MILP/LP encoding of the network.
+    Encode,
+    /// Bounding a B&B node (LP relaxation + interval analysis).
+    Bound,
+    /// Warm-started LP solve.
+    LpWarm,
+    /// Cold (from-scratch) LP solve.
+    LpCold,
+    /// Selecting a branch variable and pushing children.
+    Branch,
+    /// Folding worker results / dropped bounds into the final verdict.
+    Fold,
+}
+
+/// All phases, in display order.
+pub const PHASES: [Phase; 6] = [
+    Phase::Encode,
+    Phase::Bound,
+    Phase::LpWarm,
+    Phase::LpCold,
+    Phase::Branch,
+    Phase::Fold,
+];
+
+const NUM_PHASES: usize = PHASES.len();
+
+impl Phase {
+    /// Stable lowercase name used in metrics (`obs.phase.<name>`), the
+    /// profile table and the JSONL `profile` record.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Encode => "encode",
+            Phase::Bound => "bound",
+            Phase::LpWarm => "lp_warm",
+            Phase::LpCold => "lp_cold",
+            Phase::Branch => "branch",
+            Phase::Fold => "fold",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Encode => 0,
+            Phase::Bound => 1,
+            Phase::LpWarm => 2,
+            Phase::LpCold => 3,
+            Phase::Branch => 4,
+            Phase::Fold => 5,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    self_ns: u64,
+    total_ns: u64,
+    count: u64,
+}
+
+struct Frame {
+    phase: Phase,
+    start: Instant,
+    child_ns: u64,
+}
+
+#[derive(Default)]
+struct ThreadProf {
+    stack: Vec<Frame>,
+    totals: [Cell; NUM_PHASES],
+    touched: bool,
+}
+
+impl ThreadProf {
+    fn flush(&mut self) {
+        if !self.touched {
+            return;
+        }
+        let mut g = global().lock().unwrap_or_else(|e| e.into_inner());
+        g.threads.push(self.totals);
+        self.totals = [Cell::default(); NUM_PHASES];
+        self.touched = false;
+    }
+}
+
+impl Drop for ThreadProf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static PROF: RefCell<ThreadProf> = RefCell::new(ThreadProf::default());
+}
+
+#[derive(Default)]
+struct GlobalProf {
+    threads: Vec<[Cell; NUM_PHASES]>,
+}
+
+fn global() -> &'static Mutex<GlobalProf> {
+    static G: OnceLock<Mutex<GlobalProf>> = OnceLock::new();
+    G.get_or_init(|| Mutex::new(GlobalProf::default()))
+}
+
+fn phase_histograms() -> &'static [Histogram; NUM_PHASES] {
+    static H: OnceLock<[Histogram; NUM_PHASES]> = OnceLock::new();
+    H.get_or_init(|| {
+        [
+            histogram("obs.phase.encode"),
+            histogram("obs.phase.bound"),
+            histogram("obs.phase.lp_warm"),
+            histogram("obs.phase.lp_cold"),
+            histogram("obs.phase.branch"),
+            histogram("obs.phase.fold"),
+        ]
+    })
+}
+
+/// RAII guard for a profiled phase; accounts self time on drop. Not
+/// `Send` — phases are per-thread by construction.
+#[must_use = "phase time is accounted when the guard drops"]
+pub struct PhaseGuard {
+    live: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Enter `p` on the calling thread. Nested phases subtract their time
+/// from the enclosing phase's self time.
+#[inline]
+pub fn phase(p: Phase) -> PhaseGuard {
+    if !enabled() {
+        return PhaseGuard {
+            live: false,
+            _not_send: PhantomData,
+        };
+    }
+    PROF.with(|t| {
+        t.borrow_mut().stack.push(Frame {
+            phase: p,
+            start: Instant::now(),
+            child_ns: 0,
+        });
+    });
+    PhaseGuard {
+        live: true,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        PROF.with(|t| {
+            let mut t = t.borrow_mut();
+            let Some(frame) = t.stack.pop() else { return };
+            let total = frame.start.elapsed().as_nanos() as u64;
+            let self_ns = total.saturating_sub(frame.child_ns);
+            let idx = frame.phase.index();
+            t.totals[idx].self_ns += self_ns;
+            t.totals[idx].total_ns += total;
+            t.totals[idx].count += 1;
+            t.touched = true;
+            if let Some(parent) = t.stack.last_mut() {
+                parent.child_ns += total;
+            }
+            phase_histograms()[idx].record(total);
+        });
+    }
+}
+
+/// Aggregated totals for one phase across all flushed threads.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTotal {
+    /// Which phase.
+    pub phase: Phase,
+    /// Self time (excluding nested phases), nanoseconds, summed over threads.
+    pub self_ns: u64,
+    /// Total (inclusive) time, nanoseconds, summed over threads.
+    pub total_ns: u64,
+    /// Number of guard enter/exit pairs.
+    pub count: u64,
+    /// Number of worker threads that touched this phase.
+    pub threads: u64,
+}
+
+/// Aggregate per-phase totals across every flushed thread (flushes the
+/// calling thread first).
+pub fn phase_totals() -> Vec<PhaseTotal> {
+    flush_current_thread();
+    let g = global().lock().unwrap_or_else(|e| e.into_inner());
+    PHASES
+        .iter()
+        .map(|&p| {
+            let idx = p.index();
+            let mut t = PhaseTotal {
+                phase: p,
+                self_ns: 0,
+                total_ns: 0,
+                count: 0,
+                threads: 0,
+            };
+            for th in &g.threads {
+                let c = th[idx];
+                if c.count > 0 {
+                    t.self_ns += c.self_ns;
+                    t.total_ns += c.total_ns;
+                    t.count += c.count;
+                    t.threads += 1;
+                }
+            }
+            t
+        })
+        .collect()
+}
+
+/// Sum of `bound + branch` self time across all workers, in seconds. This
+/// is the "search clock" used for `nodes_per_sec` — it excludes encode,
+/// fold, and idle time, so throughput is comparable across thread counts.
+pub fn search_seconds() -> f64 {
+    phase_totals()
+        .iter()
+        .filter(|t| matches!(t.phase, Phase::Bound | Phase::Branch))
+        .map(|t| t.total_ns as f64 * 1e-9)
+        .sum()
+}
+
+/// Render the per-phase self-time summary table (plus a per-thread
+/// breakdown when more than one worker contributed).
+pub fn profile_report() -> String {
+    flush_current_thread();
+    let totals = phase_totals();
+    let grand: u64 = totals.iter().map(|t| t.self_ns).sum();
+    let mut out = String::from("PHASE PROFILE (self time, all workers)\n");
+    out.push_str(&format!(
+        "  {:<8} {:>9} {:>12} {:>6}  {:>10}\n",
+        "phase", "count", "self", "%", "mean"
+    ));
+    for t in &totals {
+        if t.count == 0 {
+            continue;
+        }
+        let pct = if grand > 0 {
+            t.self_ns as f64 / grand as f64 * 100.0
+        } else {
+            0.0
+        };
+        let mean_ns = t.total_ns / t.count.max(1);
+        out.push_str(&format!(
+            "  {:<8} {:>9} {:>12} {:>5.1}%  {:>10}\n",
+            t.phase.as_str(),
+            t.count,
+            fmt_ns(t.self_ns),
+            pct,
+            fmt_ns(mean_ns),
+        ));
+    }
+    let g = global().lock().unwrap_or_else(|e| e.into_inner());
+    let active: Vec<&[Cell; NUM_PHASES]> = g
+        .threads
+        .iter()
+        .filter(|th| th.iter().any(|c| c.count > 0))
+        .collect();
+    if active.len() > 1 {
+        out.push_str(&format!("  per-worker self time ({} workers):\n", active.len()));
+        for (i, th) in active.iter().enumerate() {
+            let mut parts: Vec<String> = Vec::new();
+            for p in PHASES {
+                let c = th[p.index()];
+                if c.count > 0 {
+                    parts.push(format!("{}={}", p.as_str(), fmt_ns(c.self_ns)));
+                }
+            }
+            out.push_str(&format!("    w{i}: {}\n", parts.join(" ")));
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 * 1e-9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 * 1e-6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 * 1e-3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+pub(crate) fn flush_current_thread() {
+    PROF.with(|t| t.borrow_mut().flush());
+}
+
+pub(crate) fn reset() {
+    PROF.with(|t| {
+        let mut t = t.borrow_mut();
+        t.stack.clear();
+        t.totals = [Cell::default(); NUM_PHASES];
+        t.touched = false;
+    });
+    global()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .threads
+        .clear();
+}

@@ -1,0 +1,326 @@
+//! Span tracing: RAII guards writing into per-thread ring buffers.
+//!
+//! The hot path (opening/closing a span) touches only thread-local state
+//! plus one relaxed atomic for the span id — no locks. Each thread owns a
+//! bounded ring; when it wraps, the oldest records are dropped (and
+//! counted). Rings are flushed into a global collector when the thread
+//! exits or when [`flush_current_thread`] is called.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::{enabled, now_ns};
+
+/// Default per-thread ring capacity (records).
+const DEFAULT_RING_CAP: usize = 16_384;
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+static RING_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_RING_CAP);
+static COLLECTOR: Mutex<Collected> = Mutex::new(Collected {
+    records: Vec::new(),
+    dropped: 0,
+});
+
+struct Collected {
+    records: Vec<Record>,
+    dropped: u64,
+}
+
+/// A value attached to an [`event`] record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Floating-point field.
+    F64(f64),
+    /// String field (escaped on render).
+    Str(String),
+    /// Boolean field.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// One trace record: a completed span or a point-in-time event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A completed span.
+    Span {
+        /// Unique span id (process-wide).
+        id: u64,
+        /// Parent span id, if any (same thread stack or explicit cross-thread parent).
+        parent: Option<u64>,
+        /// Static span name, e.g. `"lp.solve_warm"`.
+        name: &'static str,
+        /// Observability thread id (dense, assigned on first record).
+        thread: u64,
+        /// Start, nanoseconds since the obs epoch.
+        start_ns: u64,
+        /// End, nanoseconds since the obs epoch.
+        end_ns: u64,
+    },
+    /// A point-in-time structured event.
+    Event {
+        /// Static event name, e.g. `"bab.worker_died"`.
+        name: &'static str,
+        /// Observability thread id.
+        thread: u64,
+        /// Timestamp, nanoseconds since the obs epoch.
+        at_ns: u64,
+        /// Key/value payload.
+        fields: Vec<(&'static str, FieldValue)>,
+    },
+}
+
+struct ThreadObs {
+    thread_id: u64,
+    ring: VecDeque<Record>,
+    cap: usize,
+    dropped: u64,
+    span_stack: Vec<u64>,
+}
+
+impl ThreadObs {
+    fn new() -> Self {
+        ThreadObs {
+            thread_id: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+            ring: VecDeque::new(),
+            cap: RING_CAP.load(Ordering::Relaxed).max(1),
+            dropped: 0,
+            span_stack: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, rec: Record) {
+        if self.ring.len() >= self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(rec);
+    }
+
+    fn flush(&mut self) {
+        if self.ring.is_empty() && self.dropped == 0 {
+            return;
+        }
+        let mut coll = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+        coll.records.extend(self.ring.drain(..));
+        coll.dropped += self.dropped;
+        self.dropped = 0;
+    }
+}
+
+impl Drop for ThreadObs {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadObs> = RefCell::new(ThreadObs::new());
+}
+
+/// Set the per-thread ring capacity. Affects threads whose ring has not
+/// been created yet (each thread sizes its ring on first record), so call
+/// it before spawning instrumented threads. Intended for tests.
+pub fn set_ring_capacity(cap: usize) {
+    RING_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// RAII guard for an open span; records the span into the thread-local
+/// ring when dropped. Not `Send` — a span belongs to the thread that
+/// opened it (use [`span_child_of`] to parent across threads).
+#[must_use = "a span is recorded when the guard drops"]
+pub struct SpanGuard {
+    data: Option<SpanData>,
+    _not_send: PhantomData<*const ()>,
+}
+
+struct SpanData {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start_ns: u64,
+}
+
+/// Open a span named `name`, parented to the thread's innermost open span.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            data: None,
+            _not_send: PhantomData,
+        };
+    }
+    let parent = current_span_id();
+    open_span(name, parent)
+}
+
+/// Open a span with an explicit parent id, e.g. one captured on another
+/// thread via [`current_span_id`]. This is how worker spans parent to the
+/// coordinator's run span.
+#[inline]
+pub fn span_child_of(name: &'static str, parent: Option<u64>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            data: None,
+            _not_send: PhantomData,
+        };
+    }
+    open_span(name, parent)
+}
+
+fn open_span(name: &'static str, parent: Option<u64>) -> SpanGuard {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    TLS.with(|t| t.borrow_mut().span_stack.push(id));
+    SpanGuard {
+        data: Some(SpanData {
+            id,
+            parent,
+            name,
+            start_ns: now_ns(),
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+impl SpanGuard {
+    /// Id of this span, if it is live (observability was on when opened).
+    pub fn id(&self) -> Option<u64> {
+        self.data.as_ref().map(|d| d.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else { return };
+        let end_ns = now_ns();
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            // Pop our own id; tolerate out-of-order drops defensively.
+            if t.span_stack.last() == Some(&data.id) {
+                t.span_stack.pop();
+            } else if let Some(pos) = t.span_stack.iter().rposition(|&s| s == data.id) {
+                t.span_stack.remove(pos);
+            }
+            let thread = t.thread_id;
+            t.push(Record::Span {
+                id: data.id,
+                parent: data.parent,
+                name: data.name,
+                thread,
+                start_ns: data.start_ns,
+                end_ns,
+            });
+        });
+    }
+}
+
+/// Id of the calling thread's innermost open span, if any.
+#[inline]
+pub fn current_span_id() -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    TLS.with(|t| t.borrow().span_stack.last().copied())
+}
+
+/// Record a point-in-time structured event with a key/value payload.
+#[inline]
+pub fn event(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    if !enabled() {
+        return;
+    }
+    let at_ns = now_ns();
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let thread = t.thread_id;
+        t.push(Record::Event {
+            name,
+            thread,
+            at_ns,
+            fields,
+        });
+    });
+}
+
+pub(crate) fn flush_current_thread() {
+    TLS.with(|t| t.borrow_mut().flush());
+}
+
+/// Take every flushed record (plus the calling thread's buffer), ordered
+/// by timestamp. Worker threads must have exited (or flushed) for their
+/// records to appear — `std::thread::scope` guarantees that.
+pub fn drain() -> Vec<Record> {
+    flush_current_thread();
+    let mut records = {
+        let mut coll = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+        coll.dropped = 0;
+        std::mem::take(&mut coll.records)
+    };
+    records.sort_by_key(|r| match r {
+        Record::Span { start_ns, .. } => *start_ns,
+        Record::Event { at_ns, .. } => *at_ns,
+    });
+    records
+}
+
+/// Number of records dropped to ring wraparound since the last [`drain`],
+/// summed over flushed threads plus the calling thread.
+pub fn dropped_records() -> u64 {
+    let global = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()).dropped;
+    global + TLS.with(|t| t.borrow().dropped)
+}
+
+pub(crate) fn reset() {
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        t.ring.clear();
+        t.dropped = 0;
+        t.span_stack.clear();
+        t.cap = RING_CAP.load(Ordering::Relaxed).max(1);
+    });
+    let mut coll = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+    coll.records.clear();
+    coll.dropped = 0;
+}

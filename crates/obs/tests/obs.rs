@@ -1,0 +1,187 @@
+//! Integration tests for certnn-obs: ring-buffer wraparound, histogram
+//! percentile correctness, cross-thread span parenting, and the JSONL
+//! schema round-trip.
+//!
+//! The obs layer is process-global, so every test serializes on LOCK and
+//! calls `reset()` first.
+
+use std::sync::Mutex;
+
+use certnn_obs as obs;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guarded() -> std::sync::MutexGuard<'static, ()> {
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(true);
+    obs::reset();
+    g
+}
+
+#[test]
+fn ring_buffer_wraps_and_counts_drops() {
+    let _g = guarded();
+    obs::set_ring_capacity(8);
+
+    // A fresh thread sizes its ring at the current capacity.
+    std::thread::spawn(|| {
+        for _ in 0..20 {
+            let _s = obs::span("test.wrap");
+        }
+    })
+    .join()
+    .expect("worker");
+
+    assert_eq!(obs::dropped_records(), 12, "20 spans into a ring of 8");
+    let records = obs::drain();
+    let spans = records
+        .iter()
+        .filter(|r| matches!(r, obs::Record::Span { name, .. } if *name == "test.wrap"))
+        .count();
+    assert_eq!(spans, 8, "only the newest ring-capacity records survive");
+    assert_eq!(obs::dropped_records(), 0, "drain resets the drop counter");
+
+    obs::set_ring_capacity(16_384);
+}
+
+#[test]
+fn histogram_percentiles_within_bucket_error() {
+    let _g = guarded();
+    let h = obs::histogram("test.latency");
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1000);
+    assert_eq!(snap.min, 1);
+    assert_eq!(snap.max, 1000);
+    assert_eq!(snap.sum, 500_500);
+    // Log-linear buckets (16 per power of two) bound relative error at
+    // ~6.25%; the reported value is the bucket's upper edge, so it can
+    // only overshoot.
+    for (p, exact) in [(snap.p50, 500.0), (snap.p95, 950.0), (snap.p99, 990.0)] {
+        assert!(
+            p as f64 >= exact && p as f64 <= exact * 1.07,
+            "percentile {p} vs exact {exact}"
+        );
+    }
+
+    // Small exact-bucket regime: values < 16 are exact.
+    let h2 = obs::histogram("test.latency_small");
+    for v in [3u64, 3, 3, 9] {
+        h2.record(v);
+    }
+    let s2 = h2.snapshot();
+    assert_eq!(s2.p50, 3);
+    assert_eq!(s2.p99, 9);
+}
+
+#[test]
+fn cross_thread_span_parenting() {
+    let _g = guarded();
+
+    let (root_id, child_ids) = {
+        let root = obs::span("test.root");
+        let root_id = root.id().expect("live span");
+        assert_eq!(obs::current_span_id(), Some(root_id));
+
+        let mut ids = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    s.spawn(move || {
+                        let child = obs::span_child_of("test.worker", Some(root_id));
+                        let id = child.id().expect("live span");
+                        // Nested spans on the worker parent to the worker span,
+                        // not the remote root.
+                        let inner = obs::span("test.inner");
+                        let inner_id = inner.id().expect("live span");
+                        drop(inner);
+                        (id, inner_id)
+                    })
+                })
+                .collect();
+            for h in handles {
+                ids.push(h.join().expect("worker"));
+            }
+        });
+        (root_id, ids)
+    };
+
+    let records = obs::drain();
+    let parent_of = |id: u64| -> Option<u64> {
+        records.iter().find_map(|r| match r {
+            obs::Record::Span {
+                id: rid, parent, ..
+            } if *rid == id => *parent,
+            _ => None,
+        })
+    };
+    for (worker_id, inner_id) in child_ids {
+        assert_eq!(parent_of(worker_id), Some(root_id), "worker → root");
+        assert_eq!(parent_of(inner_id), Some(worker_id), "inner → worker");
+    }
+    assert_eq!(parent_of(root_id), None, "root has no parent");
+
+    // Distinct obs thread ids for the three workers.
+    let mut worker_threads: Vec<u64> = records
+        .iter()
+        .filter_map(|r| match r {
+            obs::Record::Span { name, thread, .. } if *name == "test.worker" => Some(*thread),
+            _ => None,
+        })
+        .collect();
+    worker_threads.sort_unstable();
+    worker_threads.dedup();
+    assert_eq!(worker_threads.len(), 3);
+}
+
+#[test]
+fn drain_jsonl_is_schema_valid() {
+    let _g = guarded();
+    {
+        let _run = obs::span("test.run");
+        obs::counter("test.things").add(5);
+        obs::gauge("test.depth").set(7);
+        obs::histogram("test.ns").record(123);
+        obs::event(
+            "test.fault",
+            vec![
+                ("worker", 2u64.into()),
+                ("reason", "panic: injected".into()),
+                ("ok", false.into()),
+            ],
+        );
+        let _p = obs::phase(obs::Phase::Bound);
+    }
+    let text = obs::drain_jsonl();
+    let summary = obs::jsonl::validate_trace(&text).expect("schema-valid JSONL");
+    assert!(summary.spans >= 1);
+    assert_eq!(summary.events, 1);
+    assert!(summary.has_metrics && summary.has_profile);
+    assert!(summary.counter_names.iter().any(|n| n == "test.things"));
+    assert!(summary.histogram_names.iter().any(|n| n == "test.ns"));
+    assert!(summary.phase_names.iter().any(|n| n == "bound"));
+}
+
+#[test]
+fn disabled_layer_records_nothing() {
+    let _g = guarded();
+    obs::set_enabled(false);
+    {
+        let s = obs::span("test.off");
+        assert!(s.id().is_none());
+        obs::counter("test.off_counter").inc();
+        obs::histogram("test.off_hist").record(9);
+        let _p = obs::phase(obs::Phase::Encode);
+    }
+    obs::set_enabled(true); // so drain sees buffered state (there is none)
+    let records = obs::drain();
+    assert!(
+        !records
+            .iter()
+            .any(|r| matches!(r, obs::Record::Span { name, .. } if name.starts_with("test.off"))),
+        "no spans recorded while disabled"
+    );
+    assert_eq!(obs::counter("test.off_counter").get(), 0);
+}

@@ -67,7 +67,56 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Cached `bab.*` observability handles. Frequent per-node totals stay in
+/// [`WorkerCounters`] and flush in one bulk add after the join; only rare
+/// events (incumbents, panics, deaths) touch these directly mid-search.
+struct BabMetrics {
+    nodes: certnn_obs::Counter,
+    incumbent_updates: certnn_obs::Counter,
+    milp_calls: certnn_obs::Counter,
+    node_panics: certnn_obs::Counter,
+    worker_deaths: certnn_obs::Counter,
+    frontier_depth: certnn_obs::Gauge,
+}
+
+fn bab_metrics() -> &'static BabMetrics {
+    static M: OnceLock<BabMetrics> = OnceLock::new();
+    M.get_or_init(|| BabMetrics {
+        nodes: certnn_obs::counter("bab.nodes"),
+        incumbent_updates: certnn_obs::counter("bab.incumbent_updates"),
+        milp_calls: certnn_obs::counter("bab.milp_calls"),
+        node_panics: certnn_obs::counter("bab.node_panics"),
+        worker_deaths: certnn_obs::counter("bab.worker_deaths"),
+        frontier_depth: certnn_obs::gauge("bab.frontier_depth"),
+    })
+}
+
+/// Accumulates wall time into a [`WorkerCounters`] nanosecond field on
+/// drop — the "search clock" behind `nodes_per_sec`. Runs regardless of
+/// the observability switch: two `Instant` reads per node are noise next
+/// to an LP solve, and the throughput statistic must not change meaning
+/// when tracing is off.
+struct NanoClock<'a> {
+    acc: &'a mut u64,
+    start: Instant,
+}
+
+impl<'a> NanoClock<'a> {
+    fn start(acc: &'a mut u64) -> Self {
+        Self {
+            acc,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for NanoClock<'_> {
+    fn drop(&mut self) {
+        *self.acc += self.start.elapsed().as_nanos() as u64;
+    }
+}
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -155,8 +204,11 @@ pub struct BabResult {
     pub elapsed: Duration,
     /// Search workers used (after resolving `threads == 0`).
     pub threads_used: usize,
-    /// Node throughput: `nodes / elapsed`, the metric to watch when
-    /// comparing thread counts.
+    /// Node throughput on the search clock: `nodes` divided by the
+    /// bound+branch wall time summed across workers. Setup (encoding,
+    /// root analysis) and result folding are excluded, so the figure is
+    /// comparable across thread counts; it falls back to `nodes / elapsed`
+    /// only when no node was ever timed.
     pub nodes_per_sec: f64,
     /// Warm-start accounting aggregated over all workers: the per-worker
     /// LP bounding caches plus every sub-MILP tree.
@@ -219,6 +271,9 @@ struct SearchCtx<'a> {
     /// polled between nodes here and between pivot batches inside every
     /// LP/sub-MILP solve.
     deadline: &'a Deadline,
+    /// Id of the run's `bab.run` span, so worker spans on other threads
+    /// can parent to it in the trace.
+    obs_run_span: Option<u64>,
 }
 
 /// Mutable frontier state, all guarded by one mutex.
@@ -274,6 +329,12 @@ struct WorkerCounters {
     submilp_pivots: usize,
     /// Worst degradation observed by this worker's solves.
     degradation: Degradation,
+    /// Wall time this worker spent bounding nodes (analysis, LP
+    /// relaxation, sub-MILP), nanoseconds.
+    bound_nanos: u64,
+    /// Wall time this worker spent selecting branch variables and
+    /// building children, nanoseconds.
+    branch_nanos: u64,
 }
 
 /// What one processed node produced.
@@ -362,6 +423,7 @@ impl SearchState {
             _ => {
                 *inc = Some((x.clone(), v));
                 self.best_bits.store(v.to_bits(), AtomicOrdering::Release);
+                bab_metrics().incumbent_updates.inc();
             }
         }
         v
@@ -456,6 +518,7 @@ impl SearchState {
                     f.nodes += 1;
                     f.in_flight += 1;
                     f.active[wid] = node.bound;
+                    bab_metrics().frontier_depth.set(f.heap.len() as i64);
                     return Some(node);
                 }
                 None => {
@@ -489,6 +552,7 @@ impl SearchState {
         }
         f.active[wid] = f64::NEG_INFINITY;
         f.in_flight -= 1;
+        bab_metrics().frontier_depth.set(f.heap.len() as i64);
         self.work_ready.notify_all();
     }
 
@@ -497,9 +561,20 @@ impl SearchState {
     /// is folded into the dropped accumulator so the subtree is never
     /// silently lost from the final upper bound.
     fn panic_complete(&self, wid: usize, mut node: Node) {
+        bab_metrics().node_panics.inc();
+        let requeued = node.retries < MAX_NODE_RETRIES;
+        certnn_obs::event(
+            "bab.node_panic",
+            vec![
+                ("worker", wid.into()),
+                ("retries", node.retries.into()),
+                ("bound", node.bound.into()),
+                ("requeued", requeued.into()),
+            ],
+        );
         let mut f = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
         f.degradation = f.degradation.merge(Degradation::IntervalOnly);
-        if node.retries < MAX_NODE_RETRIES {
+        if requeued {
             node.retries += 1;
             f.heap.push(node);
         } else {
@@ -517,17 +592,33 @@ impl SearchState {
     /// pool halts the search with [`MilpStatus::Aborted`] instead of
     /// hanging.
     fn worker_died(&self, wid: usize) {
+        bab_metrics().worker_deaths.inc();
         let mut f = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
-        if f.active[wid] != f64::NEG_INFINITY {
-            f.dropped = f.dropped.max(f.active[wid]);
+        let claimed = f.active[wid];
+        if claimed != f64::NEG_INFINITY {
+            f.dropped = f.dropped.max(claimed);
             f.active[wid] = f64::NEG_INFINITY;
             f.in_flight = f.in_flight.saturating_sub(1);
         }
         f.dead_workers += 1;
         f.degradation = f.degradation.merge(Degradation::IntervalOnly);
-        if f.dead_workers >= f.active.len() && f.halt.is_none() {
+        let pool_dead = f.dead_workers >= f.active.len();
+        if pool_dead && f.halt.is_none() {
             f.halt = Some(MilpStatus::Aborted);
         }
+        // Machine-readable fault record for chaos runs: which worker died,
+        // whether it held a node (and that node's folded bound), and
+        // whether its death aborted the whole search.
+        certnn_obs::event(
+            "bab.worker_died",
+            vec![
+                ("worker", wid.into()),
+                ("held_node", (claimed != f64::NEG_INFINITY).into()),
+                ("folded_bound", claimed.into()),
+                ("dead_workers", f.dead_workers.into()),
+                ("pool_aborted", pool_dead.into()),
+            ],
+        );
         self.work_ready.notify_all();
     }
 
@@ -589,6 +680,8 @@ pub fn bab_maximize_under(
     }
     objective.check_against(net)?;
     let start = Instant::now();
+    let run_span = certnn_obs::span("bab.run");
+    let encode_phase = certnn_obs::phase(certnn_obs::Phase::Encode);
     let input_box = spec.bounds();
     let total_relu = net.num_relu_neurons();
     // Flat ReLU index -> (layer, neuron), for gradient-guided branching.
@@ -642,6 +735,7 @@ pub fn bab_maximize_under(
         obj_seed: &obj_seed,
         start,
         deadline: &deadline,
+        obs_run_span: run_span.id(),
     };
 
     let root_phases = vec![None; total_relu];
@@ -662,6 +756,7 @@ pub fn bab_maximize_under(
         },
     );
     state.try_incumbent(&ctx, &root.maximizer);
+    drop(encode_phase);
 
     // Work-sharing scoped worker pool. With one worker this runs the
     // exact serial best-first loop (on a spawned thread). Each node is
@@ -699,23 +794,36 @@ pub fn bab_maximize_under(
             .collect()
     });
 
+    let fold_phase = certnn_obs::phase(certnn_obs::Phase::Fold);
     let mut milp_calls = 0usize;
     let mut lp_iterations = 0usize;
     let mut warm_stats = MilpStats::default();
     let mut degradation = Degradation::Exact;
-    for result in worker_results {
+    let mut search_nanos = 0u64;
+    for (wid, result) in worker_results.into_iter().enumerate() {
         let counters = result?;
         milp_calls += counters.milp_calls;
         lp_iterations += counters.lp_iterations;
-        if std::env::var_os("CERTNN_WARM_DEBUG").is_some() {
-            eprintln!(
-                "[warm-debug] lp-bounding {:?} | sub-milp {:?} pivots {}",
-                counters.tracker,
-                counters.milp_stats,
-                counters.submilp_pivots
-            );
-        }
-        warm_stats.merge(counters.tracker.stats());
+        search_nanos += counters.bound_nanos + counters.branch_nanos;
+        // Structured per-worker warm-start accounting (replaces the old
+        // CERTNN_WARM_DEBUG stderr dump): machine-readable in the trace,
+        // silent otherwise.
+        let lp_stats = counters.tracker.stats();
+        certnn_obs::event(
+            "bab.worker_stats",
+            vec![
+                ("worker", wid.into()),
+                ("lp_warm_solves", lp_stats.warm_solves.into()),
+                ("lp_cold_solves", lp_stats.cold_solves.into()),
+                ("lp_pivots_saved", lp_stats.pivots_saved.into()),
+                ("submilp_warm_solves", counters.milp_stats.warm_solves.into()),
+                ("submilp_cold_solves", counters.milp_stats.cold_solves.into()),
+                ("submilp_pivots", counters.submilp_pivots.into()),
+                ("bound_nanos", counters.bound_nanos.into()),
+                ("branch_nanos", counters.branch_nanos.into()),
+            ],
+        );
+        warm_stats.merge(lp_stats);
         warm_stats.merge(counters.milp_stats);
         degradation = degradation.merge(counters.degradation);
     }
@@ -777,6 +885,34 @@ pub fn bab_maximize_under(
         Some((x, v)) => (Some(x), Some(v)),
         None => (None, None),
     };
+    // Throughput on the *search clock*: nodes per second of bound+branch
+    // work summed across workers. Total elapsed would also count encoding
+    // and fold time, inflating per-thread comparisons on short runs.
+    let nodes_per_sec = if search_nanos > 0 {
+        frontier.nodes as f64 / (search_nanos as f64 * 1e-9)
+    } else {
+        frontier.nodes as f64 / elapsed.as_secs_f64().max(1e-9)
+    };
+
+    if certnn_obs::enabled() {
+        let m = bab_metrics();
+        m.nodes.add(frontier.nodes as u64);
+        m.milp_calls.add(milp_calls as u64);
+        certnn_obs::event(
+            "bab.done",
+            vec![
+                ("status", format!("{status:?}").into()),
+                ("degradation", degradation.as_str().into()),
+                ("nodes", frontier.nodes.into()),
+                ("upper_bound", upper_bound.into()),
+                ("search_nanos", search_nanos.into()),
+                ("threads", threads_used.into()),
+            ],
+        );
+    }
+    drop(fold_phase);
+    drop(run_span);
+
     Ok(BabResult {
         status,
         best_value,
@@ -788,7 +924,7 @@ pub fn bab_maximize_under(
         encoding_stats: enc.stats,
         elapsed,
         threads_used,
-        nodes_per_sec: frontier.nodes as f64 / elapsed.as_secs_f64().max(1e-9),
+        nodes_per_sec,
         warm_stats,
         degradation,
     })
@@ -803,6 +939,7 @@ fn worker_loop(
     state: &SearchState,
     wid: usize,
 ) -> Result<WorkerCounters, VerifyError> {
+    let _worker_span = certnn_obs::span_child_of("bab.worker", ctx.obs_run_span);
     let mut analyzer = PhaseAnalyzer::new(ctx.net, ctx.input_box)?;
     let mut counters = WorkerCounters::default();
     // Per-worker LP-bounding basis cache: workers never share bases, so
@@ -844,6 +981,10 @@ fn process_node(
     lp_warm: &mut Option<Arc<WarmStart>>,
 ) -> Result<NodeOutcome, VerifyError> {
     let opts = ctx.opts;
+    // Bound portion of the search clock: symbolic analysis, LP
+    // relaxation and sub-MILP. The guard accounts on every early return.
+    let bound_clock = NanoClock::start(&mut counters.bound_nanos);
+    let bound_phase = certnn_obs::phase(certnn_obs::Phase::Bound);
     // Fresh analysis at the popped node (cheap relative to any LP).
     let analysis = analyzer.analyze(&node.phases, ctx.objective)?;
     if analysis.conflict {
@@ -1063,6 +1204,12 @@ fn process_node(
             }
         }
     }
+
+    // Branch portion of the search clock.
+    drop(bound_phase);
+    drop(bound_clock);
+    let _branch_clock = NanoClock::start(&mut counters.branch_nanos);
+    let _branch_phase = certnn_obs::phase(certnn_obs::Phase::Branch);
 
     // Branch on the unstable neuron with the largest estimated influence
     // on the objective: |∂f/∂activation| at the node's maximizer, times
