@@ -4,15 +4,29 @@
 //! Usage:
 //!
 //! ```text
-//! bench_diff <baseline.json> <candidate.json> [--max-wall-ratio R]
+//! bench_diff <baseline.json> <candidate.json> \
+//!     [--max-wall-ratio R] [--require-identical]
 //! ```
 //!
 //! Rows are matched by position and must agree on `width`; for each pair
 //! the tool prints the wall-time, node and pivot deltas as percentages
-//! of the baseline, plus the candidate's warm/cold solve split. With
-//! `--max-wall-ratio R` the exit code is 1 if *total* candidate wall
-//! time exceeds `R ×` the baseline's — the regression gate behind
-//! `./ci --bench-smoke`.
+//! of the baseline, plus the candidate's warm/cold solve split. When
+//! either file carries an obs `metrics` block (`--metrics` on the report
+//! binaries) a second section reports throughput and latency deltas:
+//! `lp.pivots` per second and the warm/cold solve-time p50/p95 shifts.
+//! Keys missing on either side (e.g. baselines written before histogram
+//! percentiles were folded into the block) print as `n.a.` rather than
+//! failing.
+//!
+//! Two gates flip the exit code to 1:
+//!
+//! * `--max-wall-ratio R` — *total* candidate wall time exceeds `R ×`
+//!   the baseline's (the perf-regression gate behind `./ci
+//!   --bench-smoke`).
+//! * `--require-identical` — any row pair differs in its verified
+//!   `value` (compared bit-for-bit via `f64::to_bits`) or its
+//!   `degradation` tag. Kernel rewrites may shift wall time but must
+//!   not shift verdicts; this is the determinism gate.
 
 use certnn_bench::json::{read_json, BenchRow};
 use std::path::Path;
@@ -66,12 +80,99 @@ fn print_diff(base: &[BenchRow], cand: &[BenchRow]) {
     );
 }
 
+/// Finite value of the run-cumulative obs metric `name`. Report binaries
+/// attach the snapshot to the final row only, so every row is searched.
+fn metric(rows: &[BenchRow], name: &str) -> Option<f64> {
+    rows.iter()
+        .flat_map(|r| r.metrics.iter())
+        .find(|(n, _)| n == name)
+        .map(|&(_, v)| v)
+        .filter(|v| v.is_finite())
+}
+
+/// Prints the metrics-derived section: LP pivot throughput and warm/cold
+/// solve-latency percentile deltas. Absent keys (metrics-free files, or
+/// baselines older than histogram folding) print as `n.a.`.
+fn print_metrics_diff(base: &[BenchRow], cand: &[BenchRow]) {
+    println!(
+        "{:<26} {:>12} {:>12} {:>9}",
+        "metric", "base", "cand", "Δ"
+    );
+    // Pivot throughput: prefer the obs counter (covers every solve in
+    // the run), fall back to the summed per-row pivot counts so
+    // metrics-free baselines still get a rate.
+    let rate = |rows: &[BenchRow]| -> Option<f64> {
+        let wall: f64 = rows
+            .iter()
+            .map(|r| r.wall_secs)
+            .filter(|v| v.is_finite())
+            .sum();
+        let pivots = metric(rows, "lp.pivots")
+            .unwrap_or_else(|| rows.iter().map(|r| r.lp_iterations as f64).sum());
+        (wall > 0.0).then(|| pivots / wall)
+    };
+    match (rate(base), rate(cand)) {
+        (Some(b), Some(c)) => println!(
+            "{:<26} {b:>12.0} {c:>12.0} {:>9}",
+            "lp.pivots/s",
+            fmt_pct(pct(b, c))
+        ),
+        _ => println!("{:<26} {:>12} {:>12} {:>9}", "lp.pivots/s", "n.a.", "n.a.", "n.a."),
+    }
+    for hist in ["lp.warm_solve_nanos", "lp.cold_solve_nanos"] {
+        for q in ["p50", "p95"] {
+            let key = format!("{hist}.{q}");
+            let row = |v: Option<f64>| {
+                v.map_or("n.a.".to_string(), |ns| format!("{:.1}us", ns / 1e3))
+            };
+            let (b, c) = (metric(base, &key), metric(cand, &key));
+            let delta = match (b, c) {
+                (Some(b), Some(c)) => fmt_pct(pct(b, c)),
+                _ => "n.a.".to_string(),
+            };
+            println!("{key:<26} {:>12} {:>12} {delta:>9}", row(b), row(c));
+        }
+    }
+}
+
+/// The `--require-identical` determinism gate: every row pair must agree
+/// bit-for-bit on the verified `value` and exactly on the `degradation`
+/// tag. Wall time, node and pivot counts are free to move.
+fn check_identical(base: &[BenchRow], cand: &[BenchRow]) -> Result<(), String> {
+    for (i, (b, c)) in base.iter().zip(cand).enumerate() {
+        let same_value = match (b.value, c.value) {
+            (None, None) => true,
+            (Some(bv), Some(cv)) => bv.to_bits() == cv.to_bits(),
+            _ => false,
+        };
+        if !same_value {
+            return Err(format!(
+                "row {i} (width {}): verdict drift — baseline value {:?} vs candidate {:?}",
+                b.width, b.value, c.value
+            ));
+        }
+        if b.degradation != c.degradation {
+            return Err(format!(
+                "row {i} (width {}): degradation drift — baseline `{}` vs candidate `{}`",
+                b.width, b.degradation, c.degradation
+            ));
+        }
+    }
+    println!(
+        "determinism gate ok: {} rows bit-identical in value and degradation",
+        base.len()
+    );
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let mut paths = Vec::new();
     let mut max_wall_ratio: Option<f64> = None;
+    let mut require_identical = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--require-identical" => require_identical = true,
             "--max-wall-ratio" => {
                 i += 1;
                 let r = args
@@ -90,7 +191,8 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     let [base_path, cand_path] = paths.as_slice() else {
         return Err(
-            "usage: bench_diff <baseline.json> <candidate.json> [--max-wall-ratio R]"
+            "usage: bench_diff <baseline.json> <candidate.json> \
+             [--max-wall-ratio R] [--require-identical]"
                 .to_string(),
         );
     };
@@ -112,6 +214,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
     print_diff(&base, &cand);
+    print_metrics_diff(&base, &cand);
+    if require_identical {
+        check_identical(&base, &cand)?;
+    }
     if let Some(ratio) = max_wall_ratio {
         let sum = |rows: &[BenchRow]| -> f64 {
             rows.iter()

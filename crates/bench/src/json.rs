@@ -22,8 +22,9 @@
 //! When a run is observed (`--metrics` on the report binaries) the final
 //! row additionally carries a nested `"metrics": {"lp.warm_solves": 700,
 //! ...}` object — the run-cumulative scalar snapshot from `certnn-obs`.
-//! It is always emitted as the *last* key of the row, parsed back into
-//! [`BenchRow::metrics`], and deliberately ignored by `bench_diff` so
+//! It is always emitted as the *last* key of the row and parsed back
+//! into [`BenchRow::metrics`]. `bench_diff` mines it for throughput and
+//! latency-percentile deltas but treats every key as optional, so
 //! wall-time gates keep working against baselines written before (or
 //! without) observability.
 
@@ -63,7 +64,8 @@ pub struct BenchRow {
     /// Run-cumulative observability scalars (`certnn-obs` counters and
     /// gauge high-water marks), sorted by name. Empty unless the run was
     /// observed; report binaries attach the snapshot to the final row
-    /// only. `bench_diff` ignores this field.
+    /// only. `bench_diff` reads it opportunistically — every key is
+    /// optional.
     pub metrics: Vec<(String, f64)>,
 }
 

@@ -1,0 +1,265 @@
+//! SIMD-friendly dense-column and sparse-column kernels.
+//!
+//! These are the primitives underneath the factorized LP basis in
+//! `certnn-lp` (LU with partial pivoting plus a product-form eta file):
+//! contiguous scaled-axpy updates for the right-looking factorization,
+//! gather/scatter variants for the sparse L/U columns, and the four
+//! triangular solves (direct and transposed) over compressed-column
+//! triangles. Everything works on plain `f64` slices so the loops stay
+//! transparent to the autovectorizer; the gather/scatter kernels iterate
+//! exactly the stored nonzeros, never the full dimension.
+//!
+//! The CSC triangle convention matches how an LU factorization is
+//! sliced: column `k` of a *lower-unit* triangle stores only entries
+//! strictly below the (implicit 1.0) diagonal, column `k` of an *upper*
+//! triangle stores only entries strictly above the diagonal, with the
+//! diagonal itself in a separate array. `col_ptr[k]..col_ptr[k + 1]`
+//! indexes `(rows, vals)` exactly as in a CSC matrix.
+
+/// `y += a * x` over equal-length slices.
+///
+/// The update of a right-looking LU factorization — subtracting a
+/// multiple of the pivot subcolumn from each trailing subcolumn — is
+/// exactly this kernel over contiguous column-major slices.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    if a == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Scatter update `y[rows[k]] += a * vals[k]` for each stored nonzero.
+///
+/// This is one column-elimination step of a sparse triangular solve:
+/// the solved entry's value `a` propagates into the rows its column
+/// touches, and only those.
+///
+/// # Panics
+///
+/// Panics if `rows` and `vals` lengths differ, or an index is out of
+/// range for `y`.
+pub fn sparse_axpy(a: f64, rows: &[usize], vals: &[f64], y: &mut [f64]) {
+    assert_eq!(rows.len(), vals.len(), "sparse_axpy length mismatch");
+    if a == 0.0 {
+        return;
+    }
+    for (&r, &v) in rows.iter().zip(vals) {
+        y[r] += a * v;
+    }
+}
+
+/// Gather dot product `Σ vals[k] * x[rows[k]]` over stored nonzeros.
+///
+/// The inner product of a transposed triangular solve: row `k` of the
+/// transpose is column `k` of the stored triangle.
+///
+/// # Panics
+///
+/// Panics if `rows` and `vals` lengths differ, or an index is out of
+/// range for `x`.
+pub fn sparse_dot(rows: &[usize], vals: &[f64], x: &[f64]) -> f64 {
+    assert_eq!(rows.len(), vals.len(), "sparse_dot length mismatch");
+    let mut acc = 0.0;
+    for (&r, &v) in rows.iter().zip(vals) {
+        acc += v * x[r];
+    }
+    acc
+}
+
+/// In-place forward solve `L x = b` for a lower-unit CSC triangle.
+///
+/// `x` holds `b` on entry and the solution on exit. Column `k` stores
+/// entries strictly below the unit diagonal. The scatter form skips
+/// columns whose solved entry is exactly zero, so a sparse right-hand
+/// side (an FTRAN on a unit or slack column) touches only the rows it
+/// actually fills in.
+///
+/// # Panics
+///
+/// Panics if the triangle shape disagrees with `x.len()`.
+pub fn solve_lower_unit(col_ptr: &[usize], rows: &[usize], vals: &[f64], x: &mut [f64]) {
+    let n = x.len();
+    assert_eq!(col_ptr.len(), n + 1, "solve_lower_unit shape mismatch");
+    for k in 0..n {
+        let xk = x[k];
+        if xk != 0.0 {
+            let (lo, hi) = (col_ptr[k], col_ptr[k + 1]);
+            sparse_axpy(-xk, &rows[lo..hi], &vals[lo..hi], x);
+        }
+    }
+}
+
+/// In-place backward solve `U x = b` for an upper CSC triangle with an
+/// explicit diagonal.
+///
+/// `x` holds `b` on entry and the solution on exit. Column `k` stores
+/// entries strictly above the diagonal; `diag[k]` is the pivot. Zero
+/// solved entries skip their scatter exactly like
+/// [`solve_lower_unit`].
+///
+/// # Panics
+///
+/// Panics if the triangle shape disagrees with `x.len()`.
+pub fn solve_upper(
+    col_ptr: &[usize],
+    rows: &[usize],
+    vals: &[f64],
+    diag: &[f64],
+    x: &mut [f64],
+) {
+    let n = x.len();
+    assert_eq!(col_ptr.len(), n + 1, "solve_upper shape mismatch");
+    assert_eq!(diag.len(), n, "solve_upper diagonal mismatch");
+    for k in (0..n).rev() {
+        let xk = x[k] / diag[k];
+        x[k] = xk;
+        if xk != 0.0 {
+            let (lo, hi) = (col_ptr[k], col_ptr[k + 1]);
+            sparse_axpy(-xk, &rows[lo..hi], &vals[lo..hi], x);
+        }
+    }
+}
+
+/// In-place forward solve `Uᵀ x = b` for an upper CSC triangle with an
+/// explicit diagonal (`Uᵀ` is lower triangular; its row `k` is the
+/// stored column `k`).
+///
+/// # Panics
+///
+/// Panics if the triangle shape disagrees with `x.len()`.
+pub fn solve_upper_transposed(
+    col_ptr: &[usize],
+    rows: &[usize],
+    vals: &[f64],
+    diag: &[f64],
+    x: &mut [f64],
+) {
+    let n = x.len();
+    assert_eq!(col_ptr.len(), n + 1, "solve_upper_transposed shape mismatch");
+    assert_eq!(diag.len(), n, "solve_upper_transposed diagonal mismatch");
+    for k in 0..n {
+        let (lo, hi) = (col_ptr[k], col_ptr[k + 1]);
+        x[k] = (x[k] - sparse_dot(&rows[lo..hi], &vals[lo..hi], x)) / diag[k];
+    }
+}
+
+/// In-place backward solve `Lᵀ x = b` for a lower-unit CSC triangle
+/// (`Lᵀ` is upper-unit triangular; its row `k` is the stored column
+/// `k`).
+///
+/// # Panics
+///
+/// Panics if the triangle shape disagrees with `x.len()`.
+pub fn solve_lower_unit_transposed(
+    col_ptr: &[usize],
+    rows: &[usize],
+    vals: &[f64],
+    x: &mut [f64],
+) {
+    let n = x.len();
+    assert_eq!(col_ptr.len(), n + 1, "solve_lower_unit_transposed shape mismatch");
+    for k in (0..n).rev() {
+        let (lo, hi) = (col_ptr[k], col_ptr[k + 1]);
+        x[k] -= sparse_dot(&rows[lo..hi], &vals[lo..hi], x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_adds_scaled_vector() {
+        let x = [1.0, -2.0, 0.5];
+        let mut y = [10.0, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 6.0, 11.0]);
+    }
+
+    #[test]
+    fn axpy_zero_scale_is_identity() {
+        let x = [f64::NAN; 2];
+        let mut y = [1.0, 2.0];
+        axpy(0.0, &x, &mut y);
+        assert_eq!(y, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn sparse_kernels_touch_only_listed_rows() {
+        let rows = [0usize, 3];
+        let vals = [2.0, -1.0];
+        let mut y = [0.0, 7.0, 7.0, 0.0];
+        sparse_axpy(3.0, &rows, &vals, &mut y);
+        assert_eq!(y, [6.0, 7.0, 7.0, -3.0]);
+        assert_eq!(sparse_dot(&rows, &vals, &y), 2.0 * 6.0 + -1.0 * -3.0);
+    }
+
+    /// 3×3 lower-unit L and upper U used by the solve tests:
+    /// L = [[1,0,0],[2,1,0],[0,3,1]], U = [[4,1,0],[0,5,2],[0,0,6]].
+    fn lu_fixture() -> (Vec<usize>, Vec<usize>, Vec<f64>, Vec<usize>, Vec<usize>, Vec<f64>, Vec<f64>) {
+        // L columns (strictly below diag): col0 -> (1, 2.0); col1 -> (2, 3.0).
+        let l_ptr = vec![0, 1, 2, 2];
+        let l_rows = vec![1, 2];
+        let l_vals = vec![2.0, 3.0];
+        // U columns (strictly above diag): col1 -> (0, 1.0); col2 -> (1, 2.0).
+        let u_ptr = vec![0, 0, 1, 2];
+        let u_rows = vec![0, 1];
+        let u_vals = vec![1.0, 2.0];
+        let u_diag = vec![4.0, 5.0, 6.0];
+        (l_ptr, l_rows, l_vals, u_ptr, u_rows, u_vals, u_diag)
+    }
+
+    #[test]
+    fn triangular_solves_match_dense_reference() {
+        let (l_ptr, l_rows, l_vals, u_ptr, u_rows, u_vals, u_diag) = lu_fixture();
+        // Forward: L x = [1, 0, 2] => x = [1, -2, 8].
+        let mut x = [1.0, 0.0, 2.0];
+        solve_lower_unit(&l_ptr, &l_rows, &l_vals, &mut x);
+        assert_eq!(x, [1.0, -2.0, 8.0]);
+        // Backward: U x = [4, 9, 6] => x3 = 1, x2 = (9-2)/5, x1 = (4-7/5)/4.
+        let mut x = [4.0, 9.0, 6.0];
+        solve_upper(&u_ptr, &u_rows, &u_vals, &u_diag, &mut x);
+        assert!((x[2] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+        assert!((x[0] - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transposed_solves_match_direct_solves_on_transposed_system() {
+        let (l_ptr, l_rows, l_vals, u_ptr, u_rows, u_vals, u_diag) = lu_fixture();
+        // Uᵀ x = b: dense Uᵀ = [[4,0,0],[1,5,0],[0,2,6]].
+        let mut x = [8.0, 7.0, 10.0];
+        solve_upper_transposed(&u_ptr, &u_rows, &u_vals, &u_diag, &mut x);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert!((x[2] - (10.0 - 2.0) / 6.0).abs() < 1e-12);
+        // Lᵀ x = b: dense Lᵀ = [[1,2,0],[0,1,3],[0,0,1]].
+        let mut x = [5.0, 7.0, 2.0];
+        solve_lower_unit_transposed(&l_ptr, &l_rows, &l_vals, &mut x);
+        assert!((x[2] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_rhs_skips_work_but_stays_exact() {
+        let (l_ptr, l_rows, l_vals, ..) = lu_fixture();
+        // A unit right-hand side only fills in downstream of its index.
+        let mut x = [0.0, 1.0, 0.0];
+        solve_lower_unit(&l_ptr, &l_rows, &l_vals, &mut x);
+        assert_eq!(x, [0.0, 1.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy length mismatch")]
+    fn axpy_rejects_length_mismatch() {
+        axpy(1.0, &[1.0], &mut [1.0, 2.0]);
+    }
+}

@@ -14,6 +14,8 @@
 //!   transposes and row/column views.
 //! * [`Interval`] — closed-interval arithmetic used by the sound bound
 //!   propagation in `certnn-verify`.
+//! * [`kernels`] — scaled-axpy, gather/scatter and CSC triangular-solve
+//!   kernels underneath the factorized LP basis in `certnn-lp`.
 //! * [`init`] — weight initialisation schemes (Xavier/Glorot, He, uniform).
 //! * [`stats`] — descriptive statistics (mean, variance, Pearson correlation,
 //!   histograms) used by the traceability analyses in `certnn-trace`.
@@ -40,6 +42,7 @@ mod matrix;
 mod vector;
 
 pub mod init;
+pub mod kernels;
 pub mod stats;
 
 pub use interval::Interval;

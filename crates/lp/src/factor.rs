@@ -1,0 +1,600 @@
+//! Factorized basis representation for the revised simplex.
+//!
+//! Replaces the explicit dense `m×m` basis inverse with an LU
+//! factorization of the basis (partial pivoting, L and U stored as
+//! sparse columns) plus a *product-form eta file*: each pivot appends a
+//! sparse eta vector instead of touching `O(m²)` inverse entries, and
+//! `ftran`/`btran` become triangular solves against L, U and the eta
+//! chain (kernels in [`certnn_linalg::kernels`]). The chain is capped —
+//! the simplex refactorizes when it grows past `SimplexOptions::eta_cap`
+//! or a pivot is numerically unstable — so solve cost stays bounded.
+//!
+//! The factorization is *shareable*: [`BasisFactor::freeze`] snapshots
+//! the current representation behind `Arc`s, and a warm-started child
+//! tableau thaws it instead of refactorizing `O(m³)` from scratch. A
+//! 64-bit basis-column signature guards against reusing a frozen factor
+//! for a different constraint matrix of the same shape.
+
+use std::sync::Arc;
+
+use certnn_linalg::kernels as lk;
+
+use crate::csc::ColMatrix;
+
+/// Absolute pivot magnitude below which a factorization step reports
+/// the basis singular. Matches the dense Gauss–Jordan threshold this
+/// module replaced.
+const SINGULAR_TOL: f64 = 1e-12;
+
+/// A pivot whose eta magnitude is smaller than this fraction of the
+/// largest FTRAN-image entry is too unstable to append as an eta; the
+/// caller refactorizes instead.
+const ETA_STABILITY_TOL: f64 = 1e-8;
+
+/// Sparse LU factorization of one basis matrix: `P·B = L·U` with L
+/// unit-lower and U upper triangular, both stored as compressed sparse
+/// columns (L strictly below the diagonal, U strictly above it with the
+/// diagonal in `u_diag`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LuFactor {
+    m: usize,
+    /// Row permutation from partial pivoting: permuted position `k`
+    /// reads original constraint row `p[k]`.
+    p: Vec<usize>,
+    l_ptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    u_ptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
+    u_diag: Vec<f64>,
+}
+
+impl LuFactor {
+    /// Factorizes the basis matrix whose column `r` is `cols` column
+    /// `basis[r]`. Returns `None` when the matrix is numerically
+    /// singular (a pivot below [`SINGULAR_TOL`]).
+    fn factorize(cols: &ColMatrix, basis: &[usize]) -> Option<Self> {
+        let m = basis.len();
+        // Dense column-major working copy: the right-looking update is a
+        // contiguous scaled-axpy per trailing column, which beats sparse
+        // bookkeeping at the basis sizes the ReLU encodings produce.
+        let mut a = vec![0.0f64; m * m];
+        for (c, &bj) in basis.iter().enumerate() {
+            for (i, v) in cols.col(bj) {
+                a[c * m + i] = v;
+            }
+        }
+        let mut p: Vec<usize> = (0..m).collect();
+        for k in 0..m {
+            // Partial pivot over rows k..m of column k.
+            let mut piv = k;
+            let mut best = a[k * m + k].abs();
+            for r in (k + 1)..m {
+                let v = a[k * m + r].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            // NaN pivots must land here too, so the comparison is written
+            // to be false for NaN rather than negated.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(best >= SINGULAR_TOL) {
+                return None;
+            }
+            if piv != k {
+                p.swap(k, piv);
+                for c in 0..m {
+                    a.swap(c * m + k, c * m + piv);
+                }
+            }
+            let d = a[k * m + k];
+            for r in (k + 1)..m {
+                a[k * m + r] /= d;
+            }
+            for j in (k + 1)..m {
+                let f = a[j * m + k];
+                if f != 0.0 {
+                    let (head, tail) = a.split_at_mut(j * m);
+                    let src = &head[k * m + k + 1..k * m + m];
+                    let dst = &mut tail[k + 1..m];
+                    lk::axpy(-f, src, dst);
+                }
+            }
+        }
+        // Slice the factored buffer into sparse column triangles.
+        let mut l_ptr = Vec::with_capacity(m + 1);
+        let mut l_rows = Vec::new();
+        let mut l_vals = Vec::new();
+        let mut u_ptr = Vec::with_capacity(m + 1);
+        let mut u_rows = Vec::new();
+        let mut u_vals = Vec::new();
+        let mut u_diag = Vec::with_capacity(m);
+        l_ptr.push(0);
+        u_ptr.push(0);
+        for k in 0..m {
+            let col = &a[k * m..(k + 1) * m];
+            for (r, &v) in col.iter().enumerate().take(k) {
+                if v != 0.0 {
+                    u_rows.push(r);
+                    u_vals.push(v);
+                }
+            }
+            u_diag.push(col[k]);
+            for (r, &v) in col.iter().enumerate().skip(k + 1) {
+                if v != 0.0 {
+                    l_rows.push(r);
+                    l_vals.push(v);
+                }
+            }
+            l_ptr.push(l_rows.len());
+            u_ptr.push(u_rows.len());
+        }
+        Some(Self {
+            m,
+            p,
+            l_ptr,
+            l_rows,
+            l_vals,
+            u_ptr,
+            u_rows,
+            u_vals,
+            u_diag,
+        })
+    }
+
+    /// `x := B⁻¹ x` where `x` enters in constraint-row space and leaves
+    /// in basis-position space. `tmp` is caller-owned scratch.
+    fn ftran(&self, x: &mut [f64], tmp: &mut Vec<f64>) {
+        tmp.clear();
+        tmp.extend(self.p.iter().map(|&orig| x[orig]));
+        lk::solve_lower_unit(&self.l_ptr, &self.l_rows, &self.l_vals, tmp);
+        lk::solve_upper(&self.u_ptr, &self.u_rows, &self.u_vals, &self.u_diag, tmp);
+        x.copy_from_slice(tmp);
+    }
+
+    /// `x := B⁻ᵀ x` where `x` enters in basis-position space and leaves
+    /// in constraint-row space. `tmp` is caller-owned scratch.
+    fn btran(&self, x: &mut [f64], tmp: &mut Vec<f64>) {
+        lk::solve_upper_transposed(&self.u_ptr, &self.u_rows, &self.u_vals, &self.u_diag, x);
+        lk::solve_lower_unit_transposed(&self.l_ptr, &self.l_rows, &self.l_vals, x);
+        tmp.clear();
+        tmp.resize(self.m, 0.0);
+        for (k, &orig) in self.p.iter().enumerate() {
+            tmp[orig] = x[k];
+        }
+        x.copy_from_slice(tmp);
+    }
+}
+
+/// One product-form eta: the pivot that replaced basis position `r`
+/// with a column whose FTRAN image was `w`. Applying the inverse eta is
+/// `O(nnz(w))`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Eta {
+    r: usize,
+    inv_pivot: f64,
+    rows: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Eta {
+    fn from_image(r: usize, w: &[f64]) -> Self {
+        let mut rows = Vec::new();
+        let mut vals = Vec::new();
+        for (i, &v) in w.iter().enumerate() {
+            if i != r && v != 0.0 {
+                rows.push(i);
+                vals.push(v);
+            }
+        }
+        Self {
+            r,
+            inv_pivot: 1.0 / w[r],
+            rows,
+            vals,
+        }
+    }
+
+    #[inline]
+    fn ftran(&self, x: &mut [f64]) {
+        let xr = x[self.r] * self.inv_pivot;
+        x[self.r] = xr;
+        if xr != 0.0 {
+            lk::sparse_axpy(-xr, &self.rows, &self.vals, x);
+        }
+    }
+
+    #[inline]
+    fn btran(&self, x: &mut [f64]) {
+        x[self.r] = (x[self.r] - lk::sparse_dot(&self.rows, &self.vals, x)) * self.inv_pivot;
+    }
+}
+
+/// Frozen, shareable snapshot of a [`BasisFactor`]: the LU core and the
+/// eta chain behind `Arc`s plus the basis-column signature. Stored in
+/// `WarmStart` so child solves thaw the parent's factorization instead
+/// of rebuilding it.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FrozenFactor {
+    lu: Arc<LuFactor>,
+    etas: Arc<[Eta]>,
+    sig: u64,
+}
+
+impl FrozenFactor {
+    pub(crate) fn sig(&self) -> u64 {
+        self.sig
+    }
+
+    pub(crate) fn num_rows(&self) -> usize {
+        self.lu.m
+    }
+}
+
+/// The live basis representation of one tableau: an `Arc`-shared LU
+/// core, the frozen eta chain inherited from the parent solve, and the
+/// tail of etas appended by this tableau's own pivots.
+#[derive(Debug, Clone)]
+pub(crate) struct BasisFactor {
+    lu: Arc<LuFactor>,
+    base: Arc<[Eta]>,
+    tail: Vec<Eta>,
+    tmp: Vec<f64>,
+}
+
+impl BasisFactor {
+    /// Factorizes the basis from scratch; `None` if singular.
+    pub(crate) fn factorize(cols: &ColMatrix, basis: &[usize]) -> Option<Self> {
+        let lu = LuFactor::factorize(cols, basis)?;
+        let m = lu.m;
+        Some(Self {
+            lu: Arc::new(lu),
+            base: Arc::from(Vec::new()),
+            tail: Vec::new(),
+            tmp: Vec::with_capacity(m),
+        })
+    }
+
+    /// Thaws a frozen parent factorization for a child tableau. The
+    /// caller must have checked the signature against its own basis
+    /// columns first.
+    pub(crate) fn thaw(frozen: &FrozenFactor) -> Self {
+        Self {
+            lu: Arc::clone(&frozen.lu),
+            base: Arc::clone(&frozen.etas),
+            tail: Vec::new(),
+            tmp: Vec::with_capacity(frozen.lu.m),
+        }
+    }
+
+    /// Freezes the current representation for reuse by descendants. `sig`
+    /// is the [`basis_signature`] of the basis the representation
+    /// currently describes (the factorize-time basis composed with every
+    /// eta appended since).
+    pub(crate) fn freeze(&self, sig: u64) -> FrozenFactor {
+        let etas = if self.tail.is_empty() {
+            Arc::clone(&self.base)
+        } else {
+            let mut chain = Vec::with_capacity(self.base.len() + self.tail.len());
+            chain.extend(self.base.iter().cloned());
+            chain.extend(self.tail.iter().cloned());
+            Arc::from(chain)
+        };
+        FrozenFactor {
+            lu: Arc::clone(&self.lu),
+            etas,
+            sig,
+        }
+    }
+
+    /// Combined eta-chain length (inherited + own pivots).
+    pub(crate) fn chain_len(&self) -> usize {
+        self.base.len() + self.tail.len()
+    }
+
+    /// `x := B⁻¹ x` (row space in, position space out), in place.
+    pub(crate) fn ftran(&mut self, x: &mut [f64]) {
+        self.lu.ftran(x, &mut self.tmp);
+        for eta in self.base.iter() {
+            eta.ftran(x);
+        }
+        for eta in &self.tail {
+            eta.ftran(x);
+        }
+    }
+
+    /// `x := B⁻ᵀ x` (position space in, row space out), in place.
+    pub(crate) fn btran(&mut self, x: &mut [f64]) {
+        for eta in self.tail.iter().rev() {
+            eta.btran(x);
+        }
+        for eta in self.base.iter().rev() {
+            eta.btran(x);
+        }
+        self.lu.btran(x, &mut self.tmp);
+    }
+
+    /// Whether the FTRAN image `w` supports a numerically stable eta at
+    /// pivot position `r`. Unstable pivots must refactorize instead.
+    pub(crate) fn pivot_stable(r: usize, w: &[f64]) -> bool {
+        let wr = w[r].abs();
+        if !wr.is_finite() || wr < SINGULAR_TOL {
+            return false;
+        }
+        let max = w.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        wr >= ETA_STABILITY_TOL * max
+    }
+
+    /// Appends the eta for a pivot at position `r` with FTRAN image `w`.
+    pub(crate) fn push_eta(&mut self, r: usize, w: &[f64]) {
+        self.tail.push(Eta::from_image(r, w));
+    }
+
+    /// Fault-injection hook: poisons the representation so subsequent
+    /// solves produce NaN, exercising the `NumericalPoison` detection.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn poison(&mut self) {
+        self.tail.push(Eta {
+            r: 0,
+            inv_pivot: f64::NAN,
+            rows: Vec::new(),
+            vals: Vec::new(),
+        });
+    }
+}
+
+/// 64-bit FNV-1a fold of the basis columns (position, row, coefficient
+/// bits). Two snapshots agree iff their basis matrices are entrywise
+/// identical, up to the negligible 2⁻⁶⁴ collision chance; a mismatch
+/// forces a fresh factorization, so a collision is the only way a stale
+/// factor could be reused — and the optimality certificate still checks
+/// the result against the true constraint columns downstream.
+pub(crate) fn basis_signature(cols: &ColMatrix, basis: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mix = |v: u64, h: &mut u64| {
+        *h ^= v;
+        *h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+    for (r, &bj) in basis.iter().enumerate() {
+        mix(r as u64 ^ 0x9e37_79b9, &mut h);
+        for (i, c) in cols.col(bj) {
+            mix(i as u64, &mut h);
+            mix(c.to_bits(), &mut h);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Dense Gauss–Jordan inverse used as the reference the factorized
+    /// solves must agree with. Row-major `m×m`.
+    fn dense_inverse(b: &[f64], m: usize) -> Option<Vec<f64>> {
+        let mut a = b.to_vec();
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            let mut piv = col;
+            let mut best = a[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = a[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                return None;
+            }
+            if piv != col {
+                for c in 0..m {
+                    a.swap(col * m + c, piv * m + c);
+                    inv.swap(col * m + c, piv * m + c);
+                }
+            }
+            let d = a[col * m + col];
+            for c in 0..m {
+                a[col * m + c] /= d;
+                inv[col * m + c] /= d;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = a[r * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..m {
+                    a[r * m + c] -= f * a[col * m + c];
+                    inv[r * m + c] -= f * inv[col * m + c];
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Builds a `ColMatrix` with `n` columns from a row-major dense
+    /// `m×n` block, dropping exact zeros like the tableau does.
+    fn col_matrix(dense: &[f64], m: usize, n: usize) -> ColMatrix {
+        let rows: Vec<Vec<(usize, f64)>> = (0..m)
+            .map(|i| (0..n).map(|j| (j, dense[i * n + j])).collect())
+            .collect();
+        ColMatrix::from_row_major(n, rows.iter().map(|r| r.as_slice()))
+    }
+
+    /// Extracts the dense basis matrix (row-major) for `basis`.
+    fn basis_matrix(cols: &ColMatrix, basis: &[usize], m: usize) -> Vec<f64> {
+        let mut b = vec![0.0; m * m];
+        for (r, &bj) in basis.iter().enumerate() {
+            for (i, v) in cols.col(bj) {
+                b[i * m + r] = v;
+            }
+        }
+        b
+    }
+
+    fn mat_vec(a: &[f64], x: &[f64], m: usize) -> Vec<f64> {
+        (0..m)
+            .map(|i| (0..m).map(|j| a[i * m + j] * x[j]).sum())
+            .collect()
+    }
+
+    fn vec_mat(x: &[f64], a: &[f64], m: usize) -> Vec<f64> {
+        (0..m)
+            .map(|j| (0..m).map(|i| x[i] * a[i * m + j]).sum())
+            .collect()
+    }
+
+    fn assert_close(got: &[f64], want: &[f64], tol: f64, what: &str) {
+        for (g, w) in got.iter().zip(want) {
+            assert!(
+                (g - w).abs() <= tol * (1.0 + w.abs()),
+                "{what}: got {got:?}, want {want:?}"
+            );
+        }
+    }
+
+    /// A diagonally dominated dense matrix is always invertible, which
+    /// keeps the property below about agreement, not singularity.
+    fn dominated(vals: Vec<f64>, m: usize) -> Vec<f64> {
+        let mut a = vals;
+        for i in 0..m {
+            a[i * m + i] += 4.0 * (1.0 + a[i * m + i].abs());
+        }
+        a
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn lu_eta_solves_agree_with_dense_inverse(
+            m in 2usize..7,
+            raw in prop::collection::vec(-2.0f64..2.0, 49),
+            extra in prop::collection::vec(-2.0f64..2.0, 7),
+            rhs in prop::collection::vec(-3.0f64..3.0, 7),
+            pivot_col in 0usize..7,
+        ) {
+            // Columns 0..m form the basis; column m is the entering
+            // column for the post-pivot check.
+            let dense = dominated(raw[..m * m].to_vec(), m);
+            let mut block = vec![0.0; m * (m + 1)];
+            for i in 0..m {
+                for j in 0..m {
+                    block[i * (m + 1) + j] = dense[i * m + j];
+                }
+                block[i * (m + 1) + m] = extra[i];
+            }
+            let cols = col_matrix(&block, m, m + 1);
+            let basis: Vec<usize> = (0..m).collect();
+            let bmat = basis_matrix(&cols, &basis, m);
+            let inv = dense_inverse(&bmat, m).expect("dominated basis is invertible");
+
+            let mut f = BasisFactor::factorize(&cols, &basis).expect("factorizes");
+
+            // FTRAN agrees with the dense inverse.
+            let b = &rhs[..m];
+            let mut x = b.to_vec();
+            f.ftran(&mut x);
+            assert_close(&x, &mat_vec(&inv, b, m), 1e-8, "ftran");
+
+            // BTRAN agrees with the dense inverse.
+            let mut y = b.to_vec();
+            f.btran(&mut y);
+            assert_close(&y, &vec_mat(b, &inv, m), 1e-8, "btran");
+
+            // Pivot the extra column into a row chosen for stability,
+            // append the eta, and compare against the dense inverse of
+            // the *new* basis.
+            let mut w = vec![0.0; m];
+            for (i, v) in cols.col(m) {
+                w[i] = v;
+            }
+            f.ftran(&mut w);
+            let r = (0..m)
+                .max_by(|&a, &b| w[a].abs().partial_cmp(&w[b].abs()).expect("finite"))
+                .expect("nonempty");
+            prop_assume!(BasisFactor::pivot_stable(r, &w));
+            f.push_eta(r, &w);
+            let mut basis2 = basis.clone();
+            basis2[r] = m;
+            let bmat2 = basis_matrix(&cols, &basis2, m);
+            let inv2 = match dense_inverse(&bmat2, m) {
+                Some(inv2) => inv2,
+                None => return Ok(()), // new basis singular: nothing to compare
+            };
+            let mut x2 = b.to_vec();
+            f.ftran(&mut x2);
+            assert_close(&x2, &mat_vec(&inv2, b, m), 1e-6, "post-pivot ftran");
+            let mut y2 = b.to_vec();
+            f.btran(&mut y2);
+            assert_close(&y2, &vec_mat(b, &inv2, m), 1e-6, "post-pivot btran");
+
+            // Refactorizing the updated basis from scratch agrees too.
+            let mut fresh =
+                BasisFactor::factorize(&cols, &basis2).expect("updated basis factorizes");
+            let mut x3 = b.to_vec();
+            fresh.ftran(&mut x3);
+            assert_close(&x3, &mat_vec(&inv2, b, m), 1e-8, "post-refactor ftran");
+            let mut y3 = b.to_vec();
+            fresh.btran(&mut y3);
+            assert_close(&y3, &vec_mat(b, &inv2, m), 1e-8, "post-refactor btran");
+
+            // Freeze/thaw round-trips the representation.
+            let mut thawed = BasisFactor::thaw(&f.freeze(0));
+            let mut x4 = b.to_vec();
+            thawed.ftran(&mut x4);
+            assert_close(&x4, &x2, 1e-12, "thawed ftran");
+            let _ = pivot_col; // reserved for future multi-pivot variants
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        // Two identical columns: rank deficient.
+        let dense = [1.0, 1.0, 2.0, 2.0];
+        let cols = col_matrix(&dense, 2, 2);
+        assert!(BasisFactor::factorize(&cols, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn signature_distinguishes_bases_and_matrices() {
+        let a = col_matrix(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = col_matrix(&[1.0, 2.0, 3.0, 5.0], 2, 2);
+        assert_ne!(basis_signature(&a, &[0, 1]), basis_signature(&b, &[0, 1]));
+        assert_ne!(basis_signature(&a, &[0, 1]), basis_signature(&a, &[1, 0]));
+        assert_eq!(basis_signature(&a, &[0, 1]), basis_signature(&a, &[0, 1]));
+    }
+
+    #[test]
+    fn permuted_factorization_round_trips() {
+        // Forces row swaps: zero on the leading diagonal.
+        let dense = [0.0, 2.0, 3.0, 1.0];
+        let cols = col_matrix(&dense, 2, 2);
+        let mut f = BasisFactor::factorize(&cols, &[0, 1]).expect("invertible");
+        // B = [[0,2],[3,1]]; B · x = [2, 4] => x = [2/3·... ] solve directly:
+        // 2·x2 = 2 => x2 = 1; 3·x1 + 1 = 4 => x1 = 1.
+        let mut x = vec![2.0, 4.0];
+        f.ftran(&mut x);
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+        // Bᵀ y = c with c = [3, 3]: y1·0 + y2·3 = 3, y1·2 + y2·1 = 3 => y = [1, 1].
+        let mut y = vec![3.0, 3.0];
+        f.btran(&mut y);
+        assert!((y[0] - 1.0).abs() < 1e-12 && (y[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_pivot_is_flagged() {
+        let w = [1.0, 1e-12, 0.5];
+        assert!(!BasisFactor::pivot_stable(1, &w));
+        assert!(BasisFactor::pivot_stable(0, &w));
+        assert!(!BasisFactor::pivot_stable(0, &[f64::NAN, 1.0]));
+    }
+}

@@ -12,9 +12,10 @@
 //!   that may be infinite.
 //! * [`Simplex`] converts the model to computational form (one slack per
 //!   row, artificials where the slack basis is bound-infeasible), runs a
-//!   phase-1/phase-2 bounded-variable simplex with an explicitly maintained
-//!   dense basis inverse, Dantzig pricing and Bland's rule as anti-cycling
-//!   fallback, and reports an exact [`LpSolution`].
+//!   phase-1/phase-2 bounded-variable simplex over a factorized basis (LU
+//!   with partial pivoting plus a capped product-form eta file), Dantzig
+//!   pricing and Bland's rule as anti-cycling fallback, and reports an
+//!   exact [`LpSolution`].
 //! * Branch-and-bound re-solves the same model under tightened variable
 //!   bounds via [`Simplex::solve_with_bounds`], so bound changes never
 //!   require rebuilding the model.
@@ -46,6 +47,7 @@
 mod csc;
 mod deadline;
 pub mod export;
+mod factor;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 mod model;

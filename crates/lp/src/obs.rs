@@ -19,6 +19,16 @@ pub(crate) struct LpMetrics {
     pub cold_solves: Counter,
     /// Warm attempts that fell back to a cold solve.
     pub cold_fallbacks: Counter,
+    /// Warm attempts declined up-front because the snapshot basis had too
+    /// many bound violations (the stale-basis gate) — routine, distinct
+    /// from singular-basis failures.
+    pub stale_basis_bails: Counter,
+    /// Warm attempts abandoned mid-walk (dual pivot budget or numeric
+    /// stall), also routine.
+    pub warm_budget_stalls: Counter,
+    /// Basis refactorizations (LU from scratch): warm thaw misses, eta-cap
+    /// hits, unstable pivots and drift resets.
+    pub refactorizations: Counter,
     /// Cooperative deadline polls executed inside pivot loops.
     pub deadline_checks: Counter,
     /// Solves that terminated with `LpStatus::Deadline`.
@@ -27,6 +37,9 @@ pub(crate) struct LpMetrics {
     pub warm_solve_nanos: Histogram,
     /// Wall time of cold solves, nanoseconds.
     pub cold_solve_nanos: Histogram,
+    /// Eta-chain length at each refactorization or solve end: how much
+    /// product-form history a basis accumulated before being reset.
+    pub eta_chain_len: Histogram,
 }
 
 pub(crate) fn lp_metrics() -> &'static LpMetrics {
@@ -36,10 +49,14 @@ pub(crate) fn lp_metrics() -> &'static LpMetrics {
         warm_solves: counter("lp.warm_solves"),
         cold_solves: counter("lp.cold_solves"),
         cold_fallbacks: counter("lp.cold_fallbacks"),
+        stale_basis_bails: counter("lp.stale_basis_bails"),
+        warm_budget_stalls: counter("lp.warm_budget_stalls"),
+        refactorizations: counter("lp.refactorizations"),
         deadline_checks: counter("lp.deadline_checks"),
         deadline_expired: counter("lp.deadline_expired"),
         warm_solve_nanos: histogram("lp.warm_solve_nanos"),
         cold_solve_nanos: histogram("lp.cold_solve_nanos"),
+        eta_chain_len: histogram("lp.eta_chain_len"),
     })
 }
 

@@ -7,6 +7,7 @@
 
 use crate::csc::ColMatrix;
 use crate::deadline::Deadline;
+use crate::factor::{basis_signature, BasisFactor, FrozenFactor};
 use crate::model::{LpModel, RowKind, Sense};
 use crate::obs::{elapsed_ns, lp_metrics, timer};
 use crate::{LpError, LpSolution, LpStatus, SolveError};
@@ -29,8 +30,17 @@ pub struct SimplexOptions {
     pub pivot_tol: f64,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub stall_limit: usize,
-    /// Recompute basic values from scratch every this many pivots.
+    /// Recompute basic values from scratch every this many pivots; a
+    /// refresh whose drift exceeds `feas_tol` also refactorizes.
     pub refresh_every: usize,
+    /// Product-form eta updates accumulated on a basis factorization
+    /// before the next pivot forces a refactorization. Bounds both solve
+    /// cost per `ftran`/`btran` and the drift an eta chain can build up.
+    pub eta_cap: usize,
+    /// Warm-start staleness gate: bail to a cold solve when more than
+    /// this fraction of basic variables violate the new bounds (with a
+    /// floor of one tolerated violation on tiny bases).
+    pub warm_stale_frac: f64,
 }
 
 impl Default for SimplexOptions {
@@ -42,6 +52,8 @@ impl Default for SimplexOptions {
             pivot_tol: 1e-10,
             stall_limit: 60,
             refresh_every: 128,
+            eta_cap: 64,
+            warm_stale_frac: 0.25,
         }
     }
 }
@@ -69,6 +81,9 @@ pub struct WarmStart {
     status: Vec<Status>,
     n_struct: usize,
     m: usize,
+    /// Frozen basis factorization (LU + eta chain) so descendants patch
+    /// the parent's representation instead of refactorizing O(m³).
+    factor: Option<FrozenFactor>,
 }
 
 impl WarmStart {
@@ -181,7 +196,7 @@ impl Simplex {
         let start = timer();
         let mut t = Tableau::build(model, bounds, self.opts, self.deadline.clone());
         let result = t.run(model).map_err(LpError::Solve);
-        record_cold_solve(start, t.iterations, result.as_ref().ok());
+        record_cold_solve(start, t.iterations, t.factor.chain_len(), result.as_ref().ok());
         result
     }
 
@@ -202,7 +217,7 @@ impl Simplex {
         let start = timer();
         let mut t = Tableau::build(model, bounds, self.opts, self.deadline.clone());
         let result = t.run(model).map_err(LpError::Solve);
-        record_cold_solve(start, t.iterations, result.as_ref().ok());
+        record_cold_solve(start, t.iterations, t.factor.chain_len(), result.as_ref().ok());
         let solution = result?;
         let warm = (solution.status == LpStatus::Optimal)
             .then(|| t.snapshot())
@@ -246,7 +261,7 @@ impl Simplex {
             match Tableau::build_warm(model, bounds, self.opts, self.deadline.clone(), warm) {
                 Ok(Some(mut t)) => match t.run_warm(model) {
                     Ok(Some(solution)) => {
-                        record_warm_solve(start, t.iterations, &solution);
+                        record_warm_solve(start, t.iterations, t.factor.chain_len(), &solution);
                         let warm_out = (solution.status == LpStatus::Optimal)
                             .then(|| t.snapshot())
                             .flatten();
@@ -276,6 +291,7 @@ impl Simplex {
 fn record_cold_solve(
     start: Option<std::time::Instant>,
     pivots: usize,
+    chain_len: usize,
     sol: Option<&LpSolution>,
 ) {
     let Some(ns) = elapsed_ns(start) else { return };
@@ -283,20 +299,42 @@ fn record_cold_solve(
     m.cold_solves.inc();
     m.pivots.add(pivots as u64);
     m.cold_solve_nanos.record(ns);
+    m.eta_chain_len.record(chain_len as u64);
     if sol.map(|s| s.status) == Some(LpStatus::Deadline) {
         m.deadline_expired.inc();
     }
 }
 
 /// Record metrics for one successful warm-path solve.
-fn record_warm_solve(start: Option<std::time::Instant>, pivots: usize, sol: &LpSolution) {
+fn record_warm_solve(
+    start: Option<std::time::Instant>,
+    pivots: usize,
+    chain_len: usize,
+    sol: &LpSolution,
+) {
     let Some(ns) = elapsed_ns(start) else { return };
     let m = lp_metrics();
     m.warm_solves.inc();
     m.pivots.add(pivots as u64);
     m.warm_solve_nanos.record(ns);
+    m.eta_chain_len.record(chain_len as u64);
     if sol.status == LpStatus::Deadline {
         m.deadline_expired.inc();
+    }
+}
+
+/// Fault-injection consult kept at every site where the dense-inverse
+/// kernel used to rebuild its inverse, so the chaos suite's forced
+/// singular bases fire at the same cadence under the factorized kernel.
+/// Compiles to `false` without the `fault-inject` feature.
+fn singular_fault_fired() -> bool {
+    #[cfg(feature = "fault-inject")]
+    {
+        crate::fault::fire_singular()
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        false
     }
 }
 
@@ -322,7 +360,7 @@ enum DualOutcome {
     Error(SolveError),
 }
 
-/// Dense-inverse revised simplex working state.
+/// Factorized-basis revised simplex working state.
 struct Tableau {
     opts: SimplexOptions,
     m: usize,
@@ -343,8 +381,20 @@ struct Tableau {
     x: Vec<f64>,
     /// basis[r] = variable occupying row r.
     basis: Vec<usize>,
-    /// Dense basis inverse, row-major m×m.
-    binv: Vec<f64>,
+    /// Basis factorization: LU core plus a capped product-form eta file.
+    factor: BasisFactor,
+    /// FTRAN scratch: the entering column's image `B⁻¹ a_q`.
+    w: Vec<f64>,
+    /// BTRAN scratch: the simplex multipliers `B⁻ᵀ c_B`.
+    y: Vec<f64>,
+    /// BTRAN scratch: the dual pivot row `B⁻ᵀ e_r`.
+    rho: Vec<f64>,
+    /// Residual scratch for [`Tableau::refresh_basics`].
+    resid: Vec<f64>,
+    /// Candidate buffer for the dual ratio test.
+    cands: Vec<(usize, f64, f64)>,
+    /// Bound-flip buffer for the dual ratio test.
+    flips: Vec<usize>,
     iterations: usize,
     first_artificial: usize,
     deadline: Deadline,
@@ -448,12 +498,9 @@ impl Tableau {
         }
 
         // The initial basis consists of slack/artificial unit columns with
-        // entries ±1, so its inverse is diagonal with the same signs.
-        let mut binv = vec![0.0; m * m];
-        for (r, &bj) in basis.iter().enumerate() {
-            let coef = cols.col(bj).next().expect("unit column").1;
-            binv[r * m + r] = 1.0 / coef;
-        }
+        // entries ±1 (a signed diagonal), so it always factorizes.
+        let factor =
+            BasisFactor::factorize(&cols, &basis).expect("±1 diagonal start basis is nonsingular");
 
         Self {
             opts,
@@ -469,7 +516,13 @@ impl Tableau {
             status,
             x,
             basis,
-            binv,
+            factor,
+            w: vec![0.0; m],
+            y: vec![0.0; m],
+            rho: Vec::new(),
+            resid: Vec::with_capacity(m),
+            cands: Vec::new(),
+            flips: Vec::new(),
             iterations: 0,
             first_artificial,
             deadline,
@@ -552,6 +605,22 @@ impl Tableau {
             cost[j] = sense_sign * model.objective[j];
         }
 
+        // Reuse the parent's frozen factorization when its signature
+        // matches this model's basis columns; otherwise (cross-model
+        // reuse, legacy snapshot) factorize from scratch — the one place
+        // a genuinely singular warm basis surfaces.
+        if singular_fault_fired() {
+            return Err(SolveError::SingularBasis);
+        }
+        let sig = basis_signature(&cols, &warm.basis);
+        let factor = match &warm.factor {
+            Some(fz) if fz.sig() == sig && fz.num_rows() == m => BasisFactor::thaw(fz),
+            _ => {
+                lp_metrics().refactorizations.inc();
+                BasisFactor::factorize(&cols, &warm.basis).ok_or(SolveError::SingularBasis)?
+            }
+        };
+
         let mut t = Self {
             opts,
             m,
@@ -566,14 +635,17 @@ impl Tableau {
             status,
             x,
             basis: warm.basis.clone(),
-            binv: vec![0.0; m * m],
+            factor,
+            w: vec![0.0; m],
+            y: vec![0.0; m],
+            rho: Vec::new(),
+            resid: Vec::with_capacity(m),
+            cands: Vec::new(),
+            flips: Vec::new(),
             iterations: 0,
             first_artificial: n_total,
             deadline,
         };
-        if !t.refactorize() {
-            return Err(SolveError::SingularBasis);
-        }
         t.refresh_basics();
         Ok(Some(t))
     }
@@ -591,46 +663,53 @@ impl Tableau {
             status: self.status[..nb].to_vec(),
             n_struct: self.n_struct,
             m: self.m,
+            factor: Some(
+                self.factor
+                    .freeze(basis_signature(&self.cols, &self.basis)),
+            ),
         })
     }
 
-    /// `B⁻¹ · a_q` for a sparse column.
-    fn ftran(&self, q: usize) -> Vec<f64> {
-        let mut w = vec![0.0; self.m];
+    /// Computes `B⁻¹ a_q` for sparse column `q` into the `w` scratch.
+    fn compute_ftran(&mut self, q: usize) {
+        let w = &mut self.w;
+        w.clear();
+        w.resize(self.m, 0.0);
         for (i, c) in self.cols.col(q) {
-            for r in 0..self.m {
-                w[r] += self.binv[r * self.m + i] * c;
-            }
+            w[i] += c;
         }
-        w
+        self.factor.ftran(w);
     }
 
-    /// `y = c_Bᵀ · B⁻¹`.
-    fn btran(&self, cost: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.m];
+    /// Computes the simplex multipliers `y = B⁻ᵀ c_B` into the `y`
+    /// scratch, for the phase-1 or phase-2 cost.
+    fn price_duals(&mut self, phase1: bool) {
+        let y = &mut self.y;
+        y.clear();
+        y.resize(self.m, 0.0);
         for (r, &bj) in self.basis.iter().enumerate() {
-            let cb = cost[bj];
-            if cb == 0.0 {
-                continue;
-            }
-            for i in 0..self.m {
-                y[i] += cb * self.binv[r * self.m + i];
-            }
+            y[r] = if phase1 { self.cost1[bj] } else { self.cost[bj] };
         }
-        y
+        self.factor.btran(y);
     }
 
-    fn reduced_cost(&self, j: usize, y: &[f64], cost: &[f64]) -> f64 {
-        let mut d = cost[j];
+    /// Reduced cost of column `j` against the multipliers in the `y`
+    /// scratch ([`Tableau::price_duals`] must be current).
+    fn reduced_cost(&self, j: usize, phase1: bool) -> f64 {
+        let mut d = if phase1 { self.cost1[j] } else { self.cost[j] };
         for (i, c) in self.cols.col(j) {
-            d -= y[i] * c;
+            d -= self.y[i] * c;
         }
         d
     }
 
-    /// Recomputes basic variable values from the nonbasic point.
-    fn refresh_basics(&mut self) {
-        let mut resid = self.rhs.clone();
+    /// Recomputes basic variable values from the nonbasic point; returns
+    /// the largest correction applied to any basic (the accumulated
+    /// iterate drift since the last refresh).
+    fn refresh_basics(&mut self) -> f64 {
+        let resid = &mut self.resid;
+        resid.clear();
+        resid.extend_from_slice(&self.rhs);
         for j in 0..self.n_total {
             if self.status[j] != Status::Basic && self.x[j] != 0.0 {
                 for (i, c) in self.cols.col(j) {
@@ -638,17 +717,15 @@ impl Tableau {
                 }
             }
         }
-        let mut vals = vec![0.0; self.m];
+        self.factor.ftran(resid);
+        let mut drift = 0.0f64;
         for r in 0..self.m {
-            let mut v = 0.0;
-            for i in 0..self.m {
-                v += self.binv[r * self.m + i] * resid[i];
-            }
-            vals[r] = v;
+            let b = self.basis[r];
+            let new = self.resid[r];
+            drift = drift.max((new - self.x[b]).abs());
+            self.x[b] = new;
         }
-        for r in 0..self.m {
-            self.x[self.basis[r]] = vals[r];
-        }
+        drift
     }
 
     /// Non-finite values anywhere in the iterate mean the tableau has been
@@ -668,12 +745,12 @@ impl Tableau {
     /// basis; without this check such a run would report a plausible but
     /// wrong optimum. Fixed variables (including frozen artificials) are
     /// exempt from the dual conditions, as in pricing.
-    fn certify_optimal(&self) -> Result<(), SolveError> {
+    fn certify_optimal(&mut self) -> Result<(), SolveError> {
         if self.primal_infeasibility() > self.opts.feas_tol * 100.0 {
             return Err(SolveError::NumericalPoison);
         }
-        let y = self.btran(&self.cost);
-        if y.iter().any(|v| !v.is_finite()) {
+        self.price_duals(false);
+        if self.y.iter().any(|v| !v.is_finite()) {
             return Err(SolveError::NumericalPoison);
         }
         let mut worst = 0.0f64;
@@ -681,7 +758,7 @@ impl Tableau {
             if self.status[j] == Status::Basic || self.hi[j] - self.lo[j] <= 0.0 {
                 continue;
             }
-            let d = self.reduced_cost(j, &y, &self.cost);
+            let d = self.reduced_cost(j, false);
             let v = match self.status[j] {
                 Status::AtLower => -d,
                 Status::AtUpper => d,
@@ -702,72 +779,59 @@ impl Tableau {
     fn inject_faults(&mut self) {
         crate::fault::maybe_stall();
         if crate::fault::fire_nan() {
-            if let Some(slot) = self.binv.first_mut() {
-                *slot = f64::NAN;
-            }
+            self.factor.poison();
         }
     }
 
-    /// Rebuilds `binv` from the basis columns by Gauss-Jordan elimination
-    /// with partial pivoting. Returns `false` if the basis matrix is
-    /// numerically singular.
-    fn refactorize(&mut self) -> bool {
-        #[cfg(feature = "fault-inject")]
-        if crate::fault::fire_singular() {
-            return false;
+    /// Replaces the factorization (LU core + eta chain) with a fresh LU
+    /// of the current basis columns.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::SingularBasis`] when the basis matrix is numerically
+    /// singular (or a forced singular fault fires under `fault-inject`).
+    fn refactorize(&mut self) -> Result<(), SolveError> {
+        if singular_fault_fired() {
+            return Err(SolveError::SingularBasis);
         }
-        let m = self.m;
-        let mut a = vec![0.0; m * m]; // basis matrix, column r = a_{basis[r]}
-        for (r, &bj) in self.basis.iter().enumerate() {
-            for (i, c) in self.cols.col(bj) {
-                a[i * m + r] = c;
-            }
+        let metrics = lp_metrics();
+        metrics.refactorizations.inc();
+        metrics.eta_chain_len.record(self.factor.chain_len() as u64);
+        self.factor = BasisFactor::factorize(&self.cols, &self.basis)
+            .ok_or(SolveError::SingularBasis)?;
+        Ok(())
+    }
+
+    /// Periodic iterate hygiene, run every `refresh_every` pivots and at
+    /// the end of each run: recompute the basics through the current
+    /// factorization and, when the correction exceeds the feasibility
+    /// tolerance (eta-chain drift), refactorize and recompute again.
+    fn periodic_refresh(&mut self) -> Result<(), SolveError> {
+        if singular_fault_fired() {
+            return Err(SolveError::SingularBasis);
         }
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
+        let drift = self.refresh_basics();
+        if drift > self.opts.feas_tol {
+            self.refactorize()?;
+            self.refresh_basics();
         }
-        for col in 0..m {
-            // Partial pivot.
-            let mut piv = col;
-            let mut best = a[col * m + col].abs();
-            for r in (col + 1)..m {
-                let v = a[r * m + col].abs();
-                if v > best {
-                    best = v;
-                    piv = r;
-                }
-            }
-            if best < 1e-12 {
-                return false;
-            }
-            if piv != col {
-                for c in 0..m {
-                    a.swap(col * m + c, piv * m + c);
-                    inv.swap(col * m + c, piv * m + c);
-                }
-            }
-            let d = a[col * m + col];
-            for c in 0..m {
-                a[col * m + c] /= d;
-                inv[col * m + c] /= d;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = a[r * m + col];
-                if f == 0.0 {
-                    continue;
-                }
-                for c in 0..m {
-                    a[r * m + c] -= f * a[col * m + c];
-                    inv[r * m + c] -= f * inv[col * m + c];
-                }
-            }
+        Ok(())
+    }
+
+    /// Applies a pivot at basis position `r_leave` to the factorization:
+    /// appends a product-form eta when the chain is short and the pivot
+    /// element is stable, refactorizes otherwise. The caller must have
+    /// already written the entering variable into `self.basis[r_leave]`
+    /// and left the entering column's FTRAN image in the `w` scratch.
+    fn apply_pivot(&mut self, r_leave: usize) -> Result<(), SolveError> {
+        if !BasisFactor::pivot_stable(r_leave, &self.w)
+            || self.factor.chain_len() >= self.opts.eta_cap
+        {
+            self.refactorize()
+        } else {
+            self.factor.push_eta(r_leave, &self.w);
+            Ok(())
         }
-        self.binv = inv;
-        true
     }
 
     /// Worst bound violation over the basic variables.
@@ -781,14 +845,15 @@ impl Tableau {
         worst
     }
 
-    /// Worst reduced-cost sign violation over the nonbasic variables.
-    fn dual_infeasibility(&self, y: &[f64], cost: &[f64]) -> f64 {
+    /// Worst reduced-cost sign violation over the nonbasic variables,
+    /// against the multipliers in the `y` scratch.
+    fn dual_infeasibility(&self) -> f64 {
         let mut worst = 0.0f64;
         for j in 0..self.n_total {
             if self.status[j] == Status::Basic {
                 continue;
             }
-            let d = self.reduced_cost(j, y, cost);
+            let d = self.reduced_cost(j, false);
             let v = match self.status[j] {
                 Status::AtLower => -d,
                 Status::AtUpper => d,
@@ -820,17 +885,9 @@ impl Tableau {
             #[cfg(feature = "fault-inject")]
             self.inject_faults();
             if self.iterations % self.opts.refresh_every == self.opts.refresh_every - 1 {
-                if !self.refactorize() {
-                    return Err(SolveError::SingularBasis);
-                }
-                self.refresh_basics();
+                self.periodic_refresh()?;
             }
-            let cost = if use_phase1 {
-                self.cost1.clone()
-            } else {
-                self.cost.clone()
-            };
-            let y = self.btran(&cost);
+            self.price_duals(use_phase1);
 
             let bland = stall >= self.opts.stall_limit;
             // Entering variable selection.
@@ -844,7 +901,7 @@ impl Tableau {
                 if !use_phase1 && j >= self.first_artificial {
                     continue;
                 }
-                let d = self.reduced_cost(j, &y, &cost);
+                let d = self.reduced_cost(j, use_phase1);
                 let dir = match self.status[j] {
                     Status::AtLower if d < -self.opts.opt_tol => 1.0,
                     Status::AtUpper if d > self.opts.opt_tol => -1.0,
@@ -865,13 +922,13 @@ impl Tableau {
                 // NaN reduced costs compare false and can hide improving
                 // columns: a non-finite multiplier vector must never
                 // masquerade as an optimality certificate.
-                if y.iter().any(|v| !v.is_finite()) {
+                if self.y.iter().any(|v| !v.is_finite()) {
                     return Err(SolveError::NumericalPoison);
                 }
                 return Ok(None);
             };
 
-            let w = self.ftran(q);
+            self.compute_ftran(q);
 
             // Ratio test: largest step t >= 0 keeping all basics in bounds,
             // also limited by the entering variable's own opposite bound.
@@ -880,7 +937,7 @@ impl Tableau {
             let mut leaving: Option<(usize, f64)> = None; // (row, |w_r|)
             let mut t_best = t_limit;
             for r in 0..self.m {
-                let wr = w[r];
+                let wr = self.w[r];
                 if wr.abs() < self.opts.pivot_tol {
                     continue;
                 }
@@ -915,7 +972,7 @@ impl Tableau {
                 // opposite bound: the problem is unbounded in this direction.
                 // NaN ratios also land here (comparisons are all false), so
                 // certify the column image before claiming unboundedness.
-                if w.iter().any(|v| !v.is_finite()) {
+                if self.w.iter().any(|v| !v.is_finite()) {
                     return Err(SolveError::NumericalPoison);
                 }
                 return Ok(Some(LpStatus::Unbounded));
@@ -948,7 +1005,7 @@ impl Tableau {
                 };
                 for r in 0..self.m {
                     let bi = self.basis[r];
-                    self.x[bi] -= w[r] * step;
+                    self.x[bi] -= self.w[r] * step;
                 }
                 self.iterations += 1;
                 continue;
@@ -960,11 +1017,11 @@ impl Tableau {
             self.x[q] += step;
             for r in 0..self.m {
                 let bi = self.basis[r];
-                self.x[bi] -= w[r] * step;
+                self.x[bi] -= self.w[r] * step;
             }
             // Leaving variable goes to the bound it hit.
             let b_leave = self.basis[r_leave];
-            let delta_leave = -sigma * w[r_leave];
+            let delta_leave = -sigma * self.w[r_leave];
             self.status[b_leave] = if delta_leave > 0.0 {
                 self.x[b_leave] = self.hi[b_leave];
                 Status::AtUpper
@@ -972,34 +1029,10 @@ impl Tableau {
                 self.x[b_leave] = self.lo[b_leave];
                 Status::AtLower
             };
-            self.update_binv(r_leave, &w);
             self.basis[r_leave] = q;
             self.status[q] = Status::Basic;
+            self.apply_pivot(r_leave)?;
             self.iterations += 1;
-        }
-    }
-
-    /// Product-form basis inverse update after pivoting column with FTRAN
-    /// image `w` into row `r_leave`.
-    fn update_binv(&mut self, r_leave: usize, w: &[f64]) {
-        let wr = w[r_leave];
-        let mrow: Vec<f64> = (0..self.m)
-            .map(|c| self.binv[r_leave * self.m + c] / wr)
-            .collect();
-        for r in 0..self.m {
-            if r == r_leave {
-                continue;
-            }
-            let f = w[r];
-            if f == 0.0 {
-                continue;
-            }
-            for c in 0..self.m {
-                self.binv[r * self.m + c] -= f * mrow[c];
-            }
-        }
-        for c in 0..self.m {
-            self.binv[r_leave * self.m + c] = mrow[c];
         }
     }
 
@@ -1013,7 +1046,6 @@ impl Tableau {
     /// no admissible column exists — the fast path that lets child nodes of
     /// a branch-and-bound tree be pruned in a handful of pivots.
     fn dual_phase(&mut self) -> DualOutcome {
-        let cost = self.cost.clone();
         let mut stall = 0usize;
         let mut bad_pivots = 0usize;
         loop {
@@ -1034,10 +1066,9 @@ impl Tableau {
             #[cfg(feature = "fault-inject")]
             self.inject_faults();
             if self.iterations % self.opts.refresh_every == self.opts.refresh_every - 1 {
-                if !self.refactorize() {
-                    return DualOutcome::Error(SolveError::SingularBasis);
+                if let Err(e) = self.periodic_refresh() {
+                    return DualOutcome::Error(e);
                 }
-                self.refresh_basics();
             }
 
             // Leaving row: most violated basic variable.
@@ -1056,16 +1087,26 @@ impl Tableau {
             };
             let b_leave = self.basis[r_leave];
 
-            let y = self.btran(&cost);
+            self.price_duals(false);
             let bland = stall >= self.opts.stall_limit;
+
+            // The dual pivot row in constraint-row space: ρ = B⁻ᵀ e_r,
+            // one extra sparse solve replacing the dense inverse's free
+            // row view.
+            {
+                let rho = &mut self.rho;
+                rho.clear();
+                rho.resize(self.m, 0.0);
+                rho[r_leave] = 1.0;
+                self.factor.btran(rho);
+            }
 
             // Admissible entering candidates with their dual ratios
             // |d_j / α_j|, where α is the pivot row of B⁻¹A. A column is
             // admissible when moving it within its bounds decreases the
             // leaving variable's violation without breaking the sign
             // condition on any reduced cost.
-            let mut cands: Vec<(usize, f64, f64)> = Vec::new(); // (var, ratio, alpha)
-            let rho = &self.binv[r_leave * self.m..(r_leave + 1) * self.m];
+            self.cands.clear(); // (var, ratio, alpha)
             for j in 0..self.n_total {
                 if self.status[j] == Status::Basic {
                     continue;
@@ -1075,7 +1116,7 @@ impl Tableau {
                 }
                 let mut alpha = 0.0;
                 for (i, c) in self.cols.col(j) {
-                    alpha += rho[i] * c;
+                    alpha += self.rho[i] * c;
                 }
                 if alpha.abs() < self.opts.pivot_tol {
                     continue;
@@ -1101,20 +1142,20 @@ impl Tableau {
                 if !admissible {
                     continue;
                 }
-                let d = self.reduced_cost(j, &y, &cost);
+                let d = self.reduced_cost(j, false);
                 let mut ratio = d / alpha;
                 if !above {
                     ratio = -ratio;
                 }
-                cands.push((j, ratio.max(0.0), alpha));
+                self.cands.push((j, ratio.max(0.0), alpha));
             }
-            if cands.is_empty() {
+            if self.cands.is_empty() {
                 // Dual ray: every nonbasic variable already sits at its
                 // violation-minimising bound, so no feasible point exists.
                 // A poisoned pivot row (NaN alphas compare false) rejects
                 // every column and would fake this certificate — verify
                 // finiteness before claiming infeasibility.
-                if rho.iter().any(|v| !v.is_finite()) || self.check_finite().is_err() {
+                if self.rho.iter().any(|v| !v.is_finite()) || self.check_finite().is_err() {
                     return DualOutcome::Error(SolveError::NumericalPoison);
                 }
                 return DualOutcome::Infeasible;
@@ -1124,22 +1165,24 @@ impl Tableau {
             // order; a boxed candidate whose whole span still leaves
             // violation is flipped to its opposite bound, the first one
             // that can absorb the rest enters the basis.
-            let mut flips: Vec<usize> = Vec::new();
+            self.flips.clear();
             let mut entering: Option<(usize, f64)> = None; // (var, ratio)
             if bland {
-                let &(j, ratio, _) = cands
+                let &(j, ratio, _) = self
+                    .cands
                     .iter()
                     .min_by_key(|c| c.0)
                     .expect("candidates nonempty");
                 entering = Some((j, ratio));
             } else {
-                cands.sort_by(|a, b| {
+                self.cands.sort_by(|a, b| {
                     a.1.partial_cmp(&b.1)
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(a.0.cmp(&b.0))
                 });
                 let mut remaining = violation;
-                for &(j, ratio, alpha) in &cands {
+                for ci in 0..self.cands.len() {
+                    let (j, ratio, alpha) = self.cands[ci];
                     let span = self.hi[j] - self.lo[j];
                     let capacity = if span.is_finite() {
                         span * alpha.abs()
@@ -1147,7 +1190,7 @@ impl Tableau {
                         f64::INFINITY
                     };
                     if capacity < remaining - self.opts.feas_tol {
-                        flips.push(j);
+                        self.flips.push(j);
                         remaining -= capacity;
                     } else {
                         entering = Some((j, ratio));
@@ -1159,14 +1202,15 @@ impl Tableau {
                 // Flipping every admissible variable through its whole span
                 // still leaves violation: no feasible point exists. Same
                 // finiteness certificate as the empty-candidate ray above.
-                if rho.iter().any(|v| !v.is_finite()) || self.check_finite().is_err() {
+                if self.rho.iter().any(|v| !v.is_finite()) || self.check_finite().is_err() {
                     return DualOutcome::Error(SolveError::NumericalPoison);
                 }
                 return DualOutcome::Infeasible;
             };
 
             // Apply the accumulated bound flips.
-            for &k in &flips {
+            for fi in 0..self.flips.len() {
+                let k = self.flips[fi];
                 let span = self.hi[k] - self.lo[k];
                 let step = match self.status[k] {
                     Status::AtLower => {
@@ -1183,26 +1227,26 @@ impl Tableau {
                     // flipped; basics are excluded above.
                     _ => continue,
                 };
-                let wk = self.ftran(k);
+                self.compute_ftran(k);
                 for r in 0..self.m {
                     let bi = self.basis[r];
-                    self.x[bi] -= wk[r] * step;
+                    self.x[bi] -= self.w[r] * step;
                 }
                 self.iterations += 1;
             }
 
             // Pivot q into the leaving row.
-            let w = self.ftran(q);
-            let wr = w[r_leave];
+            self.compute_ftran(q);
+            let wr = self.w[r_leave];
             if wr.abs() < self.opts.pivot_tol {
-                // The dense FTRAN disagrees with the row scan; refactorize
+                // The FTRAN image disagrees with the row scan; refactorize
                 // and retry, giving up after a few attempts.
                 bad_pivots += 1;
                 if bad_pivots > 4 {
                     return DualOutcome::Stalled;
                 }
-                if !self.refactorize() {
-                    return DualOutcome::Error(SolveError::SingularBasis);
+                if let Err(e) = self.refactorize() {
+                    return DualOutcome::Error(e);
                 }
                 self.refresh_basics();
                 continue;
@@ -1217,13 +1261,15 @@ impl Tableau {
             self.x[q] += delta;
             for r in 0..self.m {
                 let bi = self.basis[r];
-                self.x[bi] -= w[r] * delta;
+                self.x[bi] -= self.w[r] * delta;
             }
             self.x[b_leave] = target;
             self.status[b_leave] = if above { Status::AtUpper } else { Status::AtLower };
-            self.update_binv(r_leave, &w);
             self.basis[r_leave] = q;
             self.status[q] = Status::Basic;
+            if let Err(e) = self.apply_pivot(r_leave) {
+                return DualOutcome::Error(e);
+            }
             self.iterations += 1;
             // Degenerate dual steps (zero ratio) leave the reduced costs
             // unchanged and can cycle; count them towards Bland's rule.
@@ -1260,43 +1306,47 @@ impl Tableau {
                     || self.x[b] < self.lo[b] - self.opts.feas_tol
             })
             .count();
-        if violated * 8 > self.m.max(8) {
-            // Too stale to bother: bail before spending any pivots. The
-            // floor keeps the gate meaningful on tiny bases (m < 8), where
-            // a single violated basic is cheap to repair yet would
-            // otherwise disqualify the warm path entirely.
+        // Too stale to bother: bail before spending any pivots. The floor
+        // tolerates one violated basic on tiny bases (m small), where a
+        // single violation is cheap to repair yet would otherwise
+        // disqualify the warm path entirely.
+        if violated as f64 > (self.m as f64 * self.opts.warm_stale_frac).max(1.0) {
+            lp_metrics().stale_basis_bails.inc();
             return Ok(None);
         }
         let budget = self.m / 2 + 6 * violated + 20;
         self.opts.max_iterations = self.opts.max_iterations.min(budget);
-        let cost = self.cost.clone();
-        let y = self.btran(&cost);
-        let dual_inf = self.dual_infeasibility(&y, &cost);
+        self.price_duals(false);
+        let dual_inf = self.dual_infeasibility();
         if dual_inf <= self.opts.opt_tol * 100.0 {
             match self.dual_phase() {
                 DualOutcome::Feasible => {}
                 DualOutcome::Infeasible => {
                     return Ok(Some(self.finish(model, LpStatus::Infeasible, sense_sign)));
                 }
-                DualOutcome::Stalled => return Ok(None),
+                DualOutcome::Stalled => {
+                    lp_metrics().warm_budget_stalls.inc();
+                    return Ok(None);
+                }
                 DualOutcome::Error(e) => return Err(e),
             }
         } else if self.primal_infeasibility() > self.opts.feas_tol * 10.0 {
             // Neither dual nor primal feasible: the snapshot buys nothing,
             // let the cold two-phase run handle it.
+            lp_metrics().stale_basis_bails.inc();
             return Ok(None);
         }
         let stat = match self.phase(false)? {
             // An iteration cap on the warm path is not a verdict; retry cold
             // with a fresh budget rather than reporting a truncated solve.
-            Some(LpStatus::IterationLimit) => return Ok(None),
+            Some(LpStatus::IterationLimit) => {
+                lp_metrics().warm_budget_stalls.inc();
+                return Ok(None);
+            }
             Some(s) => s,
             None => LpStatus::Optimal,
         };
-        if !self.refactorize() {
-            return Err(SolveError::SingularBasis);
-        }
-        self.refresh_basics();
+        self.periodic_refresh()?;
         self.check_finite()?;
         if stat == LpStatus::Optimal {
             self.certify_optimal()?;
@@ -1330,10 +1380,7 @@ impl Tableau {
             if let Some(stat) = self.phase(true)? {
                 return Ok(self.finish(model, stat, sense_sign));
             }
-            if !self.refactorize() {
-                return Err(SolveError::SingularBasis);
-            }
-            self.refresh_basics();
+            self.periodic_refresh()?;
             if self.phase1_objective() > self.opts.feas_tol * 10.0 {
                 return Ok(self.finish(model, LpStatus::Infeasible, sense_sign));
             }
@@ -1352,10 +1399,7 @@ impl Tableau {
             Some(s) => s,
             None => LpStatus::Optimal,
         };
-        if !self.refactorize() {
-            return Err(SolveError::SingularBasis);
-        }
-        self.refresh_basics();
+        self.periodic_refresh()?;
         self.check_finite()?;
         if stat == LpStatus::Optimal {
             self.certify_optimal()?;
@@ -1371,8 +1415,8 @@ impl Tableau {
                 .zip(&x)
                 .map(|(c, v)| c * v)
                 .sum::<f64>();
-        let y = self.btran(&self.cost.clone());
-        let duals: Vec<f64> = y.iter().map(|v| sense_sign * v).collect();
+        self.price_duals(false);
+        let duals: Vec<f64> = self.y.iter().map(|v| sense_sign * v).collect();
         LpSolution {
             status,
             objective,
@@ -1780,6 +1824,75 @@ mod tests {
             .expect("snapshot");
         assert_eq!(warm.num_rows(), m.num_rows());
         assert_eq!(warm.num_structurals(), m.num_vars());
+    }
+
+    #[test]
+    fn singular_warm_basis_surfaces_typed_error_and_recovers_cold() {
+        // Two linearly dependent rows: basis {x, y} has matrix
+        // [[1, 1], [2, 2]], which no factorization can invert. The warm
+        // rung must fail with `SingularBasis` (not panic, not a silent
+        // wrong answer) and the ladder must recover via the cold rung.
+        let mut m = LpModel::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 3.0);
+        let y = m.add_var("y", 0.0, 3.0);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        m.add_row("r1", &[(x, 1.0), (y, 1.0)], RowKind::Le, 4.0)
+            .unwrap();
+        m.add_row("r2", &[(x, 2.0), (y, 2.0)], RowKind::Le, 8.0)
+            .unwrap();
+        let warm = WarmStart {
+            basis: vec![0, 1],
+            status: vec![
+                Status::Basic,
+                Status::Basic,
+                Status::AtLower,
+                Status::AtLower,
+            ],
+            n_struct: 2,
+            m: 2,
+            factor: None, // forces a fresh factorization of the singular basis
+        };
+        let bounds = [(0.0, 3.0), (0.0, 3.0)];
+        let ws = Simplex::new().solve_warm(&m, &bounds, &warm).unwrap();
+        assert!(!ws.warm_used, "singular warm basis must fall back");
+        assert_eq!(ws.fallback, Some(SolveError::SingularBasis));
+        assert_eq!(ws.solution.status, LpStatus::Optimal);
+        assert!((ws.solution.objective - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn snapshot_carries_a_reusable_factorization() {
+        // The frozen factor must round-trip through a warm solve: same
+        // model, same basis columns → the child thaws the parent's
+        // factorization instead of rebuilding, and still agrees with a
+        // cold solve bit-for-bit on the objective.
+        let (m, _) = branching_model();
+        let base: Vec<(f64, f64)> =
+            (0..m.num_vars()).map(|i| m.bounds(crate::VarId(i))).collect();
+        let root = Simplex::new().solve_snapshot(&m, &base).unwrap();
+        let warm = root.warm.expect("snapshot");
+        assert!(
+            warm.factor.is_some(),
+            "optimal snapshot must carry a frozen factorization"
+        );
+        let mut child = base.clone();
+        child[1] = (0.5, child[1].1);
+        let cold = Simplex::new().solve_with_bounds(&m, &child).unwrap();
+        let ws = Simplex::new().solve_warm(&m, &child, &warm).unwrap();
+        assert!(ws.warm_used);
+        assert!((ws.solution.objective - cold.objective).abs() < 1e-9);
+        // Grandchild snapshot chains the factorization again.
+        assert!(ws.warm.expect("child snapshot").factor.is_some());
+    }
+
+    #[test]
+    fn options_default_eta_cap_and_stale_gate() {
+        let o = SimplexOptions::default();
+        assert!(o.eta_cap >= 8, "eta cap must allow a useful chain");
+        assert!(
+            o.warm_stale_frac > 0.0 && o.warm_stale_frac <= 1.0,
+            "stale fraction is a fraction"
+        );
     }
 
     #[test]

@@ -302,19 +302,29 @@ impl MetricsSnapshot {
     }
 
     /// Scalar view used when folding metrics into bench JSON rows:
-    /// counters and gauge high-water marks only (histograms are traced,
-    /// not folded, to keep rows flat-comparable).
+    /// counters, gauge high-water marks, and per-histogram
+    /// `{name}.count` / `{name}.p50` / `{name}.p95` scalars so tools like
+    /// `bench_diff` can compare solve-time percentiles across runs.
+    /// Empty histograms are skipped entirely, keeping rows flat and free
+    /// of all-zero noise.
     pub fn scalars(&self) -> Vec<(String, f64)> {
-        self.entries
-            .iter()
-            .filter_map(|e| match &e.value {
-                MetricValue::Counter(v) => Some((e.name.to_string(), *v as f64)),
+        let mut out = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            match &e.value {
+                MetricValue::Counter(v) => out.push((e.name.to_string(), *v as f64)),
                 MetricValue::Gauge { high_water, .. } => {
-                    Some((e.name.to_string(), *high_water as f64))
+                    out.push((e.name.to_string(), *high_water as f64));
                 }
-                MetricValue::Histogram(_) => None,
-            })
-            .collect()
+                MetricValue::Histogram(h) => {
+                    if h.count > 0 {
+                        out.push((format!("{}.count", e.name), h.count as f64));
+                        out.push((format!("{}.p50", e.name), h.p50 as f64));
+                        out.push((format!("{}.p95", e.name), h.p95 as f64));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Render as an aligned human-readable table.
