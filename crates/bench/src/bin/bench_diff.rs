@@ -9,8 +9,10 @@
 //! ```
 //!
 //! Rows are matched by position and must agree on `width`; for each pair
-//! the tool prints the wall-time, node and pivot deltas as percentages
-//! of the baseline, plus the candidate's warm/cold solve split. When
+//! the tool prints the wall-time, node, LP-solve (warm + cold) and pivot
+//! deltas as percentages of the baseline, plus the candidate's warm/cold
+//! solve split and the nodes whose LP the α-bound gate skipped
+//! (`lp_skipped`; baselines written before the gate carry `0`). When
 //! either file carries an obs `metrics` block (`--metrics` on the report
 //! binaries) a second section reports throughput and latency deltas:
 //! `lp.pivots` per second and the warm/cold solve-time p50/p95 shifts.
@@ -24,9 +26,11 @@
 //!   the baseline's (the perf-regression gate behind `./ci
 //!   --bench-smoke`).
 //! * `--require-identical` — any row pair differs in its verified
-//!   `value` (compared bit-for-bit via `f64::to_bits`) or its
-//!   `degradation` tag. Kernel rewrites may shift wall time but must
-//!   not shift verdicts; this is the determinism gate.
+//!   `value` (compared bit-for-bit via `f64::to_bits`; the writer rounds
+//!   values to 12 significant digits, so ulp-level search-path noise
+//!   never reaches this gate) or its `degradation` tag. Kernel rewrites
+//!   and tree-reshaping knobs may shift wall time but must not shift
+//!   verdicts; this is the determinism gate.
 
 use certnn_bench::json::{read_json, BenchRow};
 use std::path::Path;
@@ -47,21 +51,33 @@ fn fmt_pct(p: Option<f64>) -> String {
 }
 
 fn print_diff(base: &[BenchRow], cand: &[BenchRow]) {
+    let solves = |r: &BenchRow| (r.warm_solves + r.cold_solves) as f64;
     println!(
-        "{:<6} {:>12} {:>12} {:>9} | {:>8} | {:>10} | {:>13} {:>12}",
-        "width", "base wall", "cand wall", "Δwall", "Δnodes", "Δpivots", "warm/cold", "saved"
+        "{:<6} {:>12} {:>12} {:>9} | {:>8} | {:>8} | {:>10} | {:>13} {:>8} {:>12}",
+        "width",
+        "base wall",
+        "cand wall",
+        "Δwall",
+        "Δnodes",
+        "Δsolves",
+        "Δpivots",
+        "warm/cold",
+        "skipped",
+        "saved"
     );
     for (b, c) in base.iter().zip(cand) {
         println!(
-            "{:<6} {:>11.3}s {:>11.3}s {:>9} | {:>8} | {:>10} | {:>6}/{:<6} {:>12}",
+            "{:<6} {:>11.3}s {:>11.3}s {:>9} | {:>8} | {:>8} | {:>10} | {:>6}/{:<6} {:>8} {:>12}",
             b.width,
             b.wall_secs,
             c.wall_secs,
             fmt_pct(pct(b.wall_secs, c.wall_secs)),
             fmt_pct(pct(b.nodes as f64, c.nodes as f64)),
+            fmt_pct(pct(solves(b), solves(c))),
             fmt_pct(pct(b.lp_iterations as f64, c.lp_iterations as f64)),
             c.warm_solves,
             c.cold_solves,
+            c.lp_skipped,
             c.pivots_saved
         );
     }
@@ -69,14 +85,23 @@ fn print_diff(base: &[BenchRow], cand: &[BenchRow]) {
         rows.iter().map(f).filter(|v| v.is_finite()).sum()
     };
     let (bw, cw) = (total(base, |r| r.wall_secs), total(cand, |r| r.wall_secs));
+    let (bn, cn) = (
+        total(base, |r| r.nodes as f64),
+        total(cand, |r| r.nodes as f64),
+    );
+    let (bs, cs) = (total(base, solves), total(cand, solves));
     let (bp, cp) = (
         total(base, |r| r.lp_iterations as f64),
         total(cand, |r| r.lp_iterations as f64),
     );
+    let skipped: usize = cand.iter().map(|r| r.lp_skipped).sum();
     println!(
-        "total  {bw:>11.3}s {cw:>11.3}s {:>9} |          | {:>10} |",
+        "total  {bw:>11.3}s {cw:>11.3}s {:>9} | {:>8} | {:>8} | {:>10} | {:>13} {skipped:>8}",
         fmt_pct(pct(bw, cw)),
+        fmt_pct(pct(bn, cn)),
+        fmt_pct(pct(bs, cs)),
         fmt_pct(pct(bp, cp)),
+        "",
     );
 }
 
@@ -118,6 +143,20 @@ fn print_metrics_diff(base: &[BenchRow], cand: &[BenchRow]) {
             fmt_pct(pct(b, c))
         ),
         _ => println!("{:<26} {:>12} {:>12} {:>9}", "lp.pivots/s", "n.a.", "n.a.", "n.a."),
+    }
+    for key in ["bab.lp_skipped", "bab.lp_forced"] {
+        let row = |v: Option<f64>| v.map_or("n.a.".to_string(), |c| format!("{c:.0}"));
+        let (b, c) = (metric(base, key), metric(cand, key));
+        // Skip-gate counters: absent entirely from pre-gate baselines
+        // and metrics-free files; print only when either side has them.
+        if b.is_none() && c.is_none() {
+            continue;
+        }
+        let delta = match (b, c) {
+            (Some(b), Some(c)) => fmt_pct(pct(b, c)),
+            _ => "n.a.".to_string(),
+        };
+        println!("{key:<26} {:>12} {:>12} {delta:>9}", row(b), row(c));
     }
     for hist in ["lp.warm_solve_nanos", "lp.cold_solve_nanos"] {
         for q in ["p50", "p95"] {

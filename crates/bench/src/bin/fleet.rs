@@ -2,11 +2,15 @@
 //! data do not all satisfy the safety property.
 //!
 //! Usage: `fleet [--smoke] [--threads N] [--json rows.json] [--cold]
-//! [--fault-inject SEED] [--trace t.jsonl] [--metrics] [--profile]`
+//! [--alpha-iters N] [--no-lp-skip] [--fault-inject SEED]
+//! [--trace t.jsonl] [--metrics] [--profile]`
 //!
 //! `--threads 0` (the default) trains/verifies members on all available
 //! cores; `--threads 1` restores the serial run. `--cold` disables LP
-//! warm-starting (verdict-preserving baseline). `--json` additionally
+//! warm-starting (verdict-preserving baseline). `--alpha-iters N` sets
+//! the α-bound coordinate-descent rounds (`0` = fixed-slope heuristic,
+//! bit-for-bit) and `--no-lp-skip` disables the per-node LP elision
+//! gate; both are verdict-preserving. `--json` additionally
 //! writes one machine-readable record per member (see
 //! [`certnn_bench::json`]). `--fault-inject SEED` (builds with
 //! `--features fault-inject` only) arms the seeded chaos plan of
@@ -46,6 +50,12 @@ fn main() {
                 config.threads = args[i].parse().expect("threads must be an integer");
             }
             "--cold" => config.warm_start = false,
+            "--alpha-iters" => {
+                i += 1;
+                config.alpha_iters =
+                    args[i].parse().expect("alpha iters must be an integer");
+            }
+            "--no-lp-skip" => config.lp_skip = false,
             "--json" => {
                 i += 1;
                 json_path = Some(PathBuf::from(&args[i]));
@@ -120,6 +130,7 @@ fn main() {
                         warm_solves: m.warm_solves,
                         cold_solves: m.cold_solves,
                         pivots_saved: m.pivots_saved,
+                        lp_skipped: m.lp_skipped,
                         threads: config.threads,
                         warm_start: config.warm_start,
                         degradation: m.degradation,

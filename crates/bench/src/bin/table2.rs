@@ -5,6 +5,7 @@
 //! ```text
 //! table2 [--widths 10,20,25,40,50,60] [--time-limit 120] [--epochs 25]
 //!        [--threads N] [--json rows.json] [--smoke] [--cold]
+//!        [--alpha-iters N] [--no-lp-skip]
 //!        [--fault-inject SEED] [--trace t.jsonl] [--metrics] [--profile]
 //! ```
 //!
@@ -12,7 +13,12 @@
 //! `--threads 0` (the default) verifies widths on all available cores;
 //! `--threads 1` restores the serial run. `--cold` disables LP
 //! warm-starting (the baseline the warm path is benchmarked against;
-//! verdicts are identical either way). `--json` additionally writes one
+//! verdicts are identical either way). `--alpha-iters N` sets the
+//! coordinate-descent rounds of the α-optimized bounding layer (`0`
+//! reproduces the fixed-slope heuristic bit-for-bit) and `--no-lp-skip`
+//! disables the gate that elides per-node LP relaxations where they are
+//! redundant (sub-MILP hand-off nodes, whose root solve subsumes them);
+//! verdicts are identical at any setting. `--json` additionally writes one
 //! machine-readable record per width (see [`certnn_bench::json`]) —
 //! diff two such files with `bench_diff`. `--fault-inject SEED` (builds
 //! with `--features fault-inject` only) arms the seeded chaos plan of
@@ -71,6 +77,12 @@ fn main() {
                 config.threads = args[i].parse().expect("threads must be an integer");
             }
             "--cold" => config.warm_start = false,
+            "--alpha-iters" => {
+                i += 1;
+                config.alpha_iters =
+                    args[i].parse().expect("alpha iters must be an integer");
+            }
+            "--no-lp-skip" => config.lp_skip = false,
             "--json" => {
                 i += 1;
                 json_path = Some(PathBuf::from(&args[i]));
@@ -148,6 +160,7 @@ fn main() {
                         warm_solves: row.warm_solves,
                         cold_solves: row.cold_solves,
                         pivots_saved: row.pivots_saved,
+                        lp_skipped: row.lp_skipped,
                         threads: config.threads,
                         warm_start: config.warm_start,
                         degradation: row.degradation,

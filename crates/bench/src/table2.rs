@@ -81,6 +81,13 @@ pub struct Table2Config {
     /// warm start). Verdict-preserving; disable to benchmark the cold
     /// path.
     pub warm_start: bool,
+    /// α-optimization rounds per branch-and-bound node (see
+    /// [`VerifierOptions::alpha_iters`]); `0` reproduces the fixed-slope
+    /// heuristic bit-for-bit.
+    pub alpha_iters: usize,
+    /// Skip per-node LP relaxations far above the prune level (see
+    /// [`VerifierOptions::lp_skip`]).
+    pub lp_skip: bool,
 }
 
 impl Default for Table2Config {
@@ -103,6 +110,8 @@ impl Default for Table2Config {
             seed: 7,
             threads: 0,
             warm_start: true,
+            alpha_iters: certnn_verify::bab::DEFAULT_ALPHA_ITERS,
+            lp_skip: true,
         }
     }
 }
@@ -128,6 +137,8 @@ impl Table2Config {
             seed: 1,
             threads: 0,
             warm_start: true,
+            alpha_iters: certnn_verify::bab::DEFAULT_ALPHA_ITERS,
+            lp_skip: true,
         }
     }
 }
@@ -156,6 +167,8 @@ pub struct Table2Row {
     pub cold_solves: usize,
     /// Estimated pivots avoided by warm starts.
     pub pivots_saved: usize,
+    /// B&B nodes whose LP relaxation the α-bound skip gate elided.
+    pub lp_skipped: usize,
     /// Worst degradation across this row's queries (`Exact` on a clean
     /// run; sound fallback bounds otherwise).
     pub degradation: Degradation,
@@ -315,6 +328,7 @@ fn run_width(ctx: &WidthCtx, i: usize, width: usize) -> Result<(Table2Row, Netwo
         warm_solves: result.stats.warm_solves,
         cold_solves: result.stats.cold_solves,
         pivots_saved: result.stats.pivots_saved,
+        lp_skipped: result.stats.lp_skipped,
         degradation: result.stats.degradation,
     };
     Ok((row, net))
@@ -368,6 +382,8 @@ pub fn run_table2_under(
         // its cores to the search instead.
         threads: if workers > 1 { 1 } else { config.threads },
         warm_start: config.warm_start,
+        alpha_iters: config.alpha_iters,
+        lp_skip: config.lp_skip,
         ..VerifierOptions::default()
     })
     .with_deadline(deadline);

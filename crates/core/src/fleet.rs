@@ -51,6 +51,13 @@ pub struct FleetConfig {
     /// [`VerifierOptions::warm_start`]). Verdict-preserving; disable to
     /// benchmark the cold path.
     pub warm_start: bool,
+    /// α-optimization rounds per branch-and-bound node (see
+    /// [`VerifierOptions::alpha_iters`]); `0` reproduces the fixed-slope
+    /// heuristic bit-for-bit.
+    pub alpha_iters: usize,
+    /// Skip per-node LP relaxations far above the prune level (see
+    /// [`VerifierOptions::lp_skip`]).
+    pub lp_skip: bool,
 }
 
 impl Default for FleetConfig {
@@ -72,6 +79,8 @@ impl Default for FleetConfig {
             time_limit: Duration::from_secs(60),
             threads: 0,
             warm_start: true,
+            alpha_iters: certnn_verify::bab::DEFAULT_ALPHA_ITERS,
+            lp_skip: true,
         }
     }
 }
@@ -96,6 +105,8 @@ impl FleetConfig {
             time_limit: Duration::from_secs(30),
             threads: 0,
             warm_start: true,
+            alpha_iters: certnn_verify::bab::DEFAULT_ALPHA_ITERS,
+            lp_skip: true,
         }
     }
 }
@@ -123,6 +134,8 @@ pub struct FleetMember {
     pub cold_solves: usize,
     /// Estimated pivots avoided by warm starts.
     pub pivots_saved: usize,
+    /// B&B nodes whose LP relaxation the α-bound skip gate elided.
+    pub lp_skipped: usize,
     /// Worst degradation across this member's verification queries:
     /// `Exact` on a clean run, worse if a numeric fault, worker panic or
     /// deadline forced a (still sound) fallback bound.
@@ -236,6 +249,7 @@ fn run_member(
         warm_solves: result.stats.warm_solves,
         cold_solves: result.stats.cold_solves,
         pivots_saved: result.stats.pivots_saved,
+        lp_skipped: result.stats.lp_skipped,
         degradation: result.stats.degradation,
     })
 }
@@ -286,6 +300,8 @@ pub fn run_fleet_under(config: &FleetConfig, deadline: Deadline) -> Result<Fleet
         // its cores to the search instead.
         threads: if workers > 1 { 1 } else { config.threads },
         warm_start: config.warm_start,
+        alpha_iters: config.alpha_iters,
+        lp_skip: config.lp_skip,
         ..VerifierOptions::default()
     })
     .with_deadline(deadline);

@@ -89,6 +89,8 @@ pub fn max_lateral_velocity(
         stats.warm_solves += r.stats.warm_solves;
         stats.cold_solves += r.stats.cold_solves;
         stats.pivots_saved += r.stats.pivots_saved;
+        stats.lp_skipped += r.stats.lp_skipped;
+        stats.lp_forced += r.stats.lp_forced;
         stats.elapsed += r.stats.elapsed;
         stats.degradation = stats.degradation.merge(r.stats.degradation);
         per_component.push(r);
@@ -131,6 +133,8 @@ pub fn prove_lateral_below(
         stats.warm_solves += s.warm_solves;
         stats.cold_solves += s.cold_solves;
         stats.pivots_saved += s.pivots_saved;
+        stats.lp_skipped += s.lp_skipped;
+        stats.lp_forced += s.lp_forced;
         stats.elapsed += s.elapsed;
         stats.degradation = stats.degradation.merge(s.degradation);
         match verdict {

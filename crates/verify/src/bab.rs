@@ -53,7 +53,7 @@
 //! scenario constraints fall back to the pure MILP path in
 //! [`crate::verifier::Verifier`].
 
-use crate::bounds::{analyze_with_phases, interval_objective_ceiling, PhaseAnalyzer, PhasedAnalysis};
+use crate::bounds::{interval_objective_ceiling, PhaseAnalyzer, PhasedAnalysis};
 use crate::encoder::{encode, BoundMethod, Encoding};
 use crate::property::{InputSpec, LinearObjective};
 use crate::VerifyError;
@@ -78,6 +78,8 @@ struct BabMetrics {
     milp_calls: certnn_obs::Counter,
     node_panics: certnn_obs::Counter,
     worker_deaths: certnn_obs::Counter,
+    lp_skipped: certnn_obs::Counter,
+    lp_forced: certnn_obs::Counter,
     frontier_depth: certnn_obs::Gauge,
 }
 
@@ -89,6 +91,8 @@ fn bab_metrics() -> &'static BabMetrics {
         milp_calls: certnn_obs::counter("bab.milp_calls"),
         node_panics: certnn_obs::counter("bab.node_panics"),
         worker_deaths: certnn_obs::counter("bab.worker_deaths"),
+        lp_skipped: certnn_obs::counter("bab.lp_skipped"),
+        lp_forced: certnn_obs::counter("bab.lp_forced"),
         frontier_depth: certnn_obs::gauge("bab.frontier_depth"),
     })
 }
@@ -123,6 +127,21 @@ use std::time::{Duration, Instant};
 /// How many times a node whose processing panicked is re-queued before
 /// its (sound) bound is folded and the subtree given up.
 const MAX_NODE_RETRIES: usize = 2;
+
+/// Default [`BabOptions::alpha_iters`]: coordinate-descent rounds of the
+/// α-optimized bounding layer. One round already captures most of the
+/// gain because children warm-start from the parent's tuned slopes.
+/// `0` switches the tuner off and reproduces the fixed-slope heuristic
+/// bit-for-bit.
+pub const DEFAULT_ALPHA_ITERS: usize = 1;
+
+/// Default [`BabOptions::lp_skip_margin`]: `0.0` disables the
+/// near-prune leg of the skip gate, leaving only the sub-MILP elision.
+/// Measurement on the Table II widths showed that any finite margin
+/// starves deep subtrees of the LP tightening their descendants inherit
+/// (node bounds min-chain from parent to child) and explodes the node
+/// count; see DESIGN.md.
+pub const DEFAULT_LP_SKIP_MARGIN: f64 = 0.0;
 
 /// Resolves a thread-count knob: `0` means "one worker per available
 /// core", any other value is used as-is.
@@ -163,6 +182,23 @@ pub struct BabOptions {
     /// warm-start sub-MILP trees from parent bases. Verdict-preserving;
     /// disable only to collect a cold baseline.
     pub warm_start: bool,
+    /// Coordinate-descent rounds of the α-optimized bounding layer per
+    /// node (see [`PhaseAnalyzer::analyze_tuned`]). `0` disables tuning
+    /// and reproduces the fixed-slope heuristic bit-for-bit; the root
+    /// encoding then also falls back to [`BoundMethod::Symbolic`].
+    pub alpha_iters: usize,
+    /// Elide the standalone LP relaxation where it is provably redundant
+    /// or unlikely to prune: at nodes handed to the exact sub-MILP
+    /// (whose root solve is that same relaxation) and — when
+    /// [`BabOptions::lp_skip_margin`] is positive — at nodes whose
+    /// α-tightened bound already sits within the margin of the prune
+    /// level. Metered as `bab.lp_skipped` vs `bab.lp_forced`. Sound: the
+    /// symbolic bound alone is a valid node bound; the LP only ever
+    /// tightens it. Disable to reproduce LP-at-every-node behaviour.
+    pub lp_skip: bool,
+    /// Margin of the near-prune leg of the LP-skip gate, in objective
+    /// units; `0.0` (the default) disables that leg.
+    pub lp_skip_margin: f64,
 }
 
 impl Default for BabOptions {
@@ -177,6 +213,9 @@ impl Default for BabOptions {
             lp_bounding: true,
             threads: 1,
             warm_start: true,
+            alpha_iters: DEFAULT_ALPHA_ITERS,
+            lp_skip: true,
+            lp_skip_margin: DEFAULT_LP_SKIP_MARGIN,
         }
     }
 }
@@ -213,6 +252,11 @@ pub struct BabResult {
     /// Warm-start accounting aggregated over all workers: the per-worker
     /// LP bounding caches plus every sub-MILP tree.
     pub warm_stats: MilpStats,
+    /// Nodes whose LP relaxation the skip gate elided (see
+    /// [`BabOptions::lp_skip`]). `0` when the gate is off.
+    pub lp_skipped: usize,
+    /// Nodes whose LP relaxation ran while the skip gate was active.
+    pub lp_forced: usize,
     /// Worst degradation encountered anywhere in the search: `Exact`
     /// unless a fault forced a fallback, a worker panicked, or a deadline
     /// folded unexplored subtrees into the bound. The bound is sound at
@@ -232,6 +276,11 @@ struct Node {
     /// fixed plus interval refinements), so this basis has far better
     /// locality than any last-solved cache under best-first ordering.
     warm: Option<Arc<WarmStart>>,
+    /// Tuned α slopes of the nearest tuned ancestor, shared across
+    /// siblings — the warm start of this node's own α descent. One fixed
+    /// phase barely moves the optimal slopes, so children converge in a
+    /// round or two. `None` when tuning is off (`alpha_iters == 0`).
+    alpha: Option<Arc<Vec<f64>>>,
 }
 
 impl PartialEq for Node {
@@ -335,6 +384,12 @@ struct WorkerCounters {
     /// Wall time this worker spent selecting branch variables and
     /// building children, nanoseconds.
     branch_nanos: u64,
+    /// Nodes whose LP relaxation the skip gate elided (symbolic bound far
+    /// above the prune level).
+    lp_skipped: usize,
+    /// Nodes whose LP relaxation ran with the skip gate active (bound
+    /// within the margin, or no finite prune level yet).
+    lp_forced: usize,
 }
 
 /// What one processed node produced.
@@ -701,9 +756,19 @@ pub fn bab_maximize_under(
         Vector::from(v)
     };
 
-    // Encoding for the exact sub-MILP fallback (built once, bounds from
-    // the same symbolic presolve).
-    let enc: Encoding = encode(net, spec, BoundMethod::Symbolic)?;
+    // Encoding for the exact sub-MILP fallback (built once). With α
+    // tuning on, the encoder runs the same descent over whole-network
+    // bounds: more stably-fixed neurons (fewer binaries) and tighter
+    // big-M constants. `alpha_iters == 0` keeps the plain symbolic
+    // presolve bit-for-bit.
+    let bound_method = if opts.alpha_iters > 0 {
+        BoundMethod::AlphaOptimized {
+            iters: opts.alpha_iters,
+        }
+    } else {
+        BoundMethod::Symbolic
+    };
+    let enc: Encoding = encode(net, spec, bound_method)?;
     // Objective-bearing model for node LP relaxations and sub-MILPs.
     let obj_model = {
         let mut m = enc.milp.clone();
@@ -739,7 +804,12 @@ pub fn bab_maximize_under(
     };
 
     let root_phases = vec![None; total_relu];
-    let root = analyze_with_phases(net, input_box, &root_phases, objective)?;
+    let (root, root_alpha) = PhaseAnalyzer::new(net, input_box)?.analyze_tuned(
+        &root_phases,
+        objective,
+        opts.alpha_iters,
+        None,
+    )?;
     let root_bound = root.objective_upper;
     // The symbolic root bound is usually tighter than plain interval
     // arithmetic but is not guaranteed to be; the ceiling caps whatever
@@ -753,6 +823,7 @@ pub fn bab_maximize_under(
             depth: 0,
             retries: 0,
             warm: None,
+            alpha: root_alpha.map(Arc::new),
         },
     );
     state.try_incumbent(&ctx, &root.maximizer);
@@ -797,6 +868,8 @@ pub fn bab_maximize_under(
     let fold_phase = certnn_obs::phase(certnn_obs::Phase::Fold);
     let mut milp_calls = 0usize;
     let mut lp_iterations = 0usize;
+    let mut lp_skipped = 0usize;
+    let mut lp_forced = 0usize;
     let mut warm_stats = MilpStats::default();
     let mut degradation = Degradation::Exact;
     let mut search_nanos = 0u64;
@@ -804,6 +877,8 @@ pub fn bab_maximize_under(
         let counters = result?;
         milp_calls += counters.milp_calls;
         lp_iterations += counters.lp_iterations;
+        lp_skipped += counters.lp_skipped;
+        lp_forced += counters.lp_forced;
         search_nanos += counters.bound_nanos + counters.branch_nanos;
         // Structured per-worker warm-start accounting (replaces the old
         // CERTNN_WARM_DEBUG stderr dump): machine-readable in the trace,
@@ -816,6 +891,8 @@ pub fn bab_maximize_under(
                 ("lp_warm_solves", lp_stats.warm_solves.into()),
                 ("lp_cold_solves", lp_stats.cold_solves.into()),
                 ("lp_pivots_saved", lp_stats.pivots_saved.into()),
+                ("lp_skipped", counters.lp_skipped.into()),
+                ("lp_forced", counters.lp_forced.into()),
                 ("submilp_warm_solves", counters.milp_stats.warm_solves.into()),
                 ("submilp_cold_solves", counters.milp_stats.cold_solves.into()),
                 ("submilp_pivots", counters.submilp_pivots.into()),
@@ -898,12 +975,15 @@ pub fn bab_maximize_under(
         let m = bab_metrics();
         m.nodes.add(frontier.nodes as u64);
         m.milp_calls.add(milp_calls as u64);
+        m.lp_skipped.add(lp_skipped as u64);
+        m.lp_forced.add(lp_forced as u64);
         certnn_obs::event(
             "bab.done",
             vec![
                 ("status", format!("{status:?}").into()),
                 ("degradation", degradation.as_str().into()),
                 ("nodes", frontier.nodes.into()),
+                ("lp_skipped", lp_skipped.into()),
                 ("upper_bound", upper_bound.into()),
                 ("search_nanos", search_nanos.into()),
                 ("threads", threads_used.into()),
@@ -926,6 +1006,8 @@ pub fn bab_maximize_under(
         threads_used,
         nodes_per_sec,
         warm_stats,
+        lp_skipped,
+        lp_forced,
         degradation,
     })
 }
@@ -985,12 +1067,32 @@ fn process_node(
     // relaxation and sub-MILP. The guard accounts on every early return.
     let bound_clock = NanoClock::start(&mut counters.bound_nanos);
     let bound_phase = certnn_obs::phase(certnn_obs::Phase::Bound);
-    // Fresh analysis at the popped node (cheap relative to any LP).
+    // Fresh heuristic analysis at the popped node (cheap relative to any
+    // LP). This analysis drives everything shape-affecting — branching
+    // choice, incumbents, LP bounds, decided phases — so with α tuning
+    // off the tree is bit-for-bit today's.
     let analysis = analyzer.analyze(&node.phases, ctx.objective)?;
     if analysis.conflict {
         return Ok(NodeOutcome::default());
     }
     let mut node_bound = analysis.objective_upper.min(node.bound);
+    // α refinement: a *second* sound bound from the inherited
+    // (ancestor-tuned) slopes, refined by at most `alpha_iters` flips.
+    // Only the bound (and a conflict, which proves the region empty)
+    // feeds the search — branching stays on the heuristic analysis, so
+    // the α pass can only prune subtrees, never reshape them.
+    let mut node_alpha = node.alpha.clone();
+    if opts.alpha_iters > 0 {
+        if let Some(a) = node.alpha.as_deref() {
+            let (alpha_an, refined) =
+                analyzer.refine_alpha(&node.phases, ctx.objective, a, opts.alpha_iters)?;
+            if alpha_an.conflict {
+                return Ok(NodeOutcome::default());
+            }
+            node_bound = node_bound.min(alpha_an.objective_upper);
+            node_alpha = Some(Arc::new(refined));
+        }
+    }
     if node_bound <= state.prune_level(opts.abs_gap) {
         return Ok(NodeOutcome::default());
     }
@@ -1009,35 +1111,55 @@ fn process_node(
     // own LP solution when bounding runs, else the inherited ancestor's.
     let mut node_snap = node.warm.clone();
 
-    if opts.lp_bounding {
+    // LP-skip gate. Two elisions, both sound because the symbolic bound
+    // is a valid node bound on its own:
+    //
+    // * A node about to be resolved by the exact sub-MILP skips its
+    //   standalone relaxation — the sub-MILP's root solve *is* that
+    //   relaxation (same model, binaries pinned), and the cross-thread
+    //   incumbent seed reproduces the prune-before-branch check.
+    // * A node whose α-tightened bound already sits within
+    //   `lp_skip_margin` of the prune level branches directly: its
+    //   children's (cheap) symbolic analyses usually finish the kill.
+    //   `0.0` disables this leg — measurement on the Table II widths
+    //   shows per-node LP bounds compound down the tree (children
+    //   inherit them via `min`), so starving deep subtrees of LP
+    //   tightening explodes the node count; see DESIGN.md.
+    //
+    // The LP always runs while no finite prune level exists: the
+    // relaxation is then the main source of bound tightening and
+    // incumbents.
+    let run_lp = if !opts.lp_bounding {
+        false
+    } else if !opts.lp_skip {
+        true
+    } else if analysis.unstable.len() <= opts.milp_threshold {
+        counters.lp_skipped += 1;
+        false
+    } else {
+        let pivot = state
+            .prune_level(opts.abs_gap)
+            .max(opts.bound_cutoff.unwrap_or(f64::NEG_INFINITY));
+        let near = pivot.is_finite() && node_bound - pivot <= opts.lp_skip_margin;
+        if near {
+            counters.lp_skipped += 1;
+        } else {
+            counters.lp_forced += 1;
+        }
+        !near
+    };
+
+    if run_lp {
         // LP relaxation with node-tightened variable bounds: fix the
         // decided binaries, clamp every pre-activation variable to its
         // phase-propagated interval and shrink the y uppers to match.
-        let mut nb = ctx.base_bounds.to_vec();
-        for (li, zl) in ctx.enc.z_vars.iter().enumerate() {
-            for (j, zv) in zl.iter().enumerate() {
-                let iv = analysis.bounds.pre[li][j].widened(1e-6);
-                let (blo, bhi) = nb[zv.index()];
-                nb[zv.index()] = (blo.max(iv.lo()), bhi.min(iv.hi()));
-                if nb[zv.index()].0 > nb[zv.index()].1 {
-                    nb[zv.index()] = (iv.lo(), iv.hi());
-                }
-            }
-        }
-        for (flat, yv) in ctx.enc.y_vars.iter().enumerate() {
-            let Some(yv) = yv else { continue };
-            // Flat -> (layer, neuron) via the prefix sums in flat_map.
-            let (li, j) = ctx.flat_map[flat];
-            let hi = analysis.bounds.pre[li][j].hi().max(0.0) + 1e-6;
-            let (blo, bhi) = nb[yv.index()];
-            nb[yv.index()] = (blo, bhi.min(hi));
-        }
-        for &(flat, v) in &decided {
-            if let Some(bin) = ctx.enc.relu_binaries[flat] {
-                let b = if v { 1.0 } else { 0.0 };
-                nb[bin.index()] = (b, b);
-            }
-        }
+        // An empty base ∩ phase-propagated intersection proves the node
+        // region infeasible — prune it outright.
+        let Some(nb) =
+            tighten_node_bounds(ctx.enc, ctx.flat_map, ctx.base_bounds, &analysis, &decided)
+        else {
+            return Ok(NodeOutcome::default());
+        };
         // Warm-start from the node's inherited ancestor basis when one
         // exists: parent and child relaxations differ by one fixed binary
         // plus interval refinements, the ideal dual-simplex re-solve.
@@ -1239,6 +1361,11 @@ fn process_node(
     for val in [true, false] {
         let mut phases = node.phases.clone();
         phases[flat] = Some(val);
+        // Heuristic evaluation, exactly as with tuning off: the child's
+        // stored bound decides frontier order, so keeping it on the
+        // heuristic path keeps pop order — and therefore the shape of
+        // the surviving tree — independent of α. The child refines the
+        // inherited slopes itself when popped.
         let child = analyzer.analyze(&phases, ctx.objective)?;
         if child.conflict {
             continue;
@@ -1254,9 +1381,56 @@ fn process_node(
             depth: node.depth + 1,
             retries: 0,
             warm: node_snap.clone(),
+            alpha: node_alpha.clone(),
         });
     }
     Ok(outcome)
+}
+
+/// Builds the LP relaxation's node-tightened variable bounds: every
+/// pre-activation clamped to base ∩ phase-propagated interval (both
+/// sides already widened by 1e-6), every unstable post-activation's
+/// upper shrunk to match, and every decided binary fixed.
+///
+/// Returns `None` when some pre-activation's intersection is empty: the
+/// node's phase region admits no point consistent with the encoding's
+/// base bounds, so the node is infeasible and can be pruned. (Both
+/// operands carry the 1e-6 widening, so a genuine feasible region can
+/// never produce an empty intersection through round-off.)
+fn tighten_node_bounds(
+    enc: &Encoding,
+    flat_map: &[(usize, usize)],
+    base: &[(f64, f64)],
+    analysis: &PhasedAnalysis,
+    decided: &[(usize, bool)],
+) -> Option<Vec<(f64, f64)>> {
+    let mut nb = base.to_vec();
+    for (li, zl) in enc.z_vars.iter().enumerate() {
+        for (j, zv) in zl.iter().enumerate() {
+            let iv = analysis.bounds.pre[li][j].widened(1e-6);
+            let (blo, bhi) = nb[zv.index()];
+            let (lo, hi) = (blo.max(iv.lo()), bhi.min(iv.hi()));
+            if lo > hi {
+                return None;
+            }
+            nb[zv.index()] = (lo, hi);
+        }
+    }
+    for (flat, yv) in enc.y_vars.iter().enumerate() {
+        let Some(yv) = yv else { continue };
+        // Flat -> (layer, neuron) via the prefix sums in flat_map.
+        let (li, j) = flat_map[flat];
+        let hi = analysis.bounds.pre[li][j].hi().max(0.0) + 1e-6;
+        let (blo, bhi) = nb[yv.index()];
+        nb[yv.index()] = (blo, bhi.min(hi));
+    }
+    for &(flat, v) in decided {
+        if let Some(bin) = enc.relu_binaries[flat] {
+            let b = if v { 1.0 } else { 0.0 };
+            nb[bin.index()] = (b, b);
+        }
+    }
+    Some(nb)
 }
 
 /// Phase decisions at a node: explicitly forced by the node plus those
@@ -1300,6 +1474,44 @@ mod tests {
 
     fn unit_spec(n: usize) -> InputSpec {
         InputSpec::from_box(vec![Interval::new(-1.0, 1.0); n]).unwrap()
+    }
+
+    #[test]
+    fn empty_z_bound_intersection_prunes_instead_of_widening() {
+        // Regression: when a node's propagated z-bounds are disjoint from
+        // the encoding's base bounds the region is provably empty — the
+        // old code silently widened to the phase interval and kept
+        // solving an LP over a region that does not exist.
+        use crate::encoder::{encode, BoundMethod};
+        use certnn_milp::VarId;
+        let net = Network::relu_mlp(2, &[4], 1, 7).unwrap();
+        let spec = unit_spec(2);
+        let enc = encode(&net, &spec, BoundMethod::Symbolic).unwrap();
+        let base: Vec<(f64, f64)> = (0..enc.milp.num_vars())
+            .map(|i| enc.milp.bounds(VarId::from_index(i)))
+            .collect();
+        let flat_map: Vec<(usize, usize)> = net
+            .layers()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.activation() == certnn_nn::activation::Activation::Relu)
+            .flat_map(|(li, l)| (0..l.outputs()).map(move |j| (li, j)))
+            .collect();
+        let obj = LinearObjective::output(0);
+        let mut analysis =
+            crate::bounds::analyze_with_phases(&net, spec.bounds(), &[], &obj).unwrap();
+
+        // Consistent bounds tighten without pruning.
+        let nb = tighten_node_bounds(&enc, &flat_map, &base, &analysis, &[]);
+        assert!(nb.is_some(), "consistent bounds must not prune");
+
+        // Force a z interval disjoint from the base bounds: the node
+        // region is empty and the intersection must report it.
+        analysis.bounds.pre[0][0] = Interval::new(1.0e6, 1.0e6 + 1.0);
+        assert!(
+            tighten_node_bounds(&enc, &flat_map, &base, &analysis, &[]).is_none(),
+            "disjoint z-bounds prove infeasibility; widening is unsound speed loss"
+        );
     }
 
     #[test]

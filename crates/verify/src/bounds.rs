@@ -248,6 +248,14 @@ pub struct PhaseAnalyzer<'a> {
     ibp: Option<NetworkBounds>,
     cur: SymbolicBounds,
     nxt: SymbolicBounds,
+    /// Scratch α vector reused across [`analyze_tuned`] calls so the
+    /// coordinate-descent loop allocates nothing per node.
+    ///
+    /// [`analyze_tuned`]: PhaseAnalyzer::analyze_tuned
+    alpha_scratch: Vec<f64>,
+    /// Scratch coordinate list for the descent loop (flat indices of the
+    /// incumbent's unstable neurons).
+    coord_scratch: Vec<usize>,
 }
 
 impl<'a> PhaseAnalyzer<'a> {
@@ -273,6 +281,8 @@ impl<'a> PhaseAnalyzer<'a> {
             ibp: None,
             cur: SymbolicBounds::with_capacity(max_rows, n_in),
             nxt: SymbolicBounds::with_capacity(max_rows, n_in),
+            alpha_scratch: Vec::new(),
+            coord_scratch: Vec::new(),
         })
     }
 
@@ -290,11 +300,48 @@ impl<'a> PhaseAnalyzer<'a> {
     /// Returns [`VerifyError::NotPiecewiseLinear`] for non-ReLU/identity
     /// layers, and [`VerifyError::SpecMismatch`] if `phases` is non-empty
     /// but shorter than the network's ReLU neuron count.
-    #[allow(clippy::needless_range_loop)] // row-indexed symbolic updates
     pub fn analyze(
         &mut self,
         phases: &Phases,
         objective: &LinearObjective,
+    ) -> Result<PhasedAnalysis, VerifyError> {
+        self.analyze_impl(phases, objective, None, None)
+    }
+
+    /// [`analyze`] with an explicit lower-slope vector for unstable
+    /// ReLUs: neuron `f` (flat layer-major ReLU index) uses
+    /// `alpha[f].clamp(0.0, 1.0)` instead of the built-in heuristic.
+    /// Sound for *any* α, because `relu(z) ≥ α·z` holds pointwise for
+    /// every α ∈ [0, 1]. `alpha` must cover every ReLU neuron.
+    ///
+    /// # Errors
+    ///
+    /// As [`analyze`], plus [`VerifyError::SpecMismatch`] when `alpha`
+    /// is shorter than the network's ReLU neuron count.
+    ///
+    /// [`analyze`]: PhaseAnalyzer::analyze
+    pub fn analyze_with_alpha(
+        &mut self,
+        phases: &Phases,
+        objective: &LinearObjective,
+        alpha: &[f64],
+    ) -> Result<PhasedAnalysis, VerifyError> {
+        if alpha.len() < self.net.num_relu_neurons() {
+            return Err(VerifyError::SpecMismatch {
+                network_inputs: self.net.num_relu_neurons(),
+                spec_inputs: alpha.len(),
+            });
+        }
+        self.analyze_impl(phases, objective, Some(alpha), None)
+    }
+
+    #[allow(clippy::needless_range_loop)] // row-indexed symbolic updates
+    fn analyze_impl(
+        &mut self,
+        phases: &Phases,
+        objective: &LinearObjective,
+        alpha: Option<&[f64]>,
+        mut capture: Option<&mut Vec<f64>>,
     ) -> Result<PhasedAnalysis, VerifyError> {
         let net = self.net;
         let input_box = self.input_box;
@@ -304,6 +351,10 @@ impl<'a> PhaseAnalyzer<'a> {
                 network_inputs: total_relu,
                 spec_inputs: phases.len(),
             });
+        }
+        if let Some(cap) = capture.as_deref_mut() {
+            cap.clear();
+            cap.resize(total_relu, 0.0);
         }
         let n_in = net.inputs();
         let mut pre = Vec::with_capacity(net.layers().len());
@@ -419,7 +470,19 @@ impl<'a> PhaseAnalyzer<'a> {
                                         sym.upper_a[(r, c)] *= slope;
                                     }
                                     sym.upper_b[r] = slope * (sym.upper_b[r] - l);
-                                    let lambda = if u >= -l { 1.0 } else { 0.0 };
+                                    let lambda = match alpha {
+                                        Some(a) => a[flat].clamp(0.0, 1.0),
+                                        None => {
+                                            if u >= -l {
+                                                1.0
+                                            } else {
+                                                0.0
+                                            }
+                                        }
+                                    };
+                                    if let Some(cap) = capture.as_deref_mut() {
+                                        cap[flat] = lambda;
+                                    }
                                     for c in 0..n_in {
                                         sym.lower_a[(r, c)] *= lambda;
                                     }
@@ -483,6 +546,198 @@ impl<'a> PhaseAnalyzer<'a> {
             unstable,
         })
     }
+
+    /// α-optimized analysis: coordinate descent over the unstable-ReLU
+    /// lower slopes, minimising the symbolic objective upper bound.
+    ///
+    /// * `iters == 0` reproduces [`analyze`] bit-for-bit and returns no
+    ///   α vector — the zero-cost off switch.
+    /// * Otherwise the heuristic slopes are evaluated first (so tuning
+    ///   can never end looser than the heuristic), `warm` — typically
+    ///   the parent node's tuned α — is adopted when strictly better,
+    ///   and then up to `iters` rounds flip one unstable neuron's slope
+    ///   at a time between the `{0, 1}` vertices, keeping strict
+    ///   improvements. Rounds stop early once a full sweep improves
+    ///   nothing.
+    ///
+    /// Returns the best analysis found together with the α vector that
+    /// produced it (`None` when `iters == 0` or nothing was tuned).
+    /// All candidate slopes are sound, so the minimum over candidates is
+    /// a valid upper bound; a conflict (`objective_upper == −∞`) under
+    /// any sound α proves the region empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`analyze`].
+    ///
+    /// [`analyze`]: PhaseAnalyzer::analyze
+    pub fn analyze_tuned(
+        &mut self,
+        phases: &Phases,
+        objective: &LinearObjective,
+        iters: usize,
+        warm: Option<&[f64]>,
+    ) -> Result<(PhasedAnalysis, Option<Vec<f64>>), VerifyError> {
+        if iters == 0 {
+            return Ok((self.analyze(phases, objective)?, None));
+        }
+        let mut alpha = std::mem::take(&mut self.alpha_scratch);
+        let mut coords = std::mem::take(&mut self.coord_scratch);
+        let result = self.tune_alpha(phases, objective, iters, warm, &mut alpha, &mut coords);
+        let out = match &result {
+            Ok(_) => Some(alpha.clone()),
+            Err(_) => None,
+        };
+        self.alpha_scratch = alpha;
+        self.coord_scratch = coords;
+        Ok((result?, out))
+    }
+
+    /// Cheap per-node α refinement for the branch-and-bound: evaluates
+    /// the inherited (parent-tuned) slope vector under this node's
+    /// phases, then tries at most `flips` single-coordinate `{0, 1}`
+    /// flips on the widest still-unstable neurons, keeping strict
+    /// improvements — one fixed phase barely moves the optimal slopes,
+    /// so a couple of flips recover most of a full descent at a fraction
+    /// of its cost. Returns the best α-analysis found together with the
+    /// refined vector (cloned from scratch; the scratch itself is
+    /// reused across calls).
+    ///
+    /// The result is a *second* sound bound alongside the heuristic
+    /// analysis — callers take the min; the α analysis never drives
+    /// branching, so enabling it can only shrink the search tree.
+    ///
+    /// # Errors
+    ///
+    /// As [`analyze_with_alpha`].
+    ///
+    /// [`analyze_with_alpha`]: PhaseAnalyzer::analyze_with_alpha
+    pub fn refine_alpha(
+        &mut self,
+        phases: &Phases,
+        objective: &LinearObjective,
+        warm: &[f64],
+        flips: usize,
+    ) -> Result<(PhasedAnalysis, Vec<f64>), VerifyError> {
+        let total_relu = self.net.num_relu_neurons();
+        if warm.len() < total_relu {
+            return Err(VerifyError::SpecMismatch {
+                network_inputs: total_relu,
+                spec_inputs: warm.len(),
+            });
+        }
+        let mut alpha = std::mem::take(&mut self.alpha_scratch);
+        alpha.clear();
+        alpha.extend_from_slice(&warm[..total_relu]);
+        let mut best = match self.analyze_impl(phases, objective, Some(&alpha), None) {
+            Ok(a) => a,
+            Err(e) => {
+                self.alpha_scratch = alpha;
+                return Err(e);
+            }
+        };
+        if !best.conflict && flips > 0 {
+            // Widest unstable neurons first: they carry the loosest
+            // triangle relaxations, so their slope matters most.
+            // Top-`flips` selection without sorting the whole list:
+            // `flips` is small (1–2 at the shipped defaults).
+            let mut coords = std::mem::take(&mut self.coord_scratch);
+            coords.clear();
+            for _ in 0..flips.min(best.unstable.len()) {
+                let next = best
+                    .unstable
+                    .iter()
+                    .filter(|&&(f, _)| !coords.contains(&f))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|&(f, _)| f);
+                match next {
+                    Some(f) => coords.push(f),
+                    None => break,
+                }
+            }
+            for i in 0..coords.len() {
+                let f = coords[i];
+                let old = alpha[f];
+                alpha[f] = if old >= 0.5 { 0.0 } else { 1.0 };
+                match self.analyze_impl(phases, objective, Some(&alpha), None) {
+                    Ok(cand) => {
+                        if cand.objective_upper < best.objective_upper - 1e-12 {
+                            best = cand;
+                            if best.conflict {
+                                break;
+                            }
+                        } else {
+                            alpha[f] = old;
+                        }
+                    }
+                    Err(e) => {
+                        self.alpha_scratch = alpha;
+                        self.coord_scratch = coords;
+                        return Err(e);
+                    }
+                }
+            }
+            self.coord_scratch = coords;
+        }
+        let out = alpha.clone();
+        self.alpha_scratch = alpha;
+        Ok((best, out))
+    }
+
+    /// Inner descent loop of [`analyze_tuned`], operating on caller-owned
+    /// scratch so the buffers survive the early `?` returns.
+    ///
+    /// [`analyze_tuned`]: PhaseAnalyzer::analyze_tuned
+    fn tune_alpha(
+        &mut self,
+        phases: &Phases,
+        objective: &LinearObjective,
+        iters: usize,
+        warm: Option<&[f64]>,
+        alpha: &mut Vec<f64>,
+        coords: &mut Vec<usize>,
+    ) -> Result<PhasedAnalysis, VerifyError> {
+        let total_relu = self.net.num_relu_neurons();
+        // Baseline: heuristic slopes, captured into `alpha` so descent
+        // starts from the heuristic vertex.
+        let mut best = self.analyze_impl(phases, objective, None, Some(alpha))?;
+        if let Some(w) = warm {
+            if w.len() == total_relu && !best.conflict {
+                let cand = self.analyze_impl(phases, objective, Some(w), None)?;
+                if cand.objective_upper < best.objective_upper {
+                    best = cand;
+                    alpha.copy_from_slice(w);
+                }
+            }
+        }
+        if best.conflict {
+            // −∞ cannot be improved; skip the descent entirely.
+            return Ok(best);
+        }
+        for _ in 0..iters {
+            coords.clear();
+            coords.extend(best.unstable.iter().map(|&(f, _)| f));
+            let mut improved = false;
+            for &f in coords.iter() {
+                let old = alpha[f];
+                alpha[f] = if old >= 0.5 { 0.0 } else { 1.0 };
+                let cand = self.analyze_impl(phases, objective, Some(alpha), None)?;
+                if cand.objective_upper < best.objective_upper - 1e-12 {
+                    best = cand;
+                    improved = true;
+                    if best.conflict {
+                        return Ok(best);
+                    }
+                } else {
+                    alpha[f] = old;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        Ok(best)
+    }
 }
 
 /// One-shot convenience wrapper over [`PhaseAnalyzer`]; see there for the
@@ -517,6 +772,89 @@ pub fn symbolic_bounds(net: &Network, input_box: &[Interval]) -> Result<NetworkB
         constant: 0.0,
     };
     Ok(analyze_with_phases(net, input_box, &[], &trivial)?.bounds)
+}
+
+/// Intersects `acc` with `other` neuron-by-neuron. Both operands must be
+/// individually sound for the same network and box, so the intersection
+/// is sound and at least as tight as either. Floating-point-empty
+/// intersections (possible only through rounding, never semantically)
+/// keep the accumulator's interval.
+fn intersect_bounds(acc: &mut NetworkBounds, other: &NetworkBounds) {
+    let pairs = acc
+        .pre
+        .iter_mut()
+        .zip(&other.pre)
+        .chain(acc.post.iter_mut().zip(&other.post));
+    for (al, ol) in pairs {
+        for (a, o) in al.iter_mut().zip(ol) {
+            *a = a.intersect(o).unwrap_or(*a);
+        }
+    }
+}
+
+/// α-optimized whole-network bounds for the MILP encoder.
+///
+/// Runs the same `{0, 1}` coordinate descent as
+/// [`PhaseAnalyzer::analyze_tuned`], but scores candidates by what the
+/// encoder cares about — `(unstable neuron count, total unstable width)`,
+/// lexicographically — instead of a single objective bound, and returns
+/// the *intersection* of every sound candidate evaluated along the way.
+/// Each candidate's bounds are sound for any α ∈ [0, 1], so the
+/// intersection is sound and never looser than the heuristic slopes:
+/// more neurons come out stably fixed (fewer binaries) and the remaining
+/// big-M constants shrink.
+///
+/// `iters == 0` is exactly [`symbolic_bounds`].
+///
+/// # Errors
+///
+/// As [`symbolic_bounds`].
+pub fn alpha_optimized_bounds(
+    net: &Network,
+    input_box: &[Interval],
+    iters: usize,
+) -> Result<NetworkBounds, VerifyError> {
+    let trivial = LinearObjective {
+        terms: Vec::new(),
+        constant: 0.0,
+    };
+    let mut analyzer = PhaseAnalyzer::new(net, input_box)?;
+    if iters == 0 {
+        return Ok(analyzer.analyze(&[], &trivial)?.bounds);
+    }
+    let total_relu = net.num_relu_neurons();
+    let mut alpha = vec![0.0; total_relu];
+    let mut best = analyzer.analyze_impl(&[], &trivial, None, Some(&mut alpha))?;
+    let mut acc = best.bounds.clone();
+    fn score(a: &PhasedAnalysis) -> (usize, f64) {
+        (
+            a.unstable.len(),
+            a.unstable.iter().map(|&(_, w)| w).sum::<f64>(),
+        )
+    }
+    let mut best_score = score(&best);
+    for _ in 0..iters {
+        let mut improved = false;
+        let coords: Vec<usize> = best.unstable.iter().map(|&(f, _)| f).collect();
+        for f in coords {
+            let old = alpha[f];
+            alpha[f] = if old >= 0.5 { 0.0 } else { 1.0 };
+            let cand = analyzer.analyze_impl(&[], &trivial, Some(&alpha), None)?;
+            intersect_bounds(&mut acc, &cand.bounds);
+            let s = score(&cand);
+            if s.0 < best_score.0 || (s.0 == best_score.0 && s.1 < best_score.1 - 1e-12) {
+                best_score = s;
+                best = cand;
+                improved = true;
+            } else {
+                alpha[f] = old;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(acc)
 }
 
 #[cfg(test)]
@@ -871,5 +1209,153 @@ mod tests {
         let net = Network::relu_mlp(2, &[4], 1, 0).unwrap();
         let obj = LinearObjective::output(0);
         assert!(analyze_with_phases(&net, &unit_box(2), &[None], &obj).is_err());
+    }
+
+    // --- α-optimized bounding ---
+
+    use proptest::prelude::*;
+
+    #[test]
+    fn analyze_tuned_zero_iters_is_bit_identical_to_analyze() {
+        // The `alpha_iters = 0` off switch must reproduce the heuristic
+        // path exactly — same bits, no α vector.
+        for seed in 0..4 {
+            let net = Network::relu_mlp(3, &[7, 6], 2, seed).unwrap();
+            let ib = unit_box(3);
+            let obj = LinearObjective::output(0);
+            let mut analyzer = PhaseAnalyzer::new(&net, &ib).unwrap();
+            let plain = analyzer.analyze(&[], &obj).unwrap();
+            let (tuned, alpha) = analyzer.analyze_tuned(&[], &obj, 0, None).unwrap();
+            assert!(alpha.is_none());
+            assert_eq!(plain.bounds, tuned.bounds);
+            assert_eq!(
+                plain.objective_upper.to_bits(),
+                tuned.objective_upper.to_bits()
+            );
+            assert_eq!(plain.unstable, tuned.unstable);
+        }
+    }
+
+    #[test]
+    fn short_alpha_vector_rejected() {
+        let net = Network::relu_mlp(2, &[4], 1, 0).unwrap();
+        let obj = LinearObjective::output(0);
+        let ib = unit_box(2);
+        let mut analyzer = PhaseAnalyzer::new(&net, &ib).unwrap();
+        assert!(analyzer.analyze_with_alpha(&[], &obj, &[0.5]).is_err());
+    }
+
+    #[test]
+    fn tuned_alpha_never_looser_and_warm_start_adopted() {
+        for seed in 0..6 {
+            let net = Network::relu_mlp(4, &[10, 10], 1, seed + 200).unwrap();
+            let ib = unit_box(4);
+            let obj = LinearObjective::output(0);
+            let mut analyzer = PhaseAnalyzer::new(&net, &ib).unwrap();
+            let heuristic = analyzer.analyze(&[], &obj).unwrap();
+            let (tuned, alpha) = analyzer.analyze_tuned(&[], &obj, 3, None).unwrap();
+            assert!(
+                tuned.objective_upper <= heuristic.objective_upper,
+                "seed {seed}: tuned {} looser than heuristic {}",
+                tuned.objective_upper,
+                heuristic.objective_upper
+            );
+            // Replaying the returned α must reproduce the tuned bound,
+            // and feeding it back as a warm start can't end looser.
+            let alpha = alpha.expect("iters > 0 returns an alpha vector");
+            let replay = analyzer.analyze_with_alpha(&[], &obj, &alpha).unwrap();
+            assert_eq!(
+                replay.objective_upper.to_bits(),
+                tuned.objective_upper.to_bits()
+            );
+            let (rewarm, _) = analyzer
+                .analyze_tuned(&[], &obj, 1, Some(&alpha))
+                .unwrap();
+            assert!(rewarm.objective_upper <= tuned.objective_upper + 1e-12);
+        }
+    }
+
+    #[test]
+    fn alpha_optimized_bounds_sound_and_never_looser_than_symbolic() {
+        for seed in 0..5 {
+            let net = Network::relu_mlp(4, &[9, 9], 2, seed + 400).unwrap();
+            let ib = unit_box(4);
+            let sym = symbolic_bounds(&net, &ib).unwrap();
+            let opt = alpha_optimized_bounds(&net, &ib, 3).unwrap();
+            assert_sound(&net, &ib, &opt, 100);
+            assert!(
+                opt.total_pre_width() <= sym.total_pre_width() + 1e-9,
+                "seed {seed}: optimized {} vs symbolic {}",
+                opt.total_pre_width(),
+                sym.total_pre_width()
+            );
+            // Zero iterations is exactly the symbolic path.
+            let off = alpha_optimized_bounds(&net, &ib, 0).unwrap();
+            assert_eq!(off, sym);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_alpha_bounds_are_sound(
+            seed in 0u64..500,
+            raw_alpha in prop::collection::vec(-0.5f64..1.5, 32),
+        ) {
+            // Any α (clamped into [0, 1] internally) must yield bounds
+            // that dominate sampled forward passes and an objective
+            // bound above every sampled output.
+            let net = Network::relu_mlp(3, &[8, 8], 1, seed).unwrap();
+            let ib = unit_box(3);
+            let obj = LinearObjective::output(0);
+            let n = net.num_relu_neurons();
+            prop_assume!(raw_alpha.len() >= n);
+            let mut analyzer = PhaseAnalyzer::new(&net, &ib).unwrap();
+            let an = analyzer.analyze_with_alpha(&[], &obj, &raw_alpha[..n]).unwrap();
+            assert_sound(&net, &ib, &an.bounds, 60);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            for _ in 0..60 {
+                let x: Vector = (0..3).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+                let v = net.forward(&x).unwrap()[0];
+                prop_assert!(
+                    v <= an.objective_upper + 1e-9,
+                    "output {v} exceeds α-bound {}",
+                    an.objective_upper
+                );
+            }
+        }
+
+        #[test]
+        fn tuned_never_looser_than_heuristic_under_random_phases(
+            seed in 0u64..500,
+            flips in prop::collection::vec(0u8..3, 4),
+        ) {
+            // With a few neurons phase-forced (as B&B nodes do), tuning
+            // still never loses to the heuristic and stays sound on the
+            // inputs that realise those phases.
+            let net = Network::relu_mlp(3, &[6, 6], 1, seed + 1000).unwrap();
+            let ib = unit_box(3);
+            let obj = LinearObjective::output(0);
+            let n = net.num_relu_neurons();
+            let mut phases = vec![None; n];
+            for (k, f) in flips.iter().enumerate() {
+                // 0 = free, 1 = forced inactive, 2 = forced active.
+                phases[k * (n / 4).max(1) % n] = match f {
+                    0 => None,
+                    1 => Some(false),
+                    _ => Some(true),
+                };
+            }
+            let mut analyzer = PhaseAnalyzer::new(&net, &ib).unwrap();
+            let heuristic = analyzer.analyze(&phases, &obj).unwrap();
+            let (tuned, _) = analyzer.analyze_tuned(&phases, &obj, 2, None).unwrap();
+            prop_assert!(tuned.objective_upper <= heuristic.objective_upper);
+            // A heuristic conflict short-circuits descent, so it must
+            // survive; tuning may additionally *discover* conflicts the
+            // heuristic missed (tighter α, same sound semantics).
+            if heuristic.conflict {
+                prop_assert!(tuned.conflict);
+            }
+        }
     }
 }

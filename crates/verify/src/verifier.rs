@@ -29,6 +29,12 @@ pub struct VerifyStats {
     /// Estimated pivots avoided by warm starts, measured against the
     /// running mean pivot count of the cold solves.
     pub pivots_saved: usize,
+    /// Branch-and-bound nodes whose LP relaxation the α-bound skip gate
+    /// elided (HybridBab only; `0` on the pure MILP path).
+    pub lp_skipped: usize,
+    /// Branch-and-bound nodes whose LP relaxation ran while the skip
+    /// gate was active (HybridBab only).
+    pub lp_forced: usize,
     /// Wall-clock time of the MILP solve.
     pub elapsed: Duration,
     /// Worst degradation encountered while answering the query:
@@ -55,6 +61,8 @@ impl VerifyStats {
             warm_solves: warm.warm_solves,
             cold_solves: warm.cold_solves,
             pivots_saved: warm.pivots_saved,
+            lp_skipped: 0,
+            lp_forced: 0,
             elapsed,
             degradation,
         }
@@ -189,6 +197,15 @@ pub struct VerifierOptions {
     /// Reuse parent LP bases across branch-and-bound nodes via the dual
     /// simplex (verdict-preserving; disable to benchmark the cold path).
     pub warm_start: bool,
+    /// Coordinate-descent rounds of the α-optimized bounding layer, per
+    /// node and in the MILP encoding presolve. `0` disables tuning and
+    /// reproduces the fixed-slope heuristic bit-for-bit (see
+    /// [`crate::bab::BabOptions::alpha_iters`]).
+    pub alpha_iters: usize,
+    /// Elide per-node LP relaxations where they are redundant (sub-MILP
+    /// hand-off nodes) or configured as skippable (near-prune margin;
+    /// HybridBab only; see [`crate::bab::BabOptions::lp_skip`]).
+    pub lp_skip: bool,
 }
 
 impl Default for VerifierOptions {
@@ -202,6 +219,8 @@ impl Default for VerifierOptions {
             abs_gap: 1e-6,
             threads: 1,
             warm_start: true,
+            alpha_iters: crate::bab::DEFAULT_ALPHA_ITERS,
+            lp_skip: true,
         }
     }
 }
@@ -261,6 +280,23 @@ impl Verifier {
             lp_bounding: true,
             threads: self.opts.threads,
             warm_start: self.opts.warm_start,
+            alpha_iters: self.opts.alpha_iters,
+            lp_skip: self.opts.lp_skip,
+            lp_skip_margin: crate::bab::DEFAULT_LP_SKIP_MARGIN,
+        }
+    }
+
+    /// Presolve method for the pure-MILP paths: an explicitly requested
+    /// method is honoured; the default [`BoundMethod::Symbolic`] is
+    /// upgraded to [`BoundMethod::AlphaOptimized`] when α tuning is on,
+    /// so the encoding gets the same stably-fixed neurons and big-M
+    /// constants as the hybrid engine.
+    fn effective_bound_method(&self) -> BoundMethod {
+        match self.opts.bound_method {
+            BoundMethod::Symbolic if self.opts.alpha_iters > 0 => BoundMethod::AlphaOptimized {
+                iters: self.opts.alpha_iters,
+            },
+            other => other,
         }
     }
 
@@ -311,12 +347,14 @@ impl Verifier {
                     warm_solves: r.warm_stats.warm_solves,
                     cold_solves: r.warm_stats.cold_solves,
                     pivots_saved: r.warm_stats.pivots_saved,
+                    lp_skipped: r.lp_skipped,
+                    lp_forced: r.lp_forced,
                     elapsed: r.elapsed,
                     degradation: r.degradation,
                 },
             });
         }
-        let enc = encode(net, spec, self.opts.bound_method)?;
+        let enc = encode(net, spec, self.effective_bound_method())?;
         let mut milp = enc.milp.clone();
         let terms: Vec<_> = objective
             .terms
@@ -422,6 +460,8 @@ impl Verifier {
                 warm_solves: r.warm_stats.warm_solves,
                 cold_solves: r.warm_stats.cold_solves,
                 pivots_saved: r.warm_stats.pivots_saved,
+                lp_skipped: r.lp_skipped,
+                lp_forced: r.lp_forced,
                 elapsed: r.elapsed,
                 degradation: r.degradation,
             };
@@ -450,7 +490,7 @@ impl Verifier {
             };
             return Ok((verdict, stats));
         }
-        let enc = encode(net, spec, self.opts.bound_method)?;
+        let enc = encode(net, spec, self.effective_bound_method())?;
         let mut milp = enc.milp.clone();
         let terms: Vec<_> = objective
             .terms
