@@ -32,6 +32,8 @@
 //!   and tree-reshaping knobs may shift wall time but must not shift
 //!   verdicts; this is the determinism gate.
 
+#![warn(clippy::unwrap_used)]
+
 use certnn_bench::json::{read_json, BenchRow};
 use std::path::Path;
 use std::process::ExitCode;

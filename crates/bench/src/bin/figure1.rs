@@ -2,6 +2,8 @@
 //!
 //! Usage: `figure1 [--smoke]`
 
+#![warn(clippy::unwrap_used)]
+
 use certnn_bench::figure1::{run_figure1, Figure1Config};
 use certnn_bench::write_report;
 

@@ -2,8 +2,9 @@
 //! data do not all satisfy the safety property.
 //!
 //! Usage: `fleet [--smoke] [--threads N] [--json rows.json] [--cold]
-//! [--alpha-iters N] [--no-lp-skip] [--fault-inject SEED]
-//! [--trace t.jsonl] [--metrics] [--profile]`
+//! [--alpha-iters N] [--no-lp-skip]
+//! [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]
+//! [--fault-inject SEED] [--trace t.jsonl] [--metrics] [--profile]`
 //!
 //! `--threads 0` (the default) trains/verifies members on all available
 //! cores; `--threads 1` restores the serial run. `--cold` disables LP
@@ -22,10 +23,21 @@
 //! metrics/profile records as JSON lines, `--metrics` prints the
 //! counter/gauge/histogram snapshot after the table (and folds it into
 //! the final `--json` row), `--profile` prints per-phase self time.
+//!
+//! Crash safety: `--checkpoint DIR` snapshots each member's verification
+//! query to `DIR` (atomic, checksummed; one file per query),
+//! `--checkpoint-every N` sets the node cadence, and `--resume DIR`
+//! additionally resumes any query whose snapshot is found in `DIR`, so a
+//! killed fleet run repeats no finished search work. Corrupt snapshots
+//! are rejected and the query restarts fresh, tagged
+//! `checkpoint_fallback`.
+
+#![warn(clippy::unwrap_used)]
 
 use certnn_bench::json::{write_json, BenchRow};
 use certnn_bench::write_report;
 use certnn_core::fleet::{run_fleet, FleetConfig};
+use certnn_verify::checkpoint::{CheckpointPolicy, DEFAULT_EVERY_NODES};
 use std::path::PathBuf;
 
 fn main() {
@@ -34,6 +46,9 @@ fn main() {
     let mut trace_path: Option<PathBuf> = None;
     let mut want_metrics = false;
     let mut want_profile = false;
+    let mut ckpt_dir: Option<PathBuf> = None;
+    let mut ckpt_every = DEFAULT_EVERY_NODES;
+    let mut ckpt_resume = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -56,6 +71,21 @@ fn main() {
                     args[i].parse().expect("alpha iters must be an integer");
             }
             "--no-lp-skip" => config.lp_skip = false,
+            "--checkpoint" => {
+                i += 1;
+                ckpt_dir = Some(PathBuf::from(&args[i]));
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                ckpt_every = args[i]
+                    .parse()
+                    .expect("checkpoint cadence must be an integer");
+            }
+            "--resume" => {
+                i += 1;
+                ckpt_dir = Some(PathBuf::from(&args[i]));
+                ckpt_resume = true;
+            }
             "--json" => {
                 i += 1;
                 json_path = Some(PathBuf::from(&args[i]));
@@ -83,6 +113,17 @@ fn main() {
             }
         }
         i += 1;
+    }
+    if let Some(dir) = ckpt_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create checkpoint dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        config.checkpoints = Some(CheckpointPolicy {
+            every_nodes: ckpt_every,
+            resume: ckpt_resume,
+            ..CheckpointPolicy::new(dir)
+        });
     }
     let observe = trace_path.is_some() || want_metrics || want_profile;
     if observe {

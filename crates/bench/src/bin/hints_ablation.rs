@@ -2,6 +2,8 @@
 //!
 //! Usage: `hints_ablation [--smoke]`
 
+#![warn(clippy::unwrap_used)]
+
 use certnn_bench::hints::{run_hints_ablation, HintsConfig};
 use certnn_bench::write_report;
 

@@ -3,8 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! obs_check <trace.jsonl>    validate a trace written by --trace
-//! obs_check --overhead       measure obs-on vs obs-off smoke cost
+//! obs_check <trace.jsonl>      validate a trace written by --trace
+//! obs_check --overhead         measure obs-on vs obs-off smoke cost
+//! obs_check --ckpt-overhead    measure checkpointing-on vs -off cost
 //! ```
 //!
 //! Validation parses every line against the JSONL schema of
@@ -15,9 +16,17 @@
 //! with observability off and twice with it on (best-of-two each, all
 //! serial), fails if the observed run is more than 5% + 0.25 s slower,
 //! and asserts the verdicts are bit-identical either way — tracing must
-//! never change what the verifier concludes.
+//! never change what the verifier concludes. `--ckpt-overhead` applies
+//! the same protocol to crash-safe checkpointing at its default cadence,
+//! with a tighter 3% relative budget: snapshotting must cost nearly
+//! nothing on a clean run, never shift a verdict, and leave no files
+//! behind.
+
+#![warn(clippy::unwrap_used)]
 
 use certnn_bench::table2::{run_table2, Table2Config, Table2Result};
+use certnn_verify::checkpoint::CheckpointPolicy;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -30,6 +39,10 @@ const REQUIRED_COUNTERS: [&str; 3] =
 /// seconds-scale smoke runs don't fail on scheduler noise.
 const MAX_RELATIVE_OVERHEAD: f64 = 1.05;
 const ABSOLUTE_SLACK_SECS: f64 = 0.25;
+
+/// Allowed checkpointing-on slowdown: 3% relative (the ISSUE's gate)
+/// plus the same absolute slack against scheduler noise.
+const MAX_CKPT_OVERHEAD: f64 = 1.03;
 
 fn validate(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -62,12 +75,21 @@ fn validate(path: &str) -> Result<(), String> {
 }
 
 /// One timed serial smoke run; returns the result and its wall seconds.
-fn timed_smoke() -> Result<(Table2Result, f64), String> {
+/// With `ckpt_dir` the run snapshots to that directory at the default
+/// cadence (no resume — this is the clean-run cost of being killable).
+fn timed_smoke_with(ckpt_dir: Option<&Path>) -> Result<(Table2Result, f64), String> {
     let mut config = Table2Config::smoke_test();
     config.threads = 1;
+    if let Some(dir) = ckpt_dir {
+        config.checkpoints = Some(CheckpointPolicy::new(dir));
+    }
     let start = Instant::now();
     let result = run_table2(&config).map_err(|e| format!("smoke run failed: {e}"))?;
     Ok((result, start.elapsed().as_secs_f64()))
+}
+
+fn timed_smoke() -> Result<(Table2Result, f64), String> {
+    timed_smoke_with(None)
 }
 
 /// Bit-exact verdict comparison between two smoke results.
@@ -127,12 +149,57 @@ fn overhead() -> Result<(), String> {
     Ok(())
 }
 
+fn ckpt_overhead() -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("certnn_ckpt_gate_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+
+    let (off_result, off_a) = timed_smoke_with(None)?;
+    let (_, off_b) = timed_smoke_with(None)?;
+    let off_best = off_a.min(off_b);
+
+    let (on_result, on_a) = timed_smoke_with(Some(&dir))?;
+    let (_, on_b) = timed_smoke_with(Some(&dir))?;
+    let on_best = on_a.min(on_b);
+
+    assert_identical(&off_result, &on_result)?;
+    let leftover = std::fs::read_dir(&dir)
+        .map(|rd| rd.count())
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+    if leftover != 0 {
+        return Err(format!(
+            "clean checkpointed run left {leftover} snapshot file(s) behind"
+        ));
+    }
+    println!(
+        "smoke wall best-of-2: ckpt-off {off_best:.3}s, ckpt-on {on_best:.3}s \
+         ({:+.1}%)",
+        100.0 * (on_best - off_best) / off_best
+    );
+    let limit = off_best * MAX_CKPT_OVERHEAD + ABSOLUTE_SLACK_SECS;
+    if on_best > limit {
+        return Err(format!(
+            "checkpointing overhead too high: {on_best:.3}s > \
+             {MAX_CKPT_OVERHEAD} x {off_best:.3}s + {ABSOLUTE_SLACK_SECS}s"
+        ));
+    }
+    println!("checkpoint overhead gate ok: {on_best:.3}s <= {limit:.3}s");
+    println!("verdicts bit-identical with checkpointing on and off");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match args.as_slice() {
-        [path] if path != "--overhead" => validate(path),
+        [path] if !path.starts_with("--") => validate(path),
         [flag] if flag == "--overhead" => overhead(),
-        _ => Err("usage: obs_check <trace.jsonl> | obs_check --overhead".to_string()),
+        [flag] if flag == "--ckpt-overhead" => ckpt_overhead(),
+        _ => Err(
+            "usage: obs_check <trace.jsonl> | obs_check --overhead | \
+             obs_check --ckpt-overhead"
+                .to_string(),
+        ),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

@@ -1,5 +1,7 @@
 //! Regenerates Table I (the certification-concept matrix).
 
+#![warn(clippy::unwrap_used)]
+
 use certnn_bench::write_report;
 use certnn_core::pillars::render_matrix;
 

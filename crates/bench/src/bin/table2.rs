@@ -6,6 +6,7 @@
 //! table2 [--widths 10,20,25,40,50,60] [--time-limit 120] [--epochs 25]
 //!        [--threads N] [--json rows.json] [--smoke] [--cold]
 //!        [--alpha-iters N] [--no-lp-skip]
+//!        [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]
 //!        [--fault-inject SEED] [--trace t.jsonl] [--metrics] [--profile]
 //! ```
 //!
@@ -32,10 +33,22 @@
 //! `--metrics` prints the counter/gauge/histogram snapshot after the
 //! table (and folds it into the final `--json` row as a `metrics`
 //! block), `--profile` prints the per-phase self-time breakdown.
+//!
+//! Crash safety: `--checkpoint DIR` snapshots every verification query's
+//! live search state to `DIR` (atomic, checksummed; one file per query),
+//! `--checkpoint-every N` sets the node cadence, and `--resume DIR`
+//! additionally resumes any query whose snapshot is found in `DIR` —
+//! a run killed mid-solve (even with SIGKILL) repeats no finished work
+//! and reaches the identical table. Corrupt or mismatched snapshots are
+//! never trusted: the affected query restarts fresh, tagged
+//! `checkpoint_fallback`.
+
+#![warn(clippy::unwrap_used)]
 
 use certnn_bench::json::{write_json, BenchRow};
 use certnn_bench::table2::{run_table2, Table2Config};
 use certnn_bench::write_report;
+use certnn_verify::checkpoint::{CheckpointPolicy, DEFAULT_EVERY_NODES};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -45,6 +58,9 @@ fn main() {
     let mut trace_path: Option<PathBuf> = None;
     let mut want_metrics = false;
     let mut want_profile = false;
+    let mut ckpt_dir: Option<PathBuf> = None;
+    let mut ckpt_every = DEFAULT_EVERY_NODES;
+    let mut ckpt_resume = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -83,6 +99,21 @@ fn main() {
                     args[i].parse().expect("alpha iters must be an integer");
             }
             "--no-lp-skip" => config.lp_skip = false,
+            "--checkpoint" => {
+                i += 1;
+                ckpt_dir = Some(PathBuf::from(&args[i]));
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                ckpt_every = args[i]
+                    .parse()
+                    .expect("checkpoint cadence must be an integer");
+            }
+            "--resume" => {
+                i += 1;
+                ckpt_dir = Some(PathBuf::from(&args[i]));
+                ckpt_resume = true;
+            }
             "--json" => {
                 i += 1;
                 json_path = Some(PathBuf::from(&args[i]));
@@ -110,6 +141,18 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if let Some(dir) = ckpt_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create checkpoint dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        config.checkpoints = Some(CheckpointPolicy {
+            every_nodes: ckpt_every,
+            resume: ckpt_resume,
+            ..CheckpointPolicy::new(dir)
+        });
     }
 
     let observe = trace_path.is_some() || want_metrics || want_profile;

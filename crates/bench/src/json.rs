@@ -276,10 +276,21 @@ fn split_metrics(obj: &str, row: usize) -> Result<(&str, MetricPairs), String> {
 /// Returns a description of the first malformed row.
 pub fn parse_json(text: &str) -> Result<Vec<BenchRow>, String> {
     let body = text.trim();
-    let body = body
-        .strip_prefix('[')
-        .and_then(|b| b.strip_suffix(']'))
-        .ok_or_else(|| "expected a JSON array".to_string())?;
+    // Distinguish the failure modes a crashed or interrupted writer
+    // leaves behind — an empty or cut-off file — from genuine non-JSON
+    // input, so the operator learns *what happened*, not just that
+    // parsing failed.
+    if body.is_empty() {
+        return Err("empty file (truncated or interrupted write?)".to_string());
+    }
+    let Some(opened) = body.strip_prefix('[') else {
+        return Err("expected a JSON array".to_string());
+    };
+    let Some(body) = opened.strip_suffix(']') else {
+        return Err(
+            "unterminated JSON array — the file is truncated (interrupted write?)".to_string(),
+        );
+    };
     let mut rows = Vec::new();
     for full_obj in split_objects(body)? {
         let (obj, metrics) = split_metrics(full_obj, rows.len())?;
@@ -508,6 +519,48 @@ mod tests {
         assert!(parse_json("not json").is_err());
         assert!(parse_json("[{\"width\": ten}]").is_err());
         assert!(parse_json("[{\"nodes\": 3}]").is_err(), "missing width");
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_file_errors_cleanly() {
+        // A crashed writer can leave any prefix of the artifact on disk;
+        // the reader must report a clear error for all of them — never
+        // panic, never return partial rows as if they were the run.
+        let full = to_json(&sample_rows());
+        // Every prefix short of the closing `]` is a torn write.
+        let end = full.rfind(']').expect("valid artifact");
+        for cut in 0..=end {
+            let truncated = &full[..cut];
+            let err = parse_json(truncated)
+                .expect_err(&format!("prefix of {cut} bytes must not parse"));
+            assert!(!err.is_empty());
+        }
+        // Specific shapes get specific diagnoses.
+        assert!(parse_json("").unwrap_err().contains("empty file"));
+        assert!(parse_json("   \n").unwrap_err().contains("empty file"));
+        let cut_mid_row = &full[..full.len() * 2 / 3];
+        assert!(
+            parse_json(cut_mid_row).unwrap_err().contains("truncated"),
+            "mid-row cut should be diagnosed as truncation: {:?}",
+            parse_json(cut_mid_row)
+        );
+    }
+
+    #[test]
+    fn checkpoint_fallback_degradation_round_trips() {
+        // The crash-safety layer's tag must survive the JSON artifact so
+        // bench_diff and the chaos CI legs can gate on it.
+        let rows = [BenchRow {
+            width: 8,
+            value: Some(1.25),
+            wall_secs: 1.0,
+            degradation: Degradation::CheckpointFallback,
+            ..BenchRow::default()
+        }];
+        let s = to_json(&rows);
+        assert!(s.contains("\"degradation\": \"checkpoint_fallback\""));
+        let parsed = parse_json(&s).unwrap();
+        assert_eq!(parsed[0].degradation, Degradation::CheckpointFallback);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use certnn_nn::train::{Dataset, TrainConfig, Trainer};
 use certnn_sim::features::FEATURE_COUNT;
 use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
 use certnn_verify::bab::resolve_threads;
+use certnn_verify::checkpoint::CheckpointPolicy;
 use certnn_verify::verifier::{Verdict, Verifier, VerifierOptions};
 use certnn_verify::{Deadline, Degradation};
 use std::fmt::Write as _;
@@ -88,6 +89,11 @@ pub struct Table2Config {
     /// Skip per-node LP relaxations far above the prune level (see
     /// [`VerifierOptions::lp_skip`]).
     pub lp_skip: bool,
+    /// Crash-safe checkpointing of every verification query (see
+    /// [`CheckpointPolicy`]); the policy's `seed` is overridden by
+    /// [`Table2Config::seed`] so snapshots are keyed to this run's exact
+    /// search tree. `None` disables checkpointing.
+    pub checkpoints: Option<CheckpointPolicy>,
 }
 
 impl Default for Table2Config {
@@ -112,6 +118,7 @@ impl Default for Table2Config {
             warm_start: true,
             alpha_iters: certnn_verify::bab::DEFAULT_ALPHA_ITERS,
             lp_skip: true,
+            checkpoints: None,
         }
     }
 }
@@ -139,6 +146,7 @@ impl Table2Config {
             warm_start: true,
             alpha_iters: certnn_verify::bab::DEFAULT_ALPHA_ITERS,
             lp_skip: true,
+            checkpoints: None,
         }
     }
 }
@@ -375,7 +383,7 @@ pub fn run_table2_under(
     let loss = GmmNll::new(config.mixture_components);
     let spec = left_vehicle_spec();
     let workers = resolve_threads(config.threads).min(config.widths.len().max(1));
-    let verifier = Verifier::with_options(VerifierOptions {
+    let mut verifier = Verifier::with_options(VerifierOptions {
         time_limit: Some(config.time_limit),
         // Outer width-parallelism saturates the cores; keep the inner
         // search serial to avoid oversubscription. A lone worker hands
@@ -387,6 +395,13 @@ pub fn run_table2_under(
         ..VerifierOptions::default()
     })
     .with_deadline(deadline);
+    if let Some(ckpt) = &config.checkpoints {
+        // Key snapshots to this run's seed: a checkpoint only ever meets
+        // a search that will walk the identical tree.
+        let mut policy = ckpt.clone();
+        policy.seed = config.seed;
+        verifier = verifier.with_checkpoints(policy);
+    }
 
     let ctx = WidthCtx {
         config,

@@ -19,6 +19,7 @@ use certnn_nn::train::{Dataset, TrainConfig, Trainer};
 use certnn_sim::features::FEATURE_COUNT;
 use certnn_sim::scenario::{generate_dataset, ScenarioConfig};
 use certnn_verify::bab::resolve_threads;
+use certnn_verify::checkpoint::CheckpointPolicy;
 use certnn_verify::verifier::{Verifier, VerifierOptions};
 use certnn_verify::{Deadline, Degradation};
 use std::fmt::Write as _;
@@ -58,6 +59,11 @@ pub struct FleetConfig {
     /// Skip per-node LP relaxations far above the prune level (see
     /// [`VerifierOptions::lp_skip`]).
     pub lp_skip: bool,
+    /// Crash-safe checkpointing of every member's verification queries
+    /// (see [`CheckpointPolicy`]). Members verify distinct networks, so
+    /// each query checkpoints to its own file under the policy's
+    /// directory. `None` disables checkpointing.
+    pub checkpoints: Option<CheckpointPolicy>,
 }
 
 impl Default for FleetConfig {
@@ -81,6 +87,7 @@ impl Default for FleetConfig {
             warm_start: true,
             alpha_iters: certnn_verify::bab::DEFAULT_ALPHA_ITERS,
             lp_skip: true,
+            checkpoints: None,
         }
     }
 }
@@ -107,6 +114,7 @@ impl FleetConfig {
             warm_start: true,
             alpha_iters: certnn_verify::bab::DEFAULT_ALPHA_ITERS,
             lp_skip: true,
+            checkpoints: None,
         }
     }
 }
@@ -293,7 +301,7 @@ pub fn run_fleet_under(config: &FleetConfig, deadline: Deadline) -> Result<Fleet
     let loss = GmmNll::new(1);
     let spec = left_vehicle_spec();
     let workers = resolve_threads(config.threads).min(config.fleet_size.max(1));
-    let verifier = Verifier::with_options(VerifierOptions {
+    let mut verifier = Verifier::with_options(VerifierOptions {
         time_limit: Some(config.time_limit),
         // Outer query-parallelism saturates the cores; keep the inner
         // search serial to avoid oversubscription. A lone worker hands
@@ -305,6 +313,9 @@ pub fn run_fleet_under(config: &FleetConfig, deadline: Deadline) -> Result<Fleet
         ..VerifierOptions::default()
     })
     .with_deadline(deadline);
+    if let Some(ckpt) = &config.checkpoints {
+        verifier = verifier.with_checkpoints(ckpt.clone());
+    }
 
     let slots: Vec<Mutex<Option<Result<FleetMember, CoreError>>>> =
         (0..config.fleet_size).map(|_| Mutex::new(None)).collect();

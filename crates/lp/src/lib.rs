@@ -104,6 +104,11 @@ pub enum Degradation {
     /// Fully converged solve; no fault or deadline interfered.
     #[default]
     Exact,
+    /// A checkpoint resume was rejected (corruption, torn write, or a
+    /// query-hash mismatch) and the solve restarted from scratch. The
+    /// answer is as tight as an exact one — only the salvaged work was
+    /// lost — but the rejected snapshot is worth surfacing.
+    CheckpointFallback,
     /// A warm solve failed on a numeric fault (singular basis, NaN
     /// poisoning, corrupt snapshot) and a cold re-solve recovered. The
     /// result is as tight as an exact one but the fault is worth
@@ -128,6 +133,7 @@ impl Degradation {
     pub fn as_str(self) -> &'static str {
         match self {
             Degradation::Exact => "exact",
+            Degradation::CheckpointFallback => "checkpoint_fallback",
             Degradation::ColdFallback => "cold_fallback",
             Degradation::IntervalOnly => "interval_only",
             Degradation::TimedOut => "timed_out",
@@ -138,6 +144,7 @@ impl Degradation {
     pub fn from_str_opt(s: &str) -> Option<Self> {
         match s {
             "exact" => Some(Degradation::Exact),
+            "checkpoint_fallback" => Some(Degradation::CheckpointFallback),
             "cold_fallback" => Some(Degradation::ColdFallback),
             "interval_only" => Some(Degradation::IntervalOnly),
             "timed_out" => Some(Degradation::TimedOut),
@@ -311,6 +318,8 @@ mod tests {
         assert_eq!(TimedOut.merge(IntervalOnly), TimedOut);
         assert_eq!(IntervalOnly.merge(ColdFallback), IntervalOnly);
         assert_eq!(Exact.merge(Exact), Exact);
+        assert_eq!(Exact.merge(CheckpointFallback), CheckpointFallback);
+        assert_eq!(CheckpointFallback.merge(ColdFallback), ColdFallback);
         assert_eq!(Degradation::default(), Exact);
     }
 
@@ -318,6 +327,7 @@ mod tests {
     fn degradation_round_trips_through_strings() {
         for d in [
             Degradation::Exact,
+            Degradation::CheckpointFallback,
             Degradation::ColdFallback,
             Degradation::IntervalOnly,
             Degradation::TimedOut,

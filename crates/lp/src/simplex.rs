@@ -96,6 +96,80 @@ impl WarmStart {
     pub fn num_structurals(&self) -> usize {
         self.n_struct
     }
+
+    /// Serialized description of the basis: the basic column per row plus
+    /// one status code per column (structurals then slacks), using the
+    /// stable encoding `0 = basic, 1 = at lower, 2 = at upper,
+    /// 3 = free at zero`. Used by checkpointing; the frozen factorization
+    /// is deliberately absent — see [`WarmStart::from_description`].
+    pub fn describe(&self) -> (Vec<u64>, Vec<u8>) {
+        let basis = self.basis.iter().map(|&b| b as u64).collect();
+        let status = self
+            .status
+            .iter()
+            .map(|s| match s {
+                Status::Basic => 0u8,
+                Status::AtLower => 1,
+                Status::AtUpper => 2,
+                Status::FreeZero => 3,
+            })
+            .collect();
+        (basis, status)
+    }
+
+    /// Rebuilds a snapshot from [`WarmStart::describe`] output.
+    ///
+    /// The factorization is *not* restored: the first warm solve seeded
+    /// from the result refactorizes from the model's own constraint
+    /// columns, so no numeric basis data is ever trusted from an external
+    /// medium — only the combinatorial basis choice, which is fully
+    /// re-validated here and again by `build_warm`. Returns `None` when
+    /// the description is internally inconsistent (wrong lengths,
+    /// out-of-range or duplicate basis entries, unknown status codes, or
+    /// a basic/nonbasic disagreement between the two vectors).
+    pub fn from_description(
+        basis: &[u64],
+        status: &[u8],
+        n_struct: usize,
+        m: usize,
+    ) -> Option<WarmStart> {
+        let n_total = n_struct.checked_add(m)?;
+        if basis.len() != m || status.len() != n_total {
+            return None;
+        }
+        let mut decoded = Vec::with_capacity(n_total);
+        for &code in status {
+            decoded.push(match code {
+                0 => Status::Basic,
+                1 => Status::AtLower,
+                2 => Status::AtUpper,
+                3 => Status::FreeZero,
+                _ => return None,
+            });
+        }
+        let mut in_basis = vec![false; n_total];
+        for &b in basis {
+            let j = usize::try_from(b).ok()?;
+            if j >= n_total || in_basis[j] || decoded[j] != Status::Basic {
+                return None;
+            }
+            in_basis[j] = true;
+        }
+        if decoded
+            .iter()
+            .enumerate()
+            .any(|(j, &s)| (s == Status::Basic) != in_basis[j])
+        {
+            return None;
+        }
+        Some(WarmStart {
+            basis: basis.iter().map(|&b| b as usize).collect(),
+            status: decoded,
+            n_struct,
+            m,
+            factor: None, // forces a fresh factorization on first use
+        })
+    }
 }
 
 /// Result of a warm-capable solve: the solution plus an optional basis

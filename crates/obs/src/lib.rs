@@ -21,6 +21,7 @@
 //! calls the API and the calls vanish when observability is off.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod jsonl;
 mod metrics;

@@ -54,6 +54,9 @@
 //! [`crate::verifier::Verifier`].
 
 use crate::bounds::{interval_objective_ceiling, PhaseAnalyzer, PhasedAnalysis};
+use crate::checkpoint::{
+    self, CheckpointError, CheckpointPolicy, Snapshot, SnapshotNode, WarmDesc,
+};
 use crate::encoder::{encode, BoundMethod, Encoding};
 use crate::property::{InputSpec, LinearObjective};
 use crate::VerifyError;
@@ -64,9 +67,10 @@ use certnn_milp::{
 };
 use certnn_nn::network::Network;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Cached `bab.*` observability handles. Frequent per-node totals stay in
@@ -264,10 +268,19 @@ pub struct BabResult {
     pub degradation: Degradation,
 }
 
+#[derive(Clone)]
 struct Node {
     phases: Vec<Option<bool>>,
     bound: f64,
     depth: usize,
+    /// Creation sequence number, assigned under the frontier lock (root
+    /// is `0`). Makes the heap order *total*: among nodes with equal
+    /// `(bound, depth)` the earliest-created pops first, so the pop
+    /// sequence is a pure function of the frontier's contents — required
+    /// for a resumed search to replay the uninterrupted run exactly
+    /// (`BinaryHeap` breaks ties by internal layout, which a
+    /// serialize/rebuild cycle cannot preserve).
+    seq: u64,
     /// Panic-retry count: how many times this node's processing died and
     /// was re-queued (see [`MAX_NODE_RETRIES`]).
     retries: usize,
@@ -285,7 +298,7 @@ struct Node {
 
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.depth == other.depth
+        self.bound == other.bound && self.depth == other.depth && self.seq == other.seq
     }
 }
 impl Eq for Node {}
@@ -300,6 +313,10 @@ impl Ord for Node {
             .partial_cmp(&other.bound)
             .unwrap_or(Ordering::Equal)
             .then(self.depth.cmp(&other.depth))
+            // Reversed: the *earliest-created* of otherwise-equal nodes is
+            // the greatest, i.e. FIFO among ties. seq is unique, so the
+            // order is total and the heap's pop sequence deterministic.
+            .then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -334,8 +351,19 @@ struct Frontier {
     /// (`NEG_INFINITY` when idle) — in-flight work counts toward the
     /// global upper bound.
     active: Vec<f64>,
+    /// Per-worker clone of the claimed node, kept **only while
+    /// checkpointing is active** so a snapshot can serialize in-flight
+    /// work instead of losing it; `None` everywhere otherwise (zero cost
+    /// when the feature is off).
+    claimed: Vec<Option<Node>>,
+    /// Next [`Node::seq`] to assign; restored across resumes.
+    next_seq: u64,
     /// Processed-node counter (the serial `nodes` statistic).
     nodes: usize,
+    /// `nodes` value at the last snapshot (cadence tracking).
+    last_ckpt_nodes: usize,
+    /// Wall instant of the last snapshot (cadence tracking).
+    last_ckpt_at: Instant,
     /// First stop reason; later stop attempts keep the first.
     halt: Option<MilpStatus>,
     /// Max bound over subtrees abandoned by an early stop; folded into
@@ -348,10 +376,68 @@ struct Frontier {
     /// Worst degradation recorded through frontier events (panics, dead
     /// workers); per-node degradations accumulate in worker counters.
     degradation: Degradation,
+    /// The subset of `degradation` that must survive a checkpoint/resume
+    /// cycle: permanently lost subtrees (`IntervalOnly`) and rejected
+    /// resumes (`CheckpointFallback`). Deadline tags (`TimedOut`) are
+    /// *transient* — a resumed run that finishes cleanly with all saved
+    /// work must not inherit the previous run's timeout — so they merge
+    /// into `degradation` only.
+    sticky_degradation: Degradation,
     /// Workers whose threads died (panic escaped the per-node isolation).
     dead_workers: usize,
     /// A worker hit a structural error; everyone drains out.
     failed: bool,
+}
+
+/// Per-run checkpointing state derived from a [`CheckpointPolicy`].
+struct CkptRuntime {
+    /// This query's checkpoint file (content-addressed name).
+    path: PathBuf,
+    /// Fingerprint of (weights, property, search-shape options, seed).
+    query_hash: u64,
+    /// Run seed recorded into every snapshot.
+    seed: u64,
+    /// Snapshot after this many newly processed nodes (≥ 1).
+    every_nodes: usize,
+    /// Snapshot after this much wall time since the last one.
+    every: Duration,
+    /// Start of *this* run, for the cumulative elapsed figure.
+    run_start: Instant,
+    /// Search wall time accumulated by previous runs of this query.
+    prior_elapsed_nanos: u64,
+    /// Single-writer gate: at most one worker serializes at a time;
+    /// others skip their cadence check instead of queueing.
+    writing: AtomicBool,
+}
+
+/// Frontier fields restored from a resumed snapshot (defaults for a
+/// fresh search).
+struct FrontierInit {
+    nodes: usize,
+    next_seq: u64,
+    dropped: f64,
+    degradation: Degradation,
+}
+
+impl Default for FrontierInit {
+    fn default() -> Self {
+        Self {
+            nodes: 0,
+            next_seq: 1,
+            dropped: f64::NEG_INFINITY,
+            degradation: Degradation::Exact,
+        }
+    }
+}
+
+/// Everything a snapshot needs from the frontier, cloned under the lock;
+/// serialization and file IO then happen outside it.
+struct SnapshotJob {
+    nodes: Vec<Node>,
+    nodes_done: u64,
+    next_seq: u64,
+    dropped: f64,
+    degradation: Degradation,
 }
 
 /// Cross-worker search state.
@@ -363,6 +449,9 @@ struct SearchState {
     /// incumbent mutex. Reads are lock-free and monotone: a stale value
     /// is always lower, so pruning against it is conservative (sound).
     best_bits: AtomicU64,
+    /// Checkpointing runtime; `None` means the feature is off and every
+    /// hook below is a no-op.
+    ckpt: Option<CkptRuntime>,
 }
 
 /// Per-worker statistic accumulators, merged after the join.
@@ -423,25 +512,34 @@ impl NodeOutcome {
 }
 
 impl SearchState {
-    fn new(workers: usize, root: Node) -> Self {
-        let mut heap = BinaryHeap::new();
-        heap.push(root);
+    fn new(
+        workers: usize,
+        roots: Vec<Node>,
+        init: FrontierInit,
+        ckpt: Option<CkptRuntime>,
+    ) -> Self {
         Self {
             frontier: Mutex::new(Frontier {
-                heap,
+                heap: BinaryHeap::from(roots),
                 in_flight: 0,
                 active: vec![f64::NEG_INFINITY; workers],
-                nodes: 0,
+                claimed: (0..workers).map(|_| None).collect(),
+                next_seq: init.next_seq,
+                nodes: init.nodes,
+                last_ckpt_nodes: init.nodes,
+                last_ckpt_at: Instant::now(),
                 halt: None,
                 abandoned: f64::NEG_INFINITY,
-                dropped: f64::NEG_INFINITY,
-                degradation: Degradation::Exact,
+                dropped: init.dropped,
+                degradation: init.degradation,
+                sticky_degradation: init.degradation,
                 dead_workers: 0,
                 failed: false,
             }),
             work_ready: Condvar::new(),
             incumbent: Mutex::new(None),
             best_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            ckpt,
         }
     }
 
@@ -573,6 +671,11 @@ impl SearchState {
                     f.nodes += 1;
                     f.in_flight += 1;
                     f.active[wid] = node.bound;
+                    if self.ckpt.is_some() {
+                        // Keep a clone so a snapshot can re-queue this
+                        // in-flight node instead of losing it to a kill.
+                        f.claimed[wid] = Some(node.clone());
+                    }
                     bab_metrics().frontier_depth.set(f.heap.len() as i64);
                     return Some(node);
                 }
@@ -592,23 +695,79 @@ impl SearchState {
 
     /// Publishes the outcome of worker `wid`'s current node.
     fn complete(&self, wid: usize, outcome: NodeOutcome) {
-        let mut f = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
-        for child in outcome.children {
-            f.heap.push(child);
-        }
-        if let Some((status, bound)) = outcome.halt {
-            if f.halt.is_none() {
-                f.halt = Some(status);
+        let job = {
+            let mut f = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
+            for mut child in outcome.children {
+                // Sequence numbers are assigned here, under the lock, in
+                // the order `process_node` created the children — the one
+                // place the assignment is race-free and deterministic.
+                child.seq = f.next_seq;
+                f.next_seq += 1;
+                f.heap.push(child);
             }
-            f.abandoned = f.abandoned.max(bound);
+            if let Some((status, bound)) = outcome.halt {
+                if f.halt.is_none() {
+                    f.halt = Some(status);
+                }
+                f.abandoned = f.abandoned.max(bound);
+            }
+            if let Some(bound) = outcome.dropped {
+                f.dropped = f.dropped.max(bound);
+            }
+            f.active[wid] = f64::NEG_INFINITY;
+            f.claimed[wid] = None;
+            f.in_flight -= 1;
+            bab_metrics().frontier_depth.set(f.heap.len() as i64);
+            self.work_ready.notify_all();
+            self.snapshot_due(&mut f)
+        };
+        if let Some(job) = job {
+            self.write_checkpoint(job);
         }
-        if let Some(bound) = outcome.dropped {
-            f.dropped = f.dropped.max(bound);
+    }
+
+    /// Decides under the frontier lock whether a snapshot is due and, if
+    /// so, clones what it needs. Returns `None` when checkpointing is off,
+    /// the search is stopping (the final flush owns that state), the
+    /// cadence has not fired, or another worker is already writing.
+    fn snapshot_due(&self, f: &mut Frontier) -> Option<SnapshotJob> {
+        let rt = self.ckpt.as_ref()?;
+        if f.halt.is_some() || f.failed {
+            return None;
         }
-        f.active[wid] = f64::NEG_INFINITY;
-        f.in_flight -= 1;
-        bab_metrics().frontier_depth.set(f.heap.len() as i64);
-        self.work_ready.notify_all();
+        let due_nodes = f.nodes - f.last_ckpt_nodes >= rt.every_nodes;
+        let due_time = f.last_ckpt_at.elapsed() >= rt.every;
+        if !due_nodes && !due_time {
+            return None;
+        }
+        if rt
+            .writing
+            .compare_exchange(
+                false,
+                true,
+                AtomicOrdering::AcqRel,
+                AtomicOrdering::Acquire,
+            )
+            .is_err()
+        {
+            return None;
+        }
+        f.last_ckpt_nodes = f.nodes;
+        f.last_ckpt_at = Instant::now();
+        Some(collect_snapshot_job(f))
+    }
+
+    /// Serializes and atomically writes a snapshot outside the frontier
+    /// lock. Failures are reported through obs and otherwise ignored:
+    /// checkpointing must never affect the solve.
+    fn write_checkpoint(&self, job: SnapshotJob) {
+        let Some(rt) = self.ckpt.as_ref() else { return };
+        let incumbent = {
+            let inc = self.incumbent.lock().unwrap_or_else(|e| e.into_inner());
+            inc.as_ref()
+                .map(|(x, v)| (x.iter().copied().collect::<Vec<f64>>(), *v))
+        };
+        serialize_and_write(rt, &job, incumbent);
     }
 
     /// Publishes a panic while worker `wid` processed `node`: the node is
@@ -629,6 +788,7 @@ impl SearchState {
         );
         let mut f = self.frontier.lock().unwrap_or_else(|e| e.into_inner());
         f.degradation = f.degradation.merge(Degradation::IntervalOnly);
+        f.sticky_degradation = f.sticky_degradation.merge(Degradation::IntervalOnly);
         if requeued {
             node.retries += 1;
             f.heap.push(node);
@@ -636,6 +796,7 @@ impl SearchState {
             f.dropped = f.dropped.max(node.bound);
         }
         f.active[wid] = f64::NEG_INFINITY;
+        f.claimed[wid] = None;
         f.in_flight -= 1;
         self.work_ready.notify_all();
     }
@@ -655,8 +816,12 @@ impl SearchState {
             f.active[wid] = f64::NEG_INFINITY;
             f.in_flight = f.in_flight.saturating_sub(1);
         }
+        // The node dies with its worker in the live run, so it must not
+        // also be serialized: the dropped fold above is its record.
+        f.claimed[wid] = None;
         f.dead_workers += 1;
         f.degradation = f.degradation.merge(Degradation::IntervalOnly);
+        f.sticky_degradation = f.sticky_degradation.merge(Degradation::IntervalOnly);
         let pool_dead = f.dead_workers >= f.active.len();
         if pool_dead && f.halt.is_none() {
             f.halt = Some(MilpStatus::Aborted);
@@ -688,9 +853,188 @@ impl SearchState {
             f.dropped = f.dropped.max(f.active[wid]);
         }
         f.active[wid] = f64::NEG_INFINITY;
+        f.claimed[wid] = None;
         f.in_flight -= 1;
         self.work_ready.notify_all();
     }
+}
+
+/// Clones everything a snapshot serializes: the queued heap plus every
+/// claimed in-flight node. `nodes_done` excludes in-flight work — those
+/// nodes are serialized for re-processing, so the resumed search counts
+/// them again at re-claim and the cumulative node count matches an
+/// uninterrupted run exactly.
+fn collect_snapshot_job(f: &Frontier) -> SnapshotJob {
+    let mut nodes: Vec<Node> = f.heap.iter().cloned().collect();
+    nodes.extend(f.claimed.iter().flatten().cloned());
+    SnapshotJob {
+        nodes,
+        nodes_done: (f.nodes - f.in_flight) as u64,
+        next_seq: f.next_seq,
+        dropped: f.dropped,
+        degradation: f.sticky_degradation,
+    }
+}
+
+/// Encodes a snapshot and writes it atomically, metering the outcome and
+/// always releasing the single-writer gate. IO failures are reported
+/// through obs and otherwise swallowed — checkpointing must never affect
+/// the solve.
+fn serialize_and_write(rt: &CkptRuntime, job: &SnapshotJob, incumbent: Option<(Vec<f64>, f64)>) {
+    let t0 = Instant::now();
+    let snap = build_snapshot(rt, job, incumbent);
+    match checkpoint::write_snapshot(&rt.path, &snap) {
+        Ok(bytes) => {
+            let m = checkpoint::ckpt_metrics();
+            m.written.inc();
+            m.bytes.add(bytes);
+            m.snapshot_nanos.record_duration(t0.elapsed());
+        }
+        Err(e) => {
+            certnn_obs::event("ckpt.write_failed", vec![("error", e.to_string().into())]);
+        }
+    }
+    rt.writing.store(false, AtomicOrdering::Release);
+}
+
+/// Converts a [`SnapshotJob`] into the serializable [`Snapshot`], deduping
+/// warm-start bases by `Arc` identity (siblings share their parent's) and
+/// describing each as a pure basis signature — factorizations never leave
+/// the process.
+fn build_snapshot(
+    rt: &CkptRuntime,
+    job: &SnapshotJob,
+    incumbent: Option<(Vec<f64>, f64)>,
+) -> Snapshot {
+    let mut warm_pool: Vec<WarmDesc> = Vec::new();
+    let mut warm_index: HashMap<usize, u64> = HashMap::new();
+    let frontier = job
+        .nodes
+        .iter()
+        .map(|n| {
+            let warm_idx = n.warm.as_ref().map(|w| {
+                let key = Arc::as_ptr(w) as usize;
+                *warm_index.entry(key).or_insert_with(|| {
+                    let (basis, status) = w.describe();
+                    warm_pool.push(WarmDesc {
+                        m: basis.len() as u64,
+                        n_struct: (status.len() - basis.len()) as u64,
+                        basis,
+                        status,
+                    });
+                    (warm_pool.len() - 1) as u64
+                })
+            });
+            SnapshotNode {
+                bound: n.bound,
+                depth: n.depth as u64,
+                seq: n.seq,
+                retries: n.retries.min(u8::MAX as usize) as u8,
+                phases: n
+                    .phases
+                    .iter()
+                    .map(|p| match p {
+                        None => 0u8,
+                        Some(false) => 1,
+                        Some(true) => 2,
+                    })
+                    .collect(),
+                alpha: n.alpha.as_deref().cloned(),
+                warm_idx,
+            }
+        })
+        .collect();
+    Snapshot {
+        query_hash: rt.query_hash,
+        seed: rt.seed,
+        nodes_done: job.nodes_done,
+        next_seq: job.next_seq,
+        elapsed_nanos: rt.prior_elapsed_nanos + rt.run_start.elapsed().as_nanos() as u64,
+        dropped_bound: job.dropped,
+        degradation: job.degradation,
+        incumbent,
+        warm_pool,
+        frontier,
+    }
+}
+
+/// What the resume attempt produced.
+enum ResumeOutcome {
+    /// No checkpoint on disk — a plain fresh solve, no tag.
+    Fresh,
+    /// A file exists but cannot be trusted (corruption, torn write,
+    /// wrong query, structural lie): fresh solve tagged
+    /// [`Degradation::CheckpointFallback`].
+    Rejected(CheckpointError),
+    /// A fully verified snapshot to rebuild the frontier from.
+    Resumed(Box<Snapshot>),
+}
+
+/// Reads and fully vets a checkpoint for this exact query. Never panics
+/// and never surfaces an error to the solve: every failure mode maps to a
+/// fresh solve.
+fn load_resume(
+    path: &std::path::Path,
+    expected_hash: u64,
+    total_relu: usize,
+    num_inputs: usize,
+) -> ResumeOutcome {
+    match checkpoint::read_snapshot(path) {
+        Err(CheckpointError::Io(std::io::ErrorKind::NotFound, _)) => ResumeOutcome::Fresh,
+        Err(e) => ResumeOutcome::Rejected(e),
+        Ok(snap) => {
+            if snap.query_hash != expected_hash {
+                return ResumeOutcome::Rejected(CheckpointError::QueryMismatch {
+                    expected: expected_hash,
+                    found: snap.query_hash,
+                });
+            }
+            match snap.validate(total_relu, num_inputs) {
+                Ok(()) => ResumeOutcome::Resumed(Box::new(snap)),
+                Err(e) => ResumeOutcome::Rejected(e),
+            }
+        }
+    }
+}
+
+/// Rebuilds live frontier nodes from a vetted snapshot. Warm starts are
+/// reconstructed from their basis signatures with no factorization — the
+/// first LP solve re-factorizes from the model's own columns. A basis
+/// description the LP layer rejects degrades that one node to a cold
+/// solve (`None`), which is always sound.
+fn rebuild_frontier(snap: &Snapshot) -> Vec<Node> {
+    let warm_arcs: Vec<Option<Arc<WarmStart>>> = snap
+        .warm_pool
+        .iter()
+        .map(|d| {
+            WarmStart::from_description(&d.basis, &d.status, d.n_struct as usize, d.m as usize)
+                .map(Arc::new)
+        })
+        .collect();
+    snap.frontier
+        .iter()
+        .map(|sn| Node {
+            phases: sn
+                .phases
+                .iter()
+                .map(|&p| match p {
+                    1 => Some(false),
+                    2 => Some(true),
+                    _ => None,
+                })
+                .collect(),
+            bound: sn.bound,
+            depth: sn.depth as usize,
+            seq: sn.seq,
+            retries: sn.retries as usize,
+            warm: sn.warm_idx.and_then(|i| warm_arcs[i as usize].clone()),
+            // Any α in [0,1] is sound; clamp rather than trust.
+            alpha: sn
+                .alpha
+                .as_ref()
+                .map(|a| Arc::new(a.iter().map(|v| v.clamp(0.0, 1.0)).collect())),
+        })
+        .collect()
 }
 
 /// Maximises `objective` over a **box-only** specification by hybrid
@@ -726,6 +1070,34 @@ pub fn bab_maximize_under(
     objective: &LinearObjective,
     opts: &BabOptions,
     deadline: Deadline,
+) -> Result<BabResult, VerifyError> {
+    bab_maximize_ckpt(net, spec, objective, opts, deadline, None)
+}
+
+/// [`bab_maximize_under`] with crash-safe checkpointing: under a
+/// [`CheckpointPolicy`] the search snapshots its frontier at the policy's
+/// cadence, flushes a final snapshot when it stops early (time/node limit,
+/// aborted pool) so the run returns a *resumable* handle, deletes the
+/// snapshot on a completed answer, and — when the policy asks to resume —
+/// rebuilds the frontier from a vetted snapshot of the same query.
+///
+/// Resume is never trusted blindly: checksums, the query content-address
+/// and every structural invariant are verified, warm factorizations are
+/// re-derived rather than read, and the stored incumbent is re-proved by a
+/// fresh forward pass. Any failure degrades to a fresh solve tagged
+/// [`Degradation::CheckpointFallback`] — it never errors.
+///
+/// # Errors
+///
+/// Same contract as [`bab_maximize`]; checkpoint IO failures are reported
+/// through obs, never as errors.
+pub fn bab_maximize_ckpt(
+    net: &Network,
+    spec: &InputSpec,
+    objective: &LinearObjective,
+    opts: &BabOptions,
+    deadline: Deadline,
+    ckpt: Option<&CheckpointPolicy>,
 ) -> Result<BabResult, VerifyError> {
     if !spec.constraints().is_empty() {
         return Err(VerifyError::SpecMismatch {
@@ -815,18 +1187,103 @@ pub fn bab_maximize_under(
     // arithmetic but is not guaranteed to be; the ceiling caps whatever
     // bound the search hands back when it cannot finish.
     let iv_ceiling = interval_objective_ceiling(net, input_box, objective)?;
-    let state = SearchState::new(
-        threads_used,
-        Node {
+
+    // Checkpoint setup: content-address the query, then (optionally) vet
+    // and load an existing snapshot. Every failure mode short of a clean
+    // resume is a fresh solve — corruption costs the salvaged work, never
+    // the answer.
+    let mut ckpt_rt: Option<CkptRuntime> = None;
+    let mut init = FrontierInit::default();
+    let mut resume_nodes: Option<Vec<Node>> = None;
+    let mut resume_witness: Option<Vec<f64>> = None;
+    if let Some(policy) = ckpt {
+        // Fold the run seed and every tree-shaping option into the file
+        // key: a snapshot only ever meets a search that would walk the
+        // identical tree.
+        let query_hash = {
+            let mut h = checkpoint::Fnv1a::new();
+            h.write_u64(checkpoint::query_fingerprint(net, spec, objective));
+            h.write_u64(policy.seed);
+            h.write_f64(opts.abs_gap);
+            h.write_u64(opts.milp_threshold as u64);
+            h.write_u64(opts.alpha_iters as u64);
+            h.write(&[
+                u8::from(opts.lp_bounding),
+                u8::from(opts.warm_start),
+                u8::from(opts.lp_skip),
+            ]);
+            h.write_f64(opts.lp_skip_margin);
+            h.write_f64(opts.target_objective.unwrap_or(f64::NAN));
+            h.write_f64(opts.bound_cutoff.unwrap_or(f64::NAN));
+            h.finish()
+        };
+        let path = policy.file_for(query_hash);
+        let mut prior_elapsed_nanos = 0u64;
+        if policy.resume {
+            match load_resume(&path, query_hash, total_relu, net.inputs()) {
+                ResumeOutcome::Fresh => {}
+                ResumeOutcome::Rejected(e) => {
+                    checkpoint::ckpt_metrics().corrupt_fallbacks.inc();
+                    init.degradation = Degradation::CheckpointFallback;
+                    certnn_obs::event(
+                        "ckpt.resume_rejected",
+                        vec![
+                            ("error", e.to_string().into()),
+                            ("path", path.display().to_string().into()),
+                        ],
+                    );
+                }
+                ResumeOutcome::Resumed(snap) => {
+                    checkpoint::ckpt_metrics().resume_ok.inc();
+                    prior_elapsed_nanos = snap.elapsed_nanos;
+                    init.nodes = snap.nodes_done as usize;
+                    init.next_seq = snap.next_seq;
+                    init.dropped = snap.dropped_bound;
+                    init.degradation = snap.degradation;
+                    resume_witness = snap.incumbent.as_ref().map(|(w, _)| w.clone());
+                    resume_nodes = Some(rebuild_frontier(&snap));
+                    certnn_obs::event(
+                        "ckpt.resumed",
+                        vec![
+                            ("nodes_done", snap.nodes_done.into()),
+                            ("frontier", snap.frontier.len().into()),
+                            ("path", path.display().to_string().into()),
+                        ],
+                    );
+                }
+            }
+        }
+        ckpt_rt = Some(CkptRuntime {
+            path,
+            query_hash,
+            seed: policy.seed,
+            every_nodes: policy.every_nodes.max(1),
+            every: policy.every,
+            run_start: start,
+            prior_elapsed_nanos,
+            writing: AtomicBool::new(false),
+        });
+    }
+
+    let roots = match resume_nodes {
+        Some(nodes) => nodes,
+        None => vec![Node {
             phases: root_phases,
             bound: root_bound,
             depth: 0,
+            seq: 0,
             retries: 0,
             warm: None,
             alpha: root_alpha.map(Arc::new),
-        },
-    );
+        }],
+    };
+    let state = SearchState::new(threads_used, roots, init, ckpt_rt);
     state.try_incumbent(&ctx, &root.maximizer);
+    if let Some(w) = resume_witness {
+        // The stored incumbent is only ever installed through a fresh
+        // forward pass: its achieved value is re-derived, never read.
+        state.try_incumbent(&ctx, &Vector::from(w));
+    }
     drop(encode_phase);
 
     // Work-sharing scoped worker pool. With one worker this runs the
@@ -990,6 +1447,35 @@ pub fn bab_maximize_under(
             ],
         );
     }
+    // Anytime semantics: an early stop flushes a final snapshot so the
+    // caller holds a resumable handle; a finished answer (optimal,
+    // cutoff, target, infeasible) deletes the file — a completed query
+    // must not leave a stale resume behind.
+    let total_nodes = frontier.nodes;
+    if let Some(rt) = &state.ckpt {
+        let resumable = matches!(
+            status,
+            MilpStatus::TimeLimit | MilpStatus::NodeLimit | MilpStatus::Aborted
+        );
+        if resumable {
+            let mut nodes = frontier.heap.into_vec();
+            nodes.extend(frontier.claimed.into_iter().flatten());
+            let job = SnapshotJob {
+                nodes,
+                nodes_done: (total_nodes - frontier.in_flight) as u64,
+                next_seq: frontier.next_seq,
+                dropped: frontier.dropped,
+                degradation: frontier.sticky_degradation,
+            };
+            let inc = match (&witness, best_value) {
+                (Some(x), Some(v)) => Some((x.iter().copied().collect::<Vec<f64>>(), v)),
+                _ => None,
+            };
+            serialize_and_write(rt, &job, inc);
+        } else {
+            checkpoint::remove_snapshot(&rt.path);
+        }
+    }
     drop(fold_phase);
     drop(run_span);
 
@@ -998,7 +1484,7 @@ pub fn bab_maximize_under(
         best_value,
         witness,
         upper_bound,
-        nodes: frontier.nodes,
+        nodes: total_nodes,
         milp_calls,
         lp_iterations,
         encoding_stats: enc.stats,
@@ -1379,6 +1865,9 @@ fn process_node(
             phases,
             bound: child_bound,
             depth: node.depth + 1,
+            // Placeholder: the real sequence number is assigned under the
+            // frontier lock when `complete` pushes the child.
+            seq: 0,
             retries: 0,
             warm: node_snap.clone(),
             alpha: node_alpha.clone(),

@@ -1,0 +1,1042 @@
+//! Crash-safe checkpointing of branch-and-bound search state.
+//!
+//! A long verification query is an investment: hours of frontier
+//! exploration that a crash, OOM kill or deadline would otherwise throw
+//! away. This module defines a versioned, checksummed, atomically-written
+//! snapshot of the live search state of [`crate::bab`] — enough to resume
+//! a `TimedOut` (or SIGKILLed) run where it stopped — plus the
+//! content-address that ties a snapshot to the exact (weights, property)
+//! pair it belongs to.
+//!
+//! # File format
+//!
+//! ```text
+//! magic "CNCK" | version u32 | sections… | fnv64(everything before)
+//! section: tag u8 | payload_len u64 | payload | fnv64(payload)
+//! ```
+//!
+//! All integers are little-endian; floats are stored as `f64::to_bits`.
+//! Sections appear in fixed order: header, incumbent, warm-start pool,
+//! frontier. Every section carries its own FNV-1a checksum and the whole
+//! file carries a trailing one, so any single-byte corruption — torn
+//! write, bit flip, truncation — is detected before anything is trusted.
+//!
+//! # What is (and is not) trusted from disk
+//!
+//! The snapshot is *combinatorial*, never numeric-derived state:
+//!
+//! * Frontier nodes carry phase assignments, bounds and tie-break
+//!   sequence numbers. Bounds are re-validated (finite) and every node is
+//!   re-bounded by the resumed search before anything depends on it.
+//! * Warm starts are stored as **basis signatures** (basic column per row
+//!   plus per-column status codes) only. Factorizations are re-derived
+//!   from the model's own constraint columns on first use
+//!   ([`certnn_lp::WarmStart::from_description`] always rebuilds with no
+//!   frozen factor) — LU data from disk is never used.
+//! * The incumbent witness is re-verified by a fresh forward pass before
+//!   it is installed; the stored objective value is only a cross-check.
+//! * α vectors are clamped to `[0, 1]`, where *any* value is sound.
+//!
+//! A resume against a snapshot whose query hash, checksums or structural
+//! invariants do not match **never errors**: the search falls back to a
+//! fresh solve tagged [`Degradation::CheckpointFallback`].
+
+use crate::property::{InputSpec, LinearObjective};
+use certnn_lp::Degradation;
+use certnn_nn::network::Network;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 4] = *b"CNCK";
+
+/// Current format version. Readers reject anything else.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Default [`CheckpointPolicy::every_nodes`].
+pub const DEFAULT_EVERY_NODES: usize = 64;
+
+/// Default [`CheckpointPolicy::every`].
+pub const DEFAULT_EVERY: Duration = Duration::from_secs(5);
+
+const SEC_HEADER: u8 = 1;
+const SEC_INCUMBENT: u8 = 2;
+const SEC_WARM_POOL: u8 = 3;
+const SEC_FRONTIER: u8 = 4;
+
+/// Cached `ckpt.*` observability handles.
+pub(crate) struct CkptMetrics {
+    pub(crate) written: certnn_obs::Counter,
+    pub(crate) bytes: certnn_obs::Counter,
+    pub(crate) resume_ok: certnn_obs::Counter,
+    pub(crate) corrupt_fallbacks: certnn_obs::Counter,
+    pub(crate) snapshot_nanos: certnn_obs::Histogram,
+}
+
+pub(crate) fn ckpt_metrics() -> &'static CkptMetrics {
+    static M: OnceLock<CkptMetrics> = OnceLock::new();
+    M.get_or_init(|| CkptMetrics {
+        written: certnn_obs::counter("ckpt.written"),
+        bytes: certnn_obs::counter("ckpt.bytes"),
+        resume_ok: certnn_obs::counter("ckpt.resume_ok"),
+        corrupt_fallbacks: certnn_obs::counter("ckpt.corrupt_fallbacks"),
+        snapshot_nanos: certnn_obs::histogram("ckpt.snapshot_nanos"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher — the workspace's standard cheap,
+/// dependency-free content hash (same family as the LP basis signatures).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by bit pattern (distinguishes `-0.0` from `0.0`
+    /// and every NaN payload — exactly what a content address wants).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Final hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Content-address of a verification query: an FNV-1a hash over the
+/// network's full architecture and parameters (layer shapes, activation
+/// kinds, every weight and bias bit) and the property (input box,
+/// scenario constraints, objective terms and constant).
+///
+/// Two queries with the same fingerprint are byte-for-byte the same
+/// question, so a checkpoint — or, later, a cached certificate — keyed by
+/// it can be swapped between runs safely.
+pub fn query_fingerprint(net: &Network, spec: &InputSpec, objective: &LinearObjective) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(net.layers().len() as u64);
+    for layer in net.layers() {
+        h.write_u64(layer.inputs() as u64);
+        h.write_u64(layer.outputs() as u64);
+        h.write(format!("{:?}", layer.activation()).as_bytes());
+        for &w in layer.weights().as_slice() {
+            h.write_f64(w);
+        }
+        for &b in layer.bias().iter() {
+            h.write_f64(b);
+        }
+    }
+    h.write_u64(spec.bounds().len() as u64);
+    for iv in spec.bounds() {
+        h.write_f64(iv.lo());
+        h.write_f64(iv.hi());
+    }
+    h.write_u64(spec.constraints().len() as u64);
+    for c in spec.constraints() {
+        h.write(format!("{:?}", c.relation).as_bytes());
+        h.write_f64(c.rhs);
+        h.write_u64(c.terms.len() as u64);
+        for &(i, v) in &c.terms {
+            h.write_u64(i as u64);
+            h.write_f64(v);
+        }
+    }
+    h.write_u64(objective.terms.len() as u64);
+    for &(i, v) in &objective.terms {
+        h.write_u64(i as u64);
+        h.write_f64(v);
+    }
+    h.write_f64(objective.constant);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Policy
+// ---------------------------------------------------------------------------
+
+/// When and where the branch-and-bound driver snapshots its search state.
+///
+/// The `dir` holds one file per in-flight query, named by the query's
+/// [`query_fingerprint`] (`q<hex>.ckpt`), so multi-query runs (every
+/// Table II width, every fleet member, every mixture component) checkpoint
+/// independently and a resume finds each query's own state. Completed
+/// queries delete their file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Directory holding the per-query checkpoint files.
+    pub dir: PathBuf,
+    /// Snapshot after this many newly processed nodes (whichever of the
+    /// two cadences fires first). Clamped to at least 1.
+    pub every_nodes: usize,
+    /// Snapshot after this much wall time since the last one.
+    pub every: Duration,
+    /// Run seed folded into the per-query file key: two runs whose
+    /// configuration seeds differ never share snapshots even if their
+    /// weights collide.
+    pub seed: u64,
+    /// Attempt to resume from an existing snapshot before solving.
+    pub resume: bool,
+}
+
+impl CheckpointPolicy {
+    /// Policy writing snapshots under `dir` at the default cadence,
+    /// without resuming.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every_nodes: DEFAULT_EVERY_NODES,
+            every: DEFAULT_EVERY,
+            seed: 0,
+            resume: false,
+        }
+    }
+
+    /// The checkpoint file for a query hash under this policy's directory.
+    pub fn file_for(&self, query_hash: u64) -> PathBuf {
+        self.dir.join(format!("q{query_hash:016x}.ckpt"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot model
+// ---------------------------------------------------------------------------
+
+/// Serialized warm-start basis: the combinatorial description only (see
+/// [`certnn_lp::WarmStart::describe`]); factorizations are re-derived on
+/// resume, never stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmDesc {
+    /// Constraint rows of the LP the basis belongs to.
+    pub m: u64,
+    /// Structural variables of that LP.
+    pub n_struct: u64,
+    /// Basic column per row (`m` entries).
+    pub basis: Vec<u64>,
+    /// Per-column status codes (`n_struct + m` entries, encoding of
+    /// [`certnn_lp::WarmStart::describe`]).
+    pub status: Vec<u8>,
+}
+
+/// One serialized frontier node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotNode {
+    /// Proven upper bound of the node's subtree.
+    pub bound: f64,
+    /// Depth in the phase tree.
+    pub depth: u64,
+    /// Heap tie-break sequence number (restored so the resumed best-first
+    /// pop order matches the uninterrupted run exactly).
+    pub seq: u64,
+    /// Panic-retry count carried over.
+    pub retries: u8,
+    /// Per-ReLU phase assignment: `0` open, `1` forced inactive,
+    /// `2` forced active.
+    pub phases: Vec<u8>,
+    /// Inherited tuned α slopes, when α tuning was on.
+    pub alpha: Option<Vec<f64>>,
+    /// Index into [`Snapshot::warm_pool`], when the node carried a basis.
+    pub warm_idx: Option<u64>,
+}
+
+/// A complete, self-validating snapshot of one query's search state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// [`query_fingerprint`] (plus run-config context) of the query this
+    /// state belongs to; a resume against any other hash is rejected.
+    pub query_hash: u64,
+    /// Run-configuration seed recorded at capture time.
+    pub seed: u64,
+    /// Fully processed nodes (claimed-but-incomplete work is *not*
+    /// counted: it is re-queued in [`Snapshot::frontier`] and recounted
+    /// when the resumed search claims it again).
+    pub nodes_done: u64,
+    /// Next heap tie-break sequence number to assign.
+    pub next_seq: u64,
+    /// Cumulative search wall time across all runs of this query, ns.
+    pub elapsed_nanos: u64,
+    /// Max bound over subtrees irrecoverably dropped (panic retries
+    /// exhausted, dead workers); `-inf` when none. Folded into the final
+    /// upper bound by the resumed run — lost work must never silently
+    /// tighten the answer.
+    pub dropped_bound: f64,
+    /// Worst degradation recorded on the frontier at capture time.
+    pub degradation: Degradation,
+    /// Best verified incumbent: witness input and its objective value.
+    pub incumbent: Option<(Vec<f64>, f64)>,
+    /// Deduplicated warm-start bases referenced by the frontier.
+    pub warm_pool: Vec<WarmDesc>,
+    /// Open frontier: heap contents plus nodes claimed by workers at
+    /// capture time.
+    pub frontier: Vec<SnapshotNode>,
+}
+
+impl Snapshot {
+    /// Structural validation beyond checksums: every phase vector has the
+    /// query's ReLU count with codes in `{0,1,2}`, bounds and α values
+    /// are finite, warm indices point into the pool, pool entries are
+    /// dimensionally consistent, and the witness matches the input width.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] naming the first violated invariant.
+    pub fn validate(&self, total_relu: usize, num_inputs: usize) -> Result<(), CheckpointError> {
+        for d in &self.warm_pool {
+            if d.basis.len() as u64 != d.m {
+                return Err(CheckpointError::Malformed("warm basis length != m"));
+            }
+            if d.status.len() as u64 != d.n_struct + d.m {
+                return Err(CheckpointError::Malformed("warm status length != n_struct + m"));
+            }
+        }
+        for n in &self.frontier {
+            if n.phases.len() != total_relu {
+                return Err(CheckpointError::Malformed("node phase vector has wrong length"));
+            }
+            if n.phases.iter().any(|&p| p > 2) {
+                return Err(CheckpointError::Malformed("unknown phase code"));
+            }
+            if !n.bound.is_finite() {
+                return Err(CheckpointError::Malformed("non-finite node bound"));
+            }
+            if let Some(a) = &n.alpha {
+                if a.len() != total_relu {
+                    return Err(CheckpointError::Malformed("alpha vector has wrong length"));
+                }
+                if a.iter().any(|v| !v.is_finite()) {
+                    return Err(CheckpointError::Malformed("non-finite alpha"));
+                }
+            }
+            if let Some(w) = n.warm_idx {
+                if w as usize >= self.warm_pool.len() {
+                    return Err(CheckpointError::Malformed("warm index out of range"));
+                }
+            }
+        }
+        if let Some((w, v)) = &self.incumbent {
+            if w.len() != num_inputs {
+                return Err(CheckpointError::Malformed("witness has wrong input width"));
+            }
+            if w.iter().any(|x| !x.is_finite()) || !v.is_finite() {
+                return Err(CheckpointError::Malformed("non-finite incumbent"));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a checkpoint could not be written, read or trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure (the kind plus the path involved).
+    Io(std::io::ErrorKind, String),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The file ends before the advertised data (torn write).
+    Truncated {
+        /// Bytes the parser needed.
+        wanted: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A section's payload does not match its stored FNV-1a checksum.
+    SectionChecksum(u8),
+    /// The whole-file trailing checksum does not match.
+    FileChecksum,
+    /// A structural invariant does not hold (valid checksums, bad data).
+    Malformed(&'static str),
+    /// The snapshot belongs to a different (weights, property) pair.
+    QueryMismatch {
+        /// Hash the caller expected.
+        expected: u64,
+        /// Hash stored in the snapshot.
+        found: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(kind, path) => write!(f, "checkpoint io error ({kind:?}): {path}"),
+            CheckpointError::BadMagic => f.write_str("not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (expected {FORMAT_VERSION})")
+            }
+            CheckpointError::Truncated { wanted, available } => write!(
+                f,
+                "checkpoint truncated: needed {wanted} bytes, only {available} available"
+            ),
+            CheckpointError::SectionChecksum(tag) => {
+                write!(f, "checksum mismatch in checkpoint section {tag}")
+            }
+            CheckpointError::FileChecksum => f.write_str("whole-file checksum mismatch"),
+            CheckpointError::Malformed(why) => write!(f, "malformed checkpoint: {why}"),
+            CheckpointError::QueryMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to query {found:016x}, expected {expected:016x}"
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+fn io_err(path: &Path, e: &std::io::Error) -> CheckpointError {
+    CheckpointError::Io(e.kind(), path.display().to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+fn encode_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+}
+
+/// Encodes a snapshot to its on-disk byte representation.
+pub fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+
+    let mut h = Enc(Vec::new());
+    h.u64(snap.query_hash);
+    h.u64(snap.seed);
+    h.u64(snap.nodes_done);
+    h.u64(snap.next_seq);
+    h.u64(snap.elapsed_nanos);
+    h.f64(snap.dropped_bound);
+    h.u8(encode_degradation(snap.degradation));
+    encode_section(&mut out, SEC_HEADER, &h.0);
+
+    let mut inc = Enc(Vec::new());
+    match &snap.incumbent {
+        None => inc.u8(0),
+        Some((w, v)) => {
+            inc.u8(1);
+            inc.u64(w.len() as u64);
+            for &x in w {
+                inc.f64(x);
+            }
+            inc.f64(*v);
+        }
+    }
+    encode_section(&mut out, SEC_INCUMBENT, &inc.0);
+
+    let mut pool = Enc(Vec::new());
+    pool.u64(snap.warm_pool.len() as u64);
+    for d in &snap.warm_pool {
+        pool.u64(d.m);
+        pool.u64(d.n_struct);
+        pool.u64(d.basis.len() as u64);
+        for &b in &d.basis {
+            pool.u64(b);
+        }
+        pool.u64(d.status.len() as u64);
+        pool.0.extend_from_slice(&d.status);
+    }
+    encode_section(&mut out, SEC_WARM_POOL, &pool.0);
+
+    let mut fr = Enc(Vec::new());
+    fr.u64(snap.frontier.len() as u64);
+    for n in &snap.frontier {
+        fr.f64(n.bound);
+        fr.u64(n.depth);
+        fr.u64(n.seq);
+        fr.u8(n.retries);
+        fr.u64(n.phases.len() as u64);
+        fr.0.extend_from_slice(&n.phases);
+        match &n.alpha {
+            None => fr.u8(0),
+            Some(a) => {
+                fr.u8(1);
+                fr.u64(a.len() as u64);
+                for &v in a {
+                    fr.f64(v);
+                }
+            }
+        }
+        fr.u64(n.warm_idx.map_or(u64::MAX, |w| w));
+    }
+    encode_section(&mut out, SEC_FRONTIER, &fr.0);
+
+    let file_sum = fnv64(&out);
+    out.extend_from_slice(&file_sum.to_le_bytes());
+    out
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated {
+                wanted: n,
+                available: self.buf.len() - self.pos,
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// Reads a length prefix that must be realisable from the remaining
+    /// bytes (each element at least `elem_bytes` wide), so a corrupt
+    /// length cannot trigger a huge allocation.
+    fn len(&mut self, elem_bytes: usize) -> Result<usize, CheckpointError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| CheckpointError::Malformed("length overflow"))?;
+        let remaining = self.buf.len() - self.pos;
+        if elem_bytes > 0 && n > remaining / elem_bytes.max(1) {
+            return Err(CheckpointError::Truncated {
+                wanted: n.saturating_mul(elem_bytes),
+                available: remaining,
+            });
+        }
+        Ok(n)
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn encode_degradation(d: Degradation) -> u8 {
+    match d {
+        Degradation::Exact => 0,
+        Degradation::CheckpointFallback => 1,
+        Degradation::ColdFallback => 2,
+        Degradation::IntervalOnly => 3,
+        Degradation::TimedOut => 4,
+    }
+}
+
+fn decode_degradation(v: u8) -> Result<Degradation, CheckpointError> {
+    Ok(match v {
+        0 => Degradation::Exact,
+        1 => Degradation::CheckpointFallback,
+        2 => Degradation::ColdFallback,
+        3 => Degradation::IntervalOnly,
+        4 => Degradation::TimedOut,
+        _ => return Err(CheckpointError::Malformed("unknown degradation code")),
+    })
+}
+
+/// Reads one section, verifying tag and checksum, returning its payload.
+fn section<'a>(dec: &mut Dec<'a>, tag: u8) -> Result<&'a [u8], CheckpointError> {
+    let got = dec.u8()?;
+    if got != tag {
+        return Err(CheckpointError::Malformed("unexpected section tag"));
+    }
+    let len = dec.len(1)?;
+    let payload = dec.take(len)?;
+    let stored = dec.u64()?;
+    if fnv64(payload) != stored {
+        return Err(CheckpointError::SectionChecksum(tag));
+    }
+    Ok(payload)
+}
+
+/// Decodes a snapshot from its on-disk byte representation, verifying the
+/// whole-file checksum first and then every section checksum, so no field
+/// is interpreted before its integrity is established.
+///
+/// # Errors
+///
+/// Any [`CheckpointError`] variant other than `Io`/`QueryMismatch`.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, CheckpointError> {
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(CheckpointError::Truncated {
+            wanted: MAGIC.len() + 4 + 8,
+            available: bytes.len(),
+        });
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(trailer);
+    if fnv64(body) != u64::from_le_bytes(stored) {
+        return Err(CheckpointError::FileChecksum);
+    }
+    let mut dec = Dec { buf: body, pos: 0 };
+    if dec.take(MAGIC.len())? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let ver = {
+        let b = dec.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        u32::from_le_bytes(a)
+    };
+    if ver != FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(ver));
+    }
+
+    let header = section(&mut dec, SEC_HEADER)?;
+    let mut h = Dec { buf: header, pos: 0 };
+    let query_hash = h.u64()?;
+    let seed = h.u64()?;
+    let nodes_done = h.u64()?;
+    let next_seq = h.u64()?;
+    let elapsed_nanos = h.u64()?;
+    let dropped_bound = h.f64()?;
+    let degradation = decode_degradation(h.u8()?)?;
+    if !h.done() {
+        return Err(CheckpointError::Malformed("trailing bytes in header"));
+    }
+
+    let inc_payload = section(&mut dec, SEC_INCUMBENT)?;
+    let mut i = Dec { buf: inc_payload, pos: 0 };
+    let incumbent = match i.u8()? {
+        0 => None,
+        1 => {
+            let n = i.len(8)?;
+            let mut w = Vec::with_capacity(n);
+            for _ in 0..n {
+                w.push(i.f64()?);
+            }
+            Some((w, i.f64()?))
+        }
+        _ => return Err(CheckpointError::Malformed("bad incumbent flag")),
+    };
+    if !i.done() {
+        return Err(CheckpointError::Malformed("trailing bytes in incumbent"));
+    }
+
+    let pool_payload = section(&mut dec, SEC_WARM_POOL)?;
+    let mut p = Dec { buf: pool_payload, pos: 0 };
+    let pool_len = p.len(24)?;
+    let mut warm_pool = Vec::with_capacity(pool_len);
+    for _ in 0..pool_len {
+        let m = p.u64()?;
+        let n_struct = p.u64()?;
+        let bl = p.len(8)?;
+        let mut basis = Vec::with_capacity(bl);
+        for _ in 0..bl {
+            basis.push(p.u64()?);
+        }
+        let sl = p.len(1)?;
+        let status = p.take(sl)?.to_vec();
+        warm_pool.push(WarmDesc { m, n_struct, basis, status });
+    }
+    if !p.done() {
+        return Err(CheckpointError::Malformed("trailing bytes in warm pool"));
+    }
+
+    let fr_payload = section(&mut dec, SEC_FRONTIER)?;
+    let mut fdec = Dec { buf: fr_payload, pos: 0 };
+    let n_nodes = fdec.len(34)?;
+    let mut frontier = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let bound = fdec.f64()?;
+        let depth = fdec.u64()?;
+        let seq = fdec.u64()?;
+        let retries = fdec.u8()?;
+        let pl = fdec.len(1)?;
+        let phases = fdec.take(pl)?.to_vec();
+        let alpha = match fdec.u8()? {
+            0 => None,
+            1 => {
+                let al = fdec.len(8)?;
+                let mut a = Vec::with_capacity(al);
+                for _ in 0..al {
+                    a.push(fdec.f64()?);
+                }
+                Some(a)
+            }
+            _ => return Err(CheckpointError::Malformed("bad alpha flag")),
+        };
+        let warm_idx = match fdec.u64()? {
+            u64::MAX => None,
+            w => Some(w),
+        };
+        frontier.push(SnapshotNode { bound, depth, seq, retries, phases, alpha, warm_idx });
+    }
+    if !fdec.done() {
+        return Err(CheckpointError::Malformed("trailing bytes in frontier"));
+    }
+    if !dec.done() {
+        return Err(CheckpointError::Malformed("trailing bytes after sections"));
+    }
+
+    Ok(Snapshot {
+        query_hash,
+        seed,
+        nodes_done,
+        next_seq,
+        elapsed_nanos,
+        dropped_bound,
+        degradation,
+        incumbent,
+        warm_pool,
+        frontier,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file IO
+// ---------------------------------------------------------------------------
+
+/// Writes a snapshot atomically: encode → temp file in the same directory
+/// → `fsync` → rename over the target → best-effort directory `fsync`.
+/// A crash at any point leaves either the previous complete checkpoint or
+/// none — never a torn file under the real name. Returns the bytes
+/// written.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] on any filesystem failure.
+pub fn write_snapshot(path: &Path, snap: &Snapshot) -> Result<u64, CheckpointError> {
+    let bytes = encode_snapshot(snap);
+    let tmp = path.with_extension("ckpt.tmp");
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
+        f.write_all(&bytes).map_err(|e| io_err(&tmp, &e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, &e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, &e))?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself; failure here only risks losing the
+        // *newest* snapshot on a power cut, never corrupting one.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and fully verifies a snapshot file (checksums and structure of
+/// the byte format; semantic validation is [`Snapshot::validate`]).
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] (kind `NotFound` when no checkpoint exists) or
+/// any decode error.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, CheckpointError> {
+    let bytes = fs::read(path).map_err(|e| io_err(path, &e))?;
+    decode_snapshot(&bytes)
+}
+
+/// Removes a query's checkpoint file, ignoring a missing one. Called when
+/// a query completes: a finished answer must not leave a stale resume
+/// handle behind.
+pub fn remove_snapshot(path: &Path) {
+    match fs::remove_file(path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            certnn_obs::event(
+                "ckpt.remove_failed",
+                vec![
+                    ("path", path.display().to_string().into()),
+                    ("kind", format!("{:?}", e.kind()).into()),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certnn_linalg::Interval;
+    use proptest::prelude::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            query_hash: 0xdead_beef_cafe_f00d,
+            seed: 7,
+            nodes_done: 42,
+            next_seq: 99,
+            elapsed_nanos: 1_234_567,
+            dropped_bound: f64::NEG_INFINITY,
+            degradation: Degradation::TimedOut,
+            incumbent: Some((vec![0.25, -1.0, 0.5], 1.75)),
+            warm_pool: vec![WarmDesc {
+                m: 2,
+                n_struct: 3,
+                basis: vec![0, 4],
+                status: vec![0, 1, 2, 1, 0],
+            }],
+            frontier: vec![
+                SnapshotNode {
+                    bound: 3.5,
+                    depth: 2,
+                    seq: 11,
+                    retries: 0,
+                    phases: vec![0, 1, 2, 0],
+                    alpha: Some(vec![0.0, 0.5, 1.0, 0.25]),
+                    warm_idx: Some(0),
+                },
+                SnapshotNode {
+                    bound: 1.25,
+                    depth: 5,
+                    seq: 17,
+                    retries: 1,
+                    phases: vec![2, 2, 1, 0],
+                    alpha: None,
+                    warm_idx: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let snap = sample_snapshot();
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(encode_snapshot(&back), bytes);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_snapshot(&sample_snapshot());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_err(),
+                "truncation at {cut}/{} must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = encode_snapshot(&sample_snapshot());
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert!(
+                decode_snapshot(&corrupt).is_err(),
+                "bit flip at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_structural_lies() {
+        let snap = sample_snapshot();
+        assert!(snap.validate(4, 3).is_ok());
+        assert!(matches!(
+            snap.validate(5, 3),
+            Err(CheckpointError::Malformed(_))
+        ));
+        assert!(matches!(
+            snap.validate(4, 2),
+            Err(CheckpointError::Malformed(_))
+        ));
+        let mut bad = snap.clone();
+        bad.frontier[0].warm_idx = Some(3);
+        assert!(bad.validate(4, 3).is_err());
+        let mut bad = snap.clone();
+        bad.frontier[0].bound = f64::NAN;
+        assert!(bad.validate(4, 3).is_err());
+        let mut bad = snap;
+        bad.warm_pool[0].basis.pop();
+        assert!(bad.validate(4, 3).is_err());
+    }
+
+    #[test]
+    fn fingerprint_separates_weights_and_properties() {
+        let a = Network::relu_mlp(3, &[4], 1, 1).unwrap();
+        let b = Network::relu_mlp(3, &[4], 1, 2).unwrap();
+        let spec = InputSpec::from_box(vec![Interval::new(-1.0, 1.0); 3]).unwrap();
+        let spec2 = InputSpec::from_box(vec![Interval::new(-1.0, 0.5); 3]).unwrap();
+        let obj = LinearObjective::output(0);
+        let obj2 = LinearObjective {
+            terms: vec![(0, 1.0)],
+            constant: 1.0,
+        };
+        let base = query_fingerprint(&a, &spec, &obj);
+        assert_eq!(base, query_fingerprint(&a, &spec, &obj));
+        assert_ne!(base, query_fingerprint(&b, &spec, &obj));
+        assert_ne!(base, query_fingerprint(&a, &spec2, &obj));
+        assert_ne!(base, query_fingerprint(&a, &spec, &obj2));
+    }
+
+    #[test]
+    fn atomic_write_then_read_round_trips() {
+        let dir = std::env::temp_dir().join(format!("certnn_ckpt_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q0.ckpt");
+        let snap = sample_snapshot();
+        let bytes = write_snapshot(&path, &snap).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(read_snapshot(&path).unwrap(), snap);
+        // Overwrite is atomic too (rename over existing).
+        let mut snap2 = sample_snapshot();
+        snap2.nodes_done = 43;
+        write_snapshot(&path, &snap2).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap().nodes_done, 43);
+        remove_snapshot(&path);
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(CheckpointError::Io(std::io::ErrorKind::NotFound, _))
+        ));
+        remove_snapshot(&path); // idempotent on missing files
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+        let node = (
+            -1.0e6..1.0e6f64,
+            0u64..64,
+            0u64..1000,
+            prop::collection::vec(0u8..3, 0..12),
+            prop::collection::vec(0.0..1.0f64, 0..12),
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(bound, depth, seq, phases, alpha, has_alpha, has_warm)| SnapshotNode {
+                bound,
+                depth,
+                seq,
+                retries: (seq % 3) as u8,
+                phases,
+                alpha: has_alpha.then_some(alpha),
+                warm_idx: has_warm.then_some(seq % 4),
+            });
+        (
+            any::<u64>(),
+            any::<u64>(),
+            0u64..100_000,
+            prop::collection::vec(-10.0..10.0f64, 0..6),
+            prop::collection::vec(node, 0..8),
+            any::<bool>(),
+        )
+            .prop_map(|(query_hash, seed, nodes_done, witness, frontier, has_inc)| Snapshot {
+                query_hash,
+                seed,
+                nodes_done,
+                next_seq: nodes_done.wrapping_mul(2),
+                elapsed_nanos: nodes_done.wrapping_mul(31),
+                dropped_bound: if nodes_done % 2 == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    nodes_done as f64
+                },
+                degradation: match nodes_done % 5 {
+                    0 => Degradation::Exact,
+                    1 => Degradation::CheckpointFallback,
+                    2 => Degradation::ColdFallback,
+                    3 => Degradation::IntervalOnly,
+                    _ => Degradation::TimedOut,
+                },
+                incumbent: has_inc.then(|| {
+                    let v = witness.iter().sum();
+                    (witness, v)
+                }),
+                warm_pool: vec![WarmDesc {
+                    m: 2,
+                    n_struct: 2,
+                    basis: vec![1, 3],
+                    status: vec![1, 0, 2, 0],
+                }],
+                frontier,
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn proptest_codec_round_trips_bit_identically(snap in arb_snapshot()) {
+            let bytes = encode_snapshot(&snap);
+            let back = decode_snapshot(&bytes).expect("valid snapshot must decode");
+            prop_assert_eq!(&back, &snap);
+            prop_assert_eq!(encode_snapshot(&back), bytes);
+        }
+
+        #[test]
+        fn proptest_single_byte_corruption_is_detected(
+            snap in arb_snapshot(),
+            pos_seed in any::<u64>(),
+            flip in 1u8..=255,
+        ) {
+            let mut bytes = encode_snapshot(&snap);
+            let pos = (pos_seed % bytes.len() as u64) as usize;
+            bytes[pos] ^= flip;
+            prop_assert!(
+                decode_snapshot(&bytes).is_err(),
+                "corrupting byte {} with xor {:#x} must be detected", pos, flip
+            );
+        }
+    }
+}

@@ -65,6 +65,7 @@
 pub mod attack;
 pub mod bab;
 pub mod bounds;
+pub mod checkpoint;
 pub mod encoder;
 pub mod property;
 pub mod quant;

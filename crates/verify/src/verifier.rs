@@ -1,7 +1,8 @@
 //! Verification queries: exact output maximisation and bound proofs.
 
-use crate::bab::{bab_maximize_under, BabOptions};
+use crate::bab::{bab_maximize_ckpt, BabOptions};
 use crate::bounds::interval_objective_ceiling;
+use crate::checkpoint::CheckpointPolicy;
 use crate::encoder::{encode, BoundMethod, EncodingStats};
 use crate::property::{InputSpec, LinearObjective};
 use crate::VerifyError;
@@ -232,6 +233,7 @@ impl Default for VerifierOptions {
 pub struct Verifier {
     opts: VerifierOptions,
     deadline: Deadline,
+    checkpoints: Option<CheckpointPolicy>,
 }
 
 impl Verifier {
@@ -246,6 +248,7 @@ impl Verifier {
         Self {
             opts,
             deadline: Deadline::none(),
+            checkpoints: None,
         }
     }
 
@@ -256,6 +259,19 @@ impl Verifier {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Deadline) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Attaches a crash-safe checkpoint policy. Branch-and-bound queries
+    /// snapshot their live frontier to `policy.dir` on the configured
+    /// cadence and flush a final snapshot when a resource limit stops the
+    /// search, so an interrupted query can be resumed (with
+    /// `policy.resume`) and finish as if it had never been stopped. The
+    /// pure-MILP engine ignores the policy — only the hybrid
+    /// branch-and-bound path is resumable.
+    #[must_use]
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoints = Some(policy);
         self
     }
 
@@ -327,12 +343,13 @@ impl Verifier {
     ) -> Result<MaxResult, VerifyError> {
         objective.check_against(net)?;
         if self.use_bab(spec) {
-            let r = bab_maximize_under(
+            let r = bab_maximize_ckpt(
                 net,
                 spec,
                 objective,
                 &self.bab_options(),
                 self.deadline.clone(),
+                self.checkpoints.as_ref(),
             )?;
             return Ok(MaxResult {
                 status: r.status,
@@ -451,7 +468,14 @@ impl Verifier {
             let mut opts = self.bab_options();
             opts.target_objective = Some(threshold + 1e-9);
             opts.bound_cutoff = Some(threshold);
-            let r = bab_maximize_under(net, spec, objective, &opts, self.deadline.clone())?;
+            let r = bab_maximize_ckpt(
+                net,
+                spec,
+                objective,
+                &opts,
+                self.deadline.clone(),
+                self.checkpoints.as_ref(),
+            )?;
             let stats = VerifyStats {
                 nodes: r.nodes,
                 lp_iterations: r.lp_iterations,

@@ -1,0 +1,238 @@
+//! Resume-equivalence contract of the crash-safe checkpoint layer:
+//! interrupting a solve at an arbitrary point and resuming from its
+//! snapshot must reproduce the uninterrupted run's verdict, node count
+//! and degradation tag exactly — and a corrupted or mismatched snapshot
+//! must never be accepted, degrading to a fresh solve instead.
+
+use certnn_linalg::Interval;
+use certnn_lp::Deadline;
+use certnn_nn::network::Network;
+use certnn_verify::bab::{bab_maximize_ckpt, bab_maximize_under, BabOptions, BabResult};
+use certnn_verify::checkpoint::{
+    decode_snapshot, encode_snapshot, CheckpointPolicy, DEFAULT_EVERY,
+};
+use certnn_verify::property::{InputSpec, LinearObjective};
+use certnn_verify::Degradation;
+use std::path::{Path, PathBuf};
+
+fn unit_spec(n: usize) -> InputSpec {
+    InputSpec::from_box(vec![Interval::new(-1.0, 1.0); n]).unwrap()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "certnn_resume_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ckpt_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn policy(dir: &Path) -> CheckpointPolicy {
+    CheckpointPolicy {
+        dir: dir.to_path_buf(),
+        every_nodes: 1,
+        every: DEFAULT_EVERY,
+        seed: 7,
+        resume: true,
+    }
+}
+
+fn solve(
+    net: &Network,
+    opts: &BabOptions,
+    ckpt: Option<&CheckpointPolicy>,
+) -> BabResult {
+    let spec = unit_spec(net.inputs());
+    let obj = LinearObjective::output(0);
+    bab_maximize_ckpt(net, &spec, &obj, opts, Deadline::none(), ckpt).unwrap()
+}
+
+#[test]
+fn interrupted_and_resumed_run_matches_uninterrupted_exactly() {
+    let net = Network::relu_mlp(4, &[10, 10], 1, 3).unwrap();
+    let opts = BabOptions::default();
+    let spec = unit_spec(4);
+    let obj = LinearObjective::output(0);
+    let full = bab_maximize_under(&net, &spec, &obj, &opts, Deadline::none()).unwrap();
+    let full_value = full.best_value.unwrap();
+    assert!(full.nodes >= 9, "test net too easy ({} nodes)", full.nodes);
+
+    // Interrupt at several different depths of the search.
+    for frac in [3usize, 2] {
+        let dir = scratch_dir(&format!("eq{frac}"));
+        let pol = policy(&dir);
+        let limited = BabOptions {
+            node_limit: Some((full.nodes / frac).max(2)),
+            ..opts
+        };
+        let first = solve(&net, &limited, Some(&pol));
+        assert_eq!(first.status, certnn_milp::MilpStatus::NodeLimit);
+        assert_eq!(
+            ckpt_files(&dir).len(),
+            1,
+            "an interrupted run must leave exactly one resumable snapshot"
+        );
+
+        let second = solve(&net, &opts, Some(&pol));
+        assert_eq!(second.status, full.status);
+        assert_eq!(
+            second.best_value.unwrap().to_bits(),
+            full_value.to_bits(),
+            "resumed verdict must be bit-identical to the uninterrupted run"
+        );
+        assert_eq!(
+            second.upper_bound.to_bits(),
+            full.upper_bound.to_bits(),
+            "resumed proven bound must match"
+        );
+        assert_eq!(
+            second.nodes, full.nodes,
+            "cumulative node count must match the uninterrupted run"
+        );
+        assert_eq!(second.degradation, full.degradation);
+        assert_eq!(second.degradation, Degradation::Exact);
+        assert!(
+            ckpt_files(&dir).is_empty(),
+            "a completed query must delete its snapshot"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn repeated_interruptions_accumulate_to_the_same_answer() {
+    // Anytime verification: keep stopping and resuming until done; every
+    // leg is bounded, the union reproduces the one-shot run.
+    let net = Network::relu_mlp(4, &[10, 10], 1, 11).unwrap();
+    let opts = BabOptions::default();
+    let full = solve(&net, &opts, None);
+    let full_value = full.best_value.unwrap();
+
+    let dir = scratch_dir("chain");
+    let pol = policy(&dir);
+    let step = (full.nodes / 4).max(1);
+    let mut legs = 0usize;
+    let finished = loop {
+        legs += 1;
+        assert!(legs <= 64, "resume chain failed to converge");
+        let limited = BabOptions {
+            node_limit: Some(step * legs),
+            ..opts
+        };
+        let r = solve(&net, &limited, Some(&pol));
+        if r.status != certnn_milp::MilpStatus::NodeLimit {
+            break r;
+        }
+        assert_eq!(ckpt_files(&dir).len(), 1);
+    };
+    assert!(legs >= 3, "expected several interrupted legs, got {legs}");
+    assert_eq!(finished.status, full.status);
+    assert_eq!(finished.best_value.unwrap().to_bits(), full_value.to_bits());
+    assert_eq!(finished.nodes, full.nodes);
+    assert_eq!(finished.degradation, Degradation::Exact);
+    assert!(ckpt_files(&dir).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_snapshot_falls_back_to_fresh_solve_with_tag() {
+    let net = Network::relu_mlp(4, &[10, 10], 1, 3).unwrap();
+    let opts = BabOptions::default();
+    let full = solve(&net, &opts, None);
+
+    let dir = scratch_dir("corrupt");
+    let pol = policy(&dir);
+    let limited = BabOptions {
+        node_limit: Some((full.nodes / 3).max(2)),
+        ..opts
+    };
+    solve(&net, &limited, Some(&pol));
+    let file = ckpt_files(&dir).pop().expect("snapshot must exist");
+
+    // Flip one byte in the middle of the file: the resume must detect it,
+    // never trust it, and fall back to a fresh solve that still reaches
+    // the uninterrupted verdict — tagged, not errored.
+    let mut bytes = std::fs::read(&file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&file, &bytes).unwrap();
+
+    let r = solve(&net, &opts, Some(&pol));
+    assert_eq!(r.status, certnn_milp::MilpStatus::Optimal);
+    assert_eq!(
+        r.best_value.unwrap().to_bits(),
+        full.best_value.unwrap().to_bits(),
+        "fallback solve must still find the true optimum"
+    );
+    assert_eq!(
+        r.degradation,
+        Degradation::CheckpointFallback,
+        "a rejected snapshot must be surfaced as CheckpointFallback"
+    );
+    // The fresh solve restarts from scratch: its node count equals the
+    // uninterrupted run's, not the salvaged continuation's.
+    assert_eq!(r.nodes, full.nodes);
+    assert!(ckpt_files(&dir).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_mismatch_is_rejected_even_with_valid_checksums() {
+    let net = Network::relu_mlp(4, &[10, 10], 1, 3).unwrap();
+    let opts = BabOptions::default();
+    let dir = scratch_dir("mismatch");
+    let pol = policy(&dir);
+    let limited = BabOptions {
+        node_limit: Some(3),
+        ..opts
+    };
+    solve(&net, &limited, Some(&pol));
+    let file = ckpt_files(&dir).pop().expect("snapshot must exist");
+
+    // Re-encode the snapshot with a different query hash: checksums are
+    // valid, the content-address is not. The resume must reject it.
+    let mut snap = decode_snapshot(&std::fs::read(&file).unwrap()).unwrap();
+    snap.query_hash ^= 1;
+    std::fs::write(&file, encode_snapshot(&snap)).unwrap();
+
+    let r = solve(&net, &opts, Some(&pol));
+    assert_eq!(r.status, certnn_milp::MilpStatus::Optimal);
+    assert_eq!(r.degradation, Degradation::CheckpointFallback);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpointing_on_a_clean_run_changes_nothing_and_leaves_no_file() {
+    let net = Network::relu_mlp(4, &[10, 10], 1, 5).unwrap();
+    let opts = BabOptions::default();
+    let plain = solve(&net, &opts, None);
+    let dir = scratch_dir("clean");
+    let pol = CheckpointPolicy {
+        resume: false,
+        ..policy(&dir)
+    };
+    let with_ckpt = solve(&net, &opts, Some(&pol));
+    assert_eq!(
+        with_ckpt.best_value.unwrap().to_bits(),
+        plain.best_value.unwrap().to_bits()
+    );
+    assert_eq!(with_ckpt.nodes, plain.nodes);
+    assert_eq!(with_ckpt.degradation, plain.degradation);
+    assert!(
+        ckpt_files(&dir).is_empty(),
+        "a completed query must not leave a snapshot behind"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
