@@ -2,7 +2,7 @@
 //! data do not all satisfy the safety property.
 //!
 //! Usage: `fleet [--smoke] [--threads N] [--json rows.json] [--cold]
-//! [--alpha-iters N] [--no-lp-skip]
+//! [--alpha-iters N] [--no-lp-skip] [--serve HOST:PORT]
 //! [--checkpoint DIR] [--checkpoint-every N] [--resume DIR]
 //! [--fault-inject SEED] [--trace t.jsonl] [--metrics] [--profile]`
 //!
@@ -31,17 +31,26 @@
 //! killed fleet run repeats no finished search work. Corrupt snapshots
 //! are rejected and the query restarts fresh, tagged
 //! `checkpoint_fallback`.
+//!
+//! `--serve HOST:PORT` ships every verification query to a running
+//! `certnn-serve` daemon instead of solving in-process. Training stays
+//! local and deterministic, so the table is bit-identical either way;
+//! repeated runs against the same daemon answer from its certificate
+//! cache. Incompatible with `--checkpoint`/`--resume` (the daemon owns
+//! its own checkpoint directory).
 
 #![warn(clippy::unwrap_used)]
 
 use certnn_bench::json::{write_json, BenchRow};
 use certnn_bench::write_report;
-use certnn_core::fleet::{run_fleet, FleetConfig};
+use certnn_core::fleet::{run_fleet, FleetConfig, FleetResult};
+use certnn_serve::fleet::run_fleet_over;
 use certnn_verify::checkpoint::{CheckpointPolicy, DEFAULT_EVERY_NODES};
 use std::path::PathBuf;
 
 fn main() {
     let mut config = FleetConfig::default();
+    let mut serve_addr: Option<String> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut want_metrics = false;
@@ -71,6 +80,10 @@ fn main() {
                     args[i].parse().expect("alpha iters must be an integer");
             }
             "--no-lp-skip" => config.lp_skip = false,
+            "--serve" => {
+                i += 1;
+                serve_addr = Some(args[i].clone());
+            }
             "--checkpoint" => {
                 i += 1;
                 ckpt_dir = Some(PathBuf::from(&args[i]));
@@ -136,6 +149,10 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if serve_addr.is_some() && config.checkpoints.is_some() {
+        eprintln!("--serve is incompatible with --checkpoint/--resume: the daemon owns its own checkpoint directory");
+        std::process::exit(2);
+    }
     println!(
         "training and verifying a fleet of {} I{}x{} predictors (threads {})...\n",
         config.fleet_size,
@@ -143,7 +160,14 @@ fn main() {
         config.hidden[0],
         config.threads
     );
-    match run_fleet(&config) {
+    let outcome: Result<FleetResult, String> = match &serve_addr {
+        Some(addr) => {
+            println!("verifying over the wire via certnn-serve at {addr}\n");
+            run_fleet_over(addr.as_str(), &config).map_err(|e| e.to_string())
+        }
+        None => run_fleet(&config).map_err(|e| e.to_string()),
+    };
+    match outcome {
         Ok(result) => {
             let table = result.to_table();
             print!("{table}");

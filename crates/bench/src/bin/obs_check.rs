@@ -6,6 +6,7 @@
 //! obs_check <trace.jsonl>      validate a trace written by --trace
 //! obs_check --overhead         measure obs-on vs obs-off smoke cost
 //! obs_check --ckpt-overhead    measure checkpointing-on vs -off cost
+//! obs_check --serve-overhead   measure obs cost of the serve layer
 //! ```
 //!
 //! Validation parses every line against the JSONL schema of
@@ -20,11 +21,19 @@
 //! the same protocol to crash-safe checkpointing at its default cadence,
 //! with a tighter 3% relative budget: snapshotting must cost nearly
 //! nothing on a clean run, never shift a verdict, and leave no files
-//! behind.
+//! behind. `--serve-overhead` runs a small fleet over a loopback
+//! `certnn-serve` daemon — each run against a fresh state directory so
+//! the certificate cache cannot flatter the numbers — twice with
+//! observability off and twice with it on, under the standard 5% + 0.25 s
+//! gate, and asserts the wire-path verdicts are bit-identical either
+//! way.
 
 #![warn(clippy::unwrap_used)]
 
 use certnn_bench::table2::{run_table2, Table2Config, Table2Result};
+use certnn_core::fleet::{FleetConfig, FleetResult};
+use certnn_serve::fleet::run_fleet_over;
+use certnn_serve::server::{ServeOptions, Server};
 use certnn_verify::checkpoint::CheckpointPolicy;
 use std::path::Path;
 use std::process::ExitCode;
@@ -189,15 +198,107 @@ fn ckpt_overhead() -> Result<(), String> {
     Ok(())
 }
 
+/// One timed fleet run over a fresh loopback daemon. A new state
+/// directory per run keeps the certificate cache out of the timing, so
+/// the measurement covers the full serve path: framing, spooling,
+/// solving, caching.
+fn timed_serve_fleet(tag: &str, run: usize) -> Result<(FleetResult, f64), String> {
+    let dir = std::env::temp_dir().join(format!(
+        "certnn_serve_gate_{}_{tag}_{run}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeOptions {
+        workers: 1,
+        ..ServeOptions::loopback(&dir)
+    })
+    .map_err(|e| format!("cannot start daemon: {e}"))?;
+    let mut config = FleetConfig::smoke_test();
+    config.fleet_size = 2;
+    config.threads = 1;
+    let start = Instant::now();
+    let result =
+        run_fleet_over(server.addr(), &config).map_err(|e| format!("serve fleet failed: {e}"))?;
+    let wall = start.elapsed().as_secs_f64();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((result, wall))
+}
+
+/// Bit-exact verdict comparison between two fleet results.
+fn assert_fleet_identical(off: &FleetResult, on: &FleetResult) -> Result<(), String> {
+    if off.members.len() != on.members.len() {
+        return Err("member count differs between obs-off and obs-on".to_string());
+    }
+    for (a, b) in off.members.iter().zip(&on.members) {
+        let bits = |v: Option<f64>| v.map(f64::to_bits);
+        if bits(a.verified_max) != bits(b.verified_max)
+            || a.safe != b.safe
+            || a.degradation != b.degradation
+        {
+            return Err(format!(
+                "verdict drift on seed {}: off ({:?}, {:?}, {}) vs on ({:?}, {:?}, {})",
+                a.seed,
+                a.verified_max,
+                a.safe,
+                a.degradation.as_str(),
+                b.verified_max,
+                b.safe,
+                b.degradation.as_str()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn serve_overhead() -> Result<(), String> {
+    if !cfg!(feature = "obs") {
+        return Err(
+            "--serve-overhead needs a build with the default `obs` feature".to_string()
+        );
+    }
+    // Off first, so the on-runs cannot leak recording into the baseline.
+    certnn_obs::set_enabled(false);
+    let (off_result, off_a) = timed_serve_fleet("off", 0)?;
+    let (_, off_b) = timed_serve_fleet("off", 1)?;
+    let off_best = off_a.min(off_b);
+
+    certnn_obs::set_enabled(true);
+    let (on_result, on_a) = timed_serve_fleet("on", 0)?;
+    certnn_obs::reset();
+    let (_, on_b) = timed_serve_fleet("on", 1)?;
+    let on_best = on_a.min(on_b);
+    certnn_obs::set_enabled(false);
+    certnn_obs::reset();
+
+    assert_fleet_identical(&off_result, &on_result)?;
+    println!(
+        "serve fleet wall best-of-2: obs-off {off_best:.3}s, obs-on {on_best:.3}s \
+         ({:+.1}%)",
+        100.0 * (on_best - off_best) / off_best
+    );
+    let limit = off_best * MAX_RELATIVE_OVERHEAD + ABSOLUTE_SLACK_SECS;
+    if on_best > limit {
+        return Err(format!(
+            "serve observability overhead too high: {on_best:.3}s > \
+             {MAX_RELATIVE_OVERHEAD} x {off_best:.3}s + {ABSOLUTE_SLACK_SECS}s"
+        ));
+    }
+    println!("serve overhead gate ok: {on_best:.3}s <= {limit:.3}s");
+    println!("wire-path verdicts bit-identical with tracing on and off");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let outcome = match args.as_slice() {
         [path] if !path.starts_with("--") => validate(path),
         [flag] if flag == "--overhead" => overhead(),
         [flag] if flag == "--ckpt-overhead" => ckpt_overhead(),
+        [flag] if flag == "--serve-overhead" => serve_overhead(),
         _ => Err(
             "usage: obs_check <trace.jsonl> | obs_check --overhead | \
-             obs_check --ckpt-overhead"
+             obs_check --ckpt-overhead | obs_check --serve-overhead"
                 .to_string(),
         ),
     };

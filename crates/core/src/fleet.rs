@@ -93,6 +93,25 @@ impl Default for FleetConfig {
 }
 
 impl FleetConfig {
+    /// Verifier options a fleet member is verified under when `workers`
+    /// members run concurrently. Exposed so out-of-process verification
+    /// paths (the `certnn-serve` daemon) can reproduce the in-process
+    /// fleet verdicts bit-for-bit: any drift between this and what
+    /// [`run_fleet`] uses would silently fork the two code paths.
+    pub fn verifier_options(&self, workers: usize) -> VerifierOptions {
+        VerifierOptions {
+            time_limit: Some(self.time_limit),
+            // Outer query-parallelism saturates the cores; keep the inner
+            // search serial to avoid oversubscription. A lone worker hands
+            // its cores to the search instead.
+            threads: if workers > 1 { 1 } else { self.threads },
+            warm_start: self.warm_start,
+            alpha_iters: self.alpha_iters,
+            lp_skip: self.lp_skip,
+            ..VerifierOptions::default()
+        }
+    }
+
     /// Seconds-scale configuration for tests.
     pub fn smoke_test() -> Self {
         Self {
@@ -223,18 +242,48 @@ impl FleetResult {
     }
 }
 
-/// Trains and verifies one fleet member end to end. Deterministic given
-/// `seed`; safe to run concurrently with other members.
-fn run_member(
+/// Initialisation/shuffle seed of fleet member `index` — the fleet's
+/// deterministic seed schedule, shared by every execution path (local
+/// threads, the serve daemon) so "member 2" means the same network
+/// everywhere.
+pub fn member_seed(index: usize) -> u64 {
+    100 + index as u64
+}
+
+/// Generates and sanitizes the shared training dataset of a fleet run.
+/// Returns the dataset plus the raw sample count (after sanitization).
+/// Deterministic given the config's scenario seeds.
+///
+/// # Errors
+///
+/// [`CoreError::Sim`] on generation failure, [`CoreError::EmptyDataset`]
+/// if sanitization leaves nothing to train on.
+pub fn fleet_dataset(config: &FleetConfig) -> Result<(Dataset, usize), CoreError> {
+    let mut raw = generate_dataset(&config.scenario)?;
+    highway_validator(1.0).sanitize(&mut raw);
+    if raw.is_empty() {
+        return Err(CoreError::EmptyDataset);
+    }
+    let samples = raw.len();
+    Ok((Dataset::from_samples(raw), samples))
+}
+
+/// Trains one fleet member's predictor on the shared dataset. Fully
+/// deterministic given `seed`: the same (config, seed, data) triple
+/// produces bit-identical weights on every machine and execution path,
+/// which is what lets a remote verifier answer for a locally trained
+/// network.
+///
+/// # Errors
+///
+/// [`CoreError::Nn`] on construction or training failure.
+pub fn train_member(
     config: &FleetConfig,
     seed: u64,
     data: &Dataset,
-    layout: OutputLayout,
-    loss: &GmmNll,
-    spec: &certnn_verify::property::InputSpec,
-    verifier: &Verifier,
-) -> Result<FleetMember, CoreError> {
-    let start = Instant::now();
+) -> Result<(Network, f64), CoreError> {
+    let layout = OutputLayout::new(1);
+    let loss = GmmNll::new(1);
     let mut net = Network::relu_mlp(FEATURE_COUNT, &config.hidden, layout.output_len(), seed)?;
     let report = Trainer::new(TrainConfig {
         epochs: config.epochs,
@@ -243,12 +292,27 @@ fn run_member(
         weight_decay: 2e-4,
         ..TrainConfig::default()
     })
-    .train(&mut net, data, loss)?;
+    .train(&mut net, data, &loss)?;
+    Ok((net, report.final_loss()))
+}
+
+/// Trains and verifies one fleet member end to end. Deterministic given
+/// `seed`; safe to run concurrently with other members.
+fn run_member(
+    config: &FleetConfig,
+    seed: u64,
+    data: &Dataset,
+    layout: OutputLayout,
+    spec: &certnn_verify::property::InputSpec,
+    verifier: &Verifier,
+) -> Result<FleetMember, CoreError> {
+    let start = Instant::now();
+    let (net, final_loss) = train_member(config, seed, data)?;
     let result = max_lateral_velocity(verifier, &net, layout, spec)?;
     let safe = result.max_lateral.map(|v| v <= config.bound);
     Ok(FleetMember {
         seed,
-        final_loss: report.final_loss(),
+        final_loss,
         verified_max: result.max_lateral,
         safe,
         wall_secs: start.elapsed().as_secs_f64(),
@@ -290,29 +354,12 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetResult, CoreError> {
 ///
 /// Same contract as [`run_fleet`].
 pub fn run_fleet_under(config: &FleetConfig, deadline: Deadline) -> Result<FleetResult, CoreError> {
-    let mut raw = generate_dataset(&config.scenario)?;
-    highway_validator(1.0).sanitize(&mut raw);
-    if raw.is_empty() {
-        return Err(CoreError::EmptyDataset);
-    }
-    let samples = raw.len();
-    let data = Dataset::from_samples(raw);
+    let (data, samples) = fleet_dataset(config)?;
     let layout = OutputLayout::new(1);
-    let loss = GmmNll::new(1);
     let spec = left_vehicle_spec();
     let workers = resolve_threads(config.threads).min(config.fleet_size.max(1));
-    let mut verifier = Verifier::with_options(VerifierOptions {
-        time_limit: Some(config.time_limit),
-        // Outer query-parallelism saturates the cores; keep the inner
-        // search serial to avoid oversubscription. A lone worker hands
-        // its cores to the search instead.
-        threads: if workers > 1 { 1 } else { config.threads },
-        warm_start: config.warm_start,
-        alpha_iters: config.alpha_iters,
-        lp_skip: config.lp_skip,
-        ..VerifierOptions::default()
-    })
-    .with_deadline(deadline);
+    let mut verifier =
+        Verifier::with_options(config.verifier_options(workers)).with_deadline(deadline);
     if let Some(ckpt) = &config.checkpoints {
         verifier = verifier.with_checkpoints(ckpt.clone());
     }
@@ -330,9 +377,9 @@ pub fn run_fleet_under(config: &FleetConfig, deadline: Deadline) -> Result<Fleet
                 if i >= config.fleet_size {
                     break;
                 }
-                let seed = 100 + i as u64;
+                let seed = member_seed(i);
                 let member_span = certnn_obs::span_child_of("fleet.member", run_span_id);
-                let member = run_member(config, seed, &data, layout, &loss, &spec, &verifier);
+                let member = run_member(config, seed, &data, layout, &spec, &verifier);
                 drop(member_span);
                 if certnn_obs::enabled() {
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;

@@ -1,0 +1,108 @@
+//! The verification daemon.
+//!
+//! Usage: `certnn-serve [--addr HOST:PORT] [--dir DIR] [--workers N]
+//! [--checkpoint-every N] [--port-file FILE] [--metrics] [--trace FILE]`
+//!
+//! Binds `--addr` (default `127.0.0.1:0`; port `0` picks a free port —
+//! the bound address is printed and, with `--port-file`, written
+//! atomically to a file for scripts to poll). All state — certificate
+//! cache, job spool, checkpoints — lives under `--dir` (default
+//! `serve-state`); restarting the daemon over the same directory resumes
+//! every interrupted job from its last checkpoint. `--workers 0` (the
+//! default) runs one verification worker per available core.
+//!
+//! The daemon runs until a client sends the `SHUTDOWN` frame
+//! (`certnn-client shutdown`): it then drains — rejecting new work,
+//! parking in-flight jobs via their checkpoints — and exits. With
+//! `--metrics` the final observability snapshot is printed on exit;
+//! `--trace FILE` writes the span/event log as JSON lines.
+
+#![warn(clippy::unwrap_used)]
+
+use certnn_serve::server::{ServeOptions, Server};
+use std::path::PathBuf;
+
+fn main() {
+    let mut options = ServeOptions::loopback("serve-state");
+    let mut port_file: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut want_metrics = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                options.addr = args[i].clone();
+            }
+            "--dir" => {
+                i += 1;
+                options.dir = PathBuf::from(&args[i]);
+            }
+            "--workers" => {
+                i += 1;
+                options.workers = args[i].parse().expect("workers must be an integer");
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                options.checkpoint_every = args[i]
+                    .parse()
+                    .expect("checkpoint cadence must be an integer");
+            }
+            "--port-file" => {
+                i += 1;
+                port_file = Some(PathBuf::from(&args[i]));
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(PathBuf::from(&args[i]));
+            }
+            "--metrics" => want_metrics = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if trace_path.is_some() || want_metrics {
+        certnn_obs::set_enabled(true);
+        if !certnn_obs::enabled() {
+            eprintln!(
+                "--trace/--metrics require a build with the default `obs` \
+                 feature; this binary records nothing"
+            );
+            std::process::exit(2);
+        }
+    }
+    let mut server = match Server::start(options) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("certnn-serve listening on {}", server.addr());
+    if let Some(path) = port_file {
+        // Publish atomically so a polling script never reads a torn
+        // address.
+        let tmp = path.with_extension("tmp");
+        let write = std::fs::write(&tmp, server.addr().to_string())
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = write {
+            eprintln!("cannot write port file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    server.wait();
+    println!("certnn-serve drained");
+    if want_metrics {
+        print!("{}", certnn_obs::metrics_snapshot().to_table());
+    }
+    if let Some(path) = trace_path {
+        match std::fs::write(&path, certnn_obs::drain_jsonl()) {
+            Ok(()) => println!("trace written to {}", path.display()),
+            Err(e) => eprintln!("could not write trace: {e}"),
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Content-addressed certificate cache and crash-safe job spool.
+//!
+//! Both stores follow the checkpoint layer's file discipline: a magic +
+//! version header, an FNV-1a checksum trailer over the body, and atomic
+//! publication (temp file in the same directory → `fsync` → rename).
+//! A crash at any moment leaves either a previous complete file or no
+//! file — never a torn one under the real name.
+//!
+//! **Cache** (`cache/c<key>.cert`): a finished [`JobOutcome`] under its
+//! job key. Serving a cached certificate replays the exact bytes a fresh
+//! solve produced — the verdict, bound, witness and statistics are
+//! bit-identical. A corrupt or truncated entry is *detected* (checksum),
+//! deleted, and answered by a fresh solve tagged with the degradation
+//! ladder — the cache can lose work, never correctness.
+//!
+//! **Spool** (`jobs/j<key>.job`): the [`JobRequest`] of every accepted,
+//! unfinished job. Written before the job is queued, removed after its
+//! certificate is cached; a daemon restarted over the same directory
+//! re-queues every spooled job and resumes its branch-and-bound from the
+//! query's checkpoint.
+
+use crate::protocol::{decode_outcome, decode_request, encode_outcome, encode_request, JobOutcome, JobRequest};
+use crate::wire::{Dec, Enc, ProtocolError};
+use certnn_verify::checkpoint::Fnv1a;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic of a certificate cache entry.
+const CERT_MAGIC: [u8; 4] = *b"CNCE";
+/// Magic of a spooled job.
+const JOB_MAGIC: [u8; 4] = *b"CNJB";
+/// On-disk format version of both stores.
+const STORE_VERSION: u32 = 1;
+
+/// Why a load returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Miss {
+    /// No entry exists under the key.
+    Absent,
+    /// An entry exists but is corrupt or truncated; it has been deleted.
+    Corrupt,
+}
+
+fn seal(magic: [u8; 4], body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+    out.extend_from_slice(body);
+    let mut h = Fnv1a::new();
+    h.write(body);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+fn unseal(magic: [u8; 4], bytes: &[u8]) -> Result<&[u8], ProtocolError> {
+    if bytes.len() < 16 {
+        return Err(ProtocolError::Truncated { wanted: 16 });
+    }
+    if bytes[..4] != magic {
+        return Err(ProtocolError::BadMagic);
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != STORE_VERSION {
+        return Err(ProtocolError::UnsupportedVersion(version));
+    }
+    let body = &bytes[8..bytes.len() - 8];
+    let stored = u64::from_le_bytes(
+        bytes[bytes.len() - 8..]
+            .try_into()
+            .map_err(|_| ProtocolError::Truncated { wanted: 8 })?,
+    );
+    let mut h = Fnv1a::new();
+    h.write(body);
+    if h.finish() != stored {
+        return Err(ProtocolError::Checksum);
+    }
+    Ok(body)
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself; losing it on a power cut only costs
+        // the newest entry, never corrupts one.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a sealed certificate entry (exposed for the fault-injection
+/// tests, which truncate and corrupt these bytes directly).
+pub fn encode_entry(outcome: &JobOutcome) -> Vec<u8> {
+    let mut e = Enc::new();
+    encode_outcome(&mut e, outcome);
+    seal(CERT_MAGIC, &e.0)
+}
+
+/// Decodes a sealed certificate entry.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any structural or checksum violation.
+pub fn decode_entry(bytes: &[u8]) -> Result<JobOutcome, ProtocolError> {
+    let body = unseal(CERT_MAGIC, bytes)?;
+    let mut d = Dec::new(body);
+    let outcome = decode_outcome(&mut d)?;
+    d.finish()?;
+    Ok(outcome)
+}
+
+/// The daemon's on-disk state: certificate cache + job spool under one
+/// root directory.
+#[derive(Debug)]
+pub struct Store {
+    cache_dir: PathBuf,
+    jobs_dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store under `root`.
+    ///
+    /// # Errors
+    ///
+    /// I/O error when the directories cannot be created.
+    pub fn open(root: &Path) -> std::io::Result<Self> {
+        let cache_dir = root.join("cache");
+        let jobs_dir = root.join("jobs");
+        fs::create_dir_all(&cache_dir)?;
+        fs::create_dir_all(&jobs_dir)?;
+        Ok(Self { cache_dir, jobs_dir })
+    }
+
+    /// Path of the certificate for `key`.
+    pub fn cert_path(&self, key: u64) -> PathBuf {
+        self.cache_dir.join(format!("c{key:016x}.cert"))
+    }
+
+    /// Path of the spooled job for `key`.
+    pub fn job_path(&self, key: u64) -> PathBuf {
+        self.jobs_dir.join(format!("j{key:016x}.job"))
+    }
+
+    /// Publishes a finished certificate atomically.
+    ///
+    /// # Errors
+    ///
+    /// I/O error from the filesystem.
+    pub fn put_cert(&self, outcome: &JobOutcome) -> std::io::Result<()> {
+        write_atomic(&self.cert_path(outcome.key), &encode_entry(outcome))
+    }
+
+    /// Loads the certificate for `key`, fully verifying its checksum.
+    /// A corrupt or truncated entry is deleted and reported as
+    /// [`Miss::Corrupt`] so the caller can schedule a fresh solve.
+    pub fn get_cert(&self, key: u64) -> Result<JobOutcome, Miss> {
+        let path = self.cert_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return Err(Miss::Absent),
+        };
+        match decode_entry(&bytes) {
+            Ok(outcome) if outcome.key == key => Ok(outcome),
+            _ => {
+                let _ = fs::remove_file(&path);
+                Err(Miss::Corrupt)
+            }
+        }
+    }
+
+    /// Spools an accepted job so a restarted daemon can resume it.
+    ///
+    /// # Errors
+    ///
+    /// I/O error from the filesystem.
+    pub fn put_job(&self, key: u64, req: &JobRequest) -> std::io::Result<()> {
+        let mut e = Enc::new();
+        encode_request(&mut e, req);
+        write_atomic(&self.job_path(key), &seal(JOB_MAGIC, &e.0))
+    }
+
+    /// Removes a finished job's spool entry (missing is fine).
+    pub fn remove_job(&self, key: u64) {
+        let _ = fs::remove_file(self.job_path(key));
+    }
+
+    /// Loads every valid spooled job, deleting corrupt ones. Returns
+    /// `(key, request)` pairs sorted by key for deterministic re-queue
+    /// order, plus the number of corrupt entries dropped.
+    pub fn load_jobs(&self) -> (Vec<(u64, JobRequest)>, usize) {
+        let mut jobs = Vec::new();
+        let mut dropped = 0usize;
+        let Ok(entries) = fs::read_dir(&self.jobs_dir) else {
+            return (jobs, dropped);
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(hex) = name.strip_prefix('j').and_then(|n| n.strip_suffix(".job")) else {
+                // Stale temp files from a crashed publication are garbage
+                // by construction; sweep them.
+                if name.ends_with(".tmp") {
+                    let _ = fs::remove_file(&path);
+                }
+                continue;
+            };
+            let Ok(key) = u64::from_str_radix(hex, 16) else { continue };
+            let decoded = fs::read(&path).ok().and_then(|bytes| {
+                let body = unseal(JOB_MAGIC, &bytes).ok()?;
+                let mut d = Dec::new(body);
+                let req = decode_request(&mut d).ok()?;
+                d.finish().ok()?;
+                Some(req)
+            });
+            match decoded {
+                Some(req) => jobs.push((key, req)),
+                None => {
+                    dropped += 1;
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        jobs.sort_by_key(|&(key, _)| key);
+        (jobs, dropped)
+    }
+
+    /// `true` if any in-progress temp file exists under the store (used
+    /// by the robustness suite to prove no publication ever leaks one).
+    pub fn has_temp_files(&self) -> bool {
+        for dir in [&self.cache_dir, &self.jobs_dir] {
+            if let Ok(entries) = fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    if entry.path().extension().is_some_and(|e| e == "tmp") {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::WireStats;
+    use certnn_verify::{Degradation, MilpStatus};
+
+    fn outcome(key: u64) -> JobOutcome {
+        JobOutcome {
+            key,
+            status: MilpStatus::Optimal,
+            upper_bound: 2.25,
+            best_value: Some(2.25),
+            witness: Some(vec![0.5, -0.5]),
+            stats: WireStats {
+                nodes: 10,
+                elapsed_nanos: 42,
+                ..WireStats::default()
+            },
+            degradation: Degradation::Exact,
+            cache_hit: false,
+        }
+    }
+
+    fn temp_store(tag: &str) -> (PathBuf, Store) {
+        let root = std::env::temp_dir().join(format!(
+            "certnn-serve-cache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let store = Store::open(&root).expect("store opens");
+        (root, store)
+    }
+
+    #[test]
+    fn cert_round_trips_bit_identically() {
+        let (root, store) = temp_store("rt");
+        let o = outcome(0xabcd);
+        store.put_cert(&o).expect("cert writes");
+        let back = store.get_cert(0xabcd).expect("cert loads");
+        assert_eq!(back, o);
+        assert_eq!(back.upper_bound.to_bits(), o.upper_bound.to_bits());
+        assert_eq!(store.get_cert(0x9999), Err(Miss::Absent));
+        assert!(!store.has_temp_files());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_detected_and_deleted() {
+        let (root, store) = temp_store("trunc");
+        let o = outcome(0x1111);
+        let full = encode_entry(&o);
+        for cut in 0..full.len() {
+            fs::write(store.cert_path(o.key), &full[..cut]).expect("writes");
+            assert_eq!(
+                store.get_cert(o.key),
+                Err(Miss::Corrupt),
+                "truncation to {cut}/{} bytes must be detected",
+                full.len()
+            );
+            assert!(
+                !store.cert_path(o.key).exists(),
+                "corrupt entry must be deleted"
+            );
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let (root, store) = temp_store("flip");
+        let o = outcome(0x2222);
+        let full = encode_entry(&o);
+        for i in 0..full.len() {
+            let mut bad = full.clone();
+            bad[i] ^= 0x01;
+            fs::write(store.cert_path(o.key), &bad).expect("writes");
+            // Either detected as corrupt, or (if the flip lands in a
+            // benign spot like the cache_hit flag) it must still decode
+            // to a *checksummed* body — but FNV over the body makes any
+            // body flip fail, and header flips fail magic/version, so
+            // every flip is a miss.
+            assert_eq!(
+                store.get_cert(o.key),
+                Err(Miss::Corrupt),
+                "flip at byte {i} must be detected"
+            );
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn key_mismatch_inside_valid_entry_is_corrupt() {
+        let (root, store) = temp_store("keymix");
+        let o = outcome(0x3333);
+        // A valid entry filed under the wrong name must not be served.
+        fs::write(store.cert_path(0x4444), encode_entry(&o)).expect("writes");
+        assert_eq!(store.get_cert(0x4444), Err(Miss::Corrupt));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn spool_round_trip_and_corrupt_drop() {
+        let (root, store) = temp_store("spool");
+        let req = JobRequest {
+            network_text: "not parsed here".into(),
+            bounds: vec![(-1.0, 1.0)],
+            constraints: vec![],
+            objective_terms: vec![(0, 1.0)],
+            objective_constant: 0.0,
+            time_limit_ms: 0,
+            node_limit: 0,
+            threads: 1,
+            warm_start: true,
+            alpha_iters: 1,
+            lp_skip: true,
+        };
+        store.put_job(7, &req).expect("job spools");
+        store.put_job(3, &req).expect("job spools");
+        fs::write(store.job_path(9), b"garbage").expect("writes");
+        let (jobs, dropped) = store.load_jobs();
+        assert_eq!(dropped, 1);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].0, 3, "re-queue order is key-sorted");
+        assert_eq!(jobs[1].1, req);
+        store.remove_job(7);
+        store.remove_job(7); // idempotent
+        assert_eq!(store.load_jobs().0.len(), 1);
+        let _ = fs::remove_dir_all(root);
+    }
+}

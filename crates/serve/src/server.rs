@@ -1,0 +1,905 @@
+//! The verification daemon: TCP accept loop, bounded worker pool, job
+//! table with request coalescing, certificate cache, and graceful drain.
+//!
+//! # Lifecycle of a job
+//!
+//! 1. `SUBMIT` arrives; the payload is parsed and validated, its
+//!    content-address ([`crate::protocol::job_key_of`]) computed.
+//! 2. The job table is consulted: an identical in-flight job coalesces
+//!    (no second solve), a cached certificate answers immediately, and
+//!    only a genuinely new query is spooled to disk and queued.
+//! 3. A worker pops the job and runs the workspace
+//!    [`certnn_verify::verifier::Verifier`] under the request's own
+//!    budget, with a cancellable [`Deadline`] and the checkpoint policy,
+//!    so a killed daemon resumes mid-search on restart.
+//! 4. The finished certificate is cached atomically, the spool entry
+//!    removed, and every waiter/watcher woken.
+//!
+//! # Drain semantics
+//!
+//! [`Server::shutdown`] stops accepting work (`Draining` errors), cancels
+//! running solves via their deadlines, and *keeps* the spool entries and
+//! checkpoints of interrupted jobs. A daemon restarted over the same
+//! directory re-queues them and resumes from the last snapshot — the
+//! crash-safety contract of the checkpoint layer, extended to the
+//! service boundary.
+
+use crate::cache::{Miss, Store};
+use crate::protocol::{
+    job_key_of, Disposition, ErrorCode, JobOutcome, JobRequest, JobState, Msg,
+};
+use crate::wire::{read_frame, write_frame, ProtocolError};
+use certnn_nn::network::Network;
+use certnn_verify::bab::resolve_threads;
+use certnn_verify::checkpoint::CheckpointPolicy;
+use certnn_verify::property::{InputSpec, LinearObjective};
+use certnn_verify::verifier::{Verifier, VerifierOptions};
+use certnn_verify::{Deadline, Degradation, MilpStatus};
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Poll cadence of connection handlers while idle (bounds how long a
+/// handler can outlive a drain).
+const IDLE_POLL: Duration = Duration::from_millis(100);
+/// Read timeout while a frame is known to be in flight.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address; port `0` picks a free port.
+    pub addr: String,
+    /// Root directory of the cache, spool and checkpoints.
+    pub dir: PathBuf,
+    /// Worker threads (`0` = one per available core).
+    pub workers: usize,
+    /// Checkpoint cadence in branch-and-bound nodes (`0` = the
+    /// checkpoint layer's default).
+    pub checkpoint_every: usize,
+}
+
+impl ServeOptions {
+    /// Options listening on an OS-assigned loopback port with state
+    /// under `dir`.
+    pub fn loopback(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            dir: dir.into(),
+            workers: 0,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+/// Always-on serve-layer counters. These are plain atomics — unlike the
+/// obs registry they never no-op, because the daemon's own behaviour
+/// (drain decisions, test assertions) depends on them. Every increment
+/// is mirrored into the `serve.*` obs counters, which *are* subject to
+/// the observability switch.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Jobs accepted over the wire (including coalesced and cache hits).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs finished by a worker with a usable outcome.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that failed structurally in the verifier.
+    pub jobs_failed: AtomicU64,
+    /// Jobs cancelled by a client.
+    pub jobs_cancelled: AtomicU64,
+    /// Jobs re-queued from the spool at startup.
+    pub jobs_resumed: AtomicU64,
+    /// Submissions answered without a fresh solve (memory coalesce or
+    /// disk certificate).
+    pub cache_hits: AtomicU64,
+    /// Submissions that required a fresh solve.
+    pub cache_misses: AtomicU64,
+    /// Cache entries rejected by checksum and deleted.
+    pub cache_corrupt: AtomicU64,
+    /// Frames rejected by the wire layer.
+    pub protocol_errors: AtomicU64,
+    /// Frames successfully read.
+    pub frames_rx: AtomicU64,
+    /// Frames successfully written.
+    pub frames_tx: AtomicU64,
+}
+
+macro_rules! stat {
+    ($stats:expr, $field:ident) => {{
+        $stats.$field.fetch_add(1, Ordering::Relaxed);
+        certnn_obs::counter(concat!("serve.", stringify!($field))).inc();
+    }};
+}
+
+impl ServeStats {
+    /// Name-sorted snapshot of every counter.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut v = vec![
+            ("serve.cache_corrupt", &self.cache_corrupt),
+            ("serve.cache_hits", &self.cache_hits),
+            ("serve.cache_misses", &self.cache_misses),
+            ("serve.frames_rx", &self.frames_rx),
+            ("serve.frames_tx", &self.frames_tx),
+            ("serve.jobs_cancelled", &self.jobs_cancelled),
+            ("serve.jobs_completed", &self.jobs_completed),
+            ("serve.jobs_failed", &self.jobs_failed),
+            ("serve.jobs_resumed", &self.jobs_resumed),
+            ("serve.jobs_submitted", &self.jobs_submitted),
+            ("serve.protocol_errors", &self.protocol_errors),
+        ]
+        .into_iter()
+        .map(|(n, a)| (n.to_string(), a.load(Ordering::Relaxed)))
+        .collect::<Vec<_>>();
+        v.sort();
+        v
+    }
+
+    /// Reads one counter by its full name (test helper).
+    pub fn get(&self, name: &str) -> u64 {
+        self.snapshot()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| v)
+    }
+}
+
+/// A parsed, validated query — shared between the submit path (keying)
+/// and the worker (solving).
+struct Query {
+    net: Network,
+    spec: InputSpec,
+    objective: LinearObjective,
+    options: VerifierOptions,
+}
+
+/// Internal job state (the wire [`JobState`] plus payloads).
+enum State {
+    Queued,
+    Running,
+    Done(Arc<JobOutcome>),
+    Failed(String),
+    Cancelled,
+    Drained,
+}
+
+impl State {
+    fn wire(&self) -> JobState {
+        match self {
+            State::Queued => JobState::Queued,
+            State::Running => JobState::Running,
+            State::Done(_) => JobState::Done,
+            State::Failed(_) => JobState::Failed,
+            State::Cancelled => JobState::Cancelled,
+            State::Drained => JobState::Drained,
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        !matches!(self, State::Queued | State::Running)
+    }
+}
+
+struct JobEntry {
+    key: u64,
+    query: Arc<Query>,
+    state: State,
+    deadline: Deadline,
+    /// The cache entry under this key was corrupt at submit; the fresh
+    /// outcome is tagged with the degradation ladder.
+    cache_was_corrupt: bool,
+    cancel_requested: bool,
+    enqueued_at: Instant,
+}
+
+/// One client-visible job id. Several ids may share one entry (request
+/// coalescing); whether *this* submission cost a solve is a property of
+/// the id, not the entry.
+struct IdEntry {
+    idx: usize,
+    cache_hit: bool,
+}
+
+#[derive(Default)]
+struct JobTable {
+    next_id: u64,
+    ids: HashMap<u64, IdEntry>,
+    by_key: HashMap<u64, usize>,
+    entries: Vec<JobEntry>,
+    queue: VecDeque<usize>,
+    running: usize,
+}
+
+impl JobTable {
+    fn assign_id(&mut self, idx: usize, cache_hit: bool) -> u64 {
+        self.next_id += 1;
+        self.ids.insert(self.next_id, IdEntry { idx, cache_hit });
+        self.next_id
+    }
+
+    fn lookup(&self, job: u64) -> Option<(usize, bool)> {
+        self.ids.get(&job).map(|id| (id.idx, id.cache_hit))
+    }
+
+    fn depth(&self) -> u64 {
+        (self.queue.len() + self.running) as u64
+    }
+}
+
+struct Shared {
+    table: Mutex<JobTable>,
+    cond: Condvar,
+    store: Store,
+    stats: ServeStats,
+    ckpt_dir: PathBuf,
+    checkpoint_every: usize,
+    draining: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running verification daemon.
+///
+/// Dropping the server drains it (equivalent to [`Server::shutdown`]
+/// followed by [`Server::wait`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, reloads the spool, and starts the accept loop and worker
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// I/O error when the address cannot be bound or the state
+    /// directories cannot be created.
+    pub fn start(options: ServeOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let addr = listener.local_addr()?;
+        let store = Store::open(&options.dir)?;
+        let ckpt_dir = options.dir.join("ckpt");
+        std::fs::create_dir_all(&ckpt_dir)?;
+
+        let shared = Arc::new(Shared {
+            table: Mutex::new(JobTable::default()),
+            cond: Condvar::new(),
+            store,
+            stats: ServeStats::default(),
+            ckpt_dir,
+            checkpoint_every: options.checkpoint_every,
+            draining: AtomicBool::new(false),
+            addr,
+        });
+
+        resume_spool(&shared);
+
+        let worker_count = if options.workers == 0 {
+            resolve_threads(0)
+        } else {
+            options.workers
+        };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+
+        certnn_obs::event(
+            "serve.started",
+            vec![("addr", addr.to_string().into()), ("workers", (worker_count as u64).into())],
+        );
+        Ok(Self {
+            shared,
+            workers,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The serve-layer counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Begins a drain: new submissions are rejected, queued jobs are
+    /// parked (spool kept), running solves are cancelled at their next
+    /// deadline poll. Returns immediately; [`Server::wait`] joins.
+    pub fn shutdown(&self) {
+        drain(&self.shared);
+    }
+
+    /// Blocks until the accept loop and every worker have exited.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.wait();
+    }
+}
+
+/// Marks the daemon as draining and unblocks every parked thread.
+fn drain(shared: &Shared) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    certnn_obs::event("serve.draining", vec![]);
+    {
+        let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+        // Park queued jobs: spool survives, the next daemon re-queues.
+        while let Some(idx) = table.queue.pop_front() {
+            if matches!(table.entries[idx].state, State::Queued) {
+                let key = table.entries[idx].key;
+                table.entries[idx].state = State::Drained;
+                table.by_key.remove(&key);
+            }
+        }
+        // Interrupt running solves; their checkpoints make the work
+        // resumable.
+        for entry in &mut table.entries {
+            if matches!(entry.state, State::Running) {
+                entry.deadline.cancel();
+            }
+        }
+        shared.cond.notify_all();
+    }
+    // Unblock the accept loop with a throwaway connection.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Re-queues every spooled job left behind by a previous daemon.
+fn resume_spool(shared: &Arc<Shared>) {
+    let (jobs, dropped) = shared.store.load_jobs();
+    for _ in 0..dropped {
+        stat!(shared.stats, cache_corrupt);
+    }
+    let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+    for (key, req) in jobs {
+        // A certificate may already exist if the previous daemon died
+        // between caching and spool removal; finish the bookkeeping.
+        if shared.store.get_cert(key).is_ok() {
+            shared.store.remove_job(key);
+            continue;
+        }
+        let Some(query) = parse_query(&req) else {
+            shared.store.remove_job(key);
+            continue;
+        };
+        let idx = table.entries.len();
+        table.entries.push(JobEntry {
+            key,
+            query: Arc::new(query),
+            state: State::Queued,
+            deadline: Deadline::cancellable(),
+            cache_was_corrupt: false,
+            cancel_requested: false,
+            enqueued_at: Instant::now(),
+        });
+        table.by_key.insert(key, idx);
+        table.queue.push_back(idx);
+        table.assign_id(idx, false);
+        stat!(shared.stats, jobs_resumed);
+    }
+    shared.cond.notify_all();
+}
+
+fn parse_query(req: &JobRequest) -> Option<Query> {
+    let net = req.parse_network().ok()?;
+    let spec = req.input_spec().ok()?;
+    if spec.bounds().len() != net.inputs() {
+        return None;
+    }
+    Some(Query {
+        objective: req.objective(),
+        options: req.verifier_options(),
+        net,
+        spec,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (idx, key, query, deadline, cache_was_corrupt, queued_for) = {
+            let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            let idx = loop {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Skip entries cancelled while still queued.
+                match table.queue.pop_front() {
+                    Some(idx) if matches!(table.entries[idx].state, State::Queued) => break idx,
+                    Some(_) => continue,
+                    None => {
+                        table = shared
+                            .cond
+                            .wait_timeout(table, IDLE_POLL)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
+            };
+            let entry = &mut table.entries[idx];
+            entry.state = State::Running;
+            table.running += 1;
+            shared.cond.notify_all();
+            let entry = &table.entries[idx];
+            (
+                idx,
+                entry.key,
+                Arc::clone(&entry.query),
+                entry.deadline.clone(),
+                entry.cache_was_corrupt,
+                entry.enqueued_at.elapsed(),
+            )
+        };
+        certnn_obs::histogram("serve.queue_wait_nanos")
+            .record(queued_for.as_nanos().min(u128::from(u64::MAX)) as u64);
+
+        let mut policy = CheckpointPolicy::new(&shared.ckpt_dir);
+        if shared.checkpoint_every > 0 {
+            policy.every_nodes = shared.checkpoint_every;
+        }
+        policy.resume = true;
+        let verifier = Verifier::with_options(query.options)
+            .with_deadline(deadline)
+            .with_checkpoints(policy);
+        let result = verifier.maximize(&query.net, &query.spec, &query.objective);
+
+        let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+        table.running -= 1;
+        let cancelled = table.entries[idx].cancel_requested;
+        let draining = shared.draining.load(Ordering::SeqCst);
+        match result {
+            Ok(r) => {
+                if cancelled && r.status == MilpStatus::Aborted {
+                    table.entries[idx].state = State::Cancelled;
+                    table.by_key.remove(&key);
+                    shared.store.remove_job(key);
+                    stat!(shared.stats, jobs_cancelled);
+                } else if draining && r.status == MilpStatus::Aborted {
+                    // Interrupted by the drain: park it, keep the spool
+                    // and checkpoint for the next daemon.
+                    table.entries[idx].state = State::Drained;
+                    table.by_key.remove(&key);
+                } else {
+                    let mut outcome = JobOutcome::from_max_result(key, &r);
+                    if cache_was_corrupt {
+                        // Answered despite a damaged cache entry: same
+                        // ladder as a damaged checkpoint.
+                        outcome.degradation =
+                            outcome.degradation.merge(Degradation::CheckpointFallback);
+                    }
+                    certnn_obs::histogram("serve.job_wall_nanos").record(outcome.stats.elapsed_nanos);
+                    if outcome.status != MilpStatus::Aborted
+                        && shared.store.put_cert(&outcome).is_err()
+                    {
+                        certnn_obs::event(
+                            "serve.cache_write_failed",
+                            vec![("key", format!("{key:016x}").into())],
+                        );
+                    }
+                    shared.store.remove_job(key);
+                    table.entries[idx].state = State::Done(Arc::new(outcome));
+                    stat!(shared.stats, jobs_completed);
+                }
+            }
+            Err(e) => {
+                table.entries[idx].state = State::Failed(e.to_string());
+                table.by_key.remove(&key);
+                shared.store.remove_job(key);
+                stat!(shared.stats, jobs_failed);
+                certnn_obs::event(
+                    "serve.job_failed",
+                    vec![("key", format!("{key:016x}").into()), ("error", e.to_string().into())],
+                );
+            }
+        }
+        shared.cond.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop and connection handling
+// ---------------------------------------------------------------------------
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+/// Sends one message, counting the frame.
+fn send(stream: &mut TcpStream, shared: &Shared, msg: &Msg) -> Result<(), ProtocolError> {
+    let (kind, body) = msg.to_frame();
+    write_frame(stream, kind, &body)?;
+    stream.flush().map_err(|e| ProtocolError::Io(e.kind(), e.to_string()))?;
+    shared.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
+    certnn_obs::counter("serve.frames_tx").inc();
+    Ok(())
+}
+
+fn send_error(stream: &mut TcpStream, shared: &Shared, code: ErrorCode, message: &str) {
+    let _ = send(
+        stream,
+        shared,
+        &Msg::Error {
+            code,
+            message: message.to_string(),
+        },
+    );
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        // Idle-poll: wait for the first byte with a short timeout so a
+        // drain is noticed promptly, then commit to the frame.
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+        let _ = stream.set_read_timeout(Some(FRAME_TIMEOUT));
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(ProtocolError::Closed) => return,
+            Err(e) => {
+                // Framing is lost; report and hang up.
+                stat!(shared.stats, protocol_errors);
+                send_error(&mut stream, shared, ErrorCode::Wire, &e.to_string());
+                return;
+            }
+        };
+        shared.stats.frames_rx.fetch_add(1, Ordering::Relaxed);
+        certnn_obs::counter("serve.frames_rx").inc();
+        let msg = match Msg::from_frame(&frame) {
+            Ok(msg) => msg,
+            Err(e) => {
+                // The frame boundary is intact; the connection survives.
+                stat!(shared.stats, protocol_errors);
+                send_error(&mut stream, shared, ErrorCode::Malformed, &e.to_string());
+                continue;
+            }
+        };
+        if handle_message(&mut stream, shared, msg).is_err() {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request; `Err` means the connection is unusable.
+fn handle_message(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    msg: Msg,
+) -> Result<(), ProtocolError> {
+    match msg {
+        Msg::Submit(req) => handle_submit(stream, shared, &req),
+        Msg::Status { job } => {
+            let table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            match table.lookup(job) {
+                Some((idx, cache_hit)) => {
+                    let reply = Msg::StatusReply {
+                        state: table.entries[idx].state.wire(),
+                        queue_depth: table.depth(),
+                        cache_hit,
+                    };
+                    drop(table);
+                    send(stream, shared, &reply)
+                }
+                None => {
+                    drop(table);
+                    send_error(stream, shared, ErrorCode::UnknownJob, "no such job");
+                    Ok(())
+                }
+            }
+        }
+        Msg::Result { job, wait } => handle_result(stream, shared, job, wait),
+        Msg::Cancel { job } => {
+            let outcome = cancel_job(shared, job);
+            send(stream, shared, &Msg::CancelReply { outcome })
+        }
+        Msg::Watch { job } => handle_watch(stream, shared, job),
+        Msg::Stats => {
+            let mut entries = shared.stats.snapshot();
+            entries.push((
+                "serve.queue_depth".to_string(),
+                shared.table.lock().unwrap_or_else(|e| e.into_inner()).depth(),
+            ));
+            entries.sort();
+            send(stream, shared, &Msg::StatsReply { entries })
+        }
+        Msg::Shutdown => {
+            send(stream, shared, &Msg::ShutdownReply)?;
+            drain(shared);
+            Ok(())
+        }
+        // Reply kinds arriving at the server are client bugs; answer
+        // with a typed error and keep the connection.
+        Msg::Submitted { .. }
+        | Msg::StatusReply { .. }
+        | Msg::ResultReply(_)
+        | Msg::CancelReply { .. }
+        | Msg::Event { .. }
+        | Msg::Error { .. }
+        | Msg::ShutdownReply
+        | Msg::StatsReply { .. } => {
+            send_error(stream, shared, ErrorCode::Malformed, "reply kind sent as request");
+            Ok(())
+        }
+    }
+}
+
+fn handle_submit(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    req: &JobRequest,
+) -> Result<(), ProtocolError> {
+    if shared.draining.load(Ordering::SeqCst) {
+        send_error(stream, shared, ErrorCode::Draining, "daemon is draining");
+        return Ok(());
+    }
+    let Some(query) = parse_query(req) else {
+        stat!(shared.stats, jobs_submitted);
+        send_error(stream, shared, ErrorCode::InvalidJob, "payload is not a valid query");
+        return Ok(());
+    };
+    let key = job_key_of(&query.net, &query.spec, &query.objective, req);
+    let reply = {
+        let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+        stat!(shared.stats, jobs_submitted);
+        if let Some(&idx) = table.by_key.get(&key) {
+            // Identical query already known in-process: coalesce. A
+            // finished entry answers like a cache hit; an in-flight one
+            // shares the eventual solve.
+            let disposition = if table.entries[idx].state.terminal() {
+                Disposition::CacheHit
+            } else {
+                Disposition::Coalesced
+            };
+            stat!(shared.stats, cache_hits);
+            let job = table.assign_id(idx, true);
+            Msg::Submitted { job, key, disposition }
+        } else {
+            match shared.store.get_cert(key) {
+                Ok(mut outcome) => {
+                    stat!(shared.stats, cache_hits);
+                    outcome.cache_hit = true;
+                    let idx = table.entries.len();
+                    table.entries.push(JobEntry {
+                        key,
+                        query: Arc::new(query),
+                        state: State::Done(Arc::new(outcome)),
+                        deadline: Deadline::cancellable(),
+                        cache_was_corrupt: false,
+                        cancel_requested: false,
+                        enqueued_at: Instant::now(),
+                    });
+                    table.by_key.insert(key, idx);
+                    let job = table.assign_id(idx, true);
+                    Msg::Submitted { job, key, disposition: Disposition::CacheHit }
+                }
+                Err(miss) => {
+                    let cache_was_corrupt = miss == Miss::Corrupt;
+                    if cache_was_corrupt {
+                        stat!(shared.stats, cache_corrupt);
+                    }
+                    stat!(shared.stats, cache_misses);
+                    if let Err(e) = shared.store.put_job(key, req) {
+                        certnn_obs::event(
+                            "serve.spool_write_failed",
+                            vec![("key", format!("{key:016x}").into()), ("kind", format!("{:?}", e.kind()).into())],
+                        );
+                    }
+                    let idx = table.entries.len();
+                    table.entries.push(JobEntry {
+                        key,
+                        query: Arc::new(query),
+                        state: State::Queued,
+                        deadline: Deadline::cancellable(),
+                        cache_was_corrupt,
+                        cancel_requested: false,
+                        enqueued_at: Instant::now(),
+                    });
+                    table.by_key.insert(key, idx);
+                    table.queue.push_back(idx);
+                    let job = table.assign_id(idx, false);
+                    shared.cond.notify_all();
+                    Msg::Submitted { job, key, disposition: Disposition::Fresh }
+                }
+            }
+        }
+    };
+    send(stream, shared, &reply)
+}
+
+/// Terminal reply for a finished entry, shared by `RESULT` and `WATCH`.
+/// `cache_hit` is the *id's* disposition: a coalesced or cache-served
+/// submission reports `cache_hit = true` even though the entry's stored
+/// outcome came from a fresh solve.
+fn terminal_reply(state: &State, cache_hit: bool) -> Msg {
+    match state {
+        State::Done(outcome) => {
+            let mut outcome = (**outcome).clone();
+            outcome.cache_hit = outcome.cache_hit || cache_hit;
+            Msg::ResultReply(Box::new(outcome))
+        }
+        State::Failed(e) => Msg::Error {
+            code: ErrorCode::JobFailed,
+            message: e.clone(),
+        },
+        State::Cancelled => Msg::Error {
+            code: ErrorCode::JobFailed,
+            message: "job cancelled".to_string(),
+        },
+        State::Drained => Msg::Error {
+            code: ErrorCode::Draining,
+            message: "job parked by drain; resubmit to a live daemon".to_string(),
+        },
+        State::Queued | State::Running => Msg::Error {
+            code: ErrorCode::NotReady,
+            message: "job still in flight".to_string(),
+        },
+    }
+}
+
+fn handle_result(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    job: u64,
+    wait: bool,
+) -> Result<(), ProtocolError> {
+    let reply = {
+        let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+        let Some((idx, cache_hit)) = table.lookup(job) else {
+            drop(table);
+            send_error(stream, shared, ErrorCode::UnknownJob, "no such job");
+            return Ok(());
+        };
+        if wait {
+            while !table.entries[idx].state.terminal() {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                table = shared
+                    .cond
+                    .wait_timeout(table, IDLE_POLL)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        }
+        terminal_reply(&table.entries[idx].state, cache_hit)
+    };
+    send(stream, shared, &reply)
+}
+
+fn handle_watch(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    job: u64,
+) -> Result<(), ProtocolError> {
+    let mut seq = 0u64;
+    let mut last: Option<JobState> = None;
+    loop {
+        let (state, reply) = {
+            let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+            let Some((idx, cache_hit)) = table.lookup(job) else {
+                drop(table);
+                send_error(stream, shared, ErrorCode::UnknownJob, "no such job");
+                return Ok(());
+            };
+            if !table.entries[idx].state.terminal() && !shared.draining.load(Ordering::SeqCst) {
+                table = shared
+                    .cond
+                    .wait_timeout(table, IDLE_POLL)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+            let state = table.entries[idx].state.wire();
+            let reply = table.entries[idx]
+                .state
+                .terminal()
+                .then(|| terminal_reply(&table.entries[idx].state, cache_hit));
+            (state, reply)
+        };
+        if last != Some(state) {
+            last = Some(state);
+            send(
+                stream,
+                shared,
+                &Msg::Event {
+                    job,
+                    seq,
+                    state,
+                    nodes: certnn_obs::counter("bab.nodes").get(),
+                    detail: state.as_str().to_string(),
+                },
+            )?;
+            seq += 1;
+        }
+        if let Some(reply) = reply {
+            return send(stream, shared, &reply);
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            // Drain with the job still in flight: report and stop.
+            return send(stream, shared, &terminal_reply(&State::Drained, false));
+        }
+    }
+}
+
+/// Cancels a job: `0` cancelled while queued, `1` cancellation requested
+/// on a running solve, `2` already finished, `3` unknown id.
+fn cancel_job(shared: &Shared, job: u64) -> u8 {
+    let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+    let Some((idx, _)) = table.lookup(job) else {
+        return 3;
+    };
+    let key = table.entries[idx].key;
+    match table.entries[idx].state {
+        State::Queued => {
+            table.entries[idx].state = State::Cancelled;
+            table.entries[idx].cancel_requested = true;
+            table.by_key.remove(&key);
+            shared.store.remove_job(key);
+            stat!(shared.stats, jobs_cancelled);
+            shared.cond.notify_all();
+            0
+        }
+        State::Running => {
+            table.entries[idx].cancel_requested = true;
+            table.entries[idx].deadline.cancel();
+            1
+        }
+        _ => 2,
+    }
+}

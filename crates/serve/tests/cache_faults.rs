@@ -1,0 +1,173 @@
+//! Service-level cache fault suite: a damaged certificate store must
+//! never produce a wrong answer. Corruption is detected by checksum, the
+//! query is solved fresh with bit-identical values, the outcome is
+//! honestly tagged on the degradation ladder, and a good entry replaces
+//! the damaged one.
+
+use certnn_linalg::Interval;
+use certnn_nn::network::Network;
+use certnn_serve::cache::Store;
+use certnn_serve::client::Client;
+use certnn_serve::protocol::{Disposition, JobOutcome, JobRequest};
+use certnn_serve::server::{ServeOptions, Server};
+use certnn_verify::property::{InputSpec, LinearObjective};
+use certnn_verify::verifier::VerifierOptions;
+use certnn_verify::Degradation;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "certnn-serve-cachefault-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_request(seed: u64) -> JobRequest {
+    let net = Network::relu_mlp(3, &[6, 6], 1, seed).expect("tiny net");
+    let spec = InputSpec::from_box(vec![Interval::new(-1.0, 1.0); 3]).expect("box");
+    let objective = LinearObjective::output(0);
+    JobRequest::from_query(&net, &spec, &objective, &VerifierOptions::default(), None)
+}
+
+/// Boots a daemon on `dir`, submits `req` once and returns the outcome
+/// with its disposition and the daemon's corrupt-detection count.
+fn one_shot(dir: &Path, req: &JobRequest) -> (JobOutcome, Disposition, u64) {
+    let server = Server::start(ServeOptions::loopback(dir)).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connects");
+    let submitted = client.submit(req).expect("submits");
+    let outcome = client.result(submitted.job).expect("result arrives");
+    let corrupt = server.stats().get("serve.cache_corrupt");
+    (outcome, submitted.disposition, corrupt)
+}
+
+fn values_bit_equal(a: &JobOutcome, b: &JobOutcome) {
+    assert_eq!(a.status, b.status);
+    assert_eq!(a.upper_bound.to_bits(), b.upper_bound.to_bits());
+    assert_eq!(a.best_value.map(f64::to_bits), b.best_value.map(f64::to_bits));
+    assert_eq!(a.witness, b.witness);
+}
+
+#[test]
+fn byte_flip_corruption_forces_a_tagged_fresh_solve_and_heals_the_entry() {
+    let dir = temp_dir("flip");
+    let req = tiny_request(11);
+
+    // Clean solve: fresh and exact.
+    let (clean, disposition, _) = one_shot(&dir, &req);
+    assert_eq!(disposition, Disposition::Fresh);
+    assert_eq!(clean.degradation, Degradation::Exact);
+    assert!(!clean.cache_hit);
+
+    // Flip one byte in the middle of the stored certificate.
+    let store = Store::open(&dir).expect("store opens");
+    let path = store.cert_path(clean.key);
+    let mut bytes = std::fs::read(&path).expect("cert file exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("corruption lands");
+
+    // A restarted daemon must detect the damage, solve fresh and tag
+    // the outcome — same ladder as a damaged checkpoint — while the
+    // verdict itself stays bit-identical.
+    let (degraded, disposition, corrupt) = one_shot(&dir, &req);
+    assert_eq!(
+        disposition,
+        Disposition::Fresh,
+        "a corrupt entry must not be served as a cache hit"
+    );
+    assert_eq!(corrupt, 1, "the detection must be counted");
+    assert_eq!(degraded.degradation, Degradation::CheckpointFallback);
+    assert!(!degraded.cache_hit);
+    values_bit_equal(&degraded, &clean);
+
+    // The fresh solve healed the entry: the next daemon serves it from
+    // disk, still carrying its honest provenance tag.
+    let (healed, disposition, corrupt) = one_shot(&dir, &req);
+    assert_eq!(disposition, Disposition::CacheHit);
+    assert_eq!(corrupt, 0);
+    assert!(healed.cache_hit);
+    assert_eq!(healed.degradation, Degradation::CheckpointFallback);
+    values_bit_equal(&healed, &clean);
+    assert!(!store.has_temp_files(), "no temp files may leak");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_certificates_are_rejected_at_service_level() {
+    let dir = temp_dir("trunc");
+    let req = tiny_request(12);
+    let (clean, _, _) = one_shot(&dir, &req);
+
+    let store = Store::open(&dir).expect("store opens");
+    let path = store.cert_path(clean.key);
+    let full = std::fs::read(&path).expect("cert file exists");
+    // A sampled ladder of service-level truncations (the exhaustive
+    // every-prefix sweep runs against the store directly below and in
+    // the cache unit suite): each one must be detected, re-solved
+    // bit-identically and re-written.
+    for cut in [0, 1, 7, full.len() / 4, full.len() / 2, full.len() - 9, full.len() - 1] {
+        std::fs::write(&path, &full[..cut]).expect("truncation lands");
+        let (outcome, disposition, corrupt) = one_shot(&dir, &req);
+        assert_eq!(
+            disposition,
+            Disposition::Fresh,
+            "a {cut}-byte prefix must not answer as a cache hit"
+        );
+        assert_eq!(corrupt, 1, "truncation at {cut} bytes went undetected");
+        assert_eq!(outcome.degradation, Degradation::CheckpointFallback);
+        values_bit_equal(&outcome, &clean);
+    }
+    assert!(!store.has_temp_files());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_prefix_of_a_stored_certificate_is_rejected_by_the_store() {
+    // The exhaustive regression: no prefix of a sealed entry may decode.
+    // Runs against the store directly so the sweep costs no solves.
+    let dir = temp_dir("prefix");
+    let req = tiny_request(13);
+    let (clean, _, _) = one_shot(&dir, &req);
+
+    let store = Store::open(&dir).expect("store opens");
+    let path = store.cert_path(clean.key);
+    let full = std::fs::read(&path).expect("cert file exists");
+    for cut in 0..full.len() {
+        std::fs::write(&path, &full[..cut]).expect("truncation lands");
+        match store.get_cert(clean.key) {
+            Err(certnn_serve::cache::Miss::Corrupt) => {}
+            Ok(_) => panic!("a {cut}/{}-byte prefix decoded", full.len()),
+            Err(m) => panic!("unexpected miss {m:?} at cut {cut}"),
+        }
+        // Detection deletes the damaged file.
+        assert!(!path.exists(), "corrupt entry not deleted at cut {cut}");
+    }
+    // The intact entry still round-trips after the sweep.
+    std::fs::write(&path, &full).expect("restore");
+    let restored = store.get_cert(clean.key).expect("intact entry decodes");
+    values_bit_equal(&restored, &clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_valid_entry_under_the_wrong_key_is_treated_as_corrupt() {
+    // A structurally valid certificate copied over another key's file
+    // must not be served: the embedded key is part of the sealed body.
+    let dir = temp_dir("swap");
+    let req_a = tiny_request(14);
+    let req_b = tiny_request(15);
+    let (a, _, _) = one_shot(&dir, &req_a);
+    let (b, _, _) = one_shot(&dir, &req_b);
+    assert_ne!(a.key, b.key);
+
+    let store = Store::open(&dir).expect("store opens");
+    std::fs::copy(store.cert_path(b.key), store.cert_path(a.key)).expect("swap lands");
+
+    let (outcome, disposition, corrupt) = one_shot(&dir, &req_a);
+    assert_eq!(disposition, Disposition::Fresh, "foreign entry must not be served");
+    assert_eq!(corrupt, 1);
+    values_bit_equal(&outcome, &a);
+    let _ = std::fs::remove_dir_all(&dir);
+}

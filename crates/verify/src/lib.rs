@@ -74,6 +74,10 @@ pub mod robustness;
 pub mod verifier;
 
 pub use certnn_lp::{Deadline, Degradation};
+// The solver status appears on this crate's own public API
+// (`MaxResult::status`); re-export it so downstream crates (the serve
+// daemon) can name it without depending on certnn-milp directly.
+pub use certnn_milp::MilpStatus;
 
 use certnn_milp::MilpError;
 use certnn_nn::NnError;
