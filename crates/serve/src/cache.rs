@@ -7,8 +7,13 @@
 //! file — never a torn one under the real name.
 //!
 //! **Cache** (`cache/c<key>.cert`): a finished [`JobOutcome`] under its
-//! job key. Serving a cached certificate replays the exact bytes a fresh
-//! solve produced — the verdict, bound, witness and statistics are
+//! job key, sealed together with the *full request* that produced it.
+//! The 64-bit FNV job key only names the file; before an entry is
+//! served, its embedded request is compared byte-for-byte against the
+//! submitted one, so a key collision (FNV-1a is not collision
+//! resistant) can never exchange one query's certificate for another's.
+//! Serving a cached certificate replays the exact bytes a fresh solve
+//! produced — the verdict, bound, witness and statistics are
 //! bit-identical. A corrupt or truncated entry is *detected* (checksum),
 //! deleted, and answered by a fresh solve tagged with the degradation
 //! ladder — the cache can lose work, never correctness.
@@ -30,8 +35,10 @@ use std::path::{Path, PathBuf};
 const CERT_MAGIC: [u8; 4] = *b"CNCE";
 /// Magic of a spooled job.
 const JOB_MAGIC: [u8; 4] = *b"CNJB";
-/// On-disk format version of both stores.
-const STORE_VERSION: u32 = 1;
+/// On-disk format version of both stores. Version 2 embeds the full
+/// request in every certificate entry so a served certificate is
+/// provably for the submitted query, not merely for a colliding key.
+const STORE_VERSION: u32 = 2;
 
 /// Why a load returned nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,25 +103,42 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Encodes a sealed certificate entry (exposed for the fault-injection
-/// tests, which truncate and corrupt these bytes directly).
-pub fn encode_entry(outcome: &JobOutcome) -> Vec<u8> {
+/// Canonical encoding of a request, used both inside certificate
+/// entries and for the byte-exact comparison that guards against job
+/// key collisions (bit-pattern floats make it NaN-proof where a
+/// `PartialEq` comparison would not be).
+fn request_bytes(req: &JobRequest) -> Vec<u8> {
     let mut e = Enc::new();
+    encode_request(&mut e, req);
+    e.0
+}
+
+/// Encodes a sealed certificate entry: the request it answers followed
+/// by the outcome (exposed for the fault-injection tests, which
+/// truncate and corrupt these bytes directly).
+pub fn encode_entry(outcome: &JobOutcome, req: &JobRequest) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.bytes(&request_bytes(req));
     encode_outcome(&mut e, outcome);
     seal(CERT_MAGIC, &e.0)
 }
 
-/// Decodes a sealed certificate entry.
+/// Decodes a sealed certificate entry into the request it answers and
+/// the stored outcome.
 ///
 /// # Errors
 ///
 /// [`ProtocolError`] on any structural or checksum violation.
-pub fn decode_entry(bytes: &[u8]) -> Result<JobOutcome, ProtocolError> {
+pub fn decode_entry(bytes: &[u8]) -> Result<(JobRequest, JobOutcome), ProtocolError> {
     let body = unseal(CERT_MAGIC, bytes)?;
     let mut d = Dec::new(body);
+    let req_bytes = d.bytes()?.to_vec();
     let outcome = decode_outcome(&mut d)?;
     d.finish()?;
-    Ok(outcome)
+    let mut rd = Dec::new(&req_bytes);
+    let req = decode_request(&mut rd)?;
+    rd.finish()?;
+    Ok((req, outcome))
 }
 
 /// The daemon's on-disk state: certificate cache + job spool under one
@@ -149,26 +173,38 @@ impl Store {
         self.jobs_dir.join(format!("j{key:016x}.job"))
     }
 
-    /// Publishes a finished certificate atomically.
+    /// Publishes a finished certificate atomically, sealed with the
+    /// request it answers.
     ///
     /// # Errors
     ///
     /// I/O error from the filesystem.
-    pub fn put_cert(&self, outcome: &JobOutcome) -> std::io::Result<()> {
-        write_atomic(&self.cert_path(outcome.key), &encode_entry(outcome))
+    pub fn put_cert(&self, outcome: &JobOutcome, req: &JobRequest) -> std::io::Result<()> {
+        write_atomic(&self.cert_path(outcome.key), &encode_entry(outcome, req))
     }
 
-    /// Loads the certificate for `key`, fully verifying its checksum.
-    /// A corrupt or truncated entry is deleted and reported as
-    /// [`Miss::Corrupt`] so the caller can schedule a fresh solve.
-    pub fn get_cert(&self, key: u64) -> Result<JobOutcome, Miss> {
+    /// Loads the certificate for `key`, fully verifying its checksum
+    /// *and* that the stored entry answers exactly `req` (byte-for-byte
+    /// on the canonical request encoding — the 64-bit key alone is not
+    /// collision resistant). A corrupt or truncated entry is deleted and
+    /// reported as [`Miss::Corrupt`]; a structurally valid entry for a
+    /// *different* query under a colliding key is left on disk and
+    /// reported as [`Miss::Absent`] — either way the caller schedules a
+    /// fresh solve, never serves a foreign certificate.
+    pub fn get_cert(&self, key: u64, req: &JobRequest) -> Result<JobOutcome, Miss> {
         let path = self.cert_path(key);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(_) => return Err(Miss::Absent),
         };
         match decode_entry(&bytes) {
-            Ok(outcome) if outcome.key == key => Ok(outcome),
+            Ok((stored_req, outcome)) if outcome.key == key => {
+                if request_bytes(&stored_req) == request_bytes(req) {
+                    Ok(outcome)
+                } else {
+                    Err(Miss::Absent)
+                }
+            }
             _ => {
                 let _ = fs::remove_file(&path);
                 Err(Miss::Corrupt)
@@ -272,6 +308,22 @@ mod tests {
         }
     }
 
+    fn request() -> JobRequest {
+        JobRequest {
+            network_text: "not parsed here".into(),
+            bounds: vec![(-1.0, 1.0)],
+            constraints: vec![],
+            objective_terms: vec![(0, 1.0)],
+            objective_constant: 0.0,
+            time_limit_ms: 0,
+            node_limit: 0,
+            threads: 1,
+            warm_start: true,
+            alpha_iters: 1,
+            lp_skip: true,
+        }
+    }
+
     fn temp_store(tag: &str) -> (PathBuf, Store) {
         let root = std::env::temp_dir().join(format!(
             "certnn-serve-cache-{tag}-{}",
@@ -285,12 +337,13 @@ mod tests {
     #[test]
     fn cert_round_trips_bit_identically() {
         let (root, store) = temp_store("rt");
+        let req = request();
         let o = outcome(0xabcd);
-        store.put_cert(&o).expect("cert writes");
-        let back = store.get_cert(0xabcd).expect("cert loads");
+        store.put_cert(&o, &req).expect("cert writes");
+        let back = store.get_cert(0xabcd, &req).expect("cert loads");
         assert_eq!(back, o);
         assert_eq!(back.upper_bound.to_bits(), o.upper_bound.to_bits());
-        assert_eq!(store.get_cert(0x9999), Err(Miss::Absent));
+        assert_eq!(store.get_cert(0x9999, &req), Err(Miss::Absent));
         assert!(!store.has_temp_files());
         let _ = fs::remove_dir_all(root);
     }
@@ -298,12 +351,13 @@ mod tests {
     #[test]
     fn every_truncation_prefix_is_detected_and_deleted() {
         let (root, store) = temp_store("trunc");
+        let req = request();
         let o = outcome(0x1111);
-        let full = encode_entry(&o);
+        let full = encode_entry(&o, &req);
         for cut in 0..full.len() {
             fs::write(store.cert_path(o.key), &full[..cut]).expect("writes");
             assert_eq!(
-                store.get_cert(o.key),
+                store.get_cert(o.key, &req),
                 Err(Miss::Corrupt),
                 "truncation to {cut}/{} bytes must be detected",
                 full.len()
@@ -319,8 +373,9 @@ mod tests {
     #[test]
     fn every_single_byte_flip_is_detected() {
         let (root, store) = temp_store("flip");
+        let req = request();
         let o = outcome(0x2222);
-        let full = encode_entry(&o);
+        let full = encode_entry(&o, &req);
         for i in 0..full.len() {
             let mut bad = full.clone();
             bad[i] ^= 0x01;
@@ -331,7 +386,7 @@ mod tests {
             // body flip fail, and header flips fail magic/version, so
             // every flip is a miss.
             assert_eq!(
-                store.get_cert(o.key),
+                store.get_cert(o.key, &req),
                 Err(Miss::Corrupt),
                 "flip at byte {i} must be detected"
             );
@@ -342,29 +397,38 @@ mod tests {
     #[test]
     fn key_mismatch_inside_valid_entry_is_corrupt() {
         let (root, store) = temp_store("keymix");
+        let req = request();
         let o = outcome(0x3333);
         // A valid entry filed under the wrong name must not be served.
-        fs::write(store.cert_path(0x4444), encode_entry(&o)).expect("writes");
-        assert_eq!(store.get_cert(0x4444), Err(Miss::Corrupt));
+        fs::write(store.cert_path(0x4444), encode_entry(&o, &req)).expect("writes");
+        assert_eq!(store.get_cert(0x4444, &req), Err(Miss::Corrupt));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn colliding_key_with_different_request_is_never_served() {
+        // Simulates an FNV job-key collision: a structurally valid entry
+        // whose embedded key matches the filename but whose request is a
+        // *different* query. It must answer Absent (fresh solve), not
+        // serve the foreign certificate, and not be destroyed — it is a
+        // valid entry for its own query.
+        let (root, store) = temp_store("collide");
+        let req_a = request();
+        let mut req_b = request();
+        req_b.objective_constant = 42.0;
+        let o = outcome(0x5555);
+        store.put_cert(&o, &req_a).expect("cert writes");
+        assert_eq!(store.get_cert(0x5555, &req_b), Err(Miss::Absent));
+        assert!(store.cert_path(0x5555).exists(), "colliding entry survives");
+        // The rightful owner still gets its certificate.
+        assert_eq!(store.get_cert(0x5555, &req_a), Ok(o));
         let _ = fs::remove_dir_all(root);
     }
 
     #[test]
     fn spool_round_trip_and_corrupt_drop() {
         let (root, store) = temp_store("spool");
-        let req = JobRequest {
-            network_text: "not parsed here".into(),
-            bounds: vec![(-1.0, 1.0)],
-            constraints: vec![],
-            objective_terms: vec![(0, 1.0)],
-            objective_constant: 0.0,
-            time_limit_ms: 0,
-            node_limit: 0,
-            threads: 1,
-            warm_start: true,
-            alpha_iters: 1,
-            lp_skip: true,
-        };
+        let req = request();
         store.put_job(7, &req).expect("job spools");
         store.put_job(3, &req).expect("job spools");
         fs::write(store.job_path(9), b"garbage").expect("writes");

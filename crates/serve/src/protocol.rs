@@ -18,11 +18,19 @@
 use crate::wire::{Dec, Enc, Frame, ProtocolError};
 use certnn_nn::network::Network;
 use certnn_nn::serialize::{from_text, to_text};
+use certnn_verify::bab::resolve_threads;
 use certnn_verify::checkpoint::{query_fingerprint, Fnv1a};
 use certnn_verify::property::{InputSpec, LinearConstraint, LinearObjective, Relation};
 use certnn_verify::verifier::{MaxResult, VerifierOptions};
 use certnn_verify::{Degradation, MilpStatus};
 use std::time::Duration;
+
+/// Upper bound on the per-job `threads` knob a request may carry. The
+/// wire value is attacker-controlled and ultimately sizes an OS thread
+/// spawn; anything above this is rejected as an invalid job, and even
+/// accepted values are clamped to the machine's parallelism before the
+/// solver sees them ([`JobRequest::verifier_options`]).
+pub const MAX_THREADS: u64 = 4096;
 
 /// Frame kind discriminants (the `kind` byte of every frame).
 pub mod kind {
@@ -246,12 +254,17 @@ impl JobRequest {
     }
 
     /// Verifier options this request asks the daemon to solve under.
+    /// The wire `threads` knob is clamped to the machine's available
+    /// parallelism (`0` = auto survives the clamp): a client cannot make
+    /// a worker attempt an unbounded number of OS thread spawns.
     pub fn verifier_options(&self) -> VerifierOptions {
         VerifierOptions {
             time_limit: (self.time_limit_ms > 0)
                 .then(|| Duration::from_millis(self.time_limit_ms)),
             node_limit: (self.node_limit > 0).then_some(self.node_limit as usize),
-            threads: self.threads as usize,
+            threads: usize::try_from(self.threads)
+                .unwrap_or(usize::MAX)
+                .min(resolve_threads(0)),
             warm_start: self.warm_start,
             alpha_iters: self.alpha_iters as usize,
             lp_skip: self.lp_skip,

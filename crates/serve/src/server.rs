@@ -187,6 +187,9 @@ impl State {
 struct JobEntry {
     key: u64,
     query: Arc<Query>,
+    /// The wire request as it arrived — sealed into the certificate so
+    /// the cache can prove an entry answers exactly this query.
+    request: Arc<JobRequest>,
     state: State,
     deadline: Deadline,
     /// The cache entry under this key was corrupt at submit; the fresh
@@ -385,7 +388,7 @@ fn resume_spool(shared: &Arc<Shared>) {
     for (key, req) in jobs {
         // A certificate may already exist if the previous daemon died
         // between caching and spool removal; finish the bookkeeping.
-        if shared.store.get_cert(key).is_ok() {
+        if shared.store.get_cert(key, &req).is_ok() {
             shared.store.remove_job(key);
             continue;
         }
@@ -397,6 +400,7 @@ fn resume_spool(shared: &Arc<Shared>) {
         table.entries.push(JobEntry {
             key,
             query: Arc::new(query),
+            request: Arc::new(req),
             state: State::Queued,
             deadline: Deadline::cancellable(),
             cache_was_corrupt: false,
@@ -412,14 +416,29 @@ fn resume_spool(shared: &Arc<Shared>) {
 }
 
 fn parse_query(req: &JobRequest) -> Option<Query> {
+    if req.threads > crate::protocol::MAX_THREADS {
+        return None;
+    }
     let net = req.parse_network().ok()?;
     let spec = req.input_spec().ok()?;
     if spec.bounds().len() != net.inputs() {
         return None;
     }
+    // Every wire index is attacker-controlled; an out-of-range feature
+    // or output index would otherwise panic deep inside the encoder.
+    if spec
+        .constraints()
+        .iter()
+        .flat_map(|c| c.terms.iter())
+        .any(|&(i, _)| i >= net.inputs())
+    {
+        return None;
+    }
+    let objective = req.objective();
+    objective.check_against(&net).ok()?;
     Some(Query {
-        objective: req.objective(),
         options: req.verifier_options(),
+        objective,
         net,
         spec,
     })
@@ -431,7 +450,7 @@ fn parse_query(req: &JobRequest) -> Option<Query> {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let (idx, key, query, deadline, cache_was_corrupt, queued_for) = {
+        let (idx, key, query, request, deadline, cache_was_corrupt, queued_for) = {
             let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
             let idx = loop {
                 if shared.draining.load(Ordering::SeqCst) {
@@ -459,6 +478,7 @@ fn worker_loop(shared: &Shared) {
                 idx,
                 entry.key,
                 Arc::clone(&entry.query),
+                Arc::clone(&entry.request),
                 entry.deadline.clone(),
                 entry.cache_was_corrupt,
                 entry.enqueued_at.elapsed(),
@@ -467,15 +487,36 @@ fn worker_loop(shared: &Shared) {
         certnn_obs::histogram("serve.queue_wait_nanos")
             .record(queued_for.as_nanos().min(u128::from(u64::MAX)) as u64);
 
-        let mut policy = CheckpointPolicy::new(&shared.ckpt_dir);
+        // Each job key gets its own checkpoint directory: the query
+        // fingerprint excludes budget knobs, so two concurrent jobs
+        // differing only in budget would otherwise race on the same
+        // snapshot file (and resume across budgets, skewing stats).
+        let ckpt_dir = shared.ckpt_dir.join(format!("{key:016x}"));
+        let _ = std::fs::create_dir_all(&ckpt_dir);
+        let mut policy = CheckpointPolicy::new(&ckpt_dir);
         if shared.checkpoint_every > 0 {
             policy.every_nodes = shared.checkpoint_every;
         }
+        policy.seed = key;
         policy.resume = true;
         let verifier = Verifier::with_options(query.options)
             .with_deadline(deadline)
             .with_checkpoints(policy);
-        let result = verifier.maximize(&query.net, &query.spec, &query.objective);
+        // Last-resort backstop: the solver already catches per-node
+        // panics, but any panic escaping here would kill this worker for
+        // good and strand the job Running with every waiter blocked.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            verifier.maximize(&query.net, &query.spec, &query.objective)
+        }))
+        .map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            format!("solver panicked: {msg}")
+        })
+        .and_then(|r| r.map_err(|e| e.to_string()));
 
         let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
         table.running -= 1;
@@ -503,7 +544,7 @@ fn worker_loop(shared: &Shared) {
                     }
                     certnn_obs::histogram("serve.job_wall_nanos").record(outcome.stats.elapsed_nanos);
                     if outcome.status != MilpStatus::Aborted
-                        && shared.store.put_cert(&outcome).is_err()
+                        && shared.store.put_cert(&outcome, &request).is_err()
                     {
                         certnn_obs::event(
                             "serve.cache_write_failed",
@@ -511,18 +552,21 @@ fn worker_loop(shared: &Shared) {
                         );
                     }
                     shared.store.remove_job(key);
+                    // The finished solve deleted its snapshot; reap the
+                    // per-key directory if nothing is left in it.
+                    let _ = std::fs::remove_dir(&ckpt_dir);
                     table.entries[idx].state = State::Done(Arc::new(outcome));
                     stat!(shared.stats, jobs_completed);
                 }
             }
             Err(e) => {
-                table.entries[idx].state = State::Failed(e.to_string());
+                table.entries[idx].state = State::Failed(e.clone());
                 table.by_key.remove(&key);
                 shared.store.remove_job(key);
                 stat!(shared.stats, jobs_failed);
                 certnn_obs::event(
                     "serve.job_failed",
-                    vec![("key", format!("{key:016x}").into()), ("error", e.to_string().into())],
+                    vec![("key", format!("{key:016x}").into()), ("error", e.into())],
                 );
             }
         }
@@ -697,6 +741,15 @@ fn handle_submit(
     let key = job_key_of(&query.net, &query.spec, &query.objective, req);
     let reply = {
         let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+        // Re-check under the table lock: a drain that set the flag after
+        // the entry check above has already swept the queue, so a job
+        // enqueued now would never be popped (workers exit on draining)
+        // and its waiters would block until restart.
+        if shared.draining.load(Ordering::SeqCst) {
+            drop(table);
+            send_error(stream, shared, ErrorCode::Draining, "daemon is draining");
+            return Ok(());
+        }
         stat!(shared.stats, jobs_submitted);
         if let Some(&idx) = table.by_key.get(&key) {
             // Identical query already known in-process: coalesce. A
@@ -711,7 +764,7 @@ fn handle_submit(
             let job = table.assign_id(idx, true);
             Msg::Submitted { job, key, disposition }
         } else {
-            match shared.store.get_cert(key) {
+            match shared.store.get_cert(key, req) {
                 Ok(mut outcome) => {
                     stat!(shared.stats, cache_hits);
                     outcome.cache_hit = true;
@@ -719,6 +772,7 @@ fn handle_submit(
                     table.entries.push(JobEntry {
                         key,
                         query: Arc::new(query),
+                        request: Arc::new(req.clone()),
                         state: State::Done(Arc::new(outcome)),
                         deadline: Deadline::cancellable(),
                         cache_was_corrupt: false,
@@ -745,6 +799,7 @@ fn handle_submit(
                     table.entries.push(JobEntry {
                         key,
                         query: Arc::new(query),
+                        request: Arc::new(req.clone()),
                         state: State::Queued,
                         deadline: Deadline::cancellable(),
                         cache_was_corrupt,

@@ -136,7 +136,7 @@ fn every_prefix_of_a_stored_certificate_is_rejected_by_the_store() {
     let full = std::fs::read(&path).expect("cert file exists");
     for cut in 0..full.len() {
         std::fs::write(&path, &full[..cut]).expect("truncation lands");
-        match store.get_cert(clean.key) {
+        match store.get_cert(clean.key, &req) {
             Err(certnn_serve::cache::Miss::Corrupt) => {}
             Ok(_) => panic!("a {cut}/{}-byte prefix decoded", full.len()),
             Err(m) => panic!("unexpected miss {m:?} at cut {cut}"),
@@ -146,7 +146,7 @@ fn every_prefix_of_a_stored_certificate_is_rejected_by_the_store() {
     }
     // The intact entry still round-trips after the sweep.
     std::fs::write(&path, &full).expect("restore");
-    let restored = store.get_cert(clean.key).expect("intact entry decodes");
+    let restored = store.get_cert(clean.key, &req).expect("intact entry decodes");
     values_bit_equal(&restored, &clean);
     let _ = std::fs::remove_dir_all(&dir);
 }

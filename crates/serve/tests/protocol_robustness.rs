@@ -6,7 +6,7 @@
 use certnn_linalg::Interval;
 use certnn_nn::network::Network;
 use certnn_serve::client::Client;
-use certnn_serve::protocol::{kind, Disposition, ErrorCode, JobRequest, Msg};
+use certnn_serve::protocol::{kind, Disposition, ErrorCode, JobRequest, Msg, WireConstraint, MAX_THREADS};
 use certnn_serve::server::{ServeOptions, Server};
 use certnn_serve::wire::{read_frame, write_frame, MAGIC, MAX_BODY, WIRE_VERSION};
 use certnn_verify::checkpoint::Fnv1a;
@@ -226,6 +226,53 @@ fn unknown_job_ids_and_invalid_payloads_are_typed() {
     let outcome = client.result(submitted.job).expect("result arrives");
     assert_eq!(outcome.status, MilpStatus::Optimal);
 
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn out_of_range_indices_and_absurd_thread_counts_are_invalid_jobs() {
+    // Well-formed frames whose *contents* are hostile: indices past the
+    // network's inputs/outputs would panic inside the encoder, and an
+    // unclamped thread count would make a worker attempt that many OS
+    // thread spawns. All must be rejected as InvalidJob before a worker
+    // ever sees them, and the daemon must keep solving honest queries.
+    let dir = temp_dir("hostile");
+    let server = Server::start(ServeOptions::loopback(&dir)).expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connects");
+
+    let mut bad_constraint = tiny_request(30);
+    bad_constraint.constraints.push(WireConstraint {
+        relation: 0,
+        rhs: 0.0,
+        terms: vec![(u64::MAX, 1.0)], // network has 3 inputs
+    });
+    let mut bad_objective = tiny_request(31);
+    bad_objective.objective_terms = vec![(99, 1.0)]; // network has 1 output
+    let mut bad_threads = tiny_request(32);
+    bad_threads.threads = MAX_THREADS + 1;
+    for (what, bad) in [
+        ("constraint index", bad_constraint),
+        ("objective index", bad_objective),
+        ("thread count", bad_threads),
+    ] {
+        match client.submit(&bad) {
+            Err(certnn_serve::ServeError::Remote { code, .. }) => {
+                assert_eq!(code, ErrorCode::InvalidJob, "hostile {what} not rejected");
+            }
+            other => panic!("expected InvalidJob for hostile {what}, got {other:?}"),
+        }
+    }
+
+    // A large-but-legal thread request is clamped to the machine, not
+    // rejected and not honoured literally.
+    let mut many_threads = tiny_request(33);
+    many_threads.threads = MAX_THREADS;
+    let submitted = client.submit(&many_threads).expect("clamped job accepted");
+    let outcome = client.result(submitted.job).expect("clamped job solves");
+    assert_eq!(outcome.status, MilpStatus::Optimal);
+
+    assert_daemon_alive(&server, 34);
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
 }
