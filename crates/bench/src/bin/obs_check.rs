@@ -201,7 +201,11 @@ fn ckpt_overhead() -> Result<(), String> {
 /// One timed fleet run over a fresh loopback daemon. A new state
 /// directory per run keeps the certificate cache out of the timing, so
 /// the measurement covers the full serve path: framing, spooling,
-/// solving, caching.
+/// solving, caching. The daemon runs with the whole live-telemetry
+/// stack active — windowed aggregates, flight recorders, and the
+/// Prometheus listener — so the overhead gate measures the daemon as it
+/// ships; the telemetry endpoints are sanity-checked after the clock
+/// stops so the checks themselves never skew the timing.
 fn timed_serve_fleet(tag: &str, run: usize) -> Result<(FleetResult, f64), String> {
     let dir = std::env::temp_dir().join(format!(
         "certnn_serve_gate_{}_{tag}_{run}",
@@ -210,6 +214,7 @@ fn timed_serve_fleet(tag: &str, run: usize) -> Result<(FleetResult, f64), String
     let _ = std::fs::remove_dir_all(&dir);
     let server = Server::start(ServeOptions {
         workers: 1,
+        prom_addr: Some("127.0.0.1:0".to_string()),
         ..ServeOptions::loopback(&dir)
     })
     .map_err(|e| format!("cannot start daemon: {e}"))?;
@@ -220,9 +225,59 @@ fn timed_serve_fleet(tag: &str, run: usize) -> Result<(FleetResult, f64), String
     let result =
         run_fleet_over(server.addr(), &config).map_err(|e| format!("serve fleet failed: {e}"))?;
     let wall = start.elapsed().as_secs_f64();
+    assert_live_telemetry(&server)?;
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
     Ok((result, wall))
+}
+
+/// Proves the live-telemetry stack was actually on during a timed run:
+/// the `METRICS` frame reports the fleet's submissions with non-zero
+/// windowed rates, and the Prometheus endpoint serves parseable text.
+fn assert_live_telemetry(server: &Server) -> Result<(), String> {
+    let mut client = certnn_serve::client::Client::connect(server.addr())
+        .map_err(|e| format!("telemetry client: {e}"))?;
+    let m = client.metrics().map_err(|e| format!("METRICS failed: {e}"))?;
+    let counter = |name: &str| {
+        m.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    if counter("serve.jobs_submitted") == 0 {
+        return Err("METRICS reports no submissions after a fleet run".to_string());
+    }
+    let submit_rate = m
+        .rates
+        .iter()
+        .find(|(n, _)| n == "serve.jobs_submitted")
+        .map_or(0.0, |(_, r)| *r);
+    if submit_rate <= 0.0 {
+        return Err("windowed serve.jobs_submitted rate is zero right after a run".to_string());
+    }
+    if m.workers_total == 0 || m.uptime_ns == 0 {
+        return Err("METRICS gauges are empty".to_string());
+    }
+    let prom = server
+        .prom_addr()
+        .ok_or("prom listener did not bind".to_string())?;
+    let mut stream = std::net::TcpStream::connect(prom)
+        .map_err(|e| format!("prom connect: {e}"))?;
+    std::io::Write::write_all(&mut stream, b"GET /metrics HTTP/1.0\r\n\r\n")
+        .map_err(|e| format!("prom request: {e}"))?;
+    let mut response = String::new();
+    std::io::Read::read_to_string(&mut stream, &mut response)
+        .map_err(|e| format!("prom response: {e}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .ok_or("prom response has no header/body split".to_string())?
+        .1;
+    let samples = certnn_serve::prom::parse_check(body)
+        .map_err(|e| format!("prom exposition does not parse: {e}"))?;
+    if samples == 0 || !body.contains("certnn_serve_up 1") {
+        return Err("prom exposition is empty".to_string());
+    }
+    Ok(())
 }
 
 /// Bit-exact verdict comparison between two fleet results.

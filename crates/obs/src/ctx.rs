@@ -1,0 +1,132 @@
+//! Cross-process span context: a serializable `(trace id, parent span id)`
+//! pair that lets spans in one process parent under a trace started in
+//! another (client → daemon today; the coordinator/worker topology of the
+//! distributed roadmap item reuses the same mechanism).
+//!
+//! The wire form is deliberately tiny and version-free: exactly
+//! [`SpanContext::WIRE_LEN`] bytes, two little-endian `u64`s
+//! (`trace_id`, `span_id`). Carriers that need optionality or versioning
+//! (e.g. the serve SUBMIT frame) layer it themselves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A propagatable span context: which trace this work belongs to and
+/// which span is its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Process-spanning trace identifier (non-zero).
+    pub trace_id: u64,
+    /// Span id of the parent span inside that trace.
+    pub span_id: u64,
+}
+
+impl SpanContext {
+    /// Serialized size in bytes.
+    pub const WIRE_LEN: usize = 16;
+
+    /// Start a fresh trace rooted at `span_id` (usually
+    /// [`crate::current_span_id`] of the span doing the injecting).
+    pub fn new_root(span_id: u64) -> SpanContext {
+        SpanContext {
+            trace_id: new_trace_id(),
+            span_id,
+        }
+    }
+
+    /// Same trace, re-parented under `span_id`.
+    pub fn child(&self, span_id: u64) -> SpanContext {
+        SpanContext {
+            trace_id: self.trace_id,
+            span_id,
+        }
+    }
+
+    /// Append the 16-byte wire form to `out`.
+    pub fn inject(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.span_id.to_le_bytes());
+    }
+
+    /// Parse the 16-byte wire form. Returns `None` unless `bytes` is
+    /// exactly [`Self::WIRE_LEN`] long with a non-zero trace id.
+    pub fn extract(bytes: &[u8]) -> Option<SpanContext> {
+        if bytes.len() != Self::WIRE_LEN {
+            return None;
+        }
+        let mut t = [0u8; 8];
+        let mut s = [0u8; 8];
+        t.copy_from_slice(&bytes[..8]);
+        s.copy_from_slice(&bytes[8..]);
+        let ctx = SpanContext {
+            trace_id: u64::from_le_bytes(t),
+            span_id: u64::from_le_bytes(s),
+        };
+        if ctx.trace_id == 0 {
+            return None;
+        }
+        Some(ctx)
+    }
+}
+
+/// Allocate a trace id that is unique within this process and very
+/// unlikely to collide across processes: a counter seeded by FNV-mixing
+/// the pid and process start time. Never returns 0 (0 is "no trace").
+pub fn new_trace_id() -> u64 {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    let next = NEXT.get_or_init(|| {
+        let pid = std::process::id() as u64;
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // FNV-1a over the two seeds, matching the hash family used
+        // elsewhere in the workspace.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in pid.to_le_bytes().iter().chain(t.to_le_bytes().iter()) {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        AtomicU64::new(h | 1)
+    });
+    let mut id = next.fetch_add(1, Ordering::Relaxed);
+    if id == 0 {
+        id = next.fetch_add(1, Ordering::Relaxed);
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_extract_roundtrip() {
+        let ctx = SpanContext {
+            trace_id: 0xdead_beef_cafe_f00d,
+            span_id: 42,
+        };
+        let mut buf = vec![0xAA]; // pre-existing bytes must be preserved
+        ctx.inject(&mut buf);
+        assert_eq!(buf.len(), 1 + SpanContext::WIRE_LEN);
+        assert_eq!(SpanContext::extract(&buf[1..]), Some(ctx));
+    }
+
+    #[test]
+    fn extract_rejects_bad_input() {
+        assert_eq!(SpanContext::extract(&[]), None);
+        assert_eq!(SpanContext::extract(&[0u8; 15]), None);
+        assert_eq!(SpanContext::extract(&[0u8; 17]), None);
+        // Zero trace id means "no trace".
+        assert_eq!(SpanContext::extract(&[0u8; 16]), None);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = new_trace_id();
+        let b = new_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+}

@@ -24,13 +24,20 @@
 #![warn(clippy::unwrap_used)]
 
 pub mod jsonl;
+mod ctx;
 mod metrics;
 mod phase;
 mod span;
+mod window;
 
+pub use ctx::{new_trace_id, SpanContext};
 pub use metrics::{
     counter, gauge, histogram, metrics_snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
     MetricEntry, MetricValue, MetricsSnapshot,
+};
+pub use window::{
+    window_snapshot, windowed_counter, windowed_histogram, WindowEntry, WindowSnapshot,
+    WindowValue, WindowedCounter, WindowedHistogram, WindowedHistogramSnapshot, WINDOW_EPOCHS,
 };
 pub use phase::{
     phase, phase_totals, profile_report, search_seconds, Phase, PhaseGuard, PhaseTotal, PHASES,
@@ -88,6 +95,7 @@ pub fn reset() {
     span::reset();
     metrics::reset();
     phase::reset();
+    window::reset();
 }
 
 /// Drain every buffered span and event plus a trailing `metrics` record

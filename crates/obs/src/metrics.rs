@@ -84,9 +84,10 @@ impl Gauge {
 const SUBS: usize = 16;
 const SUB_BITS: u32 = 4;
 // Exponents 4..=63 each contribute SUBS buckets, after the 16 exact ones.
-const NBUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+// Shared with the windowed histograms in `crate::window`.
+pub(crate) const NBUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
 
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v < SUBS as u64 {
         return v as usize;
     }
@@ -97,7 +98,7 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Upper bound of a bucket (the value reported for percentiles landing in it).
-fn bucket_upper(idx: usize) -> u64 {
+pub(crate) fn bucket_upper(idx: usize) -> u64 {
     if idx < SUBS {
         return idx as u64;
     }
@@ -302,18 +303,21 @@ impl MetricsSnapshot {
     }
 
     /// Scalar view used when folding metrics into bench JSON rows:
-    /// counters, gauge high-water marks, and per-histogram
-    /// `{name}.count` / `{name}.p50` / `{name}.p95` scalars so tools like
-    /// `bench_diff` can compare solve-time percentiles across runs.
-    /// Empty histograms are skipped entirely, keeping rows flat and free
-    /// of all-zero noise.
+    /// counters, gauges (`{name}` = high-water mark for run-over-run
+    /// comparability, `{name}.value` = last value set, so final
+    /// frontier-depth / utilization readings survive into the row), and
+    /// per-histogram `{name}.count` / `{name}.p50` / `{name}.p95` scalars
+    /// so tools like `bench_diff` can compare solve-time percentiles
+    /// across runs. Empty histograms are skipped entirely, keeping rows
+    /// flat and free of all-zero noise.
     pub fn scalars(&self) -> Vec<(String, f64)> {
         let mut out = Vec::with_capacity(self.entries.len());
         for e in &self.entries {
             match &e.value {
                 MetricValue::Counter(v) => out.push((e.name.to_string(), *v as f64)),
-                MetricValue::Gauge { high_water, .. } => {
+                MetricValue::Gauge { value, high_water } => {
                     out.push((e.name.to_string(), *high_water as f64));
+                    out.push((format!("{}.value", e.name), *value as f64));
                 }
                 MetricValue::Histogram(h) => {
                     if h.count > 0 {
@@ -409,6 +413,22 @@ pub(crate) fn reset() {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scalars_exports_gauge_value_and_high_water() {
+        let snap = MetricsSnapshot {
+            entries: vec![MetricEntry {
+                name: "bab.frontier_depth",
+                value: MetricValue::Gauge {
+                    value: 3,
+                    high_water: 7,
+                },
+            }],
+        };
+        let s = snap.scalars();
+        assert!(s.contains(&("bab.frontier_depth".to_string(), 7.0)));
+        assert!(s.contains(&("bab.frontier_depth.value".to_string(), 3.0)));
+    }
 
     #[test]
     fn bucket_roundtrip_bounds() {

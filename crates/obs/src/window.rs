@@ -1,0 +1,379 @@
+//! Sliding-window aggregates: per-second rates and short-horizon
+//! percentiles over the last N seconds, alongside the cumulative registry.
+//!
+//! Implementation is a **ring of epochs**: time is divided into one-second
+//! epochs and each windowed metric owns a fixed ring of [`SLOTS`] slots,
+//! indexed by `epoch % SLOTS`. A recording thread loads the slot's epoch
+//! tag and, if the slot is stale, CAS-claims it for the current epoch and
+//! zeroes it. The hot path is therefore lock-free: one load, (rarely) one
+//! CAS, then relaxed `fetch_add`s. Two races are tolerated by design and
+//! bounded to one epoch of telemetry error:
+//!
+//! * A laggard thread that computed an older epoch than the slot now
+//!   carries simply adds into the newer slot (monotonic-clock skew
+//!   tolerance — counts are attributed at most one second late).
+//! * Samples recorded between a winner's CAS and its zeroing store can be
+//!   lost. Windows are operational telemetry, not accounting; the
+//!   cumulative registry in [`crate::metrics`] remains exact.
+//!
+//! Snapshots aggregate the last [`WINDOW_EPOCHS`] epochs *including* the
+//! current partial one, so a daemon that just started serving shows
+//! non-zero rates immediately. With `SLOTS = 16 > WINDOW_EPOCHS = 10`,
+//! slots inside the snapshot window cannot be concurrently reused.
+//!
+//! Unlike the cumulative instruments, the window hot path is gated only on
+//! the `enabled` cargo feature, not the runtime switch: a daemon that was
+//! started without `--metrics` still answers live `METRICS` queries with
+//! real rates, and A/B overhead runs pay the (tiny) windowed cost on both
+//! legs so the comparison stays fair.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{bucket_index, bucket_upper, NBUCKETS};
+
+/// Ring size; must exceed [`WINDOW_EPOCHS`] so snapshot reads never race
+/// slot reuse.
+pub const SLOTS: usize = 16;
+/// Epoch length in nanoseconds (one second).
+pub const EPOCH_NS: u64 = 1_000_000_000;
+/// Number of epochs (seconds) a snapshot aggregates over.
+pub const WINDOW_EPOCHS: u64 = 10;
+
+/// Current epoch number (seconds since the observability epoch).
+#[inline]
+pub(crate) fn current_epoch() -> u64 {
+    crate::now_ns() / EPOCH_NS
+}
+
+#[inline]
+fn live() -> bool {
+    cfg!(feature = "enabled")
+}
+
+// ---------------------------------------------------------------------------
+// Windowed counter
+// ---------------------------------------------------------------------------
+
+struct CounterSlot {
+    epoch: AtomicU64,
+    count: AtomicU64,
+}
+
+impl CounterSlot {
+    fn new() -> Self {
+        CounterSlot {
+            epoch: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A counter whose per-second rate over the recent window is queryable
+/// while the process runs. Cheap to clone (`Arc`-backed).
+#[derive(Clone)]
+pub struct WindowedCounter(Arc<[CounterSlot; SLOTS]>);
+
+impl WindowedCounter {
+    fn new() -> Self {
+        WindowedCounter(Arc::new(std::array::from_fn(|_| CounterSlot::new())))
+    }
+
+    /// Add `n` to the current epoch's slot. Lock-free; no-op when the
+    /// `enabled` cargo feature is compiled out.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !live() {
+            return;
+        }
+        self.add_at_epoch(current_epoch(), n);
+    }
+
+    /// Add 1 to the current epoch's slot.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Deterministic test hook: record at an explicit epoch number.
+    pub fn add_at_epoch(&self, epoch: u64, n: u64) {
+        let slot = &self.0[(epoch % SLOTS as u64) as usize];
+        claim(&slot.epoch, epoch, || slot.count.store(0, Ordering::Release));
+        slot.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Events per second over the trailing window ending at the current
+    /// epoch (inclusive).
+    pub fn rate(&self) -> f64 {
+        self.rate_at_epoch(current_epoch())
+    }
+
+    /// Deterministic test hook: rate as observed from `now_epoch`.
+    pub fn rate_at_epoch(&self, now_epoch: u64) -> f64 {
+        let lo = now_epoch.saturating_sub(WINDOW_EPOCHS - 1);
+        let mut total = 0u64;
+        for slot in self.0.iter() {
+            let e = slot.epoch.load(Ordering::Acquire);
+            if e >= lo && e <= now_epoch {
+                total += slot.count.load(Ordering::Relaxed);
+            }
+        }
+        total as f64 / WINDOW_EPOCHS as f64
+    }
+
+    fn zero(&self) {
+        for slot in self.0.iter() {
+            slot.epoch.store(0, Ordering::Release);
+            slot.count.store(0, Ordering::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Windowed histogram
+// ---------------------------------------------------------------------------
+
+struct HistSlot {
+    epoch: AtomicU64,
+    count: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl HistSlot {
+    fn new() -> Self {
+        HistSlot {
+            epoch: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn zero_counts(&self) {
+        self.count.store(0, Ordering::Release);
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Release);
+        }
+    }
+}
+
+/// A histogram whose p50/p95/p99 over the recent window are queryable
+/// while the process runs. Buckets follow the same log-linear layout as
+/// the cumulative [`crate::Histogram`] (≤ ~6.25% relative error).
+#[derive(Clone)]
+pub struct WindowedHistogram(Arc<[HistSlot; SLOTS]>);
+
+impl WindowedHistogram {
+    fn new() -> Self {
+        WindowedHistogram(Arc::new(std::array::from_fn(|_| HistSlot::new())))
+    }
+
+    /// Record one sample into the current epoch's slot. Lock-free; no-op
+    /// when the `enabled` cargo feature is compiled out.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !live() {
+            return;
+        }
+        self.record_at_epoch(current_epoch(), v);
+    }
+
+    /// Deterministic test hook: record at an explicit epoch number.
+    pub fn record_at_epoch(&self, epoch: u64, v: u64) {
+        let slot = &self.0[(epoch % SLOTS as u64) as usize];
+        claim(&slot.epoch, epoch, || slot.zero_counts());
+        slot.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Percentile snapshot over the trailing window ending at the current
+    /// epoch (inclusive).
+    pub fn snapshot(&self) -> WindowedHistogramSnapshot {
+        self.snapshot_at_epoch(current_epoch())
+    }
+
+    /// Deterministic test hook: snapshot as observed from `now_epoch`.
+    pub fn snapshot_at_epoch(&self, now_epoch: u64) -> WindowedHistogramSnapshot {
+        let lo = now_epoch.saturating_sub(WINDOW_EPOCHS - 1);
+        let mut merged = vec![0u64; NBUCKETS];
+        let mut count = 0u64;
+        for slot in self.0.iter() {
+            let e = slot.epoch.load(Ordering::Acquire);
+            if e >= lo && e <= now_epoch {
+                count += slot.count.load(Ordering::Relaxed);
+                for (m, b) in merged.iter_mut().zip(slot.buckets.iter()) {
+                    *m += b.load(Ordering::Relaxed);
+                }
+            }
+        }
+        if count == 0 {
+            return WindowedHistogramSnapshot::default();
+        }
+        let pct = |q: f64| -> u64 {
+            let target = ((q * count as f64).ceil() as u64).max(1);
+            let mut cum = 0u64;
+            for (i, &c) in merged.iter().enumerate() {
+                cum += c;
+                if cum >= target {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(NBUCKETS - 1)
+        };
+        WindowedHistogramSnapshot {
+            count,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+
+    fn zero(&self) {
+        for slot in self.0.iter() {
+            slot.epoch.store(0, Ordering::Release);
+            slot.zero_counts();
+        }
+    }
+}
+
+/// Windowed percentile snapshot: count of samples in the window plus
+/// approximate p50/p95/p99. All zero when the window is empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowedHistogramSnapshot {
+    /// Samples inside the window.
+    pub count: u64,
+    /// ~50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// ~95th percentile.
+    pub p95: u64,
+    /// ~99th percentile.
+    pub p99: u64,
+}
+
+/// CAS-claim `slot_epoch` for `epoch`, running `reset` exactly once on the
+/// winning thread. A slot already at a *newer* epoch is left alone — the
+/// caller's sample lands there (skew tolerance, ≤ 1 epoch misattribution).
+#[inline]
+fn claim(slot_epoch: &AtomicU64, epoch: u64, reset: impl FnOnce()) {
+    let seen = slot_epoch.load(Ordering::Acquire);
+    if seen < epoch
+        && slot_epoch
+            .compare_exchange(seen, epoch, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    {
+        reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+enum Windowed {
+    Counter(WindowedCounter),
+    Histogram(WindowedHistogram),
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Windowed>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Windowed>> {
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Fetch (registering on first use) the windowed counter named `name`.
+pub fn windowed_counter(name: &'static str) -> WindowedCounter {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Windowed::Counter(WindowedCounter::new()))
+    {
+        Windowed::Counter(c) => c.clone(),
+        // Name/kind mismatch: detached handle, mirrors `metrics::counter`.
+        _ => WindowedCounter::new(),
+    }
+}
+
+/// Fetch (registering on first use) the windowed histogram named `name`.
+pub fn windowed_histogram(name: &'static str) -> WindowedHistogram {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Windowed::Histogram(WindowedHistogram::new()))
+    {
+        Windowed::Histogram(h) => h.clone(),
+        _ => WindowedHistogram::new(),
+    }
+}
+
+/// One named windowed aggregate in a [`WindowSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowEntry {
+    /// Metric name (`crate.subsystem.name`).
+    pub name: &'static str,
+    /// Snapshotted windowed value.
+    pub value: WindowValue,
+}
+
+/// Snapshotted value of a windowed aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowValue {
+    /// Events per second over the window.
+    Rate(f64),
+    /// Windowed percentile snapshot.
+    Histogram(WindowedHistogramSnapshot),
+}
+
+/// A point-in-time snapshot of every registered windowed aggregate,
+/// sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowSnapshot {
+    /// Entries sorted by metric name.
+    pub entries: Vec<WindowEntry>,
+}
+
+impl WindowSnapshot {
+    /// Look up a rate by name.
+    pub fn rate(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find_map(|e| match (&e.value, e.name) {
+            (WindowValue::Rate(r), n) if n == name => Some(*r),
+            _ => None,
+        })
+    }
+
+    /// Look up a windowed histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<WindowedHistogramSnapshot> {
+        self.entries.iter().find_map(|e| match (&e.value, e.name) {
+            (WindowValue::Histogram(h), n) if n == name => Some(*h),
+            _ => None,
+        })
+    }
+}
+
+/// Snapshot every registered windowed aggregate as observed right now.
+pub fn window_snapshot() -> WindowSnapshot {
+    let now = current_epoch();
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let entries = reg
+        .iter()
+        .map(|(&name, w)| WindowEntry {
+            name,
+            value: match w {
+                Windowed::Counter(c) => WindowValue::Rate(c.rate_at_epoch(now)),
+                Windowed::Histogram(h) => WindowValue::Histogram(h.snapshot_at_epoch(now)),
+            },
+        })
+        .collect();
+    WindowSnapshot { entries }
+}
+
+pub(crate) fn reset() {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    // Zero in place so cached handles stay valid, mirroring metrics::reset.
+    for w in reg.values() {
+        match w {
+            Windowed::Counter(c) => c.zero(),
+            Windowed::Histogram(h) => h.zero(),
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Windowed-aggregate tests: epoch-ring rollover, monotonic clock skew
+//! tolerance, empty-window percentiles, cross-thread contention, and a
+//! property test of the window-sum model.
+//!
+//! All tests drive explicit epoch numbers through the `*_at_epoch` hooks
+//! so nothing depends on wall-clock timing. The windowed registry is
+//! process-global, so tests serialize on `LOCK` (the same convention as
+//! `tests/obs.rs`) and use per-test metric names.
+
+use std::sync::Mutex;
+
+use certnn_obs::{windowed_counter, windowed_histogram, WINDOW_EPOCHS};
+use proptest::prelude::*;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn rate_counts_only_the_trailing_window() {
+    let _g = guard();
+    let c = windowed_counter("test.win.trailing");
+    c.add_at_epoch(100, 30);
+    c.add_at_epoch(104, 40);
+    // Epoch 100 is inside the window seen from 104 ([95, 104])...
+    assert_eq!(c.rate_at_epoch(104), 70.0 / WINDOW_EPOCHS as f64);
+    // ...but outside the window seen from 111 ([102, 111]).
+    assert_eq!(c.rate_at_epoch(111), 40.0 / WINDOW_EPOCHS as f64);
+}
+
+#[test]
+fn ring_rollover_reclaims_slots_without_double_counting() {
+    let _g = guard();
+    let c = windowed_counter("test.win.rollover");
+    // Epochs 5 and 5+16 share a ring slot; the newer epoch must evict the
+    // older count, not add to it.
+    c.add_at_epoch(5, 1000);
+    c.add_at_epoch(21, 7);
+    assert_eq!(c.rate_at_epoch(21), 7.0 / WINDOW_EPOCHS as f64);
+    // Several laps around the ring stay exact.
+    for lap in 0..10u64 {
+        c.add_at_epoch(21 + lap * 16, 1);
+    }
+    let last = 21 + 9 * 16;
+    assert_eq!(c.rate_at_epoch(last), 1.0 / WINDOW_EPOCHS as f64);
+}
+
+#[test]
+fn clock_skew_laggard_is_attributed_to_the_newer_epoch() {
+    let _g = guard();
+    let c = windowed_counter("test.win.skew");
+    // A thread that computed epoch 4 arrives after the shared slot
+    // (4 % 16 == 20 % 16) was claimed for epoch 20. Its count must land
+    // in the epoch-20 slot — visible from "now", never resurrecting the
+    // stale epoch and never lost.
+    c.add_at_epoch(20, 3);
+    c.add_at_epoch(4, 2);
+    assert_eq!(c.rate_at_epoch(20), 5.0 / WINDOW_EPOCHS as f64);
+    // Skew by one epoch within the window behaves the same way.
+    let h = windowed_histogram("test.win.skew_hist");
+    h.record_at_epoch(50, 100);
+    h.record_at_epoch(49, 100);
+    assert_eq!(h.snapshot_at_epoch(50).count, 2);
+}
+
+#[test]
+fn empty_window_percentiles_are_zero() {
+    let _g = guard();
+    let h = windowed_histogram("test.win.empty");
+    let snap = h.snapshot_at_epoch(1000);
+    assert_eq!(snap.count, 0);
+    assert_eq!((snap.p50, snap.p95, snap.p99), (0, 0, 0));
+    // A histogram whose samples have all aged out is empty again.
+    h.record_at_epoch(10, 42);
+    assert_eq!(h.snapshot_at_epoch(10).count, 1);
+    assert_eq!(h.snapshot_at_epoch(10 + WINDOW_EPOCHS).count, 0);
+    let c = windowed_counter("test.win.empty_rate");
+    assert_eq!(c.rate_at_epoch(1000), 0.0);
+}
+
+#[test]
+fn windowed_percentiles_track_the_distribution() {
+    let _g = guard();
+    let h = windowed_histogram("test.win.pct");
+    for _ in 0..95 {
+        h.record_at_epoch(7, 10);
+    }
+    for _ in 0..5 {
+        h.record_at_epoch(7, 1_000_000);
+    }
+    let snap = h.snapshot_at_epoch(7);
+    assert_eq!(snap.count, 100);
+    // Values < 16 land in exact unit buckets.
+    assert_eq!(snap.p50, 10);
+    assert_eq!(snap.p95, 10);
+    // p99 lands in the 1e6 bucket: within the 6.25% log-linear error.
+    assert!(snap.p99 >= 1_000_000 && snap.p99 <= 1_070_000, "p99={}", snap.p99);
+}
+
+#[test]
+fn cross_thread_recording_is_exact_within_an_epoch() {
+    let _g = guard();
+    let c = windowed_counter("test.win.contend");
+    let h = windowed_histogram("test.win.contend_hist");
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    // All records target one fixed epoch, so the CAS claim races (the
+    // only lossy path) cannot fire and totals must be exact.
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = c.clone();
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.add_at_epoch(33, 1);
+                    h.record_at_epoch(33, i % 64);
+                }
+            });
+        }
+    });
+    let expect = (THREADS as u64 * PER_THREAD) as f64 / WINDOW_EPOCHS as f64;
+    assert_eq!(c.rate_at_epoch(33), expect);
+    assert_eq!(h.snapshot_at_epoch(33).count, THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn registry_returns_shared_handles() {
+    let _g = guard();
+    let a = windowed_counter("test.win.shared");
+    let b = windowed_counter("test.win.shared");
+    a.add_at_epoch(60, 4);
+    b.add_at_epoch(60, 6);
+    assert_eq!(a.rate_at_epoch(60), 1.0);
+    let snap = certnn_obs::window_snapshot();
+    assert!(snap.entries.iter().any(|e| e.name == "test.win.shared"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Model check: because SLOTS (16) exceeds WINDOW_EPOCHS (10), slot
+    // reuse can never evict an epoch that is still inside the snapshot
+    // window — so for any nondecreasing record schedule, the observed
+    // rate equals the plain sum over the trailing window.
+    #[test]
+    fn rate_matches_window_sum_model(
+        deltas in prop::collection::vec((0u64..4, 1u64..100), 1..40),
+    ) {
+        let _g = guard();
+        // Leak a unique name: the registry wants 'static, and each case
+        // must not see a previous case's slots.
+        static CASE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let case = CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let name: &'static str = Box::leak(format!("test.win.prop.{case}").into_boxed_str());
+        let c = windowed_counter(name);
+        let mut epoch = 0u64;
+        let mut log: Vec<(u64, u64)> = Vec::new();
+        for &(step, n) in &deltas {
+            epoch += step;
+            c.add_at_epoch(epoch, n);
+            log.push((epoch, n));
+        }
+        let lo = epoch.saturating_sub(WINDOW_EPOCHS - 1);
+        let expect: u64 = log
+            .iter()
+            .filter(|(e, _)| *e >= lo && *e <= epoch)
+            .map(|(_, n)| n)
+            .sum();
+        prop_assert_eq!(c.rate_at_epoch(epoch), expect as f64 / WINDOW_EPOCHS as f64);
+    }
+}

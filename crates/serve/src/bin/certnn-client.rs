@@ -17,6 +17,14 @@
 //! - `watch JOB` — streams progress events until the job finishes.
 //! - `cancel JOB` — cancels a queued or running job.
 //! - `stats` — prints the daemon's serve-layer counters.
+//! - `metrics [--watch] [--interval-ms N]` — prints the daemon's live
+//!   telemetry: gauges, cumulative counters, windowed per-second rates
+//!   and p50/p95/p99, and recent events. `--watch` reprints every
+//!   interval (default 1000 ms) until interrupted.
+//! - `flight JOB` — prints a job's flight recorder (span tree,
+//!   checkpoint/phase profile, degradations); works on live jobs and,
+//!   for finished jobs, on the log persisted next to the certificate —
+//!   including after a daemon restart.
 //! - `shutdown` — asks the daemon to drain and exit.
 
 #![warn(clippy::unwrap_used)]
@@ -57,7 +65,7 @@ fn main() {
         fail("--addr HOST:PORT is required");
     }
     let Some(command) = rest.first().cloned() else {
-        fail("missing command (submit/status/result/watch/cancel/stats/shutdown)");
+        fail("missing command (submit/status/result/watch/cancel/stats/metrics/flight/shutdown)");
     };
     let mut client = Client::connect(addr.as_str())
         .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
@@ -127,6 +135,30 @@ fn run(client: &mut Client, command: &str, args: &[String]) -> Result<(), ServeE
             for (name, value) in client.stats()? {
                 println!("{name:<28} {value}");
             }
+            Ok(())
+        }
+        "metrics" => {
+            let watch = args.contains(&"--watch".to_string());
+            let mut interval_ms = 1000u64;
+            if let Some(pos) = args.iter().position(|a| a == "--interval-ms") {
+                interval_ms = args
+                    .get(pos + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("--interval-ms needs an integer"));
+            }
+            loop {
+                let m = client.metrics()?;
+                print_metrics(&m);
+                if !watch {
+                    return Ok(());
+                }
+                std::thread::sleep(Duration::from_millis(interval_ms.max(100)));
+                println!();
+            }
+        }
+        "flight" => {
+            let log = client.flight(parse_job(args))?;
+            print_flight(&log);
             Ok(())
         }
         "shutdown" => {
@@ -205,6 +237,66 @@ fn submit(client: &mut Client, args: &[String]) -> Result<(), ServeError> {
         }
     }
     Ok(())
+}
+
+fn print_metrics(m: &certnn_serve::protocol::LiveMetrics) {
+    println!(
+        "uptime {:.1}s  queue {}  workers {}/{}  cache hit ratio {:.2}",
+        m.uptime_ns as f64 * 1e-9,
+        m.queue_depth,
+        m.workers_busy,
+        m.workers_total,
+        m.cache_hit_ratio
+    );
+    println!("counters:");
+    for (name, v) in &m.counters {
+        println!("  {name:<28} {v}");
+    }
+    if !m.rates.is_empty() {
+        println!("rates (last 10 s, events/s):");
+        for (name, r) in &m.rates {
+            println!("  {name:<28} {r:.2}");
+        }
+    }
+    if !m.windows.is_empty() {
+        println!("windows (last 10 s, ns):");
+        for (name, w) in &m.windows {
+            println!(
+                "  {name:<28} n={} p50={} p95={} p99={}",
+                w.count, w.p50, w.p95, w.p99
+            );
+        }
+    }
+    if !m.events.is_empty() {
+        println!("recent events:");
+        for (t_ns, name) in &m.events {
+            println!("  [{:>9.3}s] {name}", *t_ns as f64 * 1e-9);
+        }
+    }
+}
+
+fn print_flight(log: &certnn_serve::flight::FlightLog) {
+    println!(
+        "flight log for key {:016x} (trace {:016x}, {} events{})",
+        log.key,
+        log.trace_id,
+        log.events.len(),
+        if log.truncated > 0 {
+            format!(", {} truncated", log.truncated)
+        } else {
+            String::new()
+        }
+    );
+    for ev in &log.events {
+        println!(
+            "  [{:>9.3}s] {:<11} a={} b={} {}",
+            ev.t_ns as f64 * 1e-9,
+            ev.kind.as_str(),
+            ev.a,
+            ev.b,
+            ev.detail
+        );
+    }
 }
 
 fn print_outcome(o: &certnn_serve::protocol::JobOutcome) {

@@ -1,7 +1,8 @@
 //! The verification daemon.
 //!
 //! Usage: `certnn-serve [--addr HOST:PORT] [--dir DIR] [--workers N]
-//! [--checkpoint-every N] [--port-file FILE] [--metrics] [--trace FILE]`
+//! [--checkpoint-every N] [--port-file FILE] [--metrics] [--trace FILE]
+//! [--prom HOST:PORT]`
 //!
 //! Binds `--addr` (default `127.0.0.1:0`; port `0` picks a free port —
 //! the bound address is printed and, with `--port-file`, written
@@ -16,6 +17,12 @@
 //! parking in-flight jobs via their checkpoints — and exits. With
 //! `--metrics` the final observability snapshot is printed on exit;
 //! `--trace FILE` writes the span/event log as JSON lines.
+//!
+//! `--prom HOST:PORT` additionally serves the live telemetry as
+//! Prometheus text exposition over plain HTTP — any `GET` answers, no
+//! scrape configuration beyond the address is needed. Live `METRICS`
+//! wire queries (`certnn-client metrics`, `certnn-top`) work regardless
+//! of `--metrics`.
 
 #![warn(clippy::unwrap_used)]
 
@@ -57,6 +64,10 @@ fn main() {
                 i += 1;
                 trace_path = Some(PathBuf::from(&args[i]));
             }
+            "--prom" => {
+                i += 1;
+                options.prom_addr = Some(args[i].clone());
+            }
             "--metrics" => want_metrics = true,
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -83,6 +94,9 @@ fn main() {
         }
     };
     println!("certnn-serve listening on {}", server.addr());
+    if let Some(prom) = server.prom_addr() {
+        println!("prometheus exposition on http://{prom}/metrics");
+    }
     if let Some(path) = port_file {
         // Publish atomically so a polling script never reads a torn
         // address.

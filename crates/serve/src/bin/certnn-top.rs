@@ -1,0 +1,207 @@
+//! `certnn-top` — a self-refreshing terminal dashboard for a running
+//! `certnn-serve` daemon.
+//!
+//! Usage: `certnn-top --addr HOST:PORT [--interval-ms N] [--once] [JOB...]`
+//!
+//! Polls the daemon's `METRICS` frame every interval (default 1000 ms)
+//! and redraws a plain-ANSI dashboard: worker utilization, queue depth,
+//! cache hit ratio, windowed per-second rates and p50/p95/p99 latencies
+//! over the last 10 seconds, and the daemon's recent `serve.*` events.
+//! Any job ids given as positional arguments are additionally `WATCH`ed
+//! on dedicated connections and shown as live per-job progress lines.
+//!
+//! `--once` renders a single frame without clearing the screen (useful
+//! in scripts and CI). No external dependencies: the screen is driven
+//! with raw ANSI escapes, the wire with the workspace client.
+
+#![warn(clippy::unwrap_used)]
+
+use certnn_serve::client::Client;
+use certnn_serve::protocol::{JobState, LiveMetrics};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Latest known progress of one watched job.
+#[derive(Debug, Clone)]
+struct JobLine {
+    state: JobState,
+    nodes: u64,
+    detail: String,
+    finished: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = String::new();
+    let mut interval_ms = 1000u64;
+    let mut once = false;
+    let mut jobs: Vec<u64> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("--addr needs a value"))
+                    .clone();
+            }
+            "--interval-ms" => {
+                i += 1;
+                interval_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("--interval-ms needs an integer"));
+            }
+            "--once" => once = true,
+            other => match other.parse::<u64>() {
+                Ok(job) => jobs.push(job),
+                Err(_) => fail(&format!("unknown argument `{other}`")),
+            },
+        }
+        i += 1;
+    }
+    if addr.is_empty() {
+        fail("--addr HOST:PORT is required");
+    }
+
+    // Each watched job gets its own connection: WATCH streams until the
+    // job finishes, so it cannot share the metrics-polling connection.
+    let watched: Arc<Mutex<BTreeMap<u64, JobLine>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    for job in jobs {
+        let addr = addr.clone();
+        let watched = Arc::clone(&watched);
+        std::thread::spawn(move || {
+            let Ok(mut client) = Client::connect(addr.as_str()) else {
+                return;
+            };
+            let update = |line: JobLine| {
+                watched
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(job, line);
+            };
+            let result = client.watch(job, |ev| {
+                update(JobLine {
+                    state: ev.state,
+                    nodes: ev.nodes,
+                    detail: ev.detail.clone(),
+                    finished: false,
+                });
+            });
+            let detail = match result {
+                Ok(outcome) => format!("upper bound {:.6}", outcome.upper_bound),
+                Err(e) => format!("{e}"),
+            };
+            let mut map = watched.lock().unwrap_or_else(|e| e.into_inner());
+            let entry = map.entry(job).or_insert(JobLine {
+                state: JobState::Done,
+                nodes: 0,
+                detail: String::new(),
+                finished: true,
+            });
+            entry.finished = true;
+            entry.detail = detail;
+        });
+    }
+
+    let mut client = Client::connect(addr.as_str())
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    loop {
+        let metrics = match client.metrics() {
+            Ok(m) => m,
+            Err(e) => fail(&format!("metrics poll failed: {e}")),
+        };
+        let frame = render(&addr, &metrics, &watched.lock().unwrap_or_else(|e| e.into_inner()));
+        if once {
+            print!("{frame}");
+            return;
+        }
+        // Clear + home, then the frame; a trailing clear-to-end removes
+        // leftovers from a previously taller frame.
+        print!("\x1b[H\x1b[2J{frame}\x1b[0J");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_millis(interval_ms.max(100)));
+    }
+}
+
+/// A `[####----]`-style utilization bar.
+fn bar(used: u64, total: u64, width: usize) -> String {
+    let filled = if total == 0 {
+        0
+    } else {
+        ((used as f64 / total as f64) * width as f64).round() as usize
+    }
+    .min(width);
+    format!("[{}{}]", "#".repeat(filled), "-".repeat(width - filled))
+}
+
+fn render(addr: &str, m: &LiveMetrics, watched: &BTreeMap<u64, JobLine>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let bold = "\x1b[1m";
+    let dim = "\x1b[2m";
+    let reset = "\x1b[0m";
+    let _ = writeln!(
+        out,
+        "{bold}certnn-top{reset} — {addr}   up {:.0}s",
+        m.uptime_ns as f64 * 1e-9
+    );
+    let _ = writeln!(
+        out,
+        "workers {} {}/{}   queue {}   cache hit ratio {:.2}",
+        bar(m.workers_busy, m.workers_total, 16),
+        m.workers_busy,
+        m.workers_total,
+        m.queue_depth,
+        m.cache_hit_ratio
+    );
+    let _ = writeln!(out, "\n{bold}rates (last 10 s){reset}");
+    let mut any = false;
+    for (name, r) in &m.rates {
+        if *r > 0.0 {
+            any = true;
+            let _ = writeln!(out, "  {name:<28} {r:>8.2}/s");
+        }
+    }
+    if !any {
+        let _ = writeln!(out, "  {dim}(idle){reset}");
+    }
+    if !m.windows.is_empty() {
+        let _ = writeln!(out, "\n{bold}latencies (last 10 s){reset}");
+        for (name, w) in &m.windows {
+            let _ = writeln!(
+                out,
+                "  {name:<28} n={:<6} p50={:<12} p95={:<12} p99={}",
+                w.count, w.p50, w.p95, w.p99
+            );
+        }
+    }
+    if !watched.is_empty() {
+        let _ = writeln!(out, "\n{bold}watched jobs{reset}");
+        for (job, line) in watched {
+            let _ = writeln!(
+                out,
+                "  job {job:<6} {:<9} nodes={:<10} {}{}",
+                line.state.as_str(),
+                line.nodes,
+                line.detail,
+                if line.finished { "  *" } else { "" }
+            );
+        }
+    }
+    if !m.events.is_empty() {
+        let _ = writeln!(out, "\n{bold}recent events{reset}");
+        for (t_ns, name) in m.events.iter().rev().take(8) {
+            let _ = writeln!(out, "  {dim}[{:>9.3}s]{reset} {name}", *t_ns as f64 * 1e-9);
+        }
+    }
+    out
+}

@@ -24,6 +24,7 @@
 //! re-queues every spooled job and resumes its branch-and-bound from the
 //! query's checkpoint.
 
+use crate::flight::{decode_flight, encode_flight, FlightLog};
 use crate::protocol::{decode_outcome, decode_request, encode_outcome, encode_request, JobOutcome, JobRequest};
 use crate::wire::{Dec, Enc, ProtocolError};
 use certnn_verify::checkpoint::Fnv1a;
@@ -35,6 +36,8 @@ use std::path::{Path, PathBuf};
 const CERT_MAGIC: [u8; 4] = *b"CNCE";
 /// Magic of a spooled job.
 const JOB_MAGIC: [u8; 4] = *b"CNJB";
+/// Magic of a persisted flight log.
+const FLIGHT_MAGIC: [u8; 4] = *b"CNFL";
 /// On-disk format version of both stores. Version 2 embeds the full
 /// request in every certificate entry so a served certificate is
 /// provably for the submitted query, not merely for a colliding key.
@@ -49,7 +52,7 @@ pub enum Miss {
     Corrupt,
 }
 
-fn seal(magic: [u8; 4], body: &[u8]) -> Vec<u8> {
+pub(crate) fn seal(magic: [u8; 4], body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(body.len() + 16);
     out.extend_from_slice(&magic);
     out.extend_from_slice(&STORE_VERSION.to_le_bytes());
@@ -60,7 +63,7 @@ fn seal(magic: [u8; 4], body: &[u8]) -> Vec<u8> {
     out
 }
 
-fn unseal(magic: [u8; 4], bytes: &[u8]) -> Result<&[u8], ProtocolError> {
+pub(crate) fn unseal(magic: [u8; 4], bytes: &[u8]) -> Result<&[u8], ProtocolError> {
     if bytes.len() < 16 {
         return Err(ProtocolError::Truncated { wanted: 16 });
     }
@@ -210,6 +213,43 @@ impl Store {
                 Err(Miss::Corrupt)
             }
         }
+    }
+
+    /// Path of the persisted flight log for `key`.
+    pub fn flight_path(&self, key: u64) -> PathBuf {
+        self.cache_dir.join(format!("f{key:016x}.flight"))
+    }
+
+    /// Persists a job's flight log atomically next to its certificate,
+    /// so the audit trail of how a cached verdict was produced survives
+    /// daemon restarts.
+    ///
+    /// # Errors
+    ///
+    /// I/O error from the filesystem.
+    pub fn put_flight(&self, log: &FlightLog) -> std::io::Result<()> {
+        let mut e = Enc::new();
+        encode_flight(&mut e, log);
+        write_atomic(&self.flight_path(log.key), &seal(FLIGHT_MAGIC, &e.0))
+    }
+
+    /// Loads the persisted flight log for `key`. `None` when absent; a
+    /// corrupt or truncated log is deleted and reported as absent —
+    /// flight logs are audit telemetry, losing one never blocks serving
+    /// the (independently checksummed) certificate.
+    pub fn get_flight(&self, key: u64) -> Option<FlightLog> {
+        let path = self.flight_path(key);
+        let bytes = fs::read(&path).ok()?;
+        let decoded = unseal(FLIGHT_MAGIC, &bytes).ok().and_then(|body| {
+            let mut d = Dec::new(body);
+            let log = decode_flight(&mut d).ok()?;
+            d.finish().ok()?;
+            Some(log)
+        });
+        if decoded.is_none() {
+            let _ = fs::remove_file(&path);
+        }
+        decoded
     }
 
     /// Spools an accepted job so a restarted daemon can resume it.

@@ -5,9 +5,11 @@
 //! small and blocking: the daemon is the concurrent party; callers that
 //! want parallel submissions open several clients.
 
-use crate::protocol::{Disposition, JobOutcome, JobRequest, JobState, Msg};
+use crate::flight::FlightLog;
+use crate::protocol::{Disposition, JobOutcome, JobRequest, JobState, LiveMetrics, Msg};
 use crate::wire::{read_frame, write_frame};
 use crate::ServeError;
+use certnn_obs::SpanContext;
 use std::io::Write as _;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -86,13 +88,29 @@ impl Client {
         }
     }
 
-    /// Submits a job.
+    /// Submits a job. When observability is live the submission carries
+    /// this process's span context, so the daemon's solve spans parent
+    /// under the caller's trace.
     ///
     /// # Errors
     ///
     /// [`ServeError`] on wire failure or a typed server rejection.
     pub fn submit(&mut self, req: &JobRequest) -> Result<Submitted, ServeError> {
-        self.send(&Msg::Submit(Box::new(req.clone())))?;
+        let ctx = certnn_obs::current_span_id().map(SpanContext::new_root);
+        self.submit_traced(req, ctx)
+    }
+
+    /// Submits a job under an explicit span context (`None` = untraced).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on wire failure or a typed server rejection.
+    pub fn submit_traced(
+        &mut self,
+        req: &JobRequest,
+        ctx: Option<SpanContext>,
+    ) -> Result<Submitted, ServeError> {
+        self.send(&Msg::Submit { req: Box::new(req.clone()), ctx })?;
         match self.recv_ok()? {
             Msg::Submitted { job, key, disposition } => Ok(Submitted { job, key, disposition }),
             _ => Err(ServeError::UnexpectedReply("expected SUBMITTED")),
@@ -204,6 +222,34 @@ impl Client {
         match self.recv_ok()? {
             Msg::StatsReply { entries } => Ok(entries),
             _ => Err(ServeError::UnexpectedReply("expected STATS_REPLY")),
+        }
+    }
+
+    /// Fetches the daemon's live telemetry snapshot: cumulative
+    /// counters, queue/worker/cache gauges, windowed rates and
+    /// percentiles, and recent `serve.*` events.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on wire failure.
+    pub fn metrics(&mut self) -> Result<LiveMetrics, ServeError> {
+        self.send(&Msg::Metrics)?;
+        match self.recv_ok()? {
+            Msg::MetricsReply(m) => Ok(*m),
+            _ => Err(ServeError::UnexpectedReply("expected METRICS_REPLY")),
+        }
+    }
+
+    /// Fetches a job's flight recorder log.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on wire failure or an unknown job.
+    pub fn flight(&mut self, job: u64) -> Result<FlightLog, ServeError> {
+        self.send(&Msg::Flight { job })?;
+        match self.recv_ok()? {
+            Msg::FlightReply(log) => Ok(*log),
+            _ => Err(ServeError::UnexpectedReply("expected FLIGHT_REPLY")),
         }
     }
 

@@ -24,6 +24,13 @@
 //! - [`fleet`] — [`fleet::run_fleet_over`]: the certification fleet of
 //!   the paper's case study, executed over the wire with bit-identical
 //!   verdicts to the in-process [`certnn_core::fleet::run_fleet`].
+//! - [`flight`] — bounded per-job flight recorders: span tree,
+//!   degradation transitions, checkpoint activity and phase profile,
+//!   retrievable over the wire (`FLIGHT`) and persisted next to the
+//!   certificate so audits survive restarts.
+//! - [`prom`] — Prometheus text exposition of the daemon's live
+//!   telemetry (`METRICS` over the CNSF wire, or plain HTTP via
+//!   `--prom`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +39,8 @@
 pub mod cache;
 pub mod client;
 pub mod fleet;
+pub mod flight;
+pub mod prom;
 pub mod protocol;
 pub mod server;
 pub mod wire;

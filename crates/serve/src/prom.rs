@@ -1,0 +1,154 @@
+//! Prometheus text exposition for the daemon's live telemetry.
+//!
+//! [`render_prometheus`] maps a [`LiveMetrics`] snapshot onto the
+//! Prometheus text format (version 0.0.4): cumulative counters become
+//! `certnn_<name>_total` counters, windowed rates become
+//! `certnn_<name>_per_second` gauges, and windowed percentiles become
+//! `quantile`-labelled gauges — all over plain HTTP/1.0 GET (the server
+//! side lives in [`crate::server`]), so any standard scraper works
+//! without touching the binary CNSF protocol.
+//!
+//! [`parse_check`] is a strict line validator for the exposition format,
+//! used by the unit tests and the CI telemetry leg to prove the endpoint
+//! emits parseable text rather than eyeballing it.
+
+use crate::protocol::LiveMetrics;
+use std::fmt::Write as _;
+
+/// Maps a metric name (`serve.jobs_submitted`) onto a legal Prometheus
+/// metric name fragment (`serve_jobs_submitted`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+fn gauge(out: &mut String, name: &str, value: f64) {
+    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+}
+
+/// Renders a live snapshot as Prometheus text exposition.
+pub fn render_prometheus(m: &LiveMetrics) -> String {
+    let mut out = String::new();
+    gauge(&mut out, "certnn_serve_up", 1.0);
+    gauge(&mut out, "certnn_serve_uptime_seconds", m.uptime_ns as f64 * 1e-9);
+    gauge(&mut out, "certnn_serve_queue_depth", m.queue_depth as f64);
+    gauge(&mut out, "certnn_serve_workers_total", m.workers_total as f64);
+    gauge(&mut out, "certnn_serve_workers_busy", m.workers_busy as f64);
+    gauge(&mut out, "certnn_serve_cache_hit_ratio", m.cache_hit_ratio);
+    for (name, v) in &m.counters {
+        let n = format!("certnn_{}_total", sanitize(name));
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (name, v) in &m.rates {
+        gauge(&mut out, &format!("certnn_{}_per_second", sanitize(name)), *v);
+    }
+    for (name, w) in &m.windows {
+        let n = format!("certnn_{}_window", sanitize(name));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", w.p50);
+        let _ = writeln!(out, "{n}{{quantile=\"0.95\"}} {}", w.p95);
+        let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", w.p99);
+        let _ = writeln!(out, "{n}_count {}", w.count);
+    }
+    out
+}
+
+/// Strict validator of Prometheus text exposition. Returns the number of
+/// samples on success, or a description of the first offending line.
+///
+/// # Errors
+///
+/// A `(line number, reason)` rendering when any line fails the format.
+pub fn parse_check(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let c = comment.trim_start();
+            if !(c.starts_with("TYPE ") || c.starts_with("HELP ")) {
+                return Err(format!("line {lineno}: comment is neither TYPE nor HELP"));
+            }
+            continue;
+        }
+        // `metric_name[{labels}] value`
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return Err(format!("line {lineno}: no space before value")),
+        };
+        if value_part.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: unparseable value {value_part:?}"));
+        }
+        let name = match name_part.split_once('{') {
+            Some((n, labels)) => {
+                let Some(labels) = labels.strip_suffix('}') else {
+                    return Err(format!("line {lineno}: unterminated label set"));
+                };
+                for pair in labels.split(',') {
+                    let Some((k, v)) = pair.split_once('=') else {
+                        return Err(format!("line {lineno}: label without '='"));
+                    };
+                    if k.is_empty() || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return Err(format!("line {lineno}: malformed label {pair:?}"));
+                    }
+                }
+                n
+            }
+            None => name_part,
+        };
+        let mut chars = name.chars();
+        let head_ok = chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+        if !head_ok || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+            return Err(format!("line {lineno}: illegal metric name {name:?}"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::WindowHist;
+
+    #[test]
+    fn rendered_exposition_passes_the_parse_check() {
+        let m = LiveMetrics {
+            uptime_ns: 2_500_000_000,
+            queue_depth: 3,
+            workers_total: 4,
+            workers_busy: 2,
+            cache_hit_ratio: 0.5,
+            counters: vec![("serve.jobs_submitted".into(), 12)],
+            rates: vec![("serve.frames_rx".into(), 1.75)],
+            windows: vec![(
+                "serve.job_wall_nanos".into(),
+                WindowHist { count: 9, p50: 10, p95: 90, p99: 99 },
+            )],
+            events: vec![(1, "serve.started".into())],
+        };
+        let text = render_prometheus(&m);
+        let samples = parse_check(&text).expect("valid exposition");
+        // 6 header gauges + 1 counter + 1 rate + 4 window samples.
+        assert_eq!(samples, 12);
+        assert!(text.contains("certnn_serve_jobs_submitted_total 12"));
+        assert!(text.contains("certnn_serve_job_wall_nanos_window{quantile=\"0.95\"} 90"));
+        // Dots never leak into metric names.
+        assert!(!text.contains("serve.jobs"));
+    }
+
+    #[test]
+    fn parse_check_rejects_malformed_lines() {
+        assert!(parse_check("bad metric\n").is_err()); // space inside name
+        assert!(parse_check("name notanumber\n").is_err());
+        assert!(parse_check("na-me 1\n").is_err());
+        assert!(parse_check("name{q=\"0.5\" 1\n").is_err());
+        assert!(parse_check("# FOO whatever\n").is_err());
+        assert_eq!(parse_check("# TYPE x counter\nx 1\nx{a=\"b\"} 2\n"), Ok(2));
+    }
+}

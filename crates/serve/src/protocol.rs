@@ -15,8 +15,10 @@
 //! degradation tag, byte-identical whether it came from a fresh solve,
 //! the certificate cache, or a resumed checkpoint.
 
+use crate::flight::{decode_flight, encode_flight, FlightLog};
 use crate::wire::{Dec, Enc, Frame, ProtocolError};
 use certnn_nn::network::Network;
+use certnn_obs::SpanContext;
 use certnn_nn::serialize::{from_text, to_text};
 use certnn_verify::bab::resolve_threads;
 use certnn_verify::checkpoint::{query_fingerprint, Fnv1a};
@@ -64,6 +66,14 @@ pub mod kind {
     pub const STATS: u8 = 14;
     /// Server → client: counter snapshot.
     pub const STATS_REPLY: u8 = 15;
+    /// Client → server: fetch the live telemetry snapshot.
+    pub const METRICS: u8 = 16;
+    /// Server → client: live telemetry snapshot.
+    pub const METRICS_REPLY: u8 = 17;
+    /// Client → server: fetch a job's flight recorder.
+    pub const FLIGHT: u8 = 18;
+    /// Server → client: flight recorder contents.
+    pub const FLIGHT_REPLY: u8 = 19;
 }
 
 /// Machine-readable codes carried by `ERROR` frames.
@@ -496,11 +506,59 @@ impl Disposition {
     }
 }
 
+/// Windowed percentile snapshot of one histogram as it crosses the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowHist {
+    /// Samples inside the window.
+    pub count: u64,
+    /// ~50th percentile.
+    pub p50: u64,
+    /// ~95th percentile.
+    pub p95: u64,
+    /// ~99th percentile.
+    pub p99: u64,
+}
+
+/// The live telemetry snapshot a `METRICS` frame returns: operational
+/// gauges, cumulative counters, sliding-window rates and percentiles,
+/// and the daemon's recent `serve.*` event ring.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LiveMetrics {
+    /// Nanoseconds since the daemon started.
+    pub uptime_ns: u64,
+    /// Jobs queued or running right now.
+    pub queue_depth: u64,
+    /// Worker threads in the pool.
+    pub workers_total: u64,
+    /// Workers currently solving.
+    pub workers_busy: u64,
+    /// `cache_hits / (cache_hits + cache_misses)` since start (`0` when
+    /// nothing was submitted yet).
+    pub cache_hit_ratio: f64,
+    /// Cumulative scalar counters (`serve.*`), name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Windowed counters as events-per-second over the sliding window,
+    /// name-sorted.
+    pub rates: Vec<(String, f64)>,
+    /// Windowed histogram percentiles, name-sorted.
+    pub windows: Vec<(String, WindowHist)>,
+    /// Recent daemon events: `(nanos since start, text)`, oldest first.
+    pub events: Vec<(u64, String)>,
+}
+
 /// One decoded protocol message (either direction).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
-    /// Submit a job.
-    Submit(Box<JobRequest>),
+    /// Submit a job, optionally carrying the client's span context so
+    /// daemon-side spans parent under the client's trace.
+    Submit {
+        /// The job payload.
+        req: Box<JobRequest>,
+        /// Client span context (absent from untraced clients and from
+        /// older peers — the field is a trailing optional extension of
+        /// the v1 SUBMIT body).
+        ctx: Option<SpanContext>,
+    },
     /// Submission accepted.
     Submitted {
         /// Daemon-assigned job id.
@@ -576,18 +634,32 @@ pub enum Msg {
     ShutdownReply,
     /// Fetch serve counters.
     Stats,
-    /// Counter snapshot, name-sorted.
+    /// Counter snapshot, name-sorted. On the wire each entry is
+    /// `name | tag u8 | length-prefixed payload`; decoders skip entries
+    /// with unknown tags, so a client keeps working against a newer
+    /// daemon that exports field types it does not know.
     StatsReply {
         /// `(name, value)` pairs.
         entries: Vec<(String, u64)>,
     },
+    /// Fetch the live telemetry snapshot.
+    Metrics,
+    /// Live telemetry snapshot.
+    MetricsReply(Box<LiveMetrics>),
+    /// Fetch a job's flight recorder.
+    Flight {
+        /// Job id.
+        job: u64,
+    },
+    /// Flight recorder contents.
+    FlightReply(Box<FlightLog>),
 }
 
 // ---------------------------------------------------------------------------
 // Codec
 // ---------------------------------------------------------------------------
 
-fn encode_degradation(d: Degradation) -> u8 {
+pub(crate) fn encode_degradation(d: Degradation) -> u8 {
     match d {
         Degradation::Exact => 0,
         Degradation::CheckpointFallback => 1,
@@ -809,13 +881,105 @@ pub fn decode_outcome(d: &mut Dec<'_>) -> Result<JobOutcome, ProtocolError> {
     })
 }
 
+/// Encodes a live-metrics body.
+pub fn encode_metrics(e: &mut Enc, m: &LiveMetrics) {
+    e.u64(m.uptime_ns);
+    e.u64(m.queue_depth);
+    e.u64(m.workers_total);
+    e.u64(m.workers_busy);
+    e.f64(m.cache_hit_ratio);
+    e.u64(m.counters.len() as u64);
+    for (name, v) in &m.counters {
+        e.str(name);
+        e.u64(*v);
+    }
+    e.u64(m.rates.len() as u64);
+    for (name, v) in &m.rates {
+        e.str(name);
+        e.f64(*v);
+    }
+    e.u64(m.windows.len() as u64);
+    for (name, w) in &m.windows {
+        e.str(name);
+        e.u64(w.count);
+        e.u64(w.p50);
+        e.u64(w.p95);
+        e.u64(w.p99);
+    }
+    e.u64(m.events.len() as u64);
+    for (t, text) in &m.events {
+        e.u64(*t);
+        e.str(text);
+    }
+}
+
+/// Decodes a live-metrics body.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any truncation or structural violation.
+pub fn decode_metrics(d: &mut Dec<'_>) -> Result<LiveMetrics, ProtocolError> {
+    let uptime_ns = d.u64()?;
+    let queue_depth = d.u64()?;
+    let workers_total = d.u64()?;
+    let workers_busy = d.u64()?;
+    let cache_hit_ratio = d.f64()?;
+    let nc = d.len(16)?;
+    let mut counters = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        let name = d.str()?;
+        counters.push((name, d.u64()?));
+    }
+    let nr = d.len(16)?;
+    let mut rates = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        let name = d.str()?;
+        rates.push((name, d.f64()?));
+    }
+    let nw = d.len(40)?;
+    let mut windows = Vec::with_capacity(nw);
+    for _ in 0..nw {
+        let name = d.str()?;
+        windows.push((
+            name,
+            WindowHist {
+                count: d.u64()?,
+                p50: d.u64()?,
+                p95: d.u64()?,
+                p99: d.u64()?,
+            },
+        ));
+    }
+    let ne = d.len(16)?;
+    let mut events = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let t = d.u64()?;
+        events.push((t, d.str()?));
+    }
+    Ok(LiveMetrics {
+        uptime_ns,
+        queue_depth,
+        workers_total,
+        workers_busy,
+        cache_hit_ratio,
+        counters,
+        rates,
+        windows,
+        events,
+    })
+}
+
 impl Msg {
     /// Encodes the message into a frame (kind byte + body).
     pub fn to_frame(&self) -> (u8, Vec<u8>) {
         let mut e = Enc::new();
         let kind = match self {
-            Msg::Submit(req) => {
+            Msg::Submit { req, ctx } => {
                 encode_request(&mut e, req);
+                if let Some(ctx) = ctx {
+                    e.u8(1);
+                    ctx.inject(&mut e.0);
+                }
                 kind::SUBMIT
             }
             Msg::Submitted { job, key, disposition } => {
@@ -875,9 +1039,26 @@ impl Msg {
                 e.u64(entries.len() as u64);
                 for (name, v) in entries {
                     e.str(name);
-                    e.u64(*v);
+                    // Tagged payload (tag 0 = LE u64): a peer that meets
+                    // a tag it does not know skips the entry instead of
+                    // failing the whole frame.
+                    e.u8(0);
+                    e.bytes(&v.to_le_bytes());
                 }
                 kind::STATS_REPLY
+            }
+            Msg::Metrics => kind::METRICS,
+            Msg::MetricsReply(m) => {
+                encode_metrics(&mut e, m);
+                kind::METRICS_REPLY
+            }
+            Msg::Flight { job } => {
+                e.u64(*job);
+                kind::FLIGHT
+            }
+            Msg::FlightReply(log) => {
+                encode_flight(&mut e, log);
+                kind::FLIGHT_REPLY
             }
         };
         (kind, e.0)
@@ -892,7 +1073,21 @@ impl Msg {
     pub fn from_frame(frame: &Frame) -> Result<Msg, ProtocolError> {
         let mut d = Dec::new(&frame.body);
         let msg = match frame.kind {
-            kind::SUBMIT => Msg::Submit(Box::new(decode_request(&mut d)?)),
+            kind::SUBMIT => {
+                let req = Box::new(decode_request(&mut d)?);
+                let ctx = if d.done() {
+                    None
+                } else {
+                    if d.u8()? != 1 {
+                        return Err(ProtocolError::Malformed("bad span context flag"));
+                    }
+                    Some(SpanContext {
+                        trace_id: d.u64()?,
+                        span_id: d.u64()?,
+                    })
+                };
+                Msg::Submit { req, ctx }
+            }
             kind::SUBMITTED => Msg::Submitted {
                 job: d.u64()?,
                 key: d.u64()?,
@@ -927,14 +1122,27 @@ impl Msg {
             kind::SHUTDOWN_REPLY => Msg::ShutdownReply,
             kind::STATS => Msg::Stats,
             kind::STATS_REPLY => {
-                let n = d.len(9)?;
+                let n = d.len(17)?;
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
                     let name = d.str()?;
-                    entries.push((name, d.u64()?));
+                    let tag = d.u8()?;
+                    let payload = d.bytes()?;
+                    if tag == 0 && payload.len() == 8 {
+                        let mut a = [0u8; 8];
+                        a.copy_from_slice(payload);
+                        entries.push((name, u64::from_le_bytes(a)));
+                    }
+                    // Unknown tag (or an unexpected width for a known
+                    // one): a field from a different daemon version —
+                    // skip it, keep every entry we do understand.
                 }
                 Msg::StatsReply { entries }
             }
+            kind::METRICS => Msg::Metrics,
+            kind::METRICS_REPLY => Msg::MetricsReply(Box::new(decode_metrics(&mut d)?)),
+            kind::FLIGHT => Msg::Flight { job: d.u64()? },
+            kind::FLIGHT_REPLY => Msg::FlightReply(Box::new(decode_flight(&mut d)?)),
             other => return Err(ProtocolError::UnknownKind(other)),
         };
         d.finish()?;
@@ -996,9 +1204,13 @@ mod tests {
     #[test]
     fn request_round_trips_through_frame_and_query_parts() {
         let req = sample_request();
-        let (kind, body) = Msg::Submit(Box::new(req.clone())).to_frame();
+        let msg = Msg::Submit {
+            req: Box::new(req.clone()),
+            ctx: None,
+        };
+        let (kind, body) = msg.to_frame();
         let back = Msg::from_frame(&Frame { kind, body }).expect("decodes");
-        assert_eq!(back, Msg::Submit(Box::new(req.clone())));
+        assert_eq!(back, msg);
         // The typed query parts survive the trip bit-for-bit.
         let net = req.parse_network().expect("network parses");
         let spec = req.input_spec().expect("spec rebuilds");
@@ -1087,8 +1299,112 @@ mod tests {
     }
 
     #[test]
+    fn submit_span_context_rides_as_trailing_extension() {
+        let req = sample_request();
+        let ctx = SpanContext {
+            trace_id: 0x1234_5678_9abc_def0,
+            span_id: 99,
+        };
+        let msg = Msg::Submit {
+            req: Box::new(req.clone()),
+            ctx: Some(ctx),
+        };
+        let (kind, body) = msg.to_frame();
+        // The context is a *trailing* extension: stripping it yields a
+        // valid v1 SUBMIT body, so an old client's frames still decode.
+        let back = Msg::from_frame(&Frame { kind, body: body.clone() }).expect("decodes");
+        assert_eq!(back, msg);
+        let bare = &body[..body.len() - 17];
+        let back = Msg::from_frame(&Frame { kind, body: bare.to_vec() }).expect("decodes");
+        assert_eq!(
+            back,
+            Msg::Submit {
+                req: Box::new(req.clone()),
+                ctx: None,
+            }
+        );
+        // And the context never perturbs the content-address: coalescing
+        // and cache hits must be trace-independent.
+        assert_eq!(req.job_key().expect("key"), sample_request().job_key().expect("key"));
+    }
+
+    #[test]
+    fn stats_reply_skips_unknown_tags() {
+        // A daemon from the future exports an entry with tag 7; the
+        // decoder must keep the entries it understands and drop the rest.
+        let mut e = Enc::new();
+        e.u64(3);
+        e.str("serve.cache_hits");
+        e.u8(0);
+        e.bytes(&5u64.to_le_bytes());
+        e.str("serve.solve_temperature_milli_kelvin");
+        e.u8(7);
+        e.bytes(b"some future payload");
+        e.str("serve.jobs_completed");
+        e.u8(0);
+        e.bytes(&2u64.to_le_bytes());
+        let back = Msg::from_frame(&Frame {
+            kind: kind::STATS_REPLY,
+            body: e.0,
+        })
+        .expect("decodes despite unknown tag");
+        assert_eq!(
+            back,
+            Msg::StatsReply {
+                entries: vec![
+                    ("serve.cache_hits".into(), 5),
+                    ("serve.jobs_completed".into(), 2),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn metrics_and_flight_round_trip() {
+        let m = LiveMetrics {
+            uptime_ns: 123,
+            queue_depth: 4,
+            workers_total: 8,
+            workers_busy: 3,
+            cache_hit_ratio: 0.75,
+            counters: vec![("serve.jobs_submitted".into(), 10)],
+            rates: vec![("serve.frames_rx".into(), 2.5)],
+            windows: vec![(
+                "serve.job_wall_nanos".into(),
+                WindowHist { count: 7, p50: 100, p95: 900, p99: 1000 },
+            )],
+            events: vec![(55, "serve.started".into())],
+        };
+        for msg in [
+            Msg::Metrics,
+            Msg::MetricsReply(Box::new(m)),
+            Msg::Flight { job: 12 },
+            Msg::FlightReply(Box::new(crate::flight::FlightLog {
+                key: 9,
+                trace_id: 3,
+                truncated: 0,
+                events: vec![crate::flight::FlightEvent {
+                    t_ns: 1,
+                    kind: crate::flight::FlightKind::Accepted,
+                    a: 3,
+                    b: 0,
+                    detail: String::new(),
+                }],
+            })),
+        ] {
+            let (kind, body) = msg.to_frame();
+            let back = Msg::from_frame(&Frame { kind, body }).expect("decodes");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
     fn request_truncation_every_prefix_is_detected() {
-        let (_, body) = Msg::Submit(Box::new(sample_request())).to_frame();
+        let msg = Msg::Submit {
+            req: Box::new(sample_request()),
+            ctx: None,
+        };
+        let (_, body) = msg.to_frame();
         for cut in 0..body.len() {
             let mut d = Dec::new(&body[..cut]);
             assert!(

@@ -25,10 +25,13 @@
 //! service boundary.
 
 use crate::cache::{Miss, Store};
+use crate::flight::{FlightKind, FlightRecorder};
 use crate::protocol::{
-    job_key_of, Disposition, ErrorCode, JobOutcome, JobRequest, JobState, Msg,
+    job_key_of, Disposition, ErrorCode, JobOutcome, JobRequest, JobState, LiveMetrics, Msg,
+    WindowHist,
 };
 use crate::wire::{read_frame, write_frame, ProtocolError};
+use certnn_obs::{FieldValue, SpanContext, WindowValue};
 use certnn_nn::network::Network;
 use certnn_verify::bab::resolve_threads;
 use certnn_verify::checkpoint::CheckpointPolicy;
@@ -62,6 +65,9 @@ pub struct ServeOptions {
     /// Checkpoint cadence in branch-and-bound nodes (`0` = the
     /// checkpoint layer's default).
     pub checkpoint_every: usize,
+    /// Optional Prometheus text-exposition listener (plain HTTP/1.0
+    /// `GET` on any path); `None` disables the endpoint.
+    pub prom_addr: Option<String>,
 }
 
 impl ServeOptions {
@@ -73,72 +79,82 @@ impl ServeOptions {
             dir: dir.into(),
             workers: 0,
             checkpoint_every: 0,
+            prom_addr: None,
         }
     }
 }
 
-/// Always-on serve-layer counters. These are plain atomics — unlike the
-/// obs registry they never no-op, because the daemon's own behaviour
-/// (drain decisions, test assertions) depends on them. Every increment
-/// is mirrored into the `serve.*` obs counters, which *are* subject to
-/// the observability switch.
-#[derive(Debug, Default)]
-pub struct ServeStats {
+/// Declares the serve-layer counter block. The struct fields and the
+/// [`ServeStats::snapshot`] mirror list are generated from one field
+/// list, so they cannot drift apart when a counter is added.
+macro_rules! serve_stats {
+    ($( $(#[$doc:meta])* $field:ident ),+ $(,)?) => {
+        /// Always-on serve-layer counters. These are plain atomics — unlike the
+        /// obs registry they never no-op, because the daemon's own behaviour
+        /// (drain decisions, test assertions) depends on them. Every increment
+        /// is mirrored into the `serve.*` obs counters (subject to the
+        /// observability switch) and into the windowed `serve.*` rates behind
+        /// the `METRICS` frame.
+        #[derive(Debug, Default)]
+        pub struct ServeStats {
+            $( $(#[$doc])* pub $field: AtomicU64, )+
+        }
+
+        impl ServeStats {
+            /// Name-sorted snapshot of every counter. Generated from the
+            /// same list as the struct fields — see [`serve_stats!`].
+            pub fn snapshot(&self) -> Vec<(String, u64)> {
+                let mut v = vec![
+                    $( (
+                        concat!("serve.", stringify!($field)).to_string(),
+                        self.$field.load(Ordering::Relaxed),
+                    ), )+
+                ];
+                v.sort();
+                v
+            }
+        }
+    };
+}
+
+serve_stats! {
     /// Jobs accepted over the wire (including coalesced and cache hits).
-    pub jobs_submitted: AtomicU64,
+    jobs_submitted,
     /// Jobs finished by a worker with a usable outcome.
-    pub jobs_completed: AtomicU64,
+    jobs_completed,
     /// Jobs that failed structurally in the verifier.
-    pub jobs_failed: AtomicU64,
+    jobs_failed,
     /// Jobs cancelled by a client.
-    pub jobs_cancelled: AtomicU64,
+    jobs_cancelled,
     /// Jobs re-queued from the spool at startup.
-    pub jobs_resumed: AtomicU64,
+    jobs_resumed,
+    /// Submissions coalesced onto an identical in-memory entry (a
+    /// strict subset of `cache_hits`).
+    jobs_coalesced,
     /// Submissions answered without a fresh solve (memory coalesce or
     /// disk certificate).
-    pub cache_hits: AtomicU64,
+    cache_hits,
     /// Submissions that required a fresh solve.
-    pub cache_misses: AtomicU64,
+    cache_misses,
     /// Cache entries rejected by checksum and deleted.
-    pub cache_corrupt: AtomicU64,
+    cache_corrupt,
     /// Frames rejected by the wire layer.
-    pub protocol_errors: AtomicU64,
+    protocol_errors,
     /// Frames successfully read.
-    pub frames_rx: AtomicU64,
+    frames_rx,
     /// Frames successfully written.
-    pub frames_tx: AtomicU64,
+    frames_tx,
 }
 
 macro_rules! stat {
     ($stats:expr, $field:ident) => {{
         $stats.$field.fetch_add(1, Ordering::Relaxed);
         certnn_obs::counter(concat!("serve.", stringify!($field))).inc();
+        certnn_obs::windowed_counter(concat!("serve.", stringify!($field))).inc();
     }};
 }
 
 impl ServeStats {
-    /// Name-sorted snapshot of every counter.
-    pub fn snapshot(&self) -> Vec<(String, u64)> {
-        let mut v = vec![
-            ("serve.cache_corrupt", &self.cache_corrupt),
-            ("serve.cache_hits", &self.cache_hits),
-            ("serve.cache_misses", &self.cache_misses),
-            ("serve.frames_rx", &self.frames_rx),
-            ("serve.frames_tx", &self.frames_tx),
-            ("serve.jobs_cancelled", &self.jobs_cancelled),
-            ("serve.jobs_completed", &self.jobs_completed),
-            ("serve.jobs_failed", &self.jobs_failed),
-            ("serve.jobs_resumed", &self.jobs_resumed),
-            ("serve.jobs_submitted", &self.jobs_submitted),
-            ("serve.protocol_errors", &self.protocol_errors),
-        ]
-        .into_iter()
-        .map(|(n, a)| (n.to_string(), a.load(Ordering::Relaxed)))
-        .collect::<Vec<_>>();
-        v.sort();
-        v
-    }
-
     /// Reads one counter by its full name (test helper).
     pub fn get(&self, name: &str) -> u64 {
         self.snapshot()
@@ -197,6 +213,10 @@ struct JobEntry {
     cache_was_corrupt: bool,
     cancel_requested: bool,
     enqueued_at: Instant,
+    /// Bounded audit log of everything the daemon did for this job.
+    flight: Arc<FlightRecorder>,
+    /// Client span context the solve's spans parent under.
+    ctx: Option<SpanContext>,
 }
 
 /// One client-visible job id. Several ids may share one entry (request
@@ -233,6 +253,9 @@ impl JobTable {
     }
 }
 
+/// Capacity of the recent-events ring reported by `METRICS`.
+const EVENT_RING: usize = 64;
+
 struct Shared {
     table: Mutex<JobTable>,
     cond: Condvar,
@@ -242,6 +265,26 @@ struct Shared {
     checkpoint_every: usize,
     draining: AtomicBool,
     addr: SocketAddr,
+    /// When the daemon started (uptime, event timestamps).
+    started: Instant,
+    /// Size of the worker pool (for the `METRICS` utilization gauge).
+    workers_total: usize,
+    /// Recent `serve.*` event names with nanosecond offsets from start.
+    events: Mutex<VecDeque<(u64, String)>>,
+    /// Bound Prometheus listener address, when `--prom` is active.
+    prom_addr: Option<SocketAddr>,
+}
+
+/// Emits a `serve.*` obs event and mirrors its name into the bounded
+/// ring the `METRICS` frame reports.
+fn note_event(shared: &Shared, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    certnn_obs::event(name, fields);
+    let t_ns = shared.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let mut ring = shared.events.lock().unwrap_or_else(|e| e.into_inner());
+    if ring.len() >= EVENT_RING {
+        ring.pop_front();
+    }
+    ring.push_back((t_ns, name.to_string()));
 }
 
 /// A running verification daemon.
@@ -252,6 +295,7 @@ pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     accept: Option<JoinHandle<()>>,
+    prom: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -265,9 +309,19 @@ impl Server {
     pub fn start(options: ServeOptions) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&options.addr)?;
         let addr = listener.local_addr()?;
+        let prom_listener = match &options.prom_addr {
+            Some(a) => Some(TcpListener::bind(a)?),
+            None => None,
+        };
         let store = Store::open(&options.dir)?;
         let ckpt_dir = options.dir.join("ckpt");
         std::fs::create_dir_all(&ckpt_dir)?;
+
+        let worker_count = if options.workers == 0 {
+            resolve_threads(0)
+        } else {
+            options.workers
+        };
 
         let shared = Arc::new(Shared {
             table: Mutex::new(JobTable::default()),
@@ -278,15 +332,14 @@ impl Server {
             checkpoint_every: options.checkpoint_every,
             draining: AtomicBool::new(false),
             addr,
+            started: Instant::now(),
+            workers_total: worker_count,
+            events: Mutex::new(VecDeque::new()),
+            prom_addr: prom_listener.as_ref().and_then(|l| l.local_addr().ok()),
         });
 
         resume_spool(&shared);
 
-        let worker_count = if options.workers == 0 {
-            resolve_threads(0)
-        } else {
-            options.workers
-        };
         let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -303,7 +356,20 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &shared))?
         };
 
-        certnn_obs::event(
+        let prom = match prom_listener {
+            Some(listener) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("serve-prom".to_string())
+                        .spawn(move || prom_loop(&listener, &shared))?,
+                )
+            }
+            None => None,
+        };
+
+        note_event(
+            &shared,
             "serve.started",
             vec![("addr", addr.to_string().into()), ("workers", (worker_count as u64).into())],
         );
@@ -311,12 +377,18 @@ impl Server {
             shared,
             workers,
             accept: Some(accept),
+            prom,
         })
     }
 
     /// The bound address (resolves port `0`).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The bound Prometheus exposition address, when `--prom` is active.
+    pub fn prom_addr(&self) -> Option<SocketAddr> {
+        self.shared.prom_addr
     }
 
     /// The serve-layer counters.
@@ -334,6 +406,9 @@ impl Server {
     /// Blocks until the accept loop and every worker have exited.
     pub fn wait(&mut self) {
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.prom.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -354,7 +429,7 @@ fn drain(shared: &Shared) {
     if shared.draining.swap(true, Ordering::SeqCst) {
         return;
     }
-    certnn_obs::event("serve.draining", vec![]);
+    note_event(shared, "serve.draining", vec![]);
     {
         let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
         // Park queued jobs: spool survives, the next daemon re-queues.
@@ -374,8 +449,11 @@ fn drain(shared: &Shared) {
         }
         shared.cond.notify_all();
     }
-    // Unblock the accept loop with a throwaway connection.
+    // Unblock the accept loops with throwaway connections.
     let _ = TcpStream::connect(shared.addr);
+    if let Some(prom) = shared.prom_addr {
+        let _ = TcpStream::connect(prom);
+    }
 }
 
 /// Re-queues every spooled job left behind by a previous daemon.
@@ -396,6 +474,8 @@ fn resume_spool(shared: &Arc<Shared>) {
             shared.store.remove_job(key);
             continue;
         };
+        let flight = Arc::new(FlightRecorder::new(key, 0));
+        flight.record(FlightKind::Resumed, 0, 0, "");
         let idx = table.entries.len();
         table.entries.push(JobEntry {
             key,
@@ -406,6 +486,8 @@ fn resume_spool(shared: &Arc<Shared>) {
             cache_was_corrupt: false,
             cancel_requested: false,
             enqueued_at: Instant::now(),
+            flight,
+            ctx: None,
         });
         table.by_key.insert(key, idx);
         table.queue.push_back(idx);
@@ -450,7 +532,7 @@ fn parse_query(req: &JobRequest) -> Option<Query> {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let (idx, key, query, request, deadline, cache_was_corrupt, queued_for) = {
+        let (idx, key, query, request, deadline, cache_was_corrupt, queued_for, flight, ctx) = {
             let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
             let idx = loop {
                 if shared.draining.load(Ordering::SeqCst) {
@@ -482,10 +564,13 @@ fn worker_loop(shared: &Shared) {
                 entry.deadline.clone(),
                 entry.cache_was_corrupt,
                 entry.enqueued_at.elapsed(),
+                Arc::clone(&entry.flight),
+                entry.ctx,
             )
         };
-        certnn_obs::histogram("serve.queue_wait_nanos")
-            .record(queued_for.as_nanos().min(u128::from(u64::MAX)) as u64);
+        let queue_wait_ns = queued_for.as_nanos().min(u128::from(u64::MAX)) as u64;
+        certnn_obs::histogram("serve.queue_wait_nanos").record(queue_wait_ns);
+        certnn_obs::windowed_histogram("serve.queue_wait_nanos").record(queue_wait_ns);
 
         // Each job key gets its own checkpoint directory: the query
         // fingerprint excludes budget knobs, so two concurrent jobs
@@ -502,6 +587,21 @@ fn worker_loop(shared: &Shared) {
         let verifier = Verifier::with_options(query.options)
             .with_deadline(deadline)
             .with_checkpoints(policy);
+        // The solve runs under a serve-side span parented under the
+        // client's propagated span context (when the submission carried
+        // one); checkpoint and phase figures are obs-collector deltas
+        // around the solve — exact with one worker, approximate under
+        // concurrency (see `crate::flight`).
+        let span = certnn_obs::span_child_of("serve.solve", ctx.map(|c| c.span_id));
+        flight.record(
+            FlightKind::SpanOpen,
+            span.id().unwrap_or(0),
+            ctx.map_or(0, |c| c.span_id),
+            "serve.solve",
+        );
+        let ckpt_written0 = certnn_obs::counter("ckpt.written").get();
+        let ckpt_bytes0 = certnn_obs::counter("ckpt.bytes").get();
+        let phases0 = certnn_obs::phase_totals();
         // Last-resort backstop: the solver already catches per-node
         // panics, but any panic escaping here would kill this worker for
         // good and strand the job Running with every waiter blocked.
@@ -517,6 +617,21 @@ fn worker_loop(shared: &Shared) {
             format!("solver panicked: {msg}")
         })
         .and_then(|r| r.map_err(|e| e.to_string()));
+        let ckpt_written = certnn_obs::counter("ckpt.written").get() - ckpt_written0;
+        let ckpt_bytes = certnn_obs::counter("ckpt.bytes").get() - ckpt_bytes0;
+        if ckpt_written > 0 || ckpt_bytes > 0 {
+            flight.record(FlightKind::Checkpoint, ckpt_written, ckpt_bytes, "");
+        }
+        for after in certnn_obs::phase_totals() {
+            let before = phases0.iter().find(|p| p.phase == after.phase);
+            let d_self = after.self_ns - before.map_or(0, |p| p.self_ns);
+            let d_count = after.count - before.map_or(0, |p| p.count);
+            if d_self > 0 || d_count > 0 {
+                flight.record(FlightKind::Phase, d_self, d_count, after.phase.as_str());
+            }
+        }
+        flight.record(FlightKind::SpanClose, span.id().unwrap_or(0), 0, "");
+        drop(span);
 
         let mut table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
         table.running -= 1;
@@ -529,11 +644,16 @@ fn worker_loop(shared: &Shared) {
                     table.by_key.remove(&key);
                     shared.store.remove_job(key);
                     stat!(shared.stats, jobs_cancelled);
+                    flight.record(FlightKind::Cancelled, 0, 0, "");
                 } else if draining && r.status == MilpStatus::Aborted {
                     // Interrupted by the drain: park it, keep the spool
                     // and checkpoint for the next daemon.
                     table.entries[idx].state = State::Drained;
                     table.by_key.remove(&key);
+                    let resumable = std::fs::read_dir(&ckpt_dir)
+                        .map(|mut d| d.next().is_some())
+                        .unwrap_or(false);
+                    flight.record(FlightKind::Drained, u64::from(resumable), 0, "");
                 } else {
                     let mut outcome = JobOutcome::from_max_result(key, &r);
                     if cache_was_corrupt {
@@ -543,10 +663,13 @@ fn worker_loop(shared: &Shared) {
                             outcome.degradation.merge(Degradation::CheckpointFallback);
                     }
                     certnn_obs::histogram("serve.job_wall_nanos").record(outcome.stats.elapsed_nanos);
+                    certnn_obs::windowed_histogram("serve.job_wall_nanos")
+                        .record(outcome.stats.elapsed_nanos);
                     if outcome.status != MilpStatus::Aborted
                         && shared.store.put_cert(&outcome, &request).is_err()
                     {
-                        certnn_obs::event(
+                        note_event(
+                            shared,
                             "serve.cache_write_failed",
                             vec![("key", format!("{key:016x}").into())],
                         );
@@ -555,6 +678,23 @@ fn worker_loop(shared: &Shared) {
                     // The finished solve deleted its snapshot; reap the
                     // per-key directory if nothing is left in it.
                     let _ = std::fs::remove_dir(&ckpt_dir);
+                    if outcome.degradation != Degradation::Exact {
+                        flight.record(
+                            FlightKind::Degradation,
+                            u64::from(crate::protocol::encode_degradation(outcome.degradation)),
+                            0,
+                            format!("{:?}", outcome.degradation),
+                        );
+                    }
+                    flight.record(
+                        FlightKind::Finished,
+                        outcome.stats.nodes,
+                        outcome.stats.elapsed_nanos,
+                        "",
+                    );
+                    // Persist the audit trail next to the certificate so
+                    // it survives daemon restarts.
+                    let _ = shared.store.put_flight(&flight.snapshot());
                     table.entries[idx].state = State::Done(Arc::new(outcome));
                     stat!(shared.stats, jobs_completed);
                 }
@@ -564,7 +704,10 @@ fn worker_loop(shared: &Shared) {
                 table.by_key.remove(&key);
                 shared.store.remove_job(key);
                 stat!(shared.stats, jobs_failed);
-                certnn_obs::event(
+                flight.record(FlightKind::Failed, 0, 0, e.clone());
+                let _ = shared.store.put_flight(&flight.snapshot());
+                note_event(
+                    shared,
                     "serve.job_failed",
                     vec![("key", format!("{key:016x}").into()), ("error", e.into())],
                 );
@@ -596,8 +739,7 @@ fn send(stream: &mut TcpStream, shared: &Shared, msg: &Msg) -> Result<(), Protoc
     let (kind, body) = msg.to_frame();
     write_frame(stream, kind, &body)?;
     stream.flush().map_err(|e| ProtocolError::Io(e.kind(), e.to_string()))?;
-    shared.stats.frames_tx.fetch_add(1, Ordering::Relaxed);
-    certnn_obs::counter("serve.frames_tx").inc();
+    stat!(shared.stats, frames_tx);
     Ok(())
 }
 
@@ -644,8 +786,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 return;
             }
         };
-        shared.stats.frames_rx.fetch_add(1, Ordering::Relaxed);
-        certnn_obs::counter("serve.frames_rx").inc();
+        stat!(shared.stats, frames_rx);
         let msg = match Msg::from_frame(&frame) {
             Ok(msg) => msg,
             Err(e) => {
@@ -668,7 +809,7 @@ fn handle_message(
     msg: Msg,
 ) -> Result<(), ProtocolError> {
     match msg {
-        Msg::Submit(req) => handle_submit(stream, shared, &req),
+        Msg::Submit { req, ctx } => handle_submit(stream, shared, &req, ctx),
         Msg::Status { job } => {
             let table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
             match table.lookup(job) {
@@ -708,6 +849,11 @@ fn handle_message(
             drain(shared);
             Ok(())
         }
+        Msg::Metrics => {
+            let reply = Msg::MetricsReply(Box::new(live_metrics(shared)));
+            send(stream, shared, &reply)
+        }
+        Msg::Flight { job } => handle_flight(stream, shared, job),
         // Reply kinds arriving at the server are client bugs; answer
         // with a typed error and keep the connection.
         Msg::Submitted { .. }
@@ -717,6 +863,8 @@ fn handle_message(
         | Msg::Event { .. }
         | Msg::Error { .. }
         | Msg::ShutdownReply
+        | Msg::MetricsReply(_)
+        | Msg::FlightReply(_)
         | Msg::StatsReply { .. } => {
             send_error(stream, shared, ErrorCode::Malformed, "reply kind sent as request");
             Ok(())
@@ -728,6 +876,7 @@ fn handle_submit(
     stream: &mut TcpStream,
     shared: &Arc<Shared>,
     req: &JobRequest,
+    ctx: Option<SpanContext>,
 ) -> Result<(), ProtocolError> {
     if shared.draining.load(Ordering::SeqCst) {
         send_error(stream, shared, ErrorCode::Draining, "daemon is draining");
@@ -758,9 +907,16 @@ fn handle_submit(
             let disposition = if table.entries[idx].state.terminal() {
                 Disposition::CacheHit
             } else {
+                stat!(shared.stats, jobs_coalesced);
                 Disposition::Coalesced
             };
             stat!(shared.stats, cache_hits);
+            table.entries[idx].flight.record(
+                FlightKind::Accepted,
+                ctx.map_or(0, |c| c.trace_id),
+                0,
+                "coalesced",
+            );
             let job = table.assign_id(idx, true);
             Msg::Submitted { job, key, disposition }
         } else {
@@ -768,6 +924,13 @@ fn handle_submit(
                 Ok(mut outcome) => {
                     stat!(shared.stats, cache_hits);
                     outcome.cache_hit = true;
+                    let flight = Arc::new(FlightRecorder::new(key, ctx.map_or(0, |c| c.trace_id)));
+                    flight.record(
+                        FlightKind::Accepted,
+                        ctx.map_or(0, |c| c.trace_id),
+                        0,
+                        "cache_hit",
+                    );
                     let idx = table.entries.len();
                     table.entries.push(JobEntry {
                         key,
@@ -778,6 +941,8 @@ fn handle_submit(
                         cache_was_corrupt: false,
                         cancel_requested: false,
                         enqueued_at: Instant::now(),
+                        flight,
+                        ctx,
                     });
                     table.by_key.insert(key, idx);
                     let job = table.assign_id(idx, true);
@@ -790,11 +955,14 @@ fn handle_submit(
                     }
                     stat!(shared.stats, cache_misses);
                     if let Err(e) = shared.store.put_job(key, req) {
-                        certnn_obs::event(
+                        note_event(
+                            shared,
                             "serve.spool_write_failed",
                             vec![("key", format!("{key:016x}").into()), ("kind", format!("{:?}", e.kind()).into())],
                         );
                     }
+                    let flight = Arc::new(FlightRecorder::new(key, ctx.map_or(0, |c| c.trace_id)));
+                    flight.record(FlightKind::Accepted, ctx.map_or(0, |c| c.trace_id), 0, "");
                     let idx = table.entries.len();
                     table.entries.push(JobEntry {
                         key,
@@ -805,6 +973,8 @@ fn handle_submit(
                         cache_was_corrupt,
                         cancel_requested: false,
                         enqueued_at: Instant::now(),
+                        flight,
+                        ctx,
                     });
                     table.by_key.insert(key, idx);
                     table.queue.push_back(idx);
@@ -956,5 +1126,171 @@ fn cancel_job(shared: &Shared, job: u64) -> u8 {
             1
         }
         _ => 2,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live telemetry: METRICS, FLIGHT and the Prometheus endpoint
+// ---------------------------------------------------------------------------
+
+/// Builds the `METRICS` reply: cumulative counters, queue/worker/cache
+/// gauges, windowed rates and percentiles, and the recent-event ring.
+fn live_metrics(shared: &Shared) -> LiveMetrics {
+    let (queue_depth, workers_busy) = {
+        let table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+        (table.depth(), table.running as u64)
+    };
+    let mut counters = shared.stats.snapshot();
+    counters.push(("serve.queue_depth".to_string(), queue_depth));
+    counters.sort();
+    let hits = shared.stats.cache_hits.load(Ordering::Relaxed);
+    let misses = shared.stats.cache_misses.load(Ordering::Relaxed);
+    let cache_hit_ratio = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    let mut rates = Vec::new();
+    let mut windows = Vec::new();
+    for entry in certnn_obs::window_snapshot().entries {
+        match entry.value {
+            WindowValue::Rate(r) => rates.push((entry.name.to_string(), r)),
+            WindowValue::Histogram(h) => windows.push((
+                entry.name.to_string(),
+                WindowHist { count: h.count, p50: h.p50, p95: h.p95, p99: h.p99 },
+            )),
+        }
+    }
+    let events = shared
+        .events
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .cloned()
+        .collect();
+    LiveMetrics {
+        uptime_ns: shared.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        queue_depth,
+        workers_total: shared.workers_total as u64,
+        workers_busy,
+        cache_hit_ratio,
+        counters,
+        rates,
+        windows,
+        events,
+    }
+}
+
+/// Answers `FLIGHT`: the persisted log of a finished job when one exists
+/// (it survives restarts and is the authoritative record of the solve
+/// that produced the cached certificate), the live recorder otherwise.
+fn handle_flight(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    job: u64,
+) -> Result<(), ProtocolError> {
+    let (key, live, done) = {
+        let table = shared.table.lock().unwrap_or_else(|e| e.into_inner());
+        let Some((idx, _)) = table.lookup(job) else {
+            drop(table);
+            send_error(stream, shared, ErrorCode::UnknownJob, "no such job");
+            return Ok(());
+        };
+        let entry = &table.entries[idx];
+        (entry.key, entry.flight.snapshot(), matches!(entry.state, State::Done(_)))
+    };
+    let log = if done {
+        shared.store.get_flight(key).unwrap_or(live)
+    } else {
+        live
+    };
+    send(stream, shared, &Msg::FlightReply(Box::new(log)))
+}
+
+/// Accepts plain HTTP connections and answers every `GET` with the
+/// Prometheus text exposition of [`live_metrics`]. One request per
+/// connection (HTTP/1.0, `Connection: close` semantics); requests are
+/// handled on short-lived threads so a stalled scraper cannot block the
+/// accept loop, and read/write timeouts bound each handler's lifetime.
+fn prom_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("serve-prom-conn".to_string())
+            .spawn(move || serve_prom_request(stream, &shared));
+    }
+}
+
+fn serve_prom_request(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(FRAME_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(FRAME_TIMEOUT));
+    // Read the request head (bounded; everything past 4 KiB is ignored —
+    // the path and headers don't matter, any GET serves metrics).
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        match std::io::Read::read(&mut stream, &mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 4096 {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    if !head.starts_with(b"GET ") {
+        let _ = stream.write_all(
+            b"HTTP/1.0 405 Method Not Allowed\r\nContent-Length: 0\r\n\r\n",
+        );
+        return;
+    }
+    let body = crate::prom::render_prometheus(&live_metrics(shared));
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_snapshot_mirrors_every_counter() {
+        let stats = ServeStats::default();
+        stats.jobs_coalesced.fetch_add(3, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        // The struct and the snapshot list are generated from one field
+        // list; this pins the full set so a rename or removal is loud.
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "serve.cache_corrupt",
+                "serve.cache_hits",
+                "serve.cache_misses",
+                "serve.frames_rx",
+                "serve.frames_tx",
+                "serve.jobs_cancelled",
+                "serve.jobs_coalesced",
+                "serve.jobs_completed",
+                "serve.jobs_failed",
+                "serve.jobs_resumed",
+                "serve.jobs_submitted",
+                "serve.protocol_errors",
+            ]
+        );
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "snapshot must be name-sorted");
+        assert_eq!(stats.get("serve.jobs_coalesced"), 3);
+        assert_eq!(stats.get("serve.no_such_counter"), 0);
     }
 }

@@ -114,7 +114,7 @@ fn garbage_truncation_oversize_and_bad_version_are_typed_rejections() {
 
     // Torn frame: a valid SUBMIT cut at every interesting prefix. The
     // daemon must notice the truncation (or the close) and never hang.
-    let (submit_kind, submit_body) = Msg::Submit(Box::new(tiny_request(999))).to_frame();
+    let (submit_kind, submit_body) = Msg::Submit { req: Box::new(tiny_request(999)), ctx: None }.to_frame();
     let mut full = Vec::new();
     write_frame(&mut full, submit_kind, &submit_body).expect("encodes");
     let cuts: Vec<usize> = (0..full.len().min(32))

@@ -1,0 +1,253 @@
+//! Live-telemetry end-to-end suite: a daemon under load must answer
+//! `METRICS` with non-zero windowed rates and live queue/worker gauges,
+//! serve parseable Prometheus text over `--prom`, propagate client span
+//! contexts into per-job flight recorders, and keep a finished job's
+//! flight log retrievable over the wire after a daemon restart.
+
+use certnn_linalg::Interval;
+use certnn_nn::network::Network;
+use certnn_obs::SpanContext;
+use certnn_serve::client::Client;
+use certnn_serve::flight::FlightKind;
+use certnn_serve::protocol::{Disposition, JobRequest};
+use certnn_serve::server::{ServeOptions, Server};
+use certnn_verify::property::{InputSpec, LinearObjective};
+use certnn_verify::verifier::VerifierOptions;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "certnn-serve-telemetry-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A query the daemon solves in well under a second.
+fn tiny_request(seed: u64) -> JobRequest {
+    let net = Network::relu_mlp(3, &[6, 6], 1, seed).expect("tiny net");
+    let spec = InputSpec::from_box(vec![Interval::new(-1.0, 1.0); 3]).expect("box");
+    let objective = LinearObjective::output(0);
+    JobRequest::from_query(&net, &spec, &objective, &VerifierOptions::default(), None)
+}
+
+/// A query that reliably runs for seconds, so the daemon can be observed
+/// mid-solve. The generous time limit is a backstop, not the expected
+/// path — the test cancels the job once it has seen what it needs.
+fn slow_request() -> JobRequest {
+    let net = Network::relu_mlp(32, &[12, 12], 1, 7).expect("net");
+    let spec = InputSpec::from_box(vec![Interval::new(-1.0, 1.0); 32]).expect("box");
+    let objective = LinearObjective::output(0);
+    let opts = VerifierOptions {
+        threads: 1,
+        time_limit: Some(Duration::from_secs(120)),
+        ..VerifierOptions::default()
+    };
+    JobRequest::from_query(&net, &spec, &objective, &opts, None)
+}
+
+#[test]
+fn metrics_mid_solve_report_live_gauges_and_windowed_rates() {
+    let dir = temp_dir("metrics");
+    let server = Server::start(ServeOptions {
+        workers: 1,
+        ..ServeOptions::loopback(&dir)
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connects");
+
+    let slow = client.submit(&slow_request()).expect("slow job accepted");
+    assert_eq!(slow.disposition, Disposition::Fresh);
+    // An identical second submission coalesces onto the in-flight entry
+    // and bumps the dedicated counter.
+    let again = client.submit(&slow_request()).expect("resubmission accepted");
+    assert_eq!(again.disposition, Disposition::Coalesced);
+    assert_eq!(again.key, slow.key);
+    // A different query queues behind the busy single worker.
+    let queued = client.submit(&tiny_request(42)).expect("tiny job accepted");
+    assert_eq!(queued.disposition, Disposition::Fresh);
+
+    // Wait until the worker has actually picked the slow job up, then
+    // interrogate the live snapshot mid-solve.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let metrics = loop {
+        let m = client.metrics().expect("METRICS answers");
+        if m.workers_busy >= 1 {
+            break m;
+        }
+        assert!(Instant::now() < deadline, "worker never went busy");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(metrics.workers_total, 1);
+    assert!(metrics.uptime_ns > 0);
+    assert!(
+        metrics.queue_depth >= 2,
+        "slow job running + tiny job queued, got depth {}",
+        metrics.queue_depth
+    );
+    let counter = |name: &str| {
+        metrics
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    assert_eq!(counter("serve.jobs_submitted"), 3);
+    assert_eq!(counter("serve.jobs_coalesced"), 1);
+    assert_eq!(counter("serve.queue_depth"), metrics.queue_depth);
+    // The submissions happened within the trailing window, so their
+    // windowed per-second rate must be live (non-zero) — this holds
+    // whether or not the runtime obs switch is on.
+    let rate = metrics
+        .rates
+        .iter()
+        .find(|(n, _)| n == "serve.jobs_submitted")
+        .map_or(0.0, |(_, r)| *r);
+    assert!(rate > 0.0, "windowed submission rate is dead: {rate}");
+    // The recent-event ring carries the daemon's own milestones.
+    assert!(
+        metrics.events.iter().any(|(_, name)| name == "serve.started"),
+        "event ring missing serve.started: {:?}",
+        metrics.events
+    );
+
+    // Queue-wait percentiles appear once at least one job was popped.
+    assert!(
+        metrics
+            .windows
+            .iter()
+            .any(|(n, w)| n == "serve.queue_wait_nanos" && w.count > 0),
+        "no windowed queue-wait histogram mid-solve"
+    );
+
+    client.cancel(slow.job).expect("cancel accepted");
+    let outcome = client.result(queued.job).expect("tiny job still solves");
+    assert_eq!(outcome.status, certnn_verify::MilpStatus::Optimal);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn prometheus_endpoint_serves_parseable_exposition() {
+    let dir = temp_dir("prom");
+    let server = Server::start(ServeOptions {
+        workers: 1,
+        prom_addr: Some("127.0.0.1:0".to_string()),
+        ..ServeOptions::loopback(&dir)
+    })
+    .expect("daemon starts");
+    let prom = server.prom_addr().expect("prom listener bound");
+
+    // Put at least one job through so counters are non-trivial.
+    let mut client = Client::connect(server.addr()).expect("connects");
+    let submitted = client.submit(&tiny_request(9)).expect("accepted");
+    client.result(submitted.job).expect("solved");
+
+    let fetch = |request: &[u8]| -> String {
+        let mut stream = std::net::TcpStream::connect(prom).expect("prom connects");
+        stream.write_all(request).expect("request written");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response read");
+        response
+    };
+
+    let response = fetch(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+    let body = response.split_once("\r\n\r\n").expect("header split").1;
+    let samples = certnn_serve::prom::parse_check(body)
+        .unwrap_or_else(|e| panic!("unparseable exposition: {e}\n{body}"));
+    assert!(samples >= 10, "suspiciously few samples: {samples}");
+    assert!(body.contains("certnn_serve_up 1"));
+    assert!(body.contains("certnn_serve_workers_total 1"));
+    assert!(body.contains("certnn_serve_jobs_submitted_total 1"));
+    // Windowed rates surface as *_per_second gauges.
+    assert!(
+        body.contains("certnn_serve_jobs_submitted_per_second"),
+        "no windowed rate in exposition:\n{body}"
+    );
+
+    // Non-GET requests are refused without killing the daemon.
+    let response = fetch(b"POST /metrics HTTP/1.0\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+    let response = fetch(b"GET /anything HTTP/1.0\r\n\r\n");
+    assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flight_log_carries_trace_and_survives_daemon_restart() {
+    let dir = temp_dir("flight");
+    let ctx = SpanContext { trace_id: 0xfeed_beef, span_id: 77 };
+    let key;
+    {
+        let server = Server::start(ServeOptions {
+            workers: 1,
+            ..ServeOptions::loopback(&dir)
+        })
+        .expect("daemon starts");
+        let mut client = Client::connect(server.addr()).expect("connects");
+        let submitted = client
+            .submit_traced(&tiny_request(3), Some(ctx))
+            .expect("accepted");
+        key = submitted.key;
+        client.result(submitted.job).expect("solved");
+
+        let log = client.flight(submitted.job).expect("FLIGHT answers");
+        assert_eq!(log.key, key);
+        assert_eq!(log.trace_id, ctx.trace_id, "client trace id not propagated");
+        let kinds: Vec<FlightKind> = log.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&FlightKind::Accepted));
+        assert!(kinds.contains(&FlightKind::Finished));
+        let accepted = log
+            .events
+            .iter()
+            .find(|e| e.kind == FlightKind::Accepted)
+            .expect("accept event");
+        assert_eq!(accepted.a, ctx.trace_id);
+        let span_open = log
+            .events
+            .iter()
+            .find(|e| e.kind == FlightKind::SpanOpen)
+            .expect("solve span recorded");
+        assert_eq!(span_open.detail, "serve.solve");
+        assert_eq!(span_open.b, ctx.span_id, "solve span not parented under client span");
+        drop(server);
+    }
+
+    // A fresh daemon over the same directory: the same query is a disk
+    // cache hit, and FLIGHT returns the *persisted* recording of the
+    // solve that produced the certificate — not the trivial live log of
+    // the cache-hit submission.
+    {
+        let server = Server::start(ServeOptions {
+            workers: 1,
+            ..ServeOptions::loopback(&dir)
+        })
+        .expect("daemon restarts");
+        let mut client = Client::connect(server.addr()).expect("connects");
+        let submitted = client.submit(&tiny_request(3)).expect("accepted");
+        assert_eq!(submitted.key, key);
+        assert_eq!(submitted.disposition, Disposition::CacheHit);
+        let log = client.flight(submitted.job).expect("FLIGHT after restart");
+        assert_eq!(log.key, key);
+        assert_eq!(log.trace_id, ctx.trace_id, "persisted log lost its trace");
+        assert!(
+            log.events.iter().any(|e| e.kind == FlightKind::Finished),
+            "persisted flight log lost the solve story: {:?}",
+            log.events
+        );
+        drop(server);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
